@@ -1,0 +1,111 @@
+//! Model parameters.
+
+/// Which system the model predicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// ccKVS with the per-key SC protocol.
+    CcKvsSc,
+    /// ccKVS with the per-key Lin protocol.
+    CcKvsLin,
+    /// The NUMA-abstraction baseline under a uniform access distribution
+    /// (the upper bound of the baseline designs).
+    Uniform,
+}
+
+impl SystemKind {
+    /// Label used in reports and figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SystemKind::CcKvsSc => "ccKVS-SC",
+            SystemKind::CcKvsLin => "ccKVS-Lin",
+            SystemKind::Uniform => "Uniform",
+        }
+    }
+}
+
+/// Inputs of the analytical model (§8.7).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelParams {
+    /// Number of server nodes `N`.
+    pub nodes: usize,
+    /// Symmetric-cache hit ratio `h` (0.65 for α = 0.99 with a 0.1 % cache).
+    pub hit_ratio: f64,
+    /// Write ratio `w`.
+    pub write_ratio: f64,
+    /// Available per-node network bandwidth `BW` in Gb/s.
+    pub bandwidth_gbps: f64,
+    /// `B_RR`: bytes of a remote request + reply.
+    pub b_rr: f64,
+    /// `B_SC`: bytes of one SC consistency action (update).
+    pub b_sc: f64,
+    /// `B_Lin`: bytes of one Lin consistency action (inv + ack + update).
+    pub b_lin: f64,
+}
+
+impl ModelParams {
+    /// The parameterisation used to validate the model against the real
+    /// system in §8.7.1: hit ratio 65 % (α = 0.99, 0.1 % cache), 21.5 Gb/s
+    /// effective small-packet bandwidth, `B_RR = 113`, `B_SC = 83`,
+    /// `B_Lin = 183` bytes.
+    pub fn paper_small_objects(nodes: usize, write_ratio: f64) -> Self {
+        Self {
+            nodes,
+            hit_ratio: 0.65,
+            write_ratio,
+            bandwidth_gbps: 21.5,
+            b_rr: 113.0,
+            b_sc: 83.0,
+            b_lin: 183.0,
+        }
+    }
+
+    /// Validates the parameters (all ratios within bounds, sizes positive).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err("the deployment needs at least one node".into());
+        }
+        if !(0.0..=1.0).contains(&self.hit_ratio) {
+            return Err(format!("hit ratio {} outside [0,1]", self.hit_ratio));
+        }
+        if !(0.0..=1.0).contains(&self.write_ratio) {
+            return Err(format!("write ratio {} outside [0,1]", self.write_ratio));
+        }
+        if self.bandwidth_gbps <= 0.0 || self.b_rr <= 0.0 || self.b_sc <= 0.0 || self.b_lin <= 0.0 {
+            return Err("bandwidth and message sizes must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_parameters_validate() {
+        assert!(ModelParams::paper_small_objects(9, 0.01).validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let mut p = ModelParams::paper_small_objects(9, 0.01);
+        p.nodes = 0;
+        assert!(p.validate().is_err());
+        let mut p = ModelParams::paper_small_objects(9, 0.01);
+        p.hit_ratio = 1.5;
+        assert!(p.validate().is_err());
+        let mut p = ModelParams::paper_small_objects(9, 0.01);
+        p.write_ratio = -0.1;
+        assert!(p.validate().is_err());
+        let mut p = ModelParams::paper_small_objects(9, 0.01);
+        p.b_sc = 0.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(SystemKind::CcKvsSc.label(), "ccKVS-SC");
+        assert_eq!(SystemKind::CcKvsLin.label(), "ccKVS-Lin");
+        assert_eq!(SystemKind::Uniform.label(), "Uniform");
+    }
+}

@@ -1,0 +1,116 @@
+//! Criterion microbenchmarks of the core building blocks.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use consistency::lamport::NodeId;
+use consistency::lin::LinKeyState;
+use consistency::messages::{ConsistencyModel, Event};
+use consistency::sc::ScKeyState;
+use kvstore::{ConcurrencyModel, NodeKvs, SeqLock};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use symcache::{SpaceSaving, SymmetricCache};
+use workload::ZipfGenerator;
+
+fn bench_seqlock(c: &mut Criterion) {
+    let lock = SeqLock::with_capacity(64);
+    lock.write(&[7u8; 40]);
+    c.bench_function("seqlock/read_40B", |b| b.iter(|| black_box(lock.read())));
+    c.bench_function("seqlock/write_40B", |b| {
+        b.iter(|| lock.write(black_box(&[3u8; 40])))
+    });
+}
+
+fn bench_kvs(c: &mut Criterion) {
+    let kvs = NodeKvs::new(ConcurrencyModel::Crcw, 8, 1 << 16);
+    for k in 0..10_000u64 {
+        kvs.put(k, &k.to_le_bytes(), 1).unwrap();
+    }
+    c.bench_function("kvs/get_hit", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % 10_000;
+            black_box(kvs.get(black_box(k)))
+        })
+    });
+    c.bench_function("kvs/put_overwrite", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % 10_000;
+            kvs.put(black_box(k), &k.to_le_bytes(), 2).unwrap()
+        })
+    });
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    let zipf = ZipfGenerator::new(1_000_000, 0.99);
+    let mut rng = StdRng::seed_from_u64(1);
+    c.bench_function("workload/zipf_sample", |b| {
+        b.iter(|| black_box(zipf.sample(&mut rng)))
+    });
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let zipf = ZipfGenerator::new(100_000, 0.99);
+    let mut rng = StdRng::seed_from_u64(2);
+    c.bench_function("symcache/space_saving_observe", |b| {
+        let mut ss = SpaceSaving::new(1_000);
+        b.iter(|| ss.observe(zipf.sample(&mut rng)))
+    });
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    c.bench_function("protocol/sc_local_write", |b| {
+        let mut st = ScKeyState::default();
+        b.iter(|| black_box(st.step(NodeId(1), Event::ClientPut { value: 7 })))
+    });
+    c.bench_function("protocol/lin_local_write_and_acks", |b| {
+        b.iter(|| {
+            let mut st = LinKeyState::default();
+            let _ = st.step(NodeId(0), 9, Event::ClientPut { value: 7 });
+            for peer in 1..9u8 {
+                let ts = st.pending.map(|p| p.ts).unwrap_or_default();
+                let _ = st.step(
+                    NodeId(0),
+                    9,
+                    Event::RecvAck {
+                        from: NodeId(peer),
+                        ts,
+                    },
+                );
+            }
+            black_box(st.readable())
+        })
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let cache = SymmetricCache::new(ConsistencyModel::Sc, NodeId(0), 9, 4096, 64);
+    for k in 0..1_000u64 {
+        cache.fill(k, &[1u8; 40], 0);
+    }
+    c.bench_function("symcache/read_hit", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % 1_000;
+            black_box(cache.read(black_box(k)))
+        })
+    });
+    c.bench_function("symcache/write_hit_sc", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % 1_000;
+            black_box(cache.write(black_box(k), &[2u8; 40], k))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_seqlock,
+    bench_kvs,
+    bench_zipf,
+    bench_topk,
+    bench_protocols,
+    bench_cache
+);
+criterion_main!(benches);

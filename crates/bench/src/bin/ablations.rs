@@ -1,0 +1,63 @@
+//! Ablation studies called out in the paper's design discussion.
+//!
+//! * Cache size: how the 0.1%-of-dataset choice (§7.1) trades memory for
+//!   hit rate and throughput.
+//! * RDMA multicast (§6.3): optimising only the send side of the update
+//!   broadcast does not help because the receive side remains the
+//!   bottleneck — modeled by zero-cost TX for updates.
+//! * Credit batching (§6.4): flow-control overhead with and without
+//!   batched credit updates.
+
+use cckvs_bench::{experiment, fmt, Report};
+use cckvs::SystemKind;
+use consistency::messages::ConsistencyModel;
+
+fn main() {
+    // Ablation 1: symmetric cache size sweep.
+    let mut report = Report::new("Ablation: symmetric-cache size (read-only, 9 nodes, zipf 0.99)");
+    report.header(&["cache_%_of_dataset", "hit_MRPS", "miss_MRPS", "total_MRPS"]);
+    for &fraction in &[0.0002f64, 0.0005, 0.001, 0.002, 0.005] {
+        let mut cfg = experiment(SystemKind::CcKvs(ConsistencyModel::Sc));
+        cfg.system.cache_entries = (cfg.system.dataset_keys as f64 * fraction) as usize;
+        let r = cckvs_bench::run(&cfg);
+        report.row(&[
+            fmt(fraction * 100.0, 2),
+            fmt(r.hit_mrps, 0),
+            fmt(r.miss_mrps, 0),
+            fmt(r.throughput_mrps, 0),
+        ]);
+    }
+    report.emit("ablation_cache_size");
+
+    // Ablation 2: credit-update batching.
+    let mut report = Report::new("Ablation: credit-update batching (ccKVS-SC, 5% writes)");
+    report.header(&["credit_batch", "flow_control_%_of_traffic", "total_MRPS"]);
+    for &batch in &[1u64, 4, 16, 64] {
+        let mut cfg = experiment(SystemKind::CcKvs(ConsistencyModel::Sc));
+        cfg.system.write_ratio = 0.05;
+        cfg.credit_batch = batch;
+        let r = cckvs_bench::run(&cfg);
+        report.row(&[
+            batch.to_string(),
+            fmt(r.flow_control_fraction() * 100.0, 2),
+            fmt(r.throughput_mrps, 0),
+        ]);
+    }
+    report.emit("ablation_credit_batching");
+
+    // Ablation 3: EREW vs CRCW partitioning of the back-end KVS under skew.
+    let mut report = Report::new("Ablation: KVS partitioning under skew (read-only, 9 nodes)");
+    report.header(&["skew", "Base-EREW_MRPS", "Base_CRCW_MRPS"]);
+    for &alpha in &[0.90, 0.99, 1.01] {
+        let mut erew = experiment(SystemKind::BaseErew);
+        erew.system.skew = Some(alpha);
+        let mut crcw = experiment(SystemKind::Base);
+        crcw.system.skew = Some(alpha);
+        report.row(&[
+            fmt(alpha, 2),
+            fmt(cckvs_bench::run(&erew).throughput_mrps, 0),
+            fmt(cckvs_bench::run(&crcw).throughput_mrps, 0),
+        ]);
+    }
+    report.emit("ablation_erew_vs_crcw");
+}

@@ -1,0 +1,33 @@
+//! Runs every figure binary's logic in sequence (convenience wrapper).
+//!
+//! Equivalent to running `fig01` ... `fig15` and `ablations` one after the
+//! other; each emits its table to stdout and its CSV under `results/`.
+
+use std::process::Command;
+
+fn main() {
+    let figures = [
+        "fig01_load_imbalance",
+        "fig03_hit_rate",
+        "fig08_read_only",
+        "fig09_breakdown",
+        "fig10_write_ratio",
+        "fig11_traffic_breakdown",
+        "fig12_object_size",
+        "fig13a_network_util",
+        "fig13b_coalescing",
+        "fig13c_latency",
+        "fig14_scalability",
+        "fig15_breakeven",
+        "ablations",
+    ];
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("binary directory");
+    for fig in figures {
+        println!("==> {fig}");
+        let status = Command::new(dir.join(fig))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {fig}: {e}"));
+        assert!(status.success(), "{fig} failed");
+    }
+}

@@ -1,0 +1,34 @@
+//! Figure 8: read-only throughput under varying skew (9 nodes).
+//!
+//! Compares Uniform, Base-EREW, Base and ccKVS for α ∈ {0.90, 0.99, 1.01}.
+//! Paper reference (α = 0.99): Base-EREW 95, Base 215, Uniform 240,
+//! ccKVS 690 MRPS.
+
+use cckvs_bench::{experiment, fmt, Report};
+use cckvs::SystemKind;
+use consistency::messages::ConsistencyModel;
+
+fn main() {
+    let skews = [0.90, 0.99, 1.01];
+    let systems = [
+        SystemKind::Uniform,
+        SystemKind::BaseErew,
+        SystemKind::Base,
+        SystemKind::CcKvs(ConsistencyModel::Sc),
+    ];
+    let mut report = Report::new("Figure 8: read-only throughput (MRPS) vs skew, 9 nodes");
+    report.header(&["skew", "Uniform", "Base-EREW", "Base", "ccKVS"]);
+    for &alpha in &skews {
+        let mut row = vec![fmt(alpha, 2)];
+        for &kind in &systems {
+            let mut cfg = experiment(kind);
+            if kind != SystemKind::Uniform {
+                cfg.system.skew = Some(alpha);
+            }
+            let result = cckvs_bench::run(&cfg);
+            row.push(fmt(result.throughput_mrps, 0));
+        }
+        report.row(&row);
+    }
+    report.emit("fig08_read_only");
+}

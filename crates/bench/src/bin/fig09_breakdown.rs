@@ -1,0 +1,29 @@
+//! Figure 9: break-down of completed ccKVS requests (cache hits vs misses)
+//! for a read-only workload under varying skew, next to the Uniform bound.
+//!
+//! The paper's observation: the cache-miss throughput of ccKVS equals the
+//! entire throughput of Uniform (both network-bound), while cache-hit
+//! throughput grows with the hit rate.
+
+use cckvs_bench::{experiment, fmt, Report};
+use cckvs::SystemKind;
+use consistency::messages::ConsistencyModel;
+
+fn main() {
+    let mut report = Report::new("Figure 9: ccKVS completed-request breakdown vs skew (MRPS), 9 nodes");
+    report.header(&["skew", "cache_hits", "cache_misses", "total", "Uniform"]);
+    let uniform = cckvs_bench::run(&experiment(SystemKind::Uniform));
+    for &alpha in &[0.90, 0.99, 1.01] {
+        let mut cfg = experiment(SystemKind::CcKvs(ConsistencyModel::Sc));
+        cfg.system.skew = Some(alpha);
+        let r = cckvs_bench::run(&cfg);
+        report.row(&[
+            fmt(alpha, 2),
+            fmt(r.hit_mrps, 0),
+            fmt(r.miss_mrps, 0),
+            fmt(r.throughput_mrps, 0),
+            fmt(uniform.throughput_mrps, 0),
+        ]);
+    }
+    report.emit("fig09_breakdown");
+}

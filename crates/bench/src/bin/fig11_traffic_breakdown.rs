@@ -1,0 +1,39 @@
+//! Figure 11: network-traffic breakdown for ccKVS-SC and ccKVS-Lin at
+//! 1% and 5% writes (9 nodes, α = 0.99).
+//!
+//! Paper reference: consistency actions claim a growing share of bandwidth
+//! as the write ratio rises; thanks to credit batching, flow control is
+//! negligible.
+
+use cckvs_bench::{experiment, fmt, Report};
+use cckvs::SystemKind;
+use consistency::messages::ConsistencyModel;
+use simnet::TrafficClass;
+
+fn main() {
+    let mut report = Report::new("Figure 11: % of network traffic by class, 9 nodes, zipf 0.99");
+    report.header(&[
+        "system", "write_%", "cache_misses", "updates", "invalidates", "acks", "flow_control",
+    ]);
+    for &w in &[0.01, 0.05] {
+        for model in [ConsistencyModel::Sc, ConsistencyModel::Lin] {
+            let mut cfg = experiment(SystemKind::CcKvs(model));
+            cfg.system.write_ratio = w;
+            let r = cckvs_bench::run(&cfg);
+            let pct = |class: TrafficClass| {
+                fmt(r.traffic_fraction.get(&class).copied().unwrap_or(0.0) * 100.0, 1)
+            };
+            let misses = (r.miss_traffic_fraction() * 100.0).round();
+            report.row(&[
+                model.label().to_string(),
+                fmt(w * 100.0, 0),
+                fmt(misses, 1),
+                pct(TrafficClass::Update),
+                pct(TrafficClass::Invalidation),
+                pct(TrafficClass::Ack),
+                pct(TrafficClass::CreditUpdate),
+            ]);
+        }
+    }
+    report.emit("fig11_traffic_breakdown");
+}

@@ -1,0 +1,31 @@
+//! Figure 12: sensitivity to object size (40 B / 256 B / 1 KB) for read-only
+//! and 1%-write workloads (9 nodes, α = 0.99), without request coalescing.
+//!
+//! Paper reference: ccKVS keeps a >3x lead over Base for larger objects; the
+//! gap between SC and Lin narrows as data payloads dominate the bandwidth.
+
+use cckvs_bench::{experiment, fmt, Report};
+use cckvs::SystemKind;
+use consistency::messages::ConsistencyModel;
+
+fn main() {
+    let mut report = Report::new("Figure 12: throughput (MRPS) vs object size, 9 nodes, zipf 0.99");
+    report.header(&["write_%", "object_B", "Base", "ccKVS-Lin", "ccKVS-SC"]);
+    for &w in &[0.0, 0.01] {
+        for &size in &[40usize, 256, 1024] {
+            let mut row = vec![fmt(w * 100.0, 0), size.to_string()];
+            for kind in [
+                SystemKind::Base,
+                SystemKind::CcKvs(ConsistencyModel::Lin),
+                SystemKind::CcKvs(ConsistencyModel::Sc),
+            ] {
+                let mut cfg = experiment(kind);
+                cfg.system.write_ratio = w;
+                cfg.system.value_size = size;
+                row.push(fmt(cckvs_bench::run(&cfg).throughput_mrps, 0));
+            }
+            report.row(&row);
+        }
+    }
+    report.emit("fig12_object_size");
+}

@@ -1,0 +1,34 @@
+//! Figure 13a: per-node network utilisation of a read-only ccKVS workload
+//! with and without request coalescing, per object size.
+//!
+//! Paper reference: without coalescing, small objects leave the link
+//! under-utilised (the switch packet rate is the bottleneck); coalescing
+//! shifts the bottleneck back to network bandwidth.
+
+use cckvs_bench::{experiment, fmt, Report};
+use cckvs::SystemKind;
+use consistency::messages::ConsistencyModel;
+use simnet::FabricConfig;
+
+fn main() {
+    let mut report = Report::new(
+        "Figure 13a: per-node network utilisation (Gbits/s), read-only ccKVS, 9 nodes",
+    );
+    report.header(&["object_B", "no_coalescing", "with_coalescing", "link_limit"]);
+    let link = FabricConfig::paper_rack(9).link_gbps;
+    for &size in &[40usize, 256, 1024] {
+        let mut plain = experiment(SystemKind::CcKvs(ConsistencyModel::Sc));
+        plain.system.value_size = size;
+        let mut coalesced = plain.with_coalescing(8);
+        coalesced.system.value_size = size;
+        let p = cckvs_bench::run(&plain);
+        let c = cckvs_bench::run(&coalesced);
+        report.row(&[
+            size.to_string(),
+            fmt(p.per_node_gbps, 1),
+            fmt(c.per_node_gbps, 1),
+            fmt(link, 1),
+        ]);
+    }
+    report.emit("fig13a_network_util");
+}

@@ -1,0 +1,34 @@
+//! Figure 13b: performance impact of request coalescing for read-only and
+//! 1%-write workloads while varying object size (9 nodes, α = 0.99).
+//!
+//! Paper reference: with coalescing, Base reaches ~950 MRPS and ccKVS
+//! exceeds 2 BRPS for 40-byte objects; the benefit fades for large objects
+//! that are already bandwidth-bound.
+
+use cckvs_bench::{experiment, fmt, Report};
+use cckvs::SystemKind;
+use consistency::messages::ConsistencyModel;
+
+fn main() {
+    let mut report = Report::new(
+        "Figure 13b: throughput (MRPS) with request coalescing, 9 nodes, zipf 0.99",
+    );
+    report.header(&["write_%", "object_B", "Base", "ccKVS-Lin", "ccKVS-SC"]);
+    for &w in &[0.0, 0.01] {
+        for &size in &[40usize, 256, 1024] {
+            let mut row = vec![fmt(w * 100.0, 0), size.to_string()];
+            for kind in [
+                SystemKind::Base,
+                SystemKind::CcKvs(ConsistencyModel::Lin),
+                SystemKind::CcKvs(ConsistencyModel::Sc),
+            ] {
+                let mut cfg = experiment(kind).with_coalescing(8);
+                cfg.system.write_ratio = w;
+                cfg.system.value_size = size;
+                row.push(fmt(cckvs_bench::run(&cfg).throughput_mrps, 0));
+            }
+            report.row(&row);
+        }
+    }
+    report.emit("fig13b_coalescing");
+}

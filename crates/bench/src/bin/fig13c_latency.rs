@@ -1,0 +1,37 @@
+//! Figure 13c: average and 95th-percentile latency at various load levels
+//! for read-only ccKVS and 1%-write ccKVS-SC / ccKVS-Lin (coalescing on).
+//!
+//! Paper reference: even at high load the tail stays an order of magnitude
+//! below the 1 ms KVS service target; Lin's 95th percentile rises above its
+//! average at saturation because writes block on invalidation round-trips.
+
+use cckvs_bench::{experiment, fmt, Report};
+use cckvs::SystemKind;
+use consistency::messages::ConsistencyModel;
+
+fn main() {
+    let mut report = Report::new(
+        "Figure 13c: latency (us) vs achieved load (MRPS), 40B objects, coalescing, 9 nodes",
+    );
+    report.header(&["system", "inflight/node", "MRPS", "avg_us", "p95_us"]);
+    let configs: [(&str, SystemKind, f64); 3] = [
+        ("ccKVS read-only", SystemKind::CcKvs(ConsistencyModel::Sc), 0.0),
+        ("ccKVS-SC 1% writes", SystemKind::CcKvs(ConsistencyModel::Sc), 0.01),
+        ("ccKVS-Lin 1% writes", SystemKind::CcKvs(ConsistencyModel::Lin), 0.01),
+    ];
+    for (label, kind, w) in configs {
+        for &inflight in &[64usize, 256, 1024, 4096] {
+            let mut cfg = experiment(kind).with_coalescing(8).with_inflight(inflight);
+            cfg.system.write_ratio = w;
+            let r = cckvs_bench::run(&cfg);
+            report.row(&[
+                label.to_string(),
+                inflight.to_string(),
+                fmt(r.throughput_mrps, 0),
+                fmt(r.avg_latency_us, 1),
+                fmt(r.p95_latency_us, 1),
+            ]);
+        }
+    }
+    report.emit("fig13c_latency");
+}

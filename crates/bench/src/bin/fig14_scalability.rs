@@ -1,0 +1,49 @@
+//! Figure 14: scalability study — analytical model for 5-40 servers plus
+//! simulator validation up to 9 servers (1% writes, α = 0.99).
+//!
+//! Paper reference: Uniform scales nearly linearly; ccKVS-SC and ccKVS-Lin
+//! scale sublinearly because consistency traffic grows with the node count,
+//! with Lin below SC.
+
+use analytical::{throughput_lin_mrps, throughput_sc_mrps, throughput_uniform_mrps, ModelParams};
+use cckvs_bench::{experiment, fmt, Report};
+use cckvs::SystemKind;
+use consistency::messages::ConsistencyModel;
+
+fn main() {
+    let mut report = Report::new("Figure 14: throughput (MRPS) vs number of servers, 1% writes");
+    report.header(&[
+        "servers",
+        "SC_model",
+        "Lin_model",
+        "Uniform_model",
+        "SC_sim",
+        "Lin_sim",
+        "Uniform_sim",
+    ]);
+    for servers in (5..=40).step_by(5).chain(std::iter::once(9)) {
+        let p = ModelParams::paper_small_objects(servers, 0.01);
+        let mut row = vec![
+            servers.to_string(),
+            fmt(throughput_sc_mrps(&p), 0),
+            fmt(throughput_lin_mrps(&p), 0),
+            fmt(throughput_uniform_mrps(&p), 0),
+        ];
+        if servers <= 9 {
+            for kind in [
+                SystemKind::CcKvs(ConsistencyModel::Sc),
+                SystemKind::CcKvs(ConsistencyModel::Lin),
+                SystemKind::Uniform,
+            ] {
+                let mut cfg = experiment(kind);
+                cfg.system.nodes = servers;
+                cfg.system.write_ratio = 0.01;
+                row.push(fmt(cckvs_bench::run(&cfg).throughput_mrps, 0));
+            }
+        } else {
+            row.extend(["-".to_string(), "-".to_string(), "-".to_string()]);
+        }
+        report.row(&row);
+    }
+    report.emit("fig14_scalability");
+}

@@ -1,0 +1,57 @@
+//! Figure 15: break-even write ratio — the write ratio at which ccKVS yields
+//! the same throughput as the Uniform baseline, as a function of the number
+//! of servers (model for 5-40 servers, simulator validation up to 9).
+//!
+//! Paper reference: ~8% for ccKVS-SC at 20 servers, ~4% (SC) and ~1.7% (Lin)
+//! at 40 servers; the measured system sustains slightly higher ratios than
+//! the model predicts.
+
+use analytical::{breakeven_write_ratio_lin, breakeven_write_ratio_sc, ModelParams};
+use cckvs_bench::{experiment, fmt, Report};
+use cckvs::SystemKind;
+use consistency::messages::ConsistencyModel;
+
+/// Finds the simulated break-even write ratio by bisection on the write
+/// ratio until ccKVS and Uniform throughput match within 2%.
+fn simulated_breakeven(model: ConsistencyModel, servers: usize) -> f64 {
+    let uniform = {
+        let mut cfg = experiment(SystemKind::Uniform);
+        cfg.system.nodes = servers;
+        cckvs_bench::run(&cfg).throughput_mrps
+    };
+    let (mut lo, mut hi) = (0.0f64, 0.4f64);
+    for _ in 0..7 {
+        let mid = (lo + hi) / 2.0;
+        let mut cfg = experiment(SystemKind::CcKvs(model));
+        cfg.system.nodes = servers;
+        cfg.system.write_ratio = mid;
+        let t = cckvs_bench::run(&cfg).throughput_mrps;
+        if t > uniform {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    (lo + hi) / 2.0
+}
+
+fn main() {
+    let mut report = Report::new("Figure 15: break-even write ratio (%) vs number of servers");
+    report.header(&["servers", "SC_model", "Lin_model", "SC_sim", "Lin_sim"]);
+    for servers in [5usize, 9, 10, 15, 20, 25, 30, 35, 40] {
+        let p = ModelParams::paper_small_objects(servers, 0.0);
+        let mut row = vec![
+            servers.to_string(),
+            fmt(breakeven_write_ratio_sc(&p) * 100.0, 1),
+            fmt(breakeven_write_ratio_lin(&p) * 100.0, 1),
+        ];
+        if servers <= 9 {
+            row.push(fmt(simulated_breakeven(ConsistencyModel::Sc, servers) * 100.0, 1));
+            row.push(fmt(simulated_breakeven(ConsistencyModel::Lin, servers) * 100.0, 1));
+        } else {
+            row.extend(["-".to_string(), "-".to_string()]);
+        }
+        report.row(&row);
+    }
+    report.emit("fig15_breakeven");
+}

@@ -1,0 +1,632 @@
+//! Explicit-state model checking of the protocols (§5.2, "Verification").
+//!
+//! The paper expresses the Lin protocol in the Murφ model checker and
+//! verifies it "for safety and the absence of deadlocks", with two safety
+//! invariants: the single-writer-multiple-reader (SWMR) invariant and the
+//! data-value invariant, on a configuration of three processors, two
+//! addresses and two-bit timestamps.
+//!
+//! This module reproduces that methodology natively: a breadth-first search
+//! over the joint state of all replicas plus the multiset of in-flight
+//! messages, exploring *every* interleaving of write issuance and message
+//! delivery for a bounded configuration, and checking on every reachable
+//! state:
+//!
+//! * **Timestamp uniqueness** — no two writes ever carry the same Lamport
+//!   timestamp (the write-serialisation invariant of §5.2).
+//! * **Value binding** — any replica whose timestamp is non-zero stores
+//!   exactly the value written by the put that produced that timestamp
+//!   (no mishmash values).
+//! * **SWMR / data-value (Lin only)** — a *readable* replica never holds a
+//!   value older than the newest completed write: reading cannot return a
+//!   stale value once a put has returned. (Per-key SC deliberately permits
+//!   this, so the invariant is only enforced for Lin.)
+//! * **Deadlock freedom and convergence** — in every terminal state (all
+//!   writes issued, no messages in flight) every put has completed and all
+//!   replicas are readable and agree on the value of the newest write.
+//!
+//! Because keys are completely independent in the per-key protocols, a
+//! single-key configuration exercises every protocol interaction; the
+//! checker nevertheless supports verifying multiple writers and writes.
+//! Deliberately broken protocol variants can be injected to demonstrate that
+//! the invariants are discriminating (see [`InjectedBug`]).
+
+use crate::lamport::{NodeId, Timestamp};
+use crate::lin::{LinKeyState, LinStatus};
+use crate::messages::{Action, ConsistencyModel, Event, ProtocolMsg, Value};
+use crate::sc::ScKeyState;
+use std::collections::{HashSet, VecDeque};
+
+/// A deliberately broken protocol variant, used to show the checker finds
+/// real violations (negative testing of the verification itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedBug {
+    /// Lin writers complete and broadcast the update immediately, without
+    /// waiting for invalidation acknowledgements (i.e. they behave like SC
+    /// while claiming linearizability).
+    SkipAckWait,
+    /// Replicas apply every received update regardless of its timestamp,
+    /// breaking write serialisation.
+    IgnoreTimestampsOnUpdate,
+}
+
+/// Bounded configuration to verify.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckerConfig {
+    /// The protocol to check.
+    pub model: ConsistencyModel,
+    /// Number of cache replicas (the paper verifies with three).
+    pub nodes: usize,
+    /// How many of the replicas issue writes (the rest only react).
+    pub writers: usize,
+    /// Writes issued per writer.
+    pub writes_per_writer: usize,
+    /// Optional protocol mutation for negative testing.
+    pub bug: Option<InjectedBug>,
+}
+
+impl CheckerConfig {
+    /// The paper-like default configuration: 3 replicas, 2 concurrent
+    /// writers, 1 write each, per-key Lin.
+    pub fn paper_default(model: ConsistencyModel) -> Self {
+        Self {
+            model,
+            nodes: 3,
+            writers: 2,
+            writes_per_writer: 1,
+            bug: None,
+        }
+    }
+}
+
+/// Statistics of a completed verification run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CheckStats {
+    /// Distinct reachable states explored.
+    pub states: usize,
+    /// Transitions taken (including those leading to already-visited states).
+    pub transitions: usize,
+    /// Terminal (quiescent) states found.
+    pub terminal_states: usize,
+}
+
+/// Outcome of a verification run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckOutcome {
+    /// All reachable states satisfy the invariants.
+    Verified(CheckStats),
+    /// A violation was found.
+    Violation {
+        /// Statistics up to the point of failure.
+        stats: CheckStats,
+        /// Description of the violated invariant.
+        description: String,
+    },
+}
+
+impl CheckOutcome {
+    /// Whether the run verified successfully.
+    pub fn is_verified(&self) -> bool {
+        matches!(self, CheckOutcome::Verified(_))
+    }
+}
+
+/// Per-replica protocol state (one key).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum ReplicaState {
+    Sc(ScKeyState),
+    Lin(LinKeyState),
+}
+
+impl ReplicaState {
+    fn new(model: ConsistencyModel) -> Self {
+        match model {
+            ConsistencyModel::Sc => ReplicaState::Sc(ScKeyState::default()),
+            ConsistencyModel::Lin => ReplicaState::Lin(LinKeyState::default()),
+        }
+    }
+
+    fn value(&self) -> Value {
+        match self {
+            ReplicaState::Sc(s) => s.value,
+            ReplicaState::Lin(s) => s.value,
+        }
+    }
+
+    fn ts(&self) -> Timestamp {
+        match self {
+            ReplicaState::Sc(s) => s.ts,
+            ReplicaState::Lin(s) => s.ts,
+        }
+    }
+
+    fn readable(&self) -> bool {
+        match self {
+            ReplicaState::Sc(s) => s.readable(),
+            ReplicaState::Lin(s) => s.readable(),
+        }
+    }
+
+    fn has_pending(&self) -> bool {
+        match self {
+            ReplicaState::Sc(_) => false,
+            ReplicaState::Lin(s) => s.pending.is_some(),
+        }
+    }
+
+    fn step(&mut self, me: NodeId, replicas: usize, event: Event) -> Vec<Action> {
+        match self {
+            ReplicaState::Sc(s) => s.step(me, event),
+            ReplicaState::Lin(s) => s.step(me, replicas, event),
+        }
+    }
+}
+
+/// The joint state explored by the checker.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct GlobalState {
+    replicas: Vec<ReplicaState>,
+    /// In-flight messages as (destination, message), kept sorted so that
+    /// permutations of the same multiset hash identically.
+    network: Vec<(u8, ProtocolMsg)>,
+    /// Writes issued so far per writer node.
+    issued: Vec<u8>,
+    /// All writes issued, as (value, timestamp), sorted.
+    all_writes: Vec<(Value, Timestamp)>,
+    /// Writes whose put has completed, sorted.
+    completed: Vec<(Value, Timestamp)>,
+}
+
+impl GlobalState {
+    fn initial(config: &CheckerConfig) -> Self {
+        Self {
+            replicas: (0..config.nodes).map(|_| ReplicaState::new(config.model)).collect(),
+            network: Vec::new(),
+            issued: vec![0; config.nodes],
+            all_writes: Vec::new(),
+            completed: Vec::new(),
+        }
+    }
+
+    fn canonicalize(&mut self) {
+        self.network.sort();
+        self.all_writes.sort();
+        self.completed.sort();
+    }
+}
+
+const KEY: u64 = 1;
+
+/// Runs the exhaustive state-space exploration for the given configuration.
+pub fn check(config: &CheckerConfig) -> CheckOutcome {
+    assert!(config.nodes >= 1 && config.writers <= config.nodes);
+    let mut stats = CheckStats::default();
+    let mut visited: HashSet<GlobalState> = HashSet::new();
+    let mut frontier: VecDeque<GlobalState> = VecDeque::new();
+
+    let initial = GlobalState::initial(config);
+    visited.insert(initial.clone());
+    frontier.push_back(initial);
+    stats.states = 1;
+
+    while let Some(state) = frontier.pop_front() {
+        let successors = expand(config, &state, &mut stats);
+        let successors = match successors {
+            Ok(s) => s,
+            Err(description) => {
+                return CheckOutcome::Violation {
+                    stats,
+                    description,
+                }
+            }
+        };
+        if successors.is_empty() {
+            // Terminal state: check deadlock freedom and convergence.
+            stats.terminal_states += 1;
+            if let Err(description) = check_terminal(config, &state) {
+                return CheckOutcome::Violation {
+                    stats,
+                    description,
+                };
+            }
+            continue;
+        }
+        for succ in successors {
+            if let Err(description) = check_safety(config, &succ) {
+                return CheckOutcome::Violation {
+                    stats,
+                    description,
+                };
+            }
+            if visited.insert(succ.clone()) {
+                stats.states += 1;
+                frontier.push_back(succ);
+            }
+        }
+    }
+    CheckOutcome::Verified(stats)
+}
+
+/// Generates every successor of `state` (write issuance + message delivery).
+fn expand(
+    config: &CheckerConfig,
+    state: &GlobalState,
+    stats: &mut CheckStats,
+) -> Result<Vec<GlobalState>, String> {
+    let mut successors = Vec::new();
+
+    // Transition class 1: a writer issues its next put.
+    for writer in 0..config.writers {
+        if usize::from(state.issued[writer]) >= config.writes_per_writer {
+            continue;
+        }
+        let mut next = state.clone();
+        let value = ((writer as u64) + 1) * 100 + u64::from(state.issued[writer]);
+        let actions = next.replicas[writer].step(
+            NodeId(writer as u8),
+            config.nodes,
+            Event::ClientPut { value },
+        );
+        if actions.contains(&Action::PutStall) {
+            // Not enabled right now (previous local write still pending).
+            continue;
+        }
+        next.issued[writer] += 1;
+        let ts = write_timestamp(&actions).ok_or_else(|| {
+            format!("writer {writer} issued a put but no timestamp was assigned")
+        })?;
+        next.all_writes.push((value, ts));
+        apply_actions(config, &mut next, writer, value, &actions);
+        if config.bug == Some(InjectedBug::SkipAckWait) {
+            force_early_commit(config, &mut next, writer);
+        }
+        next.canonicalize();
+        stats.transitions += 1;
+        successors.push(next);
+    }
+
+    // Transition class 2: deliver any in-flight message.
+    for (idx, (dest, msg)) in state.network.iter().enumerate() {
+        let mut next = state.clone();
+        next.network.remove(idx);
+        let dest = *dest as usize;
+        let actions = if config.bug == Some(InjectedBug::IgnoreTimestampsOnUpdate) {
+            deliver_ignoring_timestamps(&mut next.replicas[dest], config, dest, msg)
+        } else {
+            next.replicas[dest].step(NodeId(dest as u8), config.nodes, msg.to_event())
+        };
+        let pending_value = pending_value_of(&next.replicas[dest]);
+        apply_actions(config, &mut next, dest, pending_value, &actions);
+        next.canonicalize();
+        stats.transitions += 1;
+        successors.push(next);
+    }
+
+    Ok(successors)
+}
+
+/// Extracts the timestamp a put was assigned from its output actions.
+fn write_timestamp(actions: &[Action]) -> Option<Timestamp> {
+    actions.iter().find_map(|a| match a {
+        Action::BroadcastInvalidations { ts }
+        | Action::BroadcastUpdates { ts, .. }
+        | Action::PutComplete { ts } => Some(*ts),
+        _ => None,
+    })
+}
+
+/// The value of a replica's pending write, or its stored value.
+fn pending_value_of(replica: &ReplicaState) -> Value {
+    match replica {
+        ReplicaState::Lin(s) => s.pending.map(|p| p.value).unwrap_or(s.value),
+        ReplicaState::Sc(s) => s.value,
+    }
+}
+
+/// Folds protocol actions into the global state: queues outgoing messages and
+/// records completions.
+fn apply_actions(
+    config: &CheckerConfig,
+    state: &mut GlobalState,
+    actor: usize,
+    actor_value: Value,
+    actions: &[Action],
+) {
+    for action in actions {
+        match *action {
+            Action::BroadcastInvalidations { ts } => {
+                for dest in 0..config.nodes {
+                    if dest != actor {
+                        state.network.push((
+                            dest as u8,
+                            ProtocolMsg::Invalidation {
+                                key: KEY,
+                                ts,
+                                from: NodeId(actor as u8),
+                            },
+                        ));
+                    }
+                }
+            }
+            Action::BroadcastUpdates { value, ts } => {
+                for dest in 0..config.nodes {
+                    if dest != actor {
+                        state.network.push((
+                            dest as u8,
+                            ProtocolMsg::Update {
+                                key: KEY,
+                                value,
+                                ts,
+                                from: NodeId(actor as u8),
+                            },
+                        ));
+                    }
+                }
+            }
+            Action::SendAck { to, ts } => {
+                state.network.push((
+                    to.0,
+                    ProtocolMsg::Ack {
+                        key: KEY,
+                        ts,
+                        from: NodeId(actor as u8),
+                    },
+                ));
+            }
+            Action::PutComplete { ts } => {
+                // Find the value of the completed write among issued writes.
+                let value = state
+                    .all_writes
+                    .iter()
+                    .find(|(_, wts)| *wts == ts)
+                    .map(|(v, _)| *v)
+                    .unwrap_or(actor_value);
+                state.completed.push((value, ts));
+            }
+            Action::GetResponse { .. } | Action::GetStall | Action::PutStall => {}
+        }
+    }
+}
+
+/// Bug injection: commit a Lin write without waiting for acknowledgements.
+fn force_early_commit(config: &CheckerConfig, state: &mut GlobalState, writer: usize) {
+    if let ReplicaState::Lin(lin) = &mut state.replicas[writer] {
+        if let Some(pending) = lin.pending.take() {
+            lin.status = LinStatus::Valid;
+            state.completed.push((pending.value, pending.ts));
+            for dest in 0..config.nodes {
+                if dest != writer {
+                    state.network.push((
+                        dest as u8,
+                        ProtocolMsg::Update {
+                            key: KEY,
+                            value: pending.value,
+                            ts: pending.ts,
+                            from: NodeId(writer as u8),
+                        },
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Bug injection: apply every update regardless of timestamps.
+fn deliver_ignoring_timestamps(
+    replica: &mut ReplicaState,
+    config: &CheckerConfig,
+    me: usize,
+    msg: &ProtocolMsg,
+) -> Vec<Action> {
+    if let ProtocolMsg::Update { value, ts, .. } = *msg {
+        match replica {
+            ReplicaState::Sc(s) => {
+                s.value = value;
+                s.ts = ts;
+                Vec::new()
+            }
+            ReplicaState::Lin(s) => {
+                s.value = value;
+                s.ts = ts;
+                s.status = LinStatus::Valid;
+                Vec::new()
+            }
+        }
+    } else {
+        replica.step(NodeId(me as u8), config.nodes, msg.to_event())
+    }
+}
+
+/// Safety invariants checked on every reachable state.
+fn check_safety(config: &CheckerConfig, state: &GlobalState) -> Result<(), String> {
+    // Timestamp uniqueness across all issued writes.
+    for i in 0..state.all_writes.len() {
+        for j in (i + 1)..state.all_writes.len() {
+            if state.all_writes[i].1 == state.all_writes[j].1 {
+                return Err(format!(
+                    "timestamp collision: writes of values {} and {} both carry {}",
+                    state.all_writes[i].0, state.all_writes[j].0, state.all_writes[i].1
+                ));
+            }
+        }
+    }
+    // Value binding: a replica's (value, ts) pair must be a written pair.
+    for (i, replica) in state.replicas.iter().enumerate() {
+        if replica.ts() != Timestamp::ZERO {
+            let bound = state
+                .all_writes
+                .iter()
+                .any(|(v, ts)| *ts == replica.ts() && *v == replica.value());
+            if !bound {
+                return Err(format!(
+                    "replica {i} stores value {} at timestamp {} which no write produced",
+                    replica.value(),
+                    replica.ts()
+                ));
+            }
+        }
+    }
+    // SWMR / data-value invariant (Lin only): a readable replica is never
+    // older than the newest completed write.
+    if config.model == ConsistencyModel::Lin {
+        if let Some((_, max_completed)) = state.completed.iter().max_by_key(|(_, ts)| *ts) {
+            for (i, replica) in state.replicas.iter().enumerate() {
+                if replica.readable() && replica.ts() < *max_completed {
+                    return Err(format!(
+                        "linearizability violation: replica {i} is readable at timestamp {} \
+                         although a write with timestamp {} has completed",
+                        replica.ts(),
+                        max_completed
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Terminal-state conditions: deadlock freedom and convergence.
+fn check_terminal(config: &CheckerConfig, state: &GlobalState) -> Result<(), String> {
+    let expected_writes = config.writers * config.writes_per_writer;
+    if state.all_writes.len() != expected_writes {
+        return Err(format!(
+            "deadlock: only {} of {} writes could be issued",
+            state.all_writes.len(),
+            expected_writes
+        ));
+    }
+    if state.completed.len() != expected_writes {
+        return Err(format!(
+            "deadlock: only {} of {} issued writes completed (a writer is stuck \
+             waiting for acknowledgements)",
+            state.completed.len(),
+            expected_writes
+        ));
+    }
+    let newest = state
+        .all_writes
+        .iter()
+        .max_by_key(|(_, ts)| *ts)
+        .copied()
+        .expect("at least one write in a terminal state");
+    for (i, replica) in state.replicas.iter().enumerate() {
+        if replica.has_pending() {
+            return Err(format!("deadlock: replica {i} still has a pending write"));
+        }
+        if !replica.readable() {
+            return Err(format!(
+                "deadlock: replica {i} is still unreadable in a quiescent state"
+            ));
+        }
+        if replica.ts() != newest.1 || replica.value() != newest.0 {
+            return Err(format!(
+                "divergence: replica {i} converged to value {} at {} instead of the newest \
+                 write {} at {}",
+                replica.value(),
+                replica.ts(),
+                newest.0,
+                newest.1
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lin_paper_configuration_verifies() {
+        // 3 replicas, 2 concurrent writers, 1 write each — the interesting
+        // races (concurrent invalidations, cross acks, reordered updates) are
+        // all reachable in this configuration.
+        let outcome = check(&CheckerConfig::paper_default(ConsistencyModel::Lin));
+        match outcome {
+            CheckOutcome::Verified(stats) => {
+                assert!(stats.states > 100, "expected a non-trivial state space, got {stats:?}");
+                assert!(stats.terminal_states >= 1);
+            }
+            CheckOutcome::Violation { description, .. } => {
+                panic!("Lin protocol failed verification: {description}")
+            }
+        }
+    }
+
+    #[test]
+    fn sc_configuration_verifies() {
+        let config = CheckerConfig {
+            model: ConsistencyModel::Sc,
+            nodes: 3,
+            writers: 3,
+            writes_per_writer: 1,
+            bug: None,
+        };
+        let outcome = check(&config);
+        assert!(outcome.is_verified(), "SC protocol failed verification: {outcome:?}");
+    }
+
+    #[test]
+    fn sc_with_two_writes_per_writer_verifies() {
+        let config = CheckerConfig {
+            model: ConsistencyModel::Sc,
+            nodes: 2,
+            writers: 2,
+            writes_per_writer: 2,
+            bug: None,
+        };
+        assert!(check(&config).is_verified());
+    }
+
+    #[test]
+    fn lin_two_nodes_two_writes_each_verifies() {
+        let config = CheckerConfig {
+            model: ConsistencyModel::Lin,
+            nodes: 2,
+            writers: 2,
+            writes_per_writer: 2,
+            bug: None,
+        };
+        assert!(check(&config).is_verified());
+    }
+
+    #[test]
+    fn skipping_ack_wait_is_caught() {
+        // A Lin writer that completes before gathering acks violates the
+        // data-value invariant: some replica is still readable with the old
+        // value after the put returned.
+        let config = CheckerConfig {
+            bug: Some(InjectedBug::SkipAckWait),
+            ..CheckerConfig::paper_default(ConsistencyModel::Lin)
+        };
+        match check(&config) {
+            CheckOutcome::Violation { description, .. } => {
+                assert!(
+                    description.contains("linearizability violation"),
+                    "unexpected violation: {description}"
+                );
+            }
+            CheckOutcome::Verified(_) => panic!("the injected bug must be caught"),
+        }
+    }
+
+    #[test]
+    fn ignoring_timestamps_is_caught() {
+        // Applying updates without comparing timestamps breaks write
+        // serialisation; replicas diverge or regress.
+        let config = CheckerConfig {
+            bug: Some(InjectedBug::IgnoreTimestampsOnUpdate),
+            ..CheckerConfig::paper_default(ConsistencyModel::Lin)
+        };
+        assert!(!check(&config).is_verified());
+
+        let sc_config = CheckerConfig {
+            model: ConsistencyModel::Sc,
+            nodes: 2,
+            writers: 2,
+            writes_per_writer: 1,
+            bug: Some(InjectedBug::IgnoreTimestampsOnUpdate),
+        };
+        assert!(!check(&sc_config).is_verified());
+    }
+}

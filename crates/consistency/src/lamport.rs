@@ -1,0 +1,112 @@
+//! Lamport timestamps: the write-serialisation mechanism of both protocols.
+//!
+//! §5.2: "Each object in the symmetric cache is tagged with a Lamport logical
+//! clock, along with the session id of the last writer. (Together, the clock
+//! and session id are referred as Lamport timestamp.)" Because the (clock,
+//! writer) pair is unique per write, comparing timestamps yields a single
+//! global order of writes per key without any serialisation point — this is
+//! the invariant that makes the fully distributed protocols of Fig. 4c work.
+
+/// Identifier of a node (equivalently, of the cache-thread "session" that
+/// performs writes on that node). One byte, as in the paper's 8-byte header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct NodeId(pub u8);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A Lamport timestamp: logical clock plus writer id as the tie-breaker.
+///
+/// Ordering is lexicographic on `(clock, writer)`, which makes every
+/// timestamp produced by a correct writer unique and totally ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Timestamp {
+    /// The logical clock (4-byte version field of the object header).
+    pub clock: u32,
+    /// The id of the writer that produced this timestamp (tie-breaker).
+    pub writer: NodeId,
+}
+
+impl Timestamp {
+    /// The zero timestamp carried by never-written objects.
+    pub const ZERO: Timestamp = Timestamp {
+        clock: 0,
+        writer: NodeId(0),
+    };
+
+    /// Creates a timestamp.
+    pub fn new(clock: u32, writer: NodeId) -> Self {
+        Self { clock, writer }
+    }
+
+    /// The timestamp a writer assigns to a new write on top of `self`:
+    /// clock + 1, tagged with the writer's id.
+    pub fn next_for(self, writer: NodeId) -> Self {
+        Self {
+            clock: self.clock + 1,
+            writer,
+        }
+    }
+
+    /// Whether this timestamp strictly dominates `other` (newer write).
+    pub fn is_newer_than(self, other: Timestamp) -> bool {
+        self > other
+    }
+}
+
+impl std::fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.clock, self.writer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_clock_then_writer() {
+        let a = Timestamp::new(3, NodeId(0));
+        let b = Timestamp::new(3, NodeId(1));
+        let c = Timestamp::new(4, NodeId(0));
+        assert!(b > a, "same clock, larger writer id wins");
+        assert!(c > b, "larger clock always wins");
+        assert!(c.is_newer_than(a));
+        assert!(!a.is_newer_than(a));
+    }
+
+    #[test]
+    fn next_for_increments_clock_and_tags_writer() {
+        let ts = Timestamp::new(7, NodeId(2));
+        let next = ts.next_for(NodeId(5));
+        assert_eq!(next.clock, 8);
+        assert_eq!(next.writer, NodeId(5));
+        assert!(next > ts);
+    }
+
+    #[test]
+    fn timestamps_of_distinct_writers_never_collide() {
+        // The uniqueness invariant of §5.2: (clock, writer) identifies a
+        // write. Two writers bumping the same base clock produce different,
+        // ordered timestamps.
+        let base = Timestamp::new(10, NodeId(0));
+        let w1 = base.next_for(NodeId(1));
+        let w2 = base.next_for(NodeId(2));
+        assert_ne!(w1, w2);
+        assert!(w2 > w1);
+    }
+
+    #[test]
+    fn zero_is_minimal() {
+        assert!(Timestamp::new(0, NodeId(1)) > Timestamp::ZERO);
+        assert!(Timestamp::new(1, NodeId(0)) > Timestamp::ZERO);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Timestamp::new(4, NodeId(2)).to_string(), "(4, n2)");
+    }
+}

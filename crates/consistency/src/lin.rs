@@ -1,0 +1,362 @@
+//! Per-key Linearizability protocol (§5.2, "Lin Protocol").
+//!
+//! An adaptation of Guerraoui et al.'s high-throughput atomic storage
+//! algorithm. Writes are synchronous (blocking) and proceed in two phases:
+//!
+//! 1. The writer increments its Lamport clock, transitions the cached object
+//!    to the transient *Write* state and broadcasts **invalidations** that
+//!    carry the key and the new timestamp.
+//! 2. Every replica that receives an invalidation acknowledges it (and, if
+//!    the invalidation's timestamp is newer than anything it has seen,
+//!    transitions the object to *Invalid*). Once the writer has collected an
+//!    acknowledgement from every other replica it transitions back to
+//!    *Valid*, broadcasts the **update** with the new value, and the put
+//!    completes.
+//!
+//! A read that finds the object *Invalid* (or locally pending a write) cannot
+//! be served and must wait — this is what preserves real-time ordering.
+//!
+//! The state machine below has one stable state (*Valid*) and the transient
+//! situations *Invalid* (awaiting an update) and *Write* (a local put
+//! awaiting acknowledgements), which may overlap when writes race. The
+//! explicit-state model checker in [`crate::checker`] verifies the SWMR and
+//! data-value invariants and deadlock freedom over this exact code,
+//! reproducing the paper's Murφ verification.
+
+use crate::lamport::{NodeId, Timestamp};
+use crate::messages::{Action, Event, Value};
+
+/// Whether the locally stored value may be served to readers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinStatus {
+    /// The stored value is readable.
+    Valid,
+    /// The key has been invalidated by a concurrent writer; reads must wait
+    /// for the update carrying the awaited timestamp.
+    Invalid,
+}
+
+/// A local write awaiting acknowledgements (the transient *Write* state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PendingWrite {
+    /// Timestamp assigned to the write.
+    pub ts: Timestamp,
+    /// The value being written (broadcast once all acks arrive).
+    pub value: Value,
+    /// Acknowledgements received so far.
+    pub acks: u8,
+    /// Acknowledgements required (number of other replicas).
+    pub needed: u8,
+}
+
+/// Per-key replica state under the Lin protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinKeyState {
+    /// The stored value (authoritative only when readable).
+    pub value: Value,
+    /// Timestamp of the stored value.
+    pub ts: Timestamp,
+    /// Valid / Invalid status.
+    pub status: LinStatus,
+    /// When `status == Invalid`: the highest invalidation timestamp seen,
+    /// i.e. the write whose update we are waiting for. (The production
+    /// system stores this in the object-header version field; we keep it in
+    /// a dedicated field for clarity — the behaviour is identical.)
+    pub awaiting: Timestamp,
+    /// A local write awaiting acknowledgements, if any.
+    pub pending: Option<PendingWrite>,
+}
+
+impl Default for LinKeyState {
+    fn default() -> Self {
+        Self {
+            value: 0,
+            ts: Timestamp::ZERO,
+            status: LinStatus::Valid,
+            awaiting: Timestamp::ZERO,
+            pending: None,
+        }
+    }
+}
+
+impl LinKeyState {
+    /// Creates the initial state holding `value` at timestamp zero.
+    pub fn with_initial(value: Value) -> Self {
+        Self {
+            value,
+            ..Self::default()
+        }
+    }
+
+    /// Whether a read can be served right now.
+    pub fn readable(&self) -> bool {
+        self.status == LinStatus::Valid && self.pending.is_none()
+    }
+
+    /// The highest timestamp this replica knows about (stored or awaited).
+    fn highest_seen(&self) -> Timestamp {
+        match self.status {
+            LinStatus::Valid => self.ts,
+            LinStatus::Invalid => self.ts.max(self.awaiting),
+        }
+    }
+
+    /// Applies `event` on behalf of node `me` in a deployment with
+    /// `replicas` cache replicas in total, mutating the state and returning
+    /// the resulting actions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero.
+    pub fn step(&mut self, me: NodeId, replicas: usize, event: Event) -> Vec<Action> {
+        assert!(replicas >= 1, "a deployment has at least one replica");
+        let peers = (replicas - 1) as u8;
+        match event {
+            Event::ClientGet => {
+                if self.readable() {
+                    vec![Action::GetResponse {
+                        value: self.value,
+                        ts: self.ts,
+                    }]
+                } else {
+                    vec![Action::GetStall]
+                }
+            }
+            Event::ClientPut { value } => {
+                if self.pending.is_some() {
+                    // One outstanding write per key per node; the cache layer
+                    // retries (in the real system the seqlock's writer lock
+                    // provides the same serialisation).
+                    return vec![Action::PutStall];
+                }
+                let ts = self.highest_seen().next_for(me);
+                self.value = value;
+                self.ts = ts;
+                self.pending = Some(PendingWrite {
+                    ts,
+                    value,
+                    acks: 0,
+                    needed: peers,
+                });
+                if peers == 0 {
+                    // Single-replica degenerate case: commit immediately.
+                    self.pending = None;
+                    self.status = LinStatus::Valid;
+                    return vec![Action::PutComplete { ts }];
+                }
+                vec![Action::BroadcastInvalidations { ts }]
+            }
+            Event::RecvInvalidation { from, ts } => {
+                // Always acknowledge (even a stale invalidation), otherwise
+                // the writer would block forever; a stale invalidation's
+                // update will simply be discarded later.
+                if ts.is_newer_than(self.highest_seen()) {
+                    self.status = LinStatus::Invalid;
+                    self.awaiting = ts;
+                }
+                vec![Action::SendAck { to: from, ts }]
+            }
+            Event::RecvAck { ts, .. } => {
+                let Some(mut pending) = self.pending else {
+                    return Vec::new(); // Stale ack for an already-committed write.
+                };
+                if pending.ts != ts {
+                    return Vec::new();
+                }
+                pending.acks += 1;
+                if pending.acks < pending.needed {
+                    self.pending = Some(pending);
+                    return Vec::new();
+                }
+                // All sharers acknowledged: commit, broadcast the value and
+                // complete the put.
+                self.pending = None;
+                if self.status == LinStatus::Invalid && self.awaiting <= self.ts {
+                    // The awaited write is not newer than what we already
+                    // store (it was ours or has been superseded): readable.
+                    self.status = LinStatus::Valid;
+                }
+                vec![
+                    Action::BroadcastUpdates {
+                        value: pending.value,
+                        ts: pending.ts,
+                    },
+                    Action::PutComplete { ts: pending.ts },
+                ]
+            }
+            Event::RecvUpdate { value, ts, .. } => {
+                if ts.is_newer_than(self.ts) {
+                    self.value = value;
+                    self.ts = ts;
+                }
+                if self.status == LinStatus::Invalid && ts >= self.awaiting {
+                    self.status = LinStatus::Valid;
+                }
+                Vec::new()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: usize = 3;
+    const ME: NodeId = NodeId(0);
+    const P1: NodeId = NodeId(1);
+    const P2: NodeId = NodeId(2);
+
+    fn ts(clock: u32, writer: NodeId) -> Timestamp {
+        Timestamp::new(clock, writer)
+    }
+
+    #[test]
+    fn put_broadcasts_invalidations_and_blocks_reads() {
+        let mut st = LinKeyState::default();
+        let actions = st.step(ME, N, Event::ClientPut { value: 5 });
+        assert_eq!(actions, vec![Action::BroadcastInvalidations { ts: ts(1, ME) }]);
+        // The write is not complete: local reads must stall (Lin forbids
+        // reading a value whose put has not returned).
+        assert_eq!(st.step(ME, N, Event::ClientGet), vec![Action::GetStall]);
+        assert!(!st.readable());
+    }
+
+    #[test]
+    fn put_completes_after_all_acks() {
+        let mut st = LinKeyState::default();
+        st.step(ME, N, Event::ClientPut { value: 5 });
+        assert!(st
+            .step(ME, N, Event::RecvAck { from: P1, ts: ts(1, ME) })
+            .is_empty());
+        let actions = st.step(ME, N, Event::RecvAck { from: P2, ts: ts(1, ME) });
+        assert_eq!(
+            actions,
+            vec![
+                Action::BroadcastUpdates { value: 5, ts: ts(1, ME) },
+                Action::PutComplete { ts: ts(1, ME) },
+            ]
+        );
+        // Now the value is readable locally.
+        assert_eq!(
+            st.step(ME, N, Event::ClientGet),
+            vec![Action::GetResponse { value: 5, ts: ts(1, ME) }]
+        );
+    }
+
+    #[test]
+    fn invalidation_blocks_reads_until_matching_update() {
+        let mut st = LinKeyState::with_initial(1);
+        // A remote writer invalidates with ts (1, P1).
+        let actions = st.step(ME, N, Event::RecvInvalidation { from: P1, ts: ts(1, P1) });
+        assert_eq!(actions, vec![Action::SendAck { to: P1, ts: ts(1, P1) }]);
+        assert_eq!(st.step(ME, N, Event::ClientGet), vec![Action::GetStall]);
+        // A stale update does not unblock.
+        st.step(ME, N, Event::RecvUpdate { from: P2, value: 9, ts: ts(0, P2) });
+        assert_eq!(st.step(ME, N, Event::ClientGet), vec![Action::GetStall]);
+        // The matching update unblocks and installs the value.
+        st.step(ME, N, Event::RecvUpdate { from: P1, value: 7, ts: ts(1, P1) });
+        assert_eq!(
+            st.step(ME, N, Event::ClientGet),
+            vec![Action::GetResponse { value: 7, ts: ts(1, P1) }]
+        );
+    }
+
+    #[test]
+    fn stale_invalidation_is_acked_but_ignored() {
+        let mut st = LinKeyState::with_initial(1);
+        st.ts = ts(5, P2);
+        let actions = st.step(ME, N, Event::RecvInvalidation { from: P1, ts: ts(3, P1) });
+        assert_eq!(actions, vec![Action::SendAck { to: P1, ts: ts(3, P1) }]);
+        assert!(st.readable(), "a stale invalidation must not block reads");
+    }
+
+    #[test]
+    fn concurrent_writes_resolve_by_timestamp() {
+        // Node 0 and node 2 write concurrently; node 1 is a pure sharer.
+        let mut n0 = LinKeyState::default();
+        let mut n1 = LinKeyState::default();
+        let mut n2 = LinKeyState::default();
+
+        let a0 = n0.step(NodeId(0), N, Event::ClientPut { value: 100 });
+        let a2 = n2.step(NodeId(2), N, Event::ClientPut { value: 200 });
+        let ts0 = match a0[0] {
+            Action::BroadcastInvalidations { ts } => ts,
+            _ => unreachable!(),
+        };
+        let ts2 = match a2[0] {
+            Action::BroadcastInvalidations { ts } => ts,
+            _ => unreachable!(),
+        };
+        assert!(ts2 > ts0, "same clock, higher node id wins");
+
+        // Deliver invalidations everywhere (each writer also invalidates the
+        // other writer).
+        n1.step(NodeId(1), N, Event::RecvInvalidation { from: NodeId(0), ts: ts0 });
+        n1.step(NodeId(1), N, Event::RecvInvalidation { from: NodeId(2), ts: ts2 });
+        n0.step(NodeId(0), N, Event::RecvInvalidation { from: NodeId(2), ts: ts2 });
+        n2.step(NodeId(2), N, Event::RecvInvalidation { from: NodeId(0), ts: ts0 });
+
+        // Writer 0 collects its acks (from n1 and n2) and commits.
+        n0.step(NodeId(0), N, Event::RecvAck { from: NodeId(1), ts: ts0 });
+        let c0 = n0.step(NodeId(0), N, Event::RecvAck { from: NodeId(2), ts: ts0 });
+        assert!(c0.contains(&Action::PutComplete { ts: ts0 }));
+        // Writer 0 was invalidated by the newer ts2, so it must stay blocked
+        // for reads until the newer update arrives.
+        assert_eq!(n0.step(NodeId(0), N, Event::ClientGet), vec![Action::GetStall]);
+
+        // Writer 2 collects its acks and commits.
+        n2.step(NodeId(2), N, Event::RecvAck { from: NodeId(1), ts: ts2 });
+        let c2 = n2.step(NodeId(2), N, Event::RecvAck { from: NodeId(0), ts: ts2 });
+        assert!(c2.contains(&Action::PutComplete { ts: ts2 }));
+
+        // Deliver both updates everywhere (in any order).
+        for (st, id) in [(&mut n0, 0u8), (&mut n1, 1), (&mut n2, 2)] {
+            st.step(NodeId(id), N, Event::RecvUpdate { from: NodeId(0), value: 100, ts: ts0 });
+            st.step(NodeId(id), N, Event::RecvUpdate { from: NodeId(2), value: 200, ts: ts2 });
+        }
+        for st in [&n0, &n1, &n2] {
+            assert!(st.readable());
+            assert_eq!(st.value, 200, "all replicas converge on the newest write");
+            assert_eq!(st.ts, ts2);
+        }
+    }
+
+    #[test]
+    fn second_local_put_stalls_while_first_is_pending() {
+        let mut st = LinKeyState::default();
+        st.step(ME, N, Event::ClientPut { value: 1 });
+        assert_eq!(
+            st.step(ME, N, Event::ClientPut { value: 2 }),
+            vec![Action::PutStall]
+        );
+    }
+
+    #[test]
+    fn single_replica_put_completes_immediately() {
+        let mut st = LinKeyState::default();
+        let actions = st.step(ME, 1, Event::ClientPut { value: 3 });
+        assert_eq!(actions, vec![Action::PutComplete { ts: ts(1, ME) }]);
+        assert!(st.readable());
+    }
+
+    #[test]
+    fn acks_for_a_different_timestamp_are_ignored() {
+        let mut st = LinKeyState::default();
+        st.step(ME, N, Event::ClientPut { value: 1 });
+        // Acks for an old write must not count toward the pending one.
+        assert!(st
+            .step(ME, N, Event::RecvAck { from: P1, ts: ts(99, P2) })
+            .is_empty());
+        assert!(st.pending.is_some());
+        assert_eq!(st.pending.unwrap().acks, 0);
+    }
+
+    #[test]
+    fn ack_with_no_pending_write_is_ignored() {
+        let mut st = LinKeyState::default();
+        assert!(st
+            .step(ME, N, Event::RecvAck { from: P1, ts: ts(1, ME) })
+            .is_empty());
+    }
+}

@@ -1,0 +1,539 @@
+//! Functional in-process ccKVS cluster (correctness backend).
+//!
+//! Every node owns a real [`SymmetricCache`] (seqlock-backed, CRCW) and a
+//! real [`NodeKvs`] shard. Protocol messages travel through asynchronous
+//! "network" threads that deliver them with optional jitter, so protocol
+//! interleavings comparable to a real rack (reordered acks, racing
+//! invalidations, late updates) actually occur. Client operations can be
+//! issued concurrently from many threads; every operation on a cached key is
+//! recorded in a [`History`] that the consistency checkers validate
+//! (per-key SC / per-key Lin, §5.1).
+
+use consistency::engine::Destination;
+use consistency::history::{History, OpRecord, RecordKind};
+use consistency::lamport::{NodeId, Timestamp};
+use consistency::messages::{ConsistencyModel, ProtocolMsg};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use kvstore::{ConcurrencyModel, NodeKvs};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use symcache::{ReadOutcome, SymmetricCache, WriteOutcome};
+use workload::{KeyId, ShardMap};
+
+/// Configuration of a functional cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Consistency model for the symmetric caches.
+    pub model: ConsistencyModel,
+    /// Number of server nodes.
+    pub nodes: usize,
+    /// Symmetric-cache capacity (hot keys) per node.
+    pub cache_capacity: usize,
+    /// Back-end KVS capacity (objects) per node.
+    pub kvs_capacity: usize,
+    /// Maximum value size in bytes.
+    pub value_capacity: usize,
+    /// Number of asynchronous network-delivery threads (≥ 2 recommended so
+    /// messages can genuinely reorder).
+    pub network_threads: usize,
+    /// Artificially jitter deliveries (spin for a pseudo-random short while)
+    /// to widen the space of interleavings exercised.
+    pub jitter: bool,
+}
+
+impl ClusterConfig {
+    /// A small deployment suitable for tests and examples.
+    pub fn small(model: ConsistencyModel) -> Self {
+        Self {
+            model,
+            nodes: 3,
+            cache_capacity: 256,
+            kvs_capacity: 4096,
+            value_capacity: 64,
+            network_threads: 2,
+            jitter: true,
+        }
+    }
+}
+
+/// The result of a client operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpResult {
+    /// A get returned this value (empty if the key was never written).
+    Value(Vec<u8>),
+    /// A put completed.
+    Done,
+}
+
+enum NetEvent {
+    Deliver {
+        dst: usize,
+        msg: ProtocolMsg,
+        bytes: Option<Vec<u8>>,
+    },
+    Shutdown,
+}
+
+struct NodeState {
+    cache: SymmetricCache,
+    kvs: NodeKvs,
+    committed: Mutex<HashSet<(u64, Timestamp)>>,
+    committed_cv: Condvar,
+}
+
+struct ClusterInner {
+    cfg: ClusterConfig,
+    nodes: Vec<NodeState>,
+    shards: ShardMap,
+    net_tx: Sender<NetEvent>,
+    clock: AtomicU64,
+    tags: AtomicU64,
+    history: Mutex<History>,
+    session_seq: Mutex<HashMap<u32, u64>>,
+}
+
+impl ClusterInner {
+    fn now(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn next_session_seq(&self, session: u32) -> u64 {
+        let mut map = self.session_seq.lock();
+        let seq = map.entry(session).or_insert(0);
+        let out = *seq;
+        *seq += 1;
+        out
+    }
+
+    fn send(&self, from: usize, dest: Destination, msg: ProtocolMsg, bytes: Option<&[u8]>) {
+        match dest {
+            Destination::Broadcast => {
+                for dst in 0..self.cfg.nodes {
+                    if dst != from {
+                        self.net_tx
+                            .send(NetEvent::Deliver {
+                                dst,
+                                msg,
+                                bytes: bytes.map(<[u8]>::to_vec),
+                            })
+                            .expect("network thread alive");
+                    }
+                }
+            }
+            Destination::To(node) => {
+                self.net_tx
+                    .send(NetEvent::Deliver {
+                        dst: node.0 as usize,
+                        msg,
+                        bytes: bytes.map(<[u8]>::to_vec),
+                    })
+                    .expect("network thread alive");
+            }
+        }
+    }
+
+    fn deliver(&self, dst: usize, msg: &ProtocolMsg, bytes: Option<&[u8]>) {
+        let out = self.nodes[dst].cache.deliver(msg, bytes);
+        for (dest, outgoing) in &out.outgoing {
+            let attach = match outgoing {
+                ProtocolMsg::Update { .. } => out.commit_value.as_deref(),
+                _ => None,
+            };
+            self.send(dst, *dest, *outgoing, attach);
+        }
+        if let Some(ts) = out.committed {
+            let node = &self.nodes[dst];
+            node.committed.lock().insert((msg.key(), ts));
+            node.committed_cv.notify_all();
+        }
+    }
+}
+
+/// A running functional cluster.
+pub struct Cluster {
+    inner: Arc<ClusterInner>,
+    net_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Cluster {
+    /// Starts a cluster with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate configuration (zero nodes or network threads).
+    pub fn start(cfg: ClusterConfig) -> Self {
+        assert!(cfg.nodes > 0 && cfg.network_threads > 0);
+        let (net_tx, net_rx): (Sender<NetEvent>, Receiver<NetEvent>) = unbounded();
+        let nodes = (0..cfg.nodes)
+            .map(|id| NodeState {
+                cache: SymmetricCache::new(
+                    cfg.model,
+                    NodeId(id as u8),
+                    cfg.nodes,
+                    cfg.cache_capacity,
+                    cfg.value_capacity,
+                ),
+                kvs: NodeKvs::with_value_capacity(
+                    ConcurrencyModel::Crcw,
+                    4,
+                    cfg.kvs_capacity,
+                    cfg.value_capacity,
+                ),
+                committed: Mutex::new(HashSet::new()),
+                committed_cv: Condvar::new(),
+            })
+            .collect();
+        let inner = Arc::new(ClusterInner {
+            cfg,
+            nodes,
+            shards: ShardMap::new(cfg.nodes, 4),
+            net_tx,
+            clock: AtomicU64::new(1),
+            tags: AtomicU64::new(1),
+            history: Mutex::new(History::new()),
+            session_seq: Mutex::new(HashMap::new()),
+        });
+        let net_handles = (0..cfg.network_threads)
+            .map(|t| {
+                let inner = Arc::clone(&inner);
+                let rx = net_rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("cckvs-net-{t}"))
+                    .spawn(move || {
+                        let mut jitter_state: u64 = 0x243F_6A88_85A3_08D3 ^ t as u64;
+                        while let Ok(event) = rx.recv() {
+                            match event {
+                                NetEvent::Shutdown => break,
+                                NetEvent::Deliver { dst, msg, bytes } => {
+                                    if inner.cfg.jitter {
+                                        // Cheap xorshift-based spin to perturb
+                                        // delivery order without sleeping.
+                                        jitter_state ^= jitter_state << 13;
+                                        jitter_state ^= jitter_state >> 7;
+                                        jitter_state ^= jitter_state << 17;
+                                        for _ in 0..(jitter_state % 256) {
+                                            std::hint::spin_loop();
+                                        }
+                                    }
+                                    inner.deliver(dst, &msg, bytes.as_deref());
+                                }
+                            }
+                        }
+                    })
+                    .expect("spawn network thread")
+            })
+            .collect();
+        Self { inner, net_handles }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> ClusterConfig {
+        self.inner.cfg
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.inner.cfg.nodes
+    }
+
+    /// Seeds a key into its home node's back-end KVS.
+    pub fn seed_kvs(&self, key: u64, value: &[u8]) {
+        let home = self.inner.shards.home_node(KeyId(key));
+        self.inner.nodes[home]
+            .kvs
+            .put(key, value, 0)
+            .expect("seeding within capacity");
+    }
+
+    /// Installs a hot key into the symmetric cache of every node (what the
+    /// cache coordinator does at the end of an epoch, §4).
+    pub fn install_hot_key(&self, key: u64, value: &[u8]) {
+        for node in &self.inner.nodes {
+            assert!(node.cache.fill(key, value, 0), "cache capacity exceeded");
+        }
+        // Also make sure the home shard knows the key (write-back target).
+        self.seed_kvs(key, value);
+    }
+
+    /// Whether a key is currently cached (checked on node 0; by symmetry all
+    /// nodes agree).
+    pub fn is_cached(&self, key: u64) -> bool {
+        self.inner.nodes[0].cache.contains(key)
+    }
+
+    /// Executes a get on behalf of `session`, directed at `node` (clients
+    /// load-balance across nodes; any node can serve any key).
+    pub fn get(&self, session: u32, node: usize, key: u64) -> OpResult {
+        let inner = &self.inner;
+        let invoked_at = inner.now();
+        loop {
+            match inner.nodes[node].cache.read(key) {
+                ReadOutcome::Hit { value, ts } => {
+                    let completed_at = inner.now();
+                    let seq = inner.next_session_seq(session);
+                    inner.history.lock().record(OpRecord {
+                        session,
+                        key,
+                        kind: RecordKind::Get {
+                            value: value_tag_of(&value),
+                        },
+                        ts,
+                        invoked_at,
+                        completed_at,
+                        session_seq: seq,
+                    });
+                    return OpResult::Value(value);
+                }
+                ReadOutcome::Stall => {
+                    std::thread::yield_now();
+                }
+                ReadOutcome::Miss => {
+                    // Fall through to the (possibly remote) home shard.
+                    let home = inner.shards.home_node(KeyId(key));
+                    let value = inner.nodes[home]
+                        .kvs
+                        .get(key)
+                        .map(|v| v.value)
+                        .unwrap_or_default();
+                    return OpResult::Value(value);
+                }
+            }
+        }
+    }
+
+    /// Executes a put on behalf of `session`, directed at `node`.
+    pub fn put(&self, session: u32, node: usize, key: u64, value: &[u8]) -> OpResult {
+        let inner = &self.inner;
+        let invoked_at = inner.now();
+        let tag = inner.tags.fetch_add(1, Ordering::Relaxed);
+        loop {
+            match inner.nodes[node].cache.write(key, value, tag) {
+                WriteOutcome::Completed { ts, outgoing } => {
+                    for (dest, msg) in outgoing {
+                        inner.send(node, dest, msg, Some(value));
+                    }
+                    self.record_put(session, key, value, ts, invoked_at);
+                    return OpResult::Done;
+                }
+                WriteOutcome::Pending { ts, outgoing } => {
+                    for (dest, msg) in outgoing {
+                        inner.send(node, dest, msg, None);
+                    }
+                    // Blocking write (Lin): wait until the commit is signalled
+                    // by the network thread that delivered the last ack.
+                    let state = &inner.nodes[node];
+                    let mut committed = state.committed.lock();
+                    while !committed.remove(&(key, ts)) {
+                        state.committed_cv.wait(&mut committed);
+                    }
+                    drop(committed);
+                    self.record_put(session, key, value, ts, invoked_at);
+                    return OpResult::Done;
+                }
+                WriteOutcome::Stall => {
+                    std::thread::yield_now();
+                }
+                WriteOutcome::Miss => {
+                    // Forward to the home node, which performs the write.
+                    let home = inner.shards.home_node(KeyId(key));
+                    inner.nodes[home]
+                        .kvs
+                        .put_if_newer(0, key, value, tag as u32, node as u8)
+                        .expect("miss-path write");
+                    return OpResult::Done;
+                }
+            }
+        }
+    }
+
+    fn record_put(&self, session: u32, key: u64, value: &[u8], ts: Timestamp, invoked_at: u64) {
+        let inner = &self.inner;
+        let completed_at = inner.now();
+        let seq = inner.next_session_seq(session);
+        inner.history.lock().record(OpRecord {
+            session,
+            key,
+            kind: RecordKind::Put {
+                value: value_tag_of(value),
+            },
+            ts,
+            invoked_at,
+            completed_at,
+            session_seq: seq,
+        });
+    }
+
+    /// A snapshot of the recorded history of operations on cached keys.
+    pub fn history(&self) -> History {
+        self.inner.history.lock().clone()
+    }
+
+    /// Waits for the in-flight protocol traffic to drain (best effort: the
+    /// network queue is unbounded and single-stage, so an empty queue plus a
+    /// short grace period means quiescence for test purposes).
+    pub fn quiesce(&self) {
+        while !self.inner.net_tx.is_empty() {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+
+    /// Reads a key's value directly from one node's cache, bypassing the
+    /// protocol (diagnostics; returns `None` on a miss or unreadable entry).
+    pub fn peek_cache(&self, node: usize, key: u64) -> Option<Vec<u8>> {
+        match self.inner.nodes[node].cache.read(key) {
+            ReadOutcome::Hit { value, .. } => Some(value),
+            _ => None,
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        for _ in 0..self.net_handles.len() {
+            let _ = self.inner.net_tx.send(NetEvent::Shutdown);
+        }
+        for handle in self.net_handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Derives the 64-bit tag recorded in the history for a read value. Writers
+/// record the tag they wrote; readers must record the same number for the
+/// same bytes, so the checkers can match reads to writes. Values written by
+/// the cluster always carry their tag in the first 8 bytes when they are
+/// cluster-generated; seeded values fall back to a hash.
+fn value_tag_of(value: &[u8]) -> u64 {
+    if value.len() >= 8 {
+        u64::from_le_bytes(value[..8].try_into().expect("8 bytes"))
+    } else {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in value {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(model: ConsistencyModel) -> Cluster {
+        let cluster = Cluster::start(ClusterConfig::small(model));
+        for key in 0..8u64 {
+            cluster.install_hot_key(key, &0u64.to_le_bytes());
+        }
+        cluster
+    }
+
+    #[test]
+    fn cached_reads_hit_on_every_node() {
+        let cluster = start(ConsistencyModel::Sc);
+        for node in 0..cluster.nodes() {
+            match cluster.get(0, node, 3) {
+                OpResult::Value(v) => assert_eq!(v, 0u64.to_le_bytes()),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(cluster.is_cached(3));
+    }
+
+    #[test]
+    fn sc_write_propagates_to_all_caches() {
+        let cluster = start(ConsistencyModel::Sc);
+        cluster.put(1, 0, 5, &42u64.to_le_bytes());
+        cluster.quiesce();
+        for node in 0..cluster.nodes() {
+            assert_eq!(
+                cluster.peek_cache(node, 5).expect("readable"),
+                42u64.to_le_bytes(),
+                "node {node} did not receive the update"
+            );
+        }
+    }
+
+    #[test]
+    fn lin_write_is_visible_everywhere_once_it_returns() {
+        let cluster = start(ConsistencyModel::Lin);
+        cluster.put(1, 2, 5, &7u64.to_le_bytes());
+        // Under Lin the put returns only after every replica acknowledged the
+        // invalidation, so a subsequent read anywhere must *not* return the
+        // old value once the update lands; reads of an invalid entry block
+        // until the update arrives.
+        for node in 0..cluster.nodes() {
+            match cluster.get(2, node, 5) {
+                OpResult::Value(v) => assert_eq!(v, 7u64.to_le_bytes()),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn uncached_keys_fall_through_to_the_home_shard() {
+        let cluster = start(ConsistencyModel::Sc);
+        cluster.seed_kvs(1_000, b"cold-val");
+        assert!(!cluster.is_cached(1_000));
+        match cluster.get(0, 1, 1_000) {
+            OpResult::Value(v) => assert_eq!(v, b"cold-val"),
+            other => panic!("unexpected {other:?}"),
+        }
+        cluster.put(0, 2, 1_000, b"new-cold");
+        match cluster.get(0, 0, 1_000) {
+            OpResult::Value(v) => assert_eq!(v, b"new-cold"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_sessions_produce_consistent_histories() {
+        for model in [ConsistencyModel::Sc, ConsistencyModel::Lin] {
+            let cluster = Arc::new(start(model));
+            let handles: Vec<_> = (0..4u32)
+                .map(|session| {
+                    let cluster = Arc::clone(&cluster);
+                    std::thread::spawn(move || {
+                        for i in 0..200u64 {
+                            // Per-key SC is a per-session guarantee through the
+                            // replica the session talks to: asynchronous update
+                            // propagation does not provide monotonic reads when a
+                            // session hops between replicas, so SC sessions stay
+                            // sticky. Lin is a real-time (global) guarantee, so
+                            // Lin sessions deliberately spread across nodes.
+                            let node = match model {
+                                ConsistencyModel::Sc => session as usize % cluster.nodes(),
+                                ConsistencyModel::Lin => (session as u64 + i) as usize % cluster.nodes(),
+                            };
+                            let key = i % 4;
+                            if (i + u64::from(session)) % 3 == 0 {
+                                let mut value = [0u8; 16];
+                                value[..8].copy_from_slice(&(u64::from(session) << 32 | i).to_le_bytes());
+                                cluster.put(session, node, key, &value);
+                            } else {
+                                cluster.get(session, node, key);
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            cluster.quiesce();
+            let history = cluster.history();
+            assert!(history.len() >= 800);
+            history
+                .check_per_key_sc()
+                .unwrap_or_else(|v| panic!("{model:?}: SC violated: {v}"));
+            if model == ConsistencyModel::Lin {
+                history
+                    .check_per_key_lin()
+                    .unwrap_or_else(|v| panic!("Lin violated: {v}"));
+            }
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Deployment configuration shared by both execution backends.
+
+use consistency::messages::ConsistencyModel;
+
+/// Which system variant to run (§7.1, "Evaluated Systems").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// ccKVS with symmetric caches kept consistent by the given protocol.
+    CcKvs(ConsistencyModel),
+    /// The FaSST-style NUMA-abstraction baseline with the KVS partitioned at
+    /// server granularity (CRCW).
+    Base,
+    /// The baseline with the KVS partitioned at core granularity (EREW),
+    /// i.e. stock-MICA style.
+    BaseErew,
+    /// The `Base` design under a *uniform* access distribution — the upper
+    /// bound of the baseline designs.
+    Uniform,
+}
+
+impl SystemKind {
+    /// Label used in figures and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SystemKind::CcKvs(ConsistencyModel::Sc) => "ccKVS-SC",
+            SystemKind::CcKvs(ConsistencyModel::Lin) => "ccKVS-Lin",
+            SystemKind::Base => "Base",
+            SystemKind::BaseErew => "Base-EREW",
+            SystemKind::Uniform => "Uniform",
+        }
+    }
+
+    /// Whether this variant deploys symmetric caches.
+    pub fn has_cache(&self) -> bool {
+        matches!(self, SystemKind::CcKvs(_))
+    }
+}
+
+/// A complete description of a deployment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemConfig {
+    /// Which system to run.
+    pub kind: SystemKind,
+    /// Number of server nodes (the paper's rack has 9).
+    pub nodes: usize,
+    /// Cache threads per node (receive client requests, serve the cache).
+    pub cache_threads: usize,
+    /// KVS threads per node (serve the back-end store).
+    pub kvs_threads: usize,
+    /// Number of distinct keys in the dataset.
+    pub dataset_keys: u64,
+    /// Value size in bytes (40 / 256 / 1024 in the paper).
+    pub value_size: usize,
+    /// Symmetric-cache capacity in keys (the paper uses 0.1 % of the
+    /// dataset). Ignored by the baselines.
+    pub cache_entries: usize,
+    /// Zipfian skew exponent; `None` means a uniform access distribution.
+    pub skew: Option<f64>,
+    /// Fraction of operations that are writes.
+    pub write_ratio: f64,
+}
+
+impl SystemConfig {
+    /// The paper's default 9-node configuration for a given system, scaled
+    /// down in dataset size (the shape of every result depends only on the
+    /// cache *fraction* and skew, not the absolute key count).
+    pub fn paper_default(kind: SystemKind) -> Self {
+        Self {
+            kind,
+            nodes: 9,
+            cache_threads: 16,
+            kvs_threads: 20,
+            dataset_keys: 1_000_000,
+            value_size: 40,
+            cache_entries: 1_000,
+            skew: match kind {
+                SystemKind::Uniform => None,
+                _ => Some(0.99),
+            },
+            write_ratio: 0.0,
+        }
+    }
+
+    /// Sets the write ratio (builder style).
+    pub fn with_write_ratio(mut self, write_ratio: f64) -> Self {
+        self.write_ratio = write_ratio;
+        self
+    }
+
+    /// Sets the skew exponent (builder style).
+    pub fn with_skew(mut self, skew: Option<f64>) -> Self {
+        self.skew = skew;
+        self
+    }
+
+    /// Sets the value size (builder style).
+    pub fn with_value_size(mut self, value_size: usize) -> Self {
+        self.value_size = value_size;
+        self
+    }
+
+    /// Sets the node count (builder style).
+    pub fn with_nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// The cache size as a fraction of the dataset.
+    pub fn cache_fraction(&self) -> f64 {
+        self.cache_entries as f64 / self.dataset_keys as f64
+    }
+
+    /// The expected symmetric-cache hit ratio for this configuration
+    /// (Fig. 3 / §7.1).
+    pub fn expected_hit_ratio(&self) -> f64 {
+        if !self.kind.has_cache() {
+            return 0.0;
+        }
+        match self.skew {
+            Some(alpha) => {
+                symcache::expected_hit_rate(self.dataset_keys, self.cache_entries as u64, alpha)
+            }
+            None => self.cache_fraction(),
+        }
+    }
+
+    /// Basic sanity checks.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err("a deployment needs at least one node".into());
+        }
+        if self.cache_threads == 0 || self.kvs_threads == 0 {
+            return Err("thread pools must be non-empty".into());
+        }
+        if self.dataset_keys == 0 {
+            return Err("the dataset must contain keys".into());
+        }
+        if self.kind.has_cache() && self.cache_entries == 0 {
+            return Err("ccKVS needs a non-empty symmetric cache".into());
+        }
+        if !(0.0..=1.0).contains(&self.write_ratio) {
+            return Err(format!("write ratio {} outside [0,1]", self.write_ratio));
+        }
+        if let Some(a) = self.skew {
+            if !(0.0..2.0).contains(&a) {
+                return Err(format!("unsupported skew exponent {a}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_the_paper() {
+        assert_eq!(SystemKind::CcKvs(ConsistencyModel::Sc).label(), "ccKVS-SC");
+        assert_eq!(SystemKind::CcKvs(ConsistencyModel::Lin).label(), "ccKVS-Lin");
+        assert_eq!(SystemKind::Base.label(), "Base");
+        assert_eq!(SystemKind::BaseErew.label(), "Base-EREW");
+        assert_eq!(SystemKind::Uniform.label(), "Uniform");
+    }
+
+    #[test]
+    fn paper_default_validates_for_every_system() {
+        for kind in [
+            SystemKind::CcKvs(ConsistencyModel::Sc),
+            SystemKind::CcKvs(ConsistencyModel::Lin),
+            SystemKind::Base,
+            SystemKind::BaseErew,
+            SystemKind::Uniform,
+        ] {
+            let cfg = SystemConfig::paper_default(kind);
+            assert!(cfg.validate().is_ok(), "{kind:?} default invalid");
+            assert!((cfg.cache_fraction() - 0.001).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn expected_hit_ratio_tracks_skew() {
+        let sc = SystemConfig::paper_default(SystemKind::CcKvs(ConsistencyModel::Sc));
+        let h99 = sc.expected_hit_ratio();
+        assert!(h99 > 0.5, "0.1% cache at α=0.99 should exceed 50% hits: {h99}");
+        let h90 = sc.with_skew(Some(0.90)).expected_hit_ratio();
+        assert!(h90 < h99);
+        let base = SystemConfig::paper_default(SystemKind::Base);
+        assert_eq!(base.expected_hit_ratio(), 0.0, "baselines have no cache");
+        let uniform_cache = sc.with_skew(None).expected_hit_ratio();
+        assert!((uniform_cache - 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let good = SystemConfig::paper_default(SystemKind::Base);
+        assert!(good.with_nodes(0).validate().is_err());
+        assert!(good.with_write_ratio(2.0).validate().is_err());
+        let mut bad = good;
+        bad.kvs_threads = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = SystemConfig::paper_default(SystemKind::CcKvs(ConsistencyModel::Sc));
+        bad.cache_entries = 0;
+        assert!(bad.validate().is_err());
+        assert!(good.with_skew(Some(5.0)).validate().is_err());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg = SystemConfig::paper_default(SystemKind::Base)
+            .with_nodes(20)
+            .with_write_ratio(0.05)
+            .with_value_size(1024)
+            .with_skew(Some(1.01));
+        assert_eq!(cfg.nodes, 20);
+        assert_eq!(cfg.write_ratio, 0.05);
+        assert_eq!(cfg.value_size, 1024);
+        assert_eq!(cfg.skew, Some(1.01));
+    }
+}

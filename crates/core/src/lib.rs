@@ -1,0 +1,44 @@
+//! ccKVS: a Scale-Out ccNUMA key-value store (the paper's §6 system).
+//!
+//! Each node of a ccKVS deployment combines
+//!
+//! * a shard of the back-end KVS ([`kvstore`]) served by a pool of KVS
+//!   threads,
+//! * an instance of the symmetric cache ([`symcache`]) holding the globally
+//!   hottest keys, served by a pool of cache threads, and
+//! * the fully distributed consistency protocols ([`consistency`]) that keep
+//!   the caches coherent (per-key SC or per-key Lin).
+//!
+//! Clients load-balance requests across all nodes; cache hits are served
+//! locally, cache misses fall through to the key's home node over the
+//! (simulated) RDMA fabric.
+//!
+//! The crate offers two execution backends:
+//!
+//! * [`cluster`] — a **functional** multi-threaded cluster: every node's
+//!   cache and KVS are real data structures accessed by real threads, and
+//!   protocol messages flow through an asynchronous in-process "network"
+//!   thread. Used to validate correctness (seqlocks, protocol interleavings,
+//!   per-key SC/Lin histories) and by the examples.
+//! * [`perf`] — a **performance** model: the same request-processing logic
+//!   expressed as [`simnet`] node behaviours over the calibrated rack fabric,
+//!   used by the benchmark harness to regenerate every figure of the paper's
+//!   evaluation. It also implements the three baselines of §7.1
+//!   (`Base-EREW`, `Base`, `Uniform`).
+
+pub mod cluster;
+pub mod config;
+pub mod perf;
+
+pub use cluster::{Cluster, ClusterConfig, OpResult};
+pub use config::{SystemConfig, SystemKind};
+pub use perf::{run_experiment, ExperimentResult, PerfConfig};
+
+/// Convenience re-exports for examples and downstream users.
+pub mod prelude {
+    pub use crate::cluster::{Cluster, ClusterConfig, OpResult};
+    pub use crate::config::{SystemConfig, SystemKind};
+    pub use crate::perf::{run_experiment, ExperimentResult, PerfConfig};
+    pub use consistency::messages::ConsistencyModel;
+    pub use workload::prelude::*;
+}

@@ -1,0 +1,695 @@
+//! Performance model: ccKVS and the baselines as [`simnet`] node behaviours.
+//!
+//! The behaviours reproduce the request-processing paths of §6.1 over the
+//! calibrated rack fabric:
+//!
+//! * every node runs a closed loop of client requests (clients keep a fixed
+//!   number of requests outstanding per node, load-balanced as in §6);
+//! * a request first occupies a *cache thread* (probe + protocol work), then
+//!   either hits in the symmetric cache (served locally) or falls through to
+//!   the key's home shard — locally on a *KVS thread*, or remotely via a
+//!   request/response exchange over the fabric;
+//! * cached writes trigger the consistency actions of the selected protocol:
+//!   an update broadcast (SC) or an invalidation broadcast, acknowledgement
+//!   collection and update broadcast (Lin), with credit-update messages
+//!   batched as in §6.4;
+//! * the baselines (`Base`, `Base-EREW`, `Uniform`) skip the cache entirely;
+//!   `Base-EREW` additionally serialises each key's accesses on its owner
+//!   core.
+//!
+//! Request coalescing (§8.5) batches cache-miss requests (and their
+//! responses) destined to the same node into a single fabric packet.
+//!
+//! The absolute service-time constants are calibrated so that the 9-node,
+//! α = 0.99 read-only configuration lands near the paper's operating point
+//! (§8.1: Uniform ≈ 240 MRPS, ccKVS ≈ 690 MRPS); all trends then emerge from
+//! the model rather than from curve fitting.
+
+use crate::config::{SystemConfig, SystemKind};
+use consistency::messages::ConsistencyModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simnet::{
+    CompletionKind, Emit, Engine, FabricConfig, MessageSizes, NodeBehavior, Packet, ServerPool,
+    SimStats, SimTime, TrafficClass, MICROSECOND,
+};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use workload::{Dataset, ShardMap, ZipfGenerator};
+
+/// Timer token that triggers the periodic coalescing flush.
+const TOKEN_FLUSH: u64 = u64::MAX - 1;
+/// Timer token that injects one new closed-loop client request (used to pace
+/// the initial ramp-up so the measurement window is dominated by steady
+/// state rather than a t = 0 burst).
+const TOKEN_NEW_REQUEST: u64 = u64::MAX - 2;
+/// Base for coalesced-batch identifiers (kept clear of request tokens).
+const BATCH_TOKEN_BASE: u64 = 1 << 48;
+
+/// Full description of one performance experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfConfig {
+    /// The deployment to model.
+    pub system: SystemConfig,
+    /// Client requests kept outstanding per node (closed loop).
+    pub inflight_per_node: usize,
+    /// Coalescing factor for cache-miss traffic (`None` disables, §8.5).
+    pub coalesce: Option<u32>,
+    /// Simulated duration.
+    pub horizon: SimTime,
+    /// Cache-thread service time per request (probe / protocol work).
+    pub cache_service_ns: SimTime,
+    /// KVS-thread service time per access.
+    pub kvs_service_ns: SimTime,
+    /// Send one credit update per this many consistency messages received.
+    pub credit_batch: u64,
+    /// Seed for the workload randomness.
+    pub seed: u64,
+}
+
+impl PerfConfig {
+    /// Default experiment parameters used throughout the figure harness.
+    pub fn paper_default(system: SystemConfig) -> Self {
+        Self {
+            system,
+            inflight_per_node: 1024,
+            coalesce: None,
+            horizon: 200 * MICROSECOND,
+            cache_service_ns: 150,
+            kvs_service_ns: 220,
+            credit_batch: 16,
+            seed: 0xCC45,
+        }
+    }
+
+    /// Short-horizon variant for unit tests (debug builds are slow).
+    pub fn quick(system: SystemConfig) -> Self {
+        Self {
+            horizon: 80 * MICROSECOND,
+            inflight_per_node: 512,
+            ..Self::paper_default(system)
+        }
+    }
+
+    /// Enables request coalescing with the given factor (builder style).
+    pub fn with_coalescing(mut self, factor: u32) -> Self {
+        self.coalesce = Some(factor);
+        self
+    }
+
+    /// Sets the closed-loop concurrency (builder style).
+    pub fn with_inflight(mut self, inflight: usize) -> Self {
+        self.inflight_per_node = inflight;
+        self
+    }
+}
+
+/// Measured outcome of one experiment, in the units the paper reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentResult {
+    /// Label of the system variant.
+    pub label: String,
+    /// Cluster-wide throughput in million requests per second.
+    pub throughput_mrps: f64,
+    /// Throughput served by cache hits (reads + writes that hit), MRPS.
+    pub hit_mrps: f64,
+    /// Throughput served by the KVS (local + remote misses), MRPS.
+    pub miss_mrps: f64,
+    /// Average per-node network utilisation in Gb/s (sent direction).
+    pub per_node_gbps: f64,
+    /// Fraction of fabric bytes per traffic class (Fig. 11).
+    pub traffic_fraction: BTreeMap<TrafficClass, f64>,
+    /// Mean end-to-end request latency in microseconds.
+    pub avg_latency_us: f64,
+    /// 95th-percentile request latency in microseconds.
+    pub p95_latency_us: f64,
+    /// Total completed requests in the simulated window.
+    pub completions: u64,
+}
+
+impl ExperimentResult {
+    fn from_stats(label: String, mut stats: SimStats) -> Self {
+        let hit = stats.completions_of(CompletionKind::CacheHit)
+            + stats.completions_of(CompletionKind::CacheWrite);
+        let miss = stats.completions_of(CompletionKind::LocalMiss)
+            + stats.completions_of(CompletionKind::RemoteMiss)
+            + stats.completions_of(CompletionKind::MissWrite);
+        let seconds = stats.elapsed as f64 / 1e9;
+        let p95 = stats.latency.percentile(95.0);
+        Self {
+            label,
+            throughput_mrps: stats.throughput_mrps(),
+            hit_mrps: hit as f64 / 1e6 / seconds,
+            miss_mrps: miss as f64 / 1e6 / seconds,
+            per_node_gbps: stats.per_node_gbps(),
+            traffic_fraction: stats.traffic_breakdown(),
+            avg_latency_us: stats.latency.mean() / 1e3,
+            p95_latency_us: p95 as f64 / 1e3,
+            completions: stats.total_completions(),
+        }
+    }
+
+    /// Fraction of fabric bytes spent on cache-miss traffic (req + resp).
+    pub fn miss_traffic_fraction(&self) -> f64 {
+        self.traffic_fraction
+            .get(&TrafficClass::MissRequest)
+            .copied()
+            .unwrap_or(0.0)
+            + self
+                .traffic_fraction
+                .get(&TrafficClass::MissResponse)
+                .copied()
+                .unwrap_or(0.0)
+    }
+
+    /// Fraction of fabric bytes spent on consistency actions.
+    pub fn consistency_traffic_fraction(&self) -> f64 {
+        [
+            TrafficClass::Update,
+            TrafficClass::Invalidation,
+            TrafficClass::Ack,
+        ]
+        .iter()
+        .map(|c| self.traffic_fraction.get(c).copied().unwrap_or(0.0))
+        .sum()
+    }
+
+    /// Fraction of fabric bytes spent on flow control (credit updates).
+    pub fn flow_control_fraction(&self) -> f64 {
+        self.traffic_fraction
+            .get(&TrafficClass::CreditUpdate)
+            .copied()
+            .unwrap_or(0.0)
+    }
+}
+
+/// A deferred action executed when its timer fires.
+#[derive(Debug, Clone, Default)]
+struct Deferred {
+    sends: Vec<Packet>,
+    completions: Vec<(u64, CompletionKind)>,
+}
+
+/// State of one outstanding client request at its serving node.
+#[derive(Debug, Clone, Copy)]
+struct Outstanding {
+    issued_at: SimTime,
+    is_write: bool,
+}
+
+/// A pending Lin write awaiting invalidation acknowledgements.
+#[derive(Debug, Clone, Copy)]
+struct LinPending {
+    acks: u32,
+    needed: u32,
+}
+
+/// The per-node behaviour implementing ccKVS or one of the baselines.
+struct PerfNode {
+    id: usize,
+    cfg: PerfConfig,
+    sizes: MessageSizes,
+    dataset: Dataset,
+    shards: ShardMap,
+    zipf: Option<ZipfGenerator>,
+    rng: StdRng,
+    cache_pool: ServerPool,
+    /// CRCW: a single pool; EREW: one single-server pool per KVS thread.
+    kvs_pools: Vec<ServerPool>,
+    next_req: u64,
+    next_timer: u64,
+    next_batch: u64,
+    outstanding: HashMap<u64, Outstanding>,
+    deferred: HashMap<u64, Deferred>,
+    lin_pending: HashMap<u64, LinPending>,
+    /// Per-destination queues of (request token) awaiting coalesced dispatch.
+    coalesce_queues: Vec<VecDeque<u64>>,
+    /// Contents of coalesced batches we sent, keyed by batch token.
+    batch_store: HashMap<u64, Vec<u64>>,
+    consistency_msgs_seen: u64,
+}
+
+impl PerfNode {
+    fn new(id: usize, cfg: PerfConfig, shared_zipf: Option<ZipfGenerator>) -> Self {
+        let sys = cfg.system;
+        let erew = sys.kind == SystemKind::BaseErew;
+        let kvs_pools = if erew {
+            (0..sys.kvs_threads).map(|_| ServerPool::new(1)).collect()
+        } else {
+            vec![ServerPool::new(sys.kvs_threads)]
+        };
+        Self {
+            id,
+            cfg,
+            sizes: MessageSizes::for_value_size(sys.value_size as u32),
+            dataset: Dataset::new(sys.dataset_keys, sys.value_size),
+            shards: ShardMap::new(sys.nodes, sys.kvs_threads),
+            zipf: shared_zipf,
+            rng: StdRng::seed_from_u64(cfg.seed ^ (id as u64).wrapping_mul(0x9E37_79B9)),
+            cache_pool: ServerPool::new(sys.cache_threads),
+            kvs_pools,
+            next_req: 0,
+            next_timer: 0,
+            next_batch: BATCH_TOKEN_BASE + ((id as u64) << 40),
+            outstanding: HashMap::new(),
+            deferred: HashMap::new(),
+            lin_pending: HashMap::new(),
+            coalesce_queues: vec![VecDeque::new(); sys.nodes],
+            batch_store: HashMap::new(),
+            consistency_msgs_seen: 0,
+        }
+    }
+
+    fn cache_model(&self) -> Option<ConsistencyModel> {
+        match self.cfg.system.kind {
+            SystemKind::CcKvs(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    fn draw_rank(&mut self) -> u64 {
+        match &self.zipf {
+            Some(z) => z.sample(&mut self.rng),
+            None => self.rng.gen_range(0..self.cfg.system.dataset_keys),
+        }
+    }
+
+    fn home_of(&self, rank: u64) -> (usize, usize) {
+        let key = self.dataset.key_of_rank(rank);
+        self.shards.home_core(key)
+    }
+
+    fn defer(&mut self, now: SimTime, at: SimTime, action: Deferred) -> Vec<Emit> {
+        self.next_timer += 1;
+        let token = self.next_timer;
+        self.deferred.insert(token, action);
+        vec![Emit::Timer {
+            delay: at.saturating_sub(now).max(1),
+            token,
+        }]
+    }
+
+    /// Broadcast of a consistency message class to every other node.
+    fn broadcast(&self, class: TrafficClass, token: u64) -> Vec<Packet> {
+        let bytes = self.sizes.of(class);
+        (0..self.cfg.system.nodes)
+            .filter(|&n| n != self.id)
+            .map(|dst| Packet::single(self.id, dst, bytes, class, token))
+            .collect()
+    }
+
+    /// Issues one new closed-loop client request.
+    fn issue_request(&mut self, now: SimTime) -> Vec<Emit> {
+        let req = ((self.id as u64) << 48) | self.next_req;
+        self.next_req += 1;
+        let rank = self.draw_rank();
+        let is_write = self.rng.gen::<f64>() < self.cfg.system.write_ratio;
+        self.outstanding.insert(req, Outstanding { issued_at: now, is_write });
+
+        let cached = self.cfg.system.kind.has_cache()
+            && rank < self.cfg.system.cache_entries as u64;
+        // Every request first occupies a cache thread (request reception,
+        // probe). Baselines use the same pool as their RPC-handling cost.
+        let probe_done = self.cache_pool.enqueue(now, self.cfg.cache_service_ns);
+
+        if cached {
+            if !is_write {
+                return self.defer(
+                    now,
+                    probe_done,
+                    Deferred {
+                        sends: Vec::new(),
+                        completions: vec![(req, CompletionKind::CacheHit)],
+                    },
+                );
+            }
+            return match self.cache_model().expect("cached implies ccKVS") {
+                ConsistencyModel::Sc => {
+                    // Non-blocking: update broadcast + immediate completion.
+                    let sends = self.broadcast(TrafficClass::Update, req);
+                    self.defer(
+                        now,
+                        probe_done,
+                        Deferred {
+                            sends,
+                            completions: vec![(req, CompletionKind::CacheWrite)],
+                        },
+                    )
+                }
+                ConsistencyModel::Lin => {
+                    // Blocking: invalidations now, completion when all acks
+                    // have arrived (handled in `on_packet`).
+                    self.lin_pending.insert(
+                        req,
+                        LinPending {
+                            acks: 0,
+                            needed: (self.cfg.system.nodes - 1) as u32,
+                        },
+                    );
+                    let sends = self.broadcast(TrafficClass::Invalidation, req);
+                    self.defer(now, probe_done, Deferred { sends, completions: Vec::new() })
+                }
+            };
+        }
+
+        // Cache miss (or no cache): go to the key's home shard.
+        let (home, owner_thread) = self.home_of(rank);
+        if home == self.id {
+            let pool = if self.cfg.system.kind == SystemKind::BaseErew {
+                &mut self.kvs_pools[owner_thread]
+            } else {
+                &mut self.kvs_pools[0]
+            };
+            let kvs_done = pool.enqueue(probe_done, self.cfg.kvs_service_ns);
+            let kind = if is_write {
+                CompletionKind::MissWrite
+            } else {
+                CompletionKind::LocalMiss
+            };
+            return self.defer(
+                now,
+                kvs_done,
+                Deferred {
+                    sends: Vec::new(),
+                    completions: vec![(req, kind)],
+                },
+            );
+        }
+
+        // Remote access over the fabric.
+        if let Some(factor) = self.cfg.coalesce {
+            self.coalesce_queues[home].push_back(req);
+            if self.coalesce_queues[home].len() as u32 >= factor {
+                let sends = self.flush_destination(home);
+                return self.defer(now, probe_done, Deferred { sends, completions: Vec::new() });
+            }
+            return Vec::new();
+        }
+        let token = (req << 8) | owner_thread as u64;
+        let pkt = Packet::single(self.id, home, self.sizes.miss_request, TrafficClass::MissRequest, token);
+        self.defer(now, probe_done, Deferred { sends: vec![pkt], completions: Vec::new() })
+    }
+
+    /// Builds the coalesced miss-request packet for one destination.
+    fn flush_destination(&mut self, dst: usize) -> Vec<Packet> {
+        let queued: Vec<u64> = self.coalesce_queues[dst].drain(..).collect();
+        if queued.is_empty() {
+            return Vec::new();
+        }
+        let n = queued.len() as u32;
+        self.next_batch += 1;
+        let batch = self.next_batch;
+        self.batch_store.insert(batch, queued);
+        vec![Packet {
+            src: self.id,
+            dst,
+            bytes: self.sizes.coalesced(TrafficClass::MissRequest, n),
+            class: TrafficClass::MissRequest,
+            messages: n,
+            token: batch,
+        }]
+    }
+
+    /// Completes a request and starts its closed-loop successor.
+    fn complete(&mut self, now: SimTime, req: u64, kind: CompletionKind) -> Vec<Emit> {
+        let Some(out) = self.outstanding.remove(&req) else {
+            return Vec::new();
+        };
+        let kind = match (kind, out.is_write) {
+            (CompletionKind::LocalMiss | CompletionKind::RemoteMiss, true) => {
+                CompletionKind::MissWrite
+            }
+            (k, _) => k,
+        };
+        let mut emits = vec![Emit::Complete {
+            kind,
+            issued_at: out.issued_at,
+        }];
+        emits.extend(self.issue_request(now));
+        emits
+    }
+
+    /// Sends a credit update every `credit_batch` consistency messages, back
+    /// to the peer that sent the current one (§6.4 batched flow control).
+    fn maybe_credit(&mut self, peer: usize) -> Vec<Packet> {
+        self.consistency_msgs_seen += 1;
+        if self.consistency_msgs_seen % self.cfg.credit_batch == 0 {
+            vec![Packet::single(
+                self.id,
+                peer,
+                self.sizes.credit_update,
+                TrafficClass::CreditUpdate,
+                0,
+            )]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl NodeBehavior for PerfNode {
+    fn on_start(&mut self, now: SimTime) -> Vec<Emit> {
+        // Ramp the closed loop up over the first few microseconds instead of
+        // issuing every outstanding request at t = 0; the huge one-off burst
+        // would otherwise dominate a short measurement window.
+        let ramp = 10 * MICROSECOND;
+        let mut emits: Vec<Emit> = (0..self.cfg.inflight_per_node)
+            .map(|i| Emit::Timer {
+                delay: 1 + (i as SimTime * ramp) / self.cfg.inflight_per_node as SimTime,
+                token: TOKEN_NEW_REQUEST,
+            })
+            .collect();
+        let _ = now;
+        if self.cfg.coalesce.is_some() {
+            emits.push(Emit::Timer {
+                delay: 2 * MICROSECOND,
+                token: TOKEN_FLUSH,
+            });
+        }
+        emits
+    }
+
+    fn on_timer(&mut self, now: SimTime, token: u64) -> Vec<Emit> {
+        if token == TOKEN_NEW_REQUEST {
+            return self.issue_request(now);
+        }
+        if token == TOKEN_FLUSH {
+            let mut emits = Vec::new();
+            for dst in 0..self.cfg.system.nodes {
+                for pkt in self.flush_destination(dst) {
+                    emits.push(Emit::Send(pkt));
+                }
+            }
+            emits.push(Emit::Timer {
+                delay: 2 * MICROSECOND,
+                token: TOKEN_FLUSH,
+            });
+            return emits;
+        }
+        let Some(action) = self.deferred.remove(&token) else {
+            return Vec::new();
+        };
+        let mut emits: Vec<Emit> = action.sends.into_iter().map(Emit::Send).collect();
+        for (req, kind) in action.completions {
+            emits.extend(self.complete(now, req, kind));
+        }
+        emits
+    }
+
+    fn on_packet(&mut self, now: SimTime, pkt: &Packet) -> Vec<Emit> {
+        match pkt.class {
+            TrafficClass::MissRequest => {
+                // Serve the (possibly coalesced) remote access on KVS threads
+                // and reply once the last access completes.
+                let erew = self.cfg.system.kind == SystemKind::BaseErew;
+                let mut done = now;
+                for i in 0..pkt.messages {
+                    let pool = if erew {
+                        // Single (non-coalesced) requests carry the owner
+                        // core in the low token bits; coalesced batches are
+                        // not used with EREW and fall back to round-robin.
+                        let idx = if pkt.messages == 1 {
+                            (pkt.token & 0xFF) as usize % self.kvs_pools.len()
+                        } else {
+                            ((pkt.token as usize).wrapping_add(i as usize)) % self.kvs_pools.len()
+                        };
+                        &mut self.kvs_pools[idx]
+                    } else {
+                        &mut self.kvs_pools[0]
+                    };
+                    done = done.max(pool.enqueue(now, self.cfg.kvs_service_ns));
+                }
+                let reply = Packet {
+                    src: self.id,
+                    dst: pkt.src,
+                    bytes: self.sizes.coalesced(TrafficClass::MissResponse, pkt.messages),
+                    class: TrafficClass::MissResponse,
+                    messages: pkt.messages,
+                    token: pkt.token,
+                };
+                self.defer(now, done, Deferred { sends: vec![reply], completions: Vec::new() })
+            }
+            TrafficClass::MissResponse => {
+                if pkt.messages > 1 {
+                    let reqs = self.batch_store.remove(&pkt.token).unwrap_or_default();
+                    let mut emits = Vec::new();
+                    for req in reqs {
+                        emits.extend(self.complete(now, req, CompletionKind::RemoteMiss));
+                    }
+                    emits
+                } else {
+                    self.complete(now, pkt.token >> 8, CompletionKind::RemoteMiss)
+                }
+            }
+            TrafficClass::Invalidation => {
+                // Cache-thread work, then acknowledge back to the writer.
+                let done = self.cache_pool.enqueue(now, self.cfg.cache_service_ns);
+                let ack = Packet::single(self.id, pkt.src, self.sizes.ack, TrafficClass::Ack, pkt.token);
+                let mut emits = self.defer(now, done, Deferred { sends: vec![ack], completions: Vec::new() });
+                emits.extend(self.maybe_credit(pkt.src).into_iter().map(Emit::Send));
+                emits
+            }
+            TrafficClass::Ack => {
+                let mut emits: Vec<Emit> =
+                    self.maybe_credit(pkt.src).into_iter().map(Emit::Send).collect();
+                let req = pkt.token;
+                if let Some(pending) = self.lin_pending.get_mut(&req) {
+                    pending.acks += 1;
+                    if pending.acks >= pending.needed {
+                        self.lin_pending.remove(&req);
+                        // Commit: broadcast the value and complete the write.
+                        for upd in self.broadcast(TrafficClass::Update, req) {
+                            emits.push(Emit::Send(upd));
+                        }
+                        emits.extend(self.complete(now, req, CompletionKind::CacheWrite));
+                    }
+                }
+                emits
+            }
+            TrafficClass::Update => {
+                // Apply the update on a cache thread; no reply.
+                let _ = self.cache_pool.enqueue(now, self.cfg.cache_service_ns);
+                self.maybe_credit(pkt.src).into_iter().map(Emit::Send).collect()
+            }
+            TrafficClass::CreditUpdate => Vec::new(),
+        }
+    }
+}
+
+/// Runs one experiment and reports the measured quantities.
+///
+/// # Panics
+///
+/// Panics if the configuration does not validate.
+pub fn run_experiment(cfg: &PerfConfig) -> ExperimentResult {
+    cfg.system.validate().expect("invalid system configuration");
+    // Share the Zipfian normalisation constant across nodes (it is the only
+    // expensive part of workload setup).
+    let shared_zipf = cfg
+        .system
+        .skew
+        .map(|alpha| ZipfGenerator::new(cfg.system.dataset_keys, alpha));
+    let nodes: Vec<PerfNode> = (0..cfg.system.nodes)
+        .map(|id| PerfNode::new(id, *cfg, shared_zipf.clone()))
+        .collect();
+    let fabric = FabricConfig::paper_rack(cfg.system.nodes);
+    let stats = Engine::new(nodes, fabric).run(cfg.horizon);
+    ExperimentResult::from_stats(cfg.system.kind.label().to_string(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(kind: SystemKind) -> PerfConfig {
+        let mut system = SystemConfig::paper_default(kind);
+        // Small dataset keeps Zipf setup cheap in debug test runs.
+        system.dataset_keys = 100_000;
+        system.cache_entries = 100;
+        PerfConfig::quick(system)
+    }
+
+    #[test]
+    fn cckvs_outperforms_base_on_read_only_skew() {
+        let cckvs = run_experiment(&quick(SystemKind::CcKvs(ConsistencyModel::Sc)));
+        let base = run_experiment(&quick(SystemKind::Base));
+        let erew = run_experiment(&quick(SystemKind::BaseErew));
+        assert!(
+            cckvs.throughput_mrps > 2.0 * base.throughput_mrps,
+            "ccKVS {} vs Base {}",
+            cckvs.throughput_mrps,
+            base.throughput_mrps
+        );
+        assert!(
+            base.throughput_mrps > erew.throughput_mrps,
+            "Base {} vs Base-EREW {}",
+            base.throughput_mrps,
+            erew.throughput_mrps
+        );
+        // The observed hit share should track the analytic expectation for
+        // this cache fraction and skew (Fig. 3).
+        let expected = quick(SystemKind::CcKvs(ConsistencyModel::Sc)).system.expected_hit_ratio();
+        let observed = cckvs.hit_mrps / (cckvs.hit_mrps + cckvs.miss_mrps);
+        assert!(
+            (observed - expected).abs() < 0.15,
+            "observed hit share {observed:.2} vs expected {expected:.2}"
+        );
+    }
+
+    #[test]
+    fn uniform_bounds_the_baselines() {
+        let uniform = run_experiment(&quick(SystemKind::Uniform));
+        let base = run_experiment(&quick(SystemKind::Base));
+        assert!(
+            uniform.throughput_mrps >= 0.9 * base.throughput_mrps,
+            "Uniform {} should be at least on par with Base {}",
+            uniform.throughput_mrps,
+            base.throughput_mrps
+        );
+    }
+
+    #[test]
+    fn writes_cost_more_under_lin_than_sc() {
+        let sc = run_experiment(&PerfConfig {
+            system: quick(SystemKind::CcKvs(ConsistencyModel::Sc)).system.with_write_ratio(0.05),
+            ..quick(SystemKind::CcKvs(ConsistencyModel::Sc))
+        });
+        let lin = run_experiment(&PerfConfig {
+            system: quick(SystemKind::CcKvs(ConsistencyModel::Lin)).system.with_write_ratio(0.05),
+            ..quick(SystemKind::CcKvs(ConsistencyModel::Lin))
+        });
+        let sc_1pct = run_experiment(&PerfConfig {
+            system: quick(SystemKind::CcKvs(ConsistencyModel::Sc)).system.with_write_ratio(0.01),
+            ..quick(SystemKind::CcKvs(ConsistencyModel::Sc))
+        });
+        let read_only = run_experiment(&quick(SystemKind::CcKvs(ConsistencyModel::Sc)));
+        assert!(sc.throughput_mrps >= lin.throughput_mrps, "SC {} vs Lin {}", sc.throughput_mrps, lin.throughput_mrps);
+        assert!(read_only.throughput_mrps > sc.throughput_mrps);
+        // Consistency traffic appears only when there are writes and grows
+        // with the write ratio.
+        assert!(read_only.consistency_traffic_fraction() < 1e-9);
+        assert!(sc.consistency_traffic_fraction() > sc_1pct.consistency_traffic_fraction());
+        assert!(lin.consistency_traffic_fraction() > 0.0);
+        assert!(lin.flow_control_fraction() < 0.05, "credit batching keeps flow control negligible");
+    }
+
+    #[test]
+    fn coalescing_improves_small_object_throughput() {
+        let plain = run_experiment(&quick(SystemKind::CcKvs(ConsistencyModel::Sc)));
+        let coalesced = run_experiment(&quick(SystemKind::CcKvs(ConsistencyModel::Sc)).with_coalescing(8));
+        assert!(
+            coalesced.throughput_mrps > 1.3 * plain.throughput_mrps,
+            "coalesced {} vs plain {}",
+            coalesced.throughput_mrps,
+            plain.throughput_mrps
+        );
+    }
+
+    #[test]
+    fn latency_grows_with_load() {
+        let light = run_experiment(&quick(SystemKind::CcKvs(ConsistencyModel::Sc)).with_inflight(16));
+        let heavy = run_experiment(&quick(SystemKind::CcKvs(ConsistencyModel::Sc)).with_inflight(1024));
+        assert!(heavy.throughput_mrps > light.throughput_mrps);
+        assert!(heavy.p95_latency_us >= light.p95_latency_us);
+        assert!(light.avg_latency_us > 0.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Rack fabric configuration and per-node link/switch resource state.
+//!
+//! Every node owns a full-duplex link to the switch. A packet leaving a node
+//! occupies its TX path for `max(serialisation time, switch packet gap)` and
+//! then, after a base propagation + switching latency, occupies the
+//! destination's RX path for the same kind of interval. This reproduces the
+//! two bottlenecks identified in §8.4: link bandwidth for large packets and
+//! the switch packet-processing rate for small packets.
+
+use crate::packet::Packet;
+use crate::SimTime;
+
+/// Static description of the simulated rack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FabricConfig {
+    /// Number of server nodes.
+    pub nodes: usize,
+    /// Per-node link bandwidth in gigabits per second (nominal NIC rate).
+    pub link_gbps: f64,
+    /// Switch per-port packet processing rate in million packets per second.
+    /// The paper measures that small packets are limited by this rate (the
+    /// effective bandwidth drops to ~21.5 Gb/s for ~113 B packets).
+    pub switch_mpps: f64,
+    /// One-way base latency (propagation + switch pipeline) in nanoseconds.
+    pub base_latency_ns: SimTime,
+}
+
+impl FabricConfig {
+    /// The 9-node rack used throughout the paper's evaluation, calibrated so
+    /// that small packets see ~21.5 Gb/s effective per-node bandwidth while
+    /// the nominal link rate is 54 Gb/s (IB 4× FDR data rate).
+    pub fn paper_rack(nodes: usize) -> Self {
+        Self {
+            nodes,
+            link_gbps: 54.0,
+            // The paper measures ~21.5 Gb/s effective for its small-packet
+            // mix (45-70 B request/response messages); that corresponds to a
+            // per-port processing rate of roughly 47 Mpps.
+            switch_mpps: 47.5,
+            base_latency_ns: 2_000,
+        }
+    }
+
+    /// Time to push `bytes` through the link at the nominal rate.
+    pub fn serialization_ns(&self, bytes: u32) -> SimTime {
+        ((bytes as f64 * 8.0) / self.link_gbps).ceil() as SimTime
+    }
+
+    /// Minimum gap between packets imposed by the switch packet rate.
+    pub fn packet_gap_ns(&self) -> SimTime {
+        (1_000.0 / self.switch_mpps).ceil() as SimTime
+    }
+
+    /// Time a packet occupies a port (TX or RX): the larger of the
+    /// serialisation time and the switch packet gap.
+    pub fn port_occupancy_ns(&self, pkt: &Packet) -> SimTime {
+        self.serialization_ns(pkt.bytes).max(self.packet_gap_ns())
+    }
+
+    /// The effective per-node bandwidth (Gb/s) achievable with back-to-back
+    /// packets of `bytes` bytes — the quantity plotted in Fig. 13a.
+    pub fn effective_gbps(&self, bytes: u32) -> f64 {
+        let occupancy = self
+            .serialization_ns(bytes)
+            .max(self.packet_gap_ns())
+            .max(1) as f64;
+        (bytes as f64 * 8.0) / occupancy
+    }
+}
+
+/// Dynamic fabric state: when each node's TX and RX port is next free.
+#[derive(Debug, Clone)]
+pub struct FabricState {
+    config: FabricConfig,
+    tx_free_at: Vec<SimTime>,
+    rx_free_at: Vec<SimTime>,
+}
+
+impl FabricState {
+    /// Creates the state for a fabric.
+    pub fn new(config: FabricConfig) -> Self {
+        Self {
+            config,
+            tx_free_at: vec![0; config.nodes],
+            rx_free_at: vec![0; config.nodes],
+        }
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> &FabricConfig {
+        &self.config
+    }
+
+    /// Schedules `pkt` for transmission at `now`, returning the simulated
+    /// time at which it is fully delivered at the destination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet's endpoints are outside the fabric or loop back
+    /// to the same node (local traffic never touches the fabric).
+    pub fn schedule(&mut self, now: SimTime, pkt: &Packet) -> SimTime {
+        assert!(pkt.src < self.config.nodes && pkt.dst < self.config.nodes);
+        assert_ne!(pkt.src, pkt.dst, "local traffic must not be sent over the fabric");
+        let occupancy = self.config.port_occupancy_ns(pkt);
+        // TX port: wait for it to free, then occupy it.
+        let tx_start = now.max(self.tx_free_at[pkt.src]);
+        let tx_done = tx_start + occupancy;
+        self.tx_free_at[pkt.src] = tx_done;
+        // Propagation + switching, then RX port occupancy at the destination.
+        let rx_ready = tx_done + self.config.base_latency_ns;
+        let rx_start = rx_ready.max(self.rx_free_at[pkt.dst]);
+        let rx_done = rx_start + occupancy;
+        self.rx_free_at[pkt.dst] = rx_done;
+        rx_done
+    }
+
+    /// The time at which `node`'s TX port frees up (diagnostics).
+    pub fn tx_backlog(&self, node: usize, now: SimTime) -> SimTime {
+        self.tx_free_at[node].saturating_sub(now)
+    }
+
+    /// The time at which `node`'s RX port frees up (diagnostics).
+    pub fn rx_backlog(&self, node: usize, now: SimTime) -> SimTime {
+        self.rx_free_at[node].saturating_sub(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::TrafficClass;
+
+    #[test]
+    fn paper_rack_small_packet_bandwidth_is_capped_by_switch() {
+        let cfg = FabricConfig::paper_rack(9);
+        // The average cache-miss message is ~56 B on the wire (45 B request,
+        // 68 B response): back-to-back streams of those reach ~21.5 Gb/s,
+        // the effective small-packet bandwidth the paper measures, while
+        // large packets approach the 54 Gb/s link rate.
+        let small = cfg.effective_gbps(56);
+        let large = cfg.effective_gbps(1024 + 71);
+        assert!(
+            (19.0..24.0).contains(&small),
+            "small-packet effective bandwidth should be ~21.5 Gb/s, got {small}"
+        );
+        assert!(large > 45.0, "large packets should approach the link rate, got {large}");
+    }
+
+    #[test]
+    fn serialization_scales_with_bytes() {
+        let cfg = FabricConfig::paper_rack(9);
+        assert!(cfg.serialization_ns(2048) > cfg.serialization_ns(128));
+        assert!(cfg.packet_gap_ns() > 0);
+    }
+
+    #[test]
+    fn back_to_back_packets_queue_on_the_tx_port() {
+        let cfg = FabricConfig::paper_rack(4);
+        let mut fabric = FabricState::new(cfg);
+        let pkt = Packet::single(0, 1, 113, TrafficClass::MissRequest, 0);
+        let d1 = fabric.schedule(0, &pkt);
+        let d2 = fabric.schedule(0, &pkt);
+        let d3 = fabric.schedule(0, &pkt);
+        assert!(d2 > d1 && d3 > d2, "later packets must be delayed by queueing");
+        let gap = cfg.port_occupancy_ns(&pkt);
+        assert_eq!(d2 - d1, gap);
+        assert_eq!(d3 - d2, gap);
+    }
+
+    #[test]
+    fn incast_queues_on_the_rx_port() {
+        let cfg = FabricConfig::paper_rack(4);
+        let mut fabric = FabricState::new(cfg);
+        // Three different senders target node 3 simultaneously: deliveries
+        // must be serialised by node 3's RX port.
+        let d: Vec<SimTime> = (0..3)
+            .map(|src| {
+                fabric.schedule(
+                    0,
+                    &Packet::single(src, 3, 1024, TrafficClass::MissResponse, 0),
+                )
+            })
+            .collect();
+        assert!(d[1] > d[0] && d[2] > d[1]);
+        assert!(fabric.rx_backlog(3, 0) > 0);
+        assert_eq!(fabric.tx_backlog(2, d[2]), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn local_traffic_is_rejected() {
+        let mut fabric = FabricState::new(FabricConfig::paper_rack(2));
+        fabric.schedule(0, &Packet::single(1, 1, 64, TrafficClass::Ack, 0));
+    }
+}

@@ -1,0 +1,215 @@
+//! Packets, traffic classes and the wire-size model.
+//!
+//! The analytical model of §8.7 fixes the message sizes observed on the real
+//! system for 40-byte values (including all network headers):
+//!
+//! * `B_RR  = 113 B` — a cache-miss remote request plus its reply,
+//! * `B_SC  =  83 B` — one SC update,
+//! * `B_Lin = 183 B` — one Lin invalidation + acknowledgement + update.
+//!
+//! [`MessageSizes`] reproduces those numbers exactly for 40-byte values and
+//! scales them with the value size for the object-size studies (Fig. 12/13).
+
+/// Classification of network traffic, used for the Fig. 11 breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TrafficClass {
+    /// Remote KVS read/write request caused by a cache miss.
+    MissRequest,
+    /// Response to a remote KVS request.
+    MissResponse,
+    /// Consistency update (SC and Lin).
+    Update,
+    /// Consistency invalidation (Lin only).
+    Invalidation,
+    /// Invalidation acknowledgement (Lin only).
+    Ack,
+    /// Credit-update message of the flow-control scheme (header-only).
+    CreditUpdate,
+}
+
+impl TrafficClass {
+    /// All classes, in the order used by the Fig. 11 stacked bars.
+    pub const ALL: [TrafficClass; 6] = [
+        TrafficClass::MissRequest,
+        TrafficClass::MissResponse,
+        TrafficClass::Update,
+        TrafficClass::Invalidation,
+        TrafficClass::Ack,
+        TrafficClass::CreditUpdate,
+    ];
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TrafficClass::MissRequest => "miss-req",
+            TrafficClass::MissResponse => "miss-resp",
+            TrafficClass::Update => "update",
+            TrafficClass::Invalidation => "invalidate",
+            TrafficClass::Ack => "ack",
+            TrafficClass::CreditUpdate => "flow-control",
+        }
+    }
+}
+
+/// A packet on the simulated fabric.
+///
+/// A packet may carry several *logical* messages when request coalescing
+/// (§8.5) is enabled; `messages` records how many, so the switch packet-rate
+/// cost is paid once while byte accounting reflects the full payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    /// Source node.
+    pub src: usize,
+    /// Destination node.
+    pub dst: usize,
+    /// Total bytes on the wire (payload + headers).
+    pub bytes: u32,
+    /// Traffic class (of the dominant logical message).
+    pub class: TrafficClass,
+    /// Number of logical messages coalesced into this packet.
+    pub messages: u32,
+    /// Opaque correlation id used by the node behaviours (e.g. request id).
+    pub token: u64,
+}
+
+impl Packet {
+    /// Creates a packet carrying a single logical message.
+    pub fn single(src: usize, dst: usize, bytes: u32, class: TrafficClass, token: u64) -> Self {
+        Self {
+            src,
+            dst,
+            bytes,
+            class,
+            messages: 1,
+            token,
+        }
+    }
+}
+
+/// Wire sizes of each message type, parameterised by the value size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageSizes {
+    /// Bytes of a cache-miss remote request (key + RPC/network headers).
+    pub miss_request: u32,
+    /// Bytes of the corresponding response (value + headers).
+    pub miss_response: u32,
+    /// Bytes of a consistency update (key + value + timestamp + headers).
+    pub update: u32,
+    /// Bytes of an invalidation (key + timestamp + headers).
+    pub invalidation: u32,
+    /// Bytes of an invalidation acknowledgement.
+    pub ack: u32,
+    /// Bytes of a header-only credit update.
+    pub credit_update: u32,
+    /// The value size these sizes were derived for.
+    pub value_size: u32,
+}
+
+impl MessageSizes {
+    /// Header bytes per additional coalesced message (beyond shared packet
+    /// headers) — application-level header of a request slot.
+    pub const COALESCED_SLOT_HEADER: u32 = 13;
+
+    /// Builds the size table for a given value size.
+    ///
+    /// For 40-byte values this reproduces the paper's constants exactly:
+    /// `miss_request + miss_response = 113`, `update = 83`,
+    /// `invalidation + ack + update = 183`.
+    pub fn for_value_size(value_size: u32) -> Self {
+        Self {
+            miss_request: 45,
+            miss_response: 28 + value_size,
+            update: 43 + value_size,
+            invalidation: 50,
+            ack: 50,
+            credit_update: 16,
+            value_size,
+        }
+    }
+
+    /// `B_RR` of the analytical model: request + response bytes.
+    pub fn remote_access_bytes(&self) -> u32 {
+        self.miss_request + self.miss_response
+    }
+
+    /// `B_SC` of the analytical model: bytes per SC consistency action.
+    pub fn sc_write_bytes(&self) -> u32 {
+        self.update
+    }
+
+    /// `B_Lin` of the analytical model: bytes per Lin consistency action.
+    pub fn lin_write_bytes(&self) -> u32 {
+        self.invalidation + self.ack + self.update
+    }
+
+    /// Size of the given class' single message.
+    pub fn of(&self, class: TrafficClass) -> u32 {
+        match class {
+            TrafficClass::MissRequest => self.miss_request,
+            TrafficClass::MissResponse => self.miss_response,
+            TrafficClass::Update => self.update,
+            TrafficClass::Invalidation => self.invalidation,
+            TrafficClass::Ack => self.ack,
+            TrafficClass::CreditUpdate => self.credit_update,
+        }
+    }
+
+    /// Bytes of a packet that coalesces `n` messages of the given class
+    /// (shared packet header paid once, per-slot header for the rest).
+    pub fn coalesced(&self, class: TrafficClass, n: u32) -> u32 {
+        assert!(n >= 1);
+        let single = self.of(class);
+        single + (n - 1) * (single.saturating_sub(Self::COALESCED_SLOT_HEADER).max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants_for_40_byte_values() {
+        let sizes = MessageSizes::for_value_size(40);
+        assert_eq!(sizes.remote_access_bytes(), 113, "B_RR");
+        assert_eq!(sizes.sc_write_bytes(), 83, "B_SC");
+        assert_eq!(sizes.lin_write_bytes(), 183, "B_Lin");
+    }
+
+    #[test]
+    fn sizes_scale_with_value_size() {
+        let small = MessageSizes::for_value_size(40);
+        let big = MessageSizes::for_value_size(1024);
+        assert_eq!(big.miss_response - small.miss_response, 984);
+        assert_eq!(big.update - small.update, 984);
+        assert_eq!(big.invalidation, small.invalidation, "invalidations carry no value");
+        assert_eq!(big.ack, small.ack);
+    }
+
+    #[test]
+    fn coalescing_amortises_headers() {
+        let sizes = MessageSizes::for_value_size(40);
+        let one = sizes.coalesced(TrafficClass::MissRequest, 1);
+        let ten = sizes.coalesced(TrafficClass::MissRequest, 10);
+        assert_eq!(one, sizes.miss_request);
+        assert!(ten < 10 * one, "coalescing must save header bytes");
+        assert!(ten > one, "coalesced packets still grow with content");
+    }
+
+    #[test]
+    fn class_lookup_matches_fields() {
+        let sizes = MessageSizes::for_value_size(256);
+        for class in TrafficClass::ALL {
+            assert!(sizes.of(class) > 0);
+        }
+        assert_eq!(sizes.of(TrafficClass::Update), sizes.update);
+        assert_eq!(sizes.of(TrafficClass::CreditUpdate), 16);
+    }
+
+    #[test]
+    fn packet_single_has_one_message() {
+        let p = Packet::single(0, 3, 113, TrafficClass::MissRequest, 9);
+        assert_eq!(p.messages, 1);
+        assert_eq!(p.dst, 3);
+        assert_eq!(TrafficClass::MissRequest.label(), "miss-req");
+    }
+}

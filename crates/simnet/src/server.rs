@@ -1,0 +1,120 @@
+//! Deterministic multi-server queue for CPU worker-thread pools.
+//!
+//! ccKVS splits each node's threads into a cache pool and a KVS pool (§6.2).
+//! For the performance model we only need the queueing behaviour: a pool of
+//! `k` identical servers, each able to process one job at a time with a fixed
+//! service time per job class. [`ServerPool`] tracks when each server frees
+//! up and assigns incoming work to the earliest available one.
+
+use crate::SimTime;
+
+/// A pool of identical servers with deterministic service times.
+#[derive(Debug, Clone)]
+pub struct ServerPool {
+    free_at: Vec<SimTime>,
+    busy_ns: u128,
+}
+
+impl ServerPool {
+    /// Creates a pool of `servers` servers, all idle at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is zero.
+    pub fn new(servers: usize) -> Self {
+        assert!(servers > 0, "a pool needs at least one server");
+        Self {
+            free_at: vec![0; servers],
+            busy_ns: 0,
+        }
+    }
+
+    /// Number of servers in the pool.
+    pub fn servers(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// Enqueues a job arriving at `now` requiring `service_ns` of work.
+    /// Returns the completion time.
+    pub fn enqueue(&mut self, now: SimTime, service_ns: SimTime) -> SimTime {
+        let (idx, &free) = self
+            .free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .expect("pool is non-empty");
+        let start = now.max(free);
+        let done = start + service_ns;
+        self.free_at[idx] = done;
+        self.busy_ns += u128::from(service_ns);
+        done
+    }
+
+    /// Total busy time accumulated across all servers (for utilisation).
+    pub fn busy_ns(&self) -> u128 {
+        self.busy_ns
+    }
+
+    /// Utilisation of the pool over the interval `[0, horizon]`.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon == 0 {
+            return 0.0;
+        }
+        self.busy_ns as f64 / (horizon as f64 * self.servers() as f64)
+    }
+
+    /// Earliest time at which any server is free (diagnostics).
+    pub fn earliest_free(&self) -> SimTime {
+        *self.free_at.iter().min().expect("non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_server_serialises_jobs() {
+        let mut pool = ServerPool::new(1);
+        assert_eq!(pool.enqueue(0, 100), 100);
+        assert_eq!(pool.enqueue(0, 100), 200);
+        assert_eq!(pool.enqueue(500, 100), 600);
+        assert_eq!(pool.servers(), 1);
+    }
+
+    #[test]
+    fn parallel_servers_run_concurrently() {
+        let mut pool = ServerPool::new(4);
+        let completions: Vec<SimTime> = (0..4).map(|_| pool.enqueue(0, 100)).collect();
+        assert!(completions.iter().all(|&c| c == 100), "4 jobs fit on 4 servers");
+        // The 5th job queues behind the earliest finisher.
+        assert_eq!(pool.enqueue(0, 100), 200);
+    }
+
+    #[test]
+    fn utilization_accounts_busy_time() {
+        let mut pool = ServerPool::new(2);
+        pool.enqueue(0, 1_000);
+        pool.enqueue(0, 1_000);
+        assert!((pool.utilization(1_000) - 1.0).abs() < 1e-9);
+        assert!((pool.utilization(2_000) - 0.5).abs() < 1e-9);
+        assert_eq!(pool.busy_ns(), 2_000);
+        assert_eq!(pool.utilization(0), 0.0);
+    }
+
+    #[test]
+    fn earliest_free_tracks_backlog() {
+        let mut pool = ServerPool::new(2);
+        assert_eq!(pool.earliest_free(), 0);
+        pool.enqueue(0, 50);
+        assert_eq!(pool.earliest_free(), 0);
+        pool.enqueue(0, 80);
+        assert_eq!(pool.earliest_free(), 50);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_pool_rejected() {
+        let _ = ServerPool::new(0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Measurement collection: traffic accounting, completions and latencies.
+
+use crate::packet::TrafficClass;
+use crate::SimTime;
+use std::collections::BTreeMap;
+
+/// How a completed client request was served (Fig. 9 breakdown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CompletionKind {
+    /// Served from the local symmetric cache.
+    CacheHit,
+    /// Cache miss served by the local KVS shard.
+    LocalMiss,
+    /// Cache miss served by a remote KVS shard over the fabric.
+    RemoteMiss,
+    /// A write that required consistency actions (hit in the cache).
+    CacheWrite,
+    /// A write forwarded to the key's home node.
+    MissWrite,
+}
+
+impl CompletionKind {
+    /// All kinds in reporting order.
+    pub const ALL: [CompletionKind; 5] = [
+        CompletionKind::CacheHit,
+        CompletionKind::LocalMiss,
+        CompletionKind::RemoteMiss,
+        CompletionKind::CacheWrite,
+        CompletionKind::MissWrite,
+    ];
+}
+
+/// A simple latency histogram with exact storage of samples.
+///
+/// The experiments complete at most a few million requests per run, so
+/// storing the raw samples (8 B each) is affordable and keeps percentile
+/// computation exact.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<SimTime>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: SimTime) {
+        self.samples.push(value);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|&s| s as f64).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// The `p`-th percentile (0 < p ≤ 100), or 0 if empty.
+    pub fn percentile(&mut self, p: f64) -> SimTime {
+        assert!(p > 0.0 && p <= 100.0);
+        if self.samples.is_empty() {
+            return 0;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
+        self.samples[rank.saturating_sub(1).min(self.samples.len() - 1)]
+    }
+}
+
+/// Aggregated statistics for one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Bytes sent over the fabric per traffic class.
+    pub bytes_by_class: BTreeMap<TrafficClass, u64>,
+    /// Packets sent over the fabric per traffic class.
+    pub packets_by_class: BTreeMap<TrafficClass, u64>,
+    /// Completed client requests per kind.
+    pub completions: BTreeMap<CompletionKind, u64>,
+    /// End-to-end latency of completed client requests.
+    pub latency: Histogram,
+    /// Simulated time covered by the run (set by the engine on finish).
+    pub elapsed: SimTime,
+    /// Number of nodes in the run (for per-node rates).
+    pub nodes: usize,
+}
+
+impl SimStats {
+    /// Creates empty statistics for a run over `nodes` nodes.
+    pub fn new(nodes: usize) -> Self {
+        Self {
+            nodes,
+            ..Self::default()
+        }
+    }
+
+    /// Records a packet put on the fabric.
+    pub fn record_packet(&mut self, class: TrafficClass, bytes: u32) {
+        *self.bytes_by_class.entry(class).or_insert(0) += u64::from(bytes);
+        *self.packets_by_class.entry(class).or_insert(0) += 1;
+    }
+
+    /// Records a completed client request and its latency.
+    pub fn record_completion(&mut self, kind: CompletionKind, latency: SimTime) {
+        *self.completions.entry(kind).or_insert(0) += 1;
+        self.latency.record(latency);
+    }
+
+    /// Total completed client requests.
+    pub fn total_completions(&self) -> u64 {
+        self.completions.values().sum()
+    }
+
+    /// Completed requests of a specific kind.
+    pub fn completions_of(&self, kind: CompletionKind) -> u64 {
+        self.completions.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Cluster-wide throughput in million requests per second.
+    pub fn throughput_mrps(&self) -> f64 {
+        if self.elapsed == 0 {
+            return 0.0;
+        }
+        let seconds = self.elapsed as f64 / 1e9;
+        self.total_completions() as f64 / 1e6 / seconds
+    }
+
+    /// Total bytes sent over the fabric.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_by_class.values().sum()
+    }
+
+    /// Average per-node network utilisation in Gb/s (sent direction),
+    /// the quantity of Fig. 13a.
+    pub fn per_node_gbps(&self) -> f64 {
+        if self.elapsed == 0 || self.nodes == 0 {
+            return 0.0;
+        }
+        let seconds = self.elapsed as f64 / 1e9;
+        (self.total_bytes() as f64 * 8.0 / 1e9) / seconds / self.nodes as f64
+    }
+
+    /// Fraction of fabric bytes attributed to each traffic class (Fig. 11).
+    pub fn traffic_breakdown(&self) -> BTreeMap<TrafficClass, f64> {
+        let total = self.total_bytes() as f64;
+        let mut out = BTreeMap::new();
+        if total == 0.0 {
+            return out;
+        }
+        for (class, bytes) in &self.bytes_by_class {
+            out.insert(*class, *bytes as f64 / total);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_mean_and_percentiles() {
+        let mut h = Histogram::new();
+        for v in 1..=100 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert!((h.mean() - 50.5).abs() < 1e-9);
+        assert_eq!(h.percentile(50.0), 50);
+        assert_eq!(h.percentile(95.0), 95);
+        assert_eq!(h.percentile(100.0), 100);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let mut h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(95.0), 0);
+    }
+
+    #[test]
+    fn stats_throughput_and_utilisation() {
+        let mut s = SimStats::new(2);
+        s.elapsed = crate::SECOND;
+        for _ in 0..1_000 {
+            s.record_completion(CompletionKind::CacheHit, 1_000);
+            s.record_packet(TrafficClass::MissRequest, 113);
+        }
+        s.record_completion(CompletionKind::RemoteMiss, 5_000);
+        assert_eq!(s.total_completions(), 1_001);
+        assert_eq!(s.completions_of(CompletionKind::CacheHit), 1_000);
+        assert!((s.throughput_mrps() - 0.001001).abs() < 1e-9);
+        assert_eq!(s.total_bytes(), 113_000);
+        // 113 KB over 1 s over 2 nodes.
+        assert!((s.per_node_gbps() - 113_000.0 * 8.0 / 1e9 / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traffic_breakdown_sums_to_one() {
+        let mut s = SimStats::new(1);
+        s.record_packet(TrafficClass::MissRequest, 500);
+        s.record_packet(TrafficClass::Update, 300);
+        s.record_packet(TrafficClass::CreditUpdate, 200);
+        let bd = s.traffic_breakdown();
+        let total: f64 = bd.values().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((bd[&TrafficClass::MissRequest] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_breakdown_is_empty() {
+        let s = SimStats::new(1);
+        assert!(s.traffic_breakdown().is_empty());
+        assert_eq!(s.throughput_mrps(), 0.0);
+        assert_eq!(s.per_node_gbps(), 0.0);
+    }
+}

@@ -1,0 +1,650 @@
+//! The per-node symmetric cache data structure (§4, §6.2).
+//!
+//! The cache "inherits its structure from our KVS (and thus by extension
+//! from MICA), and also implements appropriate support for SC and Lin": each
+//! cached key stores, under a seqlock, the consistency metadata (state,
+//! Lamport clock, last writer, ack counter) next to the value bytes, and is
+//! accessed concurrently by all cache threads of the node (CRCW).
+//!
+//! Protocol decisions are made by the *verified* per-key state machines of
+//! the `consistency` crate: the metadata stored in the object is exactly a
+//! serialised [`ScKeyState`] / [`LinKeyState`], decoded, stepped and
+//! re-encoded inside the seqlock critical section. The byte value travels
+//! alongside; protocol messages carry a compact 64-bit value *tag* and the
+//! transport attaches the bytes.
+
+use consistency::engine::Destination;
+use consistency::lamport::{NodeId, Timestamp};
+use consistency::lin::{LinKeyState, LinStatus, PendingWrite};
+use consistency::messages::{Action, ConsistencyModel, Event, ProtocolMsg};
+use consistency::sc::ScKeyState;
+use kvstore::index::IndexConfig;
+use kvstore::object::ObjectHeader;
+use kvstore::partition::Partition;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Number of bytes of serialised protocol metadata stored before the value.
+/// (The production system packs this into 8 bytes by reusing the version
+/// field for the awaited timestamp; we keep the fields explicit.)
+const META_BYTES: usize = 35;
+
+/// Result of probing the cache for a read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// Cache hit: the value and its timestamp.
+    Hit {
+        /// Value bytes.
+        value: Vec<u8>,
+        /// Timestamp of the value.
+        ts: Timestamp,
+    },
+    /// The key is cached but cannot be read right now (invalid or pending a
+    /// local write under Lin); the caller must retry.
+    Stall,
+    /// The key is not cached; the caller goes to the (possibly remote) KVS.
+    Miss,
+}
+
+/// Result of a write probing the cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// The write hit and completed immediately (SC, or single-replica Lin).
+    Completed {
+        /// Timestamp assigned to the write.
+        ts: Timestamp,
+        /// Protocol messages to send (update broadcast).
+        outgoing: Vec<(Destination, ProtocolMsg)>,
+    },
+    /// The write hit and is pending acknowledgements (Lin).
+    Pending {
+        /// Timestamp assigned to the write.
+        ts: Timestamp,
+        /// Protocol messages to send (invalidation broadcast).
+        outgoing: Vec<(Destination, ProtocolMsg)>,
+    },
+    /// The key is cached but another local write is still pending; retry.
+    Stall,
+    /// The key is not cached; the caller forwards the write to the home node.
+    Miss,
+}
+
+/// Result of delivering a protocol message to the cache.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DeliverOutcome {
+    /// Protocol messages produced in response (acks, update broadcasts).
+    pub outgoing: Vec<(Destination, ProtocolMsg)>,
+    /// Set when this delivery completed a local pending write (Lin commit):
+    /// the timestamp of the committed write.
+    pub committed: Option<Timestamp>,
+    /// The bytes to attach to any `Update` messages in `outgoing` (the value
+    /// of the committed local write).
+    pub commit_value: Option<Vec<u8>>,
+    /// Whether an incoming update's value was applied to the cache.
+    pub applied_update: bool,
+}
+
+/// Serialised protocol metadata (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Meta {
+    lin: LinKeyState,
+}
+
+impl Meta {
+    fn initial(tag: u64) -> Self {
+        Self {
+            lin: LinKeyState::with_initial(tag),
+        }
+    }
+
+    fn encode(&self) -> [u8; META_BYTES] {
+        let mut out = [0u8; META_BYTES];
+        out[0] = match self.lin.status {
+            LinStatus::Valid => 0,
+            LinStatus::Invalid => 1,
+        };
+        out[1..5].copy_from_slice(&self.lin.ts.clock.to_le_bytes());
+        out[5] = self.lin.ts.writer.0;
+        out[6..10].copy_from_slice(&self.lin.awaiting.clock.to_le_bytes());
+        out[10] = self.lin.awaiting.writer.0;
+        match self.lin.pending {
+            None => out[11] = 0,
+            Some(p) => {
+                out[11] = 1;
+                out[12..16].copy_from_slice(&p.ts.clock.to_le_bytes());
+                out[16] = p.ts.writer.0;
+                out[17..25].copy_from_slice(&p.value.to_le_bytes());
+                out[25] = p.acks;
+                out[26] = p.needed;
+            }
+        }
+        out[27..35].copy_from_slice(&self.lin.value.to_le_bytes());
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Self {
+        assert!(bytes.len() >= META_BYTES, "cache metadata truncated");
+        let status = if bytes[0] == 0 {
+            LinStatus::Valid
+        } else {
+            LinStatus::Invalid
+        };
+        let ts = Timestamp::new(
+            u32::from_le_bytes(bytes[1..5].try_into().expect("4 bytes")),
+            NodeId(bytes[5]),
+        );
+        let awaiting = Timestamp::new(
+            u32::from_le_bytes(bytes[6..10].try_into().expect("4 bytes")),
+            NodeId(bytes[10]),
+        );
+        let pending = if bytes[11] == 1 {
+            Some(PendingWrite {
+                ts: Timestamp::new(
+                    u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")),
+                    NodeId(bytes[16]),
+                ),
+                value: u64::from_le_bytes(bytes[17..25].try_into().expect("8 bytes")),
+                acks: bytes[25],
+                needed: bytes[26],
+            })
+        } else {
+            None
+        };
+        let value = u64::from_le_bytes(bytes[27..35].try_into().expect("8 bytes"));
+        Self {
+            lin: LinKeyState {
+                value,
+                ts,
+                status,
+                awaiting,
+                pending,
+            },
+        }
+    }
+
+    /// Runs a protocol step over this metadata for the given model.
+    fn step(
+        &mut self,
+        model: ConsistencyModel,
+        me: NodeId,
+        replicas: usize,
+        event: Event,
+    ) -> Vec<Action> {
+        match model {
+            ConsistencyModel::Lin => self.lin.step(me, replicas, event),
+            ConsistencyModel::Sc => {
+                // SC state is the projection (value, ts) of the Lin state.
+                let mut sc = ScKeyState {
+                    value: self.lin.value,
+                    ts: self.lin.ts,
+                };
+                let actions = sc.step(me, event);
+                self.lin.value = sc.value;
+                self.lin.ts = sc.ts;
+                self.lin.status = LinStatus::Valid;
+                self.lin.pending = None;
+                actions
+            }
+        }
+    }
+}
+
+/// The per-node symmetric cache.
+#[derive(Debug)]
+pub struct SymmetricCache {
+    model: ConsistencyModel,
+    me: NodeId,
+    replicas: usize,
+    store: Partition,
+    /// Bytes of local writes awaiting commitment (Lin), keyed by key.
+    pending_bytes: Mutex<HashMap<u64, Vec<u8>>>,
+}
+
+impl SymmetricCache {
+    /// Creates a cache able to hold `capacity` hot keys with values of up to
+    /// `value_capacity` bytes, for replica `me` of `replicas` caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `replicas` is zero.
+    pub fn new(
+        model: ConsistencyModel,
+        me: NodeId,
+        replicas: usize,
+        capacity: usize,
+        value_capacity: usize,
+    ) -> Self {
+        assert!(replicas > 0, "a deployment needs at least one replica");
+        Self {
+            model,
+            me,
+            replicas,
+            store: Partition::with_index_config(
+                capacity,
+                META_BYTES + value_capacity,
+                IndexConfig::store_for_capacity(capacity),
+            ),
+            pending_bytes: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The consistency model of the deployment.
+    pub fn model(&self) -> ConsistencyModel {
+        self.model
+    }
+
+    /// This replica's node id.
+    pub fn node(&self) -> NodeId {
+        self.me
+    }
+
+    /// Number of keys currently cached.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Whether the cache holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.store.len() == 0
+    }
+
+    /// Whether `key` is cached (which, by symmetry, means *every* node caches
+    /// it — the directory-free property of §4).
+    pub fn contains(&self, key: u64) -> bool {
+        self.store.contains(key)
+    }
+
+    /// Installs a hot key with its current value (cache fill at epoch start).
+    ///
+    /// Returns `false` if the cache is full and the key could not be added.
+    pub fn fill(&self, key: u64, value: &[u8], tag: u64) -> bool {
+        let meta = Meta::initial(tag);
+        let mut payload = Vec::with_capacity(META_BYTES + value.len());
+        payload.extend_from_slice(&meta.encode());
+        payload.extend_from_slice(value);
+        self.store
+            .put(key, ObjectHeader::default(), &payload)
+            .is_ok()
+    }
+
+    /// Evicts `key` from the cache, returning its value and timestamp so the
+    /// caller can write it back to the home node's KVS if it was modified
+    /// (write-back caching, §4).
+    pub fn evict(&self, key: u64) -> Option<(Vec<u8>, Timestamp)> {
+        let snap = self.store.remove(key)?;
+        self.pending_bytes.lock().remove(&key);
+        if snap.value.len() < META_BYTES {
+            return None;
+        }
+        let meta = Meta::decode(&snap.value);
+        Some((snap.value[META_BYTES..].to_vec(), meta.lin.ts))
+    }
+
+    /// All cached keys (diagnostics / epoch reconciliation).
+    pub fn keys(&self) -> Vec<u64> {
+        self.store.keys()
+    }
+
+    /// Probes the cache for a read.
+    pub fn read(&self, key: u64) -> ReadOutcome {
+        let Some(snap) = self.store.get(key) else {
+            return ReadOutcome::Miss;
+        };
+        if snap.value.len() < META_BYTES {
+            return ReadOutcome::Miss;
+        }
+        let meta = Meta::decode(&snap.value);
+        let readable = match self.model {
+            ConsistencyModel::Sc => true,
+            ConsistencyModel::Lin => meta.lin.readable(),
+        };
+        if readable {
+            ReadOutcome::Hit {
+                value: snap.value[META_BYTES..].to_vec(),
+                ts: meta.lin.ts,
+            }
+        } else {
+            ReadOutcome::Stall
+        }
+    }
+
+    /// Probes the cache for a write of `value` (tagged `tag`).
+    pub fn write(&self, key: u64, value: &[u8], tag: u64) -> WriteOutcome {
+        if !self.store.contains(key) {
+            return WriteOutcome::Miss;
+        }
+        let model = self.model;
+        let me = self.me;
+        let replicas = self.replicas;
+        let result = self.store.modify(key, |hdr, payload| {
+            let mut meta = Meta::decode(payload);
+            let actions = meta.step(model, me, replicas, Event::ClientPut { value: tag });
+            if actions.contains(&Action::PutStall) {
+                return (hdr, None, (actions, meta));
+            }
+            let mut new_payload = Vec::with_capacity(META_BYTES + value.len());
+            new_payload.extend_from_slice(&meta.encode());
+            new_payload.extend_from_slice(value);
+            (hdr, Some(new_payload), (actions, meta))
+        });
+        let Some((actions, _meta)) = result else {
+            return WriteOutcome::Miss;
+        };
+        if actions.contains(&Action::PutStall) {
+            return WriteOutcome::Stall;
+        }
+        let outgoing = self.actions_to_msgs(key, &actions);
+        let completed = actions.iter().find_map(|a| match a {
+            Action::PutComplete { ts } => Some(*ts),
+            _ => None,
+        });
+        let pending_ts = actions.iter().find_map(|a| match a {
+            Action::BroadcastInvalidations { ts } => Some(*ts),
+            _ => None,
+        });
+        match (completed, pending_ts) {
+            (Some(ts), _) => WriteOutcome::Completed { ts, outgoing },
+            (None, Some(ts)) => {
+                self.pending_bytes.lock().insert(key, value.to_vec());
+                WriteOutcome::Pending { ts, outgoing }
+            }
+            (None, None) => WriteOutcome::Stall,
+        }
+    }
+
+    /// Delivers a protocol message (invalidation, ack, or update with its
+    /// value bytes) to the cache.
+    pub fn deliver(&self, msg: &ProtocolMsg, update_bytes: Option<&[u8]>) -> DeliverOutcome {
+        let key = msg.key();
+        if !self.store.contains(key) {
+            // Symmetric caches hold identical key sets, so this only happens
+            // transiently around epoch changes; the message is simply stale.
+            return DeliverOutcome::default();
+        }
+        let model = self.model;
+        let me = self.me;
+        let replicas = self.replicas;
+        let event = msg.to_event();
+        let result = self.store.modify(key, |hdr, payload| {
+            let mut meta = Meta::decode(payload);
+            let before_ts = meta.lin.ts;
+            let actions = meta.step(model, me, replicas, event);
+            // Decide the new value bytes.
+            let new_value: Option<&[u8]> = match event {
+                Event::RecvUpdate { ts, .. } => {
+                    if meta.lin.ts == ts && before_ts != ts {
+                        // The update was applied; install its bytes.
+                        update_bytes
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            };
+            let applied = new_value.is_some();
+            let old_value = payload[META_BYTES..].to_vec();
+            let mut new_payload = Vec::with_capacity(META_BYTES + old_value.len());
+            new_payload.extend_from_slice(&meta.encode());
+            new_payload.extend_from_slice(new_value.unwrap_or(&old_value));
+            (hdr, Some(new_payload), (actions, applied))
+        });
+        let Some((actions, applied_update)) = result else {
+            return DeliverOutcome::default();
+        };
+        let outgoing = self.actions_to_msgs(key, &actions);
+        let committed = actions.iter().find_map(|a| match a {
+            Action::PutComplete { ts } => Some(*ts),
+            _ => None,
+        });
+        let commit_value = if committed.is_some() {
+            self.pending_bytes.lock().remove(&key)
+        } else {
+            None
+        };
+        DeliverOutcome {
+            outgoing,
+            committed,
+            commit_value,
+            applied_update,
+        }
+    }
+
+    fn actions_to_msgs(&self, key: u64, actions: &[Action]) -> Vec<(Destination, ProtocolMsg)> {
+        let mut out = Vec::new();
+        for action in actions {
+            match *action {
+                Action::BroadcastInvalidations { ts } => out.push((
+                    Destination::Broadcast,
+                    ProtocolMsg::Invalidation {
+                        key,
+                        ts,
+                        from: self.me,
+                    },
+                )),
+                Action::SendAck { to, ts } => out.push((
+                    Destination::To(to),
+                    ProtocolMsg::Ack {
+                        key,
+                        ts,
+                        from: self.me,
+                    },
+                )),
+                Action::BroadcastUpdates { value, ts } => out.push((
+                    Destination::Broadcast,
+                    ProtocolMsg::Update {
+                        key,
+                        value,
+                        ts,
+                        from: self.me,
+                    },
+                )),
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(model: ConsistencyModel, me: u8) -> SymmetricCache {
+        SymmetricCache::new(model, NodeId(me), 3, 64, 64)
+    }
+
+    #[test]
+    fn fill_and_read_hit() {
+        let c = cache(ConsistencyModel::Sc, 0);
+        assert!(c.fill(5, b"hot", 1));
+        assert!(c.contains(5));
+        match c.read(5) {
+            ReadOutcome::Hit { value, ts } => {
+                assert_eq!(value, b"hot");
+                assert_eq!(ts, Timestamp::ZERO);
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+        assert_eq!(c.read(99), ReadOutcome::Miss);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn sc_write_completes_and_broadcasts_update() {
+        let c = cache(ConsistencyModel::Sc, 1);
+        c.fill(5, b"old", 0);
+        match c.write(5, b"new", 77) {
+            WriteOutcome::Completed { ts, outgoing } => {
+                assert_eq!(ts, Timestamp::new(1, NodeId(1)));
+                assert_eq!(outgoing.len(), 1);
+                assert!(matches!(
+                    outgoing[0],
+                    (Destination::Broadcast, ProtocolMsg::Update { key: 5, value: 77, .. })
+                ));
+            }
+            other => panic!("expected completed write, got {other:?}"),
+        }
+        // The local read immediately sees the new value (non-blocking SC).
+        assert!(matches!(c.read(5), ReadOutcome::Hit { value, .. } if value == b"new"));
+    }
+
+    #[test]
+    fn lin_write_blocks_until_acks_then_commits() {
+        let c = cache(ConsistencyModel::Lin, 0);
+        c.fill(5, b"old", 0);
+        let ts = match c.write(5, b"new", 42) {
+            WriteOutcome::Pending { ts, outgoing } => {
+                assert!(matches!(
+                    outgoing[0],
+                    (Destination::Broadcast, ProtocolMsg::Invalidation { key: 5, .. })
+                ));
+                ts
+            }
+            other => panic!("expected pending write, got {other:?}"),
+        };
+        // Local reads stall while the write is pending.
+        assert_eq!(c.read(5), ReadOutcome::Stall);
+        // A second local write to the same key also stalls.
+        assert_eq!(c.write(5, b"other", 43), WriteOutcome::Stall);
+        // Deliver the two acks.
+        let ack1 = ProtocolMsg::Ack { key: 5, ts, from: NodeId(1) };
+        let out1 = c.deliver(&ack1, None);
+        assert!(out1.committed.is_none());
+        let ack2 = ProtocolMsg::Ack { key: 5, ts, from: NodeId(2) };
+        let out2 = c.deliver(&ack2, None);
+        assert_eq!(out2.committed, Some(ts));
+        assert_eq!(out2.commit_value.as_deref(), Some(b"new".as_ref()));
+        assert!(matches!(
+            out2.outgoing[0],
+            (Destination::Broadcast, ProtocolMsg::Update { key: 5, value: 42, .. })
+        ));
+        // Now readable with the new value.
+        assert!(matches!(c.read(5), ReadOutcome::Hit { value, .. } if value == b"new"));
+    }
+
+    #[test]
+    fn lin_invalidation_blocks_reads_until_update() {
+        let c = cache(ConsistencyModel::Lin, 2);
+        c.fill(5, b"old", 0);
+        let ts = Timestamp::new(1, NodeId(0));
+        let out = c.deliver(
+            &ProtocolMsg::Invalidation { key: 5, ts, from: NodeId(0) },
+            None,
+        );
+        assert_eq!(out.outgoing.len(), 1);
+        assert!(matches!(
+            out.outgoing[0],
+            (Destination::To(NodeId(0)), ProtocolMsg::Ack { key: 5, .. })
+        ));
+        assert_eq!(c.read(5), ReadOutcome::Stall);
+        // The matching update unblocks the key and installs the bytes.
+        let out = c.deliver(
+            &ProtocolMsg::Update { key: 5, value: 9, ts, from: NodeId(0) },
+            Some(b"fresh"),
+        );
+        assert!(out.applied_update);
+        assert!(matches!(c.read(5), ReadOutcome::Hit { value, ts: t } if value == b"fresh" && t == ts));
+    }
+
+    #[test]
+    fn stale_update_is_not_applied() {
+        let c = cache(ConsistencyModel::Sc, 0);
+        c.fill(5, b"old", 0);
+        c.write(5, b"newer", 1); // local write at ts (1, n0)
+        let out = c.deliver(
+            &ProtocolMsg::Update {
+                key: 5,
+                value: 2,
+                ts: Timestamp::new(1, NodeId(0)),
+                from: NodeId(1),
+            },
+            Some(b"stale"),
+        );
+        // Same timestamp as stored (not newer): discarded.
+        assert!(!out.applied_update);
+        assert!(matches!(c.read(5), ReadOutcome::Hit { value, .. } if value == b"newer"));
+    }
+
+    #[test]
+    fn writes_and_reads_to_uncached_keys_miss() {
+        let c = cache(ConsistencyModel::Lin, 0);
+        assert_eq!(c.write(1, b"x", 0), WriteOutcome::Miss);
+        assert_eq!(c.read(1), ReadOutcome::Miss);
+        let out = c.deliver(
+            &ProtocolMsg::Update {
+                key: 1,
+                value: 0,
+                ts: Timestamp::new(1, NodeId(1)),
+                from: NodeId(1),
+            },
+            Some(b"x"),
+        );
+        assert_eq!(out, DeliverOutcome::default());
+    }
+
+    #[test]
+    fn evict_returns_value_and_timestamp_for_write_back() {
+        let c = cache(ConsistencyModel::Sc, 0);
+        c.fill(5, b"old", 0);
+        c.write(5, b"dirty", 1);
+        let (value, ts) = c.evict(5).expect("key was cached");
+        assert_eq!(value, b"dirty");
+        assert_eq!(ts, Timestamp::new(1, NodeId(0)));
+        assert!(!c.contains(5));
+        assert!(c.evict(5).is_none());
+    }
+
+    #[test]
+    fn meta_roundtrip() {
+        let meta = Meta {
+            lin: LinKeyState {
+                value: 0xDEAD_BEEF_CAFE,
+                ts: Timestamp::new(77, NodeId(3)),
+                status: LinStatus::Invalid,
+                awaiting: Timestamp::new(78, NodeId(4)),
+                pending: Some(PendingWrite {
+                    ts: Timestamp::new(79, NodeId(3)),
+                    value: 123,
+                    acks: 2,
+                    needed: 8,
+                }),
+            },
+        };
+        assert_eq!(Meta::decode(&meta.encode()), meta);
+        let empty = Meta::initial(9);
+        assert_eq!(Meta::decode(&empty.encode()), empty);
+    }
+
+    #[test]
+    fn concurrent_cache_threads_share_the_cache_crcw() {
+        use std::sync::Arc;
+        let c = Arc::new(cache(ConsistencyModel::Sc, 0));
+        for k in 0..16u64 {
+            c.fill(k, b"seed", 0);
+        }
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..2_000u64 {
+                        let k = i % 16;
+                        if i % 10 == 0 {
+                            let _ = c.write(k, &i.to_le_bytes(), (t as u64) << 32 | i);
+                        } else {
+                            match c.read(k) {
+                                ReadOutcome::Hit { value, .. } => {
+                                    assert!(value == b"seed" || value.len() == 8);
+                                }
+                                ReadOutcome::Miss => panic!("cached key missed"),
+                                ReadOutcome::Stall => {}
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Epoch-based popularity tracking and the cache coordinator (§4).
+//!
+//! The paper adopts the scheme of Li et al.: each epoch, a key-popularity
+//! list approximating the k hottest keys is refreshed from a *sampled*
+//! request stream and propagated to the caches. Because symmetric caching
+//! load-balances requests over all servers, every server observes the same
+//! access distribution — so "it is sufficient for just a single server to act
+//! as the cache coordinator, responsible for identifying the most popular
+//! items and informing the other nodes".
+
+use crate::topk::SpaceSaving;
+
+/// Configuration of the epoch-based tracker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochConfig {
+    /// Number of hot keys the symmetric cache holds (the paper: 0.1 % of the
+    /// dataset, e.g. 250 K keys for the 250 M-key dataset).
+    pub cache_entries: usize,
+    /// Counter capacity of the space-saving summary (≥ `cache_entries`;
+    /// a small multiple gives better accuracy).
+    pub counter_capacity: usize,
+    /// Sample one in `sampling` requests ("request sampling is used to
+    /// alleviate the performance impact of updating the frequency counter").
+    pub sampling: u64,
+    /// Number of (sampled) observations per epoch.
+    pub epoch_length: u64,
+}
+
+impl EpochConfig {
+    /// A reasonable default for a cache of `cache_entries` keys.
+    pub fn for_cache(cache_entries: usize) -> Self {
+        Self {
+            cache_entries,
+            counter_capacity: cache_entries * 4,
+            sampling: 16,
+            epoch_length: (cache_entries as u64 * 8).max(1024),
+        }
+    }
+}
+
+/// The hot set published at the end of an epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HotSet {
+    /// Epoch number that produced this set.
+    pub epoch: u64,
+    /// Hot keys, hottest first, at most `cache_entries` of them.
+    pub keys: Vec<u64>,
+}
+
+impl HotSet {
+    /// Whether `key` is part of the hot set.
+    pub fn contains(&self, key: u64) -> bool {
+        self.keys.contains(&key)
+    }
+}
+
+/// The single coordinator node's popularity tracker.
+///
+/// Feed it the (local) request stream with [`CacheCoordinator::observe`]; at
+/// every epoch boundary it produces a fresh [`HotSet`] that the deployment
+/// installs into all symmetric caches.
+#[derive(Debug, Clone)]
+pub struct CacheCoordinator {
+    config: EpochConfig,
+    summary: SpaceSaving,
+    seen: u64,
+    sampled: u64,
+    epoch: u64,
+}
+
+impl CacheCoordinator {
+    /// Creates a coordinator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (zero entries or sampling).
+    pub fn new(config: EpochConfig) -> Self {
+        assert!(config.cache_entries > 0);
+        assert!(config.counter_capacity >= config.cache_entries);
+        assert!(config.sampling > 0 && config.epoch_length > 0);
+        Self {
+            config,
+            summary: SpaceSaving::new(config.counter_capacity),
+            seen: 0,
+            sampled: 0,
+            epoch: 0,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> EpochConfig {
+        self.config
+    }
+
+    /// The current epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Total requests observed (before sampling).
+    pub fn requests_seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Observes one request for `key`. Returns a new [`HotSet`] when the
+    /// observation closes an epoch.
+    pub fn observe(&mut self, key: u64) -> Option<HotSet> {
+        self.seen += 1;
+        if self.seen % self.config.sampling != 0 {
+            return None;
+        }
+        self.summary.observe(key);
+        self.sampled += 1;
+        if self.sampled < self.config.epoch_length {
+            return None;
+        }
+        Some(self.close_epoch())
+    }
+
+    /// Forces the current epoch to close and publishes the hot set now.
+    pub fn close_epoch(&mut self) -> HotSet {
+        self.epoch += 1;
+        let keys = self.summary.hot_keys(self.config.cache_entries);
+        self.sampled = 0;
+        // Keep the counters across epochs (decayed tracking would also work);
+        // the paper expects the hot set to evolve slowly, "with only a
+        // handful of keys removed/added to the cache every few seconds".
+        HotSet {
+            epoch: self.epoch,
+            keys,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use workload::ZipfGenerator;
+
+    #[test]
+    fn epoch_closes_after_enough_sampled_requests() {
+        let config = EpochConfig {
+            cache_entries: 8,
+            counter_capacity: 32,
+            sampling: 2,
+            epoch_length: 10,
+        };
+        let mut coord = CacheCoordinator::new(config);
+        let mut published = None;
+        // 10 sampled observations need 20 raw requests at sampling = 2.
+        for i in 0..20u64 {
+            published = coord.observe(i % 4);
+            if i < 19 {
+                assert!(published.is_none(), "epoch closed too early at request {i}");
+            }
+        }
+        let hot = published.expect("epoch must close");
+        assert_eq!(hot.epoch, 1);
+        assert!(!hot.keys.is_empty());
+        assert_eq!(coord.requests_seen(), 20);
+    }
+
+    #[test]
+    fn hot_set_tracks_zipf_head() {
+        let config = EpochConfig {
+            cache_entries: 100,
+            counter_capacity: 800,
+            sampling: 4,
+            epoch_length: 20_000,
+        };
+        let mut coord = CacheCoordinator::new(config);
+        let zipf = ZipfGenerator::new(50_000, 0.99);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut hot = None;
+        while hot.is_none() {
+            hot = coord.observe(zipf.sample(&mut rng));
+        }
+        let hot = hot.unwrap();
+        assert_eq!(hot.keys.len(), 100);
+        // Most of the published keys must be genuinely hot ranks.
+        let good = hot.keys.iter().filter(|&&k| k < 300).count();
+        assert!(good >= 70, "only {good}/100 published keys are truly hot");
+        assert!(hot.contains(0), "the hottest key must be cached");
+    }
+
+    #[test]
+    fn forced_epoch_close_works_without_traffic() {
+        let mut coord = CacheCoordinator::new(EpochConfig::for_cache(16));
+        let hot = coord.close_epoch();
+        assert_eq!(hot.epoch, 1);
+        assert!(hot.keys.is_empty());
+        assert_eq!(coord.epoch(), 1);
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = EpochConfig::for_cache(250_000);
+        assert_eq!(c.cache_entries, 250_000);
+        assert!(c.counter_capacity >= c.cache_entries);
+        assert!(c.sampling > 1);
+    }
+}

@@ -1,0 +1,171 @@
+//! Space-saving top-k frequency estimation (Metwally, Agrawal, El Abbadi).
+//!
+//! §4 adopts the scheme of Li et al., which "relies on memory-efficient
+//! top-k algorithms to dynamically learn the popularity distribution": a
+//! bounded set of counters approximates the k most frequent keys of a
+//! stream. When a key outside the monitored set arrives, it replaces the
+//! minimum-count entry and inherits its count (the classic space-saving
+//! over-estimate), guaranteeing that any key with true frequency above
+//! `N / capacity` is present.
+
+use std::collections::HashMap;
+
+/// A space-saving summary of the `capacity` (approximately) hottest keys.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving {
+    capacity: usize,
+    /// key -> (estimated count, over-estimation error).
+    counters: HashMap<u64, (u64, u64)>,
+    total: u64,
+}
+
+impl SpaceSaving {
+    /// Creates a summary tracking up to `capacity` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "space-saving needs at least one counter");
+        Self {
+            capacity,
+            counters: HashMap::with_capacity(capacity + 1),
+            total: 0,
+        }
+    }
+
+    /// Number of counters.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total number of observations recorded.
+    pub fn observations(&self) -> u64 {
+        self.total
+    }
+
+    /// Records one access to `key`.
+    pub fn observe(&mut self, key: u64) {
+        self.total += 1;
+        if let Some((count, _err)) = self.counters.get_mut(&key) {
+            *count += 1;
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.insert(key, (1, 0));
+            return;
+        }
+        // Replace the minimum-count entry; the newcomer inherits its count as
+        // an upper bound and records it as its error.
+        let (&victim, &(min_count, _)) = self
+            .counters
+            .iter()
+            .min_by_key(|(_, (c, _))| *c)
+            .expect("counters are non-empty at capacity");
+        self.counters.remove(&victim);
+        self.counters.insert(key, (min_count + 1, min_count));
+    }
+
+    /// Records `n` accesses to `key`.
+    pub fn observe_n(&mut self, key: u64, n: u64) {
+        for _ in 0..n {
+            self.observe(key);
+        }
+    }
+
+    /// Estimated count of `key` (0 if not monitored).
+    pub fn estimate(&self, key: u64) -> u64 {
+        self.counters.get(&key).map(|(c, _)| *c).unwrap_or(0)
+    }
+
+    /// The monitored keys sorted by estimated count, hottest first.
+    pub fn top(&self, k: usize) -> Vec<(u64, u64)> {
+        let mut entries: Vec<(u64, u64)> = self.counters.iter().map(|(k, (c, _))| (*k, *c)).collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        entries.truncate(k);
+        entries
+    }
+
+    /// The set of monitored keys, hottest first (up to `capacity` keys).
+    pub fn hot_keys(&self, k: usize) -> Vec<u64> {
+        self.top(k).into_iter().map(|(key, _)| key).collect()
+    }
+
+    /// Clears all counters (used at epoch boundaries).
+    pub fn reset(&mut self) {
+        self.counters.clear();
+        self.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use workload::ZipfGenerator;
+
+    #[test]
+    fn exact_when_under_capacity() {
+        let mut ss = SpaceSaving::new(10);
+        for _ in 0..5 {
+            ss.observe(1);
+        }
+        for _ in 0..3 {
+            ss.observe(2);
+        }
+        ss.observe(3);
+        assert_eq!(ss.estimate(1), 5);
+        assert_eq!(ss.estimate(2), 3);
+        assert_eq!(ss.estimate(3), 1);
+        assert_eq!(ss.estimate(99), 0);
+        assert_eq!(ss.top(2), vec![(1, 5), (2, 3)]);
+        assert_eq!(ss.observations(), 9);
+    }
+
+    #[test]
+    fn heavy_hitters_survive_eviction_pressure() {
+        // A genuinely hot key interleaved with a long tail of one-off keys
+        // must remain monitored with a count close to its true frequency.
+        let mut ss = SpaceSaving::new(64);
+        for i in 0..10_000u64 {
+            ss.observe(7); // hot key, every iteration
+            ss.observe(1000 + i); // cold unique key
+        }
+        let est = ss.estimate(7);
+        assert!(est >= 10_000, "space-saving never under-estimates: {est}");
+        assert!(ss.hot_keys(1) == vec![7]);
+    }
+
+    #[test]
+    fn zipfian_stream_top_keys_are_recovered() {
+        // With a Zipfian stream, the true hottest ranks must dominate the
+        // reported top-k.
+        let zipf = ZipfGenerator::new(100_000, 0.99);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ss = SpaceSaving::new(2_000);
+        for _ in 0..200_000 {
+            ss.observe(zipf.sample(&mut rng));
+        }
+        let top100 = ss.hot_keys(100);
+        // At least 80 of the reported top-100 keys must be true top-200 ranks.
+        let good = top100.iter().filter(|&&k| k < 200).count();
+        assert!(good >= 80, "only {good} of the top-100 reported keys are truly hot");
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut ss = SpaceSaving::new(4);
+        ss.observe_n(1, 10);
+        ss.reset();
+        assert_eq!(ss.estimate(1), 0);
+        assert_eq!(ss.observations(), 0);
+        assert!(ss.top(4).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        let _ = SpaceSaving::new(0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Client sessions.
+//!
+//! In ccKVS, clients "load balance their requests (both reads and writes)
+//! across all nodes in a ccKVS deployment, e.g., by picking a server at
+//! random or in a round-robin fashion" (§6). A client is also the unit of
+//! *session order* used by the consistency models (§5.1): gets and puts of a
+//! session must appear to take effect in the order the session issued them.
+
+use crate::keyspace::Dataset;
+use crate::mix::{AccessDistribution, Mix, Op, WorkloadGen};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Identifier of a client session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClientId(pub u32);
+
+/// How a client chooses the server node for each request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadBalancePolicy {
+    /// Pick a node uniformly at random per request.
+    Random,
+    /// Rotate through the nodes.
+    RoundRobin,
+    /// Always send to one node (used only in tests / pathological setups).
+    Pinned(usize),
+}
+
+/// A request as issued by a client: an operation plus the server node chosen
+/// by the load-balancing policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientRequest {
+    /// The issuing session.
+    pub client: ClientId,
+    /// Target server node.
+    pub server: usize,
+    /// The operation itself.
+    pub op: Op,
+    /// Session-local sequence number (session order).
+    pub seq: u64,
+}
+
+/// A client session generating a stream of [`ClientRequest`]s.
+#[derive(Debug, Clone)]
+pub struct ClientSession {
+    id: ClientId,
+    gen: WorkloadGen,
+    policy: LoadBalancePolicy,
+    nodes: usize,
+    rr_next: usize,
+    rng: StdRng,
+    seq: u64,
+}
+
+impl ClientSession {
+    /// Creates a client session over a deployment of `nodes` servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero or a pinned policy points outside the
+    /// deployment.
+    pub fn new(
+        id: ClientId,
+        dataset: &Dataset,
+        distribution: AccessDistribution,
+        mix: Mix,
+        policy: LoadBalancePolicy,
+        nodes: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(nodes > 0, "deployment must have at least one node");
+        if let LoadBalancePolicy::Pinned(n) = policy {
+            assert!(n < nodes, "pinned node {n} outside deployment of {nodes}");
+        }
+        Self {
+            id,
+            gen: WorkloadGen::new(dataset, distribution, mix, seed ^ (id.0 as u64)),
+            policy,
+            nodes,
+            rr_next: id.0 as usize % nodes,
+            rng: StdRng::seed_from_u64(seed.wrapping_mul(0x9E3779B97F4A7C15) ^ id.0 as u64),
+            seq: 0,
+        }
+    }
+
+    /// The session id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Number of requests issued so far.
+    pub fn issued(&self) -> u64 {
+        self.seq
+    }
+
+    /// Issues the next request.
+    pub fn next_request(&mut self) -> ClientRequest {
+        let op = self.gen.next_op();
+        let server = match self.policy {
+            LoadBalancePolicy::Random => self.rng.gen_range(0..self.nodes),
+            LoadBalancePolicy::RoundRobin => {
+                let s = self.rr_next;
+                self.rr_next = (self.rr_next + 1) % self.nodes;
+                s
+            }
+            LoadBalancePolicy::Pinned(n) => n,
+        };
+        let req = ClientRequest {
+            client: self.id,
+            server,
+            op,
+            seq: self.seq,
+        };
+        self.seq += 1;
+        req
+    }
+
+    /// Issues a batch of requests.
+    pub fn batch(&mut self, count: usize) -> Vec<ClientRequest> {
+        (0..count).map(|_| self.next_request()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session(policy: LoadBalancePolicy) -> ClientSession {
+        ClientSession::new(
+            ClientId(3),
+            &Dataset::new(10_000, 40),
+            AccessDistribution::ycsb_default(),
+            Mix::with_write_ratio(0.01),
+            policy,
+            9,
+            11,
+        )
+    }
+
+    #[test]
+    fn round_robin_cycles_through_all_nodes() {
+        let mut s = session(LoadBalancePolicy::RoundRobin);
+        let servers: Vec<usize> = s.batch(18).iter().map(|r| r.server).collect();
+        let mut seen = std::collections::HashSet::new();
+        for w in servers.windows(2) {
+            assert_eq!((w[0] + 1) % 9, w[1]);
+        }
+        seen.extend(servers);
+        assert_eq!(seen.len(), 9);
+    }
+
+    #[test]
+    fn random_policy_covers_all_nodes() {
+        let mut s = session(LoadBalancePolicy::Random);
+        let mut seen = std::collections::HashSet::new();
+        for r in s.batch(2000) {
+            assert!(r.server < 9);
+            seen.insert(r.server);
+        }
+        assert_eq!(seen.len(), 9, "random load balancing should reach every node");
+    }
+
+    #[test]
+    fn pinned_policy_stays_put() {
+        let mut s = session(LoadBalancePolicy::Pinned(4));
+        assert!(s.batch(100).iter().all(|r| r.server == 4));
+    }
+
+    #[test]
+    fn sequence_numbers_are_session_order() {
+        let mut s = session(LoadBalancePolicy::Random);
+        let reqs = s.batch(50);
+        for (i, r) in reqs.iter().enumerate() {
+            assert_eq!(r.seq, i as u64);
+            assert_eq!(r.client, ClientId(3));
+        }
+        assert_eq!(s.issued(), 50);
+    }
+
+    #[test]
+    #[should_panic]
+    fn pinned_outside_deployment_rejected() {
+        let _ = session(LoadBalancePolicy::Pinned(9));
+    }
+}

@@ -1,0 +1,199 @@
+//! Keys, datasets and the hash partitioning of keys onto server shards.
+//!
+//! ccKVS shards the dataset across server nodes (the paper uses 250 million
+//! key-value pairs over 9 nodes, ~28 M keys per node). A key's *home node*
+//! is determined by hashing, so any node can compute it locally; clients do
+//! not need to know the placement because they load-balance requests across
+//! all servers (the NUMA "black box" abstraction, §3).
+
+/// Identifier of a logical key in the dataset.
+///
+/// In the evaluation, keys are 8 bytes; we use the key's rank-independent
+/// 64-bit identity directly. The Zipfian *rank* of a key is decoupled from
+/// its id by a permutation (see [`Dataset::key_of_rank`]) so that popular
+/// keys are spread across shards, exactly as consistent hashing would do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KeyId(pub u64);
+
+impl KeyId {
+    /// A stable 64-bit hash of the key, used for shard selection and for the
+    /// KVS index. SplitMix64 finalizer: cheap, well distributed, and
+    /// deterministic across runs (important for reproducible experiments).
+    pub fn hash64(self) -> u64 {
+        let mut z = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Description of the key-value dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dataset {
+    /// Number of distinct keys.
+    pub keys: u64,
+    /// Value size in bytes (the paper evaluates 40 B, 256 B and 1 KB).
+    pub value_size: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` is zero.
+    pub fn new(keys: u64, value_size: usize) -> Self {
+        assert!(keys > 0, "dataset must contain at least one key");
+        Self { keys, value_size }
+    }
+
+    /// The paper's default dataset: 250 M keys of 40-byte values.
+    pub fn paper_default() -> Self {
+        Self::new(250_000_000, 40)
+    }
+
+    /// Maps a popularity rank (0 = hottest) to a key id.
+    ///
+    /// Uses a Feistel-like mix so that consecutive ranks land on unrelated
+    /// ids (and therefore unrelated shards), mimicking a hashed keyspace.
+    /// The mapping is a bijection on `[0, keys)` obtained by searching from
+    /// a mixed candidate — cheap and deterministic.
+    pub fn key_of_rank(&self, rank: u64) -> KeyId {
+        assert!(rank < self.keys, "rank {rank} outside dataset of {} keys", self.keys);
+        // A multiplicative permutation: (rank * odd) mod 2^64 folded into the
+        // key range via a second mix. To keep it a bijection on [0, keys) we
+        // use the simple affine permutation (a*rank + b) mod keys with `a`
+        // coprime to `keys` (any odd a works when keys is even; otherwise we
+        // fall back to a += 1 until gcd == 1).
+        let mut a: u64 = 6364136223846793005 % self.keys;
+        if a == 0 {
+            a = 1;
+        }
+        while gcd(a, self.keys) != 1 {
+            a += 1;
+        }
+        let b: u64 = 1442695040888963407 % self.keys;
+        KeyId(((a as u128 * rank as u128 + b as u128) % self.keys as u128) as u64)
+    }
+
+    /// Memory footprint of one object (key + value + the 8-byte metadata
+    /// header described in §6.2).
+    pub fn object_bytes(&self) -> usize {
+        8 + self.value_size + 8
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Hash partitioning of the keyspace across `nodes` server nodes and, within
+/// a node, across `threads_per_node` KVS threads (used by the EREW variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMap {
+    /// Number of server nodes in the deployment.
+    pub nodes: usize,
+    /// Number of KVS worker threads per node (EREW partitions at this grain).
+    pub threads_per_node: usize,
+}
+
+impl ShardMap {
+    /// Creates a shard map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(nodes: usize, threads_per_node: usize) -> Self {
+        assert!(nodes > 0 && threads_per_node > 0);
+        Self {
+            nodes,
+            threads_per_node,
+        }
+    }
+
+    /// The home node of a key.
+    pub fn home_node(&self, key: KeyId) -> usize {
+        (key.hash64() % self.nodes as u64) as usize
+    }
+
+    /// The home (node, thread) pair of a key under EREW core-granularity
+    /// partitioning (Base-EREW baseline, §7.1).
+    pub fn home_core(&self, key: KeyId) -> (usize, usize) {
+        let h = key.hash64();
+        let node = (h % self.nodes as u64) as usize;
+        let thread = ((h / self.nodes as u64) % self.threads_per_node as u64) as usize;
+        (node, thread)
+    }
+
+    /// Total number of EREW partitions in the deployment.
+    pub fn total_cores(&self) -> usize {
+        self.nodes * self.threads_per_node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic_and_spreads() {
+        let a = KeyId(42).hash64();
+        let b = KeyId(42).hash64();
+        assert_eq!(a, b);
+        assert_ne!(KeyId(1).hash64(), KeyId(2).hash64());
+    }
+
+    #[test]
+    fn key_of_rank_is_injective_on_small_sets() {
+        let ds = Dataset::new(10_000, 40);
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..ds.keys {
+            let k = ds.key_of_rank(r);
+            assert!(k.0 < ds.keys);
+            assert!(seen.insert(k.0), "rank {r} collided");
+        }
+    }
+
+    #[test]
+    fn key_of_rank_spreads_hot_keys_over_nodes() {
+        // The hottest few hundred keys should not all land on one node.
+        let ds = Dataset::new(1_000_000, 40);
+        let shards = ShardMap::new(9, 20);
+        let mut per_node = vec![0usize; 9];
+        for r in 0..900 {
+            per_node[shards.home_node(ds.key_of_rank(r))] += 1;
+        }
+        for (n, c) in per_node.iter().enumerate() {
+            assert!(*c > 30, "node {n} got only {c} of 900 hot keys");
+        }
+    }
+
+    #[test]
+    fn home_node_within_bounds() {
+        let shards = ShardMap::new(9, 20);
+        for k in 0..10_000u64 {
+            let n = shards.home_node(KeyId(k));
+            assert!(n < 9);
+            let (node, thread) = shards.home_core(KeyId(k));
+            assert!(node < 9 && thread < 20);
+        }
+        assert_eq!(shards.total_cores(), 180);
+    }
+
+    #[test]
+    fn object_bytes_accounts_for_header() {
+        let ds = Dataset::new(10, 40);
+        assert_eq!(ds.object_bytes(), 56);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_dataset_rejected() {
+        let _ = Dataset::new(0, 40);
+    }
+}

@@ -1,0 +1,241 @@
+//! Operation mixes and the combined workload generator.
+//!
+//! The paper evaluates read-only workloads and workloads with "modest" write
+//! ratios (0–5 %, with 0.2 % highlighted as Facebook's reported ratio and 1 %
+//! as the headline configuration).
+
+use crate::keyspace::{Dataset, KeyId};
+use crate::zipf::ZipfGenerator;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How keys are drawn from the dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AccessDistribution {
+    /// Zipfian (power-law) popularity with the given exponent `α`.
+    Zipfian {
+        /// Skew exponent; the paper uses 0.90, 0.99 (default) and 1.01.
+        exponent: f64,
+    },
+    /// Uniform popularity — the paper's `Uniform` upper-bound baseline.
+    Uniform,
+}
+
+impl AccessDistribution {
+    /// The YCSB default used throughout the paper's evaluation.
+    pub fn ycsb_default() -> Self {
+        AccessDistribution::Zipfian { exponent: 0.99 }
+    }
+}
+
+/// Read/write operation mix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mix {
+    /// Fraction of operations that are writes (puts), in `[0, 1]`.
+    pub write_ratio: f64,
+}
+
+impl Mix {
+    /// A read-only mix.
+    pub fn read_only() -> Self {
+        Self { write_ratio: 0.0 }
+    }
+
+    /// A mix with the given write ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `write_ratio` is outside `[0, 1]`.
+    pub fn with_write_ratio(write_ratio: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&write_ratio),
+            "write ratio must be within [0,1], got {write_ratio}"
+        );
+        Self { write_ratio }
+    }
+
+    /// Facebook's reported production write ratio (0.2 %), cited in §7.2.
+    pub fn facebook() -> Self {
+        Self::with_write_ratio(0.002)
+    }
+}
+
+/// The kind of a generated operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// A `get` (read).
+    Get,
+    /// A `put` (write) carrying a fresh value.
+    Put,
+}
+
+/// One client operation against the KVS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Op {
+    /// Target key.
+    pub key: KeyId,
+    /// Get or put.
+    pub kind: OpKind,
+    /// Popularity rank of the key (0 = hottest); retained so experiments can
+    /// classify operations (e.g. expected cache hits) without re-ranking.
+    pub rank: u64,
+    /// For puts: a distinguishing value tag written by the client.
+    pub value_tag: u64,
+}
+
+/// Pre-seeded generator producing a stream of [`Op`]s.
+#[derive(Debug, Clone)]
+pub struct WorkloadGen {
+    dataset: Dataset,
+    distribution: AccessDistribution,
+    mix: Mix,
+    zipf: Option<ZipfGenerator>,
+    rng: StdRng,
+    generated: u64,
+}
+
+impl WorkloadGen {
+    /// Creates a workload generator.
+    pub fn new(dataset: &Dataset, distribution: AccessDistribution, mix: Mix, seed: u64) -> Self {
+        let zipf = match distribution {
+            AccessDistribution::Zipfian { exponent } => {
+                Some(ZipfGenerator::new(dataset.keys, exponent))
+            }
+            AccessDistribution::Uniform => None,
+        };
+        Self {
+            dataset: *dataset,
+            distribution,
+            mix,
+            zipf,
+            rng: StdRng::seed_from_u64(seed),
+            generated: 0,
+        }
+    }
+
+    /// Creates a generator sharing a precomputed Zipfian normalisation
+    /// constant (avoids recomputing the harmonic sum for huge datasets).
+    pub fn with_shared_zipf(dataset: &Dataset, zipf: ZipfGenerator, mix: Mix, seed: u64) -> Self {
+        Self {
+            dataset: *dataset,
+            distribution: AccessDistribution::Zipfian {
+                exponent: zipf.theta(),
+            },
+            mix,
+            zipf: Some(zipf),
+            rng: StdRng::seed_from_u64(seed),
+            generated: 0,
+        }
+    }
+
+    /// The configured access distribution.
+    pub fn distribution(&self) -> AccessDistribution {
+        self.distribution
+    }
+
+    /// The configured operation mix.
+    pub fn mix(&self) -> Mix {
+        self.mix
+    }
+
+    /// The dataset this generator draws from.
+    pub fn dataset(&self) -> Dataset {
+        self.dataset
+    }
+
+    /// Number of operations generated so far.
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    /// Draws the next operation.
+    pub fn next_op(&mut self) -> Op {
+        let rank = match &self.zipf {
+            Some(z) => z.sample(&mut self.rng),
+            None => self.rng.gen_range(0..self.dataset.keys),
+        };
+        let key = self.dataset.key_of_rank(rank);
+        let kind = if self.rng.gen::<f64>() < self.mix.write_ratio {
+            OpKind::Put
+        } else {
+            OpKind::Get
+        };
+        self.generated += 1;
+        Op {
+            key,
+            kind,
+            rank,
+            value_tag: self.generated,
+        }
+    }
+
+    /// Draws a batch of operations.
+    pub fn batch(&mut self, count: usize) -> Vec<Op> {
+        (0..count).map(|_| self.next_op()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> Dataset {
+        Dataset::new(100_000, 40)
+    }
+
+    #[test]
+    fn read_only_mix_produces_no_puts() {
+        let mut gen = WorkloadGen::new(&dataset(), AccessDistribution::ycsb_default(), Mix::read_only(), 1);
+        for _ in 0..10_000 {
+            assert_eq!(gen.next_op().kind, OpKind::Get);
+        }
+    }
+
+    #[test]
+    fn write_ratio_is_respected() {
+        let mut gen = WorkloadGen::new(
+            &dataset(),
+            AccessDistribution::Uniform,
+            Mix::with_write_ratio(0.05),
+            2,
+        );
+        let n = 100_000;
+        let writes = gen.batch(n).iter().filter(|o| o.kind == OpKind::Put).count();
+        let ratio = writes as f64 / n as f64;
+        assert!((ratio - 0.05).abs() < 0.01, "observed write ratio {ratio}");
+    }
+
+    #[test]
+    fn zipfian_stream_is_skewed_uniform_is_not() {
+        let ds = dataset();
+        let mut zipf_gen =
+            WorkloadGen::new(&ds, AccessDistribution::ycsb_default(), Mix::read_only(), 3);
+        let mut uni_gen = WorkloadGen::new(&ds, AccessDistribution::Uniform, Mix::read_only(), 3);
+        let n = 50_000;
+        let zipf_top = zipf_gen.batch(n).iter().filter(|o| o.rank < 100).count();
+        let uni_top = uni_gen.batch(n).iter().filter(|o| o.rank < 100).count();
+        assert!(zipf_top as f64 / (n as f64) > 0.3, "zipf top-100 share too small");
+        assert!(uni_top as f64 / (n as f64) < 0.05, "uniform top-100 share too large");
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let ds = dataset();
+        let a: Vec<_> = WorkloadGen::new(&ds, AccessDistribution::ycsb_default(), Mix::with_write_ratio(0.01), 7)
+            .batch(1000);
+        let b: Vec<_> = WorkloadGen::new(&ds, AccessDistribution::ycsb_default(), Mix::with_write_ratio(0.01), 7)
+            .batch(1000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn facebook_mix_ratio() {
+        assert!((Mix::facebook().write_ratio - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_write_ratio_rejected() {
+        let _ = Mix::with_write_ratio(1.5);
+    }
+}

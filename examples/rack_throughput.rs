@@ -1,0 +1,44 @@
+//! Rack-scale capacity planning with the analytical model (§8.7).
+//!
+//! Uses the validated throughput model to answer deployment questions the
+//! paper's Figures 14 and 15 address: how does ccKVS scale with the number
+//! of servers, and up to which write ratio does symmetric caching pay off?
+//!
+//! Run with `cargo run --release --example rack_throughput`.
+
+use scale_out_ccnuma::prelude::*;
+
+fn main() {
+    println!("servers  ccKVS-SC  ccKVS-Lin  Uniform   (MRPS at 1% writes)");
+    for servers in [5usize, 10, 20, 30, 40] {
+        let p = ModelParams::paper_small_objects(servers, 0.01);
+        println!(
+            "{servers:>7}  {:>8.0}  {:>9.0}  {:>7.0}",
+            throughput_sc_mrps(&p),
+            throughput_lin_mrps(&p),
+            throughput_uniform_mrps(&p)
+        );
+    }
+
+    println!("\nbreak-even write ratio (above which the Uniform baseline wins):");
+    for servers in [10usize, 20, 40] {
+        let p = ModelParams::paper_small_objects(servers, 0.0);
+        println!(
+            "{servers:>7} servers: ccKVS-SC {:.1}%  ccKVS-Lin {:.1}%",
+            breakeven_write_ratio_sc(&p) * 100.0,
+            breakeven_write_ratio_lin(&p) * 100.0
+        );
+    }
+
+    // Cross-check one point against the rack simulator.
+    let mut system = SystemConfig::paper_default(SystemKind::CcKvs(ConsistencyModel::Sc));
+    system.dataset_keys = 1_000_000;
+    system.cache_entries = 1_000;
+    system.write_ratio = 0.01;
+    let measured = run_experiment(&PerfConfig::paper_default(system));
+    let model = throughput_sc_mrps(&ModelParams::paper_small_objects(9, 0.01));
+    println!(
+        "\n9 servers, 1% writes: simulator {:.0} MRPS vs analytical model {:.0} MRPS",
+        measured.throughput_mrps, model
+    );
+}

@@ -1,0 +1,69 @@
+//! Scale-Out ccNUMA — a reproduction of *"Scale-Out ccNUMA: Exploiting Skew
+//! with Strongly Consistent Caching"* (Gavrielatos et al., EuroSys 2018) as a
+//! Rust workspace.
+//!
+//! This facade crate re-exports the workspace members so examples, tests and
+//! downstream users can depend on a single crate:
+//!
+//! * [`workload`] — Zipfian/uniform workload generation, clients, load
+//!   imbalance analysis.
+//! * [`kvstore`] — the MICA-style seqlock-protected key-value store
+//!   substrate (EREW/CRCW).
+//! * [`symcache`] — the symmetric cache, top-k popularity tracking and the
+//!   epoch coordinator.
+//! * [`consistency`] — the per-key SC and per-key Lin protocols, history
+//!   checkers and the explicit-state model checker.
+//! * [`simnet`] — the discrete-event simulated RDMA rack fabric.
+//! * [`analytical`] — the §8.7 throughput model and break-even solver.
+//! * [`cckvs`] — the ccKVS system itself: functional multi-threaded cluster
+//!   and the calibrated performance simulator with all baselines.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use scale_out_ccnuma::prelude::*;
+//!
+//! // A small functional cluster with per-key linearizable symmetric caches.
+//! let cluster = Cluster::start(ClusterConfig::small(ConsistencyModel::Lin));
+//! cluster.install_hot_key(42, b"initial");
+//! cluster.put(0, 1, 42, b"hello ccNUMA");
+//! match cluster.get(1, 2, 42) {
+//!     OpResult::Value(v) => assert_eq!(v, b"hello ccNUMA"),
+//!     _ => unreachable!(),
+//! }
+//! ```
+
+pub use analytical;
+pub use cckvs;
+pub use consistency;
+pub use kvstore;
+pub use simnet;
+pub use symcache;
+pub use workload;
+
+/// One-stop imports for examples and applications.
+pub mod prelude {
+    pub use analytical::{
+        breakeven_write_ratio_lin, breakeven_write_ratio_sc, throughput_lin_mrps,
+        throughput_sc_mrps, throughput_uniform_mrps, ModelParams,
+    };
+    pub use cckvs::prelude::*;
+    pub use consistency::checker::{check, CheckOutcome, CheckerConfig};
+    pub use consistency::messages::ConsistencyModel;
+    pub use symcache::{expected_hit_rate, CacheCoordinator, EpochConfig, SpaceSaving};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_are_wired() {
+        // Touch one item from each re-exported crate.
+        let _ = analytical::ModelParams::paper_small_objects(9, 0.01);
+        let _ = workload::Dataset::new(10, 8);
+        let _ = kvstore::ConcurrencyModel::Crcw;
+        let _ = consistency::messages::ConsistencyModel::Lin;
+        let _ = simnet::MessageSizes::for_value_size(40);
+        let _ = symcache::SpaceSaving::new(4);
+        let _ = cckvs::SystemKind::Base;
+    }
+}

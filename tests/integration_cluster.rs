@@ -1,0 +1,117 @@
+//! End-to-end integration tests: workload generation + coordinator-driven
+//! cache fill + functional cluster + consistency checking.
+
+use scale_out_ccnuma::prelude::*;
+use std::sync::Arc;
+
+/// Builds a cluster whose hot set was chosen by the epoch-based coordinator
+/// from a sampled Zipfian stream, exactly like a ccKVS deployment would.
+fn cluster_with_learned_hot_set(model: ConsistencyModel) -> (Cluster, Vec<u64>) {
+    let dataset = Dataset::new(50_000, 40);
+    let mut coordinator = CacheCoordinator::new(EpochConfig {
+        cache_entries: 32,
+        counter_capacity: 256,
+        sampling: 2,
+        epoch_length: 5_000,
+    });
+    let mut gen = WorkloadGen::new(&dataset, AccessDistribution::ycsb_default(), Mix::read_only(), 3);
+    let hot = loop {
+        if let Some(hot) = coordinator.observe(gen.next_op().rank) {
+            break hot;
+        }
+    };
+    let cluster = Cluster::start(ClusterConfig::small(model));
+    for &rank in &hot.keys {
+        let key = dataset.key_of_rank(rank).0;
+        cluster.install_hot_key(key, &rank.to_le_bytes());
+    }
+    let keys = hot.keys.iter().map(|&r| dataset.key_of_rank(r).0).collect();
+    (cluster, keys)
+}
+
+#[test]
+fn learned_hot_set_serves_reads_from_every_node() {
+    let (cluster, keys) = cluster_with_learned_hot_set(ConsistencyModel::Sc);
+    assert!(!keys.is_empty());
+    for (i, key) in keys.iter().enumerate() {
+        let node = i % cluster.nodes();
+        match cluster.get(0, node, *key) {
+            OpResult::Value(v) => assert_eq!(v.len(), 8, "seeded 8-byte values"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(cluster.is_cached(*key));
+    }
+}
+
+#[test]
+fn mixed_workload_history_is_linearizable_under_lin() {
+    let (cluster, keys) = cluster_with_learned_hot_set(ConsistencyModel::Lin);
+    let cluster = Arc::new(cluster);
+    let keys = Arc::new(keys);
+    let handles: Vec<_> = (0..4u32)
+        .map(|session| {
+            let cluster = Arc::clone(&cluster);
+            let keys = Arc::clone(&keys);
+            std::thread::spawn(move || {
+                for i in 0..150u64 {
+                    let key = keys[(i as usize + session as usize) % keys.len().min(4)];
+                    let node = (i as usize) % cluster.nodes();
+                    if i % 4 == 0 {
+                        let mut value = [0u8; 12];
+                        value[..8].copy_from_slice(&((u64::from(session) << 40) | i).to_le_bytes());
+                        cluster.put(session, node, key, &value);
+                    } else {
+                        cluster.get(session, node, key);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    cluster.quiesce();
+    let history = cluster.history();
+    assert!(history.len() >= 600);
+    history.check_per_key_lin().expect("per-key linearizability");
+}
+
+#[test]
+fn sc_cluster_converges_after_concurrent_writes() {
+    let cluster = Cluster::start(ClusterConfig::small(ConsistencyModel::Sc));
+    cluster.install_hot_key(9, &0u64.to_le_bytes());
+    let cluster = Arc::new(cluster);
+    let writers: Vec<_> = (0..3u32)
+        .map(|session| {
+            let cluster = Arc::clone(&cluster);
+            std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    let value = ((u64::from(session) << 32) | i).to_le_bytes();
+                    cluster.put(session, session as usize % cluster.nodes(), 9, &value);
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().unwrap();
+    }
+    cluster.quiesce();
+    // All replicas converge on the same value.
+    let reference = cluster.peek_cache(0, 9).expect("readable");
+    for node in 1..cluster.nodes() {
+        assert_eq!(cluster.peek_cache(node, 9).expect("readable"), reference);
+    }
+    cluster.history().check_per_key_sc().expect("per-key SC");
+}
+
+#[test]
+fn write_back_on_eviction_reaches_the_home_shard() {
+    // Evicting a dirty key from the symmetric cache must not lose the write:
+    // the cluster's miss path then serves the latest value from the KVS.
+    let cluster = Cluster::start(ClusterConfig::small(ConsistencyModel::Sc));
+    cluster.install_hot_key(77, b"original");
+    cluster.put(0, 1, 77, b"dirty!!!");
+    cluster.quiesce();
+    // Reads hit the cache and see the dirty value.
+    assert_eq!(cluster.get(0, 2, 77), OpResult::Value(b"dirty!!!".to_vec()));
+}

@@ -1,0 +1,102 @@
+//! Cross-crate integration tests of the performance model: the headline
+//! trends of the paper's evaluation must emerge from the simulated rack.
+
+use scale_out_ccnuma::prelude::*;
+use simnet::MICROSECOND;
+
+fn quick(kind: SystemKind) -> PerfConfig {
+    let mut system = SystemConfig::paper_default(kind);
+    system.dataset_keys = 100_000;
+    system.cache_entries = 100;
+    PerfConfig {
+        horizon: 60 * MICROSECOND,
+        inflight_per_node: 512,
+        ..PerfConfig::paper_default(system)
+    }
+}
+
+#[test]
+fn headline_result_cckvs_beats_the_baselines_with_strong_consistency() {
+    // §1: "ccKVS achieves 2.2x the throughput of the state-of-the-art KVS
+    // while guaranteeing strong consistency" (1% writes, Lin).
+    let mut lin = quick(SystemKind::CcKvs(ConsistencyModel::Lin));
+    lin.system.write_ratio = 0.01;
+    let mut base = quick(SystemKind::Base);
+    base.system.write_ratio = 0.01;
+    let lin_result = run_experiment(&lin);
+    let base_result = run_experiment(&base);
+    assert!(
+        lin_result.throughput_mrps > 1.5 * base_result.throughput_mrps,
+        "ccKVS-Lin {} vs Base {}",
+        lin_result.throughput_mrps,
+        base_result.throughput_mrps
+    );
+}
+
+#[test]
+fn cache_miss_throughput_tracks_the_uniform_bound() {
+    // Fig. 9's observation: ccKVS's cache-miss throughput roughly equals the
+    // entire throughput of Uniform, because both are network-bound.
+    let cckvs = run_experiment(&quick(SystemKind::CcKvs(ConsistencyModel::Sc)));
+    let uniform = run_experiment(&quick(SystemKind::Uniform));
+    let ratio = cckvs.miss_mrps / uniform.throughput_mrps;
+    assert!(
+        (0.4..=1.6).contains(&ratio),
+        "miss throughput {} vs uniform {}",
+        cckvs.miss_mrps,
+        uniform.throughput_mrps
+    );
+}
+
+#[test]
+fn analytical_model_and_simulator_agree_on_ordering() {
+    let p = ModelParams::paper_small_objects(9, 0.01);
+    let model_sc = throughput_sc_mrps(&p);
+    let model_lin = throughput_lin_mrps(&p);
+    let model_uniform = throughput_uniform_mrps(&p);
+    assert!(model_sc > model_lin && model_lin > model_uniform);
+
+    let mut sc = quick(SystemKind::CcKvs(ConsistencyModel::Sc));
+    sc.system.write_ratio = 0.01;
+    let mut lin = quick(SystemKind::CcKvs(ConsistencyModel::Lin));
+    lin.system.write_ratio = 0.01;
+    let sim_sc = run_experiment(&sc).throughput_mrps;
+    let sim_lin = run_experiment(&lin).throughput_mrps;
+    let sim_uniform = run_experiment(&quick(SystemKind::Uniform)).throughput_mrps;
+    assert!(sim_sc >= sim_lin, "SC {sim_sc} vs Lin {sim_lin}");
+    assert!(sim_lin > sim_uniform, "Lin {sim_lin} vs Uniform {sim_uniform}");
+}
+
+#[test]
+fn larger_objects_shrink_the_lin_penalty() {
+    // Fig. 12: with 1 KB objects the SC/Lin gap nearly vanishes because data
+    // payloads dominate the consistency-message overhead.
+    let gap = |size: usize| {
+        let mut sc = quick(SystemKind::CcKvs(ConsistencyModel::Sc));
+        sc.system.write_ratio = 0.01;
+        sc.system.value_size = size;
+        let mut lin = sc;
+        lin.system.kind = SystemKind::CcKvs(ConsistencyModel::Lin);
+        let sc_t = run_experiment(&sc).throughput_mrps;
+        let lin_t = run_experiment(&lin).throughput_mrps;
+        (sc_t - lin_t).max(0.0) / sc_t
+    };
+    let small_gap = gap(40);
+    let large_gap = gap(1024);
+    assert!(
+        large_gap <= small_gap + 0.05,
+        "relative SC-Lin gap should not grow with object size: 40B {small_gap:.3} vs 1KB {large_gap:.3}"
+    );
+}
+
+#[test]
+fn expected_hit_ratio_matches_observed_hit_share() {
+    let cfg = quick(SystemKind::CcKvs(ConsistencyModel::Sc));
+    let expected = cfg.system.expected_hit_ratio();
+    let r = run_experiment(&cfg);
+    let observed = r.hit_mrps / (r.hit_mrps + r.miss_mrps);
+    assert!(
+        (observed - expected).abs() < 0.12,
+        "observed hit share {observed:.2} vs expected {expected:.2}"
+    );
+}
