@@ -172,8 +172,17 @@ mod tests {
     #[test]
     fn dispatcher_matches_direct_calls() {
         let p = paper(9, 0.01);
-        assert_eq!(throughput_mrps_of(SystemKind::CcKvsSc, &p), throughput_sc_mrps(&p));
-        assert_eq!(throughput_mrps_of(SystemKind::CcKvsLin, &p), throughput_lin_mrps(&p));
-        assert_eq!(throughput_mrps_of(SystemKind::Uniform, &p), throughput_uniform_mrps(&p));
+        assert_eq!(
+            throughput_mrps_of(SystemKind::CcKvsSc, &p),
+            throughput_sc_mrps(&p)
+        );
+        assert_eq!(
+            throughput_mrps_of(SystemKind::CcKvsLin, &p),
+            throughput_lin_mrps(&p)
+        );
+        assert_eq!(
+            throughput_mrps_of(SystemKind::Uniform, &p),
+            throughput_uniform_mrps(&p)
+        );
     }
 }

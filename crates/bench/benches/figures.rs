@@ -28,9 +28,11 @@ fn fig8_read_only(c: &mut Criterion) {
         SystemKind::Base,
         SystemKind::CcKvs(ConsistencyModel::Sc),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
-            b.iter(|| cckvs::run_experiment(&quick(kind)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| b.iter(|| cckvs::run_experiment(&quick(kind))),
+        );
     }
     group.finish();
 }
@@ -80,5 +82,11 @@ fn fig14_scalability_model(c: &mut Criterion) {
     });
 }
 
-criterion_group!(figures, fig8_read_only, fig10_write_ratio, fig13_coalescing, fig14_scalability_model);
+criterion_group!(
+    figures,
+    fig8_read_only,
+    fig10_write_ratio,
+    fig13_coalescing,
+    fig14_scalability_model
+);
 criterion_main!(figures);

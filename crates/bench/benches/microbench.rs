@@ -1,10 +1,10 @@
 //! Criterion microbenchmarks of the core building blocks.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use consistency::lamport::NodeId;
 use consistency::lin::LinKeyState;
 use consistency::messages::{ConsistencyModel, Event};
 use consistency::sc::ScKeyState;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use kvstore::{ConcurrencyModel, NodeKvs, SeqLock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

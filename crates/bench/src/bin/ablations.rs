@@ -8,8 +8,8 @@
 //! * Credit batching (§6.4): flow-control overhead with and without
 //!   batched credit updates.
 
-use cckvs_bench::{experiment, fmt, Report};
 use cckvs::SystemKind;
+use cckvs_bench::{experiment, fmt, Report};
 use consistency::messages::ConsistencyModel;
 
 fn main() {

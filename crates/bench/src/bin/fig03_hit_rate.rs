@@ -25,7 +25,5 @@ fn main() {
         ]);
     }
     report.emit("fig03_hit_rate");
-    println!(
-        "paper reference points (0.1% cache): 46% (a=0.90), 65% (a=0.99), 69% (a=1.01)"
-    );
+    println!("paper reference points (0.1% cache): 46% (a=0.90), 65% (a=0.99), 69% (a=1.01)");
 }

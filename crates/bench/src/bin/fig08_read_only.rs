@@ -4,8 +4,8 @@
 //! Paper reference (α = 0.99): Base-EREW 95, Base 215, Uniform 240,
 //! ccKVS 690 MRPS.
 
-use cckvs_bench::{experiment, fmt, Report};
 use cckvs::SystemKind;
+use cckvs_bench::{experiment, fmt, Report};
 use consistency::messages::ConsistencyModel;
 
 fn main() {

@@ -5,12 +5,13 @@
 //! entire throughput of Uniform (both network-bound), while cache-hit
 //! throughput grows with the hit rate.
 
-use cckvs_bench::{experiment, fmt, Report};
 use cckvs::SystemKind;
+use cckvs_bench::{experiment, fmt, Report};
 use consistency::messages::ConsistencyModel;
 
 fn main() {
-    let mut report = Report::new("Figure 9: ccKVS completed-request breakdown vs skew (MRPS), 9 nodes");
+    let mut report =
+        Report::new("Figure 9: ccKVS completed-request breakdown vs skew (MRPS), 9 nodes");
     report.header(&["skew", "cache_hits", "cache_misses", "total", "Uniform"]);
     let uniform = cckvs_bench::run(&experiment(SystemKind::Uniform));
     for &alpha in &[0.90, 0.99, 1.01] {

@@ -5,14 +5,21 @@
 //! providing per-key linearizability; at 0.2% (Facebook) the loss vs
 //! read-only is ~3%.
 
-use cckvs_bench::{experiment, fmt, Report};
 use cckvs::SystemKind;
+use cckvs_bench::{experiment, fmt, Report};
 use consistency::messages::ConsistencyModel;
 
 fn main() {
     let ratios = [0.0, 0.002, 0.01, 0.02, 0.03, 0.05];
     let mut report = Report::new("Figure 10: throughput (MRPS) vs write ratio, 9 nodes, zipf 0.99");
-    report.header(&["write_%", "Uniform", "Base-EREW", "Base", "ccKVS-SC", "ccKVS-Lin"]);
+    report.header(&[
+        "write_%",
+        "Uniform",
+        "Base-EREW",
+        "Base",
+        "ccKVS-SC",
+        "ccKVS-Lin",
+    ]);
     for &w in &ratios {
         let mut row = vec![fmt(w * 100.0, 1)];
         for kind in [

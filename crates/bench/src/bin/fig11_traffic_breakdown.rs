@@ -5,15 +5,21 @@
 //! as the write ratio rises; thanks to credit batching, flow control is
 //! negligible.
 
-use cckvs_bench::{experiment, fmt, Report};
 use cckvs::SystemKind;
+use cckvs_bench::{experiment, fmt, Report};
 use consistency::messages::ConsistencyModel;
 use simnet::TrafficClass;
 
 fn main() {
     let mut report = Report::new("Figure 11: % of network traffic by class, 9 nodes, zipf 0.99");
     report.header(&[
-        "system", "write_%", "cache_misses", "updates", "invalidates", "acks", "flow_control",
+        "system",
+        "write_%",
+        "cache_misses",
+        "updates",
+        "invalidates",
+        "acks",
+        "flow_control",
     ]);
     for &w in &[0.01, 0.05] {
         for model in [ConsistencyModel::Sc, ConsistencyModel::Lin] {
@@ -21,7 +27,10 @@ fn main() {
             cfg.system.write_ratio = w;
             let r = cckvs_bench::run(&cfg);
             let pct = |class: TrafficClass| {
-                fmt(r.traffic_fraction.get(&class).copied().unwrap_or(0.0) * 100.0, 1)
+                fmt(
+                    r.traffic_fraction.get(&class).copied().unwrap_or(0.0) * 100.0,
+                    1,
+                )
             };
             let misses = (r.miss_traffic_fraction() * 100.0).round();
             report.row(&[

@@ -4,8 +4,8 @@
 //! Paper reference: ccKVS keeps a >3x lead over Base for larger objects; the
 //! gap between SC and Lin narrows as data payloads dominate the bandwidth.
 
-use cckvs_bench::{experiment, fmt, Report};
 use cckvs::SystemKind;
+use cckvs_bench::{experiment, fmt, Report};
 use consistency::messages::ConsistencyModel;
 
 fn main() {

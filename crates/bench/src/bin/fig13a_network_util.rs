@@ -5,15 +5,14 @@
 //! under-utilised (the switch packet rate is the bottleneck); coalescing
 //! shifts the bottleneck back to network bandwidth.
 
-use cckvs_bench::{experiment, fmt, Report};
 use cckvs::SystemKind;
+use cckvs_bench::{experiment, fmt, Report};
 use consistency::messages::ConsistencyModel;
 use simnet::FabricConfig;
 
 fn main() {
-    let mut report = Report::new(
-        "Figure 13a: per-node network utilisation (Gbits/s), read-only ccKVS, 9 nodes",
-    );
+    let mut report =
+        Report::new("Figure 13a: per-node network utilisation (Gbits/s), read-only ccKVS, 9 nodes");
     report.header(&["object_B", "no_coalescing", "with_coalescing", "link_limit"]);
     let link = FabricConfig::paper_rack(9).link_gbps;
     for &size in &[40usize, 256, 1024] {

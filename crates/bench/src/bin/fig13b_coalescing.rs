@@ -5,14 +5,13 @@
 //! exceeds 2 BRPS for 40-byte objects; the benefit fades for large objects
 //! that are already bandwidth-bound.
 
-use cckvs_bench::{experiment, fmt, Report};
 use cckvs::SystemKind;
+use cckvs_bench::{experiment, fmt, Report};
 use consistency::messages::ConsistencyModel;
 
 fn main() {
-    let mut report = Report::new(
-        "Figure 13b: throughput (MRPS) with request coalescing, 9 nodes, zipf 0.99",
-    );
+    let mut report =
+        Report::new("Figure 13b: throughput (MRPS) with request coalescing, 9 nodes, zipf 0.99");
     report.header(&["write_%", "object_B", "Base", "ccKVS-Lin", "ccKVS-SC"]);
     for &w in &[0.0, 0.01] {
         for &size in &[40usize, 256, 1024] {

@@ -5,8 +5,8 @@
 //! below the 1 ms KVS service target; Lin's 95th percentile rises above its
 //! average at saturation because writes block on invalidation round-trips.
 
-use cckvs_bench::{experiment, fmt, Report};
 use cckvs::SystemKind;
+use cckvs_bench::{experiment, fmt, Report};
 use consistency::messages::ConsistencyModel;
 
 fn main() {
@@ -15,9 +15,21 @@ fn main() {
     );
     report.header(&["system", "inflight/node", "MRPS", "avg_us", "p95_us"]);
     let configs: [(&str, SystemKind, f64); 3] = [
-        ("ccKVS read-only", SystemKind::CcKvs(ConsistencyModel::Sc), 0.0),
-        ("ccKVS-SC 1% writes", SystemKind::CcKvs(ConsistencyModel::Sc), 0.01),
-        ("ccKVS-Lin 1% writes", SystemKind::CcKvs(ConsistencyModel::Lin), 0.01),
+        (
+            "ccKVS read-only",
+            SystemKind::CcKvs(ConsistencyModel::Sc),
+            0.0,
+        ),
+        (
+            "ccKVS-SC 1% writes",
+            SystemKind::CcKvs(ConsistencyModel::Sc),
+            0.01,
+        ),
+        (
+            "ccKVS-Lin 1% writes",
+            SystemKind::CcKvs(ConsistencyModel::Lin),
+            0.01,
+        ),
     ];
     for (label, kind, w) in configs {
         for &inflight in &[64usize, 256, 1024, 4096] {

@@ -6,8 +6,8 @@
 //! with Lin below SC.
 
 use analytical::{throughput_lin_mrps, throughput_sc_mrps, throughput_uniform_mrps, ModelParams};
-use cckvs_bench::{experiment, fmt, Report};
 use cckvs::SystemKind;
+use cckvs_bench::{experiment, fmt, Report};
 use consistency::messages::ConsistencyModel;
 
 fn main() {

@@ -7,8 +7,8 @@
 //! the model predicts.
 
 use analytical::{breakeven_write_ratio_lin, breakeven_write_ratio_sc, ModelParams};
-use cckvs_bench::{experiment, fmt, Report};
 use cckvs::SystemKind;
+use cckvs_bench::{experiment, fmt, Report};
 use consistency::messages::ConsistencyModel;
 
 /// Finds the simulated break-even write ratio by bisection on the write
@@ -46,8 +46,14 @@ fn main() {
             fmt(breakeven_write_ratio_lin(&p) * 100.0, 1),
         ];
         if servers <= 9 {
-            row.push(fmt(simulated_breakeven(ConsistencyModel::Sc, servers) * 100.0, 1));
-            row.push(fmt(simulated_breakeven(ConsistencyModel::Lin, servers) * 100.0, 1));
+            row.push(fmt(
+                simulated_breakeven(ConsistencyModel::Sc, servers) * 100.0,
+                1,
+            ));
+            row.push(fmt(
+                simulated_breakeven(ConsistencyModel::Lin, servers) * 100.0,
+                1,
+            ));
         } else {
             row.extend(["-".to_string(), "-".to_string()]);
         }

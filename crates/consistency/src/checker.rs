@@ -180,7 +180,9 @@ struct GlobalState {
 impl GlobalState {
     fn initial(config: &CheckerConfig) -> Self {
         Self {
-            replicas: (0..config.nodes).map(|_| ReplicaState::new(config.model)).collect(),
+            replicas: (0..config.nodes)
+                .map(|_| ReplicaState::new(config.model))
+                .collect(),
             network: Vec::new(),
             issued: vec![0; config.nodes],
             all_writes: Vec::new(),
@@ -213,30 +215,19 @@ pub fn check(config: &CheckerConfig) -> CheckOutcome {
         let successors = expand(config, &state, &mut stats);
         let successors = match successors {
             Ok(s) => s,
-            Err(description) => {
-                return CheckOutcome::Violation {
-                    stats,
-                    description,
-                }
-            }
+            Err(description) => return CheckOutcome::Violation { stats, description },
         };
         if successors.is_empty() {
             // Terminal state: check deadlock freedom and convergence.
             stats.terminal_states += 1;
             if let Err(description) = check_terminal(config, &state) {
-                return CheckOutcome::Violation {
-                    stats,
-                    description,
-                };
+                return CheckOutcome::Violation { stats, description };
             }
             continue;
         }
         for succ in successors {
             if let Err(description) = check_safety(config, &succ) {
-                return CheckOutcome::Violation {
-                    stats,
-                    description,
-                };
+                return CheckOutcome::Violation { stats, description };
             }
             if visited.insert(succ.clone()) {
                 stats.states += 1;
@@ -272,9 +263,8 @@ fn expand(
             continue;
         }
         next.issued[writer] += 1;
-        let ts = write_timestamp(&actions).ok_or_else(|| {
-            format!("writer {writer} issued a put but no timestamp was assigned")
-        })?;
+        let ts = write_timestamp(&actions)
+            .ok_or_else(|| format!("writer {writer} issued a put but no timestamp was assigned"))?;
         next.all_writes.push((value, ts));
         apply_actions(config, &mut next, writer, value, &actions);
         if config.bug == Some(InjectedBug::SkipAckWait) {
@@ -544,7 +534,10 @@ mod tests {
         let outcome = check(&CheckerConfig::paper_default(ConsistencyModel::Lin));
         match outcome {
             CheckOutcome::Verified(stats) => {
-                assert!(stats.states > 100, "expected a non-trivial state space, got {stats:?}");
+                assert!(
+                    stats.states > 100,
+                    "expected a non-trivial state space, got {stats:?}"
+                );
                 assert!(stats.terminal_states >= 1);
             }
             CheckOutcome::Violation { description, .. } => {
@@ -563,7 +556,10 @@ mod tests {
             bug: None,
         };
         let outcome = check(&config);
-        assert!(outcome.is_verified(), "SC protocol failed verification: {outcome:?}");
+        assert!(
+            outcome.is_verified(),
+            "SC protocol failed verification: {outcome:?}"
+        );
     }
 
     #[test]

@@ -223,7 +223,11 @@ mod tests {
 
     /// Delivers all outgoing messages of `out` produced by `from` into the
     /// other engines, collecting any second-order output (acks, updates).
-    fn route(engines: &mut [NodeEngine], from: usize, out: &StepOutput) -> Vec<(usize, StepOutput)> {
+    fn route(
+        engines: &mut [NodeEngine],
+        from: usize,
+        out: &StepOutput,
+    ) -> Vec<(usize, StepOutput)> {
         let mut produced = Vec::new();
         for (dest, msg) in &out.outgoing {
             match dest {
@@ -254,7 +258,10 @@ mod tests {
             e.seed(7, 0);
         }
         let out = engines[1].client_put(7, 99);
-        assert!(out.put_completed().is_some(), "SC puts complete immediately");
+        assert!(
+            out.put_completed().is_some(),
+            "SC puts complete immediately"
+        );
         route(&mut engines, 1, &out);
         for e in &engines {
             assert_eq!(e.inspect(7).unwrap().0, 99);
@@ -286,7 +293,10 @@ mod tests {
             }
             queue.extend(route(&mut engines, from, &step));
         }
-        assert!(stalled_read_observed, "invalidated replicas must stall reads");
+        assert!(
+            stalled_read_observed,
+            "invalidated replicas must stall reads"
+        );
         assert!(completion_ts.is_some(), "the put must eventually complete");
         // Check: writer's state is readable with the new value.
         let (v, _, readable) = engines[0].inspect(7).unwrap();

@@ -113,7 +113,10 @@ impl History {
             if let RecordKind::Put { value } = op.kind {
                 if op.ts == Timestamp::ZERO {
                     return Err(Violation {
-                        description: format!("put of key {} completed with the zero timestamp", op.key),
+                        description: format!(
+                            "put of key {} completed with the zero timestamp",
+                            op.key
+                        ),
                     });
                 }
                 if let Some(prev) = seen.insert((op.key, op.ts), value) {
@@ -186,7 +189,10 @@ impl History {
         // session order.
         let mut per_session: HashMap<(u32, u64), Vec<&OpRecord>> = HashMap::new();
         for op in &self.ops {
-            per_session.entry((op.session, op.key)).or_default().push(op);
+            per_session
+                .entry((op.session, op.key))
+                .or_default()
+                .push(op);
         }
         for ((session, key), mut ops) in per_session {
             ops.sort_by_key(|o| o.session_seq);
@@ -228,7 +234,10 @@ impl History {
                 .copied()
                 .filter(|o| matches!(o.kind, RecordKind::Put { .. }))
                 .collect();
-            for get in ops.iter().filter(|o| matches!(o.kind, RecordKind::Get { .. })) {
+            for get in ops
+                .iter()
+                .filter(|o| matches!(o.kind, RecordKind::Get { .. }))
+            {
                 for put in &puts {
                     if put.completed_at < get.invoked_at && get.ts < put.ts {
                         return Err(Violation {
@@ -260,7 +269,15 @@ mod tests {
     use super::*;
     use crate::lamport::NodeId;
 
-    fn put(session: u32, key: u64, value: Value, ts: Timestamp, t0: u64, t1: u64, seq: u64) -> OpRecord {
+    fn put(
+        session: u32,
+        key: u64,
+        value: Value,
+        ts: Timestamp,
+        t0: u64,
+        t1: u64,
+        seq: u64,
+    ) -> OpRecord {
         OpRecord {
             session,
             key,
@@ -272,7 +289,15 @@ mod tests {
         }
     }
 
-    fn get(session: u32, key: u64, value: Value, ts: Timestamp, t0: u64, t1: u64, seq: u64) -> OpRecord {
+    fn get(
+        session: u32,
+        key: u64,
+        value: Value,
+        ts: Timestamp,
+        t0: u64,
+        t1: u64,
+        seq: u64,
+    ) -> OpRecord {
         OpRecord {
             session,
             key,

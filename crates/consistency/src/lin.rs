@@ -215,7 +215,10 @@ mod tests {
     fn put_broadcasts_invalidations_and_blocks_reads() {
         let mut st = LinKeyState::default();
         let actions = st.step(ME, N, Event::ClientPut { value: 5 });
-        assert_eq!(actions, vec![Action::BroadcastInvalidations { ts: ts(1, ME) }]);
+        assert_eq!(
+            actions,
+            vec![Action::BroadcastInvalidations { ts: ts(1, ME) }]
+        );
         // The write is not complete: local reads must stall (Lin forbids
         // reading a value whose put has not returned).
         assert_eq!(st.step(ME, N, Event::ClientGet), vec![Action::GetStall]);
@@ -227,20 +230,40 @@ mod tests {
         let mut st = LinKeyState::default();
         st.step(ME, N, Event::ClientPut { value: 5 });
         assert!(st
-            .step(ME, N, Event::RecvAck { from: P1, ts: ts(1, ME) })
+            .step(
+                ME,
+                N,
+                Event::RecvAck {
+                    from: P1,
+                    ts: ts(1, ME)
+                }
+            )
             .is_empty());
-        let actions = st.step(ME, N, Event::RecvAck { from: P2, ts: ts(1, ME) });
+        let actions = st.step(
+            ME,
+            N,
+            Event::RecvAck {
+                from: P2,
+                ts: ts(1, ME),
+            },
+        );
         assert_eq!(
             actions,
             vec![
-                Action::BroadcastUpdates { value: 5, ts: ts(1, ME) },
+                Action::BroadcastUpdates {
+                    value: 5,
+                    ts: ts(1, ME)
+                },
                 Action::PutComplete { ts: ts(1, ME) },
             ]
         );
         // Now the value is readable locally.
         assert_eq!(
             st.step(ME, N, Event::ClientGet),
-            vec![Action::GetResponse { value: 5, ts: ts(1, ME) }]
+            vec![Action::GetResponse {
+                value: 5,
+                ts: ts(1, ME)
+            }]
         );
     }
 
@@ -248,17 +271,49 @@ mod tests {
     fn invalidation_blocks_reads_until_matching_update() {
         let mut st = LinKeyState::with_initial(1);
         // A remote writer invalidates with ts (1, P1).
-        let actions = st.step(ME, N, Event::RecvInvalidation { from: P1, ts: ts(1, P1) });
-        assert_eq!(actions, vec![Action::SendAck { to: P1, ts: ts(1, P1) }]);
+        let actions = st.step(
+            ME,
+            N,
+            Event::RecvInvalidation {
+                from: P1,
+                ts: ts(1, P1),
+            },
+        );
+        assert_eq!(
+            actions,
+            vec![Action::SendAck {
+                to: P1,
+                ts: ts(1, P1)
+            }]
+        );
         assert_eq!(st.step(ME, N, Event::ClientGet), vec![Action::GetStall]);
         // A stale update does not unblock.
-        st.step(ME, N, Event::RecvUpdate { from: P2, value: 9, ts: ts(0, P2) });
+        st.step(
+            ME,
+            N,
+            Event::RecvUpdate {
+                from: P2,
+                value: 9,
+                ts: ts(0, P2),
+            },
+        );
         assert_eq!(st.step(ME, N, Event::ClientGet), vec![Action::GetStall]);
         // The matching update unblocks and installs the value.
-        st.step(ME, N, Event::RecvUpdate { from: P1, value: 7, ts: ts(1, P1) });
+        st.step(
+            ME,
+            N,
+            Event::RecvUpdate {
+                from: P1,
+                value: 7,
+                ts: ts(1, P1),
+            },
+        );
         assert_eq!(
             st.step(ME, N, Event::ClientGet),
-            vec![Action::GetResponse { value: 7, ts: ts(1, P1) }]
+            vec![Action::GetResponse {
+                value: 7,
+                ts: ts(1, P1)
+            }]
         );
     }
 
@@ -266,8 +321,21 @@ mod tests {
     fn stale_invalidation_is_acked_but_ignored() {
         let mut st = LinKeyState::with_initial(1);
         st.ts = ts(5, P2);
-        let actions = st.step(ME, N, Event::RecvInvalidation { from: P1, ts: ts(3, P1) });
-        assert_eq!(actions, vec![Action::SendAck { to: P1, ts: ts(3, P1) }]);
+        let actions = st.step(
+            ME,
+            N,
+            Event::RecvInvalidation {
+                from: P1,
+                ts: ts(3, P1),
+            },
+        );
+        assert_eq!(
+            actions,
+            vec![Action::SendAck {
+                to: P1,
+                ts: ts(3, P1)
+            }]
+        );
         assert!(st.readable(), "a stale invalidation must not block reads");
     }
 
@@ -292,28 +360,103 @@ mod tests {
 
         // Deliver invalidations everywhere (each writer also invalidates the
         // other writer).
-        n1.step(NodeId(1), N, Event::RecvInvalidation { from: NodeId(0), ts: ts0 });
-        n1.step(NodeId(1), N, Event::RecvInvalidation { from: NodeId(2), ts: ts2 });
-        n0.step(NodeId(0), N, Event::RecvInvalidation { from: NodeId(2), ts: ts2 });
-        n2.step(NodeId(2), N, Event::RecvInvalidation { from: NodeId(0), ts: ts0 });
+        n1.step(
+            NodeId(1),
+            N,
+            Event::RecvInvalidation {
+                from: NodeId(0),
+                ts: ts0,
+            },
+        );
+        n1.step(
+            NodeId(1),
+            N,
+            Event::RecvInvalidation {
+                from: NodeId(2),
+                ts: ts2,
+            },
+        );
+        n0.step(
+            NodeId(0),
+            N,
+            Event::RecvInvalidation {
+                from: NodeId(2),
+                ts: ts2,
+            },
+        );
+        n2.step(
+            NodeId(2),
+            N,
+            Event::RecvInvalidation {
+                from: NodeId(0),
+                ts: ts0,
+            },
+        );
 
         // Writer 0 collects its acks (from n1 and n2) and commits.
-        n0.step(NodeId(0), N, Event::RecvAck { from: NodeId(1), ts: ts0 });
-        let c0 = n0.step(NodeId(0), N, Event::RecvAck { from: NodeId(2), ts: ts0 });
+        n0.step(
+            NodeId(0),
+            N,
+            Event::RecvAck {
+                from: NodeId(1),
+                ts: ts0,
+            },
+        );
+        let c0 = n0.step(
+            NodeId(0),
+            N,
+            Event::RecvAck {
+                from: NodeId(2),
+                ts: ts0,
+            },
+        );
         assert!(c0.contains(&Action::PutComplete { ts: ts0 }));
         // Writer 0 was invalidated by the newer ts2, so it must stay blocked
         // for reads until the newer update arrives.
-        assert_eq!(n0.step(NodeId(0), N, Event::ClientGet), vec![Action::GetStall]);
+        assert_eq!(
+            n0.step(NodeId(0), N, Event::ClientGet),
+            vec![Action::GetStall]
+        );
 
         // Writer 2 collects its acks and commits.
-        n2.step(NodeId(2), N, Event::RecvAck { from: NodeId(1), ts: ts2 });
-        let c2 = n2.step(NodeId(2), N, Event::RecvAck { from: NodeId(0), ts: ts2 });
+        n2.step(
+            NodeId(2),
+            N,
+            Event::RecvAck {
+                from: NodeId(1),
+                ts: ts2,
+            },
+        );
+        let c2 = n2.step(
+            NodeId(2),
+            N,
+            Event::RecvAck {
+                from: NodeId(0),
+                ts: ts2,
+            },
+        );
         assert!(c2.contains(&Action::PutComplete { ts: ts2 }));
 
         // Deliver both updates everywhere (in any order).
         for (st, id) in [(&mut n0, 0u8), (&mut n1, 1), (&mut n2, 2)] {
-            st.step(NodeId(id), N, Event::RecvUpdate { from: NodeId(0), value: 100, ts: ts0 });
-            st.step(NodeId(id), N, Event::RecvUpdate { from: NodeId(2), value: 200, ts: ts2 });
+            st.step(
+                NodeId(id),
+                N,
+                Event::RecvUpdate {
+                    from: NodeId(0),
+                    value: 100,
+                    ts: ts0,
+                },
+            );
+            st.step(
+                NodeId(id),
+                N,
+                Event::RecvUpdate {
+                    from: NodeId(2),
+                    value: 200,
+                    ts: ts2,
+                },
+            );
         }
         for st in [&n0, &n1, &n2] {
             assert!(st.readable());
@@ -346,7 +489,14 @@ mod tests {
         st.step(ME, N, Event::ClientPut { value: 1 });
         // Acks for an old write must not count toward the pending one.
         assert!(st
-            .step(ME, N, Event::RecvAck { from: P1, ts: ts(99, P2) })
+            .step(
+                ME,
+                N,
+                Event::RecvAck {
+                    from: P1,
+                    ts: ts(99, P2)
+                }
+            )
             .is_empty());
         assert!(st.pending.is_some());
         assert_eq!(st.pending.unwrap().acks, 0);
@@ -356,7 +506,14 @@ mod tests {
     fn ack_with_no_pending_write_is_ignored() {
         let mut st = LinKeyState::default();
         assert!(st
-            .step(ME, N, Event::RecvAck { from: P1, ts: ts(1, ME) })
+            .step(
+                ME,
+                N,
+                Event::RecvAck {
+                    from: P1,
+                    ts: ts(1, ME)
+                }
+            )
             .is_empty());
     }
 }

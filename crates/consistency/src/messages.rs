@@ -166,7 +166,9 @@ impl ProtocolMsg {
         match *self {
             ProtocolMsg::Invalidation { ts, from, .. } => Event::RecvInvalidation { from, ts },
             ProtocolMsg::Ack { ts, from, .. } => Event::RecvAck { from, ts },
-            ProtocolMsg::Update { value, ts, from, .. } => Event::RecvUpdate { from, value, ts },
+            ProtocolMsg::Update {
+                value, ts, from, ..
+            } => Event::RecvUpdate { from, value, ts },
         }
     }
 }
@@ -185,14 +187,26 @@ mod tests {
         };
         assert_eq!(inv.key(), 9);
         assert_eq!(inv.from(), NodeId(1));
-        assert_eq!(inv.to_event(), Event::RecvInvalidation { from: NodeId(1), ts });
+        assert_eq!(
+            inv.to_event(),
+            Event::RecvInvalidation {
+                from: NodeId(1),
+                ts
+            }
+        );
 
         let ack = ProtocolMsg::Ack {
             key: 9,
             ts,
             from: NodeId(2),
         };
-        assert_eq!(ack.to_event(), Event::RecvAck { from: NodeId(2), ts });
+        assert_eq!(
+            ack.to_event(),
+            Event::RecvAck {
+                from: NodeId(2),
+                ts
+            }
+        );
 
         let upd = ProtocolMsg::Update {
             key: 9,

@@ -141,7 +141,7 @@ mod tests {
         let mut st = ScKeyState::default();
         st.step(ME, Event::ClientPut { value: 10 }); // ts (1, ME)
         st.step(ME, Event::ClientPut { value: 11 }); // ts (2, ME)
-        // A remote update with an older timestamp must not clobber the value.
+                                                     // A remote update with an older timestamp must not clobber the value.
         st.step(
             ME,
             Event::RecvUpdate {
@@ -188,8 +188,22 @@ mod tests {
             _ => unreachable!(),
         };
         // Deliver cross updates.
-        a.step(NodeId(1), Event::RecvUpdate { from: NodeId(2), value: 200, ts: ts_b });
-        b.step(NodeId(2), Event::RecvUpdate { from: NodeId(1), value: 100, ts: ts_a });
+        a.step(
+            NodeId(1),
+            Event::RecvUpdate {
+                from: NodeId(2),
+                value: 200,
+                ts: ts_b,
+            },
+        );
+        b.step(
+            NodeId(2),
+            Event::RecvUpdate {
+                from: NodeId(1),
+                value: 100,
+                ts: ts_a,
+            },
+        );
         assert_eq!(a.value, b.value, "replicas must converge");
         assert_eq!(a.ts, b.ts);
         assert_eq!(a.value, 200, "higher writer id wins the tie-break");

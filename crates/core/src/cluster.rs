@@ -1,26 +1,25 @@
 //! Functional in-process ccKVS cluster (correctness backend).
 //!
-//! Every node owns a real [`SymmetricCache`] (seqlock-backed, CRCW) and a
-//! real [`NodeKvs`] shard. Protocol messages travel through asynchronous
-//! "network" threads that deliver them with optional jitter, so protocol
-//! interleavings comparable to a real rack (reordered acks, racing
-//! invalidations, late updates) actually occur. Client operations can be
-//! issued concurrently from many threads; every operation on a cached key is
-//! recorded in a [`History`] that the consistency checkers validate
-//! (per-key SC / per-key Lin, §5.1).
+//! Every node is a full [`CcNode`] — a real [`symcache::SymmetricCache`]
+//! (seqlock-backed, CRCW) plus a real [`kvstore::NodeKvs`] shard — shared
+//! with the networked serving layer in `cckvs-net`. Protocol messages travel
+//! through asynchronous "network" threads that deliver them with optional
+//! jitter, so protocol interleavings comparable to a real rack (reordered
+//! acks, racing invalidations, late updates) actually occur. Client
+//! operations can be issued concurrently from many threads; every operation
+//! on a cached key is recorded in a [`History`] that the consistency
+//! checkers validate (per-key SC / per-key Lin, §5.1).
 
+use crate::node::{CacheGet, CachePut, CcNode, NodeConfig, Outgoing, DEFAULT_KVS_THREADS};
 use consistency::engine::Destination;
 use consistency::history::{History, OpRecord, RecordKind};
-use consistency::lamport::{NodeId, Timestamp};
+use consistency::lamport::Timestamp;
 use consistency::messages::{ConsistencyModel, ProtocolMsg};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use kvstore::{ConcurrencyModel, NodeKvs};
-use parking_lot::{Condvar, Mutex};
-use std::collections::{HashMap, HashSet};
+use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use symcache::{ReadOutcome, SymmetricCache, WriteOutcome};
-use workload::{KeyId, ShardMap};
 
 /// Configuration of a functional cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +55,19 @@ impl ClusterConfig {
             jitter: true,
         }
     }
+
+    /// The per-node configuration this cluster config induces.
+    pub fn node_config(&self, node: usize) -> NodeConfig {
+        NodeConfig {
+            model: self.model,
+            node,
+            nodes: self.nodes,
+            cache_capacity: self.cache_capacity,
+            kvs_capacity: self.kvs_capacity,
+            value_capacity: self.value_capacity,
+            kvs_threads: DEFAULT_KVS_THREADS,
+        }
+    }
 }
 
 /// The result of a client operation.
@@ -76,17 +88,9 @@ enum NetEvent {
     Shutdown,
 }
 
-struct NodeState {
-    cache: SymmetricCache,
-    kvs: NodeKvs,
-    committed: Mutex<HashSet<(u64, Timestamp)>>,
-    committed_cv: Condvar,
-}
-
 struct ClusterInner {
     cfg: ClusterConfig,
-    nodes: Vec<NodeState>,
-    shards: ShardMap,
+    nodes: Vec<CcNode>,
     net_tx: Sender<NetEvent>,
     clock: AtomicU64,
     tags: AtomicU64,
@@ -107,7 +111,8 @@ impl ClusterInner {
         out
     }
 
-    fn send(&self, from: usize, dest: Destination, msg: ProtocolMsg, bytes: Option<&[u8]>) {
+    fn send(&self, from: usize, outgoing: Outgoing) {
+        let Outgoing { dest, msg, bytes } = outgoing;
         match dest {
             Destination::Broadcast => {
                 for dst in 0..self.cfg.nodes {
@@ -116,7 +121,7 @@ impl ClusterInner {
                             .send(NetEvent::Deliver {
                                 dst,
                                 msg,
-                                bytes: bytes.map(<[u8]>::to_vec),
+                                bytes: bytes.clone(),
                             })
                             .expect("network thread alive");
                     }
@@ -127,7 +132,7 @@ impl ClusterInner {
                     .send(NetEvent::Deliver {
                         dst: node.0 as usize,
                         msg,
-                        bytes: bytes.map(<[u8]>::to_vec),
+                        bytes,
                     })
                     .expect("network thread alive");
             }
@@ -135,18 +140,8 @@ impl ClusterInner {
     }
 
     fn deliver(&self, dst: usize, msg: &ProtocolMsg, bytes: Option<&[u8]>) {
-        let out = self.nodes[dst].cache.deliver(msg, bytes);
-        for (dest, outgoing) in &out.outgoing {
-            let attach = match outgoing {
-                ProtocolMsg::Update { .. } => out.commit_value.as_deref(),
-                _ => None,
-            };
-            self.send(dst, *dest, *outgoing, attach);
-        }
-        if let Some(ts) = out.committed {
-            let node = &self.nodes[dst];
-            node.committed.lock().insert((msg.key(), ts));
-            node.committed_cv.notify_all();
+        for outgoing in self.nodes[dst].deliver(msg, bytes) {
+            self.send(dst, outgoing);
         }
     }
 }
@@ -167,28 +162,11 @@ impl Cluster {
         assert!(cfg.nodes > 0 && cfg.network_threads > 0);
         let (net_tx, net_rx): (Sender<NetEvent>, Receiver<NetEvent>) = unbounded();
         let nodes = (0..cfg.nodes)
-            .map(|id| NodeState {
-                cache: SymmetricCache::new(
-                    cfg.model,
-                    NodeId(id as u8),
-                    cfg.nodes,
-                    cfg.cache_capacity,
-                    cfg.value_capacity,
-                ),
-                kvs: NodeKvs::with_value_capacity(
-                    ConcurrencyModel::Crcw,
-                    4,
-                    cfg.kvs_capacity,
-                    cfg.value_capacity,
-                ),
-                committed: Mutex::new(HashSet::new()),
-                committed_cv: Condvar::new(),
-            })
+            .map(|id| CcNode::new(cfg.node_config(id)))
             .collect();
         let inner = Arc::new(ClusterInner {
             cfg,
             nodes,
-            shards: ShardMap::new(cfg.nodes, 4),
             net_tx,
             clock: AtomicU64::new(1),
             tags: AtomicU64::new(1),
@@ -240,27 +218,26 @@ impl Cluster {
 
     /// Seeds a key into its home node's back-end KVS.
     pub fn seed_kvs(&self, key: u64, value: &[u8]) {
-        let home = self.inner.shards.home_node(KeyId(key));
+        let home = self.inner.nodes[0].home_node(key);
         self.inner.nodes[home]
-            .kvs
+            .kvs()
             .put(key, value, 0)
             .expect("seeding within capacity");
     }
 
     /// Installs a hot key into the symmetric cache of every node (what the
-    /// cache coordinator does at the end of an epoch, §4).
+    /// cache coordinator does at the end of an epoch, §4). The key's home
+    /// shard is seeded with the value as the write-back target.
     pub fn install_hot_key(&self, key: u64, value: &[u8]) {
         for node in &self.inner.nodes {
-            assert!(node.cache.fill(key, value, 0), "cache capacity exceeded");
+            assert!(node.install_hot(key, value), "cache capacity exceeded");
         }
-        // Also make sure the home shard knows the key (write-back target).
-        self.seed_kvs(key, value);
     }
 
     /// Whether a key is currently cached (checked on node 0; by symmetry all
     /// nodes agree).
     pub fn is_cached(&self, key: u64) -> bool {
-        self.inner.nodes[0].cache.contains(key)
+        self.inner.nodes[0].is_cached(key)
     }
 
     /// Executes a get on behalf of `session`, directed at `node` (clients
@@ -268,37 +245,27 @@ impl Cluster {
     pub fn get(&self, session: u32, node: usize, key: u64) -> OpResult {
         let inner = &self.inner;
         let invoked_at = inner.now();
-        loop {
-            match inner.nodes[node].cache.read(key) {
-                ReadOutcome::Hit { value, ts } => {
-                    let completed_at = inner.now();
-                    let seq = inner.next_session_seq(session);
-                    inner.history.lock().record(OpRecord {
-                        session,
-                        key,
-                        kind: RecordKind::Get {
-                            value: value_tag_of(&value),
-                        },
-                        ts,
-                        invoked_at,
-                        completed_at,
-                        session_seq: seq,
-                    });
-                    return OpResult::Value(value);
-                }
-                ReadOutcome::Stall => {
-                    std::thread::yield_now();
-                }
-                ReadOutcome::Miss => {
-                    // Fall through to the (possibly remote) home shard.
-                    let home = inner.shards.home_node(KeyId(key));
-                    let value = inner.nodes[home]
-                        .kvs
-                        .get(key)
-                        .map(|v| v.value)
-                        .unwrap_or_default();
-                    return OpResult::Value(value);
-                }
+        match inner.nodes[node].cache_get(key) {
+            CacheGet::Hit { value, ts } => {
+                let completed_at = inner.now();
+                let seq = inner.next_session_seq(session);
+                inner.history.lock().record(OpRecord {
+                    session,
+                    key,
+                    kind: RecordKind::Get {
+                        value: value_tag_of(&value),
+                    },
+                    ts,
+                    invoked_at,
+                    completed_at,
+                    session_seq: seq,
+                });
+                OpResult::Value(value)
+            }
+            CacheGet::Miss => {
+                // Fall through to the (possibly remote) home shard.
+                let home = inner.nodes[node].home_node(key);
+                OpResult::Value(inner.nodes[home].kvs_get(key))
             }
         }
     }
@@ -308,42 +275,31 @@ impl Cluster {
         let inner = &self.inner;
         let invoked_at = inner.now();
         let tag = inner.tags.fetch_add(1, Ordering::Relaxed);
-        loop {
-            match inner.nodes[node].cache.write(key, value, tag) {
-                WriteOutcome::Completed { ts, outgoing } => {
-                    for (dest, msg) in outgoing {
-                        inner.send(node, dest, msg, Some(value));
-                    }
-                    self.record_put(session, key, value, ts, invoked_at);
-                    return OpResult::Done;
+        match inner.nodes[node].cache_put(key, value, tag) {
+            CachePut::Done { ts, outgoing } => {
+                for out in outgoing {
+                    inner.send(node, out);
                 }
-                WriteOutcome::Pending { ts, outgoing } => {
-                    for (dest, msg) in outgoing {
-                        inner.send(node, dest, msg, None);
-                    }
-                    // Blocking write (Lin): wait until the commit is signalled
-                    // by the network thread that delivered the last ack.
-                    let state = &inner.nodes[node];
-                    let mut committed = state.committed.lock();
-                    while !committed.remove(&(key, ts)) {
-                        state.committed_cv.wait(&mut committed);
-                    }
-                    drop(committed);
-                    self.record_put(session, key, value, ts, invoked_at);
-                    return OpResult::Done;
+                self.record_put(session, key, value, ts, invoked_at);
+                OpResult::Done
+            }
+            CachePut::Pending { ts, outgoing } => {
+                for out in outgoing {
+                    inner.send(node, out);
                 }
-                WriteOutcome::Stall => {
-                    std::thread::yield_now();
-                }
-                WriteOutcome::Miss => {
-                    // Forward to the home node, which performs the write.
-                    let home = inner.shards.home_node(KeyId(key));
-                    inner.nodes[home]
-                        .kvs
-                        .put_if_newer(0, key, value, tag as u32, node as u8)
-                        .expect("miss-path write");
-                    return OpResult::Done;
-                }
+                // Blocking write (Lin): wait until the commit is signalled
+                // by the network thread that delivered the last ack.
+                inner.nodes[node].wait_committed(key, ts);
+                self.record_put(session, key, value, ts, invoked_at);
+                OpResult::Done
+            }
+            CachePut::Miss => {
+                // Forward to the home node, which performs the write.
+                let home = inner.nodes[node].home_node(key);
+                inner.nodes[home]
+                    .kvs_put(key, value, tag as u32, node as u8)
+                    .expect("miss-path write within KVS capacity");
+                OpResult::Done
             }
         }
     }
@@ -383,8 +339,8 @@ impl Cluster {
     /// Reads a key's value directly from one node's cache, bypassing the
     /// protocol (diagnostics; returns `None` on a miss or unreadable entry).
     pub fn peek_cache(&self, node: usize, key: u64) -> Option<Vec<u8>> {
-        match self.inner.nodes[node].cache.read(key) {
-            ReadOutcome::Hit { value, .. } => Some(value),
+        match self.inner.nodes[node].cache().read(key) {
+            symcache::ReadOutcome::Hit { value, .. } => Some(value),
             _ => None,
         }
     }
@@ -406,7 +362,7 @@ impl Drop for Cluster {
 /// same bytes, so the checkers can match reads to writes. Values written by
 /// the cluster always carry their tag in the first 8 bytes when they are
 /// cluster-generated; seeded values fall back to a hash.
-fn value_tag_of(value: &[u8]) -> u64 {
+pub fn value_tag_of(value: &[u8]) -> u64 {
     if value.len() >= 8 {
         u64::from_le_bytes(value[..8].try_into().expect("8 bytes"))
     } else {
@@ -506,12 +462,15 @@ mod tests {
                             // Lin sessions deliberately spread across nodes.
                             let node = match model {
                                 ConsistencyModel::Sc => session as usize % cluster.nodes(),
-                                ConsistencyModel::Lin => (session as u64 + i) as usize % cluster.nodes(),
+                                ConsistencyModel::Lin => {
+                                    (session as u64 + i) as usize % cluster.nodes()
+                                }
                             };
                             let key = i % 4;
                             if (i + u64::from(session)) % 3 == 0 {
                                 let mut value = [0u8; 16];
-                                value[..8].copy_from_slice(&(u64::from(session) << 32 | i).to_le_bytes());
+                                value[..8]
+                                    .copy_from_slice(&(u64::from(session) << 32 | i).to_le_bytes());
                                 cluster.put(session, node, key, &value);
                             } else {
                                 cluster.get(session, node, key);

@@ -157,7 +157,10 @@ mod tests {
     #[test]
     fn labels_match_the_paper() {
         assert_eq!(SystemKind::CcKvs(ConsistencyModel::Sc).label(), "ccKVS-SC");
-        assert_eq!(SystemKind::CcKvs(ConsistencyModel::Lin).label(), "ccKVS-Lin");
+        assert_eq!(
+            SystemKind::CcKvs(ConsistencyModel::Lin).label(),
+            "ccKVS-Lin"
+        );
         assert_eq!(SystemKind::Base.label(), "Base");
         assert_eq!(SystemKind::BaseErew.label(), "Base-EREW");
         assert_eq!(SystemKind::Uniform.label(), "Uniform");
@@ -182,7 +185,10 @@ mod tests {
     fn expected_hit_ratio_tracks_skew() {
         let sc = SystemConfig::paper_default(SystemKind::CcKvs(ConsistencyModel::Sc));
         let h99 = sc.expected_hit_ratio();
-        assert!(h99 > 0.5, "0.1% cache at α=0.99 should exceed 50% hits: {h99}");
+        assert!(
+            h99 > 0.5,
+            "0.1% cache at α=0.99 should exceed 50% hits: {h99}"
+        );
         let h90 = sc.with_skew(Some(0.90)).expected_hit_ratio();
         assert!(h90 < h99);
         let base = SystemConfig::paper_default(SystemKind::Base);

@@ -28,16 +28,19 @@
 
 pub mod cluster;
 pub mod config;
+pub mod node;
 pub mod perf;
 
 pub use cluster::{Cluster, ClusterConfig, OpResult};
 pub use config::{SystemConfig, SystemKind};
+pub use node::{CacheGet, CachePut, CcNode, NodeConfig, Outgoing};
 pub use perf::{run_experiment, ExperimentResult, PerfConfig};
 
 /// Convenience re-exports for examples and downstream users.
 pub mod prelude {
     pub use crate::cluster::{Cluster, ClusterConfig, OpResult};
     pub use crate::config::{SystemConfig, SystemKind};
+    pub use crate::node::{CacheGet, CachePut, CcNode, NodeConfig, Outgoing};
     pub use crate::perf::{run_experiment, ExperimentResult, PerfConfig};
     pub use consistency::messages::ConsistencyModel;
     pub use workload::prelude::*;

@@ -1,0 +1,465 @@
+//! One ccKVS server node, independent of any transport.
+//!
+//! A [`CcNode`] combines the pieces every deployment backend needs on each
+//! server — a [`SymmetricCache`] driven by the verified protocol state
+//! machines, a [`NodeKvs`] shard, and the bookkeeping for blocking Lin
+//! writes — while staying completely transport-agnostic: every operation
+//! that would put protocol messages on the wire instead *returns* them as
+//! [`Outgoing`] values for the caller to ship.
+//!
+//! Two transports drive this type today:
+//!
+//! * the in-process functional [`crate::cluster::Cluster`] (crossbeam
+//!   channels with delivery jitter), and
+//! * the real TCP serving layer in the `cckvs-net` crate (one OS process or
+//!   thread per node, length-prefixed frames on loopback/LAN sockets).
+//!
+//! Keeping a single code path for both means the protocol behaviour the
+//! checkers validate in-process is byte-for-byte the behaviour a networked
+//! rack executes.
+
+use consistency::engine::Destination;
+use consistency::lamport::{NodeId, Timestamp};
+use consistency::messages::{ConsistencyModel, ProtocolMsg};
+use kvstore::{ConcurrencyModel, NodeKvs};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashSet;
+use symcache::{ReadOutcome, SymmetricCache, WriteOutcome};
+use workload::{KeyId, ShardMap};
+
+/// Default number of KVS worker threads per node (the per-node shard
+/// grain). Every deployment backend — functional cluster, networked rack,
+/// standalone `cckvs-node` — derives its [`NodeConfig`] from this one
+/// constant so the checkers validate the same grain the rack runs.
+pub const DEFAULT_KVS_THREADS: usize = 4;
+
+/// Configuration of one server node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeConfig {
+    /// Consistency model for the symmetric cache.
+    pub model: ConsistencyModel,
+    /// This node's id within the deployment.
+    pub node: usize,
+    /// Total number of server nodes.
+    pub nodes: usize,
+    /// Symmetric-cache capacity (hot keys).
+    pub cache_capacity: usize,
+    /// Back-end KVS capacity (objects).
+    pub kvs_capacity: usize,
+    /// Maximum value size in bytes.
+    pub value_capacity: usize,
+    /// Number of KVS worker threads (per-node shard grain).
+    pub kvs_threads: usize,
+}
+
+impl NodeConfig {
+    /// A small node suitable for tests and examples.
+    pub fn small(model: ConsistencyModel, node: usize, nodes: usize) -> Self {
+        Self {
+            model,
+            node,
+            nodes,
+            cache_capacity: 256,
+            kvs_capacity: 4096,
+            value_capacity: 64,
+            kvs_threads: DEFAULT_KVS_THREADS,
+        }
+    }
+}
+
+/// A protocol message to be shipped by the transport, with the value bytes
+/// to attach (updates carry their committed value on the wire).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outgoing {
+    /// Where the message goes.
+    pub dest: Destination,
+    /// The protocol message.
+    pub msg: ProtocolMsg,
+    /// Value bytes attached to `Update` messages.
+    pub bytes: Option<Vec<u8>>,
+}
+
+/// Result of probing the local cache for a read (stalls resolved by
+/// retrying internally; the caller only sees the terminal outcomes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheGet {
+    /// Cache hit: the value and its timestamp.
+    Hit {
+        /// Value bytes.
+        value: Vec<u8>,
+        /// Timestamp of the value.
+        ts: Timestamp,
+    },
+    /// Not cached; the caller must go to the key's (possibly remote) home
+    /// shard.
+    Miss,
+}
+
+/// Result of probing the local cache for a write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CachePut {
+    /// The write completed immediately (SC, or single-replica Lin); ship the
+    /// returned messages (update broadcast).
+    Done {
+        /// Timestamp assigned to the write.
+        ts: Timestamp,
+        /// Update broadcast to ship.
+        outgoing: Vec<Outgoing>,
+    },
+    /// The write is pending acknowledgements (Lin); ship the returned
+    /// invalidations, then block on [`CcNode::wait_committed`].
+    Pending {
+        /// Timestamp assigned to the write.
+        ts: Timestamp,
+        /// Invalidation broadcast to ship.
+        outgoing: Vec<Outgoing>,
+    },
+    /// Not cached; the caller must forward the write to the key's home node.
+    Miss,
+}
+
+/// One transport-agnostic ccKVS server node.
+pub struct CcNode {
+    cfg: NodeConfig,
+    cache: SymmetricCache,
+    kvs: NodeKvs,
+    shards: ShardMap,
+    committed: Mutex<HashSet<(u64, Timestamp)>>,
+    committed_cv: Condvar,
+}
+
+impl CcNode {
+    /// Creates a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate configuration (node id outside the deployment,
+    /// zero nodes).
+    pub fn new(cfg: NodeConfig) -> Self {
+        assert!(
+            cfg.nodes > 0 && cfg.node < cfg.nodes,
+            "node id within deployment"
+        );
+        Self {
+            cfg,
+            cache: SymmetricCache::new(
+                cfg.model,
+                NodeId(cfg.node as u8),
+                cfg.nodes,
+                cfg.cache_capacity,
+                cfg.value_capacity,
+            ),
+            kvs: NodeKvs::with_value_capacity(
+                ConcurrencyModel::Crcw,
+                cfg.kvs_threads,
+                cfg.kvs_capacity,
+                cfg.value_capacity,
+            ),
+            shards: ShardMap::new(cfg.nodes, cfg.kvs_threads),
+            committed: Mutex::new(HashSet::new()),
+            committed_cv: Condvar::new(),
+        }
+    }
+
+    /// The node configuration.
+    pub fn config(&self) -> NodeConfig {
+        self.cfg
+    }
+
+    /// This node's id.
+    pub fn node(&self) -> usize {
+        self.cfg.node
+    }
+
+    /// The consistency model in force.
+    pub fn model(&self) -> ConsistencyModel {
+        self.cfg.model
+    }
+
+    /// The symmetric cache (diagnostics).
+    pub fn cache(&self) -> &SymmetricCache {
+        &self.cache
+    }
+
+    /// The local KVS shard (diagnostics / seeding).
+    pub fn kvs(&self) -> &NodeKvs {
+        &self.kvs
+    }
+
+    /// The home node of `key` under the deployment's shard map.
+    pub fn home_node(&self, key: u64) -> usize {
+        self.shards.home_node(KeyId(key))
+    }
+
+    /// Whether this node is the home shard for `key`.
+    pub fn is_home(&self, key: u64) -> bool {
+        self.home_node(key) == self.cfg.node
+    }
+
+    /// Installs a hot key into the cache (cache fill at epoch start). If
+    /// this node is the key's home shard, the value is also seeded into the
+    /// back-end KVS (write-back target).
+    ///
+    /// Returns `false` if the cache or the home shard is full (the cache
+    /// fill is undone in the latter case, so a failed install never leaves
+    /// a cached key without its write-back target).
+    pub fn install_hot(&self, key: u64, value: &[u8]) -> bool {
+        if !self.cache.fill(key, value, 0) {
+            return false;
+        }
+        if self.is_home(key) && self.kvs.put(key, value, 0).is_err() {
+            self.cache.evict(key);
+            return false;
+        }
+        true
+    }
+
+    /// Evicts a key from the cache (epoch change / failed-install rollback),
+    /// returning whether it was cached. A modified value is written back to
+    /// the local KVS if this node is the key's home (write-back, §4).
+    pub fn evict_hot(&self, key: u64) -> bool {
+        match self.cache.evict(key) {
+            Some((value, ts)) => {
+                if self.is_home(key) && ts != Timestamp::ZERO {
+                    // Best effort: the shard held this key before install.
+                    let _ = self.kvs.put_if_newer(0, key, &value, ts.clock, ts.writer.0);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether `key` is cached (by symmetry, on every node).
+    pub fn is_cached(&self, key: u64) -> bool {
+        self.cache.contains(key)
+    }
+
+    /// Probes the cache for a read, retrying internally while the entry is
+    /// unreadable (invalidated under Lin).
+    pub fn cache_get(&self, key: u64) -> CacheGet {
+        let mut backoff = StallBackoff::new();
+        loop {
+            match self.cache.read(key) {
+                ReadOutcome::Hit { value, ts } => return CacheGet::Hit { value, ts },
+                ReadOutcome::Miss => return CacheGet::Miss,
+                ReadOutcome::Stall => backoff.wait(),
+            }
+        }
+    }
+
+    /// Probes the cache for a write of `value` tagged `tag`, retrying
+    /// internally while another local write to the key is in flight.
+    pub fn cache_put(&self, key: u64, value: &[u8], tag: u64) -> CachePut {
+        let mut backoff = StallBackoff::new();
+        loop {
+            match self.cache.write(key, value, tag) {
+                WriteOutcome::Completed { ts, outgoing } => {
+                    return CachePut::Done {
+                        ts,
+                        outgoing: attach(outgoing, Some(value)),
+                    }
+                }
+                WriteOutcome::Pending { ts, outgoing } => {
+                    return CachePut::Pending {
+                        ts,
+                        outgoing: attach(outgoing, None),
+                    }
+                }
+                WriteOutcome::Miss => return CachePut::Miss,
+                WriteOutcome::Stall => backoff.wait(),
+            }
+        }
+    }
+
+    /// Blocks until the pending Lin write `(key, ts)` started by
+    /// [`CcNode::cache_put`] commits (the transport delivering the final ack
+    /// signals this through [`CcNode::deliver`]).
+    pub fn wait_committed(&self, key: u64, ts: Timestamp) {
+        let mut committed = self.committed.lock();
+        while !committed.remove(&(key, ts)) {
+            self.committed_cv.wait(&mut committed);
+        }
+    }
+
+    /// Delivers a protocol message received from a peer, returning the
+    /// messages to ship in response. Lin commits triggered by a final ack
+    /// are signalled to the blocked writer internally.
+    pub fn deliver(&self, msg: &ProtocolMsg, bytes: Option<&[u8]>) -> Vec<Outgoing> {
+        let out = self.cache.deliver(msg, bytes);
+        if let Some(ts) = out.committed {
+            self.committed.lock().insert((msg.key(), ts));
+            self.committed_cv.notify_all();
+        }
+        let commit_value = out.commit_value;
+        out.outgoing
+            .into_iter()
+            .map(|(dest, msg)| {
+                let bytes = match msg {
+                    ProtocolMsg::Update { .. } => commit_value.clone(),
+                    _ => None,
+                };
+                Outgoing { dest, msg, bytes }
+            })
+            .collect()
+    }
+
+    /// Serves a cache-missing read against the local KVS shard (the caller
+    /// routed the request here because this node is the key's home).
+    pub fn kvs_get(&self, key: u64) -> Vec<u8> {
+        self.kvs.get(key).map(|v| v.value).unwrap_or_default()
+    }
+
+    /// Applies a cache-missing write to the local KVS shard with Lamport
+    /// ordering (`tag` as the clock, `writer` breaking ties).
+    ///
+    /// Errors (value over capacity, shard full) are returned rather than
+    /// panicking: the inputs originate from clients, so transports must be
+    /// able to answer with an error instead of losing a server thread.
+    pub fn kvs_put(
+        &self,
+        key: u64,
+        value: &[u8],
+        tag: u32,
+        writer: u8,
+    ) -> Result<(), kvstore::KvError> {
+        self.kvs
+            .put_if_newer(0, key, value, tag, writer)
+            .map(|_| ())
+    }
+}
+
+/// Adaptive wait for stalled cache probes: yield while the resolution is
+/// likely sub-microsecond (in-process delivery), then sleep so a stall that
+/// waits on a network round-trip (the TCP backend's Lin invalidation →
+/// update window) does not pin an OS thread at 100% CPU and starve the
+/// very thread that must deliver the unblocking message.
+struct StallBackoff {
+    spins: u32,
+}
+
+impl StallBackoff {
+    const YIELD_SPINS: u32 = 64;
+
+    fn new() -> Self {
+        Self { spins: 0 }
+    }
+
+    fn wait(&mut self) {
+        if self.spins < Self::YIELD_SPINS {
+            self.spins += 1;
+            std::thread::yield_now();
+        } else {
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        }
+    }
+}
+
+fn attach(outgoing: Vec<(Destination, ProtocolMsg)>, value: Option<&[u8]>) -> Vec<Outgoing> {
+    outgoing
+        .into_iter()
+        .map(|(dest, msg)| {
+            let bytes = match msg {
+                ProtocolMsg::Update { .. } => value.map(<[u8]>::to_vec),
+                _ => None,
+            };
+            Outgoing { dest, msg, bytes }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rack(model: ConsistencyModel, nodes: usize) -> Vec<CcNode> {
+        (0..nodes)
+            .map(|n| CcNode::new(NodeConfig::small(model, n, nodes)))
+            .collect()
+    }
+
+    /// Ships every outgoing message until quiescence (synchronous transport).
+    fn pump(nodes: &[CcNode], from: usize, mut queue: Vec<Outgoing>) {
+        let mut pending: Vec<(usize, Outgoing)> = queue.drain(..).map(|o| (from, o)).collect();
+        while let Some((src, out)) = pending.pop() {
+            let targets: Vec<usize> = match out.dest {
+                Destination::Broadcast => (0..nodes.len()).filter(|&n| n != src).collect(),
+                Destination::To(node) => vec![node.0 as usize],
+            };
+            for dst in targets {
+                for next in nodes[dst].deliver(&out.msg, out.bytes.as_deref()) {
+                    pending.push((dst, next));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn install_hot_seeds_only_the_home_shard() {
+        let nodes = rack(ConsistencyModel::Sc, 3);
+        let key = 42;
+        for node in &nodes {
+            assert!(node.install_hot(key, b"hot"));
+        }
+        let home = nodes[0].home_node(key);
+        for (n, node) in nodes.iter().enumerate() {
+            assert!(node.is_cached(key));
+            assert_eq!(node.kvs().get(key).is_some(), n == home);
+        }
+    }
+
+    #[test]
+    fn sc_write_propagates_synchronously() {
+        let nodes = rack(ConsistencyModel::Sc, 3);
+        for node in &nodes {
+            node.install_hot(7, b"old");
+        }
+        match nodes[1].cache_put(7, b"new", 9) {
+            CachePut::Done { outgoing, .. } => pump(&nodes, 1, outgoing),
+            other => panic!("expected immediate SC completion, got {other:?}"),
+        }
+        for node in &nodes {
+            match node.cache_get(7) {
+                CacheGet::Hit { value, .. } => assert_eq!(value, b"new"),
+                other => panic!("expected hit, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn lin_write_commits_after_acks_and_unblocks_waiter() {
+        let nodes = rack(ConsistencyModel::Lin, 3);
+        for node in &nodes {
+            node.install_hot(7, b"old");
+        }
+        let (ts, outgoing) = match nodes[0].cache_put(7, b"new", 5) {
+            CachePut::Pending { ts, outgoing } => (ts, outgoing),
+            other => panic!("expected pending Lin write, got {other:?}"),
+        };
+        pump(&nodes, 0, outgoing);
+        // All acks were delivered synchronously by pump, so the commit is
+        // already recorded and wait_committed returns without blocking.
+        nodes[0].wait_committed(7, ts);
+        for node in &nodes {
+            match node.cache_get(7) {
+                CacheGet::Hit { value, ts: t } => {
+                    assert_eq!(value, b"new");
+                    assert_eq!(t, ts);
+                }
+                other => panic!("expected hit, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn kvs_miss_path_orders_by_lamport_tag() {
+        let nodes = rack(ConsistencyModel::Sc, 2);
+        let node = &nodes[0];
+        node.kvs_put(99, b"v1", 3, 0).unwrap();
+        node.kvs_put(99, b"stale", 2, 1).unwrap();
+        assert_eq!(node.kvs_get(99), b"v1");
+        node.kvs_put(99, b"v2", 3, 1).unwrap();
+        assert_eq!(node.kvs_get(99), b"v2");
+        assert!(node.kvs_get(1234).is_empty());
+    }
+}

@@ -303,10 +303,16 @@ impl PerfNode {
         self.next_req += 1;
         let rank = self.draw_rank();
         let is_write = self.rng.gen::<f64>() < self.cfg.system.write_ratio;
-        self.outstanding.insert(req, Outstanding { issued_at: now, is_write });
+        self.outstanding.insert(
+            req,
+            Outstanding {
+                issued_at: now,
+                is_write,
+            },
+        );
 
-        let cached = self.cfg.system.kind.has_cache()
-            && rank < self.cfg.system.cache_entries as u64;
+        let cached =
+            self.cfg.system.kind.has_cache() && rank < self.cfg.system.cache_entries as u64;
         // Every request first occupies a cache thread (request reception,
         // probe). Baselines use the same pool as their RPC-handling cost.
         let probe_done = self.cache_pool.enqueue(now, self.cfg.cache_service_ns);
@@ -346,7 +352,14 @@ impl PerfNode {
                         },
                     );
                     let sends = self.broadcast(TrafficClass::Invalidation, req);
-                    self.defer(now, probe_done, Deferred { sends, completions: Vec::new() })
+                    self.defer(
+                        now,
+                        probe_done,
+                        Deferred {
+                            sends,
+                            completions: Vec::new(),
+                        },
+                    )
                 }
             };
         }
@@ -380,13 +393,33 @@ impl PerfNode {
             self.coalesce_queues[home].push_back(req);
             if self.coalesce_queues[home].len() as u32 >= factor {
                 let sends = self.flush_destination(home);
-                return self.defer(now, probe_done, Deferred { sends, completions: Vec::new() });
+                return self.defer(
+                    now,
+                    probe_done,
+                    Deferred {
+                        sends,
+                        completions: Vec::new(),
+                    },
+                );
             }
             return Vec::new();
         }
         let token = (req << 8) | owner_thread as u64;
-        let pkt = Packet::single(self.id, home, self.sizes.miss_request, TrafficClass::MissRequest, token);
-        self.defer(now, probe_done, Deferred { sends: vec![pkt], completions: Vec::new() })
+        let pkt = Packet::single(
+            self.id,
+            home,
+            self.sizes.miss_request,
+            TrafficClass::MissRequest,
+            token,
+        );
+        self.defer(
+            now,
+            probe_done,
+            Deferred {
+                sends: vec![pkt],
+                completions: Vec::new(),
+            },
+        )
     }
 
     /// Builds the coalesced miss-request packet for one destination.
@@ -432,7 +465,10 @@ impl PerfNode {
     /// to the peer that sent the current one (§6.4 batched flow control).
     fn maybe_credit(&mut self, peer: usize) -> Vec<Packet> {
         self.consistency_msgs_seen += 1;
-        if self.consistency_msgs_seen % self.cfg.credit_batch == 0 {
+        if self
+            .consistency_msgs_seen
+            .is_multiple_of(self.cfg.credit_batch)
+        {
             vec![Packet::single(
                 self.id,
                 peer,
@@ -521,12 +557,21 @@ impl NodeBehavior for PerfNode {
                 let reply = Packet {
                     src: self.id,
                     dst: pkt.src,
-                    bytes: self.sizes.coalesced(TrafficClass::MissResponse, pkt.messages),
+                    bytes: self
+                        .sizes
+                        .coalesced(TrafficClass::MissResponse, pkt.messages),
                     class: TrafficClass::MissResponse,
                     messages: pkt.messages,
                     token: pkt.token,
                 };
-                self.defer(now, done, Deferred { sends: vec![reply], completions: Vec::new() })
+                self.defer(
+                    now,
+                    done,
+                    Deferred {
+                        sends: vec![reply],
+                        completions: Vec::new(),
+                    },
+                )
             }
             TrafficClass::MissResponse => {
                 if pkt.messages > 1 {
@@ -543,14 +588,30 @@ impl NodeBehavior for PerfNode {
             TrafficClass::Invalidation => {
                 // Cache-thread work, then acknowledge back to the writer.
                 let done = self.cache_pool.enqueue(now, self.cfg.cache_service_ns);
-                let ack = Packet::single(self.id, pkt.src, self.sizes.ack, TrafficClass::Ack, pkt.token);
-                let mut emits = self.defer(now, done, Deferred { sends: vec![ack], completions: Vec::new() });
+                let ack = Packet::single(
+                    self.id,
+                    pkt.src,
+                    self.sizes.ack,
+                    TrafficClass::Ack,
+                    pkt.token,
+                );
+                let mut emits = self.defer(
+                    now,
+                    done,
+                    Deferred {
+                        sends: vec![ack],
+                        completions: Vec::new(),
+                    },
+                );
                 emits.extend(self.maybe_credit(pkt.src).into_iter().map(Emit::Send));
                 emits
             }
             TrafficClass::Ack => {
-                let mut emits: Vec<Emit> =
-                    self.maybe_credit(pkt.src).into_iter().map(Emit::Send).collect();
+                let mut emits: Vec<Emit> = self
+                    .maybe_credit(pkt.src)
+                    .into_iter()
+                    .map(Emit::Send)
+                    .collect();
                 let req = pkt.token;
                 if let Some(pending) = self.lin_pending.get_mut(&req) {
                     pending.acks += 1;
@@ -568,7 +629,10 @@ impl NodeBehavior for PerfNode {
             TrafficClass::Update => {
                 // Apply the update on a cache thread; no reply.
                 let _ = self.cache_pool.enqueue(now, self.cfg.cache_service_ns);
-                self.maybe_credit(pkt.src).into_iter().map(Emit::Send).collect()
+                self.maybe_credit(pkt.src)
+                    .into_iter()
+                    .map(Emit::Send)
+                    .collect()
             }
             TrafficClass::CreditUpdate => Vec::new(),
         }
@@ -627,7 +691,9 @@ mod tests {
         );
         // The observed hit share should track the analytic expectation for
         // this cache fraction and skew (Fig. 3).
-        let expected = quick(SystemKind::CcKvs(ConsistencyModel::Sc)).system.expected_hit_ratio();
+        let expected = quick(SystemKind::CcKvs(ConsistencyModel::Sc))
+            .system
+            .expected_hit_ratio();
         let observed = cckvs.hit_mrps / (cckvs.hit_mrps + cckvs.miss_mrps);
         assert!(
             (observed - expected).abs() < 0.15,
@@ -650,32 +716,47 @@ mod tests {
     #[test]
     fn writes_cost_more_under_lin_than_sc() {
         let sc = run_experiment(&PerfConfig {
-            system: quick(SystemKind::CcKvs(ConsistencyModel::Sc)).system.with_write_ratio(0.05),
+            system: quick(SystemKind::CcKvs(ConsistencyModel::Sc))
+                .system
+                .with_write_ratio(0.05),
             ..quick(SystemKind::CcKvs(ConsistencyModel::Sc))
         });
         let lin = run_experiment(&PerfConfig {
-            system: quick(SystemKind::CcKvs(ConsistencyModel::Lin)).system.with_write_ratio(0.05),
+            system: quick(SystemKind::CcKvs(ConsistencyModel::Lin))
+                .system
+                .with_write_ratio(0.05),
             ..quick(SystemKind::CcKvs(ConsistencyModel::Lin))
         });
         let sc_1pct = run_experiment(&PerfConfig {
-            system: quick(SystemKind::CcKvs(ConsistencyModel::Sc)).system.with_write_ratio(0.01),
+            system: quick(SystemKind::CcKvs(ConsistencyModel::Sc))
+                .system
+                .with_write_ratio(0.01),
             ..quick(SystemKind::CcKvs(ConsistencyModel::Sc))
         });
         let read_only = run_experiment(&quick(SystemKind::CcKvs(ConsistencyModel::Sc)));
-        assert!(sc.throughput_mrps >= lin.throughput_mrps, "SC {} vs Lin {}", sc.throughput_mrps, lin.throughput_mrps);
+        assert!(
+            sc.throughput_mrps >= lin.throughput_mrps,
+            "SC {} vs Lin {}",
+            sc.throughput_mrps,
+            lin.throughput_mrps
+        );
         assert!(read_only.throughput_mrps > sc.throughput_mrps);
         // Consistency traffic appears only when there are writes and grows
         // with the write ratio.
         assert!(read_only.consistency_traffic_fraction() < 1e-9);
         assert!(sc.consistency_traffic_fraction() > sc_1pct.consistency_traffic_fraction());
         assert!(lin.consistency_traffic_fraction() > 0.0);
-        assert!(lin.flow_control_fraction() < 0.05, "credit batching keeps flow control negligible");
+        assert!(
+            lin.flow_control_fraction() < 0.05,
+            "credit batching keeps flow control negligible"
+        );
     }
 
     #[test]
     fn coalescing_improves_small_object_throughput() {
         let plain = run_experiment(&quick(SystemKind::CcKvs(ConsistencyModel::Sc)));
-        let coalesced = run_experiment(&quick(SystemKind::CcKvs(ConsistencyModel::Sc)).with_coalescing(8));
+        let coalesced =
+            run_experiment(&quick(SystemKind::CcKvs(ConsistencyModel::Sc)).with_coalescing(8));
         assert!(
             coalesced.throughput_mrps > 1.3 * plain.throughput_mrps,
             "coalesced {} vs plain {}",
@@ -686,8 +767,10 @@ mod tests {
 
     #[test]
     fn latency_grows_with_load() {
-        let light = run_experiment(&quick(SystemKind::CcKvs(ConsistencyModel::Sc)).with_inflight(16));
-        let heavy = run_experiment(&quick(SystemKind::CcKvs(ConsistencyModel::Sc)).with_inflight(1024));
+        let light =
+            run_experiment(&quick(SystemKind::CcKvs(ConsistencyModel::Sc)).with_inflight(16));
+        let heavy =
+            run_experiment(&quick(SystemKind::CcKvs(ConsistencyModel::Sc)).with_inflight(1024));
         assert!(heavy.throughput_mrps > light.throughput_mrps);
         assert!(heavy.p95_latency_us >= light.p95_latency_us);
         assert!(light.avg_latency_us > 0.0);

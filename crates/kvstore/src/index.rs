@@ -97,7 +97,9 @@ impl BucketIndex {
         Self {
             config: IndexConfig { buckets, ..config },
             mask: buckets as u64 - 1,
-            buckets: (0..buckets).map(|_| RwLock::new(Bucket::default())).collect(),
+            buckets: (0..buckets)
+                .map(|_| RwLock::new(Bucket::default()))
+                .collect(),
         }
     }
 
@@ -226,7 +228,10 @@ mod tests {
     fn update_reports_previous_slot() {
         let idx = BucketIndex::new(IndexConfig::store_for_capacity(64));
         idx.insert(7, 1);
-        assert_eq!(idx.insert(7, 2), InsertOutcome::Updated { previous_slot: 1 });
+        assert_eq!(
+            idx.insert(7, 2),
+            InsertOutcome::Updated { previous_slot: 1 }
+        );
         assert_eq!(idx.lookup(7), Some(2));
         assert_eq!(idx.len(), 1);
     }
@@ -234,12 +239,14 @@ mod tests {
     #[test]
     fn store_mode_never_loses_keys() {
         // Force a tiny index so buckets overflow heavily.
-        let idx = BucketIndex::new(BucketIndex::new(IndexConfig {
-            buckets: 2,
-            slots_per_bucket: 2,
-            allow_overflow: true,
-        })
-        .config());
+        let idx = BucketIndex::new(
+            BucketIndex::new(IndexConfig {
+                buckets: 2,
+                slots_per_bucket: 2,
+                allow_overflow: true,
+            })
+            .config(),
+        );
         for k in 0..200u64 {
             idx.insert(k, k as usize);
         }

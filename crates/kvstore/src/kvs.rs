@@ -117,12 +117,17 @@ impl NodeKvs {
         value_capacity: usize,
     ) -> Self {
         assert!(threads > 0, "a node needs at least one KVS thread");
-        assert!(capacity > 0, "a node needs capacity for at least one object");
+        assert!(
+            capacity > 0,
+            "a node needs capacity for at least one object"
+        );
         let partitions = match model {
             ConcurrencyModel::Crcw => vec![Partition::new(capacity, value_capacity)],
             ConcurrencyModel::Erew => {
                 let per = (capacity / threads).max(1);
-                (0..threads).map(|_| Partition::new(per, value_capacity)).collect()
+                (0..threads)
+                    .map(|_| Partition::new(per, value_capacity))
+                    .collect()
             }
         };
         Self {
@@ -176,7 +181,11 @@ impl NodeKvs {
     }
 
     /// Reads `key` from the given KVS thread.
-    pub fn get_from_thread(&self, thread: usize, key: u64) -> Result<Option<VersionedValue>, KvError> {
+    pub fn get_from_thread(
+        &self,
+        thread: usize,
+        key: u64,
+    ) -> Result<Option<VersionedValue>, KvError> {
         Ok(self.partition_for(thread, key)?.get(key).map(Into::into))
     }
 
@@ -248,7 +257,8 @@ impl NodeKvs {
             ConcurrencyModel::Crcw => 0,
             ConcurrencyModel::Erew => self.owner_thread(key),
         };
-        self.get_from_thread(thread, key).expect("routed access cannot fail")
+        self.get_from_thread(thread, key)
+            .expect("routed access cannot fail")
     }
 
     /// Convenience write that routes to the owning thread automatically.
@@ -292,7 +302,10 @@ mod tests {
         kvs.put_from_thread(owner, key, b"v", 1).unwrap();
         let foreign = (owner + 1) % 4;
         match kvs.get_from_thread(foreign, key) {
-            Err(KvError::WrongPartition { owner: o, accessed_by }) => {
+            Err(KvError::WrongPartition {
+                owner: o,
+                accessed_by,
+            }) => {
                 assert_eq!(o, owner);
                 assert_eq!(accessed_by, foreign);
             }
@@ -305,7 +318,10 @@ mod tests {
         let kvs = NodeKvs::new(ConcurrencyModel::Crcw, 2, 64);
         assert!(matches!(
             kvs.get_from_thread(5, 1),
-            Err(KvError::InvalidThread { thread: 5, threads: 2 })
+            Err(KvError::InvalidThread {
+                thread: 5,
+                threads: 2
+            })
         ));
     }
 
@@ -344,7 +360,7 @@ mod tests {
     #[test]
     fn erew_spreads_keys_across_partitions() {
         let kvs = NodeKvs::new(ConcurrencyModel::Erew, 8, 8192);
-        let mut per_thread = vec![0usize; 8];
+        let mut per_thread = [0usize; 8];
         for k in 0..4000u64 {
             per_thread[kvs.owner_thread(k)] += 1;
         }

@@ -216,10 +216,7 @@ mod tests {
         let applied = obj.modify(|hdr, _val| {
             if 8 > hdr.clock {
                 (
-                    ObjectHeader {
-                        clock: 8,
-                        ..hdr
-                    },
+                    ObjectHeader { clock: 8, ..hdr },
                     Some(b"new".to_vec()),
                     true,
                 )

@@ -32,7 +32,10 @@ impl std::fmt::Display for PartitionError {
             PartitionError::ValueTooLarge {
                 capacity,
                 attempted,
-            } => write!(f, "value of {attempted} B exceeds object capacity {capacity} B"),
+            } => write!(
+                f,
+                "value of {attempted} B exceeds object capacity {capacity} B"
+            ),
         }
     }
 }
@@ -53,7 +56,11 @@ impl Partition {
     /// Creates a partition with room for `capacity` objects of up to
     /// `value_capacity` bytes each, using a non-lossy (store-mode) index.
     pub fn new(capacity: usize, value_capacity: usize) -> Self {
-        Self::with_index_config(capacity, value_capacity, IndexConfig::store_for_capacity(capacity))
+        Self::with_index_config(
+            capacity,
+            value_capacity,
+            IndexConfig::store_for_capacity(capacity),
+        )
     }
 
     /// Creates a partition with an explicit index configuration (the
@@ -216,7 +223,10 @@ mod tests {
         for k in 0..4u64 {
             p.put(k, header(0), b"x").unwrap();
         }
-        assert_eq!(p.put(99, header(0), b"x"), Err(PartitionError::CapacityExceeded));
+        assert_eq!(
+            p.put(99, header(0), b"x"),
+            Err(PartitionError::CapacityExceeded)
+        );
     }
 
     #[test]
@@ -257,7 +267,7 @@ mod tests {
                 std::thread::spawn(move || {
                     for round in 0..200u32 {
                         for &k in &keys {
-                            let val = (u64::from(round) << 8 | w) .to_le_bytes();
+                            let val = (u64::from(round) << 8 | w).to_le_bytes();
                             p.put(k, header(round), &val).unwrap();
                         }
                     }

@@ -1,0 +1,279 @@
+//! `cckvs-loadgen` — workload driver for a networked ccKVS deployment.
+//!
+//! Installs the hot set, then drives a Zipfian (or uniform) read/write mix
+//! through load-balanced [`cckvs_net::Client`] sessions, and reports
+//! throughput, cache hit rate, latency percentiles and — when every
+//! operation on cached keys is recorded — the verdict of the per-key SC /
+//! per-key Lin history checkers:
+//!
+//! ```text
+//! cckvs-loadgen --servers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 \
+//!     --ops 100000 --sessions 4 --zipf 0.99 --write-ratio 0.05 \
+//!     --model lin --install-hot 256
+//! ```
+
+use cckvs_net::client::{install_hot_set, Client, SharedHistory};
+use cckvs_net::metrics::Metrics;
+use cckvs_net::LoadBalancePolicy;
+use consistency::messages::ConsistencyModel;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Instant;
+use workload::{AccessDistribution, Dataset, Mix, OpKind, WorkloadGen};
+
+struct Args {
+    servers: Vec<SocketAddr>,
+    ops: u64,
+    sessions: u32,
+    zipf: f64,
+    write_ratio: f64,
+    keys: u64,
+    value_size: usize,
+    model: ConsistencyModel,
+    install_hot: usize,
+    check: bool,
+    shutdown: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cckvs-loadgen --servers A,B,... [--ops N] [--sessions N] \
+         [--zipf THETA|uniform] [--write-ratio F] [--keys N] [--value-size B] \
+         [--model sc|lin] [--install-hot N] [--no-check] [--shutdown]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        servers: Vec::new(),
+        ops: 100_000,
+        sessions: 4,
+        zipf: 0.99,
+        write_ratio: 0.05,
+        keys: 100_000,
+        value_size: 40,
+        model: ConsistencyModel::Lin,
+        install_hot: 256,
+        check: true,
+        shutdown: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--servers" => {
+                args.servers = value("--servers")
+                    .split(',')
+                    .map(|a| a.parse().unwrap_or_else(|_| usage()))
+                    .collect()
+            }
+            "--ops" => args.ops = value("--ops").parse().unwrap_or_else(|_| usage()),
+            "--sessions" => args.sessions = value("--sessions").parse().unwrap_or_else(|_| usage()),
+            "--zipf" => {
+                let v = value("--zipf");
+                args.zipf = if v == "uniform" {
+                    0.0
+                } else {
+                    v.parse().unwrap_or_else(|_| usage())
+                }
+            }
+            "--write-ratio" => {
+                args.write_ratio = value("--write-ratio").parse().unwrap_or_else(|_| usage())
+            }
+            "--keys" => args.keys = value("--keys").parse().unwrap_or_else(|_| usage()),
+            "--value-size" => {
+                args.value_size = value("--value-size").parse().unwrap_or_else(|_| usage())
+            }
+            "--model" => {
+                args.model = match value("--model").as_str() {
+                    "sc" => ConsistencyModel::Sc,
+                    "lin" => ConsistencyModel::Lin,
+                    _ => usage(),
+                }
+            }
+            "--install-hot" => {
+                args.install_hot = value("--install-hot").parse().unwrap_or_else(|_| usage())
+            }
+            "--no-check" => args.check = false,
+            "--shutdown" => args.shutdown = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    if args.servers.is_empty() {
+        eprintln!("--servers is required");
+        usage();
+    }
+    assert!(args.value_size >= 8, "value size must hold the 8-byte tag");
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    // Preflight: reach every node before spawning sessions, so an
+    // unreachable deployment is one clean error instead of thread panics.
+    let mut admin = match Client::connect(&args.servers, u32::MAX, LoadBalancePolicy::RoundRobin) {
+        Ok(admin) => admin,
+        Err(e) => {
+            eprintln!("cckvs-loadgen: cannot reach the deployment: {e}");
+            std::process::exit(1);
+        }
+    };
+    if args.shutdown {
+        admin.shutdown_deployment().expect("send shutdown");
+        eprintln!(
+            "cckvs-loadgen: shutdown sent to {} nodes",
+            args.servers.len()
+        );
+        return;
+    }
+    let alive = admin.ping_all();
+    if alive != args.servers.len() {
+        eprintln!(
+            "cckvs-loadgen: only {alive} of {} nodes answered ping",
+            args.servers.len()
+        );
+        std::process::exit(1);
+    }
+    drop(admin);
+
+    let dataset = Dataset::new(args.keys, args.value_size);
+    let distribution = if args.zipf > 0.0 {
+        AccessDistribution::Zipfian {
+            exponent: args.zipf,
+        }
+    } else {
+        AccessDistribution::Uniform
+    };
+
+    // Install the hot set: the globally hottest ranks, as the coordinator
+    // of §4 would publish them at epoch start.
+    let install_hot = args.install_hot.min(args.keys as usize);
+    if install_hot < args.install_hot {
+        eprintln!(
+            "cckvs-loadgen: clamping --install-hot {} to the {} dataset keys",
+            args.install_hot, args.keys
+        );
+    }
+    if install_hot > 0 {
+        let entries: Vec<(u64, Vec<u8>)> = (0..install_hot as u64)
+            .map(|rank| (dataset.key_of_rank(rank).0, vec![0u8; args.value_size]))
+            .collect();
+        if let Err(e) = install_hot_set(&args.servers, &entries) {
+            eprintln!("cckvs-loadgen: hot-set install failed: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "cckvs-loadgen: installed {install_hot} hot keys on {} nodes",
+            args.servers.len()
+        );
+    }
+
+    let history = args.check.then(|| Arc::new(SharedHistory::new()));
+    let metrics = Arc::new(Metrics::new());
+    let ops_per_session = args.ops / u64::from(args.sessions.max(1));
+    let started = Instant::now();
+    let handles: Vec<_> = (0..args.sessions)
+        .map(|session| {
+            let servers = args.servers.clone();
+            let history = history.clone();
+            let metrics = Arc::clone(&metrics);
+            let model = args.model;
+            let value_size = args.value_size;
+            let mut gen = WorkloadGen::new(
+                &dataset,
+                distribution,
+                Mix::with_write_ratio(args.write_ratio),
+                0xC11E_5EED ^ u64::from(session),
+            );
+            std::thread::spawn(move || {
+                // SC sessions stay sticky to one replica (per-session
+                // guarantee); Lin sessions spread (real-time guarantee).
+                let policy = match model {
+                    ConsistencyModel::Sc => {
+                        LoadBalancePolicy::Pinned(session as usize % servers.len())
+                    }
+                    ConsistencyModel::Lin => LoadBalancePolicy::RoundRobin,
+                };
+                let mut client = Client::connect(&servers, session, policy)
+                    .expect("connect client session")
+                    .with_metrics(metrics);
+                if let Some(history) = history {
+                    client = client.with_history(history);
+                }
+                for _ in 0..ops_per_session {
+                    let op = gen.next_op();
+                    let result = match op.kind {
+                        OpKind::Get => client.get(op.key.0).map(|_| ()),
+                        OpKind::Put => client
+                            .put(op.key.0, &op.value_bytes(session, value_size))
+                            .map(|_| ()),
+                    };
+                    if let Err(e) = result {
+                        eprintln!(
+                            "cckvs-loadgen: session {session}: {:?} of key {} failed: {e}",
+                            op.kind, op.key.0
+                        );
+                        std::process::exit(1);
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("session thread");
+    }
+    let elapsed = started.elapsed();
+
+    let snap = metrics.snapshot();
+    let total_ops = snap.gets + snap.puts;
+    println!(
+        "cckvs-loadgen: {} ops in {:.3}s ({:.0} ops/s)",
+        total_ops,
+        elapsed.as_secs_f64(),
+        total_ops as f64 / elapsed.as_secs_f64()
+    );
+    println!(
+        "  gets {} | puts {} | hit rate {:.2}% | p50 {:.1}µs | p99 {:.1}µs",
+        snap.gets,
+        snap.puts,
+        snap.hit_rate() * 100.0,
+        snap.latency_p50_ns as f64 / 1_000.0,
+        snap.latency_p99_ns as f64 / 1_000.0
+    );
+
+    if let Some(history) = history {
+        let history = history.snapshot();
+        println!("  recorded {} cached-key ops", history.len());
+        // The history checks are sound only when this run observed every
+        // write to the cached keys — i.e. against a freshly booted rack.
+        // Reads of values written by an earlier run look like violations.
+        let warm_rack_hint = "note: checking assumes a fresh rack (all writes observed); \
+             re-running against a warm deployment reports false violations — use --no-check there";
+        match history.check_per_key_sc() {
+            Ok(()) => println!("  per-key SC: OK"),
+            Err(v) => {
+                println!("  per-key SC: VIOLATED: {v}\n  {warm_rack_hint}");
+                std::process::exit(1);
+            }
+        }
+        if args.model == ConsistencyModel::Lin {
+            match history.check_per_key_lin() {
+                Ok(()) => println!("  per-key Lin: OK"),
+                Err(v) => {
+                    println!("  per-key Lin: VIOLATED: {v}\n  {warm_rack_hint}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! `cckvs-node` — one networked ccKVS server node.
+//!
+//! Runs a single node of a deployment as its own process, for
+//! process-per-node or multi-host racks:
+//!
+//! ```text
+//! cckvs-node --node 0 --nodes 3 \
+//!     --listen 127.0.0.1:7000 \
+//!     --peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 \
+//!     --model lin --metrics 127.0.0.1:9100
+//! ```
+//!
+//! `--peers` lists the listen address of *every* node in node-id order
+//! (including this node's own entry). The node binds, waits for its peers
+//! to come up (retrying for `--peer-timeout` seconds), wires the protocol
+//! mesh, and serves until it receives a `Shutdown` frame on a client
+//! connection (`cckvs-loadgen --shutdown` sends one).
+
+use cckvs::node::{NodeConfig, DEFAULT_KVS_THREADS};
+use cckvs_net::server::{NodeServer, NodeServerConfig};
+use consistency::messages::ConsistencyModel;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+struct Args {
+    node: usize,
+    nodes: usize,
+    listen: SocketAddr,
+    peers: Vec<SocketAddr>,
+    model: ConsistencyModel,
+    metrics: Option<SocketAddr>,
+    cache_capacity: usize,
+    kvs_capacity: usize,
+    value_capacity: usize,
+    peer_timeout: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cckvs-node --node N --nodes M --listen ADDR --peers A,B,... \
+         [--model sc|lin] [--metrics ADDR] [--cache-capacity N] \
+         [--kvs-capacity N] [--value-capacity N] [--peer-timeout SECS]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        node: usize::MAX,
+        nodes: 0,
+        listen: "127.0.0.1:0".parse().expect("static addr"),
+        peers: Vec::new(),
+        model: ConsistencyModel::Lin,
+        metrics: None,
+        cache_capacity: 4096,
+        kvs_capacity: 1 << 16,
+        value_capacity: 64,
+        peer_timeout: 30,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--node" => args.node = value("--node").parse().unwrap_or_else(|_| usage()),
+            "--nodes" => args.nodes = value("--nodes").parse().unwrap_or_else(|_| usage()),
+            "--listen" => args.listen = value("--listen").parse().unwrap_or_else(|_| usage()),
+            "--peers" => {
+                args.peers = value("--peers")
+                    .split(',')
+                    .map(|a| a.parse().unwrap_or_else(|_| usage()))
+                    .collect()
+            }
+            "--model" => {
+                args.model = match value("--model").as_str() {
+                    "sc" => ConsistencyModel::Sc,
+                    "lin" => ConsistencyModel::Lin,
+                    _ => usage(),
+                }
+            }
+            "--metrics" => {
+                args.metrics = Some(value("--metrics").parse().unwrap_or_else(|_| usage()))
+            }
+            "--cache-capacity" => {
+                args.cache_capacity = value("--cache-capacity")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--kvs-capacity" => {
+                args.kvs_capacity = value("--kvs-capacity").parse().unwrap_or_else(|_| usage())
+            }
+            "--value-capacity" => {
+                args.value_capacity = value("--value-capacity")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--peer-timeout" => {
+                args.peer_timeout = value("--peer-timeout").parse().unwrap_or_else(|_| usage())
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    if args.nodes == 0 || args.node >= args.nodes {
+        eprintln!("--node and --nodes are required (node < nodes)");
+        usage();
+    }
+    if args.peers.len() != args.nodes {
+        eprintln!(
+            "--peers must list one address per node ({} given, {} nodes)",
+            args.peers.len(),
+            args.nodes
+        );
+        usage();
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let cfg = NodeServerConfig {
+        node: NodeConfig {
+            model: args.model,
+            node: args.node,
+            nodes: args.nodes,
+            cache_capacity: args.cache_capacity,
+            kvs_capacity: args.kvs_capacity,
+            value_capacity: args.value_capacity,
+            kvs_threads: DEFAULT_KVS_THREADS,
+        },
+        listen: args.listen,
+        metrics_listen: args.metrics,
+    };
+    let mut server = match NodeServer::start(cfg) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cckvs-node: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "cckvs-node: node {} of {} ({}) listening on {}{}",
+        args.node,
+        args.nodes,
+        args.model.label(),
+        server.addr(),
+        server
+            .metrics_addr()
+            .map(|a| format!(", metrics on http://{a}/metrics"))
+            .unwrap_or_default()
+    );
+    if let Err(e) = server.connect_peers(&args.peers, Duration::from_secs(args.peer_timeout)) {
+        eprintln!("cckvs-node: failed to reach peers: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("cckvs-node: peer mesh up, serving");
+    server.wait();
+    eprintln!("cckvs-node: shut down");
+}

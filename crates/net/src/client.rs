@@ -1,0 +1,319 @@
+//! Client library: load-balanced GET/PUT over a ccKVS deployment.
+//!
+//! A [`Client`] owns one connection per server node and spreads requests
+//! across them with a [`LoadBalancePolicy`] (reused from the `workload`
+//! crate — the same policies the paper describes in §6). Each client is a
+//! *session* in the sense of the consistency models (§5.1): operations on
+//! cached keys can be recorded into a process-wide [`SharedHistory`] whose
+//! logical clock gives the real-time order the per-key Lin checker needs.
+//!
+//! Note the model-dependent load-balancing caveat validated by the cluster
+//! tests: per-key SC is a per-session guarantee through the replica the
+//! session talks to, so SC sessions should stay sticky
+//! ([`LoadBalancePolicy::Pinned`]); Lin is a real-time guarantee, so Lin
+//! sessions may spread freely.
+
+use crate::metrics::Metrics;
+use crate::wire::{read_frame, write_frame, Frame};
+use cckvs::cluster::value_tag_of;
+use consistency::history::{History, OpRecord, RecordKind};
+use consistency::lamport::Timestamp;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+pub use workload::LoadBalancePolicy;
+
+/// A process-wide recorded history with the shared logical clock the
+/// real-time (Lin) checks require. Cheap to share across client threads.
+#[derive(Debug, Default)]
+pub struct SharedHistory {
+    clock: AtomicU64,
+    history: parking_lot::Mutex<History>,
+}
+
+impl SharedHistory {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances and returns the logical clock.
+    pub fn now(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Appends a completed operation.
+    pub fn record(&self, op: OpRecord) {
+        self.history.lock().record(op);
+    }
+
+    /// A snapshot of the recorded history.
+    pub fn snapshot(&self) -> History {
+        self.history.lock().clone()
+    }
+}
+
+/// A framed request/response connection. Shared with the server's
+/// miss-path RPC links, which speak the same dial → hello → call sequence.
+pub(crate) struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Conn {
+    pub(crate) fn open(addr: SocketAddr, hello: &Frame) -> io::Result<Conn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut writer = BufWriter::new(stream.try_clone()?);
+        write_frame(&mut writer, hello)?;
+        writer.flush()?;
+        Ok(Conn {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends `request` and awaits the response. A [`Frame::Error`] reply is
+    /// surfaced as an `io::Error` so every caller handles server-side
+    /// failures uniformly.
+    pub(crate) fn call(&mut self, request: &Frame) -> io::Result<Frame> {
+        write_frame(&mut self.writer, request)?;
+        self.writer.flush()?;
+        match read_frame(&mut self.reader)? {
+            Some(Frame::Error { message }) => {
+                Err(io::Error::new(io::ErrorKind::InvalidInput, message))
+            }
+            Some(frame) => Ok(frame),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed",
+            )),
+        }
+    }
+
+    pub(crate) fn send(&mut self, frame: &Frame) -> io::Result<()> {
+        write_frame(&mut self.writer, frame)?;
+        self.writer.flush()
+    }
+}
+
+/// A client session talking to every node of a deployment.
+pub struct Client {
+    session: u32,
+    conns: Vec<Conn>,
+    policy: LoadBalancePolicy,
+    rr_next: usize,
+    rng: StdRng,
+    session_seq: u64,
+    history: Option<Arc<SharedHistory>>,
+    metrics: Option<Arc<Metrics>>,
+}
+
+impl Client {
+    /// Connects to every node of the deployment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addrs` is empty or a pinned policy points outside it.
+    pub fn connect(
+        addrs: &[SocketAddr],
+        session: u32,
+        policy: LoadBalancePolicy,
+    ) -> io::Result<Client> {
+        assert!(!addrs.is_empty(), "deployment must have at least one node");
+        if let LoadBalancePolicy::Pinned(n) = policy {
+            assert!(n < addrs.len(), "pinned node {n} outside deployment");
+        }
+        let conns = addrs
+            .iter()
+            .map(|&addr| Conn::open(addr, &Frame::ClientHello))
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(Client {
+            session,
+            rr_next: session as usize % conns.len(),
+            conns,
+            policy,
+            rng: StdRng::seed_from_u64(0x5EED_C11E_0000_0000 ^ u64::from(session)),
+            session_seq: 0,
+            history: None,
+            metrics: None,
+        })
+    }
+
+    /// Records cached-key operations into `history` (for the checkers).
+    pub fn with_history(mut self, history: Arc<SharedHistory>) -> Self {
+        self.history = Some(history);
+        self
+    }
+
+    /// Records per-operation latency and hit/miss counters into `metrics`.
+    pub fn with_metrics(mut self, metrics: Arc<Metrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The session id.
+    pub fn session(&self) -> u32 {
+        self.session
+    }
+
+    /// Number of server nodes this client talks to.
+    pub fn nodes(&self) -> usize {
+        self.conns.len()
+    }
+
+    fn pick(&mut self) -> usize {
+        match self.policy {
+            LoadBalancePolicy::Random => self.rng.gen_range(0..self.conns.len()),
+            LoadBalancePolicy::RoundRobin => {
+                let n = self.rr_next;
+                self.rr_next = (self.rr_next + 1) % self.conns.len();
+                n
+            }
+            LoadBalancePolicy::Pinned(n) => n,
+        }
+    }
+
+    /// Reads `key`, load-balancing across the deployment.
+    pub fn get(&mut self, key: u64) -> io::Result<Vec<u8>> {
+        let node = self.pick();
+        let invoked_at = self.history.as_ref().map(|h| h.now());
+        let started = Instant::now();
+        let response = self.conns[node].call(&Frame::Get { key })?;
+        let Frame::GetResp { cached, ts, value } = response else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "unexpected response to Get",
+            ));
+        };
+        if let Some(metrics) = &self.metrics {
+            metrics.record_get();
+            metrics.record_cache(cached);
+            metrics.record_latency_ns(started.elapsed().as_nanos() as u64);
+        }
+        if cached {
+            if let Some(history) = &self.history {
+                let completed_at = history.now();
+                let seq = self.session_seq;
+                self.session_seq += 1;
+                history.record(OpRecord {
+                    session: self.session,
+                    key,
+                    kind: RecordKind::Get {
+                        value: value_tag_of(&value),
+                    },
+                    ts,
+                    invoked_at: invoked_at.expect("taken above"),
+                    completed_at,
+                    session_seq: seq,
+                });
+            }
+        }
+        Ok(value)
+    }
+
+    /// Writes `value` under `key`, load-balancing across the deployment.
+    /// Returns the protocol timestamp for cache-path writes.
+    pub fn put(&mut self, key: u64, value: &[u8]) -> io::Result<Option<Timestamp>> {
+        let node = self.pick();
+        let invoked_at = self.history.as_ref().map(|h| h.now());
+        let started = Instant::now();
+        let response = self.conns[node].call(&Frame::Put {
+            key,
+            value: value.to_vec(),
+        })?;
+        let Frame::PutResp { cached, ts } = response else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "unexpected response to Put",
+            ));
+        };
+        if let Some(metrics) = &self.metrics {
+            metrics.record_put();
+            metrics.record_cache(cached);
+            metrics.record_latency_ns(started.elapsed().as_nanos() as u64);
+        }
+        if cached {
+            if let Some(history) = &self.history {
+                let completed_at = history.now();
+                let seq = self.session_seq;
+                self.session_seq += 1;
+                history.record(OpRecord {
+                    session: self.session,
+                    key,
+                    kind: RecordKind::Put {
+                        value: value_tag_of(value),
+                    },
+                    ts,
+                    invoked_at: invoked_at.expect("taken above"),
+                    completed_at,
+                    session_seq: seq,
+                });
+            }
+        }
+        Ok(cached.then_some(ts))
+    }
+
+    /// Pings every node, returning the number that answered.
+    pub fn ping_all(&mut self) -> usize {
+        (0..self.conns.len())
+            .filter(|&n| matches!(self.conns[n].call(&Frame::Ping), Ok(Frame::Pong)))
+            .count()
+    }
+
+    /// Sends a shutdown request to every node (admin path).
+    pub fn shutdown_deployment(&mut self) -> io::Result<()> {
+        for conn in &mut self.conns {
+            conn.send(&Frame::Shutdown)?;
+        }
+        Ok(())
+    }
+}
+
+/// Installs a hot set into every node of a deployment over the wire (what
+/// the epoch coordinator of §4 does at epoch start).
+pub fn install_hot_set(addrs: &[SocketAddr], entries: &[(u64, Vec<u8>)]) -> io::Result<()> {
+    let mut conns = addrs
+        .iter()
+        .map(|&addr| Conn::open(addr, &Frame::ClientHello))
+        .collect::<io::Result<Vec<_>>>()?;
+    // Key-major order so a failure affects exactly one key, which is then
+    // rolled back everywhere: the caches stay *symmetric* — a key cached on
+    // some nodes but not others would leave Lin writes waiting forever for
+    // acks the missing replica never sends.
+    for (key, value) in entries {
+        for (node, conn) in conns.iter_mut().enumerate() {
+            let installed = match conn.call(&Frame::InstallHot {
+                key: *key,
+                value: value.clone(),
+            }) {
+                Ok(Frame::InstallHotResp { ok }) => ok,
+                Ok(other) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected response {other:?}"),
+                    ))
+                }
+                Err(e) => return Err(e),
+            };
+            if !installed {
+                // Roll the key back off the nodes that already took it.
+                for rollback in conns.iter_mut().take(node) {
+                    let _ = rollback.call(&Frame::Evict { key: *key });
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::OutOfMemory,
+                    format!(
+                        "cache or home shard full installing key {key} on node {node} \
+                         (rolled back; earlier keys remain installed symmetrically)"
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! `cckvs-net` — the networked ccKVS serving layer.
+//!
+//! The rest of the workspace proves the paper's protocols correct inside
+//! one process (functional cluster, simulator, model checker). This crate
+//! runs the same node logic — the transport-agnostic [`cckvs::node::CcNode`]
+//! — behind real TCP endpoints on loopback or a LAN:
+//!
+//! * [`wire`] — the compact length-prefixed binary wire protocol: client
+//!   GET/PUT, the consistency-protocol messages (SC update broadcasts, Lin
+//!   invalidation/ack/update rounds) and the cache-miss remote-read/write
+//!   RPCs.
+//! * [`server`] — [`server::NodeServer`]: one ccKVS node behind a socket,
+//!   with per-peer writer threads so protocol deliveries never block on
+//!   I/O.
+//! * [`rack`] — [`rack::Rack`]: boots an N-node deployment, wires the peer
+//!   mesh and installs the coordinator's hot set over the wire.
+//! * [`client`] — [`client::Client`]: a load-balancing client session that
+//!   can record checker-ready operation histories.
+//! * [`metrics`] — [`metrics::Metrics`]: per-node counters and latency
+//!   histograms served over a plain-text HTTP endpoint.
+//!
+//! Two binaries ship with the crate: `cckvs-node` (one server node, for
+//! process-per-node or multi-host deployments) and `cckvs-loadgen` (a
+//! workload driver that reports throughput, hit rate, latency percentiles
+//! and checker verdicts).
+//!
+//! Blocking I/O with a thread per connection is used throughout; an async
+//! runtime (tokio) would slot into [`server`]/[`client`] unchanged at the
+//! protocol level, but the build environment has no crates.io access, so
+//! the dependency is gated off rather than vendored.
+//!
+//! # Example
+//!
+//! ```
+//! use cckvs_net::prelude::*;
+//! use consistency::messages::ConsistencyModel;
+//!
+//! let rack = Rack::launch(RackConfig::small(ConsistencyModel::Lin, 2)).unwrap();
+//! rack.install_hot_set(&[(7, b"hot".to_vec())]).unwrap();
+//! let mut client = Client::connect(&rack.client_addrs(), 0, LoadBalancePolicy::RoundRobin).unwrap();
+//! client.put(7, b"hello").unwrap();
+//! assert_eq!(client.get(7).unwrap(), b"hello");
+//! rack.shutdown();
+//! ```
+
+pub mod client;
+pub mod metrics;
+pub mod rack;
+pub mod server;
+pub mod wire;
+
+pub use client::{install_hot_set, Client, LoadBalancePolicy, SharedHistory};
+pub use metrics::{serve_http, Metrics, MetricsSnapshot};
+pub use rack::{Rack, RackConfig};
+pub use server::{NodeServer, NodeServerConfig};
+pub use wire::{Frame, WireError};
+
+/// One-stop imports for examples and applications.
+pub mod prelude {
+    pub use crate::client::{install_hot_set, Client, LoadBalancePolicy, SharedHistory};
+    pub use crate::metrics::{Metrics, MetricsSnapshot};
+    pub use crate::rack::{Rack, RackConfig};
+    pub use crate::server::{NodeServer, NodeServerConfig};
+    pub use crate::wire::Frame;
+}

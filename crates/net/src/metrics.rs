@@ -1,0 +1,364 @@
+//! Lightweight metrics registry with a plain-text HTTP endpoint.
+//!
+//! Every [`crate::server::NodeServer`] (and optionally every
+//! [`crate::client::Client`]) owns a [`Metrics`] registry: lock-free
+//! counters for the serving breakdown (hits / misses / remote reads /
+//! protocol traffic) plus an exact latency histogram reusing
+//! [`simnet::stats::Histogram`]. The registry renders in the Prometheus
+//! text exposition format and can be served over a minimal HTTP/1.0
+//! endpoint ([`serve_http`]) so a rack can be scraped with `curl` while a
+//! workload runs.
+
+use parking_lot::Mutex;
+use simnet::Histogram;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A point-in-time copy of every counter plus latency percentiles (ns).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Client GET requests served.
+    pub gets: u64,
+    /// Client PUT requests served.
+    pub puts: u64,
+    /// Operations served by the symmetric cache.
+    pub cache_hits: u64,
+    /// Operations that missed the cache.
+    pub cache_misses: u64,
+    /// Miss-path reads forwarded to a remote home shard.
+    pub remote_reads: u64,
+    /// Miss-path writes forwarded to a remote home shard.
+    pub remote_writes: u64,
+    /// Consistency-protocol messages received from peers.
+    pub protocol_in: u64,
+    /// Consistency-protocol messages sent to peers.
+    pub protocol_out: u64,
+    /// Number of recorded latency samples.
+    pub latency_count: usize,
+    /// Mean operation latency in nanoseconds.
+    pub latency_mean_ns: f64,
+    /// Median operation latency in nanoseconds.
+    pub latency_p50_ns: u64,
+    /// 99th-percentile operation latency in nanoseconds.
+    pub latency_p99_ns: u64,
+}
+
+impl MetricsSnapshot {
+    /// Fraction of operations served by the symmetric cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// The metrics registry.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    gets: AtomicU64,
+    puts: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    remote_reads: AtomicU64,
+    remote_writes: AtomicU64,
+    protocol_in: AtomicU64,
+    protocol_out: AtomicU64,
+    latency: Mutex<Histogram>,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a client GET.
+    pub fn record_get(&self) {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a client PUT.
+    pub fn record_put(&self) {
+        self.puts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records whether an operation hit the symmetric cache.
+    pub fn record_cache(&self, hit: bool) {
+        if hit {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a miss-path read forwarded to a remote home shard.
+    pub fn record_remote_read(&self) {
+        self.remote_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a miss-path write forwarded to a remote home shard.
+    pub fn record_remote_write(&self) {
+        self.remote_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` protocol messages received from peers.
+    pub fn record_protocol_in(&self, n: u64) {
+        self.protocol_in.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` protocol messages sent to peers.
+    pub fn record_protocol_out(&self, n: u64) {
+        self.protocol_out.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one end-to-end operation latency in nanoseconds.
+    pub fn record_latency_ns(&self, nanos: u64) {
+        self.latency.lock().record(nanos);
+    }
+
+    /// Takes a consistent snapshot (percentiles computed here).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut latency = self.latency.lock();
+        let latency_count = latency.count();
+        let (p50, p99, mean) = if latency_count == 0 {
+            (0, 0, 0.0)
+        } else {
+            (
+                latency.percentile(50.0),
+                latency.percentile(99.0),
+                latency.mean(),
+            )
+        };
+        MetricsSnapshot {
+            gets: self.gets.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            remote_reads: self.remote_reads.load(Ordering::Relaxed),
+            remote_writes: self.remote_writes.load(Ordering::Relaxed),
+            protocol_in: self.protocol_in.load(Ordering::Relaxed),
+            protocol_out: self.protocol_out.load(Ordering::Relaxed),
+            latency_count,
+            latency_mean_ns: mean,
+            latency_p50_ns: p50,
+            latency_p99_ns: p99,
+        }
+    }
+
+    /// Renders the registry in the Prometheus text exposition format.
+    pub fn render(&self, node_label: &str) -> String {
+        let snap = self.snapshot();
+        let mut out = String::with_capacity(1024);
+        let mut counter = |name: &str, help: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP cckvs_{name} {help}\n# TYPE cckvs_{name} counter\ncckvs_{name}{{node=\"{node_label}\"}} {value}\n"
+            ));
+        };
+        counter("gets_total", "Client GET requests served.", snap.gets);
+        counter("puts_total", "Client PUT requests served.", snap.puts);
+        counter(
+            "cache_hits_total",
+            "Operations served by the symmetric cache.",
+            snap.cache_hits,
+        );
+        counter(
+            "cache_misses_total",
+            "Operations that missed the symmetric cache.",
+            snap.cache_misses,
+        );
+        counter(
+            "remote_reads_total",
+            "Miss-path reads forwarded to a remote home shard.",
+            snap.remote_reads,
+        );
+        counter(
+            "remote_writes_total",
+            "Miss-path writes forwarded to a remote home shard.",
+            snap.remote_writes,
+        );
+        counter(
+            "protocol_in_total",
+            "Consistency-protocol messages received.",
+            snap.protocol_in,
+        );
+        counter(
+            "protocol_out_total",
+            "Consistency-protocol messages sent.",
+            snap.protocol_out,
+        );
+        out.push_str(&format!(
+            "# HELP cckvs_hit_rate Fraction of operations served by the symmetric cache.\n\
+             # TYPE cckvs_hit_rate gauge\ncckvs_hit_rate{{node=\"{node_label}\"}} {:.6}\n",
+            snap.hit_rate()
+        ));
+        for (suffix, value) in [
+            ("count", snap.latency_count as u64),
+            ("p50_ns", snap.latency_p50_ns),
+            ("p99_ns", snap.latency_p99_ns),
+        ] {
+            out.push_str(&format!(
+                "# TYPE cckvs_latency_{suffix} gauge\ncckvs_latency_{suffix}{{node=\"{node_label}\"}} {value}\n"
+            ));
+        }
+        out
+    }
+}
+
+/// Handle to a running metrics HTTP endpoint.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    running: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The address the endpoint listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the endpoint and joins its thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.running.store(false, Ordering::SeqCst);
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        if self.handle.is_some() {
+            self.stop();
+        }
+    }
+}
+
+/// Serves `metrics.render()` over HTTP/1.0 on `addr` (`0` port allowed).
+///
+/// The endpoint answers every request path with the full registry — it is a
+/// scrape target, not a router.
+pub fn serve_http(
+    addr: SocketAddr,
+    node_label: String,
+    metrics: Arc<Metrics>,
+) -> std::io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let running = Arc::new(AtomicBool::new(true));
+    let thread_running = Arc::clone(&running);
+    let handle = std::thread::Builder::new()
+        .name(format!("cckvs-metrics-{node_label}"))
+        .spawn(move || {
+            while thread_running.load(Ordering::SeqCst) {
+                let mut stream = match listener.accept() {
+                    Ok((stream, _)) => stream,
+                    // Transient accept errors must not kill the endpoint.
+                    Err(_) => {
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        continue;
+                    }
+                };
+                if !thread_running.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Read (and discard) the request head; tolerate clients that
+                // close early.
+                let mut buf = [0u8; 1024];
+                let _ = stream.read(&mut buf);
+                let body = metrics.render(&node_label);
+                let response = format!(
+                    "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+                    body.len(),
+                    body
+                );
+                let _ = stream.write_all(response.as_bytes());
+            }
+        })?;
+    Ok(MetricsServer {
+        addr: local,
+        running,
+        handle: Some(handle),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_hit_rate() {
+        let m = Metrics::new();
+        for _ in 0..3 {
+            m.record_get();
+            m.record_cache(true);
+        }
+        m.record_put();
+        m.record_cache(false);
+        m.record_remote_read();
+        m.record_protocol_out(2);
+        let snap = m.snapshot();
+        assert_eq!(snap.gets, 3);
+        assert_eq!(snap.puts, 1);
+        assert_eq!(snap.cache_hits, 3);
+        assert_eq!(snap.cache_misses, 1);
+        assert_eq!(snap.remote_reads, 1);
+        assert_eq!(snap.protocol_out, 2);
+        assert!((snap.hit_rate() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_percentiles() {
+        let m = Metrics::new();
+        for ns in 1..=100u64 {
+            m.record_latency_ns(ns * 1000);
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.latency_count, 100);
+        assert_eq!(snap.latency_p50_ns, 50_000);
+        assert_eq!(snap.latency_p99_ns, 99_000);
+        assert!(snap.latency_mean_ns > 0.0);
+    }
+
+    #[test]
+    fn render_is_prometheus_shaped() {
+        let m = Metrics::new();
+        m.record_get();
+        m.record_cache(true);
+        let text = m.render("n0");
+        assert!(text.contains("cckvs_gets_total{node=\"n0\"} 1"));
+        assert!(text.contains("# TYPE cckvs_hit_rate gauge"));
+        assert!(text.contains("cckvs_hit_rate{node=\"n0\"} 1.000000"));
+    }
+
+    #[test]
+    fn http_endpoint_serves_metrics() {
+        let metrics = Arc::new(Metrics::new());
+        metrics.record_get();
+        metrics.record_cache(true);
+        let server = serve_http(
+            "127.0.0.1:0".parse().unwrap(),
+            "n9".to_string(),
+            Arc::clone(&metrics),
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.0 200 OK"));
+        assert!(response.contains("cckvs_gets_total{node=\"n9\"} 1"));
+        server.shutdown();
+    }
+}

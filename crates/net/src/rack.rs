@@ -1,0 +1,115 @@
+//! Rack launcher: boots an N-node networked ccKVS deployment.
+//!
+//! [`Rack::launch`] starts every node as a real TCP endpoint (one
+//! [`crate::server::NodeServer`] each, threads within this process), wires
+//! the full peer mesh, and installs the coordinator's hot set over the
+//! wire — the same admin frames a multi-process deployment driven by the
+//! `cckvs-node` binary uses. Per-process deployment is the recorded
+//! follow-on; the wire protocol already carries everything those processes
+//! need.
+
+use crate::client::install_hot_set;
+use crate::server::{NodeServer, NodeServerConfig};
+use cckvs::node::{NodeConfig, DEFAULT_KVS_THREADS};
+use consistency::messages::ConsistencyModel;
+use std::io;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+/// Configuration of a rack deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RackConfig {
+    /// Consistency model for the symmetric caches.
+    pub model: ConsistencyModel,
+    /// Number of server nodes.
+    pub nodes: usize,
+    /// Symmetric-cache capacity (hot keys) per node.
+    pub cache_capacity: usize,
+    /// Back-end KVS capacity (objects) per node.
+    pub kvs_capacity: usize,
+    /// Maximum value size in bytes.
+    pub value_capacity: usize,
+    /// Whether each node exposes a metrics HTTP endpoint.
+    pub metrics: bool,
+}
+
+impl RackConfig {
+    /// A small loopback rack suitable for tests and examples.
+    pub fn small(model: ConsistencyModel, nodes: usize) -> Self {
+        Self {
+            model,
+            nodes,
+            cache_capacity: 256,
+            kvs_capacity: 4096,
+            value_capacity: 64,
+            metrics: true,
+        }
+    }
+}
+
+/// A running rack of networked ccKVS nodes.
+pub struct Rack {
+    servers: Vec<NodeServer>,
+}
+
+impl Rack {
+    /// Boots the rack: binds every node, then wires the peer mesh.
+    pub fn launch(cfg: RackConfig) -> io::Result<Rack> {
+        assert!(cfg.nodes > 0, "rack needs at least one node");
+        let mut servers = (0..cfg.nodes)
+            .map(|n| {
+                let node = NodeConfig {
+                    model: cfg.model,
+                    node: n,
+                    nodes: cfg.nodes,
+                    cache_capacity: cfg.cache_capacity,
+                    kvs_capacity: cfg.kvs_capacity,
+                    value_capacity: cfg.value_capacity,
+                    kvs_threads: DEFAULT_KVS_THREADS,
+                };
+                let mut server_cfg = NodeServerConfig::loopback(node);
+                if !cfg.metrics {
+                    server_cfg.metrics_listen = None;
+                }
+                NodeServer::start(server_cfg)
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        let addrs: Vec<SocketAddr> = servers.iter().map(NodeServer::addr).collect();
+        for server in &mut servers {
+            server.connect_peers(&addrs, Duration::from_secs(5))?;
+        }
+        Ok(Rack { servers })
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// The client-facing address of every node, indexed by node id.
+    pub fn client_addrs(&self) -> Vec<SocketAddr> {
+        self.servers.iter().map(NodeServer::addr).collect()
+    }
+
+    /// The metrics endpoint of every node (when enabled).
+    pub fn metrics_addrs(&self) -> Vec<Option<SocketAddr>> {
+        self.servers.iter().map(NodeServer::metrics_addr).collect()
+    }
+
+    /// One node's server (diagnostics / metrics).
+    pub fn server(&self, node: usize) -> &NodeServer {
+        &self.servers[node]
+    }
+
+    /// Installs the coordinator's hot set into every node over the wire.
+    pub fn install_hot_set(&self, entries: &[(u64, Vec<u8>)]) -> io::Result<()> {
+        install_hot_set(&self.client_addrs(), entries)
+    }
+
+    /// Shuts every node down and joins their threads.
+    pub fn shutdown(self) {
+        for server in self.servers {
+            server.shutdown();
+        }
+    }
+}

@@ -1,0 +1,619 @@
+//! The networked ccKVS node: a [`CcNode`] behind a TCP endpoint.
+//!
+//! A [`NodeServer`] binds one listener and serves three kinds of
+//! connections, distinguished by their hello frame (see [`crate::wire`]):
+//! client request/response sessions, incoming one-way peer protocol links,
+//! and incoming miss-path RPC links. Outgoing protocol traffic to each peer
+//! flows through a dedicated writer thread fed by an unbounded channel, so
+//! a delivery that produces follow-on messages (an invalidation producing
+//! an ack, a final ack producing the update broadcast) never blocks on
+//! socket I/O — mirroring the asynchronous network threads of the
+//! in-process cluster, with real sockets underneath.
+//!
+//! Concurrency model: one OS thread per connection (blocking I/O). An async
+//! runtime would slot in at exactly this layer; the build environment has
+//! no crates.io access for `tokio`, so the subsystem gates on blocking std
+//! networking while keeping every protocol decision inside the
+//! transport-agnostic [`CcNode`].
+
+use crate::client::Conn;
+use crate::metrics::{Metrics, MetricsServer};
+use crate::wire::{read_frame, write_frame, Frame};
+use cckvs::node::{CacheGet, CachePut, CcNode, NodeConfig, Outgoing};
+use consistency::engine::Destination;
+use consistency::messages::ProtocolMsg;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of one networked node.
+#[derive(Debug, Clone)]
+pub struct NodeServerConfig {
+    /// The node itself (id, deployment size, capacities, model).
+    pub node: NodeConfig,
+    /// Address to listen on (`127.0.0.1:0` picks an ephemeral port).
+    pub listen: SocketAddr,
+    /// Optional address for the plain-text metrics HTTP endpoint.
+    pub metrics_listen: Option<SocketAddr>,
+}
+
+impl NodeServerConfig {
+    /// A loopback node with an ephemeral port and a metrics endpoint.
+    pub fn loopback(node: NodeConfig) -> Self {
+        Self {
+            node,
+            listen: "127.0.0.1:0".parse().expect("static addr"),
+            metrics_listen: Some("127.0.0.1:0".parse().expect("static addr")),
+        }
+    }
+}
+
+type PeerTx = Sender<(ProtocolMsg, Option<Vec<u8>>)>;
+type PeerRx = Receiver<(ProtocolMsg, Option<Vec<u8>>)>;
+
+/// Number of pooled miss-path RPC links per peer: bounds how many remote
+/// reads/writes to one home shard are in flight concurrently from this
+/// node (each slot is one TCP connection, used under its own lock).
+const RPC_POOL_SIZE: usize = 4;
+
+struct RpcPool {
+    slots: Vec<Mutex<Option<Conn>>>,
+    next: AtomicU64,
+}
+
+impl RpcPool {
+    fn new() -> Self {
+        Self {
+            slots: (0..RPC_POOL_SIZE).map(|_| Mutex::new(None)).collect(),
+            next: AtomicU64::new(0),
+        }
+    }
+}
+
+struct ServerInner {
+    node: CcNode,
+    metrics: Arc<Metrics>,
+    listen_addr: SocketAddr,
+    running: AtomicBool,
+    /// Set once `connect_peers` has wired the outbound mesh; connection
+    /// threads hold incoming traffic until then (TCP buffers it), so no
+    /// protocol message is ever dropped or misrouted during boot.
+    ready: AtomicBool,
+    tags: AtomicU64,
+    /// Versions assigned to miss-path (cold-key) writes applied to this
+    /// node's KVS shard. The home shard is the single serialisation point
+    /// for uncached keys, so ordering cold writes by *its* counter (rather
+    /// than the sender's, whose counters advance independently) makes
+    /// arrival order the write order — no update is silently discarded.
+    cold_versions: AtomicU64,
+    /// Outgoing one-way protocol links, indexed by peer node id (self =
+    /// `None`). Installed by `connect_peers`.
+    peer_txs: Mutex<Vec<Option<PeerTx>>>,
+    /// Peer listen addresses (for lazily dialed miss-path RPC links).
+    peer_addrs: Mutex<Vec<SocketAddr>>,
+    /// Lazily dialed miss-path RPC link pools, one per peer.
+    rpc_pools: Vec<RpcPool>,
+}
+
+impl ServerInner {
+    /// Ships protocol messages produced by the local node to their peers.
+    fn ship(&self, outgoing: Vec<Outgoing>) {
+        if outgoing.is_empty() {
+            return;
+        }
+        let peers = self.peer_txs.lock();
+        for Outgoing { dest, msg, bytes } in outgoing {
+            match dest {
+                Destination::Broadcast => {
+                    for (id, tx) in peers.iter().enumerate() {
+                        if let Some(tx) = tx {
+                            if id != self.node.node() {
+                                self.metrics.record_protocol_out(1);
+                                let _ = tx.send((msg, bytes.clone()));
+                            }
+                        }
+                    }
+                }
+                Destination::To(node) => {
+                    if let Some(tx) = peers.get(node.0 as usize).and_then(Option::as_ref) {
+                        self.metrics.record_protocol_out(1);
+                        let _ = tx.send((msg, bytes));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Blocks until `connect_peers` has wired the outbound mesh.
+    fn wait_ready(&self) {
+        while !self.ready.load(Ordering::Acquire) {
+            if !self.running.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// The version the home shard assigns to the next cold-key write.
+    fn next_cold_version(&self) -> u32 {
+        // u32 wrap after 4 billion cold writes per node; acceptable for the
+        // deployments this layer targets (the cache path is unaffected).
+        self.cold_versions.fetch_add(1, Ordering::Relaxed) as u32
+    }
+
+    /// Performs a synchronous miss-path RPC against peer `home`, dialing
+    /// (or re-dialing) the pooled link if needed. Slots rotate so up to
+    /// [`RPC_POOL_SIZE`] RPCs to one home shard proceed concurrently.
+    fn rpc(&self, home: usize, request: &Frame) -> io::Result<Frame> {
+        let pool = &self.rpc_pools[home];
+        let slot = pool.next.fetch_add(1, Ordering::Relaxed) as usize % pool.slots.len();
+        let mut guard = pool.slots[slot].lock();
+        if guard.is_none() {
+            let addr = self.peer_addrs.lock()[home];
+            *guard = Some(Conn::open(
+                addr,
+                &Frame::RpcHello {
+                    from: self.node.node() as u8,
+                },
+            )?);
+        }
+        let conn = guard.as_mut().expect("dialed above");
+        let result = conn.call(request);
+        // Drop broken links so the next call re-dials; an InvalidInput
+        // error is the peer's Frame::Error answer over a healthy link.
+        if matches!(&result, Err(e) if e.kind() != io::ErrorKind::InvalidInput) {
+            *guard = None;
+        }
+        result
+    }
+
+    fn initiate_shutdown(&self) {
+        if self.running.swap(false, Ordering::SeqCst) {
+            // Unblock the accept loop.
+            let _ = TcpStream::connect(self.listen_addr);
+        }
+    }
+}
+
+/// A running networked ccKVS node.
+pub struct NodeServer {
+    inner: Arc<ServerInner>,
+    accept_handle: Option<std::thread::JoinHandle<()>>,
+    writer_handles: Vec<std::thread::JoinHandle<()>>,
+    metrics_server: Option<MetricsServer>,
+}
+
+impl NodeServer {
+    /// Binds the listener and starts accepting connections. Peer links are
+    /// not yet up: call [`NodeServer::connect_peers`] once every node of
+    /// the deployment is listening.
+    pub fn start(cfg: NodeServerConfig) -> io::Result<NodeServer> {
+        let listener = TcpListener::bind(cfg.listen)?;
+        let listen_addr = listener.local_addr()?;
+        let nodes = cfg.node.nodes;
+        let metrics = Arc::new(Metrics::new());
+        let inner = Arc::new(ServerInner {
+            node: CcNode::new(cfg.node),
+            metrics: Arc::clone(&metrics),
+            listen_addr,
+            running: AtomicBool::new(true),
+            // A single-node deployment has no mesh to wait for.
+            ready: AtomicBool::new(nodes == 1),
+            tags: AtomicU64::new(1),
+            cold_versions: AtomicU64::new(1),
+            peer_txs: Mutex::new(vec![None; nodes]),
+            peer_addrs: Mutex::new(vec![listen_addr; nodes]),
+            rpc_pools: (0..nodes).map(|_| RpcPool::new()).collect(),
+        });
+        let metrics_server = match cfg.metrics_listen {
+            Some(addr) => Some(crate::metrics::serve_http(
+                addr,
+                format!("n{}", cfg.node.node),
+                metrics,
+            )?),
+            None => None,
+        };
+        let accept_inner = Arc::clone(&inner);
+        let accept_handle = std::thread::Builder::new()
+            .name(format!("cckvs-accept-n{}", cfg.node.node))
+            .spawn(move || accept_loop(listener, accept_inner))?;
+        Ok(NodeServer {
+            inner,
+            accept_handle: Some(accept_handle),
+            writer_handles: Vec::new(),
+            metrics_server,
+        })
+    }
+
+    /// The address clients and peers connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.inner.listen_addr
+    }
+
+    /// The metrics endpoint address, when enabled.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_server.as_ref().map(MetricsServer::addr)
+    }
+
+    /// The node's metrics registry.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.inner.metrics)
+    }
+
+    /// The underlying node (diagnostics).
+    pub fn node(&self) -> &CcNode {
+        &self.inner.node
+    }
+
+    /// Dials the one-way protocol link to every peer, retrying for up to
+    /// `timeout` per peer (nodes of a rack boot concurrently). `addrs` is
+    /// indexed by node id and must include this node's own entry.
+    pub fn connect_peers(&mut self, addrs: &[SocketAddr], timeout: Duration) -> io::Result<()> {
+        assert_eq!(
+            addrs.len(),
+            self.inner.node.config().nodes,
+            "one address per node"
+        );
+        *self.inner.peer_addrs.lock() = addrs.to_vec();
+        let me = self.inner.node.node();
+        for (peer, &addr) in addrs.iter().enumerate() {
+            if peer == me {
+                continue;
+            }
+            let stream = dial_with_retry(addr, timeout)?;
+            stream.set_nodelay(true)?;
+            let mut writer = BufWriter::new(stream);
+            write_frame(&mut writer, &Frame::PeerHello { from: me as u8 })?;
+            writer.flush()?;
+            let (tx, rx): (PeerTx, PeerRx) = unbounded();
+            let handle = std::thread::Builder::new()
+                .name(format!("cckvs-peer-n{me}-to-n{peer}"))
+                .spawn(move || peer_writer_loop(writer, rx))?;
+            self.writer_handles.push(handle);
+            self.inner.peer_txs.lock()[peer] = Some(tx);
+        }
+        // Release the connection threads: incoming traffic accepted during
+        // boot has been parked in wait_ready (and TCP buffers), never
+        // dropped or served against a half-wired mesh.
+        self.inner.ready.store(true, Ordering::Release);
+        Ok(())
+    }
+
+    /// Asks the server to stop accepting connections.
+    pub fn initiate_shutdown(&self) {
+        self.inner.initiate_shutdown();
+    }
+
+    /// Blocks until the server shuts down (via [`Frame::Shutdown`] from a
+    /// client or [`NodeServer::initiate_shutdown`]), then tears down peer
+    /// links.
+    pub fn wait(mut self) {
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        self.teardown();
+    }
+
+    /// Shuts the server down and joins its threads.
+    pub fn shutdown(mut self) {
+        self.inner.initiate_shutdown();
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        self.teardown();
+    }
+
+    fn teardown(&mut self) {
+        // Dropping the senders disconnects the channels; writer threads
+        // drain and exit, closing their sockets (peers see EOF).
+        for tx in self.inner.peer_txs.lock().iter_mut() {
+            *tx = None;
+        }
+        for handle in self.writer_handles.drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(server) = self.metrics_server.take() {
+            server.shutdown();
+        }
+    }
+}
+
+impl Drop for NodeServer {
+    fn drop(&mut self) {
+        self.inner.initiate_shutdown();
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        self.teardown();
+    }
+}
+
+fn dial_with_retry(addr: SocketAddr, timeout: Duration) -> io::Result<TcpStream> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) if Instant::now() >= deadline => return Err(e),
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, inner: Arc<ServerInner>) {
+    let mut conn_id = 0u64;
+    while inner.running.load(Ordering::SeqCst) {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            // Transient accept errors (ECONNABORTED, EMFILE, ...) must not
+            // take a healthy node offline; back off briefly and retry.
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if !inner.running.load(Ordering::SeqCst) {
+            break;
+        }
+        conn_id += 1;
+        let conn_inner = Arc::clone(&inner);
+        let name = format!("cckvs-conn-n{}-{}", inner.node.node(), conn_id);
+        // Connection threads are detached: they exit on EOF when the remote
+        // side closes, and the process/test tears sockets down on shutdown.
+        let _ = std::thread::Builder::new().name(name).spawn(move || {
+            let _ = serve_connection(stream, conn_inner);
+        });
+    }
+}
+
+fn serve_connection(stream: TcpStream, inner: Arc<ServerInner>) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    match read_frame(&mut reader)? {
+        // Hold every connection until the outbound peer mesh is wired:
+        // serving a Lin put earlier would drop its invalidations (the
+        // writer links don't exist yet) and hang the client forever, and
+        // a miss-path RPC would dial a placeholder peer address.
+        Some(Frame::ClientHello) => {
+            inner.wait_ready();
+            client_loop(&mut reader, &mut writer, &inner)
+        }
+        Some(Frame::PeerHello { .. }) => {
+            inner.wait_ready();
+            peer_receive_loop(&mut reader, &inner)
+        }
+        Some(Frame::RpcHello { .. }) => {
+            inner.wait_ready();
+            rpc_serve_loop(&mut reader, &mut writer, &inner)
+        }
+        Some(other) => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected hello frame, got {other:?}"),
+        )),
+        None => Ok(()),
+    }
+}
+
+fn client_loop(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut BufWriter<TcpStream>,
+    inner: &ServerInner,
+) -> io::Result<()> {
+    while let Some(frame) = read_frame(reader)? {
+        let response = match frame {
+            Frame::Get { key } => {
+                inner.metrics.record_get();
+                serve_get(inner, key)?
+            }
+            Frame::Put { key, value } => {
+                inner.metrics.record_put();
+                serve_put(inner, key, &value)?
+            }
+            Frame::InstallHot { key, value } => Frame::InstallHotResp {
+                ok: inner.node.install_hot(key, &value),
+            },
+            Frame::Evict { key } => Frame::EvictResp {
+                existed: inner.node.evict_hot(key),
+            },
+            Frame::Ping => Frame::Pong,
+            Frame::Shutdown => {
+                inner.initiate_shutdown();
+                return Ok(());
+            }
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unexpected client frame {other:?}"),
+                ))
+            }
+        };
+        write_frame(writer, &response)?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+fn serve_get(inner: &ServerInner, key: u64) -> io::Result<Frame> {
+    match inner.node.cache_get(key) {
+        CacheGet::Hit { value, ts } => {
+            inner.metrics.record_cache(true);
+            Ok(Frame::GetResp {
+                cached: true,
+                ts,
+                value,
+            })
+        }
+        CacheGet::Miss => {
+            inner.metrics.record_cache(false);
+            let home = inner.node.home_node(key);
+            let value = if home == inner.node.node() {
+                inner.node.kvs_get(key)
+            } else {
+                inner.metrics.record_remote_read();
+                match inner.rpc(home, &Frame::MissGet { key })? {
+                    Frame::MissGetResp { value } => value,
+                    other => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("unexpected rpc response {other:?}"),
+                        ))
+                    }
+                }
+            };
+            Ok(Frame::GetResp {
+                cached: false,
+                ts: consistency::lamport::Timestamp::ZERO,
+                value,
+            })
+        }
+    }
+}
+
+fn serve_put(inner: &ServerInner, key: u64, value: &[u8]) -> io::Result<Frame> {
+    let tag = inner.tags.fetch_add(1, Ordering::Relaxed);
+    match inner.node.cache_put(key, value, tag) {
+        CachePut::Done { ts, outgoing } => {
+            inner.ship(outgoing);
+            inner.metrics.record_cache(true);
+            Ok(Frame::PutResp { cached: true, ts })
+        }
+        CachePut::Pending { ts, outgoing } => {
+            inner.ship(outgoing);
+            // Blocking write (Lin): the peer-receive thread that delivers
+            // the final ack signals the commit.
+            inner.node.wait_committed(key, ts);
+            inner.metrics.record_cache(true);
+            Ok(Frame::PutResp { cached: true, ts })
+        }
+        CachePut::Miss => {
+            inner.metrics.record_cache(false);
+            let home = inner.node.home_node(key);
+            let me = inner.node.node() as u8;
+            if home == inner.node.node() {
+                if let Err(e) = inner
+                    .node
+                    .kvs_put(key, value, inner.next_cold_version(), me)
+                {
+                    return Ok(Frame::Error {
+                        message: format!("write of key {key} rejected by home shard: {e:?}"),
+                    });
+                }
+            } else {
+                inner.metrics.record_remote_write();
+                // The version is assigned by the *home* shard on arrival
+                // (see `next_cold_version`); the tag on the wire is only a
+                // hint for diagnostics. Sender-side counters advance
+                // independently and would silently drop later writes.
+                match inner.rpc(
+                    home,
+                    &Frame::MissPut {
+                        key,
+                        tag: tag as u32,
+                        writer: me,
+                        value: value.to_vec(),
+                    },
+                ) {
+                    Ok(Frame::MissPutResp) => {}
+                    // The home shard rejected the write (Frame::Error over
+                    // a healthy link): relay the reason to the client.
+                    Err(e) if e.kind() == io::ErrorKind::InvalidInput => {
+                        return Ok(Frame::Error {
+                            message: e.to_string(),
+                        })
+                    }
+                    Err(e) => return Err(e),
+                    Ok(other) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("unexpected rpc response {other:?}"),
+                        ))
+                    }
+                }
+            }
+            Ok(Frame::PutResp {
+                cached: false,
+                ts: consistency::lamport::Timestamp::ZERO,
+            })
+        }
+    }
+}
+
+fn peer_receive_loop(reader: &mut BufReader<TcpStream>, inner: &ServerInner) -> io::Result<()> {
+    while let Some(frame) = read_frame(reader)? {
+        match frame {
+            Frame::Protocol { msg, bytes } => {
+                inner.metrics.record_protocol_in(1);
+                let outgoing = inner.node.deliver(&msg, bytes.as_deref());
+                inner.ship(outgoing);
+            }
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unexpected peer frame {other:?}"),
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+fn rpc_serve_loop(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut BufWriter<TcpStream>,
+    inner: &ServerInner,
+) -> io::Result<()> {
+    while let Some(frame) = read_frame(reader)? {
+        let response = match frame {
+            Frame::MissGet { key } => Frame::MissGetResp {
+                value: inner.node.kvs_get(key),
+            },
+            Frame::MissPut {
+                key,
+                tag: _,
+                writer: writer_id,
+                value,
+            } => {
+                // Home-assigned version: arrival order at the single home
+                // shard is the write order for cold keys (the sender's tag
+                // is ignored — see `serve_put`).
+                match inner
+                    .node
+                    .kvs_put(key, &value, inner.next_cold_version(), writer_id)
+                {
+                    Ok(()) => Frame::MissPutResp,
+                    Err(e) => Frame::Error {
+                        message: format!("write of key {key} rejected by home shard: {e:?}"),
+                    },
+                }
+            }
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unexpected rpc frame {other:?}"),
+                ))
+            }
+        };
+        write_frame(writer, &response)?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+fn peer_writer_loop(mut writer: BufWriter<TcpStream>, rx: PeerRx) {
+    while let Ok((msg, bytes)) = rx.recv() {
+        if write_frame(&mut writer, &Frame::Protocol { msg, bytes }).is_err() {
+            break;
+        }
+        // Coalesce: only flush once the queue is drained, batching bursts
+        // of protocol traffic into fewer TCP segments (§6.3's software
+        // multicast amortisation, loopback edition).
+        if rx.is_empty() && writer.flush().is_err() {
+            break;
+        }
+    }
+    let _ = writer.flush();
+}

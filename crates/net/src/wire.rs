@@ -1,0 +1,634 @@
+//! The ccKVS wire protocol: compact length-prefixed binary frames.
+//!
+//! Every message on a ccKVS TCP connection is one *frame*:
+//!
+//! ```text
+//! [u32 LE payload length][u8 opcode][opcode-specific payload]
+//! ```
+//!
+//! Three connection roles share the same framing, distinguished by the
+//! hello frame sent immediately after connect:
+//!
+//! * **client** connections ([`Frame::ClientHello`]) carry GET/PUT requests
+//!   and their responses, plus admin frames (hot-set install, ping,
+//!   shutdown);
+//! * **peer** connections ([`Frame::PeerHello`]) are one-way links carrying
+//!   the consistency-protocol messages ([`consistency::messages::ProtocolMsg`]
+//!   re-encoded as [`Frame::Protocol`] with the update's value bytes
+//!   attached);
+//! * **rpc** connections ([`Frame::RpcHello`]) are request/response links
+//!   between nodes for the cache-miss path (remote reads and forwarded
+//!   writes to the key's home shard).
+//!
+//! Integers are little-endian throughout; [`Timestamp`]s travel as the
+//! 5-byte `(clock: u32, writer: u8)` pair the paper packs into its object
+//! header.
+
+use consistency::lamport::{NodeId, Timestamp};
+use consistency::messages::ProtocolMsg;
+use std::io::{self, Read, Write};
+
+/// Upper bound on a frame payload (guards against corrupt length prefixes).
+pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// Error produced while decoding a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before the advertised structure was complete.
+    Truncated,
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// A length prefix exceeded [`MAX_FRAME_BYTES`].
+    Oversized(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame payload truncated"),
+            WireError::BadOpcode(op) => write!(f, "unknown opcode {op:#x}"),
+            WireError::Oversized(n) => write!(f, "frame of {n} bytes exceeds limit"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<WireError> for io::Error {
+    fn from(e: WireError) -> Self {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
+mod opcode {
+    pub const CLIENT_HELLO: u8 = 0x01;
+    pub const PEER_HELLO: u8 = 0x02;
+    pub const RPC_HELLO: u8 = 0x03;
+    pub const GET: u8 = 0x10;
+    pub const PUT: u8 = 0x11;
+    pub const GET_RESP: u8 = 0x12;
+    pub const PUT_RESP: u8 = 0x13;
+    pub const PROTOCOL: u8 = 0x20;
+    pub const MISS_GET: u8 = 0x30;
+    pub const MISS_GET_RESP: u8 = 0x31;
+    pub const MISS_PUT: u8 = 0x32;
+    pub const MISS_PUT_RESP: u8 = 0x33;
+    pub const INSTALL_HOT: u8 = 0x40;
+    pub const INSTALL_HOT_RESP: u8 = 0x41;
+    pub const EVICT: u8 = 0x42;
+    pub const EVICT_RESP: u8 = 0x43;
+    pub const PING: u8 = 0x50;
+    pub const PONG: u8 = 0x51;
+    pub const SHUTDOWN: u8 = 0x52;
+    pub const ERROR: u8 = 0x7E;
+}
+
+/// One wire message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Opens a client connection.
+    ClientHello,
+    /// Opens a one-way protocol link from peer node `from`.
+    PeerHello {
+        /// Sender node id.
+        from: u8,
+    },
+    /// Opens a request/response miss-path link from peer node `from`.
+    RpcHello {
+        /// Sender node id.
+        from: u8,
+    },
+    /// Client read request.
+    Get {
+        /// Key to read.
+        key: u64,
+    },
+    /// Client write request.
+    Put {
+        /// Key to write.
+        key: u64,
+        /// Value bytes.
+        value: Vec<u8>,
+    },
+    /// Response to [`Frame::Get`].
+    GetResp {
+        /// Whether the read was served by the symmetric cache (and thus
+        /// carries a protocol timestamp and belongs in checked histories).
+        cached: bool,
+        /// Timestamp of the value read (zero on the miss path).
+        ts: Timestamp,
+        /// The value (empty if never written).
+        value: Vec<u8>,
+    },
+    /// Response to [`Frame::Put`].
+    PutResp {
+        /// Whether the write went through the symmetric cache.
+        cached: bool,
+        /// Timestamp assigned by the protocol (zero on the miss path).
+        ts: Timestamp,
+    },
+    /// A consistency-protocol message, with the update's value bytes
+    /// attached when present.
+    Protocol {
+        /// The protocol message.
+        msg: ProtocolMsg,
+        /// Value bytes accompanying `Update` messages.
+        bytes: Option<Vec<u8>>,
+    },
+    /// Remote read of a cache-missing key, sent to the key's home node.
+    MissGet {
+        /// Key to read.
+        key: u64,
+    },
+    /// Response to [`Frame::MissGet`].
+    MissGetResp {
+        /// The value (empty if never written).
+        value: Vec<u8>,
+    },
+    /// Forwarded write of a cache-missing key, sent to the key's home node.
+    MissPut {
+        /// Key to write.
+        key: u64,
+        /// The sender's tag (diagnostics only: the home shard assigns the
+        /// authoritative version on arrival, since sender-side counters
+        /// advance independently).
+        tag: u32,
+        /// Writer id breaking clock ties.
+        writer: u8,
+        /// Value bytes.
+        value: Vec<u8>,
+    },
+    /// Response to [`Frame::MissPut`].
+    MissPutResp,
+    /// Installs a hot key into the node's symmetric cache (coordinator /
+    /// rack-launcher admin path).
+    InstallHot {
+        /// Key to install.
+        key: u64,
+        /// Initial value.
+        value: Vec<u8>,
+    },
+    /// Response to [`Frame::InstallHot`].
+    InstallHotResp {
+        /// Whether the key was installed (false: cache full).
+        ok: bool,
+    },
+    /// Evicts a key from the node's symmetric cache (epoch change /
+    /// failed-install rollback; admin path).
+    Evict {
+        /// Key to evict.
+        key: u64,
+    },
+    /// Response to [`Frame::Evict`].
+    EvictResp {
+        /// Whether the key was cached.
+        existed: bool,
+    },
+    /// The request failed server-side (e.g. a value over the shard's
+    /// capacity); carries a human-readable reason. Sent in place of the
+    /// normal response so client-controlled input never kills a server
+    /// thread.
+    Error {
+        /// Why the request failed.
+        message: String,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Response to [`Frame::Ping`].
+    Pong,
+    /// Asks the node to shut down (admin path; used by launchers and
+    /// tests to stop remote `cckvs-node` processes).
+    Shutdown,
+}
+
+fn put_ts(buf: &mut Vec<u8>, ts: Timestamp) {
+    buf.extend_from_slice(&ts.clock.to_le_bytes());
+    buf.push(ts.writer.0);
+}
+
+fn put_bytes(buf: &mut Vec<u8>, bytes: &[u8]) {
+    buf.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    buf.extend_from_slice(bytes);
+}
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.data.len() {
+            return Err(WireError::Truncated);
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn ts(&mut self) -> Result<Timestamp, WireError> {
+        let clock = self.u32()?;
+        let writer = self.u8()?;
+        Ok(Timestamp::new(clock, NodeId(writer)))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let len = self.u32()? as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(WireError::Oversized(len));
+        }
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.pos == self.data.len() {
+            Ok(())
+        } else {
+            Err(WireError::Truncated)
+        }
+    }
+}
+
+impl Frame {
+    /// Encodes the frame payload (opcode byte included, length prefix not).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(32);
+        match self {
+            Frame::ClientHello => buf.push(opcode::CLIENT_HELLO),
+            Frame::PeerHello { from } => {
+                buf.push(opcode::PEER_HELLO);
+                buf.push(*from);
+            }
+            Frame::RpcHello { from } => {
+                buf.push(opcode::RPC_HELLO);
+                buf.push(*from);
+            }
+            Frame::Get { key } => {
+                buf.push(opcode::GET);
+                buf.extend_from_slice(&key.to_le_bytes());
+            }
+            Frame::Put { key, value } => {
+                buf.push(opcode::PUT);
+                buf.extend_from_slice(&key.to_le_bytes());
+                put_bytes(&mut buf, value);
+            }
+            Frame::GetResp { cached, ts, value } => {
+                buf.push(opcode::GET_RESP);
+                buf.push(u8::from(*cached));
+                put_ts(&mut buf, *ts);
+                put_bytes(&mut buf, value);
+            }
+            Frame::PutResp { cached, ts } => {
+                buf.push(opcode::PUT_RESP);
+                buf.push(u8::from(*cached));
+                put_ts(&mut buf, *ts);
+            }
+            Frame::Protocol { msg, bytes } => {
+                buf.push(opcode::PROTOCOL);
+                match msg {
+                    ProtocolMsg::Invalidation { key, ts, from } => {
+                        buf.push(0);
+                        buf.extend_from_slice(&key.to_le_bytes());
+                        put_ts(&mut buf, *ts);
+                        buf.push(from.0);
+                    }
+                    ProtocolMsg::Ack { key, ts, from } => {
+                        buf.push(1);
+                        buf.extend_from_slice(&key.to_le_bytes());
+                        put_ts(&mut buf, *ts);
+                        buf.push(from.0);
+                    }
+                    ProtocolMsg::Update {
+                        key,
+                        value,
+                        ts,
+                        from,
+                    } => {
+                        buf.push(2);
+                        buf.extend_from_slice(&key.to_le_bytes());
+                        put_ts(&mut buf, *ts);
+                        buf.push(from.0);
+                        buf.extend_from_slice(&value.to_le_bytes());
+                    }
+                }
+                match bytes {
+                    None => buf.push(0),
+                    Some(b) => {
+                        buf.push(1);
+                        put_bytes(&mut buf, b);
+                    }
+                }
+            }
+            Frame::MissGet { key } => {
+                buf.push(opcode::MISS_GET);
+                buf.extend_from_slice(&key.to_le_bytes());
+            }
+            Frame::MissGetResp { value } => {
+                buf.push(opcode::MISS_GET_RESP);
+                put_bytes(&mut buf, value);
+            }
+            Frame::MissPut {
+                key,
+                tag,
+                writer,
+                value,
+            } => {
+                buf.push(opcode::MISS_PUT);
+                buf.extend_from_slice(&key.to_le_bytes());
+                buf.extend_from_slice(&tag.to_le_bytes());
+                buf.push(*writer);
+                put_bytes(&mut buf, value);
+            }
+            Frame::MissPutResp => buf.push(opcode::MISS_PUT_RESP),
+            Frame::InstallHot { key, value } => {
+                buf.push(opcode::INSTALL_HOT);
+                buf.extend_from_slice(&key.to_le_bytes());
+                put_bytes(&mut buf, value);
+            }
+            Frame::InstallHotResp { ok } => {
+                buf.push(opcode::INSTALL_HOT_RESP);
+                buf.push(u8::from(*ok));
+            }
+            Frame::Evict { key } => {
+                buf.push(opcode::EVICT);
+                buf.extend_from_slice(&key.to_le_bytes());
+            }
+            Frame::EvictResp { existed } => {
+                buf.push(opcode::EVICT_RESP);
+                buf.push(u8::from(*existed));
+            }
+            Frame::Error { message } => {
+                buf.push(opcode::ERROR);
+                put_bytes(&mut buf, message.as_bytes());
+            }
+            Frame::Ping => buf.push(opcode::PING),
+            Frame::Pong => buf.push(opcode::PONG),
+            Frame::Shutdown => buf.push(opcode::SHUTDOWN),
+        }
+        buf
+    }
+
+    /// Decodes a frame payload produced by [`Frame::encode`].
+    pub fn decode(payload: &[u8]) -> Result<Frame, WireError> {
+        let mut cur = Cursor::new(payload);
+        let op = cur.u8()?;
+        let frame = match op {
+            opcode::CLIENT_HELLO => Frame::ClientHello,
+            opcode::PEER_HELLO => Frame::PeerHello { from: cur.u8()? },
+            opcode::RPC_HELLO => Frame::RpcHello { from: cur.u8()? },
+            opcode::GET => Frame::Get { key: cur.u64()? },
+            opcode::PUT => Frame::Put {
+                key: cur.u64()?,
+                value: cur.bytes()?,
+            },
+            opcode::GET_RESP => Frame::GetResp {
+                cached: cur.u8()? != 0,
+                ts: cur.ts()?,
+                value: cur.bytes()?,
+            },
+            opcode::PUT_RESP => Frame::PutResp {
+                cached: cur.u8()? != 0,
+                ts: cur.ts()?,
+            },
+            opcode::PROTOCOL => {
+                let kind = cur.u8()?;
+                let key = cur.u64()?;
+                let ts = cur.ts()?;
+                let from = NodeId(cur.u8()?);
+                let msg = match kind {
+                    0 => ProtocolMsg::Invalidation { key, ts, from },
+                    1 => ProtocolMsg::Ack { key, ts, from },
+                    2 => ProtocolMsg::Update {
+                        key,
+                        value: cur.u64()?,
+                        ts,
+                        from,
+                    },
+                    other => return Err(WireError::BadOpcode(other)),
+                };
+                let bytes = match cur.u8()? {
+                    0 => None,
+                    _ => Some(cur.bytes()?),
+                };
+                Frame::Protocol { msg, bytes }
+            }
+            opcode::MISS_GET => Frame::MissGet { key: cur.u64()? },
+            opcode::MISS_GET_RESP => Frame::MissGetResp {
+                value: cur.bytes()?,
+            },
+            opcode::MISS_PUT => Frame::MissPut {
+                key: cur.u64()?,
+                tag: cur.u32()?,
+                writer: cur.u8()?,
+                value: cur.bytes()?,
+            },
+            opcode::MISS_PUT_RESP => Frame::MissPutResp,
+            opcode::INSTALL_HOT => Frame::InstallHot {
+                key: cur.u64()?,
+                value: cur.bytes()?,
+            },
+            opcode::INSTALL_HOT_RESP => Frame::InstallHotResp { ok: cur.u8()? != 0 },
+            opcode::EVICT => Frame::Evict { key: cur.u64()? },
+            opcode::EVICT_RESP => Frame::EvictResp {
+                existed: cur.u8()? != 0,
+            },
+            opcode::ERROR => Frame::Error {
+                message: String::from_utf8_lossy(&cur.bytes()?).into_owned(),
+            },
+            opcode::PING => Frame::Ping,
+            opcode::PONG => Frame::Pong,
+            opcode::SHUTDOWN => Frame::Shutdown,
+            other => return Err(WireError::BadOpcode(other)),
+        };
+        cur.finish()?;
+        Ok(frame)
+    }
+}
+
+/// Writes one frame to `w` (length prefix + payload). Does not flush.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
+    let payload = frame.encode();
+    debug_assert!(payload.len() <= MAX_FRAME_BYTES);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&payload)
+}
+
+/// Reads one frame from `r`. Returns `Ok(None)` only on a clean EOF at a
+/// frame boundary (the peer closed the connection); an EOF part-way
+/// through the length prefix or payload is a truncation error, so a peer
+/// dying mid-frame is diagnosable rather than indistinguishable from an
+/// orderly close.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Frame>> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < len_bytes.len() {
+        match r.read(&mut len_bytes[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame (partial length prefix)",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(WireError::Oversized(len).into());
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(Frame::decode(&payload)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: Frame) {
+        let encoded = frame.encode();
+        assert_eq!(Frame::decode(&encoded), Ok(frame));
+    }
+
+    #[test]
+    fn all_frames_roundtrip() {
+        let ts = Timestamp::new(77, NodeId(3));
+        for frame in [
+            Frame::ClientHello,
+            Frame::PeerHello { from: 2 },
+            Frame::RpcHello { from: 5 },
+            Frame::Get { key: 42 },
+            Frame::Put {
+                key: 42,
+                value: b"hello".to_vec(),
+            },
+            Frame::GetResp {
+                cached: true,
+                ts,
+                value: b"world".to_vec(),
+            },
+            Frame::GetResp {
+                cached: false,
+                ts: Timestamp::ZERO,
+                value: Vec::new(),
+            },
+            Frame::PutResp { cached: true, ts },
+            Frame::Protocol {
+                msg: ProtocolMsg::Invalidation {
+                    key: 9,
+                    ts,
+                    from: NodeId(1),
+                },
+                bytes: None,
+            },
+            Frame::Protocol {
+                msg: ProtocolMsg::Ack {
+                    key: 9,
+                    ts,
+                    from: NodeId(2),
+                },
+                bytes: None,
+            },
+            Frame::Protocol {
+                msg: ProtocolMsg::Update {
+                    key: 9,
+                    value: 0xDEAD_BEEF,
+                    ts,
+                    from: NodeId(1),
+                },
+                bytes: Some(b"payload".to_vec()),
+            },
+            Frame::MissGet { key: 1 },
+            Frame::MissGetResp {
+                value: b"cold".to_vec(),
+            },
+            Frame::MissPut {
+                key: 1,
+                tag: 9,
+                writer: 2,
+                value: b"v".to_vec(),
+            },
+            Frame::MissPutResp,
+            Frame::InstallHot {
+                key: 3,
+                value: b"hot".to_vec(),
+            },
+            Frame::InstallHotResp { ok: true },
+            Frame::Evict { key: 3 },
+            Frame::EvictResp { existed: false },
+            Frame::Error {
+                message: "value exceeds shard capacity".to_string(),
+            },
+            Frame::Ping,
+            Frame::Pong,
+            Frame::Shutdown,
+        ] {
+            roundtrip(frame);
+        }
+    }
+
+    #[test]
+    fn stream_framing_roundtrips_multiple_frames() {
+        let frames = vec![
+            Frame::Get { key: 1 },
+            Frame::Put {
+                key: 2,
+                value: vec![0u8; 300],
+            },
+            Frame::Ping,
+        ];
+        let mut buf = Vec::new();
+        for f in &frames {
+            write_frame(&mut buf, f).unwrap();
+        }
+        let mut r = &buf[..];
+        for f in &frames {
+            assert_eq!(&read_frame(&mut r).unwrap().unwrap(), f);
+        }
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn truncated_and_unknown_frames_are_rejected() {
+        assert_eq!(Frame::decode(&[]), Err(WireError::Truncated));
+        assert_eq!(Frame::decode(&[0xFF]), Err(WireError::BadOpcode(0xFF)));
+        let mut encoded = Frame::Get { key: 7 }.encode();
+        encoded.pop();
+        assert_eq!(Frame::decode(&encoded), Err(WireError::Truncated));
+        // Trailing garbage is also a framing error.
+        let mut padded = Frame::Ping.encode();
+        padded.push(0);
+        assert_eq!(Frame::decode(&padded), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let err = read_frame(&mut &buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

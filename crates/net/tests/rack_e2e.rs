@@ -1,0 +1,184 @@
+//! End-to-end consistency of the networked rack.
+//!
+//! Boots real 3-node racks on loopback TCP, drives mixed Zipfian workloads
+//! through the load-balanced [`Client`], and feeds the observed operation
+//! history to the consistency checkers: per-key SC must hold under both
+//! models, per-key Lin additionally under Lin — exactly the guarantees the
+//! in-process cluster validates, now across sockets.
+
+use cckvs_net::client::{Client, SharedHistory};
+use cckvs_net::metrics::Metrics;
+use cckvs_net::rack::{Rack, RackConfig};
+use cckvs_net::LoadBalancePolicy;
+use consistency::messages::ConsistencyModel;
+use std::sync::Arc;
+use workload::{AccessDistribution, Dataset, Mix, OpKind, WorkloadGen};
+
+const SESSIONS: u32 = 4;
+const OPS_PER_SESSION: u64 = 2_000;
+const HOT_KEYS: u64 = 128;
+
+fn run_rack(
+    model: ConsistencyModel,
+) -> (cckvs_net::MetricsSnapshot, consistency::history::History) {
+    let rack = Rack::launch(RackConfig::small(model, 3)).expect("launch rack");
+    let dataset = Dataset::new(10_000, 40);
+    let hot: Vec<(u64, Vec<u8>)> = (0..HOT_KEYS)
+        .map(|rank| (dataset.key_of_rank(rank).0, vec![0u8; 40]))
+        .collect();
+    rack.install_hot_set(&hot).expect("install hot set");
+
+    let history = Arc::new(SharedHistory::new());
+    let metrics = Arc::new(Metrics::new());
+    let addrs = rack.client_addrs();
+    let handles: Vec<_> = (0..SESSIONS)
+        .map(|session| {
+            let addrs = addrs.clone();
+            let history = Arc::clone(&history);
+            let metrics = Arc::clone(&metrics);
+            let mut gen = WorkloadGen::new(
+                &dataset,
+                AccessDistribution::Zipfian { exponent: 0.99 },
+                Mix::with_write_ratio(0.05),
+                7 ^ u64::from(session),
+            );
+            std::thread::spawn(move || {
+                // SC sessions stay sticky to one replica; Lin sessions
+                // spread across nodes (see the client module docs).
+                let policy = match model {
+                    ConsistencyModel::Sc => {
+                        LoadBalancePolicy::Pinned(session as usize % addrs.len())
+                    }
+                    ConsistencyModel::Lin => LoadBalancePolicy::RoundRobin,
+                };
+                let mut client = Client::connect(&addrs, session, policy)
+                    .expect("connect")
+                    .with_history(history)
+                    .with_metrics(metrics);
+                for _ in 0..OPS_PER_SESSION {
+                    let op = gen.next_op();
+                    match op.kind {
+                        OpKind::Get => {
+                            client.get(op.key.0).expect("get");
+                        }
+                        OpKind::Put => {
+                            client
+                                .put(op.key.0, &op.value_bytes(session, 40))
+                                .expect("put");
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("session thread");
+    }
+    let snapshot = metrics.snapshot();
+    let history = history.snapshot();
+    rack.shutdown();
+    (snapshot, history)
+}
+
+#[test]
+fn lin_rack_history_is_per_key_linearizable() {
+    let (metrics, history) = run_rack(ConsistencyModel::Lin);
+    assert_eq!(
+        metrics.gets + metrics.puts,
+        u64::from(SESSIONS) * OPS_PER_SESSION
+    );
+    // Zipf-0.99 with the hottest 128 of 10k keys cached: a large fraction
+    // of traffic must hit, and some must miss (cold keys exist).
+    assert!(
+        metrics.hit_rate() > 0.25,
+        "hit rate {:.3} too low",
+        metrics.hit_rate()
+    );
+    assert!(metrics.cache_misses > 0, "workload never left the hot set");
+    assert!(history.len() > 1_000, "too few cached-key ops recorded");
+    history
+        .check_per_key_sc()
+        .unwrap_or_else(|v| panic!("per-key SC violated over TCP: {v}"));
+    history
+        .check_per_key_lin()
+        .unwrap_or_else(|v| panic!("per-key Lin violated over TCP: {v}"));
+}
+
+#[test]
+fn sc_rack_history_is_per_key_sequentially_consistent() {
+    let (metrics, history) = run_rack(ConsistencyModel::Sc);
+    assert!(history.len() > 1_000, "too few cached-key ops recorded");
+    assert!(metrics.hit_rate() > 0.25);
+    history
+        .check_per_key_sc()
+        .unwrap_or_else(|v| panic!("per-key SC violated over TCP: {v}"));
+}
+
+#[test]
+fn rack_serves_cold_keys_through_remote_home_shards() {
+    let rack = Rack::launch(RackConfig::small(ConsistencyModel::Lin, 3)).expect("launch rack");
+    let addrs = rack.client_addrs();
+    let mut client = Client::connect(&addrs, 0, LoadBalancePolicy::RoundRobin).expect("connect");
+    // Nothing is cached: every op takes the miss path, usually remotely.
+    for key in 0..60u64 {
+        assert!(client.put(key, &key.to_le_bytes()).expect("put").is_none());
+    }
+    for key in 0..60u64 {
+        assert_eq!(client.get(key).expect("get"), key.to_le_bytes());
+    }
+    // With 3 nodes and round-robin clients, ~2/3 of misses are remote.
+    let remote: u64 = (0..rack.nodes())
+        .map(|n| {
+            let snap = rack.server(n).metrics().snapshot();
+            snap.remote_reads + snap.remote_writes
+        })
+        .sum();
+    assert!(remote > 0, "no miss-path RPCs observed");
+    rack.shutdown();
+}
+
+#[test]
+fn cold_key_overwrites_win_regardless_of_entry_node() {
+    // Regression: miss-path writes used to carry the *sender's* tag
+    // counter to the home shard's put_if_newer; a write entering through a
+    // node with a lower counter was silently discarded. Versions are now
+    // assigned by the home shard on arrival, so the last write always
+    // wins no matter which node served it.
+    let rack = Rack::launch(RackConfig::small(ConsistencyModel::Lin, 3)).expect("launch rack");
+    let addrs = rack.client_addrs();
+    let mut via_node0 = Client::connect(&addrs, 0, LoadBalancePolicy::Pinned(0)).expect("connect");
+    let mut via_node1 = Client::connect(&addrs, 1, LoadBalancePolicy::Pinned(1)).expect("connect");
+    // Pump node 0's counters far ahead of node 1's.
+    for key in 10_000..10_050u64 {
+        via_node0.put(key, b"filler").expect("put");
+    }
+    via_node0.put(77, b"first").expect("put");
+    via_node1.put(77, b"second").expect("put");
+    for client in [&mut via_node0, &mut via_node1] {
+        assert_eq!(client.get(77).expect("get"), b"second");
+    }
+    rack.shutdown();
+}
+
+#[test]
+fn metrics_endpoints_are_scrapable_while_serving() {
+    use std::io::{Read, Write};
+    let rack = Rack::launch(RackConfig::small(ConsistencyModel::Sc, 2)).expect("launch rack");
+    rack.install_hot_set(&[(1, b"x".to_vec())])
+        .expect("install");
+    let mut client =
+        Client::connect(&rack.client_addrs(), 0, LoadBalancePolicy::Pinned(0)).expect("connect");
+    client.get(1).expect("get");
+    let metrics_addr = rack.metrics_addrs()[0].expect("metrics enabled");
+    let mut stream = std::net::TcpStream::connect(metrics_addr).expect("connect metrics");
+    stream
+        .write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
+        .expect("request");
+    let mut body = String::new();
+    stream.read_to_string(&mut body).expect("response");
+    assert!(
+        body.contains("cckvs_cache_hits_total{node=\"n0\"} 1"),
+        "unexpected body:\n{body}"
+    );
+    rack.shutdown();
+}

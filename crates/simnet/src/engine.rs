@@ -119,7 +119,10 @@ impl<B: NodeBehavior> Engine<B> {
         for emit in emits {
             match emit {
                 Emit::Send(pkt) => {
-                    assert_eq!(pkt.src, node, "behaviours may only send from their own node");
+                    assert_eq!(
+                        pkt.src, node,
+                        "behaviours may only send from their own node"
+                    );
                     self.stats.record_packet(pkt.class, pkt.bytes);
                     let delivered = self.fabric.schedule(now, &pkt);
                     if delivered <= horizon {
@@ -186,7 +189,10 @@ mod tests {
     impl NodeBehavior for PingPong {
         fn on_start(&mut self, _now: SimTime) -> Vec<Emit> {
             if self.id == 0 {
-                vec![Emit::Timer { delay: self.period, token: 0 }]
+                vec![Emit::Timer {
+                    delay: self.period,
+                    token: 0,
+                }]
             } else {
                 Vec::new()
             }
@@ -224,7 +230,10 @@ mod tests {
                     TrafficClass::MissRequest,
                     token,
                 )),
-                Emit::Timer { delay: self.period, token: 0 },
+                Emit::Timer {
+                    delay: self.period,
+                    token: 0,
+                },
             ]
         }
     }
@@ -265,8 +274,14 @@ mod tests {
         let completions_per_ms = stats.total_completions() as f64 / 1_000.0;
         // Port gap ≈ 21 ns ⇒ at most ~47.5 K packets per ms per direction,
         // i.e. fewer than ~50 K request/response round trips per ms.
-        assert!(completions_per_ms < 55.0, "completions per ms: {completions_per_ms}");
-        assert!(stats.total_completions() > 10_000, "should still push many requests");
+        assert!(
+            completions_per_ms < 55.0,
+            "completions per ms: {completions_per_ms}"
+        );
+        assert!(
+            stats.total_completions() > 10_000,
+            "should still push many requests"
+        );
         // Latency grows due to queueing relative to the lightly-loaded case.
         let light = ping_pong_engine(10 * MICROSECOND).run(MILLISECOND);
         let mut heavy_lat = stats.latency.clone();
@@ -278,7 +293,12 @@ mod tests {
     #[should_panic]
     fn behaviour_count_must_match_fabric() {
         let sizes = MessageSizes::for_value_size(40);
-        let nodes = vec![PingPong { id: 0, period: 1, sizes, outstanding: Vec::new() }];
+        let nodes = vec![PingPong {
+            id: 0,
+            period: 1,
+            sizes,
+            outstanding: Vec::new(),
+        }];
         let _ = Engine::new(nodes, FabricConfig::paper_rack(2));
     }
 }

@@ -100,7 +100,10 @@ impl FabricState {
     /// to the same node (local traffic never touches the fabric).
     pub fn schedule(&mut self, now: SimTime, pkt: &Packet) -> SimTime {
         assert!(pkt.src < self.config.nodes && pkt.dst < self.config.nodes);
-        assert_ne!(pkt.src, pkt.dst, "local traffic must not be sent over the fabric");
+        assert_ne!(
+            pkt.src, pkt.dst,
+            "local traffic must not be sent over the fabric"
+        );
         let occupancy = self.config.port_occupancy_ns(pkt);
         // TX port: wait for it to free, then occupy it.
         let tx_start = now.max(self.tx_free_at[pkt.src]);
@@ -143,7 +146,10 @@ mod tests {
             (19.0..24.0).contains(&small),
             "small-packet effective bandwidth should be ~21.5 Gb/s, got {small}"
         );
-        assert!(large > 45.0, "large packets should approach the link rate, got {large}");
+        assert!(
+            large > 45.0,
+            "large packets should approach the link rate, got {large}"
+        );
     }
 
     #[test]
@@ -161,7 +167,10 @@ mod tests {
         let d1 = fabric.schedule(0, &pkt);
         let d2 = fabric.schedule(0, &pkt);
         let d3 = fabric.schedule(0, &pkt);
-        assert!(d2 > d1 && d3 > d2, "later packets must be delayed by queueing");
+        assert!(
+            d2 > d1 && d3 > d2,
+            "later packets must be delayed by queueing"
+        );
         let gap = cfg.port_occupancy_ns(&pkt);
         assert_eq!(d2 - d1, gap);
         assert_eq!(d3 - d2, gap);

@@ -181,7 +181,10 @@ mod tests {
         let big = MessageSizes::for_value_size(1024);
         assert_eq!(big.miss_response - small.miss_response, 984);
         assert_eq!(big.update - small.update, 984);
-        assert_eq!(big.invalidation, small.invalidation, "invalidations carry no value");
+        assert_eq!(
+            big.invalidation, small.invalidation,
+            "invalidations carry no value"
+        );
         assert_eq!(big.ack, small.ack);
     }
 

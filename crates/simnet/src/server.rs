@@ -86,7 +86,10 @@ mod tests {
     fn parallel_servers_run_concurrently() {
         let mut pool = ServerPool::new(4);
         let completions: Vec<SimTime> = (0..4).map(|_| pool.enqueue(0, 100)).collect();
-        assert!(completions.iter().all(|&c| c == 100), "4 jobs fit on 4 servers");
+        assert!(
+            completions.iter().all(|&c| c == 100),
+            "4 jobs fit on 4 servers"
+        );
         // The 5th job queues behind the earliest finisher.
         assert_eq!(pool.enqueue(0, 100), 200);
     }

@@ -479,7 +479,14 @@ mod tests {
                 assert_eq!(outgoing.len(), 1);
                 assert!(matches!(
                     outgoing[0],
-                    (Destination::Broadcast, ProtocolMsg::Update { key: 5, value: 77, .. })
+                    (
+                        Destination::Broadcast,
+                        ProtocolMsg::Update {
+                            key: 5,
+                            value: 77,
+                            ..
+                        }
+                    )
                 ));
             }
             other => panic!("expected completed write, got {other:?}"),
@@ -496,7 +503,10 @@ mod tests {
             WriteOutcome::Pending { ts, outgoing } => {
                 assert!(matches!(
                     outgoing[0],
-                    (Destination::Broadcast, ProtocolMsg::Invalidation { key: 5, .. })
+                    (
+                        Destination::Broadcast,
+                        ProtocolMsg::Invalidation { key: 5, .. }
+                    )
                 ));
                 ts
             }
@@ -507,16 +517,31 @@ mod tests {
         // A second local write to the same key also stalls.
         assert_eq!(c.write(5, b"other", 43), WriteOutcome::Stall);
         // Deliver the two acks.
-        let ack1 = ProtocolMsg::Ack { key: 5, ts, from: NodeId(1) };
+        let ack1 = ProtocolMsg::Ack {
+            key: 5,
+            ts,
+            from: NodeId(1),
+        };
         let out1 = c.deliver(&ack1, None);
         assert!(out1.committed.is_none());
-        let ack2 = ProtocolMsg::Ack { key: 5, ts, from: NodeId(2) };
+        let ack2 = ProtocolMsg::Ack {
+            key: 5,
+            ts,
+            from: NodeId(2),
+        };
         let out2 = c.deliver(&ack2, None);
         assert_eq!(out2.committed, Some(ts));
         assert_eq!(out2.commit_value.as_deref(), Some(b"new".as_ref()));
         assert!(matches!(
             out2.outgoing[0],
-            (Destination::Broadcast, ProtocolMsg::Update { key: 5, value: 42, .. })
+            (
+                Destination::Broadcast,
+                ProtocolMsg::Update {
+                    key: 5,
+                    value: 42,
+                    ..
+                }
+            )
         ));
         // Now readable with the new value.
         assert!(matches!(c.read(5), ReadOutcome::Hit { value, .. } if value == b"new"));
@@ -528,7 +553,11 @@ mod tests {
         c.fill(5, b"old", 0);
         let ts = Timestamp::new(1, NodeId(0));
         let out = c.deliver(
-            &ProtocolMsg::Invalidation { key: 5, ts, from: NodeId(0) },
+            &ProtocolMsg::Invalidation {
+                key: 5,
+                ts,
+                from: NodeId(0),
+            },
             None,
         );
         assert_eq!(out.outgoing.len(), 1);
@@ -539,11 +568,18 @@ mod tests {
         assert_eq!(c.read(5), ReadOutcome::Stall);
         // The matching update unblocks the key and installs the bytes.
         let out = c.deliver(
-            &ProtocolMsg::Update { key: 5, value: 9, ts, from: NodeId(0) },
+            &ProtocolMsg::Update {
+                key: 5,
+                value: 9,
+                ts,
+                from: NodeId(0),
+            },
             Some(b"fresh"),
         );
         assert!(out.applied_update);
-        assert!(matches!(c.read(5), ReadOutcome::Hit { value, ts: t } if value == b"fresh" && t == ts));
+        assert!(
+            matches!(c.read(5), ReadOutcome::Hit { value, ts: t } if value == b"fresh" && t == ts)
+        );
     }
 
     #[test]

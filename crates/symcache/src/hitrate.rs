@@ -36,7 +36,7 @@ pub fn hit_rate_curve(dataset_keys: u64, alpha: f64, fractions: &[f64]) -> Vec<(
         .iter()
         .map(|&f| {
             let entries = ((dataset_keys as f64) * f).round() as u64;
-            (f, expected_hit_rate(dataset_keys, entries.max(0), alpha))
+            (f, expected_hit_rate(dataset_keys, entries, alpha))
         })
         .collect()
 }
@@ -51,7 +51,11 @@ mod tests {
         // exponents of α equal to 0.9, 0.99 and 1.01" with a 0.1% cache of a
         // 250M-key dataset. Allow a few points of slack; in debug builds use
         // a scaled-down dataset (same shape, slightly higher hit rates).
-        let keys: u64 = if cfg!(debug_assertions) { 25_000_000 } else { 250_000_000 };
+        let keys: u64 = if cfg!(debug_assertions) {
+            25_000_000
+        } else {
+            250_000_000
+        };
         let cache = keys / 1000;
         let h90 = expected_hit_rate(keys, cache, 0.90);
         let h99 = expected_hit_rate(keys, cache, 0.99);

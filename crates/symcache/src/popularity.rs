@@ -106,7 +106,7 @@ impl CacheCoordinator {
     /// observation closes an epoch.
     pub fn observe(&mut self, key: u64) -> Option<HotSet> {
         self.seen += 1;
-        if self.seen % self.config.sampling != 0 {
+        if !self.seen.is_multiple_of(self.config.sampling) {
             return None;
         }
         self.summary.observe(key);

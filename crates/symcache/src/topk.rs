@@ -80,7 +80,8 @@ impl SpaceSaving {
 
     /// The monitored keys sorted by estimated count, hottest first.
     pub fn top(&self, k: usize) -> Vec<(u64, u64)> {
-        let mut entries: Vec<(u64, u64)> = self.counters.iter().map(|(k, (c, _))| (*k, *c)).collect();
+        let mut entries: Vec<(u64, u64)> =
+            self.counters.iter().map(|(k, (c, _))| (*k, *c)).collect();
         entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         entries.truncate(k);
         entries
@@ -150,7 +151,10 @@ mod tests {
         let top100 = ss.hot_keys(100);
         // At least 80 of the reported top-100 keys must be true top-200 ranks.
         let good = top100.iter().filter(|&&k| k < 200).count();
-        assert!(good >= 80, "only {good} of the top-100 reported keys are truly hot");
+        assert!(
+            good >= 80,
+            "only {good} of the top-100 reported keys are truly hot"
+        );
     }
 
     #[test]

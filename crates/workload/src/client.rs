@@ -157,7 +157,11 @@ mod tests {
             assert!(r.server < 9);
             seen.insert(r.server);
         }
-        assert_eq!(seen.len(), 9, "random load balancing should reach every node");
+        assert_eq!(
+            seen.len(),
+            9,
+            "random load balancing should reach every node"
+        );
     }
 
     #[test]

@@ -76,11 +76,7 @@ pub fn normalized_server_load(
 
 /// Computes the empirical normalised per-server load from a sampled trace of
 /// key ranks (useful to validate the analytic computation).
-pub fn sampled_server_load(
-    dataset: &Dataset,
-    shards: &ShardMap,
-    ranks: &[u64],
-) -> ImbalanceReport {
+pub fn sampled_server_load(dataset: &Dataset, shards: &ShardMap, ranks: &[u64]) -> ImbalanceReport {
     let servers = shards.nodes;
     let mut counts = vec![0u64; servers];
     for &rank in ranks {
@@ -107,7 +103,11 @@ mod tests {
         // over 7x the average load (driven by the single hottest key, whose
         // pmf is ~5.5% of all accesses at 250M keys ≈ 7x of 1/128).
         let dataset = Dataset::new(
-            if cfg!(debug_assertions) { 2_500_000 } else { 250_000_000 },
+            if cfg!(debug_assertions) {
+                2_500_000
+            } else {
+                250_000_000
+            },
             40,
         );
         let shards = ShardMap::new(128, 1);
@@ -146,7 +146,12 @@ mod tests {
         // Hotspot factors should agree within 15%.
         let rel = (sampled.hotspot_factor() - analytic.hotspot_factor()).abs()
             / analytic.hotspot_factor();
-        assert!(rel < 0.15, "sampled {} vs analytic {}", sampled.hotspot_factor(), analytic.hotspot_factor());
+        assert!(
+            rel < 0.15,
+            "sampled {} vs analytic {}",
+            sampled.hotspot_factor(),
+            analytic.hotspot_factor()
+        );
     }
 
     #[test]

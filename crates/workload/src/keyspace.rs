@@ -59,7 +59,11 @@ impl Dataset {
     /// The mapping is a bijection on `[0, keys)` obtained by searching from
     /// a mixed candidate — cheap and deterministic.
     pub fn key_of_rank(&self, rank: u64) -> KeyId {
-        assert!(rank < self.keys, "rank {rank} outside dataset of {} keys", self.keys);
+        assert!(
+            rank < self.keys,
+            "rank {rank} outside dataset of {} keys",
+            self.keys
+        );
         // A multiplicative permutation: (rank * odd) mod 2^64 folded into the
         // key range via a second mix. To keep it a bijection on [0, keys) we
         // use the simple affine permutation (a*rank + b) mod keys with `a`
@@ -164,7 +168,7 @@ mod tests {
         // The hottest few hundred keys should not all land on one node.
         let ds = Dataset::new(1_000_000, 40);
         let shards = ShardMap::new(9, 20);
-        let mut per_node = vec![0usize; 9];
+        let mut per_node = [0usize; 9];
         for r in 0..900 {
             per_node[shards.home_node(ds.key_of_rank(r))] += 1;
         }

@@ -83,6 +83,23 @@ pub struct Op {
     pub value_tag: u64,
 }
 
+impl Op {
+    /// Renders the value bytes a put should write on behalf of `session`:
+    /// an 8-byte tag unique across sessions (the checkers match reads to
+    /// writes through it) followed by zero padding to `value_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value_size` cannot hold the 8-byte tag.
+    pub fn value_bytes(&self, session: u32, value_size: usize) -> Vec<u8> {
+        assert!(value_size >= 8, "value size must hold the 8-byte tag");
+        let tag = (u64::from(session) << 40) | (self.value_tag & ((1 << 40) - 1));
+        let mut value = vec![0u8; value_size];
+        value[..8].copy_from_slice(&tag.to_le_bytes());
+        value
+    }
+}
+
 /// Pre-seeded generator producing a stream of [`Op`]s.
 #[derive(Debug, Clone)]
 pub struct WorkloadGen {
@@ -185,7 +202,12 @@ mod tests {
 
     #[test]
     fn read_only_mix_produces_no_puts() {
-        let mut gen = WorkloadGen::new(&dataset(), AccessDistribution::ycsb_default(), Mix::read_only(), 1);
+        let mut gen = WorkloadGen::new(
+            &dataset(),
+            AccessDistribution::ycsb_default(),
+            Mix::read_only(),
+            1,
+        );
         for _ in 0..10_000 {
             assert_eq!(gen.next_op().kind, OpKind::Get);
         }
@@ -200,7 +222,11 @@ mod tests {
             2,
         );
         let n = 100_000;
-        let writes = gen.batch(n).iter().filter(|o| o.kind == OpKind::Put).count();
+        let writes = gen
+            .batch(n)
+            .iter()
+            .filter(|o| o.kind == OpKind::Put)
+            .count();
         let ratio = writes as f64 / n as f64;
         assert!((ratio - 0.05).abs() < 0.01, "observed write ratio {ratio}");
     }
@@ -214,17 +240,33 @@ mod tests {
         let n = 50_000;
         let zipf_top = zipf_gen.batch(n).iter().filter(|o| o.rank < 100).count();
         let uni_top = uni_gen.batch(n).iter().filter(|o| o.rank < 100).count();
-        assert!(zipf_top as f64 / (n as f64) > 0.3, "zipf top-100 share too small");
-        assert!(uni_top as f64 / (n as f64) < 0.05, "uniform top-100 share too large");
+        assert!(
+            zipf_top as f64 / (n as f64) > 0.3,
+            "zipf top-100 share too small"
+        );
+        assert!(
+            uni_top as f64 / (n as f64) < 0.05,
+            "uniform top-100 share too large"
+        );
     }
 
     #[test]
     fn generation_is_deterministic_for_a_seed() {
         let ds = dataset();
-        let a: Vec<_> = WorkloadGen::new(&ds, AccessDistribution::ycsb_default(), Mix::with_write_ratio(0.01), 7)
-            .batch(1000);
-        let b: Vec<_> = WorkloadGen::new(&ds, AccessDistribution::ycsb_default(), Mix::with_write_ratio(0.01), 7)
-            .batch(1000);
+        let a: Vec<_> = WorkloadGen::new(
+            &ds,
+            AccessDistribution::ycsb_default(),
+            Mix::with_write_ratio(0.01),
+            7,
+        )
+        .batch(1000);
+        let b: Vec<_> = WorkloadGen::new(
+            &ds,
+            AccessDistribution::ycsb_default(),
+            Mix::with_write_ratio(0.01),
+            7,
+        )
+        .batch(1000);
         assert_eq!(a, b);
     }
 

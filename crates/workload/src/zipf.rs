@@ -194,7 +194,11 @@ mod tests {
         // harmonic() is linear but still fast enough in release; in debug we
         // scale down to 2.5M keys, which gives slightly higher hit rates but
         // the same ordering.
-        let n: u64 = if cfg!(debug_assertions) { 2_500_000 } else { 250_000_000 };
+        let n: u64 = if cfg!(debug_assertions) {
+            2_500_000
+        } else {
+            250_000_000
+        };
         let cache = n / 1000;
         let h90 = zipf_cdf(n, cache, 0.90);
         let h99 = zipf_cdf(n, cache, 0.99);
@@ -217,7 +221,11 @@ mod tests {
         }
         // Rank 0 should be the clear winner and roughly match its pmf.
         let p0 = counts[0] as f64 / draws as f64;
-        assert!((p0 - zipf.pmf(0)).abs() < 0.02, "empirical {p0} vs pmf {}", zipf.pmf(0));
+        assert!(
+            (p0 - zipf.pmf(0)).abs() < 0.02,
+            "empirical {p0} vs pmf {}",
+            zipf.pmf(0)
+        );
         // Top-10 empirical mass should match the CDF within a small tolerance.
         let top10: u64 = counts[..10].iter().sum();
         let emp = top10 as f64 / draws as f64;

@@ -50,7 +50,9 @@ fn main() {
         let history = cluster.history();
         history.check_per_key_sc().expect("per-key SC holds");
         if model == ConsistencyModel::Lin {
-            history.check_per_key_lin().expect("per-key linearizability holds");
+            history
+                .check_per_key_lin()
+                .expect("per-key linearizability holds");
         }
         println!(
             "{:?}: {} concurrent operations recorded, consistency checks passed",

@@ -20,13 +20,19 @@ fn main() {
 
     // Clients load-balance requests over the nodes; any node can serve any
     // key thanks to the symmetric cache + NUMA abstraction.
-    println!("initial read of key 3 via node 2: {:?}", text(cluster.get(0, 2, 3)));
+    println!(
+        "initial read of key 3 via node 2: {:?}",
+        text(cluster.get(0, 2, 3))
+    );
 
     // A linearizable write: once put() returns, every subsequent read on any
     // node observes the new value.
     cluster.put(1, 0, 3, b"updated-by-session-1");
     for node in 0..cluster.nodes() {
-        println!("read key 3 via node {node}: {:?}", text(cluster.get(2, node, 3)));
+        println!(
+            "read key 3 via node {node}: {:?}",
+            text(cluster.get(2, node, 3))
+        );
     }
 
     // Cache misses transparently fall through to the key's home shard.
@@ -35,8 +41,14 @@ fn main() {
     // The recorded history of operations on cached keys satisfies per-key
     // linearizability (checked mechanically).
     cluster.quiesce();
-    cluster.history().check_per_key_lin().expect("history is linearizable");
-    println!("recorded {} operations; per-key linearizability holds", cluster.history().len());
+    cluster
+        .history()
+        .check_per_key_lin()
+        .expect("history is linearizable");
+    println!(
+        "recorded {} operations; per-key linearizability holds",
+        cluster.history().len()
+    );
 }
 
 fn text(result: OpResult) -> String {

@@ -23,7 +23,10 @@ fn main() {
     // 2. A cache of 0.1% of the dataset absorbs most of the accesses (Fig. 3).
     for alpha in [0.90, 0.99, 1.01] {
         let hr = expected_hit_rate(dataset.keys, dataset.keys / 1000, alpha);
-        println!("zipf {alpha:.2}: 0.1% symmetric cache hit rate = {:.0}%", hr * 100.0);
+        println!(
+            "zipf {alpha:.2}: 0.1% symmetric cache hit rate = {:.0}%",
+            hr * 100.0
+        );
     }
 
     // 3. Identify the hot keys online with the epoch-based coordinator.
@@ -33,7 +36,12 @@ fn main() {
         sampling: 4,
         epoch_length: 10_000,
     });
-    let mut gen = WorkloadGen::new(&dataset, AccessDistribution::ycsb_default(), Mix::read_only(), 7);
+    let mut gen = WorkloadGen::new(
+        &dataset,
+        AccessDistribution::ycsb_default(),
+        Mix::read_only(),
+        7,
+    );
     let hot_set = loop {
         if let Some(hot) = coordinator.observe(gen.next_op().rank) {
             break hot;
@@ -58,6 +66,9 @@ fn main() {
         system.dataset_keys = 1_000_000;
         system.cache_entries = 1_000;
         let result = run_experiment(&PerfConfig::paper_default(system));
-        println!("  {:<10} {:>6.0} MRPS", result.label, result.throughput_mrps);
+        println!(
+            "  {:<10} {:>6.0} MRPS",
+            result.label, result.throughput_mrps
+        );
     }
 }

@@ -17,6 +17,9 @@
 //! * [`analytical`] — the §8.7 throughput model and break-even solver.
 //! * [`cckvs`] — the ccKVS system itself: functional multi-threaded cluster
 //!   and the calibrated performance simulator with all baselines.
+//! * [`cckvs_net`] — the networked serving layer: TCP node servers speaking
+//!   a compact binary wire protocol, a rack launcher, a load-balancing
+//!   client library and per-node metrics endpoints.
 //!
 //! # Quickstart
 //!
@@ -35,6 +38,7 @@
 
 pub use analytical;
 pub use cckvs;
+pub use cckvs_net;
 pub use consistency;
 pub use kvstore;
 pub use simnet;
@@ -48,6 +52,7 @@ pub mod prelude {
         throughput_sc_mrps, throughput_uniform_mrps, ModelParams,
     };
     pub use cckvs::prelude::*;
+    pub use cckvs_net::prelude::*;
     pub use consistency::checker::{check, CheckOutcome, CheckerConfig};
     pub use consistency::messages::ConsistencyModel;
     pub use symcache::{expected_hit_rate, CacheCoordinator, EpochConfig, SpaceSaving};
@@ -65,5 +70,6 @@ mod tests {
         let _ = simnet::MessageSizes::for_value_size(40);
         let _ = symcache::SpaceSaving::new(4);
         let _ = cckvs::SystemKind::Base;
+        let _ = cckvs_net::Frame::Ping;
     }
 }

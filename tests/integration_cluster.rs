@@ -14,7 +14,12 @@ fn cluster_with_learned_hot_set(model: ConsistencyModel) -> (Cluster, Vec<u64>) 
         sampling: 2,
         epoch_length: 5_000,
     });
-    let mut gen = WorkloadGen::new(&dataset, AccessDistribution::ycsb_default(), Mix::read_only(), 3);
+    let mut gen = WorkloadGen::new(
+        &dataset,
+        AccessDistribution::ycsb_default(),
+        Mix::read_only(),
+        3,
+    );
     let hot = loop {
         if let Some(hot) = coordinator.observe(gen.next_op().rank) {
             break hot;
@@ -73,7 +78,9 @@ fn mixed_workload_history_is_linearizable_under_lin() {
     cluster.quiesce();
     let history = cluster.history();
     assert!(history.len() >= 600);
-    history.check_per_key_lin().expect("per-key linearizability");
+    history
+        .check_per_key_lin()
+        .expect("per-key linearizability");
 }
 
 #[test]

@@ -64,7 +64,10 @@ fn analytical_model_and_simulator_agree_on_ordering() {
     let sim_lin = run_experiment(&lin).throughput_mrps;
     let sim_uniform = run_experiment(&quick(SystemKind::Uniform)).throughput_mrps;
     assert!(sim_sc >= sim_lin, "SC {sim_sc} vs Lin {sim_lin}");
-    assert!(sim_lin > sim_uniform, "Lin {sim_lin} vs Uniform {sim_uniform}");
+    assert!(
+        sim_lin > sim_uniform,
+        "Lin {sim_lin} vs Uniform {sim_uniform}"
+    );
 }
 
 #[test]

@@ -132,7 +132,11 @@ proptest! {
 
 /// Delivers every outgoing message in a pseudo-random (seeded) order until
 /// quiescence, returning the number of deliveries.
-fn drain_randomly(engines: &mut [NodeEngine], mut pending: Vec<(usize, Destination, ProtocolMsg)>, seed: u64) -> usize {
+fn drain_randomly(
+    engines: &mut [NodeEngine],
+    mut pending: Vec<(usize, Destination, ProtocolMsg)>,
+    seed: u64,
+) -> usize {
     let mut deliveries = 0;
     let mut state = seed | 1;
     while !pending.is_empty() {

@@ -16,7 +16,10 @@ fn lin_protocol_verifies_with_three_concurrent_writers() {
     };
     match check(&config) {
         CheckOutcome::Verified(stats) => {
-            assert!(stats.states > 1_000, "state space unexpectedly small: {stats:?}");
+            assert!(
+                stats.states > 1_000,
+                "state space unexpectedly small: {stats:?}"
+            );
         }
         CheckOutcome::Violation { description, .. } => panic!("violation: {description}"),
     }
@@ -36,7 +39,10 @@ fn sc_protocol_verifies_with_four_replicas() {
 
 #[test]
 fn every_injected_bug_is_detected_in_every_configuration() {
-    for bug in [InjectedBug::SkipAckWait, InjectedBug::IgnoreTimestampsOnUpdate] {
+    for bug in [
+        InjectedBug::SkipAckWait,
+        InjectedBug::IgnoreTimestampsOnUpdate,
+    ] {
         for nodes in [2usize, 3] {
             let config = CheckerConfig {
                 model: ConsistencyModel::Lin,

@@ -1,0 +1,265 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of `proptest` its property tests use: the
+//! [`proptest!`] macro over named `arg in strategy` inputs, range and
+//! `any::<T>()` strategies, tuple and `prop::collection::vec` combinators,
+//! [`ProptestConfig::with_cases`], and the `prop_assert*` macros.
+//!
+//! Semantics are simplified: cases are generated from a per-test
+//! deterministic seed and failures panic immediately (no shrinking). That
+//! keeps the tests meaningful — each still runs its body over many random
+//! valuations — without reimplementing proptest's persistence machinery.
+
+use std::marker::PhantomData;
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore};
+
+/// Runner configuration (subset: number of cases per property).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A generator of random values of type [`Strategy::Value`].
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+/// Types with a canonical full-range strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen::<f64>()
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// The canonical strategy for `T` (full range for integers and `bool`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),*) => {
+        impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+            type Value = ($($name::Value,)*);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)*) = self;
+                ($($name.generate(rng),)*)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Rng, StdRng, Strategy};
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// A vector whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(!size.is_empty() || size.start == 0, "empty length range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = if self.size.start + 1 >= self.size.end {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The `prop` path alias used by `proptest::prelude::*` importers.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// One-stop imports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[doc(hidden)]
+pub fn __seed_for(name: &str) -> u64 {
+    // FNV-1a over the test name: stable, distinct streams per property.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Defines property tests: `fn name(arg in strategy, ...) { body }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                use $crate::Strategy as _;
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(
+                    $crate::__seed_for(stringify!($name)),
+                );
+                for _case in 0..config.cases {
+                    $(let $arg = ($strat).generate(&mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..10, f in 0.25f64..0.75, b in any::<bool>()) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.25..0.75).contains(&f));
+            let _ = b;
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Nested collection strategies compose.
+        #[test]
+        fn vectors_of_tuples_compose(items in prop::collection::vec((0usize..4, prop::collection::vec(any::<u8>(), 1..5)), 1..8)) {
+            prop_assert!(!items.is_empty() && items.len() < 8);
+            for (n, bytes) in items {
+                prop_assert!(n < 4);
+                prop_assert!(!bytes.is_empty() && bytes.len() < 5);
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_differ_per_test_name() {
+        assert_ne!(crate::__seed_for("a"), crate::__seed_for("b"));
+    }
+}
