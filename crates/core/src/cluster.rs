@@ -10,7 +10,9 @@
 //! on a cached key is recorded in a [`History`] that the consistency
 //! checkers validate (per-key SC / per-key Lin, §5.1).
 
-use crate::node::{CacheGet, CachePut, CcNode, NodeConfig, Outgoing, DEFAULT_KVS_THREADS};
+use crate::node::{
+    CacheGet, CachePut, CcNode, EvictHot, NodeConfig, Outgoing, DEFAULT_KVS_THREADS,
+};
 use consistency::engine::Destination;
 use consistency::history::{History, OpRecord, RecordKind};
 use consistency::lamport::Timestamp;
@@ -83,7 +85,8 @@ enum NetEvent {
     Deliver {
         dst: usize,
         msg: ProtocolMsg,
-        bytes: Option<Vec<u8>>,
+        /// Shared with every other delivery of the same broadcast.
+        bytes: Option<Arc<[u8]>>,
     },
     Shutdown,
 }
@@ -227,10 +230,28 @@ impl Cluster {
 
     /// Installs a hot key into the symmetric cache of every node (what the
     /// cache coordinator does at the end of an epoch, §4). The key's home
-    /// shard is seeded with the value as the write-back target.
+    /// shard is seeded with the value as the write-back target; a key the
+    /// home shard already stores is installed at its stored version so the
+    /// per-key clock stays monotone across install/evict cycles.
     pub fn install_hot_key(&self, key: u64, value: &[u8]) {
+        let home = self.inner.nodes[0].home_node(key);
+        let (_, ts) = self.inner.nodes[home].kvs_get_versioned(key);
         for node in &self.inner.nodes {
-            assert!(node.install_hot(key, value), "cache capacity exceeded");
+            assert!(node.install_hot(key, value, ts), "cache capacity exceeded");
+        }
+    }
+
+    /// Evicts a key from every node's symmetric cache (epoch change). Dirty
+    /// values are written back to the key's home shard — directly here (the
+    /// nodes share one address space), over the `WriteBack` RPC in the
+    /// networked rack. Every replica's copy is offered to the home shard
+    /// with its version; `put_if_newer` keeps the newest.
+    pub fn evict_hot_key(&self, key: u64) {
+        let home = self.inner.nodes[0].home_node(key);
+        for node in &self.inner.nodes {
+            if let EvictHot::WriteBackRemote { value, ts } = node.evict_hot(key) {
+                let _ = self.inner.nodes[home].write_back(key, &value, ts);
+            }
         }
     }
 
@@ -426,6 +447,40 @@ mod tests {
                 OpResult::Value(v) => assert_eq!(v, 7u64.to_le_bytes()),
                 other => panic!("unexpected {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn evicting_a_dirty_hot_key_writes_back_to_the_home_shard() {
+        // Regression for the dirty-eviction bug: a value written through the
+        // cache must survive eviction no matter which nodes are evicted, and
+        // reads fall through to the home shard afterwards.
+        let cluster = start(ConsistencyModel::Sc);
+        let key = 3;
+        cluster.put(0, 1, key, &99u64.to_le_bytes());
+        cluster.quiesce();
+        cluster.evict_hot_key(key);
+        assert!(!cluster.is_cached(key));
+        for node in 0..cluster.nodes() {
+            match cluster.get(0, node, key) {
+                OpResult::Value(v) => assert_eq!(
+                    v,
+                    99u64.to_le_bytes(),
+                    "write lost after eviction (read via node {node})"
+                ),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Re-install from the home shard: the value and version survive the
+        // round trip, so cached reads resume where the hot set left off.
+        cluster.install_hot_key(key, &99u64.to_le_bytes());
+        assert!(cluster.is_cached(key));
+        cluster.put(0, 2, key, &123u64.to_le_bytes());
+        cluster.quiesce();
+        cluster.evict_hot_key(key);
+        match cluster.get(0, 0, key) {
+            OpResult::Value(v) => assert_eq!(v, 123u64.to_le_bytes()),
+            other => panic!("unexpected {other:?}"),
         }
     }
 

@@ -21,10 +21,11 @@
 use consistency::engine::Destination;
 use consistency::lamport::{NodeId, Timestamp};
 use consistency::messages::{ConsistencyModel, ProtocolMsg};
-use kvstore::{ConcurrencyModel, NodeKvs};
+use kvstore::{ConcurrencyModel, KvError, NodeKvs};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashSet;
-use symcache::{ReadOutcome, SymmetricCache, WriteOutcome};
+use std::sync::Arc;
+use symcache::{EvictOutcome, ReadOutcome, SymmetricCache, WriteOutcome};
 use workload::{KeyId, ShardMap};
 
 /// Default number of KVS worker threads per node (the per-node shard
@@ -75,8 +76,36 @@ pub struct Outgoing {
     pub dest: Destination,
     /// The protocol message.
     pub msg: ProtocolMsg,
-    /// Value bytes attached to `Update` messages.
-    pub bytes: Option<Vec<u8>>,
+    /// Value bytes attached to `Update` messages. Shared, so a broadcast
+    /// fanned out to N-1 peers clones a pointer per peer instead of the
+    /// value allocation (matters once values exceed a few hundred bytes).
+    pub bytes: Option<Arc<[u8]>>,
+}
+
+/// Outcome of evicting a key from the node's cache (epoch change, §4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvictHot {
+    /// The key was not cached.
+    NotCached,
+    /// Evicted; the value never changed while cached, nothing to write back.
+    Clean,
+    /// Evicted; the dirty value was written back to the *local* KVS shard
+    /// (this node is the key's home).
+    WrittenBack {
+        /// Timestamp the value was written back at.
+        ts: Timestamp,
+    },
+    /// Evicted; this node is *not* the key's home, so the caller must ship
+    /// the dirty value to the home shard (`WriteBack` RPC on the networked
+    /// backend, direct shard access in the in-process cluster). Dropping it
+    /// loses the last acknowledged write to the key.
+    WriteBackRemote {
+        /// The dirty value.
+        value: Vec<u8>,
+        /// Timestamp of the dirty value (versions the remote
+        /// `put_if_newer`).
+        ts: Timestamp,
+    },
 }
 
 /// Result of probing the local cache for a read (stalls resolved by
@@ -196,38 +225,98 @@ impl CcNode {
         self.home_node(key) == self.cfg.node
     }
 
-    /// Installs a hot key into the cache (cache fill at epoch start). If
-    /// this node is the key's home shard, the value is also seeded into the
-    /// back-end KVS (write-back target).
+    /// Installs a hot key into the cache (cache fill at epoch start) at the
+    /// version `ts` its home shard stored it at — `Timestamp::ZERO` for a
+    /// fresh dataset, the shard's stored version when a churning hot set
+    /// re-installs a previously written key (the per-key clock must continue
+    /// monotonically across install/evict cycles or later write-backs would
+    /// be discarded as stale). If this node is the key's home shard, the
+    /// value is also seeded into the back-end KVS (write-back target)
+    /// without regressing a version the shard already holds.
     ///
     /// Returns `false` if the cache or the home shard is full (the cache
     /// fill is undone in the latter case, so a failed install never leaves
     /// a cached key without its write-back target).
-    pub fn install_hot(&self, key: u64, value: &[u8]) -> bool {
-        if !self.cache.fill(key, value, 0) {
+    pub fn install_hot(&self, key: u64, value: &[u8], ts: Timestamp) -> bool {
+        self.install(key, value, ts, false)
+    }
+
+    /// Installs a hot key in the *warming* state: protocol-active but
+    /// invisible to client reads and writes until [`CcNode::activate_hot`].
+    /// Deployment-wide installs under live traffic must warm every replica
+    /// before activating any of them — a write committing against a
+    /// half-installed hot set collects vacuous acknowledgements from the
+    /// unfilled replicas, whose stale fills then shadow it.
+    pub fn install_hot_warm(&self, key: u64, value: &[u8], ts: Timestamp) -> bool {
+        self.install(key, value, ts, true)
+    }
+
+    fn install(&self, key: u64, value: &[u8], ts: Timestamp, warm: bool) -> bool {
+        let filled = if warm {
+            self.cache.fill_warm(key, value, 0, ts)
+        } else {
+            self.cache.fill_versioned(key, value, 0, ts)
+        };
+        if !filled {
             return false;
         }
-        if self.is_home(key) && self.kvs.put(key, value, 0).is_err() {
+        if self.is_home(key)
+            && self
+                .kvs
+                .put_if_newer(0, key, value, ts.clock, ts.writer.0)
+                .is_err()
+        {
             self.cache.evict(key);
             return false;
         }
         true
     }
 
-    /// Evicts a key from the cache (epoch change / failed-install rollback),
-    /// returning whether it was cached. A modified value is written back to
-    /// the local KVS if this node is the key's home (write-back, §4).
-    pub fn evict_hot(&self, key: u64) -> bool {
-        match self.cache.evict(key) {
-            Some((value, ts)) => {
-                if self.is_home(key) && ts != Timestamp::ZERO {
-                    // Best effort: the shard held this key before install.
-                    let _ = self.kvs.put_if_newer(0, key, &value, ts.clock, ts.writer.0);
+    /// Activates a warming hot key (see [`CcNode::install_hot_warm`]),
+    /// returning whether the key was present.
+    pub fn activate_hot(&self, key: u64) -> bool {
+        self.cache.activate(key)
+    }
+
+    /// Evicts a key from the cache (epoch change / failed-install rollback).
+    ///
+    /// A value written while cached is *always* preserved: written back to
+    /// the local KVS if this node is the key's home, returned as
+    /// [`EvictHot::WriteBackRemote`] for the transport to ship to the home
+    /// shard otherwise. (Earlier revisions silently discarded dirty values
+    /// of non-home keys — the coherence-downgrade hazard of decoupling
+    /// eviction from ownership.) If a local write is still collecting
+    /// acknowledgements the eviction waits for it to commit first; peers
+    /// that already dropped the key keep acknowledging invalidations, so
+    /// the wait always resolves.
+    pub fn evict_hot(&self, key: u64) -> EvictHot {
+        let mut backoff = StallBackoff::new();
+        loop {
+            match self.cache.evict(key) {
+                EvictOutcome::NotCached => return EvictHot::NotCached,
+                EvictOutcome::Pending => backoff.wait(),
+                EvictOutcome::Evicted { dirty: false, .. } => return EvictHot::Clean,
+                EvictOutcome::Evicted {
+                    value,
+                    ts,
+                    dirty: true,
+                } => {
+                    if self.is_home(key) {
+                        let _ = self.write_back(key, &value, ts);
+                        return EvictHot::WrittenBack { ts };
+                    }
+                    return EvictHot::WriteBackRemote { value, ts };
                 }
-                true
             }
-            None => false,
         }
+    }
+
+    /// Applies a write-back of an evicted dirty value to this node's KVS
+    /// shard (this node is the key's home). Versioned: an older write-back
+    /// racing with a newer one (every replica of a churning hot set evicts
+    /// its own copy) is discarded. Returns whether the value was applied.
+    pub fn write_back(&self, key: u64, value: &[u8], ts: Timestamp) -> Result<bool, KvError> {
+        self.kvs.put_if_newer(0, key, value, ts.clock, ts.writer.0)
     }
 
     /// Whether `key` is cached (by symmetry, on every node).
@@ -291,7 +380,9 @@ impl CcNode {
             self.committed.lock().insert((msg.key(), ts));
             self.committed_cv.notify_all();
         }
-        let commit_value = out.commit_value;
+        // One shared allocation for the committed value; the update
+        // broadcast fans it out to every peer by pointer.
+        let commit_value: Option<Arc<[u8]>> = out.commit_value.map(Arc::from);
         out.outgoing
             .into_iter()
             .map(|(dest, msg)| {
@@ -308,6 +399,16 @@ impl CcNode {
     /// routed the request here because this node is the key's home).
     pub fn kvs_get(&self, key: u64) -> Vec<u8> {
         self.kvs.get(key).map(|v| v.value).unwrap_or_default()
+    }
+
+    /// Reads a key's value *and* stored version from the local KVS shard.
+    /// The epoch coordinator fetches hot keys through this before installing
+    /// them, so re-installed keys keep their Lamport clocks monotone.
+    pub fn kvs_get_versioned(&self, key: u64) -> (Vec<u8>, Timestamp) {
+        match self.kvs.get(key) {
+            Some(v) => (v.value, Timestamp::new(v.version, NodeId(v.last_writer))),
+            None => (Vec::new(), Timestamp::ZERO),
+        }
     }
 
     /// Applies a cache-missing write to the local KVS shard with Lamport
@@ -356,11 +457,12 @@ impl StallBackoff {
 }
 
 fn attach(outgoing: Vec<(Destination, ProtocolMsg)>, value: Option<&[u8]>) -> Vec<Outgoing> {
+    let shared: Option<Arc<[u8]>> = value.map(Arc::from);
     outgoing
         .into_iter()
         .map(|(dest, msg)| {
             let bytes = match msg {
-                ProtocolMsg::Update { .. } => value.map(<[u8]>::to_vec),
+                ProtocolMsg::Update { .. } => shared.clone(),
                 _ => None,
             };
             Outgoing { dest, msg, bytes }
@@ -399,7 +501,7 @@ mod tests {
         let nodes = rack(ConsistencyModel::Sc, 3);
         let key = 42;
         for node in &nodes {
-            assert!(node.install_hot(key, b"hot"));
+            assert!(node.install_hot(key, b"hot", Timestamp::ZERO));
         }
         let home = nodes[0].home_node(key);
         for (n, node) in nodes.iter().enumerate() {
@@ -412,7 +514,7 @@ mod tests {
     fn sc_write_propagates_synchronously() {
         let nodes = rack(ConsistencyModel::Sc, 3);
         for node in &nodes {
-            node.install_hot(7, b"old");
+            node.install_hot(7, b"old", Timestamp::ZERO);
         }
         match nodes[1].cache_put(7, b"new", 9) {
             CachePut::Done { outgoing, .. } => pump(&nodes, 1, outgoing),
@@ -430,7 +532,7 @@ mod tests {
     fn lin_write_commits_after_acks_and_unblocks_waiter() {
         let nodes = rack(ConsistencyModel::Lin, 3);
         for node in &nodes {
-            node.install_hot(7, b"old");
+            node.install_hot(7, b"old", Timestamp::ZERO);
         }
         let (ts, outgoing) = match nodes[0].cache_put(7, b"new", 5) {
             CachePut::Pending { ts, outgoing } => (ts, outgoing),
@@ -448,6 +550,83 @@ mod tests {
                 }
                 other => panic!("expected hit, got {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn dirty_eviction_of_a_non_home_key_reaches_the_home_shard() {
+        // Regression: evict_hot used to write back only when the evicting
+        // node happened to be the key's home — a dirty value evicted
+        // anywhere else was silently discarded.
+        let nodes = rack(ConsistencyModel::Sc, 3);
+        let key = 42;
+        let home = nodes[0].home_node(key);
+        let non_home = (home + 1) % nodes.len();
+        for node in &nodes {
+            assert!(node.install_hot(key, b"old", Timestamp::ZERO));
+        }
+        match nodes[non_home].cache_put(key, b"final-value", 9) {
+            CachePut::Done { outgoing, .. } => pump(&nodes, non_home, outgoing),
+            other => panic!("expected immediate SC completion, got {other:?}"),
+        }
+        // Evict on the non-home node: the dirty value must come back for
+        // the transport to ship home.
+        let (value, ts) = match nodes[non_home].evict_hot(key) {
+            EvictHot::WriteBackRemote { value, ts } => (value, ts),
+            other => panic!("expected remote write-back, got {other:?}"),
+        };
+        assert_eq!(value, b"final-value");
+        assert!(nodes[home].write_back(key, &value, ts).expect("capacity"));
+        assert_eq!(nodes[home].kvs_get(key), b"final-value");
+        // The home node's own eviction writes back locally.
+        match nodes[home].evict_hot(key) {
+            EvictHot::WrittenBack { ts: t } => assert_eq!(t, ts),
+            other => panic!("expected local write-back, got {other:?}"),
+        }
+        assert_eq!(nodes[home].kvs_get(key), b"final-value");
+    }
+
+    #[test]
+    fn stale_write_back_loses_to_a_newer_one() {
+        let nodes = rack(ConsistencyModel::Sc, 2);
+        let key = 5;
+        let home = nodes[0].home_node(key);
+        let newer = Timestamp::new(7, consistency::lamport::NodeId(1));
+        let older = Timestamp::new(3, consistency::lamport::NodeId(0));
+        assert!(nodes[home].write_back(key, b"new", newer).unwrap());
+        assert!(!nodes[home].write_back(key, b"old", older).unwrap());
+        assert_eq!(nodes[home].kvs_get(key), b"new");
+        let (_, ts) = nodes[home].kvs_get_versioned(key);
+        assert_eq!(ts, newer);
+    }
+
+    #[test]
+    fn lin_writer_commits_even_when_peers_evicted_the_key() {
+        // During hot-set churn, replicas drop a key one by one; a writer
+        // still collecting acks must not block forever because a peer
+        // evicted the key before the invalidation arrived.
+        let nodes = rack(ConsistencyModel::Lin, 3);
+        for node in &nodes {
+            node.install_hot(7, b"old", Timestamp::ZERO);
+        }
+        assert!(matches!(nodes[1].evict_hot(7), EvictHot::Clean));
+        assert!(matches!(nodes[2].evict_hot(7), EvictHot::Clean));
+        let (ts, outgoing) = match nodes[0].cache_put(7, b"new", 5) {
+            CachePut::Pending { ts, outgoing } => (ts, outgoing),
+            other => panic!("expected pending Lin write, got {other:?}"),
+        };
+        // Both peers answer the invalidation with an ack despite not
+        // caching the key any more, so the write commits.
+        pump(&nodes, 0, outgoing);
+        nodes[0].wait_committed(7, ts);
+        match nodes[0].evict_hot(7) {
+            EvictHot::WriteBackRemote { value, .. } if !nodes[0].is_home(7) => {
+                assert_eq!(value, b"new")
+            }
+            EvictHot::WrittenBack { .. } if nodes[0].is_home(7) => {
+                assert_eq!(nodes[0].kvs_get(7), b"new")
+            }
+            other => panic!("dirty eviction lost the committed write: {other:?}"),
         }
     }
 

@@ -21,6 +21,7 @@ use cckvs_net::server::{NodeServer, NodeServerConfig};
 use consistency::messages::ConsistencyModel;
 use std::net::SocketAddr;
 use std::time::Duration;
+use symcache::EpochConfig;
 
 struct Args {
     node: usize,
@@ -33,13 +34,19 @@ struct Args {
     kvs_capacity: usize,
     value_capacity: usize,
     peer_timeout: u64,
+    epoch_hot_set: Option<usize>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: cckvs-node --node N --nodes M --listen ADDR --peers A,B,... \
          [--model sc|lin] [--metrics ADDR] [--cache-capacity N] \
-         [--kvs-capacity N] [--value-capacity N] [--peer-timeout SECS]"
+         [--kvs-capacity N] [--value-capacity N] [--peer-timeout SECS] \
+         [--epoch-hot-set N]\n\
+         --epoch-hot-set makes this node the deployment's epoch coordinator:\n\
+         it tracks popularity over the requests it serves and churns a hot\n\
+         set of N keys across all nodes at every epoch (set it on exactly\n\
+         one node)."
     );
     std::process::exit(2);
 }
@@ -56,6 +63,7 @@ fn parse_args() -> Args {
         kvs_capacity: 1 << 16,
         value_capacity: 64,
         peer_timeout: 30,
+        epoch_hot_set: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -101,6 +109,10 @@ fn parse_args() -> Args {
             "--peer-timeout" => {
                 args.peer_timeout = value("--peer-timeout").parse().unwrap_or_else(|_| usage())
             }
+            "--epoch-hot-set" => {
+                args.epoch_hot_set =
+                    Some(value("--epoch-hot-set").parse().unwrap_or_else(|_| usage()))
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -137,6 +149,7 @@ fn main() {
         },
         listen: args.listen,
         metrics_listen: args.metrics,
+        epochs: args.epoch_hot_set.map(EpochConfig::for_cache),
     };
     let mut server = match NodeServer::start(cfg) {
         Ok(server) => server,

@@ -237,7 +237,13 @@ impl Client {
             metrics.record_cache(cached);
             metrics.record_latency_ns(started.elapsed().as_nanos() as u64);
         }
-        if cached {
+        // Every put is recorded: cache-path puts carry the protocol
+        // timestamp, cold puts the version the home shard assigned on
+        // arrival. Cold versions matter to the checkers because they
+        // resurface as install timestamps when a cold key turns hot — a
+        // cached get may then legitimately return a timestamp only a cold
+        // put produced.
+        if ts != Timestamp::ZERO {
             if let Some(history) = &self.history {
                 let completed_at = history.now();
                 let seq = self.session_seq;
@@ -275,8 +281,31 @@ impl Client {
 }
 
 /// Installs a hot set into every node of a deployment over the wire (what
-/// the epoch coordinator of §4 does at epoch start).
+/// the epoch coordinator of §4 does at epoch start). Keys install at
+/// timestamp zero — right for a fresh dataset; re-installs of previously
+/// written keys should go through [`install_hot_set_versioned`] with their
+/// home shards' stored versions.
 pub fn install_hot_set(addrs: &[SocketAddr], entries: &[(u64, Vec<u8>)]) -> io::Result<()> {
+    let versioned: Vec<(u64, Vec<u8>, Timestamp)> = entries
+        .iter()
+        .map(|(key, value)| (*key, value.clone(), Timestamp::ZERO))
+        .collect();
+    install_hot_set_versioned(addrs, &versioned)
+}
+
+/// Installs a hot set into every node at explicit per-key versions (the
+/// stored version of each key's home shard), so per-key Lamport clocks stay
+/// monotone across install/evict cycles.
+///
+/// Unlike the epoch coordinator's reconfiguration path, this admin helper
+/// does **not** fence the cold write path (`HotMark`): a write accepted by
+/// a home shard between the caller's version fetch and the cache fills
+/// would be shadowed by the caches. Use it only when writes to the
+/// installed keys are quiescent; live churn belongs to the coordinator.
+pub fn install_hot_set_versioned(
+    addrs: &[SocketAddr],
+    entries: &[(u64, Vec<u8>, Timestamp)],
+) -> io::Result<()> {
     let mut conns = addrs
         .iter()
         .map(|&addr| Conn::open(addr, &Frame::ClientHello))
@@ -285,11 +314,13 @@ pub fn install_hot_set(addrs: &[SocketAddr], entries: &[(u64, Vec<u8>)]) -> io::
     // rolled back everywhere: the caches stay *symmetric* — a key cached on
     // some nodes but not others would leave Lin writes waiting forever for
     // acks the missing replica never sends.
-    for (key, value) in entries {
+    for (key, value, ts) in entries {
         for (node, conn) in conns.iter_mut().enumerate() {
             let installed = match conn.call(&Frame::InstallHot {
                 key: *key,
                 value: value.clone(),
+                ts: *ts,
+                warm: false,
             }) {
                 Ok(Frame::InstallHotResp { ok }) => ok,
                 Ok(other) => {
@@ -316,4 +347,62 @@ pub fn install_hot_set(addrs: &[SocketAddr], entries: &[(u64, Vec<u8>)]) -> io::
         }
     }
     Ok(())
+}
+
+/// Evicts keys from the symmetric cache of every node over the wire (what
+/// the epoch coordinator does when the hot set churns). Each node writes a
+/// dirty copy back to the key's home shard before answering, so when this
+/// returns every evicted key's last write is durable at its home.
+pub fn evict_hot_set(addrs: &[SocketAddr], keys: &[u64]) -> io::Result<()> {
+    let mut conns = addrs
+        .iter()
+        .map(|&addr| Conn::open(addr, &Frame::ClientHello))
+        .collect::<io::Result<Vec<_>>>()?;
+    for &key in keys {
+        for conn in conns.iter_mut() {
+            match conn.call(&Frame::Evict { key })? {
+                Frame::EvictResp { .. } => {}
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected response {other:?}"),
+                    ))
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Result of a forced epoch flip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochFlip {
+    /// The popularity epoch that was closed.
+    pub epoch: u64,
+    /// Keys installed into the hot set.
+    pub installed: u32,
+    /// Keys evicted from the hot set.
+    pub evicted: u32,
+}
+
+/// Asks the deployment's epoch coordinator to close the current popularity
+/// epoch and reconfigure the hot set now (the epoch otherwise closes by
+/// itself after `EpochConfig::epoch_length` sampled requests).
+pub fn flip_epoch(coordinator: SocketAddr) -> io::Result<EpochFlip> {
+    let mut conn = Conn::open(coordinator, &Frame::ClientHello)?;
+    match conn.call(&Frame::FlipEpoch)? {
+        Frame::FlipEpochResp {
+            epoch,
+            installed,
+            evicted,
+        } => Ok(EpochFlip {
+            epoch,
+            installed,
+            evicted,
+        }),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unexpected response {other:?}"),
+        )),
+    }
 }

@@ -35,6 +35,14 @@ pub struct MetricsSnapshot {
     pub protocol_in: u64,
     /// Consistency-protocol messages sent to peers.
     pub protocol_out: u64,
+    /// Highest hot-set epoch applied (coordinator node only).
+    pub epoch: u64,
+    /// Keys installed into the symmetric cache by hot-set reconfigurations.
+    pub installs: u64,
+    /// Keys evicted from the symmetric cache by hot-set reconfigurations.
+    pub evictions: u64,
+    /// Dirty evicted values written back to their home shards.
+    pub writebacks: u64,
     /// Number of recorded latency samples.
     pub latency_count: usize,
     /// Mean operation latency in nanoseconds.
@@ -68,6 +76,10 @@ pub struct Metrics {
     remote_writes: AtomicU64,
     protocol_in: AtomicU64,
     protocol_out: AtomicU64,
+    epoch: AtomicU64,
+    installs: AtomicU64,
+    evictions: AtomicU64,
+    writebacks: AtomicU64,
     latency: Mutex<Histogram>,
 }
 
@@ -116,6 +128,28 @@ impl Metrics {
         self.protocol_out.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records that hot-set epoch `epoch` was applied (gauge; flips may be
+    /// applied out of order when forced and automatic flips race, so the
+    /// highest epoch wins).
+    pub fn record_epoch(&self, epoch: u64) {
+        self.epoch.fetch_max(epoch, Ordering::Relaxed);
+    }
+
+    /// Records `n` keys installed by a hot-set reconfiguration.
+    pub fn record_installs(&self, n: u64) {
+        self.installs.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` keys evicted by a hot-set reconfiguration.
+    pub fn record_evictions(&self, n: u64) {
+        self.evictions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records a dirty evicted value written back to its home shard.
+    pub fn record_writeback(&self) {
+        self.writebacks.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records one end-to-end operation latency in nanoseconds.
     pub fn record_latency_ns(&self, nanos: u64) {
         self.latency.lock().record(nanos);
@@ -143,6 +177,10 @@ impl Metrics {
             remote_writes: self.remote_writes.load(Ordering::Relaxed),
             protocol_in: self.protocol_in.load(Ordering::Relaxed),
             protocol_out: self.protocol_out.load(Ordering::Relaxed),
+            epoch: self.epoch.load(Ordering::Relaxed),
+            installs: self.installs.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            writebacks: self.writebacks.load(Ordering::Relaxed),
             latency_count,
             latency_mean_ns: mean,
             latency_p50_ns: p50,
@@ -191,6 +229,26 @@ impl Metrics {
             "Consistency-protocol messages sent.",
             snap.protocol_out,
         );
+        counter(
+            "installs_total",
+            "Keys installed into the symmetric cache by hot-set churn.",
+            snap.installs,
+        );
+        counter(
+            "evictions_total",
+            "Keys evicted from the symmetric cache by hot-set churn.",
+            snap.evictions,
+        );
+        counter(
+            "writebacks_total",
+            "Dirty evicted values written back to their home shards.",
+            snap.writebacks,
+        );
+        out.push_str(&format!(
+            "# HELP cckvs_epoch Highest hot-set epoch applied on this node.\n\
+             # TYPE cckvs_epoch gauge\ncckvs_epoch{{node=\"{node_label}\"}} {}\n",
+            snap.epoch
+        ));
         out.push_str(&format!(
             "# HELP cckvs_hit_rate Fraction of operations served by the symmetric cache.\n\
              # TYPE cckvs_hit_rate gauge\ncckvs_hit_rate{{node=\"{node_label}\"}} {:.6}\n",
@@ -340,6 +398,27 @@ mod tests {
         assert!(text.contains("cckvs_gets_total{node=\"n0\"} 1"));
         assert!(text.contains("# TYPE cckvs_hit_rate gauge"));
         assert!(text.contains("cckvs_hit_rate{node=\"n0\"} 1.000000"));
+    }
+
+    #[test]
+    fn churn_counters_surface_in_snapshot_and_render() {
+        let m = Metrics::new();
+        m.record_epoch(3);
+        m.record_epoch(2); // out-of-order apply: the gauge keeps the max
+        m.record_installs(5);
+        m.record_evictions(4);
+        m.record_writeback();
+        m.record_writeback();
+        let snap = m.snapshot();
+        assert_eq!(snap.epoch, 3);
+        assert_eq!(snap.installs, 5);
+        assert_eq!(snap.evictions, 4);
+        assert_eq!(snap.writebacks, 2);
+        let text = m.render("n1");
+        assert!(text.contains("cckvs_epoch{node=\"n1\"} 3"));
+        assert!(text.contains("cckvs_installs_total{node=\"n1\"} 5"));
+        assert!(text.contains("cckvs_evictions_total{node=\"n1\"} 4"));
+        assert!(text.contains("cckvs_writebacks_total{node=\"n1\"} 2"));
     }
 
     #[test]

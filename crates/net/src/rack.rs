@@ -8,13 +8,19 @@
 //! follow-on; the wire protocol already carries everything those processes
 //! need.
 
-use crate::client::install_hot_set;
+use crate::client::{flip_epoch, install_hot_set, EpochFlip};
 use crate::server::{NodeServer, NodeServerConfig};
 use cckvs::node::{NodeConfig, DEFAULT_KVS_THREADS};
 use consistency::messages::ConsistencyModel;
 use std::io;
 use std::net::SocketAddr;
 use std::time::Duration;
+use symcache::EpochConfig;
+
+/// Node id of the rack's epoch coordinator when epochs are enabled (§4:
+/// one node suffices because load balancing shows every node the same
+/// access distribution).
+pub const COORDINATOR_NODE: usize = 0;
 
 /// Configuration of a rack deployment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,6 +37,11 @@ pub struct RackConfig {
     pub value_capacity: usize,
     /// Whether each node exposes a metrics HTTP endpoint.
     pub metrics: bool,
+    /// When set, node [`COORDINATOR_NODE`] tracks popularity over the
+    /// requests it serves and churns the hot set of the whole rack at
+    /// every epoch (live install/evict over the wire with dirty
+    /// write-backs).
+    pub epochs: Option<EpochConfig>,
 }
 
 impl RackConfig {
@@ -43,6 +54,7 @@ impl RackConfig {
             kvs_capacity: 4096,
             value_capacity: 64,
             metrics: true,
+            epochs: None,
         }
     }
 }
@@ -70,6 +82,9 @@ impl Rack {
                 let mut server_cfg = NodeServerConfig::loopback(node);
                 if !cfg.metrics {
                     server_cfg.metrics_listen = None;
+                }
+                if n == COORDINATOR_NODE {
+                    server_cfg.epochs = cfg.epochs;
                 }
                 NodeServer::start(server_cfg)
             })
@@ -104,6 +119,19 @@ impl Rack {
     /// Installs the coordinator's hot set into every node over the wire.
     pub fn install_hot_set(&self, entries: &[(u64, Vec<u8>)]) -> io::Result<()> {
         install_hot_set(&self.client_addrs(), entries)
+    }
+
+    /// Evicts keys from every node over the wire (dirty values are written
+    /// back to their home shards before this returns).
+    pub fn evict_hot_set(&self, keys: &[u64]) -> io::Result<()> {
+        crate::client::evict_hot_set(&self.client_addrs(), keys)
+    }
+
+    /// Forces the epoch coordinator to close the current popularity epoch
+    /// and reconfigure the rack's hot set now. Requires the rack to have
+    /// been launched with [`RackConfig::epochs`] set.
+    pub fn flip_epoch(&self) -> io::Result<EpochFlip> {
+        flip_epoch(self.servers[COORDINATOR_NODE].addr())
     }
 
     /// Shuts every node down and joins their threads.

@@ -18,17 +18,20 @@
 
 use crate::client::Conn;
 use crate::metrics::{Metrics, MetricsServer};
-use crate::wire::{read_frame, write_frame, Frame};
-use cckvs::node::{CacheGet, CachePut, CcNode, NodeConfig, Outgoing};
+use crate::wire::{read_frame, write_frame, write_protocol_frame, Frame};
+use cckvs::node::{CacheGet, CachePut, CcNode, EvictHot, NodeConfig, Outgoing};
 use consistency::engine::Destination;
+use consistency::lamport::{NodeId, Timestamp};
 use consistency::messages::ProtocolMsg;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
+use std::collections::HashSet;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use symcache::popularity::{CacheCoordinator, EpochConfig, HotSet};
 
 /// Configuration of one networked node.
 #[derive(Debug, Clone)]
@@ -39,6 +42,11 @@ pub struct NodeServerConfig {
     pub listen: SocketAddr,
     /// Optional address for the plain-text metrics HTTP endpoint.
     pub metrics_listen: Option<SocketAddr>,
+    /// When set, this node acts as the deployment's epoch coordinator (§4):
+    /// it samples the request stream it serves, closes popularity epochs,
+    /// and reconfigures the hot set of *every* node over the wire — exactly
+    /// one node of a deployment should carry this.
+    pub epochs: Option<EpochConfig>,
 }
 
 impl NodeServerConfig {
@@ -48,12 +56,13 @@ impl NodeServerConfig {
             node,
             listen: "127.0.0.1:0".parse().expect("static addr"),
             metrics_listen: Some("127.0.0.1:0".parse().expect("static addr")),
+            epochs: None,
         }
     }
 }
 
-type PeerTx = Sender<(ProtocolMsg, Option<Vec<u8>>)>;
-type PeerRx = Receiver<(ProtocolMsg, Option<Vec<u8>>)>;
+type PeerTx = Sender<(ProtocolMsg, Option<Arc<[u8]>>)>;
+type PeerRx = Receiver<(ProtocolMsg, Option<Arc<[u8]>>)>;
 
 /// Number of pooled miss-path RPC links per peer: bounds how many remote
 /// reads/writes to one home shard are in flight concurrently from this
@@ -74,6 +83,51 @@ impl RpcPool {
     }
 }
 
+/// A hot-set reconfiguration job for the coordinator's applier thread.
+enum FlipJob {
+    /// Apply this published hot set to the deployment.
+    Apply(HotSet),
+    /// Stop the applier (server teardown).
+    Shutdown,
+}
+
+/// Per-node state of the epoch-coordinator role (present on exactly one
+/// node of a deployment).
+struct Churn {
+    /// The popularity tracker fed by every client request this node serves.
+    coord: Mutex<CacheCoordinator>,
+    /// Lock-free sampling counter on the serving path: only one request in
+    /// `sampling` ever touches the tracker's lock.
+    observe_seq: AtomicU64,
+    /// Copy of the tracker's sampling factor (hot-path use).
+    sampling: u64,
+    /// Keys this coordinator believes are currently installed. Maintained
+    /// by the `InstallHot`/`Evict` admin handlers (reconfigurations are
+    /// driven over the wire and pass through this node's own handlers, so
+    /// the books stay right no matter who drives — the applier thread, a
+    /// forced `FlipEpoch`, or an external admin client).
+    installed: Mutex<HashSet<u64>>,
+    /// Serialises whole reconfigurations (the applier thread and forced
+    /// flips may race).
+    reconfig: Mutex<()>,
+    /// Highest epoch successfully applied: a forced flip can overtake an
+    /// auto-closed epoch still queued for the applier thread, and applying
+    /// the stale one afterwards would revert the hot set.
+    applied_epoch: AtomicU64,
+    /// Feeds the applier thread when an epoch closes on the serving path.
+    flip_tx: Sender<FlipJob>,
+}
+
+/// Outcome of applying a cold (uncached-key) write at the home shard.
+enum ColdPut {
+    /// Applied, versioned as `ts`.
+    Applied(Timestamp),
+    /// The key is mid-transition into or out of the hot set; retry.
+    Busy,
+    /// The shard rejected the write.
+    Rejected(String),
+}
+
 struct ServerInner {
     node: CcNode,
     metrics: Arc<Metrics>,
@@ -89,7 +143,18 @@ struct ServerInner {
     /// for uncached keys, so ordering cold writes by *its* counter (rather
     /// than the sender's, whose counters advance independently) makes
     /// arrival order the write order — no update is silently discarded.
+    /// Hot-set churn bumps the counter past every version it installs or
+    /// writes back, so a cold write after an eviction always supersedes
+    /// the written-back value.
     cold_versions: AtomicU64,
+    /// Keys homed at this shard that are currently in (or transitioning
+    /// into/out of) the hot set. While marked, cold writes bounce with
+    /// `MissRetry`: the hot-set transition protocol fetches the value,
+    /// fills every cache, and only then re-opens (or closes) the cold
+    /// path — no write can land in the gap and be shadowed by the caches.
+    hot_marks: Mutex<HashSet<u64>>,
+    /// Epoch-coordinator role, when this node carries it.
+    churn: Option<Churn>,
     /// Outgoing one-way protocol links, indexed by peer node id (self =
     /// `None`). Installed by `connect_peers`.
     peer_txs: Mutex<Vec<Option<PeerTx>>>,
@@ -145,6 +210,262 @@ impl ServerInner {
         self.cold_versions.fetch_add(1, Ordering::Relaxed) as u32
     }
 
+    /// Ensures every future cold-write version exceeds `clock` — called
+    /// whenever churn surfaces a version at this home shard (hot-key fetch,
+    /// write-back arrival), so a cold write issued after an eviction can
+    /// never be discarded as older than the written-back value.
+    fn bump_cold_versions(&self, clock: u32) {
+        self.cold_versions
+            .fetch_max(u64::from(clock) + 1, Ordering::Relaxed);
+    }
+
+    /// Applies a cold (uncached-key) write to this node's shard — this node
+    /// is the key's home. Checked against the hot-transition marks under
+    /// their lock, so no cold write ever interleaves with a hot-set fetch
+    /// or landing write-backs (it would be shadowed by the caches or
+    /// clobbered by an older write-back).
+    fn cold_put(&self, key: u64, value: &[u8], writer: u8) -> ColdPut {
+        let marks = self.hot_marks.lock();
+        if marks.contains(&key) {
+            return ColdPut::Busy;
+        }
+        let ts = Timestamp::new(self.next_cold_version(), NodeId(writer));
+        match self.node.kvs_put(key, value, ts.clock, ts.writer.0) {
+            Ok(()) => ColdPut::Applied(ts),
+            Err(e) => {
+                ColdPut::Rejected(format!("write of key {key} rejected by home shard: {e:?}"))
+            }
+        }
+    }
+
+    /// Evicts `key` from the local cache, shipping a dirty value back to
+    /// its (possibly remote) home shard before returning — an `EvictResp`
+    /// on the wire therefore means "this replica's copy is gone *and* its
+    /// last write is durable at the home".
+    fn evict_key(&self, key: u64) -> io::Result<bool> {
+        let existed = match self.node.evict_hot(key) {
+            EvictHot::NotCached => false,
+            EvictHot::Clean => true,
+            EvictHot::WrittenBack { ts } => {
+                self.bump_cold_versions(ts.clock);
+                self.metrics.record_writeback();
+                true
+            }
+            EvictHot::WriteBackRemote { value, ts } => {
+                // The cache entry is already gone; this RPC is the only
+                // copy of the dirty value, so a transient failure must not
+                // drop it — retry with fresh links before giving up.
+                let home = self.node.home_node(key);
+                let mut attempt = 0;
+                loop {
+                    attempt += 1;
+                    match self.rpc(
+                        home,
+                        &Frame::WriteBack {
+                            key,
+                            value: value.clone(),
+                            ts,
+                        },
+                    ) {
+                        Ok(Frame::WriteBackResp { .. }) => break,
+                        Ok(other) => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!("unexpected write-back response {other:?}"),
+                            ))
+                        }
+                        Err(_) if attempt < 3 => {
+                            std::thread::sleep(Duration::from_millis(10 * attempt))
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                self.metrics.record_writeback();
+                true
+            }
+        };
+        // Coordinator bookkeeping: the key left the hot set.
+        if let Some(churn) = &self.churn {
+            churn.installed.lock().remove(&key);
+        }
+        Ok(existed)
+    }
+
+    /// Serves a cold (uncached-key) read from this node's shard — this node
+    /// is the key's home. Returns `None` while the key transitions into or
+    /// out of the hot set: during an eviction the freshest value may still
+    /// be in flight from a dirty replica, so serving the shard's copy now
+    /// could hand out an older value than cached reads already returned.
+    /// The caller retries; the transition fence clears within the round.
+    fn cold_get(&self, key: u64) -> Option<Vec<u8>> {
+        let marks = self.hot_marks.lock();
+        if marks.contains(&key) {
+            return None;
+        }
+        Some(self.node.kvs_get(key))
+    }
+
+    /// Feeds one served client request into the popularity tracker (no-op
+    /// unless this node is the coordinator); a closed epoch is handed to
+    /// the applier thread. The sampling filter runs on a lock-free counter
+    /// so discarded requests never contend on the tracker.
+    fn observe(&self, key: u64) {
+        let Some(churn) = &self.churn else { return };
+        let seq = churn.observe_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        if seq % churn.sampling != 0 {
+            return;
+        }
+        let hot = churn.coord.lock().observe_sampled(key);
+        if let Some(hot) = hot {
+            let _ = churn.flip_tx.send(FlipJob::Apply(hot));
+        }
+    }
+
+    /// Reconfigures the deployment's symmetric caches to hold `hot`: evicts
+    /// departing keys from every node (write-backs land before the cold
+    /// path re-opens), then installs arriving keys on every node at the
+    /// value and version their home shards store. Admin frames go over the
+    /// wire to *all* nodes including this one — the same path an external
+    /// driver would use, which also keeps the coordinator's bookkeeping in
+    /// its own handlers.
+    ///
+    /// Returns `(installed, evicted)` key counts.
+    fn apply_hot_set(&self, hot: &HotSet) -> io::Result<(u64, u64)> {
+        let churn = self
+            .churn
+            .as_ref()
+            .expect("apply_hot_set requires the coordinator role");
+        let _serial = churn.reconfig.lock();
+        // A forced flip can overtake an auto-closed epoch still queued for
+        // the applier; applying the stale set afterwards would revert the
+        // caches to outdated popularity data. Epoch numbers are unique and
+        // monotone (one counter issues them), so skip anything not newer.
+        if hot.epoch <= churn.applied_epoch.load(Ordering::Acquire) {
+            return Ok((0, 0));
+        }
+        let target: HashSet<u64> = hot.keys.iter().copied().collect();
+        let current = churn.installed.lock().clone();
+        let to_evict: Vec<u64> = current.difference(&target).copied().collect();
+        // Install in published (hottest-first) order.
+        let to_install: Vec<u64> = hot
+            .keys
+            .iter()
+            .copied()
+            .filter(|k| !current.contains(k))
+            .collect();
+        let addrs = self.peer_addrs.lock().clone();
+        let mut conns = addrs
+            .iter()
+            .map(|&addr| Conn::open(addr, &Frame::ClientHello))
+            .collect::<io::Result<Vec<_>>>()?;
+        let mut evicted = 0u64;
+        for &key in &to_evict {
+            if let Err(e) = self.evict_everywhere(&mut conns, key) {
+                self.abandon_key(&mut conns, key);
+                return Err(e);
+            }
+            evicted += 1;
+        }
+        let mut installed = 0u64;
+        for &key in &to_install {
+            match self.install_everywhere(&mut conns, key) {
+                Ok(true) => installed += 1,
+                // A cache is full: later keys are colder and would fail
+                // the same way (the key was already rolled back).
+                Ok(false) => break,
+                Err(e) => {
+                    self.abandon_key(&mut conns, key);
+                    return Err(e);
+                }
+            }
+        }
+        churn.applied_epoch.fetch_max(hot.epoch, Ordering::Release);
+        self.metrics.record_epoch(hot.epoch);
+        self.metrics.record_installs(installed);
+        self.metrics.record_evictions(evicted);
+        Ok((installed, evicted))
+    }
+
+    /// Evicts `key` from every node, then re-opens the cold path at its
+    /// home shard (every replica dropped its copy and all dirty
+    /// write-backs landed by then).
+    fn evict_everywhere(&self, conns: &mut [Conn], key: u64) -> io::Result<()> {
+        for conn in conns.iter_mut() {
+            match conn.call(&Frame::Evict { key })? {
+                Frame::EvictResp { .. } => {}
+                other => return Err(unexpected_frame("evict", &other)),
+            }
+        }
+        match self.rpc(self.node.home_node(key), &Frame::HotUnmark { key })? {
+            Frame::HotUnmarkResp => Ok(()),
+            other => Err(unexpected_frame("hot-unmark", &other)),
+        }
+    }
+
+    /// Installs `key` on every node: fence the home, warm every replica,
+    /// then activate. Returns `Ok(false)` (after rolling the key back) if
+    /// a cache was full.
+    fn install_everywhere(&self, conns: &mut [Conn], key: u64) -> io::Result<bool> {
+        let home = self.node.home_node(key);
+        // Mark the key hot at its home and fetch the authoritative
+        // (value, version): cold writes bounce from here on, so the
+        // caches cannot shadow a write accepted after the fetch.
+        let (value, ts) = match self.rpc(home, &Frame::HotMark { key })? {
+            Frame::HotMarkResp { value, ts } => (value, ts),
+            other => return Err(unexpected_frame("hot-mark", &other)),
+        };
+        // Phase 1: warm every replica. Warming entries run the coherence
+        // protocol but refuse client writes, so no write can commit
+        // against a half-installed hot set (the unfilled replicas would
+        // ack it vacuously and then shadow it with their stale fills).
+        for n in 0..conns.len() {
+            let ok = match conns[n].call(&Frame::InstallHot {
+                key,
+                value: value.clone(),
+                ts,
+                warm: true,
+            })? {
+                Frame::InstallHotResp { ok } => ok,
+                other => return Err(unexpected_frame("install", &other)),
+            };
+            if !ok {
+                // Roll the key back off the nodes that took it (symmetry)
+                // and lift the fence.
+                for rollback in conns.iter_mut().take(n) {
+                    let _ = rollback.call(&Frame::Evict { key });
+                }
+                let _ = self.rpc(home, &Frame::HotUnmark { key });
+                return Ok(false);
+            }
+        }
+        // Phase 2: activate everywhere — only now do client reads and
+        // writes start hitting, on a fully symmetric hot set.
+        for conn in conns.iter_mut() {
+            match conn.call(&Frame::ActivateHot { key })? {
+                Frame::ActivateHotResp { .. } => {}
+                other => return Err(unexpected_frame("activate", &other)),
+            }
+        }
+        Ok(true)
+    }
+
+    /// Best-effort recovery when a reconfiguration step for `key` failed
+    /// midway: restore the safe cold state — evict every replica (dirty
+    /// copies write back where reachable), lift the home's transition
+    /// fence, and drop the key from the coordinator's books so the next
+    /// epoch re-derives a correct delta. Without this, a partial failure
+    /// would leave the key fenced (cold writes bouncing forever) or cached
+    /// on a subset of replicas that no future delta ever touches.
+    fn abandon_key(&self, conns: &mut [Conn], key: u64) {
+        for conn in conns.iter_mut() {
+            let _ = conn.call(&Frame::Evict { key });
+        }
+        let _ = self.rpc(self.node.home_node(key), &Frame::HotUnmark { key });
+        if let Some(churn) = &self.churn {
+            churn.installed.lock().remove(&key);
+        }
+    }
+
     /// Performs a synchronous miss-path RPC against peer `home`, dialing
     /// (or re-dialing) the pooled link if needed. Slots rotate so up to
     /// [`RPC_POOL_SIZE`] RPCs to one home shard proceed concurrently.
@@ -183,6 +504,7 @@ impl ServerInner {
 pub struct NodeServer {
     inner: Arc<ServerInner>,
     accept_handle: Option<std::thread::JoinHandle<()>>,
+    applier_handle: Option<std::thread::JoinHandle<()>>,
     writer_handles: Vec<std::thread::JoinHandle<()>>,
     metrics_server: Option<MetricsServer>,
 }
@@ -192,10 +514,36 @@ impl NodeServer {
     /// not yet up: call [`NodeServer::connect_peers`] once every node of
     /// the deployment is listening.
     pub fn start(cfg: NodeServerConfig) -> io::Result<NodeServer> {
+        if let Some(epochs) = &cfg.epochs {
+            assert!(
+                epochs.cache_entries <= cfg.node.cache_capacity,
+                "epoch hot set ({} keys) exceeds cache capacity ({})",
+                epochs.cache_entries,
+                cfg.node.cache_capacity
+            );
+        }
         let listener = TcpListener::bind(cfg.listen)?;
         let listen_addr = listener.local_addr()?;
         let nodes = cfg.node.nodes;
         let metrics = Arc::new(Metrics::new());
+        let (churn, flip_rx) = match cfg.epochs {
+            Some(epochs) => {
+                let (flip_tx, flip_rx) = unbounded();
+                (
+                    Some(Churn {
+                        coord: Mutex::new(CacheCoordinator::new(epochs)),
+                        observe_seq: AtomicU64::new(0),
+                        sampling: epochs.sampling,
+                        installed: Mutex::new(HashSet::new()),
+                        reconfig: Mutex::new(()),
+                        applied_epoch: AtomicU64::new(0),
+                        flip_tx,
+                    }),
+                    Some(flip_rx),
+                )
+            }
+            None => (None, None),
+        };
         let inner = Arc::new(ServerInner {
             node: CcNode::new(cfg.node),
             metrics: Arc::clone(&metrics),
@@ -205,6 +553,8 @@ impl NodeServer {
             ready: AtomicBool::new(nodes == 1),
             tags: AtomicU64::new(1),
             cold_versions: AtomicU64::new(1),
+            hot_marks: Mutex::new(HashSet::new()),
+            churn,
             peer_txs: Mutex::new(vec![None; nodes]),
             peer_addrs: Mutex::new(vec![listen_addr; nodes]),
             rpc_pools: (0..nodes).map(|_| RpcPool::new()).collect(),
@@ -217,6 +567,17 @@ impl NodeServer {
             )?),
             None => None,
         };
+        let applier_handle = match flip_rx {
+            Some(rx) => {
+                let applier_inner = Arc::clone(&inner);
+                Some(
+                    std::thread::Builder::new()
+                        .name(format!("cckvs-epochs-n{}", cfg.node.node))
+                        .spawn(move || epoch_applier_loop(applier_inner, rx))?,
+                )
+            }
+            None => None,
+        };
         let accept_inner = Arc::clone(&inner);
         let accept_handle = std::thread::Builder::new()
             .name(format!("cckvs-accept-n{}", cfg.node.node))
@@ -224,6 +585,7 @@ impl NodeServer {
         Ok(NodeServer {
             inner,
             accept_handle: Some(accept_handle),
+            applier_handle,
             writer_handles: Vec::new(),
             metrics_server,
         })
@@ -314,6 +676,12 @@ impl NodeServer {
             *tx = None;
         }
         for handle in self.writer_handles.drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.applier_handle.take() {
+            if let Some(churn) = &self.inner.churn {
+                let _ = churn.flip_tx.send(FlipJob::Shutdown);
+            }
             let _ = handle.join();
         }
         if let Some(server) = self.metrics_server.take() {
@@ -407,17 +775,56 @@ fn client_loop(
         let response = match frame {
             Frame::Get { key } => {
                 inner.metrics.record_get();
+                inner.observe(key);
                 serve_get(inner, key)?
             }
             Frame::Put { key, value } => {
                 inner.metrics.record_put();
+                inner.observe(key);
                 serve_put(inner, key, &value)?
             }
-            Frame::InstallHot { key, value } => Frame::InstallHotResp {
-                ok: inner.node.install_hot(key, &value),
+            Frame::InstallHot {
+                key,
+                value,
+                ts,
+                warm,
+            } => {
+                let ok = if warm {
+                    inner.node.install_hot_warm(key, &value, ts)
+                } else {
+                    inner.node.install_hot(key, &value, ts)
+                };
+                if ok {
+                    // Coordinator bookkeeping: the key joined the hot set.
+                    if let Some(churn) = &inner.churn {
+                        churn.installed.lock().insert(key);
+                    }
+                }
+                Frame::InstallHotResp { ok }
+            }
+            Frame::ActivateHot { key } => Frame::ActivateHotResp {
+                ok: inner.node.activate_hot(key),
             },
             Frame::Evict { key } => Frame::EvictResp {
-                existed: inner.node.evict_hot(key),
+                existed: inner.evict_key(key)?,
+            },
+            Frame::FlipEpoch => match &inner.churn {
+                None => Frame::Error {
+                    message: "this node does not run the epoch coordinator".to_string(),
+                },
+                Some(churn) => {
+                    let hot = churn.coord.lock().close_epoch();
+                    match inner.apply_hot_set(&hot) {
+                        Ok((installed, evicted)) => Frame::FlipEpochResp {
+                            epoch: hot.epoch,
+                            installed: installed as u32,
+                            evicted: evicted as u32,
+                        },
+                        Err(e) => Frame::Error {
+                            message: format!("epoch flip failed: {e}"),
+                        },
+                    }
+                }
             },
             Frame::Ping => Frame::Pong,
             Frame::Shutdown => {
@@ -438,106 +845,149 @@ fn client_loop(
 }
 
 fn serve_get(inner: &ServerInner, key: u64) -> io::Result<Frame> {
-    match inner.node.cache_get(key) {
-        CacheGet::Hit { value, ts } => {
+    let deadline = Instant::now() + HOT_TRANSITION_RETRY;
+    let mut backoff = Duration::from_micros(50);
+    loop {
+        if let CacheGet::Hit { value, ts } = inner.node.cache_get(key) {
             inner.metrics.record_cache(true);
-            Ok(Frame::GetResp {
+            return Ok(Frame::GetResp {
                 cached: true,
                 ts,
                 value,
-            })
+            });
         }
-        CacheGet::Miss => {
-            inner.metrics.record_cache(false);
-            let home = inner.node.home_node(key);
-            let value = if home == inner.node.node() {
-                inner.node.kvs_get(key)
-            } else {
-                inner.metrics.record_remote_read();
-                match inner.rpc(home, &Frame::MissGet { key })? {
-                    Frame::MissGetResp { value } => value,
-                    other => {
-                        return Err(io::Error::new(
-                            io::ErrorKind::InvalidData,
-                            format!("unexpected rpc response {other:?}"),
-                        ))
-                    }
+        // Cold path. Like cold writes, cold reads bounce while the key
+        // transitions into or out of the hot set: during an eviction the
+        // freshest value may still be in flight from a dirty replica, and
+        // serving the shard's current copy would hand out an older value
+        // than cached reads already returned.
+        let home = inner.node.home_node(key);
+        let value = if home == inner.node.node() {
+            inner.cold_get(key)
+        } else {
+            match inner.rpc(home, &Frame::MissGet { key })? {
+                Frame::MissGetResp { value } => Some(value),
+                Frame::MissRetry => None,
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected rpc response {other:?}"),
+                    ))
                 }
-            };
-            Ok(Frame::GetResp {
-                cached: false,
-                ts: consistency::lamport::Timestamp::ZERO,
-                value,
-            })
+            }
+        };
+        match value {
+            Some(value) => {
+                // One logical miss, however many bounce retries it took.
+                inner.metrics.record_cache(false);
+                if home != inner.node.node() {
+                    inner.metrics.record_remote_read();
+                }
+                return Ok(Frame::GetResp {
+                    cached: false,
+                    ts: consistency::lamport::Timestamp::ZERO,
+                    value,
+                });
+            }
+            None if Instant::now() >= deadline => {
+                return Ok(Frame::Error {
+                    message: format!("hot-set transition of key {key} did not complete"),
+                });
+            }
+            None => {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(2));
+            }
         }
     }
 }
 
+/// How long an operation keeps retrying while its key transitions into or
+/// out of the hot set before giving up (transitions take milliseconds;
+/// this bound only matters if the coordinator dies mid-reconfiguration).
+const HOT_TRANSITION_RETRY: Duration = Duration::from_secs(5);
+
 fn serve_put(inner: &ServerInner, key: u64, value: &[u8]) -> io::Result<Frame> {
-    let tag = inner.tags.fetch_add(1, Ordering::Relaxed);
-    match inner.node.cache_put(key, value, tag) {
-        CachePut::Done { ts, outgoing } => {
-            inner.ship(outgoing);
-            inner.metrics.record_cache(true);
-            Ok(Frame::PutResp { cached: true, ts })
+    let deadline = Instant::now() + HOT_TRANSITION_RETRY;
+    let mut backoff = Duration::from_micros(50);
+    loop {
+        let tag = inner.tags.fetch_add(1, Ordering::Relaxed);
+        match inner.node.cache_put(key, value, tag) {
+            CachePut::Done { ts, outgoing } => {
+                inner.ship(outgoing);
+                inner.metrics.record_cache(true);
+                return Ok(Frame::PutResp { cached: true, ts });
+            }
+            CachePut::Pending { ts, outgoing } => {
+                inner.ship(outgoing);
+                // Blocking write (Lin): the peer-receive thread that
+                // delivers the final ack signals the commit.
+                inner.node.wait_committed(key, ts);
+                inner.metrics.record_cache(true);
+                return Ok(Frame::PutResp { cached: true, ts });
+            }
+            CachePut::Miss => {}
         }
-        CachePut::Pending { ts, outgoing } => {
-            inner.ship(outgoing);
-            // Blocking write (Lin): the peer-receive thread that delivers
-            // the final ack signals the commit.
-            inner.node.wait_committed(key, ts);
-            inner.metrics.record_cache(true);
-            Ok(Frame::PutResp { cached: true, ts })
-        }
-        CachePut::Miss => {
-            inner.metrics.record_cache(false);
-            let home = inner.node.home_node(key);
-            let me = inner.node.node() as u8;
-            if home == inner.node.node() {
-                if let Err(e) = inner
-                    .node
-                    .kvs_put(key, value, inner.next_cold_version(), me)
-                {
+        let home = inner.node.home_node(key);
+        let me = inner.node.node() as u8;
+        // Cold path: versions are assigned by the *home* shard on arrival
+        // (see `next_cold_version`); the tag on the wire is only a hint for
+        // diagnostics. Sender-side counters advance independently and would
+        // silently drop later writes. A `Busy`/`MissRetry` answer means the
+        // key is mid-transition between the hot set and the cold path —
+        // retry the whole probe, it lands on whichever side wins.
+        let ts = if home == inner.node.node() {
+            match inner.cold_put(key, value, me) {
+                ColdPut::Applied(ts) => Some(ts),
+                ColdPut::Busy => None,
+                ColdPut::Rejected(message) => return Ok(Frame::Error { message }),
+            }
+        } else {
+            match inner.rpc(
+                home,
+                &Frame::MissPut {
+                    key,
+                    tag: tag as u32,
+                    writer: me,
+                    value: value.to_vec(),
+                },
+            ) {
+                Ok(Frame::MissPutResp { ts }) => Some(ts),
+                Ok(Frame::MissRetry) => None,
+                // The home shard rejected the write (Frame::Error over
+                // a healthy link): relay the reason to the client.
+                Err(e) if e.kind() == io::ErrorKind::InvalidInput => {
                     return Ok(Frame::Error {
-                        message: format!("write of key {key} rejected by home shard: {e:?}"),
-                    });
+                        message: e.to_string(),
+                    })
                 }
-            } else {
-                inner.metrics.record_remote_write();
-                // The version is assigned by the *home* shard on arrival
-                // (see `next_cold_version`); the tag on the wire is only a
-                // hint for diagnostics. Sender-side counters advance
-                // independently and would silently drop later writes.
-                match inner.rpc(
-                    home,
-                    &Frame::MissPut {
-                        key,
-                        tag: tag as u32,
-                        writer: me,
-                        value: value.to_vec(),
-                    },
-                ) {
-                    Ok(Frame::MissPutResp) => {}
-                    // The home shard rejected the write (Frame::Error over
-                    // a healthy link): relay the reason to the client.
-                    Err(e) if e.kind() == io::ErrorKind::InvalidInput => {
-                        return Ok(Frame::Error {
-                            message: e.to_string(),
-                        })
-                    }
-                    Err(e) => return Err(e),
-                    Ok(other) => {
-                        return Err(io::Error::new(
-                            io::ErrorKind::InvalidData,
-                            format!("unexpected rpc response {other:?}"),
-                        ))
-                    }
+                Err(e) => return Err(e),
+                Ok(other) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected rpc response {other:?}"),
+                    ))
                 }
             }
-            Ok(Frame::PutResp {
-                cached: false,
-                ts: consistency::lamport::Timestamp::ZERO,
-            })
+        };
+        match ts {
+            Some(ts) => {
+                // One logical miss, however many bounce retries it took.
+                inner.metrics.record_cache(false);
+                if home != inner.node.node() {
+                    inner.metrics.record_remote_write();
+                }
+                return Ok(Frame::PutResp { cached: false, ts });
+            }
+            None if Instant::now() >= deadline => {
+                return Ok(Frame::Error {
+                    message: format!("hot-set transition of key {key} did not complete"),
+                });
+            }
+            None => {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(2));
+            }
         }
     }
 }
@@ -568,8 +1018,11 @@ fn rpc_serve_loop(
 ) -> io::Result<()> {
     while let Some(frame) = read_frame(reader)? {
         let response = match frame {
-            Frame::MissGet { key } => Frame::MissGetResp {
-                value: inner.node.kvs_get(key),
+            Frame::MissGet { key } => match inner.cold_get(key) {
+                Some(value) => Frame::MissGetResp { value },
+                // Key mid-transition: during an eviction the freshest value
+                // may still be in flight from a dirty replica.
+                None => Frame::MissRetry,
             },
             Frame::MissPut {
                 key,
@@ -580,15 +1033,39 @@ fn rpc_serve_loop(
                 // Home-assigned version: arrival order at the single home
                 // shard is the write order for cold keys (the sender's tag
                 // is ignored — see `serve_put`).
-                match inner
-                    .node
-                    .kvs_put(key, &value, inner.next_cold_version(), writer_id)
-                {
-                    Ok(()) => Frame::MissPutResp,
+                match inner.cold_put(key, &value, writer_id) {
+                    ColdPut::Applied(ts) => Frame::MissPutResp { ts },
+                    ColdPut::Busy => Frame::MissRetry,
+                    ColdPut::Rejected(message) => Frame::Error { message },
+                }
+            }
+            Frame::WriteBack { key, value, ts } => {
+                // A peer evicted its dirty copy of a key homed here. Apply
+                // versioned (every replica offers its copy; the newest
+                // wins) and push the cold counter past it so later cold
+                // writes supersede the written-back value.
+                inner.bump_cold_versions(ts.clock);
+                match inner.node.write_back(key, &value, ts) {
+                    Ok(applied) => Frame::WriteBackResp { applied },
                     Err(e) => Frame::Error {
-                        message: format!("write of key {key} rejected by home shard: {e:?}"),
+                        message: format!("write-back of key {key} rejected by home shard: {e:?}"),
                     },
                 }
+            }
+            Frame::HotMark { key } => {
+                // Atomically close the cold write path for this key and
+                // read the authoritative value+version the caches will be
+                // filled with.
+                let mut marks = inner.hot_marks.lock();
+                marks.insert(key);
+                let (value, ts) = inner.node.kvs_get_versioned(key);
+                drop(marks);
+                inner.bump_cold_versions(ts.clock);
+                Frame::HotMarkResp { value, ts }
+            }
+            Frame::HotUnmark { key } => {
+                inner.hot_marks.lock().remove(&key);
+                Frame::HotUnmarkResp
             }
             other => {
                 return Err(io::Error::new(
@@ -605,7 +1082,9 @@ fn rpc_serve_loop(
 
 fn peer_writer_loop(mut writer: BufWriter<TcpStream>, rx: PeerRx) {
     while let Ok((msg, bytes)) = rx.recv() {
-        if write_frame(&mut writer, &Frame::Protocol { msg, bytes }).is_err() {
+        // The value bytes stay behind the broadcast-shared Arc all the way
+        // to serialisation: no per-peer copy is ever materialised.
+        if write_protocol_frame(&mut writer, &msg, bytes.as_deref()).is_err() {
             break;
         }
         // Coalesce: only flush once the queue is drained, batching bursts
@@ -616,4 +1095,39 @@ fn peer_writer_loop(mut writer: BufWriter<TcpStream>, rx: PeerRx) {
         }
     }
     let _ = writer.flush();
+}
+
+/// The coordinator's reconfiguration thread: applies hot sets published by
+/// the popularity tracker, coalescing a backlog to the newest set. Errors
+/// are swallowed deliberately — the installed-set bookkeeping lives in the
+/// admin handlers, so a partially applied epoch simply leaves a smaller
+/// delta for the next one (the system converges instead of wedging).
+fn epoch_applier_loop(inner: Arc<ServerInner>, rx: Receiver<FlipJob>) {
+    loop {
+        let mut latest = match rx.recv() {
+            Ok(FlipJob::Apply(hot)) => hot,
+            Ok(FlipJob::Shutdown) | Err(_) => return,
+        };
+        let mut stop = false;
+        while let Ok(next) = rx.try_recv() {
+            match next {
+                FlipJob::Apply(hot) => latest = hot,
+                FlipJob::Shutdown => {
+                    stop = true;
+                    break;
+                }
+            }
+        }
+        let _ = inner.apply_hot_set(&latest);
+        if stop {
+            return;
+        }
+    }
+}
+
+fn unexpected_frame(what: &str, frame: &Frame) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected {what} response {frame:?}"),
+    )
 }

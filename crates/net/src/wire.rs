@@ -73,10 +73,21 @@ mod opcode {
     pub const MISS_GET_RESP: u8 = 0x31;
     pub const MISS_PUT: u8 = 0x32;
     pub const MISS_PUT_RESP: u8 = 0x33;
+    pub const WRITE_BACK: u8 = 0x34;
+    pub const WRITE_BACK_RESP: u8 = 0x35;
+    pub const HOT_MARK: u8 = 0x36;
+    pub const HOT_MARK_RESP: u8 = 0x37;
+    pub const HOT_UNMARK: u8 = 0x38;
+    pub const HOT_UNMARK_RESP: u8 = 0x39;
+    pub const MISS_RETRY: u8 = 0x3A;
     pub const INSTALL_HOT: u8 = 0x40;
     pub const INSTALL_HOT_RESP: u8 = 0x41;
     pub const EVICT: u8 = 0x42;
     pub const EVICT_RESP: u8 = 0x43;
+    pub const FLIP_EPOCH: u8 = 0x44;
+    pub const FLIP_EPOCH_RESP: u8 = 0x45;
+    pub const ACTIVATE_HOT: u8 = 0x46;
+    pub const ACTIVATE_HOT_RESP: u8 = 0x47;
     pub const PING: u8 = 0x50;
     pub const PONG: u8 = 0x51;
     pub const SHUTDOWN: u8 = 0x52;
@@ -158,23 +169,96 @@ pub enum Frame {
         /// Value bytes.
         value: Vec<u8>,
     },
-    /// Response to [`Frame::MissPut`].
-    MissPutResp,
+    /// Response to [`Frame::MissPut`], carrying the version the home shard
+    /// assigned to the write (clients record it so histories include cold
+    /// writes — the versions re-surface as install timestamps when a cold
+    /// key later turns hot).
+    MissPutResp {
+        /// Home-assigned version of the write.
+        ts: Timestamp,
+    },
+    /// Answer to a miss-path request for a key that is mid-transition into
+    /// or out of the hot set: the sender retries (by then the key is either
+    /// cached at the serving node or cold at the home shard).
+    MissRetry,
+    /// Write-back of a dirty evicted cache value to the key's home shard
+    /// (rpc path). Versioned: every replica evicts its own copy, the home
+    /// keeps the newest.
+    WriteBack {
+        /// Key being written back.
+        key: u64,
+        /// The evicted dirty value.
+        value: Vec<u8>,
+        /// Protocol timestamp of the value.
+        ts: Timestamp,
+    },
+    /// Response to [`Frame::WriteBack`].
+    WriteBackResp {
+        /// Whether the value was applied (false: a newer version was
+        /// already stored).
+        applied: bool,
+    },
+    /// Marks a key as transitioning into the hot set at its home shard and
+    /// fetches its current value and version (rpc path; epoch admin). While
+    /// marked, the home bounces cold writes with [`Frame::MissRetry`] so no
+    /// write lands between the fetch and the cache fills.
+    HotMark {
+        /// Key entering the hot set.
+        key: u64,
+    },
+    /// Response to [`Frame::HotMark`].
+    HotMarkResp {
+        /// The shard's current value (empty if never written).
+        value: Vec<u8>,
+        /// The shard's stored version of the value.
+        ts: Timestamp,
+    },
+    /// Clears a key's hot-transition mark at its home shard (rpc path;
+    /// epoch admin) — sent after every replica dropped the key and all
+    /// dirty write-backs landed, re-opening the cold write path.
+    HotUnmark {
+        /// Key leaving the hot set.
+        key: u64,
+    },
+    /// Response to [`Frame::HotUnmark`].
+    HotUnmarkResp,
     /// Installs a hot key into the node's symmetric cache (coordinator /
-    /// rack-launcher admin path).
+    /// rack-launcher admin path) at the version its home shard stored it
+    /// at, so the per-key Lamport clock continues across epochs. A `warm`
+    /// install stays invisible to client reads/writes (while participating
+    /// in the coherence protocol) until [`Frame::ActivateHot`] — the
+    /// coordinator warms every replica before activating any, so no write
+    /// ever commits against a half-installed hot set.
     InstallHot {
         /// Key to install.
         key: u64,
         /// Initial value.
         value: Vec<u8>,
+        /// Home-shard version of the value (`Timestamp::ZERO` for a fresh
+        /// dataset).
+        ts: Timestamp,
+        /// Whether to install in the warming state.
+        warm: bool,
     },
     /// Response to [`Frame::InstallHot`].
     InstallHotResp {
         /// Whether the key was installed (false: cache full).
         ok: bool,
     },
+    /// Activates a warming hot key (epoch admin path; second phase of a
+    /// live install).
+    ActivateHot {
+        /// Key to activate.
+        key: u64,
+    },
+    /// Response to [`Frame::ActivateHot`].
+    ActivateHotResp {
+        /// Whether the key was present.
+        ok: bool,
+    },
     /// Evicts a key from the node's symmetric cache (epoch change /
-    /// failed-install rollback; admin path).
+    /// failed-install rollback; admin path). A dirty value is written back
+    /// to the key's home shard before the response is sent.
     Evict {
         /// Key to evict.
         key: u64,
@@ -183,6 +267,18 @@ pub enum Frame {
     EvictResp {
         /// Whether the key was cached.
         existed: bool,
+    },
+    /// Asks the epoch coordinator to close the current popularity epoch and
+    /// reconfigure the deployment's hot set now (admin path).
+    FlipEpoch,
+    /// Response to [`Frame::FlipEpoch`].
+    FlipEpochResp {
+        /// The epoch that was closed.
+        epoch: u64,
+        /// Keys installed into the hot set by this flip.
+        installed: u32,
+        /// Keys evicted from the hot set by this flip.
+        evicted: u32,
     },
     /// The request failed server-side (e.g. a value over the shard's
     /// capacity); carries a human-readable reason. Sent in place of the
@@ -209,6 +305,43 @@ fn put_ts(buf: &mut Vec<u8>, ts: Timestamp) {
 fn put_bytes(buf: &mut Vec<u8>, bytes: &[u8]) {
     buf.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
     buf.extend_from_slice(bytes);
+}
+
+fn put_protocol(buf: &mut Vec<u8>, msg: &ProtocolMsg, bytes: Option<&[u8]>) {
+    buf.push(opcode::PROTOCOL);
+    match msg {
+        ProtocolMsg::Invalidation { key, ts, from } => {
+            buf.push(0);
+            buf.extend_from_slice(&key.to_le_bytes());
+            put_ts(buf, *ts);
+            buf.push(from.0);
+        }
+        ProtocolMsg::Ack { key, ts, from } => {
+            buf.push(1);
+            buf.extend_from_slice(&key.to_le_bytes());
+            put_ts(buf, *ts);
+            buf.push(from.0);
+        }
+        ProtocolMsg::Update {
+            key,
+            value,
+            ts,
+            from,
+        } => {
+            buf.push(2);
+            buf.extend_from_slice(&key.to_le_bytes());
+            put_ts(buf, *ts);
+            buf.push(from.0);
+            buf.extend_from_slice(&value.to_le_bytes());
+        }
+    }
+    match bytes {
+        None => buf.push(0),
+        Some(b) => {
+            buf.push(1);
+            put_bytes(buf, b);
+        }
+    }
 }
 
 struct Cursor<'a> {
@@ -303,42 +436,7 @@ impl Frame {
                 buf.push(u8::from(*cached));
                 put_ts(&mut buf, *ts);
             }
-            Frame::Protocol { msg, bytes } => {
-                buf.push(opcode::PROTOCOL);
-                match msg {
-                    ProtocolMsg::Invalidation { key, ts, from } => {
-                        buf.push(0);
-                        buf.extend_from_slice(&key.to_le_bytes());
-                        put_ts(&mut buf, *ts);
-                        buf.push(from.0);
-                    }
-                    ProtocolMsg::Ack { key, ts, from } => {
-                        buf.push(1);
-                        buf.extend_from_slice(&key.to_le_bytes());
-                        put_ts(&mut buf, *ts);
-                        buf.push(from.0);
-                    }
-                    ProtocolMsg::Update {
-                        key,
-                        value,
-                        ts,
-                        from,
-                    } => {
-                        buf.push(2);
-                        buf.extend_from_slice(&key.to_le_bytes());
-                        put_ts(&mut buf, *ts);
-                        buf.push(from.0);
-                        buf.extend_from_slice(&value.to_le_bytes());
-                    }
-                }
-                match bytes {
-                    None => buf.push(0),
-                    Some(b) => {
-                        buf.push(1);
-                        put_bytes(&mut buf, b);
-                    }
-                }
-            }
+            Frame::Protocol { msg, bytes } => put_protocol(&mut buf, msg, bytes.as_deref()),
             Frame::MissGet { key } => {
                 buf.push(opcode::MISS_GET);
                 buf.extend_from_slice(&key.to_le_bytes());
@@ -359,14 +457,57 @@ impl Frame {
                 buf.push(*writer);
                 put_bytes(&mut buf, value);
             }
-            Frame::MissPutResp => buf.push(opcode::MISS_PUT_RESP),
-            Frame::InstallHot { key, value } => {
+            Frame::MissPutResp { ts } => {
+                buf.push(opcode::MISS_PUT_RESP);
+                put_ts(&mut buf, *ts);
+            }
+            Frame::MissRetry => buf.push(opcode::MISS_RETRY),
+            Frame::WriteBack { key, value, ts } => {
+                buf.push(opcode::WRITE_BACK);
+                buf.extend_from_slice(&key.to_le_bytes());
+                put_ts(&mut buf, *ts);
+                put_bytes(&mut buf, value);
+            }
+            Frame::WriteBackResp { applied } => {
+                buf.push(opcode::WRITE_BACK_RESP);
+                buf.push(u8::from(*applied));
+            }
+            Frame::HotMark { key } => {
+                buf.push(opcode::HOT_MARK);
+                buf.extend_from_slice(&key.to_le_bytes());
+            }
+            Frame::HotMarkResp { value, ts } => {
+                buf.push(opcode::HOT_MARK_RESP);
+                put_ts(&mut buf, *ts);
+                put_bytes(&mut buf, value);
+            }
+            Frame::HotUnmark { key } => {
+                buf.push(opcode::HOT_UNMARK);
+                buf.extend_from_slice(&key.to_le_bytes());
+            }
+            Frame::HotUnmarkResp => buf.push(opcode::HOT_UNMARK_RESP),
+            Frame::InstallHot {
+                key,
+                value,
+                ts,
+                warm,
+            } => {
                 buf.push(opcode::INSTALL_HOT);
                 buf.extend_from_slice(&key.to_le_bytes());
+                put_ts(&mut buf, *ts);
+                buf.push(u8::from(*warm));
                 put_bytes(&mut buf, value);
             }
             Frame::InstallHotResp { ok } => {
                 buf.push(opcode::INSTALL_HOT_RESP);
+                buf.push(u8::from(*ok));
+            }
+            Frame::ActivateHot { key } => {
+                buf.push(opcode::ACTIVATE_HOT);
+                buf.extend_from_slice(&key.to_le_bytes());
+            }
+            Frame::ActivateHotResp { ok } => {
+                buf.push(opcode::ACTIVATE_HOT_RESP);
                 buf.push(u8::from(*ok));
             }
             Frame::Evict { key } => {
@@ -376,6 +517,17 @@ impl Frame {
             Frame::EvictResp { existed } => {
                 buf.push(opcode::EVICT_RESP);
                 buf.push(u8::from(*existed));
+            }
+            Frame::FlipEpoch => buf.push(opcode::FLIP_EPOCH),
+            Frame::FlipEpochResp {
+                epoch,
+                installed,
+                evicted,
+            } => {
+                buf.push(opcode::FLIP_EPOCH_RESP);
+                buf.extend_from_slice(&epoch.to_le_bytes());
+                buf.extend_from_slice(&installed.to_le_bytes());
+                buf.extend_from_slice(&evicted.to_le_bytes());
             }
             Frame::Error { message } => {
                 buf.push(opcode::ERROR);
@@ -442,15 +594,41 @@ impl Frame {
                 writer: cur.u8()?,
                 value: cur.bytes()?,
             },
-            opcode::MISS_PUT_RESP => Frame::MissPutResp,
+            opcode::MISS_PUT_RESP => Frame::MissPutResp { ts: cur.ts()? },
+            opcode::MISS_RETRY => Frame::MissRetry,
+            opcode::WRITE_BACK => Frame::WriteBack {
+                key: cur.u64()?,
+                ts: cur.ts()?,
+                value: cur.bytes()?,
+            },
+            opcode::WRITE_BACK_RESP => Frame::WriteBackResp {
+                applied: cur.u8()? != 0,
+            },
+            opcode::HOT_MARK => Frame::HotMark { key: cur.u64()? },
+            opcode::HOT_MARK_RESP => Frame::HotMarkResp {
+                ts: cur.ts()?,
+                value: cur.bytes()?,
+            },
+            opcode::HOT_UNMARK => Frame::HotUnmark { key: cur.u64()? },
+            opcode::HOT_UNMARK_RESP => Frame::HotUnmarkResp,
             opcode::INSTALL_HOT => Frame::InstallHot {
                 key: cur.u64()?,
+                ts: cur.ts()?,
+                warm: cur.u8()? != 0,
                 value: cur.bytes()?,
             },
             opcode::INSTALL_HOT_RESP => Frame::InstallHotResp { ok: cur.u8()? != 0 },
+            opcode::ACTIVATE_HOT => Frame::ActivateHot { key: cur.u64()? },
+            opcode::ACTIVATE_HOT_RESP => Frame::ActivateHotResp { ok: cur.u8()? != 0 },
             opcode::EVICT => Frame::Evict { key: cur.u64()? },
             opcode::EVICT_RESP => Frame::EvictResp {
                 existed: cur.u8()? != 0,
+            },
+            opcode::FLIP_EPOCH => Frame::FlipEpoch,
+            opcode::FLIP_EPOCH_RESP => Frame::FlipEpochResp {
+                epoch: cur.u64()?,
+                installed: cur.u32()?,
+                evicted: cur.u32()?,
             },
             opcode::ERROR => Frame::Error {
                 message: String::from_utf8_lossy(&cur.bytes()?).into_owned(),
@@ -468,6 +646,22 @@ impl Frame {
 /// Writes one frame to `w` (length prefix + payload). Does not flush.
 pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
     let payload = frame.encode();
+    debug_assert!(payload.len() <= MAX_FRAME_BYTES);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&payload)
+}
+
+/// Writes a [`Frame::Protocol`] whose value bytes are held externally (an
+/// `Arc<[u8]>` shared across a broadcast): the value is serialised straight
+/// into the frame buffer, so fanning an update out to N-1 peers never clones
+/// the value into per-peer `Frame`s. Does not flush.
+pub fn write_protocol_frame<W: Write>(
+    w: &mut W,
+    msg: &ProtocolMsg,
+    bytes: Option<&[u8]>,
+) -> io::Result<()> {
+    let mut payload = Vec::with_capacity(32 + bytes.map_or(0, <[u8]>::len));
+    put_protocol(&mut payload, msg, bytes);
     debug_assert!(payload.len() <= MAX_FRAME_BYTES);
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
     w.write_all(&payload)
@@ -571,14 +765,52 @@ mod tests {
                 writer: 2,
                 value: b"v".to_vec(),
             },
-            Frame::MissPutResp,
+            Frame::MissPutResp { ts },
+            Frame::MissPutResp {
+                ts: Timestamp::ZERO,
+            },
+            Frame::MissRetry,
+            Frame::WriteBack {
+                key: 11,
+                value: b"dirty".to_vec(),
+                ts,
+            },
+            Frame::WriteBackResp { applied: true },
+            Frame::WriteBackResp { applied: false },
+            Frame::HotMark { key: 12 },
+            Frame::HotMarkResp {
+                value: b"fetched".to_vec(),
+                ts,
+            },
+            Frame::HotMarkResp {
+                value: Vec::new(),
+                ts: Timestamp::ZERO,
+            },
+            Frame::HotUnmark { key: 12 },
+            Frame::HotUnmarkResp,
             Frame::InstallHot {
                 key: 3,
                 value: b"hot".to_vec(),
+                ts,
+                warm: false,
+            },
+            Frame::InstallHot {
+                key: 4,
+                value: Vec::new(),
+                ts: Timestamp::ZERO,
+                warm: true,
             },
             Frame::InstallHotResp { ok: true },
+            Frame::ActivateHot { key: 4 },
+            Frame::ActivateHotResp { ok: false },
             Frame::Evict { key: 3 },
             Frame::EvictResp { existed: false },
+            Frame::FlipEpoch,
+            Frame::FlipEpochResp {
+                epoch: u64::MAX,
+                installed: 17,
+                evicted: 3,
+            },
             Frame::Error {
                 message: "value exceeds shard capacity".to_string(),
             },
@@ -622,6 +854,31 @@ mod tests {
         let mut padded = Frame::Ping.encode();
         padded.push(0);
         assert_eq!(Frame::decode(&padded), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn write_protocol_frame_matches_frame_encoding() {
+        let ts = Timestamp::new(8, NodeId(1));
+        let msg = ProtocolMsg::Update {
+            key: 5,
+            value: 99,
+            ts,
+            from: NodeId(1),
+        };
+        for bytes in [None, Some(b"shared-payload".to_vec())] {
+            let mut via_frame = Vec::new();
+            write_frame(
+                &mut via_frame,
+                &Frame::Protocol {
+                    msg,
+                    bytes: bytes.clone(),
+                },
+            )
+            .unwrap();
+            let mut via_helper = Vec::new();
+            write_protocol_frame(&mut via_helper, &msg, bytes.as_deref()).unwrap();
+            assert_eq!(via_frame, via_helper);
+        }
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Property tests of the wire protocol: round trips for the churn frames
+//! (`WriteBack`, the hot-transition epoch admin frames, versioned installs)
+//! and decode robustness against arbitrary and truncated bytes — a peer can
+//! send anything, the decoder must answer with an error, never a panic.
+
+use cckvs_net::wire::{Frame, WireError};
+use consistency::lamport::{NodeId, Timestamp};
+use proptest::prelude::*;
+
+fn ts_of(clock: u32, writer: u8) -> Timestamp {
+    Timestamp::new(clock, NodeId(writer))
+}
+
+fn assert_roundtrip(frame: Frame) {
+    let encoded = frame.encode();
+    assert_eq!(Frame::decode(&encoded), Ok(frame));
+}
+
+/// Every strict prefix of a well-formed frame must fail to decode: inner
+/// length prefixes and the trailing-bytes check make truncation at *any*
+/// offset detectable.
+fn assert_prefixes_rejected(frame: &Frame) {
+    let encoded = frame.encode();
+    for cut in 0..encoded.len() {
+        assert!(
+            Frame::decode(&encoded[..cut]).is_err(),
+            "truncation of {frame:?} to {cut}/{} bytes decoded cleanly",
+            encoded.len()
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn decoding_arbitrary_bytes_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..192)) {
+        // Any result is fine; reaching it without a panic is the property.
+        let _ = Frame::decode(&bytes);
+    }
+
+    #[test]
+    fn write_back_roundtrips_and_rejects_truncation(
+        key in any::<u64>(),
+        value in prop::collection::vec(any::<u8>(), 0..64),
+        clock in any::<u32>(),
+        writer in any::<u8>(),
+        applied in any::<bool>(),
+    ) {
+        let frame = Frame::WriteBack { key, value, ts: ts_of(clock, writer) };
+        assert_prefixes_rejected(&frame);
+        assert_roundtrip(frame);
+        assert_roundtrip(Frame::WriteBackResp { applied });
+    }
+
+    #[test]
+    fn hot_transition_frames_roundtrip(
+        key in any::<u64>(),
+        value in prop::collection::vec(any::<u8>(), 0..64),
+        clock in any::<u32>(),
+        writer in any::<u8>(),
+    ) {
+        let ts = ts_of(clock, writer);
+        assert_roundtrip(Frame::HotMark { key });
+        let resp = Frame::HotMarkResp { value, ts };
+        assert_prefixes_rejected(&resp);
+        assert_roundtrip(resp);
+        assert_roundtrip(Frame::HotUnmark { key });
+        assert_roundtrip(Frame::HotUnmarkResp);
+        assert_roundtrip(Frame::MissRetry);
+        assert_roundtrip(Frame::MissPutResp { ts });
+    }
+
+    #[test]
+    fn versioned_install_and_flip_frames_roundtrip(
+        key in any::<u64>(),
+        value in prop::collection::vec(any::<u8>(), 0..64),
+        clock in any::<u32>(),
+        writer in any::<u8>(),
+        epoch in any::<u64>(),
+        installed in any::<u32>(),
+        evicted in any::<u32>(),
+        warm in any::<bool>(),
+    ) {
+        let install = Frame::InstallHot { key, value, ts: ts_of(clock, writer), warm };
+        assert_prefixes_rejected(&install);
+        assert_roundtrip(install);
+        assert_roundtrip(Frame::ActivateHot { key });
+        assert_roundtrip(Frame::ActivateHotResp { ok: warm });
+        assert_roundtrip(Frame::FlipEpoch);
+        let resp = Frame::FlipEpochResp { epoch, installed, evicted };
+        assert_prefixes_rejected(&resp);
+        assert_roundtrip(resp);
+    }
+
+    #[test]
+    fn oversized_inner_length_prefixes_are_rejected(key in any::<u64>()) {
+        // Hand-craft a WriteBack whose value-length field claims more bytes
+        // than the payload carries.
+        let mut bytes = Frame::WriteBack { key, value: vec![1, 2, 3], ts: ts_of(1, 0) }.encode();
+        let len_at = bytes.len() - 3 - 4;
+        bytes[len_at..len_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        prop_assert_eq!(Frame::decode(&bytes), Err(WireError::Oversized(u32::MAX as usize)));
+    }
+}

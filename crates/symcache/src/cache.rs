@@ -27,7 +27,7 @@ use std::collections::HashMap;
 /// Number of bytes of serialised protocol metadata stored before the value.
 /// (The production system packs this into 8 bytes by reusing the version
 /// field for the awaited timestamp; we keep the fields explicit.)
-const META_BYTES: usize = 35;
+const META_BYTES: usize = 36;
 
 /// Result of probing the cache for a read.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,6 +44,29 @@ pub enum ReadOutcome {
     Stall,
     /// The key is not cached; the caller goes to the (possibly remote) KVS.
     Miss,
+}
+
+/// Result of evicting a key from the cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvictOutcome {
+    /// The key is not cached.
+    NotCached,
+    /// The key has a local write awaiting acknowledgements (Lin); evicting
+    /// now would strand the blocked writer and could lose its value. The
+    /// caller must retry once the pending write resolves (peers that already
+    /// dropped the key still acknowledge invalidations, so it always does).
+    Pending,
+    /// The key was evicted. `dirty` is set when the value was written since
+    /// the entry was filled, in which case the caller must write
+    /// `(value, ts)` back to the key's home shard (write-back caching, §4).
+    Evicted {
+        /// The evicted value bytes.
+        value: Vec<u8>,
+        /// Timestamp of the evicted value.
+        ts: Timestamp,
+        /// Whether the value changed since the cache fill.
+        dirty: bool,
+    },
 }
 
 /// Result of a write probing the cache.
@@ -88,13 +111,29 @@ pub struct DeliverOutcome {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Meta {
     lin: LinKeyState,
+    /// Set while the entry is transitioning into the cache (a *warming*
+    /// fill awaiting deployment-wide activation) or out of it (mid
+    /// eviction). Frozen entries are invisible to client reads and writes —
+    /// which makes the freeze → remove sequence in [`SymmetricCache::evict`]
+    /// atomic with respect to concurrent operations, and keeps writes off a
+    /// half-installed hot set — but they still participate fully in the
+    /// coherence protocol: an update committed elsewhere during the
+    /// transition must land, or the entry would go live stale.
+    frozen: bool,
 }
 
 impl Meta {
     fn initial(tag: u64) -> Self {
         Self {
             lin: LinKeyState::with_initial(tag),
+            frozen: false,
         }
+    }
+
+    fn initial_at(tag: u64, ts: Timestamp) -> Self {
+        let mut meta = Self::initial(tag);
+        meta.lin.ts = ts;
+        meta
     }
 
     fn encode(&self) -> [u8; META_BYTES] {
@@ -119,6 +158,7 @@ impl Meta {
             }
         }
         out[27..35].copy_from_slice(&self.lin.value.to_le_bytes());
+        out[35] = u8::from(self.frozen);
         out
     }
 
@@ -159,6 +199,7 @@ impl Meta {
                 awaiting,
                 pending,
             },
+            frozen: bytes[35] != 0,
         }
     }
 
@@ -258,26 +299,97 @@ impl SymmetricCache {
     ///
     /// Returns `false` if the cache is full and the key could not be added.
     pub fn fill(&self, key: u64, value: &[u8], tag: u64) -> bool {
-        let meta = Meta::initial(tag);
+        self.fill_versioned(key, value, tag, Timestamp::ZERO)
+    }
+
+    /// Installs a hot key carrying the version its home shard stored it at,
+    /// so the per-key Lamport clock continues where the last epoch (or a
+    /// cold write) left off instead of restarting from zero — a re-installed
+    /// key's first write must still order after every write the shard has
+    /// already accepted, or the next eviction's `put_if_newer` write-back
+    /// would silently discard it.
+    ///
+    /// The install timestamp is also remembered in the object header, which
+    /// protocol steps never touch: at eviction time `ts != install ts` is
+    /// exactly "the value changed while cached" (the dirty bit).
+    pub fn fill_versioned(&self, key: u64, value: &[u8], tag: u64, ts: Timestamp) -> bool {
+        self.fill_at(key, value, tag, ts, false)
+    }
+
+    /// Installs a hot key in the *warming* state: the entry participates in
+    /// the coherence protocol (acks invalidations, applies updates) but
+    /// client reads and writes miss until [`SymmetricCache::activate`].
+    ///
+    /// A deployment-wide install must fill every replica before any of them
+    /// accepts a write: a write committing against a half-installed hot set
+    /// collects vacuous acks from the unfilled replicas, whose stale fills
+    /// then shadow it. Fill all warm, then activate all.
+    pub fn fill_warm(&self, key: u64, value: &[u8], tag: u64, ts: Timestamp) -> bool {
+        self.fill_at(key, value, tag, ts, true)
+    }
+
+    fn fill_at(&self, key: u64, value: &[u8], tag: u64, ts: Timestamp, frozen: bool) -> bool {
+        let mut meta = Meta::initial_at(tag, ts);
+        meta.frozen = frozen;
         let mut payload = Vec::with_capacity(META_BYTES + value.len());
         payload.extend_from_slice(&meta.encode());
         payload.extend_from_slice(value);
-        self.store
-            .put(key, ObjectHeader::default(), &payload)
-            .is_ok()
+        let header = ObjectHeader {
+            clock: ts.clock,
+            last_writer: ts.writer.0,
+            ..ObjectHeader::default()
+        };
+        self.store.put(key, header, &payload).is_ok()
     }
 
-    /// Evicts `key` from the cache, returning its value and timestamp so the
-    /// caller can write it back to the home node's KVS if it was modified
-    /// (write-back caching, §4).
-    pub fn evict(&self, key: u64) -> Option<(Vec<u8>, Timestamp)> {
-        let snap = self.store.remove(key)?;
-        self.pending_bytes.lock().remove(&key);
-        if snap.value.len() < META_BYTES {
-            return None;
+    /// Activates a warming entry (see [`SymmetricCache::fill_warm`]),
+    /// returning whether the key was present.
+    pub fn activate(&self, key: u64) -> bool {
+        self.store
+            .modify(key, |hdr, payload| {
+                let mut meta = Meta::decode(payload);
+                meta.frozen = false;
+                let mut new_payload = payload.to_vec();
+                new_payload[..META_BYTES].copy_from_slice(&meta.encode());
+                (hdr, Some(new_payload), true)
+            })
+            .unwrap_or(false)
+    }
+
+    /// Evicts `key` from the cache (epoch change, §4).
+    ///
+    /// Eviction is two-phase: the entry is first atomically *frozen* (after
+    /// which reads and writes miss, and protocol deliveries are ignored),
+    /// then removed. Freezing fails with [`EvictOutcome::Pending`] while a
+    /// local write awaits acknowledgements — evicting at that moment would
+    /// leave the blocked writer waiting forever and could lose its value, so
+    /// the caller retries once the acks arrive.
+    pub fn evict(&self, key: u64) -> EvictOutcome {
+        let frozen = self.store.modify(key, |hdr, payload| {
+            let mut meta = Meta::decode(payload);
+            if meta.lin.pending.is_some() {
+                return (hdr, None, None);
+            }
+            meta.frozen = true;
+            let mut new_payload = payload.to_vec();
+            new_payload[..META_BYTES].copy_from_slice(&meta.encode());
+            let install_ts = Timestamp::new(hdr.clock, NodeId(hdr.last_writer));
+            let snapshot = (
+                payload[META_BYTES..].to_vec(),
+                meta.lin.ts,
+                meta.lin.ts != install_ts,
+            );
+            (hdr, Some(new_payload), Some(snapshot))
+        });
+        match frozen {
+            None => EvictOutcome::NotCached,
+            Some(None) => EvictOutcome::Pending,
+            Some(Some((value, ts, dirty))) => {
+                self.store.remove(key);
+                self.pending_bytes.lock().remove(&key);
+                EvictOutcome::Evicted { value, ts, dirty }
+            }
         }
-        let meta = Meta::decode(&snap.value);
-        Some((snap.value[META_BYTES..].to_vec(), meta.lin.ts))
     }
 
     /// All cached keys (diagnostics / epoch reconciliation).
@@ -294,6 +406,9 @@ impl SymmetricCache {
             return ReadOutcome::Miss;
         }
         let meta = Meta::decode(&snap.value);
+        if meta.frozen {
+            return ReadOutcome::Miss;
+        }
         let readable = match self.model {
             ConsistencyModel::Sc => true,
             ConsistencyModel::Lin => meta.lin.readable(),
@@ -318,6 +433,9 @@ impl SymmetricCache {
         let replicas = self.replicas;
         let result = self.store.modify(key, |hdr, payload| {
             let mut meta = Meta::decode(payload);
+            if meta.frozen {
+                return (hdr, None, (Vec::new(), meta));
+            }
             let actions = meta.step(model, me, replicas, Event::ClientPut { value: tag });
             if actions.contains(&Action::PutStall) {
                 return (hdr, None, (actions, meta));
@@ -327,9 +445,13 @@ impl SymmetricCache {
             new_payload.extend_from_slice(value);
             (hdr, Some(new_payload), (actions, meta))
         });
-        let Some((actions, _meta)) = result else {
+        let Some((actions, meta)) = result else {
             return WriteOutcome::Miss;
         };
+        if meta.frozen {
+            // Mid-eviction: the key is logically uncached already.
+            return WriteOutcome::Miss;
+        }
         if actions.contains(&Action::PutStall) {
             return WriteOutcome::Stall;
         }
@@ -358,13 +480,20 @@ impl SymmetricCache {
         let key = msg.key();
         if !self.store.contains(key) {
             // Symmetric caches hold identical key sets, so this only happens
-            // transiently around epoch changes; the message is simply stale.
-            return DeliverOutcome::default();
+            // transiently around epoch changes; the message is stale — but
+            // invalidations must still be acknowledged, or a writer whose
+            // peers evicted the key mid-round would block forever.
+            return self.deliver_uncached(msg);
         }
         let model = self.model;
         let me = self.me;
         let replicas = self.replicas;
         let event = msg.to_event();
+        // Frozen (warming / mid-eviction) entries step the protocol like
+        // any other: an update that commits while a key transitions must
+        // land in the entry (a warming fill would otherwise go live stale),
+        // and invalidations must keep being acknowledged. Only the
+        // client-facing read/write paths treat frozen entries as missing.
         let result = self.store.modify(key, |hdr, payload| {
             let mut meta = Meta::decode(payload);
             let before_ts = meta.lin.ts;
@@ -389,7 +518,7 @@ impl SymmetricCache {
             (hdr, Some(new_payload), (actions, applied))
         });
         let Some((actions, applied_update)) = result else {
-            return DeliverOutcome::default();
+            return self.deliver_uncached(msg);
         };
         let outgoing = self.actions_to_msgs(key, &actions);
         let committed = actions.iter().find_map(|a| match a {
@@ -406,6 +535,28 @@ impl SymmetricCache {
             committed,
             commit_value,
             applied_update,
+        }
+    }
+
+    /// Handles a protocol message for a key this cache does not hold. A node
+    /// that no longer caches a key cannot serve stale reads of it, so
+    /// acknowledging an invalidation is always safe — and necessary: during
+    /// hot-set churn, replicas drop a key one by one while a writer elsewhere
+    /// may still be collecting acks for it.
+    fn deliver_uncached(&self, msg: &ProtocolMsg) -> DeliverOutcome {
+        match *msg {
+            ProtocolMsg::Invalidation { key, ts, from } => DeliverOutcome {
+                outgoing: vec![(
+                    Destination::To(from),
+                    ProtocolMsg::Ack {
+                        key,
+                        ts,
+                        from: self.me,
+                    },
+                )],
+                ..DeliverOutcome::default()
+            },
+            _ => DeliverOutcome::default(),
         }
     }
 
@@ -623,11 +774,152 @@ mod tests {
         let c = cache(ConsistencyModel::Sc, 0);
         c.fill(5, b"old", 0);
         c.write(5, b"dirty", 1);
-        let (value, ts) = c.evict(5).expect("key was cached");
-        assert_eq!(value, b"dirty");
-        assert_eq!(ts, Timestamp::new(1, NodeId(0)));
+        match c.evict(5) {
+            EvictOutcome::Evicted { value, ts, dirty } => {
+                assert_eq!(value, b"dirty");
+                assert_eq!(ts, Timestamp::new(1, NodeId(0)));
+                assert!(dirty, "written-since-fill entry must be dirty");
+            }
+            other => panic!("expected eviction, got {other:?}"),
+        }
         assert!(!c.contains(5));
-        assert!(c.evict(5).is_none());
+        assert_eq!(c.evict(5), EvictOutcome::NotCached);
+    }
+
+    #[test]
+    fn clean_eviction_carries_no_dirty_bit() {
+        let c = cache(ConsistencyModel::Sc, 0);
+        let ts = Timestamp::new(9, NodeId(2));
+        assert!(c.fill_versioned(5, b"hot", 0, ts));
+        match c.evict(5) {
+            EvictOutcome::Evicted {
+                value,
+                ts: t,
+                dirty,
+            } => {
+                assert_eq!(value, b"hot");
+                assert_eq!(t, ts);
+                assert!(!dirty, "never-written entry must evict clean");
+            }
+            other => panic!("expected eviction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eviction_refuses_while_a_local_write_is_pending() {
+        let c = cache(ConsistencyModel::Lin, 0);
+        c.fill(5, b"old", 0);
+        let ts = match c.write(5, b"new", 1) {
+            WriteOutcome::Pending { ts, .. } => ts,
+            other => panic!("expected pending write, got {other:?}"),
+        };
+        assert_eq!(c.evict(5), EvictOutcome::Pending);
+        assert!(c.contains(5), "a refused eviction must not remove the key");
+        // Once the acks arrive and the write commits, the eviction proceeds
+        // and carries the committed value.
+        for peer in [1u8, 2] {
+            c.deliver(
+                &ProtocolMsg::Ack {
+                    key: 5,
+                    ts,
+                    from: NodeId(peer),
+                },
+                None,
+            );
+        }
+        match c.evict(5) {
+            EvictOutcome::Evicted { value, dirty, .. } => {
+                assert_eq!(value, b"new");
+                assert!(dirty);
+            }
+            other => panic!("expected eviction after commit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn versioned_fill_continues_the_lamport_clock() {
+        let c = cache(ConsistencyModel::Sc, 1);
+        let install = Timestamp::new(41, NodeId(2));
+        assert!(c.fill_versioned(5, b"hot", 0, install));
+        match c.read(5) {
+            ReadOutcome::Hit { ts, .. } => assert_eq!(ts, install),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        match c.write(5, b"new", 7) {
+            WriteOutcome::Completed { ts, .. } => {
+                assert_eq!(ts, Timestamp::new(42, NodeId(1)), "clock continues");
+            }
+            other => panic!("expected completed write, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn warming_entries_miss_clients_but_run_the_protocol() {
+        let c = cache(ConsistencyModel::Lin, 2);
+        assert!(c.fill_warm(5, b"fetched", 0, Timestamp::ZERO));
+        assert!(c.contains(5));
+        // Invisible to clients until activation.
+        assert_eq!(c.read(5), ReadOutcome::Miss);
+        assert_eq!(c.write(5, b"w", 1), WriteOutcome::Miss);
+        // ...but protocol-active: an invalidation is acknowledged and a
+        // committed update lands in the warming entry.
+        let ts = Timestamp::new(1, NodeId(0));
+        let out = c.deliver(
+            &ProtocolMsg::Invalidation {
+                key: 5,
+                ts,
+                from: NodeId(0),
+            },
+            None,
+        );
+        assert!(matches!(
+            out.outgoing[0],
+            (Destination::To(NodeId(0)), ProtocolMsg::Ack { key: 5, .. })
+        ));
+        let out = c.deliver(
+            &ProtocolMsg::Update {
+                key: 5,
+                value: 9,
+                ts,
+                from: NodeId(0),
+            },
+            Some(b"committed"),
+        );
+        assert!(out.applied_update, "update must land while warming");
+        assert_eq!(c.read(5), ReadOutcome::Miss, "still warming");
+        assert!(c.activate(5));
+        // Live, and carrying the value committed during the transition —
+        // not the stale fill.
+        assert!(
+            matches!(c.read(5), ReadOutcome::Hit { value, ts: t } if value == b"committed" && t == ts)
+        );
+        assert!(!c.activate(99), "activation of an absent key reports it");
+    }
+
+    #[test]
+    fn uncached_invalidations_are_acknowledged() {
+        let c = cache(ConsistencyModel::Lin, 2);
+        let ts = Timestamp::new(3, NodeId(0));
+        let out = c.deliver(
+            &ProtocolMsg::Invalidation {
+                key: 99,
+                ts,
+                from: NodeId(0),
+            },
+            None,
+        );
+        assert_eq!(
+            out.outgoing,
+            vec![(
+                Destination::To(NodeId(0)),
+                ProtocolMsg::Ack {
+                    key: 99,
+                    ts,
+                    from: NodeId(2),
+                },
+            )]
+        );
+        assert!(!c.contains(99), "the ack must not resurrect the key");
     }
 
     #[test]
@@ -645,6 +937,7 @@ mod tests {
                     needed: 8,
                 }),
             },
+            frozen: true,
         };
         assert_eq!(Meta::decode(&meta.encode()), meta);
         let empty = Meta::initial(9);

@@ -109,6 +109,20 @@ impl CacheCoordinator {
         if !self.seen.is_multiple_of(self.config.sampling) {
             return None;
         }
+        self.record_sampled(key)
+    }
+
+    /// Observes one request the caller *already sampled* (e.g. with a
+    /// lock-free counter on the serving path, so the `sampling - 1` out of
+    /// `sampling` discarded requests never contend on the tracker's lock).
+    /// `requests_seen` advances by the sampling factor to keep raw-request
+    /// accounting approximately right.
+    pub fn observe_sampled(&mut self, key: u64) -> Option<HotSet> {
+        self.seen += self.config.sampling;
+        self.record_sampled(key)
+    }
+
+    fn record_sampled(&mut self, key: u64) -> Option<HotSet> {
         self.summary.observe(key);
         self.sampled += 1;
         if self.sampled < self.config.epoch_length {
@@ -122,9 +136,13 @@ impl CacheCoordinator {
         self.epoch += 1;
         let keys = self.summary.hot_keys(self.config.cache_entries);
         self.sampled = 0;
-        // Keep the counters across epochs (decayed tracking would also work);
-        // the paper expects the hot set to evolve slowly, "with only a
-        // handful of keys removed/added to the cache every few seconds".
+        // Decay (halve) the counters across epochs rather than keeping or
+        // resetting them: retained counts carry history into the next epoch
+        // (the paper expects the hot set to evolve slowly), while the decay
+        // lets keys whose popularity collapsed fade out within a few epochs
+        // instead of squatting on the cache forever — essential when the
+        // hotspot genuinely moves (hot-set churn).
+        self.summary.decay();
         HotSet {
             epoch: self.epoch,
             keys,

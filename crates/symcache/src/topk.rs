@@ -92,6 +92,20 @@ impl SpaceSaving {
         self.top(k).into_iter().map(|(key, _)| key).collect()
     }
 
+    /// Halves every counter (exponential decay, applied at epoch
+    /// boundaries): keys that stopped being accessed fade out of the top-k
+    /// within a few epochs instead of squatting on their historical counts,
+    /// so the published hot set follows a *moving* hotspot. Entries that
+    /// decay to zero are dropped, freeing counters for newcomers.
+    pub fn decay(&mut self) {
+        self.counters.retain(|_, (count, err)| {
+            *count /= 2;
+            *err /= 2;
+            *count > 0
+        });
+        self.total /= 2;
+    }
+
     /// Clears all counters (used at epoch boundaries).
     pub fn reset(&mut self) {
         self.counters.clear();
@@ -155,6 +169,25 @@ mod tests {
             good >= 80,
             "only {good} of the top-100 reported keys are truly hot"
         );
+    }
+
+    #[test]
+    fn decay_fades_stale_keys_out() {
+        let mut ss = SpaceSaving::new(8);
+        ss.observe_n(1, 100); // old hotspot
+        ss.observe_n(2, 90);
+        ss.decay();
+        assert_eq!(ss.estimate(1), 50);
+        // A new hotspot with comparable per-epoch traffic overtakes the
+        // decayed old one within one epoch.
+        ss.observe_n(3, 80);
+        assert_eq!(ss.hot_keys(1), vec![3]);
+        // Repeated decay without traffic drops entries entirely.
+        for _ in 0..8 {
+            ss.decay();
+        }
+        assert_eq!(ss.estimate(1), 0);
+        assert!(ss.top(8).is_empty());
     }
 
     #[test]

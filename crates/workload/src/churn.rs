@@ -1,0 +1,184 @@
+//! Hot-set churn workloads: a Zipfian hotspot that shifts over time.
+//!
+//! The paper's popularity tracking (§4) assumes the hot set "evolves
+//! slowly", but it must keep the caches correct when it evolves at all.
+//! This module generates the adversarial-but-realistic access pattern for
+//! exercising that machinery: keys are still drawn from a Zipfian
+//! popularity distribution, but the *identity* of the popular keys rotates
+//! every `shift_every` operations — yesterday's viral keys go cold, new
+//! ones take their ranks. Driving an epoch-churning deployment with this
+//! workload forces live installs, evictions and dirty write-backs while
+//! traffic runs.
+
+use crate::keyspace::{Dataset, KeyId};
+use crate::mix::{Mix, Op, OpKind};
+use crate::zipf::ZipfGenerator;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A Zipfian workload whose hotspot rotates through the keyspace.
+///
+/// Phase `p` (operations `[p * shift_every, (p+1) * shift_every)`) maps the
+/// sampled popularity rank `r` to the key of rank
+/// `(r + p * shift_step) mod keys`: the popularity *shape* is constant, the
+/// keys occupying the head change by `shift_step` ranks per phase. With
+/// `shift_step` comfortably larger than the cache size, consecutive phases
+/// have (almost) disjoint hot sets — the worst case for the coordinator.
+#[derive(Debug, Clone)]
+pub struct ShiftingHotspot {
+    dataset: Dataset,
+    zipf: ZipfGenerator,
+    mix: Mix,
+    rng: StdRng,
+    shift_every: u64,
+    shift_step: u64,
+    generated: u64,
+}
+
+impl ShiftingHotspot {
+    /// Creates a shifting-hotspot generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shift_every` is zero (a hotspot must last at least one
+    /// operation).
+    pub fn new(
+        dataset: &Dataset,
+        exponent: f64,
+        mix: Mix,
+        shift_every: u64,
+        shift_step: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(shift_every > 0, "a hotspot phase must span at least one op");
+        Self {
+            dataset: *dataset,
+            zipf: ZipfGenerator::new(dataset.keys, exponent),
+            mix,
+            rng: StdRng::seed_from_u64(seed),
+            shift_every,
+            shift_step,
+            generated: 0,
+        }
+    }
+
+    /// The dataset this generator draws from.
+    pub fn dataset(&self) -> Dataset {
+        self.dataset
+    }
+
+    /// The hotspot phase the *next* operation belongs to.
+    pub fn phase(&self) -> u64 {
+        self.generated / self.shift_every
+    }
+
+    /// Number of operations generated so far.
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    /// The key currently occupying popularity rank `rank` (phase-dependent).
+    pub fn key_of_rank(&self, rank: u64) -> KeyId {
+        let shifted = (rank + self.phase() * self.shift_step) % self.dataset.keys;
+        self.dataset.key_of_rank(shifted)
+    }
+
+    /// Draws the next operation.
+    pub fn next_op(&mut self) -> Op {
+        let rank = self.zipf.sample(&mut self.rng);
+        let key = self.key_of_rank(rank);
+        let kind = if self.rng.gen::<f64>() < self.mix.write_ratio {
+            OpKind::Put
+        } else {
+            OpKind::Get
+        };
+        self.generated += 1;
+        Op {
+            key,
+            kind,
+            rank,
+            value_tag: self.generated,
+        }
+    }
+
+    /// Draws a batch of operations.
+    pub fn batch(&mut self, count: usize) -> Vec<Op> {
+        (0..count).map(|_| self.next_op()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn generator(shift_every: u64, shift_step: u64) -> ShiftingHotspot {
+        ShiftingHotspot::new(
+            &Dataset::new(100_000, 40),
+            0.99,
+            Mix::with_write_ratio(0.05),
+            shift_every,
+            shift_step,
+            7,
+        )
+    }
+
+    #[test]
+    fn phases_advance_with_generation() {
+        let mut gen = generator(100, 1_000);
+        assert_eq!(gen.phase(), 0);
+        gen.batch(100);
+        assert_eq!(gen.phase(), 1);
+        gen.batch(250);
+        assert_eq!(gen.phase(), 3);
+    }
+
+    #[test]
+    fn hotspot_actually_moves_between_phases() {
+        let mut gen = generator(20_000, 5_000);
+        let phase0: HashSet<u64> = gen.batch(20_000).iter().map(|o| o.key.0).collect();
+        assert_eq!(gen.phase(), 1);
+        let head_now: Vec<u64> = (0..100).map(|r| gen.key_of_rank(r).0).collect();
+        // The new phase's hottest keys were (essentially) absent from the
+        // previous phase's traffic: the shift exceeds the sampled head.
+        let overlap = head_now.iter().filter(|k| phase0.contains(k)).count();
+        assert!(
+            overlap < 30,
+            "hotspot did not move: {overlap}/100 head keys already seen"
+        );
+        // Within a phase the head keys dominate the traffic, as with any
+        // Zipfian draw.
+        let phase1: Vec<u64> = gen.batch(20_000).iter().map(|o| o.key.0).collect();
+        let head_set: HashSet<u64> = head_now.into_iter().collect();
+        let head_hits = phase1.iter().filter(|k| head_set.contains(k)).count();
+        assert!(
+            head_hits as f64 / phase1.len() as f64 > 0.3,
+            "phase traffic is not skewed toward the shifted head"
+        );
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_stream() {
+        let a: Vec<Op> = generator(500, 64).batch(2_000);
+        let b: Vec<Op> = generator(500, 64).batch(2_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn write_ratio_is_respected() {
+        let mut gen = generator(1_000, 64);
+        let writes = gen
+            .batch(50_000)
+            .iter()
+            .filter(|o| o.kind == OpKind::Put)
+            .count();
+        let ratio = writes as f64 / 50_000.0;
+        assert!((ratio - 0.05).abs() < 0.01, "observed write ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_phase_length_is_rejected() {
+        let _ = generator(0, 64);
+    }
+}

@@ -13,6 +13,8 @@
 //! * [`client`] — client sessions that load-balance requests over the
 //!   deployment (random or round-robin), as described in §6.
 //! * [`imbalance`] — per-server load statistics under skew (Fig. 1).
+//! * [`churn`] — a shifting-hotspot Zipfian workload for exercising live
+//!   hot-set churn (epoch installs/evictions while traffic runs).
 //!
 //! # Examples
 //!
@@ -30,12 +32,14 @@
 //! assert!(op.key.0 < 100_000);
 //! ```
 
+pub mod churn;
 pub mod client;
 pub mod imbalance;
 pub mod keyspace;
 pub mod mix;
 pub mod zipf;
 
+pub use churn::ShiftingHotspot;
 pub use client::{ClientId, ClientSession, LoadBalancePolicy};
 pub use imbalance::{normalized_server_load, ImbalanceReport};
 pub use keyspace::{Dataset, KeyId, ShardMap};
@@ -44,6 +48,7 @@ pub use zipf::{zipf_cdf, ZipfGenerator};
 
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
+    pub use crate::churn::ShiftingHotspot;
     pub use crate::client::{ClientId, ClientSession, LoadBalancePolicy};
     pub use crate::imbalance::{normalized_server_load, ImbalanceReport};
     pub use crate::keyspace::{Dataset, KeyId, ShardMap};

@@ -1,0 +1,200 @@
+//! Live hot-set churn on a networked ccKVS rack.
+//!
+//! Boots a 3-node rack (per-key Lin over loopback TCP) whose epoch
+//! coordinator tracks popularity *from the request stream it serves* and
+//! reconfigures the hot set of every node over the wire — installs at the
+//! home shard's value+version, evictions with dirty values written back to
+//! their (remote) home shards through the `WriteBack` RPC.
+//!
+//! The workload is adversarial for a cache: a Zipfian hotspot that shifts
+//! through the keyspace every few thousand operations, so yesterday's hot
+//! keys keep going cold while traffic (with writes) never stops. On top of
+//! the coordinator's automatic epoch closes, the driver forces a flip at
+//! every hotspot shift.
+//!
+//! Afterwards it proves the churn was safe:
+//!
+//! * the recorded operation history passes the per-key Lin checker, and
+//! * a final sweep finds no key whose last acknowledged write was lost —
+//!   the dirty-evict write-back path preserved every update.
+//!
+//! Run with: `cargo run --release --example churn_rack`
+
+use scale_out_ccnuma::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cckvs_net::client::{Client, SharedHistory};
+use cckvs_net::rack::{Rack, RackConfig};
+use cckvs_net::LoadBalancePolicy;
+use workload::ShiftingHotspot;
+
+const NODES: usize = 3;
+const SESSIONS: u32 = 4;
+const OPS_PER_SESSION: u64 = 15_000;
+const DATASET_KEYS: u64 = 20_000;
+const VALUE_SIZE: usize = 40;
+const CACHE_CAPACITY: usize = 256;
+const HOT_SET: usize = 192;
+const SHIFT_EVERY: u64 = 5_000;
+const SHIFT_STEP: u64 = 2_000;
+const WRITE_RATIO: f64 = 0.05;
+
+fn main() {
+    println!("=== ccKVS live hot-set churn (per-key Lin over loopback TCP) ===\n");
+
+    let mut cfg = RackConfig::small(ConsistencyModel::Lin, NODES);
+    cfg.cache_capacity = CACHE_CAPACITY;
+    cfg.kvs_capacity = DATASET_KEYS as usize * 2;
+    cfg.value_capacity = VALUE_SIZE;
+    // Epochs close automatically every `epoch_length` sampled requests on
+    // the coordinator's serving path — short enough that the hot set
+    // catches up with a shifted hotspot *mid-phase*, which is where cached
+    // writes (and thus dirty evictions at the next flip) come from.
+    cfg.epochs = Some(EpochConfig {
+        cache_entries: HOT_SET,
+        counter_capacity: HOT_SET * 4,
+        sampling: 4,
+        epoch_length: 800,
+    });
+    let rack = Rack::launch(cfg).expect("launch rack");
+    println!(
+        "rack up: {} nodes, node {} is the epoch coordinator (hot set {HOT_SET} keys)",
+        rack.nodes(),
+        cckvs_net::COORDINATOR_NODE
+    );
+
+    let dataset = Dataset::new(DATASET_KEYS, VALUE_SIZE);
+    let history = Arc::new(SharedHistory::new());
+    let ops_done = Arc::new(AtomicU64::new(0));
+    let addrs = rack.client_addrs();
+    let started = Instant::now();
+
+    let handles: Vec<_> = (0..SESSIONS)
+        .map(|session| {
+            let addrs = addrs.clone();
+            let history = Arc::clone(&history);
+            let ops_done = Arc::clone(&ops_done);
+            let mut gen = ShiftingHotspot::new(
+                &dataset,
+                0.99,
+                Mix::with_write_ratio(WRITE_RATIO),
+                SHIFT_EVERY,
+                SHIFT_STEP,
+                0xACE ^ u64::from(session),
+            );
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addrs, session, LoadBalancePolicy::RoundRobin)
+                    .expect("connect")
+                    .with_history(history);
+                // Write-partition the keyspace across sessions so "the last
+                // acknowledged write" of a key is well defined for the final
+                // sweep; reads go everywhere.
+                let mut last_written: HashMap<u64, Vec<u8>> = HashMap::new();
+                for _ in 0..OPS_PER_SESSION {
+                    let op = gen.next_op();
+                    let owned = op.key.0 % u64::from(SESSIONS) == u64::from(session);
+                    match op.kind {
+                        OpKind::Put if owned => {
+                            let value = op.value_bytes(session, VALUE_SIZE);
+                            client.put(op.key.0, &value).expect("put");
+                            last_written.insert(op.key.0, value);
+                        }
+                        _ => {
+                            client.get(op.key.0).expect("get");
+                        }
+                    }
+                    ops_done.fetch_add(1, Ordering::Relaxed);
+                }
+                last_written
+            })
+        })
+        .collect();
+
+    // Force an epoch flip at every hotspot shift, on top of the
+    // coordinator's automatic closes.
+    let total = u64::from(SESSIONS) * OPS_PER_SESSION;
+    let shifts = total / (SHIFT_EVERY * u64::from(SESSIONS));
+    for shift in 1..=shifts {
+        let threshold = shift * SHIFT_EVERY * u64::from(SESSIONS);
+        while ops_done.load(Ordering::Relaxed) < threshold.min(total - 1) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let flip = rack.flip_epoch().expect("flip epoch");
+        println!(
+            "epoch {:>2} closed under live traffic: +{} installed, -{} evicted",
+            flip.epoch, flip.installed, flip.evicted
+        );
+    }
+
+    let mut expected: HashMap<u64, Vec<u8>> = HashMap::new();
+    for handle in handles {
+        expected.extend(handle.join().expect("session thread"));
+    }
+    let elapsed = started.elapsed();
+    println!(
+        "\nserved {total} ops in {:.3}s ({:.0} ops/s) across {} hotspot shifts",
+        elapsed.as_secs_f64(),
+        total as f64 / elapsed.as_secs_f64(),
+        shifts,
+    );
+
+    // Churn activity, straight from the per-node Prometheus registries.
+    let mut installs = 0;
+    let mut evictions = 0;
+    let mut writebacks = 0;
+    let mut epoch = 0;
+    for n in 0..rack.nodes() {
+        let snap = rack.server(n).metrics().snapshot();
+        installs += snap.installs;
+        evictions += snap.evictions;
+        writebacks += snap.writebacks;
+        epoch = epoch.max(snap.epoch);
+    }
+    println!(
+        "churn: {epoch} epochs | {installs} installs | {evictions} evictions | \
+         {writebacks} dirty write-backs"
+    );
+    assert!(epoch >= 3, "expected >= 3 epoch flips, saw {epoch}");
+    assert!(evictions > 0, "the hot set never churned");
+    assert!(writebacks > 0, "no dirty eviction ever wrote back");
+
+    // Consistency across every flip.
+    let history = history.snapshot();
+    println!(
+        "\nchecking {} recorded operations against per-key Lin...",
+        history.len()
+    );
+    history
+        .check_per_key_sc()
+        .unwrap_or_else(|v| panic!("per-key SC violated under churn: {v}"));
+    history
+        .check_per_key_lin()
+        .unwrap_or_else(|v| panic!("per-key Lin violated under churn: {v}"));
+    println!("per-key SC: OK\nper-key Lin: OK");
+
+    // Zero lost updates: sweep every written key.
+    let mut sweeper =
+        Client::connect(&addrs, SESSIONS + 1, LoadBalancePolicy::RoundRobin).expect("connect");
+    let mut lost = 0;
+    for (&key, value) in &expected {
+        if &sweeper.get(key).expect("sweep get") != value {
+            lost += 1;
+        }
+    }
+    assert_eq!(
+        lost,
+        0,
+        "{lost}/{} keys lost their last acknowledged write",
+        expected.len()
+    );
+    println!(
+        "final sweep over {} written keys: zero lost updates",
+        expected.len()
+    );
+
+    rack.shutdown();
+    println!("\nrack shut down cleanly");
+}
