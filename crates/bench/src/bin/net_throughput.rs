@@ -1,0 +1,368 @@
+//! `net_throughput` — networked rack throughput/latency sweep over wire
+//! batching (batch size × write ratio × SC/Lin), the project's first
+//! recorded networked perf trajectory point.
+//!
+//! Boots a fresh loopback rack per configuration, drives a Zipf-0.99
+//! read/write mix through load-balanced client sessions (unbatched, or
+//! coalesced with [`cckvs_net::BatchConfig`]), and emits machine-readable
+//! JSON (`BENCH_net.json` at the repo root by default) with one point per
+//! configuration plus batched-vs-unbatched speedups per (model, write
+//! ratio) group. Lin points record a checked history, so the perf number
+//! and the correctness verdict for the batched path come from the same run.
+//!
+//! ```text
+//! cargo run --release -p cckvs-bench --bin net_throughput              # full sweep
+//! cargo run --release -p cckvs-bench --bin net_throughput -- \
+//!     --quick --gate 1.1                                               # CI mode
+//! ```
+//!
+//! `--gate F` exits non-zero if, for any (model, write-ratio) group, the
+//! best batched throughput falls below `F ×` the unbatched configuration —
+//! the CI perf floor protecting the coalescing win.
+
+use cckvs_net::client::{BatchConfig, Client, SharedHistory};
+use cckvs_net::metrics::Metrics;
+use cckvs_net::rack::{Rack, RackConfig};
+use cckvs_net::LoadBalancePolicy;
+use consistency::messages::ConsistencyModel;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+use workload::{AccessDistribution, Dataset, Mix, OpKind, WorkloadGen};
+
+const NODES: usize = 3;
+const SESSIONS: u32 = 4;
+const DATASET_KEYS: u64 = 100_000;
+const HOT_KEYS: usize = 256;
+const VALUE_SIZE: usize = 40;
+
+struct Args {
+    quick: bool,
+    out: String,
+    gate: Option<f64>,
+    ops: Option<u64>,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: net_throughput [--quick] [--out PATH] [--gate MIN_SPEEDUP] [--ops N]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        out: "BENCH_net.json".to_string(),
+        gate: None,
+        ops: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--quick" => args.quick = true,
+            "--out" => args.out = value("--out"),
+            "--gate" => args.gate = Some(value("--gate").parse().unwrap_or_else(|_| usage())),
+            "--ops" => args.ops = Some(value("--ops").parse().unwrap_or_else(|_| usage())),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+/// One swept configuration.
+#[derive(Clone, Copy)]
+struct Config {
+    model: ConsistencyModel,
+    write_ratio: f64,
+    /// 1 = unbatched (one frame per op on the wire).
+    batch_ops: usize,
+}
+
+/// One measured point.
+struct Point {
+    cfg: Config,
+    ops: u64,
+    secs: f64,
+    ops_per_sec: f64,
+    hit_rate: f64,
+    p50_us: f64,
+    p99_us: f64,
+    /// Client-side coalesced batches sent (0 for the unbatched config).
+    batches: u64,
+    /// Per-key Lin checker verdict for Lin points (`None` for SC).
+    lin_ok: Option<bool>,
+}
+
+fn model_name(model: ConsistencyModel) -> &'static str {
+    match model {
+        ConsistencyModel::Sc => "sc",
+        ConsistencyModel::Lin => "lin",
+    }
+}
+
+fn run_point(cfg: Config, total_ops: u64) -> Point {
+    let mut rack_cfg = RackConfig::small(cfg.model, NODES);
+    rack_cfg.cache_capacity = HOT_KEYS;
+    rack_cfg.metrics = false;
+    let rack = Rack::launch(rack_cfg).expect("launch rack");
+    let dataset = Dataset::new(DATASET_KEYS, VALUE_SIZE);
+    rack.install_hot_set(&dataset.hot_entries(HOT_KEYS))
+        .expect("install hot set");
+
+    // Lin is a real-time guarantee: record the batched history and check
+    // it, so every Lin throughput number in the JSON is from a run whose
+    // consistency was verified.
+    let history = (cfg.model == ConsistencyModel::Lin).then(|| Arc::new(SharedHistory::new()));
+    let metrics = Arc::new(Metrics::new());
+    let addrs = rack.client_addrs();
+    let ops_per_session = total_ops / u64::from(SESSIONS);
+    let started = Instant::now();
+    let handles: Vec<_> = (0..SESSIONS)
+        .map(|session| {
+            let addrs = addrs.clone();
+            let history = history.clone();
+            let metrics = Arc::clone(&metrics);
+            let mut gen = WorkloadGen::new(
+                &dataset,
+                AccessDistribution::Zipfian { exponent: 0.99 },
+                Mix::with_write_ratio(cfg.write_ratio),
+                0xBE4C_0000 ^ u64::from(session),
+            );
+            let batch_ops = cfg.batch_ops;
+            let model = cfg.model;
+            std::thread::spawn(move || {
+                // SC sessions stay sticky (per-session guarantee); Lin
+                // sessions spread. Batched sessions balance at batch
+                // granularity — the whole batch goes to one node.
+                let policy = match model {
+                    ConsistencyModel::Sc => {
+                        LoadBalancePolicy::Pinned(session as usize % addrs.len())
+                    }
+                    ConsistencyModel::Lin => LoadBalancePolicy::RoundRobin,
+                };
+                let mut client = Client::connect(&addrs, session, policy)
+                    .expect("connect session")
+                    .with_metrics(metrics)
+                    .with_batching(BatchConfig {
+                        max_ops: batch_ops,
+                        ..BatchConfig::default()
+                    });
+                if let Some(history) = history {
+                    client = client.with_history(history);
+                }
+                for _ in 0..ops_per_session {
+                    let op = gen.next_op();
+                    let result = if batch_ops > 1 {
+                        // Coalesced path: the queue flushes itself at the
+                        // batch bound (the doorbell).
+                        match op.kind {
+                            OpKind::Get => client.queue_get(op.key.0),
+                            OpKind::Put => {
+                                client.queue_put(op.key.0, &op.value_bytes(session, VALUE_SIZE))
+                            }
+                        }
+                    } else {
+                        match op.kind {
+                            OpKind::Get => client.get(op.key.0).map(|_| ()),
+                            OpKind::Put => client
+                                .put(op.key.0, &op.value_bytes(session, VALUE_SIZE))
+                                .map(|_| ()),
+                        }
+                    };
+                    result.expect("op failed");
+                    // Drain outcomes at batch boundaries (no wire traffic)
+                    // so the session holds O(batch), not O(run), of them.
+                    if batch_ops > 1 && client.queued() == 0 {
+                        client.flush().expect("drain outcomes");
+                    }
+                }
+                client.flush().expect("final flush");
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("session thread");
+    }
+    let secs = started.elapsed().as_secs_f64();
+
+    let lin_ok = history.map(|history| {
+        let history = history.snapshot();
+        history.check_per_key_sc().is_ok() && history.check_per_key_lin().is_ok()
+    });
+    rack.shutdown();
+
+    let snap = metrics.snapshot();
+    let ops = snap.gets + snap.puts;
+    Point {
+        cfg,
+        ops,
+        secs,
+        ops_per_sec: ops as f64 / secs,
+        hit_rate: snap.hit_rate(),
+        p50_us: snap.latency_p50_ns as f64 / 1_000.0,
+        p99_us: snap.latency_p99_ns as f64 / 1_000.0,
+        batches: snap.batches,
+        lin_ok,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let (models, write_ratios, batch_sizes): (Vec<_>, Vec<f64>, Vec<usize>) = if args.quick {
+        (vec![ConsistencyModel::Lin], vec![0.05], vec![1, 16, 32])
+    } else {
+        (
+            vec![ConsistencyModel::Sc, ConsistencyModel::Lin],
+            vec![0.05, 0.20],
+            vec![1, 8, 32],
+        )
+    };
+    let total_ops = args.ops.unwrap_or(if args.quick { 40_000 } else { 80_000 });
+
+    let mut points = Vec::new();
+    for &model in &models {
+        for &write_ratio in &write_ratios {
+            for &batch_ops in &batch_sizes {
+                let cfg = Config {
+                    model,
+                    write_ratio,
+                    batch_ops,
+                };
+                let point = run_point(cfg, total_ops);
+                eprintln!(
+                    "net_throughput: {}/wr{:.2}/batch{:<3} {:>8.0} ops/s | hit {:>5.1}% | \
+                     p50 {:>7.1}µs p99 {:>8.1}µs{}",
+                    model_name(model),
+                    write_ratio,
+                    batch_ops,
+                    point.ops_per_sec,
+                    point.hit_rate * 100.0,
+                    point.p50_us,
+                    point.p99_us,
+                    match point.lin_ok {
+                        Some(true) => " | lin OK",
+                        Some(false) => " | lin VIOLATED",
+                        None => "",
+                    }
+                );
+                points.push(point);
+            }
+        }
+    }
+
+    if let Some(bad) = points.iter().find(|p| p.lin_ok == Some(false)) {
+        eprintln!(
+            "net_throughput: per-key Lin VIOLATED at {}/wr{:.2}/batch{}",
+            model_name(bad.cfg.model),
+            bad.cfg.write_ratio,
+            bad.cfg.batch_ops
+        );
+        std::process::exit(1);
+    }
+
+    // Per (model, write-ratio) group: best batched throughput over the
+    // unbatched configuration.
+    let mut speedups = Vec::new();
+    for &model in &models {
+        for &write_ratio in &write_ratios {
+            let group: Vec<&Point> = points
+                .iter()
+                .filter(|p| p.cfg.model == model && p.cfg.write_ratio == write_ratio)
+                .collect();
+            let unbatched = group.iter().find(|p| p.cfg.batch_ops == 1);
+            let batched = group
+                .iter()
+                .filter(|p| p.cfg.batch_ops > 1)
+                .max_by(|a, b| a.ops_per_sec.total_cmp(&b.ops_per_sec));
+            if let (Some(unbatched), Some(batched)) = (unbatched, batched) {
+                speedups.push((
+                    model,
+                    write_ratio,
+                    batched.cfg.batch_ops,
+                    batched.ops_per_sec,
+                    unbatched.ops_per_sec,
+                    batched.ops_per_sec / unbatched.ops_per_sec,
+                ));
+            }
+        }
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"net_throughput\",");
+    let _ = writeln!(
+        json,
+        "  \"nodes\": {NODES},\n  \"sessions\": {SESSIONS},\n  \"dataset_keys\": {DATASET_KEYS},\n  \"hot_keys\": {HOT_KEYS},\n  \"quick\": {},",
+        args.quick
+    );
+    let _ = writeln!(json, "  \"points\": [");
+    for (i, p) in points.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"model\": \"{}\", \"write_ratio\": {}, \"batch_ops\": {}, \"ops\": {}, \
+             \"secs\": {:.3}, \"ops_per_sec\": {:.0}, \"hit_rate\": {:.4}, \"p50_us\": {:.1}, \
+             \"p99_us\": {:.1}, \"batches\": {}{}}}{}",
+            model_name(p.cfg.model),
+            p.cfg.write_ratio,
+            p.cfg.batch_ops,
+            p.ops,
+            p.secs,
+            p.ops_per_sec,
+            p.hit_rate,
+            p.p50_us,
+            p.p99_us,
+            p.batches,
+            match p.lin_ok {
+                Some(ok) => format!(", \"lin_ok\": {ok}"),
+                None => String::new(),
+            },
+            if i + 1 < points.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"speedups\": [");
+    for (i, (model, wr, batch, batched, unbatched, speedup)) in speedups.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"model\": \"{}\", \"write_ratio\": {}, \"best_batch_ops\": {}, \
+             \"batched_ops_per_sec\": {:.0}, \"unbatched_ops_per_sec\": {:.0}, \
+             \"speedup\": {:.3}}}{}",
+            model_name(*model),
+            wr,
+            batch,
+            batched,
+            unbatched,
+            speedup,
+            if i + 1 < speedups.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&args.out, &json).expect("write BENCH json");
+    eprintln!("net_throughput: wrote {}", args.out);
+    print!("{json}");
+
+    if let Some(gate) = args.gate {
+        let worst = speedups
+            .iter()
+            .map(|s| s.5)
+            .min_by(f64::total_cmp)
+            .unwrap_or(0.0);
+        if worst < gate {
+            eprintln!(
+                "net_throughput: GATE FAILED: worst batched/unbatched speedup {worst:.3} < {gate}"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("net_throughput: gate passed (worst speedup {worst:.3} >= {gate})");
+    }
+}

@@ -12,7 +12,7 @@
 //!     --model lin --install-hot 256
 //! ```
 
-use cckvs_net::client::{install_hot_set, Client, SharedHistory};
+use cckvs_net::client::{install_hot_set, BatchConfig, Client, SharedHistory};
 use cckvs_net::metrics::Metrics;
 use cckvs_net::LoadBalancePolicy;
 use consistency::messages::ConsistencyModel;
@@ -31,7 +31,9 @@ struct Args {
     value_size: usize,
     model: ConsistencyModel,
     install_hot: usize,
+    batch: usize,
     check: bool,
+    json: bool,
     shutdown: bool,
 }
 
@@ -39,7 +41,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: cckvs-loadgen --servers A,B,... [--ops N] [--sessions N] \
          [--zipf THETA|uniform] [--write-ratio F] [--keys N] [--value-size B] \
-         [--model sc|lin] [--install-hot N] [--no-check] [--shutdown]"
+         [--model sc|lin] [--install-hot N] [--batch N] [--no-check] [--json] \
+         [--shutdown]"
     );
     std::process::exit(2);
 }
@@ -55,7 +58,9 @@ fn parse_args() -> Args {
         value_size: 40,
         model: ConsistencyModel::Lin,
         install_hot: 256,
+        batch: 1,
         check: true,
+        json: false,
         shutdown: false,
     };
     let mut it = std::env::args().skip(1);
@@ -100,7 +105,9 @@ fn parse_args() -> Args {
             "--install-hot" => {
                 args.install_hot = value("--install-hot").parse().unwrap_or_else(|_| usage())
             }
+            "--batch" => args.batch = value("--batch").parse().unwrap_or_else(|_| usage()),
             "--no-check" => args.check = false,
+            "--json" => args.json = true,
             "--shutdown" => args.shutdown = true,
             "--help" | "-h" => usage(),
             other => {
@@ -111,6 +118,10 @@ fn parse_args() -> Args {
     }
     if args.servers.is_empty() {
         eprintln!("--servers is required");
+        usage();
+    }
+    if args.batch == 0 {
+        eprintln!("--batch must be at least 1 (1 = unbatched)");
         usage();
     }
     assert!(args.value_size >= 8, "value size must hold the 8-byte tag");
@@ -165,9 +176,7 @@ fn main() {
         );
     }
     if install_hot > 0 {
-        let entries: Vec<(u64, Vec<u8>)> = (0..install_hot as u64)
-            .map(|rank| (dataset.key_of_rank(rank).0, vec![0u8; args.value_size]))
-            .collect();
+        let entries = dataset.hot_entries(install_hot);
         if let Err(e) = install_hot_set(&args.servers, &entries) {
             eprintln!("cckvs-loadgen: hot-set install failed: {e}");
             std::process::exit(1);
@@ -189,6 +198,7 @@ fn main() {
             let metrics = Arc::clone(&metrics);
             let model = args.model;
             let value_size = args.value_size;
+            let batch = args.batch;
             let mut gen = WorkloadGen::new(
                 &dataset,
                 distribution,
@@ -206,17 +216,33 @@ fn main() {
                 };
                 let mut client = Client::connect(&servers, session, policy)
                     .expect("connect client session")
-                    .with_metrics(metrics);
+                    .with_metrics(metrics)
+                    .with_batching(BatchConfig {
+                        max_ops: batch,
+                        ..BatchConfig::default()
+                    });
                 if let Some(history) = history {
                     client = client.with_history(history);
                 }
                 for _ in 0..ops_per_session {
                     let op = gen.next_op();
-                    let result = match op.kind {
-                        OpKind::Get => client.get(op.key.0).map(|_| ()),
-                        OpKind::Put => client
-                            .put(op.key.0, &op.value_bytes(session, value_size))
-                            .map(|_| ()),
+                    // Batched sessions coalesce requests on the wire (the
+                    // queue flushes itself at the --batch bound); batch=1
+                    // is the classic one-frame-per-op path.
+                    let result = if batch > 1 {
+                        match op.kind {
+                            OpKind::Get => client.queue_get(op.key.0),
+                            OpKind::Put => {
+                                client.queue_put(op.key.0, &op.value_bytes(session, value_size))
+                            }
+                        }
+                    } else {
+                        match op.kind {
+                            OpKind::Get => client.get(op.key.0).map(|_| ()),
+                            OpKind::Put => client
+                                .put(op.key.0, &op.value_bytes(session, value_size))
+                                .map(|_| ()),
+                        }
                     };
                     if let Err(e) = result {
                         eprintln!(
@@ -225,6 +251,20 @@ fn main() {
                         );
                         std::process::exit(1);
                     }
+                    // Drain completed outcomes at every batch boundary
+                    // (no wire traffic: the queue is empty right after a
+                    // doorbell flush) — otherwise a long run retains one
+                    // outcome per op for its whole duration.
+                    if batch > 1 && client.queued() == 0 {
+                        if let Err(e) = client.flush() {
+                            eprintln!("cckvs-loadgen: session {session}: flush failed: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+                if let Err(e) = client.flush() {
+                    eprintln!("cckvs-loadgen: session {session}: final flush failed: {e}");
+                    std::process::exit(1);
                 }
             })
         })
@@ -236,44 +276,89 @@ fn main() {
 
     let snap = metrics.snapshot();
     let total_ops = snap.gets + snap.puts;
-    println!(
+    let secs = elapsed.as_secs_f64();
+    // Human-readable report: stdout normally, stderr under --json (stdout
+    // then carries exactly one machine-readable object).
+    let report = |line: String| {
+        if args.json {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
+    report(format!(
         "cckvs-loadgen: {} ops in {:.3}s ({:.0} ops/s)",
         total_ops,
-        elapsed.as_secs_f64(),
-        total_ops as f64 / elapsed.as_secs_f64()
-    );
-    println!(
-        "  gets {} | puts {} | hit rate {:.2}% | p50 {:.1}µs | p99 {:.1}µs",
+        secs,
+        total_ops as f64 / secs
+    ));
+    report(format!(
+        "  gets {} | puts {} | hit rate {:.2}% | p50 {:.1}µs | p99 {:.1}µs{}",
         snap.gets,
         snap.puts,
         snap.hit_rate() * 100.0,
         snap.latency_p50_ns as f64 / 1_000.0,
-        snap.latency_p99_ns as f64 / 1_000.0
-    );
+        snap.latency_p99_ns as f64 / 1_000.0,
+        if args.batch > 1 {
+            format!(" | {} wire batches", snap.batches)
+        } else {
+            String::new()
+        }
+    ));
 
+    let mut per_key_sc = None;
+    let mut per_key_lin = None;
     if let Some(history) = history {
         let history = history.snapshot();
-        println!("  recorded {} cached-key ops", history.len());
+        report(format!("  recorded {} cached-key ops", history.len()));
         // The history checks are sound only when this run observed every
         // write to the cached keys — i.e. against a freshly booted rack.
         // Reads of values written by an earlier run look like violations.
         let warm_rack_hint = "note: checking assumes a fresh rack (all writes observed); \
              re-running against a warm deployment reports false violations — use --no-check there";
         match history.check_per_key_sc() {
-            Ok(()) => println!("  per-key SC: OK"),
+            Ok(()) => {
+                per_key_sc = Some(true);
+                report("  per-key SC: OK".to_string());
+            }
             Err(v) => {
-                println!("  per-key SC: VIOLATED: {v}\n  {warm_rack_hint}");
+                eprintln!("  per-key SC: VIOLATED: {v}\n  {warm_rack_hint}");
                 std::process::exit(1);
             }
         }
         if args.model == ConsistencyModel::Lin {
             match history.check_per_key_lin() {
-                Ok(()) => println!("  per-key Lin: OK"),
+                Ok(()) => {
+                    per_key_lin = Some(true);
+                    report("  per-key Lin: OK".to_string());
+                }
                 Err(v) => {
-                    println!("  per-key Lin: VIOLATED: {v}\n  {warm_rack_hint}");
+                    eprintln!("  per-key Lin: VIOLATED: {v}\n  {warm_rack_hint}");
                     std::process::exit(1);
                 }
             }
         }
+    }
+
+    if args.json {
+        let mut extra = String::new();
+        if let Some(ok) = per_key_sc {
+            extra.push_str(&format!(", \"per_key_sc\": {ok}"));
+        }
+        if let Some(ok) = per_key_lin {
+            extra.push_str(&format!(", \"per_key_lin\": {ok}"));
+        }
+        println!(
+            "{{\"ops\": {}, \"secs\": {:.3}, \"ops_per_sec\": {:.0}, \"hit_rate\": {:.4}, \
+             \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"batch\": {}{}}}",
+            total_ops,
+            secs,
+            total_ops as f64 / secs,
+            snap.hit_rate(),
+            snap.latency_p50_ns as f64 / 1_000.0,
+            snap.latency_p99_ns as f64 / 1_000.0,
+            args.batch,
+            extra
+        );
     }
 }

@@ -150,6 +150,7 @@ fn main() {
         listen: args.listen,
         metrics_listen: args.metrics,
         epochs: args.epoch_hot_set.map(EpochConfig::for_cache),
+        flow: cckvs_net::server::FlowConfig::default(),
     };
     let mut server = match NodeServer::start(cfg) {
         Ok(server) => server,

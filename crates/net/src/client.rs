@@ -99,6 +99,83 @@ impl Conn {
         write_frame(&mut self.writer, frame)?;
         self.writer.flush()
     }
+
+    /// Sends a coalesced request batch and awaits the matching response
+    /// batch: the server answers request `k` at position `k`. A top-level
+    /// [`Frame::Error`] (or a count mismatch) is a connection-level fault.
+    fn call_batch(&mut self, frames: Vec<Frame>) -> io::Result<Vec<Frame>> {
+        let sent = frames.len();
+        write_frame(&mut self.writer, &Frame::Batch { frames })?;
+        self.writer.flush()?;
+        match read_frame(&mut self.reader)? {
+            Some(Frame::Batch { frames }) if frames.len() == sent => Ok(frames),
+            Some(Frame::Batch { frames }) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("batch of {sent} answered with {} responses", frames.len()),
+            )),
+            Some(Frame::Error { message }) => {
+                Err(io::Error::new(io::ErrorKind::InvalidInput, message))
+            }
+            Some(other) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response to batch: {other:?}"),
+            )),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed",
+            )),
+        }
+    }
+}
+
+/// Client-side request-coalescing knobs (§6.3: requests travel the wire in
+/// MTU-sized batches). The queue flushes — the *doorbell* — as soon as
+/// either bound is reached, or when [`Client::flush`] is called.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Maximum operations per batch.
+    pub max_ops: usize,
+    /// Maximum payload bytes queued before the batch is forced out.
+    pub max_bytes: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self {
+            max_ops: 16,
+            max_bytes: 16 * 1024,
+        }
+    }
+}
+
+/// The completion of one queued operation, in queue order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchOutcome {
+    /// A queued [`Client::queue_get`] completed.
+    Get {
+        /// The value read (empty if never written).
+        value: Vec<u8>,
+        /// Whether the symmetric cache served it.
+        cached: bool,
+    },
+    /// A queued [`Client::queue_put`] completed.
+    Put {
+        /// Whether the write went through the symmetric cache.
+        cached: bool,
+        /// Timestamp of the write ([`Timestamp::ZERO`] only for cold
+        /// writes against a node that predates versioned cold puts).
+        ts: Timestamp,
+    },
+}
+
+/// One operation waiting in the client's batch queue.
+struct QueuedOp {
+    request: Frame,
+    key: u64,
+    /// `Some(tag)` for puts (the tag of the value written), `None` for gets.
+    put_tag: Option<u64>,
+    invoked_at: Option<u64>,
+    started: Instant,
 }
 
 /// A client session talking to every node of a deployment.
@@ -111,6 +188,10 @@ pub struct Client {
     session_seq: u64,
     history: Option<Arc<SharedHistory>>,
     metrics: Option<Arc<Metrics>>,
+    batching: BatchConfig,
+    queue: Vec<QueuedOp>,
+    queue_bytes: usize,
+    outcomes: Vec<BatchOutcome>,
 }
 
 impl Client {
@@ -141,7 +222,27 @@ impl Client {
             session_seq: 0,
             history: None,
             metrics: None,
+            batching: BatchConfig::default(),
+            queue: Vec::new(),
+            queue_bytes: 0,
+            outcomes: Vec::new(),
         })
+    }
+
+    /// Sets the request-coalescing knobs used by [`Client::queue_get`] /
+    /// [`Client::queue_put`] (the plain [`Client::get`] / [`Client::put`]
+    /// calls stay one-frame-per-op).
+    pub fn with_batching(mut self, batching: BatchConfig) -> Self {
+        assert!(batching.max_ops >= 1, "batches need at least one op");
+        // The doorbell fires *at* the bound, so a batch can exceed
+        // max_bytes by one op's payload; half the frame limit leaves that
+        // overshoot no way to assemble a frame the server would reject.
+        assert!(
+            batching.max_bytes <= crate::wire::MAX_FRAME_BYTES / 2,
+            "max_bytes must stay below half the wire frame limit"
+        );
+        self.batching = batching;
+        self
     }
 
     /// Records cached-key operations into `history` (for the checkers).
@@ -180,6 +281,10 @@ impl Client {
 
     /// Reads `key`, load-balancing across the deployment.
     pub fn get(&mut self, key: u64) -> io::Result<Vec<u8>> {
+        // Drain any queued-but-unsent batch first: jumping past it would
+        // execute this op before earlier queued ones and silently invert
+        // session program order (which per-key SC relies on).
+        self.flush_queue()?;
         let node = self.pick();
         let invoked_at = self.history.as_ref().map(|h| h.now());
         let started = Instant::now();
@@ -196,22 +301,14 @@ impl Client {
             metrics.record_latency_ns(started.elapsed().as_nanos() as u64);
         }
         if cached {
-            if let Some(history) = &self.history {
-                let completed_at = history.now();
-                let seq = self.session_seq;
-                self.session_seq += 1;
-                history.record(OpRecord {
-                    session: self.session,
-                    key,
-                    kind: RecordKind::Get {
-                        value: value_tag_of(&value),
-                    },
-                    ts,
-                    invoked_at: invoked_at.expect("taken above"),
-                    completed_at,
-                    session_seq: seq,
-                });
-            }
+            self.record_history(
+                key,
+                RecordKind::Get {
+                    value: value_tag_of(&value),
+                },
+                ts,
+                invoked_at,
+            );
         }
         Ok(value)
     }
@@ -219,6 +316,8 @@ impl Client {
     /// Writes `value` under `key`, load-balancing across the deployment.
     /// Returns the protocol timestamp for cache-path writes.
     pub fn put(&mut self, key: u64, value: &[u8]) -> io::Result<Option<Timestamp>> {
+        // Preserve session program order past any queued batch (see get).
+        self.flush_queue()?;
         let node = self.pick();
         let invoked_at = self.history.as_ref().map(|h| h.now());
         let started = Instant::now();
@@ -244,24 +343,196 @@ impl Client {
         // cached get may then legitimately return a timestamp only a cold
         // put produced.
         if ts != Timestamp::ZERO {
-            if let Some(history) = &self.history {
-                let completed_at = history.now();
-                let seq = self.session_seq;
-                self.session_seq += 1;
-                history.record(OpRecord {
-                    session: self.session,
-                    key,
-                    kind: RecordKind::Put {
-                        value: value_tag_of(value),
-                    },
-                    ts,
-                    invoked_at: invoked_at.expect("taken above"),
-                    completed_at,
-                    session_seq: seq,
-                });
-            }
+            self.record_history(
+                key,
+                RecordKind::Put {
+                    value: value_tag_of(value),
+                },
+                ts,
+                invoked_at,
+            );
         }
         Ok(cached.then_some(ts))
+    }
+
+    /// Queues a read for the next coalesced batch. The batch flushes by
+    /// itself once a [`BatchConfig`] bound is reached; call
+    /// [`Client::flush`] to force it out and collect outcomes.
+    pub fn queue_get(&mut self, key: u64) -> io::Result<()> {
+        let invoked_at = self.history.as_ref().map(|h| h.now());
+        self.queue_bytes += 16;
+        self.queue.push(QueuedOp {
+            request: Frame::Get { key },
+            key,
+            put_tag: None,
+            invoked_at,
+            started: Instant::now(),
+        });
+        self.maybe_flush()
+    }
+
+    /// Queues a write for the next coalesced batch.
+    pub fn queue_put(&mut self, key: u64, value: &[u8]) -> io::Result<()> {
+        let invoked_at = self.history.as_ref().map(|h| h.now());
+        self.queue_bytes += 16 + value.len();
+        self.queue.push(QueuedOp {
+            request: Frame::Put {
+                key,
+                value: value.to_vec(),
+            },
+            key,
+            put_tag: Some(value_tag_of(value)),
+            invoked_at,
+            started: Instant::now(),
+        });
+        self.maybe_flush()
+    }
+
+    /// Number of operations currently queued and unflushed.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Flushes any queued operations and returns the outcome of every
+    /// operation queued since the last `flush`, in queue order (including
+    /// those sent by automatic doorbell flushes in between).
+    ///
+    /// A server-side per-operation failure surfaces as an `io::Error` and
+    /// discards ALL accumulated outcomes — those of ops behind the failure
+    /// in the same batch and those of earlier flushes alike — so the next
+    /// `flush` never returns outcomes that belong to a previous round.
+    pub fn flush(&mut self) -> io::Result<Vec<BatchOutcome>> {
+        self.flush_queue()?;
+        Ok(std::mem::take(&mut self.outcomes))
+    }
+
+    fn maybe_flush(&mut self) -> io::Result<()> {
+        if self.queue.len() >= self.batching.max_ops || self.queue_bytes >= self.batching.max_bytes
+        {
+            self.flush_queue()?;
+        }
+        Ok(())
+    }
+
+    /// Ships the queued batch to ONE node (picked by the balancing policy,
+    /// so a whole batch — not each op — is the balancing unit; program
+    /// order within the session is preserved, which the per-key SC
+    /// session-order guarantee relies on) and processes the responses.
+    fn flush_queue(&mut self) -> io::Result<()> {
+        if self.queue.is_empty() {
+            return Ok(());
+        }
+        let result = self.flush_queue_inner();
+        if result.is_err() {
+            // The op↔outcome correspondence is broken (ops ahead of the
+            // failure completed, ops behind it were discarded): holding
+            // the stale outcomes would hand them to the NEXT flush, where
+            // positional matching misattributes them to fresh ops.
+            self.outcomes.clear();
+        }
+        result
+    }
+
+    fn flush_queue_inner(&mut self) -> io::Result<()> {
+        let node = self.pick();
+        let ops = std::mem::take(&mut self.queue);
+        self.queue_bytes = 0;
+        let mut requests = Vec::with_capacity(ops.len());
+        let metas: Vec<(u64, Option<u64>, Option<u64>, Instant)> = ops
+            .into_iter()
+            .map(|op| {
+                requests.push(op.request);
+                (op.key, op.put_tag, op.invoked_at, op.started)
+            })
+            .collect();
+        // A singleton flush travels as a bare frame: batch=1 is exactly
+        // the unbatched wire protocol (and not counted as a wire batch).
+        let responses = if requests.len() == 1 {
+            vec![self.conns[node].call(&requests[0])?]
+        } else {
+            if let Some(metrics) = &self.metrics {
+                metrics.record_batch(requests.len() as u64);
+            }
+            self.conns[node].call_batch(requests)?
+        };
+        for ((key, put_tag, invoked_at, started), response) in metas.into_iter().zip(responses) {
+            let outcome = self.complete(key, put_tag, invoked_at, started, response)?;
+            self.outcomes.push(outcome);
+        }
+        Ok(())
+    }
+
+    /// Processes one response out of a flushed batch: metrics, history
+    /// recording (identical to the unbatched paths) and the outcome.
+    fn complete(
+        &mut self,
+        key: u64,
+        put_tag: Option<u64>,
+        invoked_at: Option<u64>,
+        started: Instant,
+        response: Frame,
+    ) -> io::Result<BatchOutcome> {
+        match (put_tag, response) {
+            (None, Frame::GetResp { cached, ts, value }) => {
+                if let Some(metrics) = &self.metrics {
+                    metrics.record_get();
+                    metrics.record_cache(cached);
+                    metrics.record_latency_ns(started.elapsed().as_nanos() as u64);
+                }
+                if cached {
+                    self.record_history(
+                        key,
+                        RecordKind::Get {
+                            value: value_tag_of(&value),
+                        },
+                        ts,
+                        invoked_at,
+                    );
+                }
+                Ok(BatchOutcome::Get { value, cached })
+            }
+            (Some(tag), Frame::PutResp { cached, ts }) => {
+                if let Some(metrics) = &self.metrics {
+                    metrics.record_put();
+                    metrics.record_cache(cached);
+                    metrics.record_latency_ns(started.elapsed().as_nanos() as u64);
+                }
+                if ts != Timestamp::ZERO {
+                    self.record_history(key, RecordKind::Put { value: tag }, ts, invoked_at);
+                }
+                Ok(BatchOutcome::Put { cached, ts })
+            }
+            (_, Frame::Error { message }) => {
+                Err(io::Error::new(io::ErrorKind::InvalidInput, message))
+            }
+            (_, other) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("mismatched batch response {other:?}"),
+            )),
+        }
+    }
+
+    fn record_history(
+        &mut self,
+        key: u64,
+        kind: RecordKind,
+        ts: Timestamp,
+        invoked_at: Option<u64>,
+    ) {
+        if let Some(history) = &self.history {
+            let completed_at = history.now();
+            let seq = self.session_seq;
+            self.session_seq += 1;
+            history.record(OpRecord {
+                session: self.session,
+                key,
+                kind,
+                ts,
+                invoked_at: invoked_at.expect("taken when the op was queued"),
+                completed_at,
+                session_seq: seq,
+            });
+        }
     }
 
     /// Pings every node, returning the number that answered.

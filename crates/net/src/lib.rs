@@ -50,22 +50,22 @@ pub mod server;
 pub mod wire;
 
 pub use client::{
-    evict_hot_set, flip_epoch, install_hot_set, install_hot_set_versioned, Client, EpochFlip,
-    LoadBalancePolicy, SharedHistory,
+    evict_hot_set, flip_epoch, install_hot_set, install_hot_set_versioned, BatchConfig,
+    BatchOutcome, Client, EpochFlip, LoadBalancePolicy, SharedHistory,
 };
 pub use metrics::{serve_http, Metrics, MetricsSnapshot};
 pub use rack::{Rack, RackConfig, COORDINATOR_NODE};
-pub use server::{NodeServer, NodeServerConfig};
+pub use server::{FlowConfig, NodeServer, NodeServerConfig};
 pub use wire::{Frame, WireError};
 
 /// One-stop imports for examples and applications.
 pub mod prelude {
     pub use crate::client::{
-        evict_hot_set, flip_epoch, install_hot_set, install_hot_set_versioned, Client, EpochFlip,
-        LoadBalancePolicy, SharedHistory,
+        evict_hot_set, flip_epoch, install_hot_set, install_hot_set_versioned, BatchConfig,
+        BatchOutcome, Client, EpochFlip, LoadBalancePolicy, SharedHistory,
     };
     pub use crate::metrics::{Metrics, MetricsSnapshot};
     pub use crate::rack::{Rack, RackConfig, COORDINATOR_NODE};
-    pub use crate::server::{NodeServer, NodeServerConfig};
+    pub use crate::server::{FlowConfig, NodeServer, NodeServerConfig};
     pub use crate::wire::Frame;
 }

@@ -43,6 +43,22 @@ pub struct MetricsSnapshot {
     pub evictions: u64,
     /// Dirty evicted values written back to their home shards.
     pub writebacks: u64,
+    /// Coalesced wire batches handled (client request batches served, or
+    /// peer-mesh batches written, depending on which side records).
+    pub batches: u64,
+    /// Total operations carried inside those batches.
+    pub batched_ops: u64,
+    /// Median batch size in ops.
+    pub batch_ops_p50: u64,
+    /// 99th-percentile batch size in ops.
+    pub batch_ops_p99: u64,
+    /// Times a peer writer exhausted its credit window and had to wait for
+    /// returns before sending.
+    pub credit_stalls: u64,
+    /// Total nanoseconds spent stalled on exhausted credit windows.
+    pub credit_stall_ns: u64,
+    /// 99th-percentile single credit stall in nanoseconds.
+    pub credit_stall_p99_ns: u64,
     /// Number of recorded latency samples.
     pub latency_count: usize,
     /// Mean operation latency in nanoseconds.
@@ -80,6 +96,12 @@ pub struct Metrics {
     installs: AtomicU64,
     evictions: AtomicU64,
     writebacks: AtomicU64,
+    batches: AtomicU64,
+    batched_ops: AtomicU64,
+    credit_stalls: AtomicU64,
+    credit_stall_ns: AtomicU64,
+    batch_sizes: Mutex<Histogram>,
+    credit_stall_hist: Mutex<Histogram>,
     latency: Mutex<Histogram>,
 }
 
@@ -150,6 +172,21 @@ impl Metrics {
         self.writebacks.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one coalesced wire batch carrying `ops` operations.
+    pub fn record_batch(&self, ops: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_ops.fetch_add(ops, Ordering::Relaxed);
+        self.batch_sizes.lock().record(ops);
+    }
+
+    /// Records one credit-window stall of `nanos` nanoseconds on a peer
+    /// writer (the writer had traffic to send but no credits left).
+    pub fn record_credit_stall_ns(&self, nanos: u64) {
+        self.credit_stalls.fetch_add(1, Ordering::Relaxed);
+        self.credit_stall_ns.fetch_add(nanos, Ordering::Relaxed);
+        self.credit_stall_hist.lock().record(nanos);
+    }
+
     /// Records one end-to-end operation latency in nanoseconds.
     pub fn record_latency_ns(&self, nanos: u64) {
         self.latency.lock().record(nanos);
@@ -168,6 +205,22 @@ impl Metrics {
                 latency.mean(),
             )
         };
+        let (batch_ops_p50, batch_ops_p99) = {
+            let mut sizes = self.batch_sizes.lock();
+            if sizes.count() == 0 {
+                (0, 0)
+            } else {
+                (sizes.percentile(50.0), sizes.percentile(99.0))
+            }
+        };
+        let credit_stall_p99_ns = {
+            let mut stalls = self.credit_stall_hist.lock();
+            if stalls.count() == 0 {
+                0
+            } else {
+                stalls.percentile(99.0)
+            }
+        };
         MetricsSnapshot {
             gets: self.gets.load(Ordering::Relaxed),
             puts: self.puts.load(Ordering::Relaxed),
@@ -181,6 +234,13 @@ impl Metrics {
             installs: self.installs.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             writebacks: self.writebacks.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_ops: self.batched_ops.load(Ordering::Relaxed),
+            batch_ops_p50,
+            batch_ops_p99,
+            credit_stalls: self.credit_stalls.load(Ordering::Relaxed),
+            credit_stall_ns: self.credit_stall_ns.load(Ordering::Relaxed),
+            credit_stall_p99_ns,
             latency_count,
             latency_mean_ns: mean,
             latency_p50_ns: p50,
@@ -244,6 +304,35 @@ impl Metrics {
             "Dirty evicted values written back to their home shards.",
             snap.writebacks,
         );
+        counter(
+            "batches_total",
+            "Coalesced wire batches handled.",
+            snap.batches,
+        );
+        counter(
+            "batched_ops_total",
+            "Operations carried inside coalesced wire batches.",
+            snap.batched_ops,
+        );
+        counter(
+            "credit_stalls_total",
+            "Peer-writer stalls on an exhausted credit window.",
+            snap.credit_stalls,
+        );
+        counter(
+            "credit_stall_ns_total",
+            "Nanoseconds spent stalled on exhausted credit windows.",
+            snap.credit_stall_ns,
+        );
+        for (suffix, value) in [
+            ("batch_ops_p50", snap.batch_ops_p50),
+            ("batch_ops_p99", snap.batch_ops_p99),
+            ("credit_stall_p99_ns", snap.credit_stall_p99_ns),
+        ] {
+            out.push_str(&format!(
+                "# TYPE cckvs_{suffix} gauge\ncckvs_{suffix}{{node=\"{node_label}\"}} {value}\n"
+            ));
+        }
         out.push_str(&format!(
             "# HELP cckvs_epoch Highest hot-set epoch applied on this node.\n\
              # TYPE cckvs_epoch gauge\ncckvs_epoch{{node=\"{node_label}\"}} {}\n",
@@ -419,6 +508,29 @@ mod tests {
         assert!(text.contains("cckvs_installs_total{node=\"n1\"} 5"));
         assert!(text.contains("cckvs_evictions_total{node=\"n1\"} 4"));
         assert!(text.contains("cckvs_writebacks_total{node=\"n1\"} 2"));
+    }
+
+    #[test]
+    fn batch_and_credit_metrics_surface_in_snapshot_and_render() {
+        let m = Metrics::new();
+        for ops in [1u64, 8, 8, 16] {
+            m.record_batch(ops);
+        }
+        m.record_credit_stall_ns(5_000);
+        m.record_credit_stall_ns(15_000);
+        let snap = m.snapshot();
+        assert_eq!(snap.batches, 4);
+        assert_eq!(snap.batched_ops, 33);
+        assert_eq!(snap.batch_ops_p50, 8);
+        assert_eq!(snap.batch_ops_p99, 16);
+        assert_eq!(snap.credit_stalls, 2);
+        assert_eq!(snap.credit_stall_ns, 20_000);
+        assert_eq!(snap.credit_stall_p99_ns, 15_000);
+        let text = m.render("n2");
+        assert!(text.contains("cckvs_batches_total{node=\"n2\"} 4"));
+        assert!(text.contains("cckvs_batched_ops_total{node=\"n2\"} 33"));
+        assert!(text.contains("cckvs_credit_stalls_total{node=\"n2\"} 2"));
+        assert!(text.contains("cckvs_batch_ops_p99{node=\"n2\"} 16"));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! need.
 
 use crate::client::{flip_epoch, install_hot_set, EpochFlip};
-use crate::server::{NodeServer, NodeServerConfig};
+use crate::server::{FlowConfig, NodeServer, NodeServerConfig};
 use cckvs::node::{NodeConfig, DEFAULT_KVS_THREADS};
 use consistency::messages::ConsistencyModel;
 use std::io;
@@ -42,6 +42,9 @@ pub struct RackConfig {
     /// every epoch (live install/evict over the wire with dirty
     /// write-backs).
     pub epochs: Option<EpochConfig>,
+    /// Peer-mesh batching and credit-based flow-control knobs, applied to
+    /// every node.
+    pub flow: FlowConfig,
 }
 
 impl RackConfig {
@@ -55,6 +58,7 @@ impl RackConfig {
             value_capacity: 64,
             metrics: true,
             epochs: None,
+            flow: FlowConfig::default(),
         }
     }
 }
@@ -80,6 +84,7 @@ impl Rack {
                     kvs_threads: DEFAULT_KVS_THREADS,
                 };
                 let mut server_cfg = NodeServerConfig::loopback(node);
+                server_cfg.flow = cfg.flow;
                 if !cfg.metrics {
                     server_cfg.metrics_listen = None;
                 }

@@ -18,20 +18,41 @@
 
 use crate::client::Conn;
 use crate::metrics::{Metrics, MetricsServer};
-use crate::wire::{read_frame, write_frame, write_protocol_frame, Frame};
+use crate::wire::{read_frame, write_frame, BatchBuilder, Frame};
 use cckvs::node::{CacheGet, CachePut, CcNode, EvictHot, NodeConfig, Outgoing};
 use consistency::engine::Destination;
 use consistency::lamport::{NodeId, Timestamp};
 use consistency::messages::ProtocolMsg;
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
-use std::collections::HashSet;
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashSet, VecDeque};
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use symcache::popularity::{CacheCoordinator, EpochConfig, HotSet};
+
+/// Peer-mesh batching and credit-based flow-control knobs (§6.3/§6.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowConfig {
+    /// Send-credit window per peer: how many protocol messages may be in
+    /// flight to one peer beyond what it has confirmed processing. A fast
+    /// sender (a Lin ack round fanning out) stalls — instead of growing the
+    /// receiver's backlog without bound — once the window is exhausted.
+    pub credit_window: u64,
+    /// Maximum protocol messages coalesced into one peer-mesh batch.
+    pub peer_batch_ops: usize,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        Self {
+            credit_window: 128,
+            peer_batch_ops: 32,
+        }
+    }
+}
 
 /// Configuration of one networked node.
 #[derive(Debug, Clone)]
@@ -47,6 +68,8 @@ pub struct NodeServerConfig {
     /// and reconfigures the hot set of *every* node over the wire — exactly
     /// one node of a deployment should carry this.
     pub epochs: Option<EpochConfig>,
+    /// Peer-mesh batching and flow-control knobs.
+    pub flow: FlowConfig,
 }
 
 impl NodeServerConfig {
@@ -57,12 +80,69 @@ impl NodeServerConfig {
             listen: "127.0.0.1:0".parse().expect("static addr"),
             metrics_listen: Some("127.0.0.1:0".parse().expect("static addr")),
             epochs: None,
+            flow: FlowConfig::default(),
         }
     }
 }
 
-type PeerTx = Sender<(ProtocolMsg, Option<Arc<[u8]>>)>;
-type PeerRx = Receiver<(ProtocolMsg, Option<Arc<[u8]>>)>;
+/// One unit of work for a peer writer thread.
+enum PeerItem {
+    /// A protocol message to ship (value bytes broadcast-shared).
+    Msg(ProtocolMsg, Option<Arc<[u8]>>),
+    /// Wake-up only: credits are owed to this peer and should be returned
+    /// even if no protocol traffic is flowing that way.
+    Doorbell,
+}
+
+type PeerTx = Sender<PeerItem>;
+type PeerRx = Receiver<PeerItem>;
+
+/// How long a credit-stalled peer writer waits before re-checking for
+/// piggyback credit returns it owes in the other direction. This tick is
+/// what makes symmetric saturation deadlock-free: even with every writer
+/// stalled, each wakes up, sends a credit-only batch (credits consume no
+/// credits), and unblocks its peer.
+const CREDIT_STALL_TICK: Duration = Duration::from_millis(1);
+
+/// Byte budget for one coalesced peer-mesh batch: coalescing stops (and
+/// spills to the next batch) once a batch holds this much, keeping batches
+/// far below [`crate::wire::MAX_FRAME_BYTES`]. A single message exceeding
+/// the budget still travels — alone, as a bare frame.
+const PEER_BATCH_MAX_BYTES: usize = 1 << 20;
+
+/// Counting semaphore over the send-credit window toward one peer.
+#[derive(Debug)]
+struct CreditGauge {
+    avail: Mutex<u64>,
+    returned: Condvar,
+}
+
+impl CreditGauge {
+    fn new(window: u64) -> Self {
+        Self {
+            avail: Mutex::new(window),
+            returned: Condvar::new(),
+        }
+    }
+
+    /// Returns `n` credits (called when the peer confirms processing).
+    fn put(&self, n: u64) {
+        *self.avail.lock() += n;
+        self.returned.notify_all();
+    }
+
+    /// Takes up to `max` credits, waiting until at least one is available
+    /// or `timeout` elapses. Returns the number taken (0 on timeout).
+    fn take_up_to(&self, max: u64, timeout: Duration) -> u64 {
+        let mut avail = self.avail.lock();
+        if *avail == 0 && self.returned.wait_for(&mut avail, timeout) {
+            return 0;
+        }
+        let taken = (*avail).min(max);
+        *avail -= taken;
+        taken
+    }
+}
 
 /// Number of pooled miss-path RPC links per peer: bounds how many remote
 /// reads/writes to one home shard are in flight concurrently from this
@@ -162,6 +242,16 @@ struct ServerInner {
     peer_addrs: Mutex<Vec<SocketAddr>>,
     /// Lazily dialed miss-path RPC link pools, one per peer.
     rpc_pools: Vec<RpcPool>,
+    /// Batching / flow-control knobs.
+    flow: FlowConfig,
+    /// Send credits toward each peer (self entry unused). Consumed by the
+    /// peer writer threads, refilled by [`Frame::Credit`] returns arriving
+    /// on the reverse links.
+    peer_credits: Vec<CreditGauge>,
+    /// Credits owed *to* each peer: protocol messages received from it and
+    /// already processed, not yet confirmed back. The writer threads
+    /// piggyback these on their next batch.
+    credit_owed: Vec<AtomicU64>,
 }
 
 impl ServerInner {
@@ -178,7 +268,7 @@ impl ServerInner {
                         if let Some(tx) = tx {
                             if id != self.node.node() {
                                 self.metrics.record_protocol_out(1);
-                                let _ = tx.send((msg, bytes.clone()));
+                                let _ = tx.send(PeerItem::Msg(msg, bytes.clone()));
                             }
                         }
                     }
@@ -186,9 +276,26 @@ impl ServerInner {
                 Destination::To(node) => {
                     if let Some(tx) = peers.get(node.0 as usize).and_then(Option::as_ref) {
                         self.metrics.record_protocol_out(1);
-                        let _ = tx.send((msg, bytes));
+                        let _ = tx.send(PeerItem::Msg(msg, bytes));
                     }
                 }
+            }
+        }
+    }
+
+    /// Books `n` processed protocol messages from peer `from` for credit
+    /// return, and — once a quarter window accumulates — rings the writer
+    /// toward that peer so the credits flow back even when no protocol
+    /// traffic happens to be going that way (an SC update stream is
+    /// one-directional; without the doorbell the sender would stall out).
+    fn owe_credits(&self, from: usize, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let owed = self.credit_owed[from].fetch_add(n, Ordering::Relaxed) + n;
+        if owed >= (self.flow.credit_window / 4).max(1) {
+            if let Some(tx) = self.peer_txs.lock().get(from).and_then(Option::as_ref) {
+                let _ = tx.send(PeerItem::Doorbell);
             }
         }
     }
@@ -558,6 +665,11 @@ impl NodeServer {
             peer_txs: Mutex::new(vec![None; nodes]),
             peer_addrs: Mutex::new(vec![listen_addr; nodes]),
             rpc_pools: (0..nodes).map(|_| RpcPool::new()).collect(),
+            flow: cfg.flow,
+            peer_credits: (0..nodes)
+                .map(|_| CreditGauge::new(cfg.flow.credit_window))
+                .collect(),
+            credit_owed: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
         });
         let metrics_server = match cfg.metrics_listen {
             Some(addr) => Some(crate::metrics::serve_http(
@@ -632,9 +744,10 @@ impl NodeServer {
             write_frame(&mut writer, &Frame::PeerHello { from: me as u8 })?;
             writer.flush()?;
             let (tx, rx): (PeerTx, PeerRx) = unbounded();
+            let writer_inner = Arc::clone(&self.inner);
             let handle = std::thread::Builder::new()
                 .name(format!("cckvs-peer-n{me}-to-n{peer}"))
-                .spawn(move || peer_writer_loop(writer, rx))?;
+                .spawn(move || peer_writer_loop(writer_inner, peer, writer, rx))?;
             self.writer_handles.push(handle);
             self.inner.peer_txs.lock()[peer] = Some(tx);
         }
@@ -750,9 +863,15 @@ fn serve_connection(stream: TcpStream, inner: Arc<ServerInner>) -> io::Result<()
             inner.wait_ready();
             client_loop(&mut reader, &mut writer, &inner)
         }
-        Some(Frame::PeerHello { .. }) => {
+        Some(Frame::PeerHello { from }) => {
+            if usize::from(from) >= inner.node.config().nodes {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("peer hello from unknown node {from}"),
+                ));
+            }
             inner.wait_ready();
-            peer_receive_loop(&mut reader, &inner)
+            peer_receive_loop(&mut reader, usize::from(from), &inner)
         }
         Some(Frame::RpcHello { .. }) => {
             inner.wait_ready();
@@ -766,82 +885,119 @@ fn serve_connection(stream: TcpStream, inner: Arc<ServerInner>) -> io::Result<()
     }
 }
 
+/// What serving one client frame asks of the connection loop.
+enum ClientAction {
+    /// Send this response.
+    Respond(Frame),
+    /// The client asked the node to shut down; end the connection.
+    Shutdown,
+}
+
 fn client_loop(
     reader: &mut BufReader<TcpStream>,
     writer: &mut BufWriter<TcpStream>,
     inner: &ServerInner,
 ) -> io::Result<()> {
     while let Some(frame) = read_frame(reader)? {
-        let response = match frame {
-            Frame::Get { key } => {
-                inner.metrics.record_get();
-                inner.observe(key);
-                serve_get(inner, key)?
-            }
-            Frame::Put { key, value } => {
-                inner.metrics.record_put();
-                inner.observe(key);
-                serve_put(inner, key, &value)?
-            }
-            Frame::InstallHot {
-                key,
-                value,
-                ts,
-                warm,
-            } => {
-                let ok = if warm {
-                    inner.node.install_hot_warm(key, &value, ts)
-                } else {
-                    inner.node.install_hot(key, &value, ts)
-                };
-                if ok {
-                    // Coordinator bookkeeping: the key joined the hot set.
-                    if let Some(churn) = &inner.churn {
-                        churn.installed.lock().insert(key);
+        match frame {
+            // A coalesced request batch: serve every sub-frame in order and
+            // answer with ONE response batch — request k's response is at
+            // position k. The single write+flush at the end is the
+            // server-side half of the client's coalescing win.
+            Frame::Batch { frames } => {
+                inner.metrics.record_batch(frames.len() as u64);
+                let mut responses = Vec::with_capacity(frames.len());
+                for sub in frames {
+                    match serve_client_frame(inner, sub)? {
+                        ClientAction::Respond(response) => responses.push(response),
+                        ClientAction::Shutdown => return Ok(()),
                     }
                 }
-                Frame::InstallHotResp { ok }
+                write_frame(writer, &Frame::Batch { frames: responses })?;
+                writer.flush()?;
             }
-            Frame::ActivateHot { key } => Frame::ActivateHotResp {
-                ok: inner.node.activate_hot(key),
-            },
-            Frame::Evict { key } => Frame::EvictResp {
-                existed: inner.evict_key(key)?,
-            },
-            Frame::FlipEpoch => match &inner.churn {
-                None => Frame::Error {
-                    message: "this node does not run the epoch coordinator".to_string(),
-                },
-                Some(churn) => {
-                    let hot = churn.coord.lock().close_epoch();
-                    match inner.apply_hot_set(&hot) {
-                        Ok((installed, evicted)) => Frame::FlipEpochResp {
-                            epoch: hot.epoch,
-                            installed: installed as u32,
-                            evicted: evicted as u32,
-                        },
-                        Err(e) => Frame::Error {
-                            message: format!("epoch flip failed: {e}"),
-                        },
-                    }
+            frame => match serve_client_frame(inner, frame)? {
+                ClientAction::Respond(response) => {
+                    write_frame(writer, &response)?;
+                    writer.flush()?;
                 }
+                ClientAction::Shutdown => return Ok(()),
             },
-            Frame::Ping => Frame::Pong,
-            Frame::Shutdown => {
-                inner.initiate_shutdown();
-                return Ok(());
-            }
-            other => {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("unexpected client frame {other:?}"),
-                ))
-            }
-        };
-        write_frame(writer, &response)?;
-        writer.flush()?;
+        }
     }
     Ok(())
+}
+
+/// Serves one (non-batch) client frame. Shared by the single-frame and
+/// batched paths, so batching changes the framing and nothing else.
+fn serve_client_frame(inner: &ServerInner, frame: Frame) -> io::Result<ClientAction> {
+    let response = match frame {
+        Frame::Get { key } => {
+            inner.metrics.record_get();
+            inner.observe(key);
+            serve_get(inner, key)?
+        }
+        Frame::Put { key, value } => {
+            inner.metrics.record_put();
+            inner.observe(key);
+            serve_put(inner, key, &value)?
+        }
+        Frame::InstallHot {
+            key,
+            value,
+            ts,
+            warm,
+        } => {
+            let ok = if warm {
+                inner.node.install_hot_warm(key, &value, ts)
+            } else {
+                inner.node.install_hot(key, &value, ts)
+            };
+            if ok {
+                // Coordinator bookkeeping: the key joined the hot set.
+                if let Some(churn) = &inner.churn {
+                    churn.installed.lock().insert(key);
+                }
+            }
+            Frame::InstallHotResp { ok }
+        }
+        Frame::ActivateHot { key } => Frame::ActivateHotResp {
+            ok: inner.node.activate_hot(key),
+        },
+        Frame::Evict { key } => Frame::EvictResp {
+            existed: inner.evict_key(key)?,
+        },
+        Frame::FlipEpoch => match &inner.churn {
+            None => Frame::Error {
+                message: "this node does not run the epoch coordinator".to_string(),
+            },
+            Some(churn) => {
+                let hot = churn.coord.lock().close_epoch();
+                match inner.apply_hot_set(&hot) {
+                    Ok((installed, evicted)) => Frame::FlipEpochResp {
+                        epoch: hot.epoch,
+                        installed: installed as u32,
+                        evicted: evicted as u32,
+                    },
+                    Err(e) => Frame::Error {
+                        message: format!("epoch flip failed: {e}"),
+                    },
+                }
+            }
+        },
+        Frame::Ping => Frame::Pong,
+        Frame::Shutdown => {
+            inner.initiate_shutdown();
+            return Ok(ClientAction::Shutdown);
+        }
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected client frame {other:?}"),
+            ))
+        }
+    };
+    Ok(ClientAction::Respond(response))
 }
 
 fn serve_get(inner: &ServerInner, key: u64) -> io::Result<Frame> {
@@ -992,23 +1148,49 @@ fn serve_put(inner: &ServerInner, key: u64, value: &[u8]) -> io::Result<Frame> {
     }
 }
 
-fn peer_receive_loop(reader: &mut BufReader<TcpStream>, inner: &ServerInner) -> io::Result<()> {
+fn peer_receive_loop(
+    reader: &mut BufReader<TcpStream>,
+    from: usize,
+    inner: &ServerInner,
+) -> io::Result<()> {
     while let Some(frame) = read_frame(reader)? {
-        match frame {
-            Frame::Protocol { msg, bytes } => {
-                inner.metrics.record_protocol_in(1);
-                let outgoing = inner.node.deliver(&msg, bytes.as_deref());
-                inner.ship(outgoing);
+        let processed = match frame {
+            Frame::Batch { frames } => {
+                let mut processed = 0;
+                for sub in frames {
+                    processed += deliver_peer_frame(inner, from, sub)?;
+                }
+                processed
             }
-            other => {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("unexpected peer frame {other:?}"),
-                ))
-            }
-        }
+            other => deliver_peer_frame(inner, from, other)?,
+        };
+        // Confirm processing back to the sender: these returns are what
+        // refill its credit window toward this node.
+        inner.owe_credits(from, processed);
     }
     Ok(())
+}
+
+/// Handles one non-batch frame arriving on a peer link. Returns how many
+/// flow-controlled messages it consumed (credit returns themselves are
+/// free: they must flow even when the window is closed).
+fn deliver_peer_frame(inner: &ServerInner, from: usize, frame: Frame) -> io::Result<u64> {
+    match frame {
+        Frame::Protocol { msg, bytes } => {
+            inner.metrics.record_protocol_in(1);
+            let outgoing = inner.node.deliver(&msg, bytes.as_deref());
+            inner.ship(outgoing);
+            Ok(1)
+        }
+        Frame::Credit { n } => {
+            inner.peer_credits[from].put(u64::from(n));
+            Ok(0)
+        }
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unexpected peer frame {other:?}"),
+        )),
+    }
 }
 
 fn rpc_serve_loop(
@@ -1080,18 +1262,117 @@ fn rpc_serve_loop(
     Ok(())
 }
 
-fn peer_writer_loop(mut writer: BufWriter<TcpStream>, rx: PeerRx) {
-    while let Ok((msg, bytes)) = rx.recv() {
-        // The value bytes stay behind the broadcast-shared Arc all the way
-        // to serialisation: no per-peer copy is ever materialised.
-        if write_protocol_frame(&mut writer, &msg, bytes.as_deref()).is_err() {
-            break;
+/// The outbound half of one peer link: coalesces bursts of protocol
+/// traffic into [`Frame::Batch`] messages (§6.3's software-multicast
+/// amortisation) under credit-based flow control (§6.4), with credit
+/// returns owed to the peer piggybacked on every batch.
+///
+/// Value bytes stay behind the broadcast-shared `Arc` all the way to
+/// serialisation: no per-peer copy is ever materialised.
+fn peer_writer_loop(
+    inner: Arc<ServerInner>,
+    peer: usize,
+    mut writer: BufWriter<TcpStream>,
+    rx: PeerRx,
+) {
+    let gauge = &inner.peer_credits[peer];
+    let owed = &inner.credit_owed[peer];
+    let max_ops = inner.flow.peer_batch_ops.max(1) as u64;
+    let mut queue: VecDeque<(ProtocolMsg, Option<Arc<[u8]>>)> = VecDeque::new();
+    let mut builder = BatchBuilder::new();
+    let mut stall_started: Option<Instant> = None;
+    // `open` turns false when the channel disconnects (server teardown);
+    // the queue is then drained without flow control — the reverse link
+    // carrying credit returns may already be gone, and blocking on it
+    // would hang shutdown.
+    let mut open = true;
+    while open || !queue.is_empty() {
+        if open {
+            if queue.is_empty() && owed.load(Ordering::Relaxed) == 0 {
+                // Idle: wait for traffic or a credit doorbell.
+                match rx.recv() {
+                    Ok(PeerItem::Msg(msg, bytes)) => queue.push_back((msg, bytes)),
+                    Ok(PeerItem::Doorbell) => {}
+                    Err(_) => open = false,
+                }
+            }
+            loop {
+                match rx.try_recv() {
+                    Ok(PeerItem::Msg(msg, bytes)) => queue.push_back((msg, bytes)),
+                    Ok(PeerItem::Doorbell) => {}
+                    Err(TryRecvError::Empty) => break,
+                    // Teardown must be noticed HERE too: a writer stalled
+                    // on credits never reaches the blocking recv above, and
+                    // missing the disconnect would leave it ticking forever
+                    // with NodeServer::shutdown joined on it.
+                    Err(TryRecvError::Disconnected) => {
+                        open = false;
+                        break;
+                    }
+                }
+            }
         }
-        // Coalesce: only flush once the queue is drained, batching bursts
-        // of protocol traffic into fewer TCP segments (§6.3's software
-        // multicast amortisation, loopback edition).
-        if rx.is_empty() && writer.flush().is_err() {
-            break;
+        // Piggyback credit returns first: they are exempt from flow control
+        // and must go out even while this writer is itself stalled.
+        let returns = owed.swap(0, Ordering::Relaxed);
+        if returns > 0 {
+            builder.push(&Frame::Credit {
+                n: returns.min(u64::from(u32::MAX)) as u32,
+            });
+        }
+        let want = (queue.len() as u64).min(max_ops);
+        let granted = if want == 0 {
+            0
+        } else if open {
+            let taken = gauge.take_up_to(want, CREDIT_STALL_TICK);
+            if taken == 0 {
+                // Window exhausted: note when the stall began, send any
+                // credit-only payload assembled above, and tick again.
+                stall_started.get_or_insert_with(Instant::now);
+            } else if let Some(started) = stall_started.take() {
+                inner
+                    .metrics
+                    .record_credit_stall_ns(started.elapsed().as_nanos() as u64);
+            }
+            taken
+        } else {
+            want
+        };
+        let mut packed = 0u64;
+        while packed < granted {
+            let (msg, bytes) = queue.front().expect("granted <= queue.len()");
+            // Byte bound: op count alone would let a burst of large values
+            // coalesce past MAX_FRAME_BYTES, and the receiver drops an
+            // oversized frame together with the whole peer link. A message
+            // that is itself large still travels — alone, as a bare frame.
+            let projected = builder.bytes() + 64 + bytes.as_deref().map_or(0, <[u8]>::len);
+            if builder.count() > 0 && projected > PEER_BATCH_MAX_BYTES {
+                break;
+            }
+            builder.push_protocol(msg, bytes.as_deref());
+            queue.pop_front();
+            packed += 1;
+        }
+        if packed < granted {
+            // Credits for the messages this batch had no room for go back
+            // to the window; they will be re-taken when their turn comes.
+            gauge.put(granted - packed);
+        }
+        if builder.count() > 0 {
+            // Singleton messages leave the builder as bare frames (see
+            // `BatchBuilder::write_to`) — only count what actually travels
+            // as a coalesced batch, or the batch-size percentiles drown in
+            // ones that were never batched.
+            if builder.count() > 1 && packed > 0 {
+                inner.metrics.record_batch(packed);
+            }
+            // Write and flush the whole coalesced message: the batch is
+            // the amortisation, and an unflushed batch is invisible to the
+            // peer — holding one back while stalled on credits (or while
+            // blocking for traffic) would deadlock the window.
+            if builder.write_to(&mut writer).is_err() || writer.flush().is_err() {
+                return;
+            }
         }
     }
     let _ = writer.flush();

@@ -6,9 +6,10 @@
 //! models, per-key Lin additionally under Lin — exactly the guarantees the
 //! in-process cluster validates, now across sockets.
 
-use cckvs_net::client::{Client, SharedHistory};
+use cckvs_net::client::{BatchConfig, BatchOutcome, Client, SharedHistory};
 use cckvs_net::metrics::Metrics;
 use cckvs_net::rack::{Rack, RackConfig};
+use cckvs_net::server::FlowConfig;
 use cckvs_net::LoadBalancePolicy;
 use consistency::messages::ConsistencyModel;
 use std::sync::Arc;
@@ -112,6 +113,217 @@ fn sc_rack_history_is_per_key_sequentially_consistent() {
     history
         .check_per_key_sc()
         .unwrap_or_else(|v| panic!("per-key SC violated over TCP: {v}"));
+}
+
+#[test]
+fn batched_lin_rack_history_is_per_key_linearizable() {
+    // The same Lin rack + Zipf mix as the unbatched test, but every
+    // session coalesces requests into wire batches (queue + doorbell
+    // flush). Batching must change the framing and nothing else: the
+    // recorded history still passes the per-key SC and Lin checkers, and
+    // every queued op completes with a response in queue order.
+    let rack = Rack::launch(RackConfig::small(ConsistencyModel::Lin, 3)).expect("launch rack");
+    let dataset = Dataset::new(10_000, 40);
+    rack.install_hot_set(&dataset.hot_entries(HOT_KEYS as usize))
+        .expect("install hot set");
+
+    let history = Arc::new(SharedHistory::new());
+    let metrics = Arc::new(Metrics::new());
+    let addrs = rack.client_addrs();
+    let handles: Vec<_> = (0..SESSIONS)
+        .map(|session| {
+            let addrs = addrs.clone();
+            let history = Arc::clone(&history);
+            let metrics = Arc::clone(&metrics);
+            let mut gen = WorkloadGen::new(
+                &dataset,
+                AccessDistribution::Zipfian { exponent: 0.99 },
+                Mix::with_write_ratio(0.05),
+                101 ^ u64::from(session),
+            );
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addrs, session, LoadBalancePolicy::RoundRobin)
+                    .expect("connect")
+                    .with_history(history)
+                    .with_metrics(metrics)
+                    .with_batching(BatchConfig {
+                        max_ops: 8,
+                        ..BatchConfig::default()
+                    });
+                let mut queued = 0usize;
+                let mut completed = 0usize;
+                for _ in 0..OPS_PER_SESSION {
+                    let op = gen.next_op();
+                    match op.kind {
+                        OpKind::Get => client.queue_get(op.key.0).expect("queue get"),
+                        OpKind::Put => client
+                            .queue_put(op.key.0, &op.value_bytes(session, 40))
+                            .expect("queue put"),
+                    }
+                    queued += 1;
+                    // Collect outcomes at an off-boundary cadence so some
+                    // flushes are doorbell-driven (full batch) and some
+                    // explicit (partial batch).
+                    if queued.is_multiple_of(21) {
+                        completed += client.flush().expect("flush").len();
+                    }
+                }
+                completed += client.flush().expect("final flush").len();
+                assert_eq!(completed, queued, "every queued op completes exactly once");
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("session thread");
+    }
+    let snapshot = metrics.snapshot();
+    let history = history.snapshot();
+    rack.shutdown();
+
+    assert_eq!(
+        snapshot.gets + snapshot.puts,
+        u64::from(SESSIONS) * OPS_PER_SESSION
+    );
+    assert!(
+        snapshot.batches > 0,
+        "no coalesced batches left the clients"
+    );
+    assert!(snapshot.hit_rate() > 0.25);
+    assert!(history.len() > 1_000, "too few cached-key ops recorded");
+    history
+        .check_per_key_sc()
+        .unwrap_or_else(|v| panic!("per-key SC violated on the batched path: {v}"));
+    history
+        .check_per_key_lin()
+        .unwrap_or_else(|v| panic!("per-key Lin violated on the batched path: {v}"));
+}
+
+#[test]
+fn batched_writes_are_durable_and_read_back_in_order() {
+    // Zero lost updates on the batched path: a session queues interleaved
+    // puts and gets of one hot key and one cold key; outcomes arrive in
+    // queue order, the final values are the last writes.
+    let rack = Rack::launch(RackConfig::small(ConsistencyModel::Lin, 3)).expect("launch rack");
+    let addrs = rack.client_addrs();
+    let mut client = Client::connect(&addrs, 0, LoadBalancePolicy::RoundRobin)
+        .expect("connect")
+        .with_batching(BatchConfig {
+            max_ops: 4,
+            ..BatchConfig::default()
+        });
+    rack.install_hot_set(&[(7, b"seed0000".to_vec())])
+        .expect("install");
+    let cold_key = 9_999u64;
+    for round in 0..8u64 {
+        client
+            .queue_put(7, format!("hot-{round:04}").as_bytes())
+            .expect("queue hot put");
+        client
+            .queue_put(cold_key, format!("cold{round:04}").as_bytes())
+            .expect("queue cold put");
+        client.queue_get(7).expect("queue hot get");
+    }
+    let outcomes = client.flush().expect("flush");
+    assert_eq!(outcomes.len(), 24);
+    // Every third outcome is the hot get; it must observe its session's
+    // immediately preceding hot put (same batch or an earlier one).
+    for (round, chunk) in outcomes.chunks(3).enumerate() {
+        assert!(matches!(chunk[0], BatchOutcome::Put { cached: true, .. }));
+        assert!(matches!(chunk[1], BatchOutcome::Put { cached: false, .. }));
+        let BatchOutcome::Get {
+            value,
+            cached: true,
+        } = &chunk[2]
+        else {
+            panic!("expected cached get outcome, got {:?}", chunk[2]);
+        };
+        assert_eq!(value, format!("hot-{round:04}").as_bytes());
+    }
+    assert_eq!(client.get(7).expect("get"), b"hot-0007");
+    assert_eq!(client.get(cold_key).expect("get"), b"cold0007");
+    // Mixing the APIs preserves program order: a plain get() must drain
+    // the queued-but-unsent put first, not jump past it (regression: it
+    // used to bypass the queue and read the stale value).
+    client.queue_put(7, b"mixed-up").expect("queue put");
+    assert_eq!(client.queued(), 1, "put still queued below the doorbell");
+    assert_eq!(client.get(7).expect("get"), b"mixed-up");
+    assert_eq!(client.flush().expect("flush").len(), 1);
+    rack.shutdown();
+}
+
+#[test]
+fn tiny_credit_window_stalls_writers_but_loses_nothing() {
+    // Squeeze the peer-mesh credit window down to 2 messages so a Lin
+    // write burst *must* exhaust it: the writer threads stall and resume
+    // off piggybacked credit returns, the protocol stays live (every op
+    // completes), the history stays linearizable, and the stalls are
+    // visible in the metrics — proof the flow control engages rather than
+    // sitting dormant at its default window.
+    let mut cfg = RackConfig::small(ConsistencyModel::Lin, 3);
+    cfg.flow = FlowConfig {
+        credit_window: 2,
+        peer_batch_ops: 4,
+    };
+    let rack = Rack::launch(cfg).expect("launch rack");
+    let dataset = Dataset::new(10_000, 40);
+    rack.install_hot_set(&dataset.hot_entries(HOT_KEYS as usize))
+        .expect("install hot set");
+
+    let history = Arc::new(SharedHistory::new());
+    let addrs = rack.client_addrs();
+    let handles: Vec<_> = (0..SESSIONS)
+        .map(|session| {
+            let addrs = addrs.clone();
+            let history = Arc::clone(&history);
+            let mut gen = WorkloadGen::new(
+                &dataset,
+                AccessDistribution::Zipfian { exponent: 0.99 },
+                // Write-heavy: every cached write costs an invalidation
+                // round plus an update broadcast through the throttled
+                // mesh.
+                Mix::with_write_ratio(0.5),
+                55 ^ u64::from(session),
+            );
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addrs, session, LoadBalancePolicy::RoundRobin)
+                    .expect("connect")
+                    .with_history(history);
+                for _ in 0..OPS_PER_SESSION / 2 {
+                    let op = gen.next_op();
+                    match op.kind {
+                        OpKind::Get => {
+                            client.get(op.key.0).expect("get");
+                        }
+                        OpKind::Put => {
+                            client
+                                .put(op.key.0, &op.value_bytes(session, 40))
+                                .expect("put");
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("session thread");
+    }
+    let history = history.snapshot();
+    let stalls: u64 = (0..rack.nodes())
+        .map(|n| rack.server(n).metrics().snapshot().credit_stalls)
+        .sum();
+    rack.shutdown();
+
+    assert!(
+        stalls > 0,
+        "a 2-message window under a write-heavy Lin mix never stalled — \
+         flow control is not engaging"
+    );
+    history
+        .check_per_key_sc()
+        .unwrap_or_else(|v| panic!("per-key SC violated under credit pressure: {v}"));
+    history
+        .check_per_key_lin()
+        .unwrap_or_else(|v| panic!("per-key Lin violated under credit pressure: {v}"));
 }
 
 #[test]

@@ -85,6 +85,16 @@ impl Dataset {
     pub fn object_bytes(&self) -> usize {
         8 + self.value_size + 8
     }
+
+    /// The coordinator's hot set at epoch start: the `n` globally hottest
+    /// keys paired with zeroed values of the dataset's value size, ready
+    /// for a symmetric-cache install. `n` is clamped to the dataset size.
+    pub fn hot_entries(&self, n: usize) -> Vec<(u64, Vec<u8>)> {
+        let n = (n as u64).min(self.keys);
+        (0..n)
+            .map(|rank| (self.key_of_rank(rank).0, vec![0u8; self.value_size]))
+            .collect()
+    }
 }
 
 fn gcd(mut a: u64, mut b: u64) -> u64 {
@@ -193,6 +203,19 @@ mod tests {
     fn object_bytes_accounts_for_header() {
         let ds = Dataset::new(10, 40);
         assert_eq!(ds.object_bytes(), 56);
+    }
+
+    #[test]
+    fn hot_entries_are_the_hottest_ranks_clamped() {
+        let ds = Dataset::new(10, 8);
+        let entries = ds.hot_entries(3);
+        assert_eq!(entries.len(), 3);
+        for (rank, (key, value)) in entries.iter().enumerate() {
+            assert_eq!(*key, ds.key_of_rank(rank as u64).0);
+            assert_eq!(value.len(), 8);
+        }
+        // More entries than keys: clamp to the dataset.
+        assert_eq!(ds.hot_entries(50).len(), 10);
     }
 
     #[test]
