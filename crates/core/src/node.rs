@@ -361,6 +361,27 @@ impl CcNode {
         }
     }
 
+    /// Single-shot cache write probe for event-loop callers: like
+    /// [`CcNode::cache_put`] but returns `None` instead of blocking in the
+    /// internal backoff when the entry is stalled by another in-flight
+    /// local write. A reactor shard must never wait for protocol progress
+    /// it is itself responsible for delivering; callers route `None` (and
+    /// `Miss`) to a thread that may block.
+    pub fn try_cache_put(&self, key: u64, value: &[u8], tag: u64) -> Option<CachePut> {
+        match self.cache.write(key, value, tag) {
+            WriteOutcome::Completed { ts, outgoing } => Some(CachePut::Done {
+                ts,
+                outgoing: attach(outgoing, Some(value)),
+            }),
+            WriteOutcome::Pending { ts, outgoing } => Some(CachePut::Pending {
+                ts,
+                outgoing: attach(outgoing, None),
+            }),
+            WriteOutcome::Miss => Some(CachePut::Miss),
+            WriteOutcome::Stall => None,
+        }
+    }
+
     /// Blocks until the pending Lin write `(key, ts)` started by
     /// [`CcNode::cache_put`] commits (the transport delivering the final ack
     /// signals this through [`CcNode::deliver`]).

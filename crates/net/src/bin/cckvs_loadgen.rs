@@ -16,10 +16,23 @@ use cckvs_net::client::{install_hot_set, BatchConfig, Client, SharedHistory};
 use cckvs_net::metrics::Metrics;
 use cckvs_net::LoadBalancePolicy;
 use consistency::messages::ConsistencyModel;
+use simnet::Histogram;
 use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Instant;
 use workload::{AccessDistribution, Dataset, Mix, OpKind, WorkloadGen};
+
+/// Per-connection latency record from a `--connections` run.
+struct ConnStats {
+    /// Global connection index.
+    conn: usize,
+    /// Server node the connection is pinned to.
+    node: usize,
+    /// Operations driven through the connection.
+    ops: u64,
+    p50_us: f64,
+    p99_us: f64,
+}
 
 struct Args {
     servers: Vec<SocketAddr>,
@@ -32,6 +45,7 @@ struct Args {
     model: ConsistencyModel,
     install_hot: usize,
     batch: usize,
+    connections: usize,
     check: bool,
     json: bool,
     shutdown: bool,
@@ -41,8 +55,12 @@ fn usage() -> ! {
     eprintln!(
         "usage: cckvs-loadgen --servers A,B,... [--ops N] [--sessions N] \
          [--zipf THETA|uniform] [--write-ratio F] [--keys N] [--value-size B] \
-         [--model sc|lin] [--install-hot N] [--batch N] [--no-check] [--json] \
-         [--shutdown]"
+         [--model sc|lin] [--install-hot N] [--batch N] [--connections N] \
+         [--no-check] [--json] [--shutdown]\n\
+         --connections N opens N concurrent single-node client connections\n\
+         (round-robin across servers and across connections per op; each\n\
+         session thread drives its share) and reports per-connection\n\
+         latency in --json output."
     );
     std::process::exit(2);
 }
@@ -59,6 +77,7 @@ fn parse_args() -> Args {
         model: ConsistencyModel::Lin,
         install_hot: 256,
         batch: 1,
+        connections: 0,
         check: true,
         json: false,
         shutdown: false,
@@ -106,6 +125,9 @@ fn parse_args() -> Args {
                 args.install_hot = value("--install-hot").parse().unwrap_or_else(|_| usage())
             }
             "--batch" => args.batch = value("--batch").parse().unwrap_or_else(|_| usage()),
+            "--connections" => {
+                args.connections = value("--connections").parse().unwrap_or_else(|_| usage())
+            }
             "--no-check" => args.check = false,
             "--json" => args.json = true,
             "--shutdown" => args.shutdown = true,
@@ -189,9 +211,24 @@ fn main() {
 
     let history = args.check.then(|| Arc::new(SharedHistory::new()));
     let metrics = Arc::new(Metrics::new());
+    // `--connections N` opens N concurrent single-node client connections
+    // (round-robin across servers); each session thread drives its share,
+    // cycling ops round-robin across them, so N is bounded by fds, not by
+    // driver threads. 0 = classic mode: one multiplexed client per session.
+    if args.connections > 0 {
+        let wanted = 2 * args.connections as u64 + 512;
+        if let Ok(now) = reactor::raise_nofile_limit(wanted) {
+            if now < wanted {
+                eprintln!(
+                    "cckvs-loadgen: fd limit {now} may be too low for {} connections",
+                    args.connections
+                );
+            }
+        }
+    }
     let ops_per_session = args.ops / u64::from(args.sessions.max(1));
     let started = Instant::now();
-    let handles: Vec<_> = (0..args.sessions)
+    let handles: Vec<std::thread::JoinHandle<Vec<ConnStats>>> = (0..args.sessions)
         .map(|session| {
             let servers = args.servers.clone();
             let history = history.clone();
@@ -199,6 +236,8 @@ fn main() {
             let model = args.model;
             let value_size = args.value_size;
             let batch = args.batch;
+            let connections = args.connections;
+            let sessions = args.sessions;
             let mut gen = WorkloadGen::new(
                 &dataset,
                 distribution,
@@ -206,26 +245,66 @@ fn main() {
                 0xC11E_5EED ^ u64::from(session),
             );
             std::thread::spawn(move || {
-                // SC sessions stay sticky to one replica (per-session
-                // guarantee); Lin sessions spread (real-time guarantee).
-                let policy = match model {
-                    ConsistencyModel::Sc => {
-                        LoadBalancePolicy::Pinned(session as usize % servers.len())
-                    }
-                    ConsistencyModel::Lin => LoadBalancePolicy::RoundRobin,
+                let fail = |what: &str, e: &dyn std::fmt::Display| -> ! {
+                    eprintln!("cckvs-loadgen: session {session}: {what}: {e}");
+                    std::process::exit(1);
                 };
-                let mut client = Client::connect(&servers, session, policy)
-                    .expect("connect client session")
-                    .with_metrics(metrics)
-                    .with_batching(BatchConfig {
-                        max_ops: batch,
-                        ..BatchConfig::default()
-                    });
-                if let Some(history) = history {
-                    client = client.with_history(history);
+                let batching = BatchConfig {
+                    max_ops: batch,
+                    ..BatchConfig::default()
+                };
+                // This session's connections: global indexes i with
+                // i % sessions == session. Each is one socket to one
+                // server (node i % servers), its own checker session.
+                let mut clients: Vec<(usize, Client, Histogram)> = if connections > 0 {
+                    (0..connections)
+                        .filter(|i| i % sessions as usize == session as usize)
+                        .map(|i| {
+                            let addr = servers[i % servers.len()];
+                            let mut client = Client::connect(
+                                &[addr],
+                                // Sessions the admin preflight never uses.
+                                u32::try_from(i).expect("connection index fits"),
+                                LoadBalancePolicy::Pinned(0),
+                            )
+                            .unwrap_or_else(|e| fail("connect", &e))
+                            .with_metrics(Arc::clone(&metrics))
+                            .with_batching(batching);
+                            if let Some(history) = &history {
+                                client = client.with_history(Arc::clone(history));
+                            }
+                            (i, client, Histogram::new())
+                        })
+                        .collect()
+                } else {
+                    // Classic mode: one client multiplexing every node.
+                    // SC sessions stay sticky to one replica (per-session
+                    // guarantee); Lin sessions spread (real-time
+                    // guarantee).
+                    let policy = match model {
+                        ConsistencyModel::Sc => {
+                            LoadBalancePolicy::Pinned(session as usize % servers.len())
+                        }
+                        ConsistencyModel::Lin => LoadBalancePolicy::RoundRobin,
+                    };
+                    let mut client = Client::connect(&servers, session, policy)
+                        .unwrap_or_else(|e| fail("connect", &e))
+                        .with_metrics(Arc::clone(&metrics))
+                        .with_batching(batching);
+                    if let Some(history) = &history {
+                        client = client.with_history(Arc::clone(history));
+                    }
+                    vec![(usize::MAX, client, Histogram::new())]
+                };
+                if clients.is_empty() {
+                    return Vec::new();
                 }
-                for _ in 0..ops_per_session {
+                for n in 0..ops_per_session {
                     let op = gen.next_op();
+                    // Round-robin ops across this session's connections.
+                    let slot = n as usize % clients.len();
+                    let (_, client, latency) = &mut clients[slot];
+                    let op_started = Instant::now();
                     // Batched sessions coalesce requests on the wire (the
                     // queue flushes itself at the --batch bound); batch=1
                     // is the classic one-frame-per-op path.
@@ -257,21 +336,37 @@ fn main() {
                     // outcome per op for its whole duration.
                     if batch > 1 && client.queued() == 0 {
                         if let Err(e) = client.flush() {
-                            eprintln!("cckvs-loadgen: session {session}: flush failed: {e}");
-                            std::process::exit(1);
+                            fail("flush", &e);
                         }
                     }
+                    // Driver-side latency, attributed to the connection
+                    // (includes client-side queueing under --batch).
+                    latency.record(op_started.elapsed().as_nanos() as u64);
                 }
-                if let Err(e) = client.flush() {
-                    eprintln!("cckvs-loadgen: session {session}: final flush failed: {e}");
-                    std::process::exit(1);
+                let mut stats = Vec::new();
+                for (conn, mut client, mut latency) in clients {
+                    if let Err(e) = client.flush() {
+                        fail("final flush", &e);
+                    }
+                    if conn != usize::MAX {
+                        stats.push(ConnStats {
+                            conn,
+                            node: conn % servers.len(),
+                            ops: latency.count() as u64,
+                            p50_us: latency.percentile(50.0) as f64 / 1_000.0,
+                            p99_us: latency.percentile(99.0) as f64 / 1_000.0,
+                        });
+                    }
                 }
+                stats
             })
         })
         .collect();
+    let mut conn_stats: Vec<ConnStats> = Vec::new();
     for handle in handles {
-        handle.join().expect("session thread");
+        conn_stats.extend(handle.join().expect("session thread"));
     }
+    conn_stats.sort_by_key(|s| s.conn);
     let elapsed = started.elapsed();
 
     let snap = metrics.snapshot();
@@ -305,6 +400,17 @@ fn main() {
             String::new()
         }
     ));
+    if !conn_stats.is_empty() {
+        let mut p99s: Vec<f64> = conn_stats.iter().map(|s| s.p99_us).collect();
+        p99s.sort_by(f64::total_cmp);
+        report(format!(
+            "  {} connections | per-conn p99 min {:.1}µs / median {:.1}µs / max {:.1}µs",
+            conn_stats.len(),
+            p99s.first().copied().unwrap_or(0.0),
+            p99s.get(p99s.len() / 2).copied().unwrap_or(0.0),
+            p99s.last().copied().unwrap_or(0.0),
+        ));
+    }
 
     let mut per_key_sc = None;
     let mut per_key_lin = None;
@@ -347,6 +453,23 @@ fn main() {
         }
         if let Some(ok) = per_key_lin {
             extra.push_str(&format!(", \"per_key_lin\": {ok}"));
+        }
+        if !conn_stats.is_empty() {
+            extra.push_str(&format!(", \"connections\": {}", conn_stats.len()));
+            extra.push_str(", \"per_connection\": [");
+            for (i, s) in conn_stats.iter().enumerate() {
+                extra.push_str(&format!(
+                    "{}{{\"conn\": {}, \"node\": {}, \"ops\": {}, \"p50_us\": {:.1}, \
+                     \"p99_us\": {:.1}}}",
+                    if i > 0 { ", " } else { "" },
+                    s.conn,
+                    s.node,
+                    s.ops,
+                    s.p50_us,
+                    s.p99_us
+                ));
+            }
+            extra.push(']');
         }
         println!(
             "{{\"ops\": {}, \"secs\": {:.3}, \"ops_per_sec\": {:.0}, \"hit_rate\": {:.4}, \

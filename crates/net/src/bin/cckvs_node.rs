@@ -17,7 +17,7 @@
 //! connection (`cckvs-loadgen --shutdown` sends one).
 
 use cckvs::node::{NodeConfig, DEFAULT_KVS_THREADS};
-use cckvs_net::server::{NodeServer, NodeServerConfig};
+use cckvs_net::server::{NodeServer, NodeServerConfig, ReactorConfig};
 use consistency::messages::ConsistencyModel;
 use std::net::SocketAddr;
 use std::time::Duration;
@@ -35,6 +35,8 @@ struct Args {
     value_capacity: usize,
     peer_timeout: u64,
     epoch_hot_set: Option<usize>,
+    shards: usize,
+    workers: usize,
 }
 
 fn usage() -> ! {
@@ -42,7 +44,10 @@ fn usage() -> ! {
         "usage: cckvs-node --node N --nodes M --listen ADDR --peers A,B,... \
          [--model sc|lin] [--metrics ADDR] [--cache-capacity N] \
          [--kvs-capacity N] [--value-capacity N] [--peer-timeout SECS] \
-         [--epoch-hot-set N]\n\
+         [--epoch-hot-set N] [--shards N] [--workers N]\n\
+         --shards/--workers size the epoll reactor (shard event-loop\n\
+         threads and blocking-handler workers; thread count is independent\n\
+         of connection count).\n\
          --epoch-hot-set makes this node the deployment's epoch coordinator:\n\
          it tracks popularity over the requests it serves and churns a hot\n\
          set of N keys across all nodes at every epoch (set it on exactly\n\
@@ -64,6 +69,8 @@ fn parse_args() -> Args {
         value_capacity: 64,
         peer_timeout: 30,
         epoch_hot_set: None,
+        shards: ReactorConfig::default().shards,
+        workers: ReactorConfig::default().workers,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -113,6 +120,8 @@ fn parse_args() -> Args {
                 args.epoch_hot_set =
                     Some(value("--epoch-hot-set").parse().unwrap_or_else(|_| usage()))
             }
+            "--shards" => args.shards = value("--shards").parse().unwrap_or_else(|_| usage()),
+            "--workers" => args.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -122,6 +131,10 @@ fn parse_args() -> Args {
     }
     if args.nodes == 0 || args.node >= args.nodes {
         eprintln!("--node and --nodes are required (node < nodes)");
+        usage();
+    }
+    if args.shards == 0 || args.workers == 0 {
+        eprintln!("--shards and --workers must be at least 1");
         usage();
     }
     if args.peers.len() != args.nodes {
@@ -151,6 +164,10 @@ fn main() {
         metrics_listen: args.metrics,
         epochs: args.epoch_hot_set.map(EpochConfig::for_cache),
         flow: cckvs_net::server::FlowConfig::default(),
+        reactor: ReactorConfig {
+            shards: args.shards,
+            workers: args.workers,
+        },
     };
     let mut server = match NodeServer::start(cfg) {
         Ok(server) => server,

@@ -64,15 +64,40 @@ pub(crate) struct Conn {
     writer: BufWriter<TcpStream>,
 }
 
+/// Connection buffer capacity. Frames on the request/response paths are
+/// ~100 bytes; `BufReader`/`BufWriter` bypass their buffer for larger
+/// transfers, so small buffers lose nothing — while keeping a process
+/// that opens thousands of connections (`cckvs-loadgen --connections`,
+/// the conn-scaling bench) cache-resident instead of spending 16 KB of
+/// cold buffer per connection per op.
+const CONN_BUF_BYTES: usize = 1024;
+
+/// Kernel socket-buffer cap for request/response connections (each
+/// direction; the kernel doubles it internally). Generous for ~100-byte
+/// frames and coalesced request batches, a fraction of the ~128 KB+
+/// defaults that dominate per-connection memory at high connection
+/// counts. Peer-mesh links (1 MiB coherence batches) keep kernel
+/// defaults.
+pub(crate) const CONN_KERNEL_BUF_BYTES: usize = 32 * 1024;
+
 impl Conn {
     pub(crate) fn open(addr: SocketAddr, hello: &Frame) -> io::Result<Conn> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        let mut writer = BufWriter::new(stream.try_clone()?);
+        // Cap kernel socket buffers on the request/response paths: a
+        // driver holding thousands of connections otherwise spends most
+        // of its memory (and cache) on default-sized kernel buffers.
+        // Best-effort — frames still flow (in more round trips) if the
+        // cap is refused.
+        let _ = reactor::set_socket_buffers(
+            std::os::fd::AsRawFd::as_raw_fd(&stream),
+            CONN_KERNEL_BUF_BYTES,
+        );
+        let mut writer = BufWriter::with_capacity(CONN_BUF_BYTES, stream.try_clone()?);
         write_frame(&mut writer, hello)?;
         writer.flush()?;
         Ok(Conn {
-            reader: BufReader::new(stream),
+            reader: BufReader::with_capacity(CONN_BUF_BYTES, stream),
             writer,
         })
     }

@@ -10,8 +10,9 @@
 //!   invalidation/ack/update rounds) and the cache-miss remote-read/write
 //!   RPCs.
 //! * [`server`] — [`server::NodeServer`]: one ccKVS node behind a socket,
-//!   with per-peer writer threads so protocol deliveries never block on
-//!   I/O.
+//!   served by an epoll reactor (`crates/reactor`): per-connection state
+//!   machines on a few shard threads, a bounded worker pool for blocking
+//!   handlers, credit-gated peer links driven by readiness events.
 //! * [`rack`] — [`rack::Rack`]: boots an N-node deployment, wires the peer
 //!   mesh and installs the coordinator's hot set over the wire.
 //! * [`client`] — [`client::Client`]: a load-balancing client session that
@@ -24,10 +25,11 @@
 //! workload driver that reports throughput, hit rate, latency percentiles
 //! and checker verdicts).
 //!
-//! Blocking I/O with a thread per connection is used throughout; an async
-//! runtime (tokio) would slot into [`server`]/[`client`] unchanged at the
-//! protocol level, but the build environment has no crates.io access, so
-//! the dependency is gated off rather than vendored.
+//! The server side is event-driven: thread count is O(reactor shards),
+//! independent of connection count, so one node sustains thousands of
+//! concurrent client connections. The client library keeps blocking I/O
+//! (a session is a natural thread); drivers that open thousands of
+//! connections multiplex many sessions per thread.
 //!
 //! # Example
 //!
@@ -55,7 +57,7 @@ pub use client::{
 };
 pub use metrics::{serve_http, Metrics, MetricsSnapshot};
 pub use rack::{Rack, RackConfig, COORDINATOR_NODE};
-pub use server::{FlowConfig, NodeServer, NodeServerConfig};
+pub use server::{FlowConfig, NodeServer, NodeServerConfig, ReactorConfig};
 pub use wire::{Frame, WireError};
 
 /// One-stop imports for examples and applications.
@@ -66,6 +68,6 @@ pub mod prelude {
     };
     pub use crate::metrics::{Metrics, MetricsSnapshot};
     pub use crate::rack::{Rack, RackConfig, COORDINATOR_NODE};
-    pub use crate::server::{FlowConfig, NodeServer, NodeServerConfig};
+    pub use crate::server::{FlowConfig, NodeServer, NodeServerConfig, ReactorConfig};
     pub use crate::wire::Frame;
 }

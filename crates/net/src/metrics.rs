@@ -10,9 +10,12 @@
 //! workload runs.
 
 use parking_lot::Mutex;
+use reactor::{Events, Interest, Poller, Token, Waker, WriteBuf};
 use simnet::Histogram;
-use std::io::{Read, Write};
+use std::collections::HashMap;
+use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -52,6 +55,20 @@ pub struct MetricsSnapshot {
     pub batch_ops_p50: u64,
     /// 99th-percentile batch size in ops.
     pub batch_ops_p99: u64,
+    /// Connections accepted over the node's lifetime (client, peer and
+    /// rpc links alike).
+    pub conns_accepted: u64,
+    /// Connections currently registered with the reactor.
+    pub conns_open: u64,
+    /// Reactor shard threads serving this node.
+    pub reactor_shards: u64,
+    /// Worker threads executing blocking request handlers.
+    pub reactor_workers: u64,
+    /// Request jobs dispatched to the worker pool.
+    pub worker_jobs: u64,
+    /// Client GETs answered inline on a reactor shard (cache hit without a
+    /// worker-pool hop).
+    pub inline_gets: u64,
     /// Times a peer writer exhausted its credit window and had to wait for
     /// returns before sending.
     pub credit_stalls: u64,
@@ -98,6 +115,12 @@ pub struct Metrics {
     writebacks: AtomicU64,
     batches: AtomicU64,
     batched_ops: AtomicU64,
+    conns_accepted: AtomicU64,
+    conns_open: AtomicU64,
+    reactor_shards: AtomicU64,
+    reactor_workers: AtomicU64,
+    worker_jobs: AtomicU64,
+    inline_gets: AtomicU64,
     credit_stalls: AtomicU64,
     credit_stall_ns: AtomicU64,
     batch_sizes: Mutex<Histogram>,
@@ -179,6 +202,33 @@ impl Metrics {
         self.batch_sizes.lock().record(ops);
     }
 
+    /// Records one accepted connection now registered with the reactor.
+    pub fn record_conn_opened(&self) {
+        self.conns_accepted.fetch_add(1, Ordering::Relaxed);
+        self.conns_open.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one connection leaving the reactor.
+    pub fn record_conn_closed(&self) {
+        self.conns_open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Sets the reactor topology gauges (shard and worker thread counts).
+    pub fn set_reactor_threads(&self, shards: u64, workers: u64) {
+        self.reactor_shards.store(shards, Ordering::Relaxed);
+        self.reactor_workers.store(workers, Ordering::Relaxed);
+    }
+
+    /// Records one request job handed to the worker pool.
+    pub fn record_worker_job(&self) {
+        self.worker_jobs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one client GET answered inline on a reactor shard.
+    pub fn record_inline_get(&self) {
+        self.inline_gets.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records one credit-window stall of `nanos` nanoseconds on a peer
     /// writer (the writer had traffic to send but no credits left).
     pub fn record_credit_stall_ns(&self, nanos: u64) {
@@ -236,6 +286,12 @@ impl Metrics {
             writebacks: self.writebacks.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             batched_ops: self.batched_ops.load(Ordering::Relaxed),
+            conns_accepted: self.conns_accepted.load(Ordering::Relaxed),
+            conns_open: self.conns_open.load(Ordering::Relaxed),
+            reactor_shards: self.reactor_shards.load(Ordering::Relaxed),
+            reactor_workers: self.reactor_workers.load(Ordering::Relaxed),
+            worker_jobs: self.worker_jobs.load(Ordering::Relaxed),
+            inline_gets: self.inline_gets.load(Ordering::Relaxed),
             batch_ops_p50,
             batch_ops_p99,
             credit_stalls: self.credit_stalls.load(Ordering::Relaxed),
@@ -315,6 +371,21 @@ impl Metrics {
             snap.batched_ops,
         );
         counter(
+            "conns_accepted_total",
+            "Connections accepted over the node's lifetime.",
+            snap.conns_accepted,
+        );
+        counter(
+            "worker_jobs_total",
+            "Request jobs dispatched to the worker pool.",
+            snap.worker_jobs,
+        );
+        counter(
+            "inline_gets_total",
+            "Client GETs answered inline on a reactor shard.",
+            snap.inline_gets,
+        );
+        counter(
             "credit_stalls_total",
             "Peer-writer stalls on an exhausted credit window.",
             snap.credit_stalls,
@@ -328,6 +399,9 @@ impl Metrics {
             ("batch_ops_p50", snap.batch_ops_p50),
             ("batch_ops_p99", snap.batch_ops_p99),
             ("credit_stall_p99_ns", snap.credit_stall_p99_ns),
+            ("conns_open", snap.conns_open),
+            ("reactor_shards", snap.reactor_shards),
+            ("reactor_workers", snap.reactor_workers),
         ] {
             out.push_str(&format!(
                 "# TYPE cckvs_{suffix} gauge\ncckvs_{suffix}{{node=\"{node_label}\"}} {value}\n"
@@ -360,6 +434,7 @@ impl Metrics {
 pub struct MetricsServer {
     addr: SocketAddr,
     running: Arc<AtomicBool>,
+    waker: Arc<Waker>,
     handle: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -376,8 +451,7 @@ impl MetricsServer {
 
     fn stop(&mut self) {
         self.running.store(false, Ordering::SeqCst);
-        // Unblock the accept loop.
-        let _ = TcpStream::connect(self.addr);
+        self.waker.wake();
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
         }
@@ -392,7 +466,29 @@ impl Drop for MetricsServer {
     }
 }
 
-/// Serves `metrics.render()` over HTTP/1.0 on `addr` (`0` port allowed).
+/// Most concurrent scrape connections the endpoint holds; beyond this the
+/// accept loop stops taking new sockets until one finishes. A scrape storm
+/// therefore costs bounded memory and zero threads — the old
+/// thread-per-scrape endpoint could be driven to thread exhaustion by
+/// aggressive (or stuck) scrapers.
+const MAX_SCRAPE_CONNS: usize = 128;
+
+/// Request-head bytes read before answering regardless (a scrape target,
+/// not a router — the path is irrelevant and giant heads are hostile).
+const MAX_REQUEST_HEAD: usize = 8 * 1024;
+
+const SCRAPE_TOKEN_WAKER: u64 = 0;
+const SCRAPE_TOKEN_LISTENER: u64 = 1;
+
+struct ScrapeConn {
+    stream: TcpStream,
+    head: Vec<u8>,
+    response: WriteBuf,
+    responding: bool,
+}
+
+/// Serves `metrics.render()` over HTTP/1.0 on `addr` (`0` port allowed),
+/// from a single-thread reactor loop with a bounded connection set.
 ///
 /// The endpoint answers every request path with the full registry — it is a
 /// scrape target, not a router.
@@ -402,47 +498,177 @@ pub fn serve_http(
     metrics: Arc<Metrics>,
 ) -> std::io::Result<MetricsServer> {
     let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
     let local = listener.local_addr()?;
+    let poller = Poller::new()?;
+    poller.register(
+        listener.as_raw_fd(),
+        Token(SCRAPE_TOKEN_LISTENER),
+        Interest::READ,
+    )?;
+    let waker = Arc::new(Waker::new(&poller, Token(SCRAPE_TOKEN_WAKER))?);
     let running = Arc::new(AtomicBool::new(true));
     let thread_running = Arc::clone(&running);
+    let thread_waker = Arc::clone(&waker);
     let handle = std::thread::Builder::new()
         .name(format!("cckvs-metrics-{node_label}"))
         .spawn(move || {
-            while thread_running.load(Ordering::SeqCst) {
-                let mut stream = match listener.accept() {
-                    Ok((stream, _)) => stream,
-                    // Transient accept errors must not kill the endpoint.
-                    Err(_) => {
-                        std::thread::sleep(std::time::Duration::from_millis(10));
-                        continue;
-                    }
-                };
-                if !thread_running.load(Ordering::SeqCst) {
-                    break;
-                }
-                // Read (and discard) the request head; tolerate clients that
-                // close early.
-                let mut buf = [0u8; 1024];
-                let _ = stream.read(&mut buf);
-                let body = metrics.render(&node_label);
-                let response = format!(
-                    "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
-                    body.len(),
-                    body
-                );
-                let _ = stream.write_all(response.as_bytes());
-            }
+            scrape_loop(
+                listener,
+                poller,
+                thread_waker,
+                thread_running,
+                node_label,
+                metrics,
+            )
         })?;
     Ok(MetricsServer {
         addr: local,
         running,
+        waker,
         handle: Some(handle),
     })
+}
+
+fn scrape_loop(
+    listener: TcpListener,
+    poller: Poller,
+    waker: Arc<Waker>,
+    running: Arc<AtomicBool>,
+    node_label: String,
+    metrics: Arc<Metrics>,
+) {
+    let mut events = Events::with_capacity(64);
+    let mut conns: HashMap<u64, ScrapeConn> = HashMap::new();
+    let mut next_token = 16u64;
+    let mut listener_paused = false;
+    while running.load(Ordering::SeqCst) {
+        if poller.wait(&mut events, None).is_err() {
+            continue;
+        }
+        waker.drain();
+        if !running.load(Ordering::SeqCst) {
+            break;
+        }
+        let mut touched: Vec<u64> = Vec::new();
+        let mut accept = false;
+        for event in events.iter() {
+            match event.token.0 {
+                SCRAPE_TOKEN_WAKER => {}
+                SCRAPE_TOKEN_LISTENER => accept = true,
+                token => touched.push(token),
+            }
+        }
+        if accept {
+            while conns.len() < MAX_SCRAPE_CONNS {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        let token = next_token;
+                        next_token += 1;
+                        if poller
+                            .register(stream.as_raw_fd(), Token(token), Interest::READ)
+                            .is_ok()
+                        {
+                            conns.insert(
+                                token,
+                                ScrapeConn {
+                                    stream,
+                                    head: Vec::new(),
+                                    response: WriteBuf::new(),
+                                    responding: false,
+                                },
+                            );
+                            touched.push(token);
+                        }
+                    }
+                    // WouldBlock and transient errors alike: retry on the
+                    // next readiness event instead of dying.
+                    Err(_) => break,
+                }
+            }
+        }
+        for token in touched {
+            let Some(conn) = conns.get_mut(&token) else {
+                continue;
+            };
+            let mut done = false;
+            if !conn.responding {
+                // Accumulate the request head until a blank line (or the
+                // cap, or EOF — tolerate clients that close early).
+                let mut buf = [0u8; 1024];
+                let complete = loop {
+                    match conn.stream.read(&mut buf) {
+                        Ok(0) => break true,
+                        Ok(n) => {
+                            conn.head.extend_from_slice(&buf[..n]);
+                            if conn.head.len() >= MAX_REQUEST_HEAD
+                                || conn.head.windows(4).any(|w| w == b"\r\n\r\n")
+                            {
+                                break true;
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break false,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(_) => {
+                            done = true;
+                            break false;
+                        }
+                    }
+                };
+                if complete && !done {
+                    let body = metrics.render(&node_label);
+                    conn.response.push(
+                        format!(
+                            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+                            body.len(),
+                            body
+                        )
+                        .as_bytes(),
+                    );
+                    conn.responding = true;
+                    let _ = poller.modify(conn.stream.as_raw_fd(), Token(token), Interest::WRITE);
+                }
+            }
+            if conn.responding && !done {
+                match conn.response.flush_to(&mut conn.stream) {
+                    Ok(true) => done = true,
+                    Ok(false) => {}
+                    Err(_) => done = true,
+                }
+            }
+            if done {
+                let conn = conns.remove(&token).expect("present above");
+                poller.deregister(conn.stream.as_raw_fd());
+            }
+        }
+        // The bounded set acts as accept backpressure: pause the listener
+        // registration while full so epoll does not spin on pending
+        // connections, resume once a slot frees up.
+        if !listener_paused && conns.len() >= MAX_SCRAPE_CONNS {
+            poller.deregister(listener.as_raw_fd());
+            listener_paused = true;
+        } else if listener_paused
+            && conns.len() < MAX_SCRAPE_CONNS
+            && poller
+                .register(
+                    listener.as_raw_fd(),
+                    Token(SCRAPE_TOKEN_LISTENER),
+                    Interest::READ,
+                )
+                .is_ok()
+        {
+            listener_paused = false;
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Write;
 
     #[test]
     fn counters_and_hit_rate() {
@@ -531,6 +757,39 @@ mod tests {
         assert!(text.contains("cckvs_batched_ops_total{node=\"n2\"} 33"));
         assert!(text.contains("cckvs_credit_stalls_total{node=\"n2\"} 2"));
         assert!(text.contains("cckvs_batch_ops_p99{node=\"n2\"} 16"));
+    }
+
+    #[test]
+    fn scrape_storm_is_served_without_extra_threads() {
+        let metrics = Arc::new(Metrics::new());
+        metrics.record_get();
+        let server = serve_http(
+            "127.0.0.1:0".parse().unwrap(),
+            "storm".to_string(),
+            Arc::clone(&metrics),
+        )
+        .unwrap();
+        let addr = server.addr();
+        // Concurrent scrapers hammering the endpoint: every request gets a
+        // complete, valid response, from the single reactor thread.
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    for _ in 0..40 {
+                        let mut stream = TcpStream::connect(addr).unwrap();
+                        stream.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+                        let mut response = String::new();
+                        stream.read_to_string(&mut response).unwrap();
+                        assert!(response.starts_with("HTTP/1.0 200 OK"), "{response}");
+                        assert!(response.contains("cckvs_gets_total"));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        server.shutdown();
     }
 
     #[test]

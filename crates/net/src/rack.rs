@@ -9,7 +9,7 @@
 //! need.
 
 use crate::client::{flip_epoch, install_hot_set, EpochFlip};
-use crate::server::{FlowConfig, NodeServer, NodeServerConfig};
+use crate::server::{FlowConfig, NodeServer, NodeServerConfig, ReactorConfig};
 use cckvs::node::{NodeConfig, DEFAULT_KVS_THREADS};
 use consistency::messages::ConsistencyModel;
 use std::io;
@@ -45,6 +45,8 @@ pub struct RackConfig {
     /// Peer-mesh batching and credit-based flow-control knobs, applied to
     /// every node.
     pub flow: FlowConfig,
+    /// Reactor topology (shard and worker threads), applied to every node.
+    pub reactor: ReactorConfig,
 }
 
 impl RackConfig {
@@ -59,6 +61,7 @@ impl RackConfig {
             metrics: true,
             epochs: None,
             flow: FlowConfig::default(),
+            reactor: ReactorConfig::default(),
         }
     }
 }
@@ -85,6 +88,7 @@ impl Rack {
                 };
                 let mut server_cfg = NodeServerConfig::loopback(node);
                 server_cfg.flow = cfg.flow;
+                server_cfg.reactor = cfg.reactor;
                 if !cfg.metrics {
                     server_cfg.metrics_listen = None;
                 }

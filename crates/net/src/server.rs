@@ -1,37 +1,64 @@
-//! The networked ccKVS node: a [`CcNode`] behind a TCP endpoint.
+//! The networked ccKVS node: a [`CcNode`] behind a TCP endpoint, served by
+//! an epoll reactor.
 //!
 //! A [`NodeServer`] binds one listener and serves three kinds of
 //! connections, distinguished by their hello frame (see [`crate::wire`]):
 //! client request/response sessions, incoming one-way peer protocol links,
 //! and incoming miss-path RPC links. Outgoing protocol traffic to each peer
-//! flows through a dedicated writer thread fed by an unbounded channel, so
-//! a delivery that produces follow-on messages (an invalidation producing
-//! an ack, a final ack producing the update broadcast) never blocks on
-//! socket I/O — mirroring the asynchronous network threads of the
-//! in-process cluster, with real sockets underneath.
+//! flows through a per-peer outbox drained by the reactor under
+//! credit-based flow control.
 //!
-//! Concurrency model: one OS thread per connection (blocking I/O). An async
-//! runtime would slot in at exactly this layer; the build environment has
-//! no crates.io access for `tokio`, so the subsystem gates on blocking std
-//! networking while keeping every protocol decision inside the
-//! transport-agnostic [`CcNode`].
+//! Concurrency model (PR 4 — replaces one thread per connection):
+//!
+//! * **Reactor shards** ([`ReactorConfig::shards`] threads) own every
+//!   socket. Each connection is a nonblocking state machine: a streaming
+//!   [`FrameDecoder`] assembles frames from whatever chunks the socket
+//!   delivers, responses accumulate in a [`reactor::WriteBuf`] and drain on
+//!   writability (backpressure instead of blocking writes). Thread count is
+//!   `O(shards)`, independent of connection count.
+//! * **Protocol deliveries and miss-path RPC service run inline on the
+//!   shard** — they are lock-protected state updates that never wait on
+//!   other messages, so a shard can never deadlock against itself.
+//! * **Blocking request handlers** (Lin writes that wait for ack rounds,
+//!   miss-path RPCs to remote home shards, hot-transition retry loops) run
+//!   on a small fixed worker pool ([`ReactorConfig::workers`] threads). A
+//!   connection has at most one job in flight and its queued frames wait,
+//!   so responses stay in request order and session program order is
+//!   preserved. Cache-hit GETs are answered inline on the shard without the
+//!   worker hop.
+//! * **Admin reconfiguration frames** (`Evict`, `FlipEpoch`) spawn an
+//!   ephemeral thread each: they nest wire RPCs back into the deployment
+//!   (evict-everywhere, install-everywhere), and running them on the
+//!   bounded pool could exhaust it and deadlock against their own nested
+//!   frames. They are rare (epoch cadence), so thread count stays bounded
+//!   by reconfiguration concurrency, never by connection count.
+//!
+//! The per-peer credit window (§6.4) is driven by readiness events: a
+//! stalled peer writer re-arms a 1 ms timer-wheel tick instead of parking a
+//! thread, and credit returns owed to the peer still go out while stalled —
+//! which keeps symmetric saturation deadlock-free exactly as the
+//! thread-per-peer implementation did. Teardown drains stalled peers
+//! without credits.
 
 use crate::client::Conn;
 use crate::metrics::{Metrics, MetricsServer};
-use crate::wire::{read_frame, write_frame, BatchBuilder, Frame};
-use cckvs::node::{CacheGet, CachePut, CcNode, EvictHot, NodeConfig, Outgoing};
+use crate::wire::{write_frame, BatchBuilder, Frame, FrameDecoder};
+use cckvs::node::{CachePut, CcNode, EvictHot, NodeConfig, Outgoing};
 use consistency::engine::Destination;
 use consistency::lamport::{NodeId, Timestamp};
 use consistency::messages::ProtocolMsg;
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
-use std::collections::{HashSet, VecDeque};
-use std::io::{self, BufReader, BufWriter, Write};
+use reactor::{Events, Interest, Poller, Token, Waker, WriteBuf};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 use symcache::popularity::{CacheCoordinator, EpochConfig, HotSet};
+use symcache::ReadOutcome;
 
 /// Peer-mesh batching and credit-based flow-control knobs (§6.3/§6.4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +81,28 @@ impl Default for FlowConfig {
     }
 }
 
+/// Event-loop topology knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReactorConfig {
+    /// Reactor shard threads. Connections are spread across shards
+    /// round-robin; each shard owns its sockets exclusively (no
+    /// cross-shard locking on the I/O path).
+    pub shards: usize,
+    /// Worker threads executing blocking request handlers (Lin commit
+    /// waits, miss-path RPCs). Sized for the expected number of
+    /// *concurrently blocked* requests, not for connection count.
+    pub workers: usize,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        Self {
+            shards: 2,
+            workers: 8,
+        }
+    }
+}
+
 /// Configuration of one networked node.
 #[derive(Debug, Clone)]
 pub struct NodeServerConfig {
@@ -70,6 +119,8 @@ pub struct NodeServerConfig {
     pub epochs: Option<EpochConfig>,
     /// Peer-mesh batching and flow-control knobs.
     pub flow: FlowConfig,
+    /// Event-loop topology knobs.
+    pub reactor: ReactorConfig,
 }
 
 impl NodeServerConfig {
@@ -81,21 +132,10 @@ impl NodeServerConfig {
             metrics_listen: Some("127.0.0.1:0".parse().expect("static addr")),
             epochs: None,
             flow: FlowConfig::default(),
+            reactor: ReactorConfig::default(),
         }
     }
 }
-
-/// One unit of work for a peer writer thread.
-enum PeerItem {
-    /// A protocol message to ship (value bytes broadcast-shared).
-    Msg(ProtocolMsg, Option<Arc<[u8]>>),
-    /// Wake-up only: credits are owed to this peer and should be returned
-    /// even if no protocol traffic is flowing that way.
-    Doorbell,
-}
-
-type PeerTx = Sender<PeerItem>;
-type PeerRx = Receiver<PeerItem>;
 
 /// How long a credit-stalled peer writer waits before re-checking for
 /// piggyback credit returns it owes in the other direction. This tick is
@@ -110,37 +150,57 @@ const CREDIT_STALL_TICK: Duration = Duration::from_millis(1);
 /// the budget still travels — alone, as a bare frame.
 const PEER_BATCH_MAX_BYTES: usize = 1 << 20;
 
+/// Write-buffer high-water mark: once a connection has this much pending
+/// output, the shard stops reading from it (and a peer writer stops
+/// packing batches) until the socket drains below [`LOW_WATER`].
+const HIGH_WATER: usize = 1 << 20;
+
+/// Write-buffer low-water mark: reads resume below this.
+const LOW_WATER: usize = 128 << 10;
+
+/// Decoded-but-unserved frames a client connection may queue before the
+/// shard stops reading from it (a pipelining client cannot buffer-bloat
+/// the server; TCP pushes back instead).
+const MAX_PENDING_FRAMES: usize = 256;
+
 /// Counting semaphore over the send-credit window toward one peer.
+/// Nonblocking: the reactor never parks on credits — it re-arms a timer
+/// tick instead.
 #[derive(Debug)]
 struct CreditGauge {
-    avail: Mutex<u64>,
-    returned: Condvar,
+    avail: AtomicU64,
 }
 
 impl CreditGauge {
     fn new(window: u64) -> Self {
         Self {
-            avail: Mutex::new(window),
-            returned: Condvar::new(),
+            avail: AtomicU64::new(window),
         }
     }
 
     /// Returns `n` credits (called when the peer confirms processing).
     fn put(&self, n: u64) {
-        *self.avail.lock() += n;
-        self.returned.notify_all();
+        self.avail.fetch_add(n, Ordering::AcqRel);
     }
 
-    /// Takes up to `max` credits, waiting until at least one is available
-    /// or `timeout` elapses. Returns the number taken (0 on timeout).
-    fn take_up_to(&self, max: u64, timeout: Duration) -> u64 {
-        let mut avail = self.avail.lock();
-        if *avail == 0 && self.returned.wait_for(&mut avail, timeout) {
-            return 0;
+    /// Takes up to `max` credits without waiting; returns the number taken.
+    fn try_take(&self, max: u64) -> u64 {
+        let mut cur = self.avail.load(Ordering::Acquire);
+        loop {
+            let take = cur.min(max);
+            if take == 0 {
+                return 0;
+            }
+            match self.avail.compare_exchange_weak(
+                cur,
+                cur - take,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return take,
+                Err(now) => cur = now,
+            }
         }
-        let taken = (*avail).min(max);
-        *avail -= taken;
-        taken
     }
 }
 
@@ -208,15 +268,96 @@ enum ColdPut {
     Rejected(String),
 }
 
+/// One protocol message queued toward a peer (value bytes
+/// broadcast-shared).
+type PeerMsg = (ProtocolMsg, Option<Arc<[u8]>>);
+
+/// The cross-thread half of one outgoing peer link: protocol shippers
+/// (shards delivering messages, workers completing writes) push here and
+/// wake the owning shard, which packs the queue into credit-gated batches.
+struct PeerOutbox {
+    queue: Mutex<VecDeque<PeerMsg>>,
+    /// Which reactor shard owns the link's socket.
+    shard: usize,
+}
+
+/// A unit of work for the blocking worker pool. Every variant carries the
+/// originating `(shard, token)` so the response lands back on the right
+/// connection.
+enum Job {
+    /// Serve one client frame that the shard could not finish inline
+    /// (cache miss → remote RPC, stalled entry → retry loop).
+    Client {
+        shard: usize,
+        token: u64,
+        frame: Frame,
+    },
+    /// A Lin write was *initiated* inline on the shard (invalidations
+    /// already shipped); only the commit wait and the response remain.
+    Wait {
+        shard: usize,
+        token: u64,
+        key: u64,
+        ts: Timestamp,
+    },
+    /// Resume a request batch the shard served partially inline: `done`
+    /// responses are final, `wait` is an initiated Lin write to await
+    /// (its response follows `done`), `rest` still needs serving.
+    Batch {
+        shard: usize,
+        token: u64,
+        done: Vec<Frame>,
+        wait: Option<(u64, Timestamp)>,
+        rest: Vec<Frame>,
+    },
+    /// Teardown poison: the receiving worker exits.
+    Stop,
+}
+
+/// A message into a reactor shard from another thread.
+enum ShardMsg {
+    /// Adopt a freshly accepted connection (role decided by its hello).
+    NewConn(TcpStream),
+    /// Adopt the outgoing protocol link to `peer`.
+    AdoptPeerOut {
+        peer: usize,
+        stream: TcpStream,
+        outbox: Arc<PeerOutbox>,
+    },
+    /// A worker (or admin thread) finished connection `token`'s job:
+    /// append `bytes` to its write buffer; `close` ends the connection.
+    Complete {
+        token: u64,
+        bytes: Vec<u8>,
+        close: bool,
+    },
+}
+
+/// The cross-thread face of one reactor shard.
+struct ShardShared {
+    waker: Waker,
+    inbox: Mutex<Vec<ShardMsg>>,
+}
+
+impl ShardShared {
+    fn send(&self, msg: ShardMsg) {
+        self.inbox.lock().push(msg);
+        self.waker.wake();
+    }
+}
+
 struct ServerInner {
     node: CcNode,
     metrics: Arc<Metrics>,
     listen_addr: SocketAddr,
     running: AtomicBool,
-    /// Set once `connect_peers` has wired the outbound mesh; connection
-    /// threads hold incoming traffic until then (TCP buffers it), so no
+    /// Set once `connect_peers` has wired the outbound mesh; shards park
+    /// incoming traffic until then (frames wait in decode buffers), so no
     /// protocol message is ever dropped or misrouted during boot.
     ready: AtomicBool,
+    /// Signals [`NodeServer::wait`] once shutdown was initiated.
+    stopped: Mutex<bool>,
+    stopped_cv: Condvar,
     tags: AtomicU64,
     /// Versions assigned to miss-path (cold-key) writes applied to this
     /// node's KVS shard. The home shard is the single serialisation point
@@ -237,76 +378,91 @@ struct ServerInner {
     churn: Option<Churn>,
     /// Outgoing one-way protocol links, indexed by peer node id (self =
     /// `None`). Installed by `connect_peers`.
-    peer_txs: Mutex<Vec<Option<PeerTx>>>,
+    peer_outboxes: Mutex<Vec<Option<Arc<PeerOutbox>>>>,
     /// Peer listen addresses (for lazily dialed miss-path RPC links).
     peer_addrs: Mutex<Vec<SocketAddr>>,
     /// Lazily dialed miss-path RPC link pools, one per peer.
     rpc_pools: Vec<RpcPool>,
     /// Batching / flow-control knobs.
     flow: FlowConfig,
+    /// Event-loop topology.
+    reactor: ReactorConfig,
     /// Send credits toward each peer (self entry unused). Consumed by the
-    /// peer writer threads, refilled by [`Frame::Credit`] returns arriving
-    /// on the reverse links.
+    /// peer-out pumps, refilled by [`Frame::Credit`] returns arriving on
+    /// the reverse links.
     peer_credits: Vec<CreditGauge>,
     /// Credits owed *to* each peer: protocol messages received from it and
-    /// already processed, not yet confirmed back. The writer threads
+    /// already processed, not yet confirmed back. The peer-out pumps
     /// piggyback these on their next batch.
     credit_owed: Vec<AtomicU64>,
+    /// The reactor shards (set once at startup, before any I/O happens).
+    shards: OnceLock<Vec<Arc<ShardShared>>>,
+    /// Feeds the blocking worker pool.
+    job_tx: Sender<Job>,
 }
 
 impl ServerInner {
-    /// Ships protocol messages produced by the local node to their peers.
+    fn shard(&self, id: usize) -> &ShardShared {
+        &self.shards.get().expect("shards wired at startup")[id]
+    }
+
+    /// Ships protocol messages produced by the local node to their peers:
+    /// push to the per-peer outboxes, wake the owning shards.
     fn ship(&self, outgoing: Vec<Outgoing>) {
         if outgoing.is_empty() {
             return;
         }
-        let peers = self.peer_txs.lock();
-        for Outgoing { dest, msg, bytes } in outgoing {
-            match dest {
-                Destination::Broadcast => {
-                    for (id, tx) in peers.iter().enumerate() {
-                        if let Some(tx) = tx {
-                            if id != self.node.node() {
-                                self.metrics.record_protocol_out(1);
-                                let _ = tx.send(PeerItem::Msg(msg, bytes.clone()));
+        let mut wake: Vec<usize> = Vec::new();
+        {
+            let outboxes = self.peer_outboxes.lock();
+            let mut push = |peer: usize, msg: ProtocolMsg, bytes: Option<Arc<[u8]>>| {
+                if let Some(outbox) = outboxes.get(peer).and_then(Option::as_ref) {
+                    self.metrics.record_protocol_out(1);
+                    outbox.queue.lock().push_back((msg, bytes));
+                    if !wake.contains(&outbox.shard) {
+                        wake.push(outbox.shard);
+                    }
+                }
+            };
+            for Outgoing { dest, msg, bytes } in outgoing {
+                match dest {
+                    Destination::Broadcast => {
+                        for peer in 0..self.node.config().nodes {
+                            if peer != self.node.node() {
+                                push(peer, msg, bytes.clone());
                             }
                         }
                     }
-                }
-                Destination::To(node) => {
-                    if let Some(tx) = peers.get(node.0 as usize).and_then(Option::as_ref) {
-                        self.metrics.record_protocol_out(1);
-                        let _ = tx.send(PeerItem::Msg(msg, bytes));
-                    }
+                    Destination::To(node) => push(node.0 as usize, msg, bytes),
                 }
             }
+        }
+        for shard in wake {
+            self.shard(shard).waker.wake();
         }
     }
 
     /// Books `n` processed protocol messages from peer `from` for credit
-    /// return, and — once a quarter window accumulates — rings the writer
-    /// toward that peer so the credits flow back even when no protocol
-    /// traffic happens to be going that way (an SC update stream is
-    /// one-directional; without the doorbell the sender would stall out).
+    /// return, and — once a quarter window accumulates — rings the shard
+    /// owning the link toward that peer so the credits flow back even when
+    /// no protocol traffic happens to be going that way (an SC update
+    /// stream is one-directional; without the doorbell the sender would
+    /// stall out).
     fn owe_credits(&self, from: usize, n: u64) {
         if n == 0 {
             return;
         }
-        let owed = self.credit_owed[from].fetch_add(n, Ordering::Relaxed) + n;
+        let owed = self.credit_owed[from].fetch_add(n, Ordering::AcqRel) + n;
         if owed >= (self.flow.credit_window / 4).max(1) {
-            if let Some(tx) = self.peer_txs.lock().get(from).and_then(Option::as_ref) {
-                let _ = tx.send(PeerItem::Doorbell);
+            let shard = self
+                .peer_outboxes
+                .lock()
+                .get(from)
+                .and_then(Option::as_ref)
+                .map(|outbox| outbox.shard);
+            if let Some(shard) = shard {
+                self.shard(shard).waker.wake();
             }
-        }
-    }
-
-    /// Blocks until `connect_peers` has wired the outbound mesh.
-    fn wait_ready(&self) {
-        while !self.ready.load(Ordering::Acquire) {
-            if !self.running.load(Ordering::SeqCst) {
-                return;
-            }
-            std::thread::sleep(Duration::from_millis(1));
         }
     }
 
@@ -599,10 +755,31 @@ impl ServerInner {
         result
     }
 
+    /// Hands a finished job's response back to the owning shard.
+    fn complete(&self, shard: usize, token: u64, bytes: Vec<u8>, close: bool) {
+        self.shard(shard).send(ShardMsg::Complete {
+            token,
+            bytes,
+            close,
+        });
+    }
+
     fn initiate_shutdown(&self) {
         if self.running.swap(false, Ordering::SeqCst) {
-            // Unblock the accept loop.
-            let _ = TcpStream::connect(self.listen_addr);
+            // Wake every shard so it notices, drains its peers and exits.
+            if let Some(shards) = self.shards.get() {
+                for shard in shards {
+                    shard.waker.wake();
+                }
+            }
+            // Poison the worker pool: one Stop per worker, queued behind
+            // any outstanding jobs.
+            for _ in 0..self.reactor.workers {
+                let _ = self.job_tx.send(Job::Stop);
+            }
+            let mut stopped = self.stopped.lock();
+            *stopped = true;
+            self.stopped_cv.notify_all();
         }
     }
 }
@@ -610,16 +787,15 @@ impl ServerInner {
 /// A running networked ccKVS node.
 pub struct NodeServer {
     inner: Arc<ServerInner>,
-    accept_handle: Option<std::thread::JoinHandle<()>>,
+    shard_handles: Vec<std::thread::JoinHandle<()>>,
     applier_handle: Option<std::thread::JoinHandle<()>>,
-    writer_handles: Vec<std::thread::JoinHandle<()>>,
     metrics_server: Option<MetricsServer>,
 }
 
 impl NodeServer {
-    /// Binds the listener and starts accepting connections. Peer links are
-    /// not yet up: call [`NodeServer::connect_peers`] once every node of
-    /// the deployment is listening.
+    /// Binds the listener and starts the reactor. Peer links are not yet
+    /// up: call [`NodeServer::connect_peers`] once every node of the
+    /// deployment is listening.
     pub fn start(cfg: NodeServerConfig) -> io::Result<NodeServer> {
         if let Some(epochs) = &cfg.epochs {
             assert!(
@@ -629,10 +805,17 @@ impl NodeServer {
                 cfg.node.cache_capacity
             );
         }
+        assert!(cfg.reactor.shards >= 1, "reactor needs at least one shard");
+        assert!(
+            cfg.reactor.workers >= 1,
+            "reactor needs at least one worker"
+        );
         let listener = TcpListener::bind(cfg.listen)?;
+        listener.set_nonblocking(true)?;
         let listen_addr = listener.local_addr()?;
         let nodes = cfg.node.nodes;
         let metrics = Arc::new(Metrics::new());
+        metrics.set_reactor_threads(cfg.reactor.shards as u64, cfg.reactor.workers as u64);
         let (churn, flip_rx) = match cfg.epochs {
             Some(epochs) => {
                 let (flip_tx, flip_rx) = unbounded();
@@ -651,6 +834,7 @@ impl NodeServer {
             }
             None => (None, None),
         };
+        let (job_tx, job_rx) = unbounded();
         let inner = Arc::new(ServerInner {
             node: CcNode::new(cfg.node),
             metrics: Arc::clone(&metrics),
@@ -658,18 +842,23 @@ impl NodeServer {
             running: AtomicBool::new(true),
             // A single-node deployment has no mesh to wait for.
             ready: AtomicBool::new(nodes == 1),
+            stopped: Mutex::new(false),
+            stopped_cv: Condvar::new(),
             tags: AtomicU64::new(1),
             cold_versions: AtomicU64::new(1),
             hot_marks: Mutex::new(HashSet::new()),
             churn,
-            peer_txs: Mutex::new(vec![None; nodes]),
+            peer_outboxes: Mutex::new(vec![None; nodes]),
             peer_addrs: Mutex::new(vec![listen_addr; nodes]),
             rpc_pools: (0..nodes).map(|_| RpcPool::new()).collect(),
             flow: cfg.flow,
+            reactor: cfg.reactor,
             peer_credits: (0..nodes)
                 .map(|_| CreditGauge::new(cfg.flow.credit_window))
                 .collect(),
             credit_owed: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
+            shards: OnceLock::new(),
+            job_tx,
         });
         let metrics_server = match cfg.metrics_listen {
             Some(addr) => Some(crate::metrics::serve_http(
@@ -690,15 +879,56 @@ impl NodeServer {
             }
             None => None,
         };
-        let accept_inner = Arc::clone(&inner);
-        let accept_handle = std::thread::Builder::new()
-            .name(format!("cckvs-accept-n{}", cfg.node.node))
-            .spawn(move || accept_loop(listener, accept_inner))?;
+        // The worker pool: detached threads that exit on Stop poison (a
+        // worker parked in a Lin commit wait must not hang teardown — the
+        // thread-per-connection implementation detached its connection
+        // threads for the same reason).
+        for w in 0..cfg.reactor.workers {
+            let worker_inner = Arc::clone(&inner);
+            let rx = job_rx.clone();
+            std::thread::Builder::new()
+                .name(format!("cckvs-worker-n{}-{}", cfg.node.node, w))
+                .spawn(move || worker_loop(worker_inner, rx))?;
+        }
+        // Build every shard's poller+waker before spawning any shard, so
+        // the shard list is complete (and published) before the first
+        // event fires.
+        let mut pollers = Vec::with_capacity(cfg.reactor.shards);
+        let mut shareds = Vec::with_capacity(cfg.reactor.shards);
+        for _ in 0..cfg.reactor.shards {
+            let poller = Poller::new()?;
+            let waker = Waker::new(&poller, Token(TOKEN_WAKER))?;
+            pollers.push(poller);
+            shareds.push(Arc::new(ShardShared {
+                waker,
+                inbox: Mutex::new(Vec::new()),
+            }));
+        }
+        inner
+            .shards
+            .set(shareds.clone())
+            .unwrap_or_else(|_| unreachable!("shards set once"));
+        let mut shard_handles = Vec::with_capacity(cfg.reactor.shards);
+        let mut listener = Some(listener);
+        for (id, poller) in pollers.into_iter().enumerate() {
+            let shard_listener = if id == 0 { listener.take() } else { None };
+            if let Some(l) = &shard_listener {
+                poller.register(l.as_raw_fd(), Token(TOKEN_LISTENER), Interest::READ)?;
+            }
+            let shard_inner = Arc::clone(&inner);
+            let shared = Arc::clone(&shareds[id]);
+            shard_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("cckvs-shard-n{}-{}", cfg.node.node, id))
+                    .spawn(move || {
+                        Shard::new(shard_inner, id, poller, shared, shard_listener).run()
+                    })?,
+            );
+        }
         Ok(NodeServer {
             inner,
-            accept_handle: Some(accept_handle),
+            shard_handles,
             applier_handle,
-            writer_handles: Vec::new(),
             metrics_server,
         })
     }
@@ -734,61 +964,68 @@ impl NodeServer {
         );
         *self.inner.peer_addrs.lock() = addrs.to_vec();
         let me = self.inner.node.node();
+        let shard_count = self.inner.reactor.shards;
         for (peer, &addr) in addrs.iter().enumerate() {
             if peer == me {
                 continue;
             }
             let stream = dial_with_retry(addr, timeout)?;
             stream.set_nodelay(true)?;
-            let mut writer = BufWriter::new(stream);
-            write_frame(&mut writer, &Frame::PeerHello { from: me as u8 })?;
-            writer.flush()?;
-            let (tx, rx): (PeerTx, PeerRx) = unbounded();
-            let writer_inner = Arc::clone(&self.inner);
-            let handle = std::thread::Builder::new()
-                .name(format!("cckvs-peer-n{me}-to-n{peer}"))
-                .spawn(move || peer_writer_loop(writer_inner, peer, writer, rx))?;
-            self.writer_handles.push(handle);
-            self.inner.peer_txs.lock()[peer] = Some(tx);
+            // The hello travels before the stream goes nonblocking, so the
+            // link is role-tagged by the time the reactor adopts it.
+            let mut hello = Vec::new();
+            write_frame(&mut hello, &Frame::PeerHello { from: me as u8 }).expect("vec write");
+            (&stream).write_all(&hello)?;
+            stream.set_nonblocking(true)?;
+            let shard = peer % shard_count;
+            let outbox = Arc::new(PeerOutbox {
+                queue: Mutex::new(VecDeque::new()),
+                shard,
+            });
+            self.inner.peer_outboxes.lock()[peer] = Some(Arc::clone(&outbox));
+            self.inner.shard(shard).send(ShardMsg::AdoptPeerOut {
+                peer,
+                stream,
+                outbox,
+            });
         }
-        // Release the connection threads: incoming traffic accepted during
-        // boot has been parked in wait_ready (and TCP buffers), never
-        // dropped or served against a half-wired mesh.
+        // Release the parked connections: incoming traffic accepted during
+        // boot has been waiting in decode buffers (and TCP), never dropped
+        // or served against a half-wired mesh.
         self.inner.ready.store(true, Ordering::Release);
+        for shard in self.inner.shards.get().expect("shards wired") {
+            shard.waker.wake();
+        }
         Ok(())
     }
 
-    /// Asks the server to stop accepting connections.
+    /// Asks the server to stop accepting connections and shut down.
     pub fn initiate_shutdown(&self) {
         self.inner.initiate_shutdown();
     }
 
     /// Blocks until the server shuts down (via [`Frame::Shutdown`] from a
-    /// client or [`NodeServer::initiate_shutdown`]), then tears down peer
-    /// links.
+    /// client or [`NodeServer::initiate_shutdown`]), then tears down the
+    /// reactor.
     pub fn wait(mut self) {
-        if let Some(handle) = self.accept_handle.take() {
-            let _ = handle.join();
+        {
+            let mut stopped = self.inner.stopped.lock();
+            while !*stopped {
+                self.inner.stopped_cv.wait(&mut stopped);
+            }
         }
         self.teardown();
     }
 
-    /// Shuts the server down and joins its threads.
+    /// Shuts the server down and joins the reactor threads.
     pub fn shutdown(mut self) {
         self.inner.initiate_shutdown();
-        if let Some(handle) = self.accept_handle.take() {
-            let _ = handle.join();
-        }
         self.teardown();
     }
 
     fn teardown(&mut self) {
-        // Dropping the senders disconnects the channels; writer threads
-        // drain and exit, closing their sockets (peers see EOF).
-        for tx in self.inner.peer_txs.lock().iter_mut() {
-            *tx = None;
-        }
-        for handle in self.writer_handles.drain(..) {
+        self.inner.initiate_shutdown();
+        for handle in self.shard_handles.drain(..) {
             let _ = handle.join();
         }
         if let Some(handle) = self.applier_handle.take() {
@@ -805,10 +1042,6 @@ impl NodeServer {
 
 impl Drop for NodeServer {
     fn drop(&mut self) {
-        self.inner.initiate_shutdown();
-        if let Some(handle) = self.accept_handle.take() {
-            let _ = handle.join();
-        }
         self.teardown();
     }
 }
@@ -824,68 +1057,7 @@ fn dial_with_retry(addr: SocketAddr, timeout: Duration) -> io::Result<TcpStream>
     }
 }
 
-fn accept_loop(listener: TcpListener, inner: Arc<ServerInner>) {
-    let mut conn_id = 0u64;
-    while inner.running.load(Ordering::SeqCst) {
-        let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            // Transient accept errors (ECONNABORTED, EMFILE, ...) must not
-            // take a healthy node offline; back off briefly and retry.
-            Err(_) => {
-                std::thread::sleep(Duration::from_millis(10));
-                continue;
-            }
-        };
-        if !inner.running.load(Ordering::SeqCst) {
-            break;
-        }
-        conn_id += 1;
-        let conn_inner = Arc::clone(&inner);
-        let name = format!("cckvs-conn-n{}-{}", inner.node.node(), conn_id);
-        // Connection threads are detached: they exit on EOF when the remote
-        // side closes, and the process/test tears sockets down on shutdown.
-        let _ = std::thread::Builder::new().name(name).spawn(move || {
-            let _ = serve_connection(stream, conn_inner);
-        });
-    }
-}
-
-fn serve_connection(stream: TcpStream, inner: Arc<ServerInner>) -> io::Result<()> {
-    stream.set_nodelay(true)?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    match read_frame(&mut reader)? {
-        // Hold every connection until the outbound peer mesh is wired:
-        // serving a Lin put earlier would drop its invalidations (the
-        // writer links don't exist yet) and hang the client forever, and
-        // a miss-path RPC would dial a placeholder peer address.
-        Some(Frame::ClientHello) => {
-            inner.wait_ready();
-            client_loop(&mut reader, &mut writer, &inner)
-        }
-        Some(Frame::PeerHello { from }) => {
-            if usize::from(from) >= inner.node.config().nodes {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("peer hello from unknown node {from}"),
-                ));
-            }
-            inner.wait_ready();
-            peer_receive_loop(&mut reader, usize::from(from), &inner)
-        }
-        Some(Frame::RpcHello { .. }) => {
-            inner.wait_ready();
-            rpc_serve_loop(&mut reader, &mut writer, &inner)
-        }
-        Some(other) => Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("expected hello frame, got {other:?}"),
-        )),
-        None => Ok(()),
-    }
-}
-
-/// What serving one client frame asks of the connection loop.
+/// What serving one client frame asks of the connection state machine.
 enum ClientAction {
     /// Send this response.
     Respond(Frame),
@@ -893,43 +1065,9 @@ enum ClientAction {
     Shutdown,
 }
 
-fn client_loop(
-    reader: &mut BufReader<TcpStream>,
-    writer: &mut BufWriter<TcpStream>,
-    inner: &ServerInner,
-) -> io::Result<()> {
-    while let Some(frame) = read_frame(reader)? {
-        match frame {
-            // A coalesced request batch: serve every sub-frame in order and
-            // answer with ONE response batch — request k's response is at
-            // position k. The single write+flush at the end is the
-            // server-side half of the client's coalescing win.
-            Frame::Batch { frames } => {
-                inner.metrics.record_batch(frames.len() as u64);
-                let mut responses = Vec::with_capacity(frames.len());
-                for sub in frames {
-                    match serve_client_frame(inner, sub)? {
-                        ClientAction::Respond(response) => responses.push(response),
-                        ClientAction::Shutdown => return Ok(()),
-                    }
-                }
-                write_frame(writer, &Frame::Batch { frames: responses })?;
-                writer.flush()?;
-            }
-            frame => match serve_client_frame(inner, frame)? {
-                ClientAction::Respond(response) => {
-                    write_frame(writer, &response)?;
-                    writer.flush()?;
-                }
-                ClientAction::Shutdown => return Ok(()),
-            },
-        }
-    }
-    Ok(())
-}
-
-/// Serves one (non-batch) client frame. Shared by the single-frame and
-/// batched paths, so batching changes the framing and nothing else.
+/// Serves one (non-batch) client frame. Shared by the inline, worker-pool
+/// and admin-thread paths, so where a frame executes changes scheduling
+/// and nothing else.
 fn serve_client_frame(inner: &ServerInner, frame: Frame) -> io::Result<ClientAction> {
     let response = match frame {
         Frame::Get { key } => {
@@ -1004,7 +1142,7 @@ fn serve_get(inner: &ServerInner, key: u64) -> io::Result<Frame> {
     let deadline = Instant::now() + HOT_TRANSITION_RETRY;
     let mut backoff = Duration::from_micros(50);
     loop {
-        if let CacheGet::Hit { value, ts } = inner.node.cache_get(key) {
+        if let cckvs::node::CacheGet::Hit { value, ts } = inner.node.cache_get(key) {
             inner.metrics.record_cache(true);
             return Ok(Frame::GetResp {
                 cached: true,
@@ -1076,8 +1214,9 @@ fn serve_put(inner: &ServerInner, key: u64, value: &[u8]) -> io::Result<Frame> {
             }
             CachePut::Pending { ts, outgoing } => {
                 inner.ship(outgoing);
-                // Blocking write (Lin): the peer-receive thread that
-                // delivers the final ack signals the commit.
+                // Blocking write (Lin): the reactor shard that delivers
+                // the final ack signals the commit. This is why writes run
+                // on the worker pool, never on a shard.
                 inner.node.wait_committed(key, ts);
                 inner.metrics.record_cache(true);
                 return Ok(Frame::PutResp { cached: true, ts });
@@ -1148,29 +1287,6 @@ fn serve_put(inner: &ServerInner, key: u64, value: &[u8]) -> io::Result<Frame> {
     }
 }
 
-fn peer_receive_loop(
-    reader: &mut BufReader<TcpStream>,
-    from: usize,
-    inner: &ServerInner,
-) -> io::Result<()> {
-    while let Some(frame) = read_frame(reader)? {
-        let processed = match frame {
-            Frame::Batch { frames } => {
-                let mut processed = 0;
-                for sub in frames {
-                    processed += deliver_peer_frame(inner, from, sub)?;
-                }
-                processed
-            }
-            other => deliver_peer_frame(inner, from, other)?,
-        };
-        // Confirm processing back to the sender: these returns are what
-        // refill its credit window toward this node.
-        inner.owe_credits(from, processed);
-    }
-    Ok(())
-}
-
 /// Handles one non-batch frame arriving on a peer link. Returns how many
 /// flow-controlled messages it consumed (credit returns themselves are
 /// free: they must flow even when the window is closed).
@@ -1193,189 +1309,146 @@ fn deliver_peer_frame(inner: &ServerInner, from: usize, frame: Frame) -> io::Res
     }
 }
 
-fn rpc_serve_loop(
-    reader: &mut BufReader<TcpStream>,
-    writer: &mut BufWriter<TcpStream>,
-    inner: &ServerInner,
-) -> io::Result<()> {
-    while let Some(frame) = read_frame(reader)? {
-        let response = match frame {
-            Frame::MissGet { key } => match inner.cold_get(key) {
-                Some(value) => Frame::MissGetResp { value },
-                // Key mid-transition: during an eviction the freshest value
-                // may still be in flight from a dirty replica.
-                None => Frame::MissRetry,
-            },
-            Frame::MissPut {
-                key,
-                tag: _,
-                writer: writer_id,
-                value,
-            } => {
-                // Home-assigned version: arrival order at the single home
-                // shard is the write order for cold keys (the sender's tag
-                // is ignored — see `serve_put`).
-                match inner.cold_put(key, &value, writer_id) {
-                    ColdPut::Applied(ts) => Frame::MissPutResp { ts },
-                    ColdPut::Busy => Frame::MissRetry,
-                    ColdPut::Rejected(message) => Frame::Error { message },
-                }
+/// Serves one miss-path RPC frame. Every arm is a lock-protected state
+/// update that never waits on another message, which is what allows RPC
+/// links to be served inline on a reactor shard.
+fn serve_rpc_frame(inner: &ServerInner, frame: Frame) -> io::Result<Frame> {
+    Ok(match frame {
+        Frame::MissGet { key } => match inner.cold_get(key) {
+            Some(value) => Frame::MissGetResp { value },
+            // Key mid-transition: during an eviction the freshest value
+            // may still be in flight from a dirty replica.
+            None => Frame::MissRetry,
+        },
+        Frame::MissPut {
+            key,
+            tag: _,
+            writer: writer_id,
+            value,
+        } => {
+            // Home-assigned version: arrival order at the single home
+            // shard is the write order for cold keys (the sender's tag
+            // is ignored — see `serve_put`).
+            match inner.cold_put(key, &value, writer_id) {
+                ColdPut::Applied(ts) => Frame::MissPutResp { ts },
+                ColdPut::Busy => Frame::MissRetry,
+                ColdPut::Rejected(message) => Frame::Error { message },
             }
-            Frame::WriteBack { key, value, ts } => {
-                // A peer evicted its dirty copy of a key homed here. Apply
-                // versioned (every replica offers its copy; the newest
-                // wins) and push the cold counter past it so later cold
-                // writes supersede the written-back value.
-                inner.bump_cold_versions(ts.clock);
-                match inner.node.write_back(key, &value, ts) {
-                    Ok(applied) => Frame::WriteBackResp { applied },
-                    Err(e) => Frame::Error {
-                        message: format!("write-back of key {key} rejected by home shard: {e:?}"),
-                    },
-                }
+        }
+        Frame::WriteBack { key, value, ts } => {
+            // A peer evicted its dirty copy of a key homed here. Apply
+            // versioned (every replica offers its copy; the newest
+            // wins) and push the cold counter past it so later cold
+            // writes supersede the written-back value.
+            inner.bump_cold_versions(ts.clock);
+            match inner.node.write_back(key, &value, ts) {
+                Ok(applied) => Frame::WriteBackResp { applied },
+                Err(e) => Frame::Error {
+                    message: format!("write-back of key {key} rejected by home shard: {e:?}"),
+                },
             }
-            Frame::HotMark { key } => {
-                // Atomically close the cold write path for this key and
-                // read the authoritative value+version the caches will be
-                // filled with.
-                let mut marks = inner.hot_marks.lock();
-                marks.insert(key);
-                let (value, ts) = inner.node.kvs_get_versioned(key);
-                drop(marks);
-                inner.bump_cold_versions(ts.clock);
-                Frame::HotMarkResp { value, ts }
-            }
-            Frame::HotUnmark { key } => {
-                inner.hot_marks.lock().remove(&key);
-                Frame::HotUnmarkResp
-            }
-            other => {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("unexpected rpc frame {other:?}"),
-                ))
-            }
-        };
-        write_frame(writer, &response)?;
-        writer.flush()?;
-    }
-    Ok(())
+        }
+        Frame::HotMark { key } => {
+            // Atomically close the cold write path for this key and
+            // read the authoritative value+version the caches will be
+            // filled with.
+            let mut marks = inner.hot_marks.lock();
+            marks.insert(key);
+            let (value, ts) = inner.node.kvs_get_versioned(key);
+            drop(marks);
+            inner.bump_cold_versions(ts.clock);
+            Frame::HotMarkResp { value, ts }
+        }
+        Frame::HotUnmark { key } => {
+            inner.hot_marks.lock().remove(&key);
+            Frame::HotUnmarkResp
+        }
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected rpc frame {other:?}"),
+            ))
+        }
+    })
 }
 
-/// The outbound half of one peer link: coalesces bursts of protocol
-/// traffic into [`Frame::Batch`] messages (§6.3's software-multicast
-/// amortisation) under credit-based flow control (§6.4), with credit
-/// returns owed to the peer piggybacked on every batch.
-///
-/// Value bytes stay behind the broadcast-shared `Arc` all the way to
-/// serialisation: no per-peer copy is ever materialised.
-fn peer_writer_loop(
-    inner: Arc<ServerInner>,
-    peer: usize,
-    mut writer: BufWriter<TcpStream>,
-    rx: PeerRx,
-) {
-    let gauge = &inner.peer_credits[peer];
-    let owed = &inner.credit_owed[peer];
-    let max_ops = inner.flow.peer_batch_ops.max(1) as u64;
-    let mut queue: VecDeque<(ProtocolMsg, Option<Arc<[u8]>>)> = VecDeque::new();
-    let mut builder = BatchBuilder::new();
-    let mut stall_started: Option<Instant> = None;
-    // `open` turns false when the channel disconnects (server teardown);
-    // the queue is then drained without flow control — the reverse link
-    // carrying credit returns may already be gone, and blocking on it
-    // would hang shutdown.
-    let mut open = true;
-    while open || !queue.is_empty() {
-        if open {
-            if queue.is_empty() && owed.load(Ordering::Relaxed) == 0 {
-                // Idle: wait for traffic or a credit doorbell.
-                match rx.recv() {
-                    Ok(PeerItem::Msg(msg, bytes)) => queue.push_back((msg, bytes)),
-                    Ok(PeerItem::Doorbell) => {}
-                    Err(_) => open = false,
-                }
-            }
-            loop {
-                match rx.try_recv() {
-                    Ok(PeerItem::Msg(msg, bytes)) => queue.push_back((msg, bytes)),
-                    Ok(PeerItem::Doorbell) => {}
-                    Err(TryRecvError::Empty) => break,
-                    // Teardown must be noticed HERE too: a writer stalled
-                    // on credits never reaches the blocking recv above, and
-                    // missing the disconnect would leave it ticking forever
-                    // with NodeServer::shutdown joined on it.
-                    Err(TryRecvError::Disconnected) => {
-                        open = false;
-                        break;
-                    }
-                }
-            }
+/// Executes one client frame to completion, returning the encoded
+/// response bytes and whether the connection should close. Runs on a
+/// worker or an ephemeral admin thread — never on a shard.
+fn execute_client_job(inner: &ServerInner, frame: Frame) -> (Vec<u8>, bool) {
+    match serve_client_frame(inner, frame) {
+        Ok(ClientAction::Respond(response)) => {
+            let mut bytes = Vec::new();
+            write_frame(&mut bytes, &response).expect("vec write");
+            (bytes, false)
         }
-        // Piggyback credit returns first: they are exempt from flow control
-        // and must go out even while this writer is itself stalled.
-        let returns = owed.swap(0, Ordering::Relaxed);
-        if returns > 0 {
-            builder.push(&Frame::Credit {
-                n: returns.min(u64::from(u32::MAX)) as u32,
-            });
+        Ok(ClientAction::Shutdown) => (Vec::new(), true),
+        Err(_) => (Vec::new(), true),
+    }
+}
+
+/// Finishes a partially-inline-served request batch: awaits the initiated
+/// Lin write if any, serves the remaining sub-frames (these are the ones
+/// that may block), and encodes the single in-order response batch.
+fn execute_batch_job(
+    inner: &ServerInner,
+    done: Vec<Frame>,
+    wait: Option<(u64, Timestamp)>,
+    rest: Vec<Frame>,
+) -> (Vec<u8>, bool) {
+    let mut responses = done;
+    if let Some((key, ts)) = wait {
+        inner.node.wait_committed(key, ts);
+        responses.push(Frame::PutResp { cached: true, ts });
+    }
+    for sub in rest {
+        match serve_client_frame(inner, sub) {
+            Ok(ClientAction::Respond(response)) => responses.push(response),
+            Ok(ClientAction::Shutdown) => return (Vec::new(), true),
+            Err(_) => return (Vec::new(), true),
         }
-        let want = (queue.len() as u64).min(max_ops);
-        let granted = if want == 0 {
-            0
-        } else if open {
-            let taken = gauge.take_up_to(want, CREDIT_STALL_TICK);
-            if taken == 0 {
-                // Window exhausted: note when the stall began, send any
-                // credit-only payload assembled above, and tick again.
-                stall_started.get_or_insert_with(Instant::now);
-            } else if let Some(started) = stall_started.take() {
-                inner
-                    .metrics
-                    .record_credit_stall_ns(started.elapsed().as_nanos() as u64);
+    }
+    let mut bytes = Vec::new();
+    write_frame(&mut bytes, &Frame::Batch { frames: responses }).expect("vec write");
+    (bytes, false)
+}
+
+/// One worker of the blocking pool.
+fn worker_loop(inner: Arc<ServerInner>, rx: Receiver<Job>) {
+    while let Ok(job) = rx.recv() {
+        match job {
+            Job::Stop => return,
+            Job::Client {
+                shard,
+                token,
+                frame,
+            } => {
+                let (bytes, close) = execute_client_job(&inner, frame);
+                inner.complete(shard, token, bytes, close);
             }
-            taken
-        } else {
-            want
-        };
-        let mut packed = 0u64;
-        while packed < granted {
-            let (msg, bytes) = queue.front().expect("granted <= queue.len()");
-            // Byte bound: op count alone would let a burst of large values
-            // coalesce past MAX_FRAME_BYTES, and the receiver drops an
-            // oversized frame together with the whole peer link. A message
-            // that is itself large still travels — alone, as a bare frame.
-            let projected = builder.bytes() + 64 + bytes.as_deref().map_or(0, <[u8]>::len);
-            if builder.count() > 0 && projected > PEER_BATCH_MAX_BYTES {
-                break;
+            Job::Wait {
+                shard,
+                token,
+                key,
+                ts,
+            } => {
+                inner.node.wait_committed(key, ts);
+                let mut bytes = Vec::new();
+                write_frame(&mut bytes, &Frame::PutResp { cached: true, ts }).expect("vec write");
+                inner.complete(shard, token, bytes, false);
             }
-            builder.push_protocol(msg, bytes.as_deref());
-            queue.pop_front();
-            packed += 1;
-        }
-        if packed < granted {
-            // Credits for the messages this batch had no room for go back
-            // to the window; they will be re-taken when their turn comes.
-            gauge.put(granted - packed);
-        }
-        if builder.count() > 0 {
-            // Singleton messages leave the builder as bare frames (see
-            // `BatchBuilder::write_to`) — only count what actually travels
-            // as a coalesced batch, or the batch-size percentiles drown in
-            // ones that were never batched.
-            if builder.count() > 1 && packed > 0 {
-                inner.metrics.record_batch(packed);
-            }
-            // Write and flush the whole coalesced message: the batch is
-            // the amortisation, and an unflushed batch is invisible to the
-            // peer — holding one back while stalled on credits (or while
-            // blocking for traffic) would deadlock the window.
-            if builder.write_to(&mut writer).is_err() || writer.flush().is_err() {
-                return;
+            Job::Batch {
+                shard,
+                token,
+                done,
+                wait,
+                rest,
+            } => {
+                let (bytes, close) = execute_batch_job(&inner, done, wait, rest);
+                inner.complete(shard, token, bytes, close);
             }
         }
     }
-    let _ = writer.flush();
 }
 
 /// The coordinator's reconfiguration thread: applies hot sets published by
@@ -1411,4 +1484,871 @@ fn unexpected_frame(what: &str, frame: &Frame) -> io::Error {
         io::ErrorKind::InvalidData,
         format!("unexpected {what} response {frame:?}"),
     )
+}
+
+/// How far a reactor shard got serving one client frame inline.
+enum Inline {
+    /// Fully served; send this response.
+    Respond(Frame),
+    /// A Lin write was initiated (invalidations shipped, timestamp
+    /// assigned); a worker must await the commit and answer
+    /// `PutResp { cached: true, ts }`.
+    Pending { key: u64, ts: Timestamp },
+    /// Could block (cache miss → RPC, stalled entry → retry loop): hand
+    /// the untouched frame to the worker pool.
+    Offload(Frame),
+    /// A reconfiguration admin frame: run it on an ephemeral thread.
+    AdminOffload(Frame),
+    /// The client asked the node to shut down (already initiated).
+    Shutdown,
+    /// Protocol violation; close the connection.
+    Fail,
+}
+
+/// Serves one client frame on the shard if that provably cannot block:
+/// cache-hit reads, cache writes that complete or at least *initiate*
+/// without waiting (SC updates, the send half of a Lin round), and the
+/// lock-protected admin fills. Anything that may wait — on a remote home
+/// shard, on an ack round, on a hot-set transition — is classified for a
+/// thread that is allowed to.
+///
+/// Metrics and popularity observation here mirror [`serve_client_frame`]
+/// exactly; a frame is counted once wherever it ends up executing.
+fn try_serve_inline(inner: &ServerInner, frame: Frame) -> Inline {
+    match frame {
+        Frame::Get { key } => match inner.node.cache().read(key) {
+            ReadOutcome::Hit { value, ts } => {
+                inner.metrics.record_get();
+                inner.observe(key);
+                inner.metrics.record_cache(true);
+                inner.metrics.record_inline_get();
+                Inline::Respond(Frame::GetResp {
+                    cached: true,
+                    ts,
+                    value,
+                })
+            }
+            // A miss goes to the pool for the remote read; a stalled
+            // entry (invalidated under Lin) must not be awaited here —
+            // the update that resolves it arrives through this very
+            // shard.
+            ReadOutcome::Miss | ReadOutcome::Stall => Inline::Offload(Frame::Get { key }),
+        },
+        Frame::Put { key, value } => {
+            let tag = inner.tags.fetch_add(1, Ordering::Relaxed);
+            match inner.node.try_cache_put(key, &value, tag) {
+                Some(CachePut::Done { ts, outgoing }) => {
+                    inner.ship(outgoing);
+                    inner.metrics.record_put();
+                    inner.observe(key);
+                    inner.metrics.record_cache(true);
+                    Inline::Respond(Frame::PutResp { cached: true, ts })
+                }
+                Some(CachePut::Pending { ts, outgoing }) => {
+                    inner.ship(outgoing);
+                    inner.metrics.record_put();
+                    inner.observe(key);
+                    inner.metrics.record_cache(true);
+                    Inline::Pending { key, ts }
+                }
+                Some(CachePut::Miss) | None => Inline::Offload(Frame::Put { key, value }),
+            }
+        }
+        // Liveness and cache-fill admin: lock-protected state updates.
+        frame @ (Frame::Ping | Frame::InstallHot { .. } | Frame::ActivateHot { .. }) => {
+            match serve_client_frame(inner, frame) {
+                Ok(ClientAction::Respond(response)) => Inline::Respond(response),
+                Ok(ClientAction::Shutdown) => Inline::Shutdown,
+                Err(_) => Inline::Fail,
+            }
+        }
+        Frame::Shutdown => {
+            inner.initiate_shutdown();
+            Inline::Shutdown
+        }
+        frame @ (Frame::Evict { .. } | Frame::FlipEpoch) => Inline::AdminOffload(frame),
+        // Unknown frames error (and close the connection) on the pool,
+        // as the blocking server did.
+        frame => Inline::Offload(frame),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The reactor shard: one event loop owning a subset of the node's sockets.
+// ---------------------------------------------------------------------------
+
+const TOKEN_WAKER: u64 = 0;
+const TOKEN_LISTENER: u64 = 1;
+const TOKEN_FIRST_CONN: u64 = 16;
+
+/// What a connection is for, decided by its hello frame.
+enum Role {
+    /// Hello not yet received.
+    Handshake,
+    /// A client request/response session.
+    Client {
+        /// Decoded requests waiting their turn (one job in flight at a
+        /// time keeps responses in request order).
+        pending: VecDeque<Frame>,
+        /// A job for this connection is running on a worker/admin thread.
+        inflight: bool,
+    },
+    /// An incoming one-way protocol link from peer `from`.
+    PeerIn { from: usize },
+    /// An incoming miss-path RPC link.
+    Rpc,
+    /// The outgoing protocol link to `peer`.
+    PeerOut {
+        peer: usize,
+        outbox: Arc<PeerOutbox>,
+        /// Messages adopted from the outbox, not yet packed.
+        queue: VecDeque<PeerMsg>,
+        builder: BatchBuilder,
+        /// When the current credit stall began (metrics).
+        stall_started: Option<Instant>,
+    },
+}
+
+/// One nonblocking connection owned by a shard.
+struct ConnState {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    writebuf: WriteBuf,
+    interest: Interest,
+    role: Role,
+    /// The peer closed its half (read returned 0).
+    eof: bool,
+    /// A fatal I/O or protocol error occurred; close on next advance.
+    dead: bool,
+    /// A timer-wheel tick is armed for this connection (credit stall or
+    /// parked-for-ready re-check); dedupes arming.
+    tick_armed: bool,
+}
+
+impl ConnState {
+    fn new(stream: TcpStream, role: Role) -> ConnState {
+        ConnState {
+            stream,
+            decoder: FrameDecoder::new(),
+            writebuf: WriteBuf::new(),
+            interest: Interest::READ,
+            role,
+            eof: false,
+            dead: false,
+            tick_armed: false,
+        }
+    }
+}
+
+struct Shard {
+    inner: Arc<ServerInner>,
+    id: usize,
+    poller: Poller,
+    shared: Arc<ShardShared>,
+    listener: Option<TcpListener>,
+    conns: HashMap<u64, Box<ConnState>>,
+    /// Tokens of peer-out connections on this shard (pumped every
+    /// iteration; there are at most `nodes - 1` across all shards).
+    peer_out_tokens: Vec<u64>,
+    next_token: u64,
+    /// Round-robin accept target across shards (shard 0 only).
+    next_shard: usize,
+    wheel: reactor::TimerWheel,
+    /// Shared read scratch: one hot buffer for every connection's socket
+    /// reads, instead of a cold 64 KB tail per connection per read.
+    scratch: Vec<u8>,
+}
+
+impl Shard {
+    fn new(
+        inner: Arc<ServerInner>,
+        id: usize,
+        poller: Poller,
+        shared: Arc<ShardShared>,
+        listener: Option<TcpListener>,
+    ) -> Shard {
+        Shard {
+            inner,
+            id,
+            poller,
+            shared,
+            listener,
+            conns: HashMap::new(),
+            peer_out_tokens: Vec::new(),
+            next_token: TOKEN_FIRST_CONN,
+            next_shard: 0,
+            wheel: reactor::TimerWheel::new(),
+            scratch: vec![0u8; reactor::READ_CHUNK],
+        }
+    }
+
+    fn run(mut self) {
+        let mut events = Events::with_capacity(1024);
+        while self.inner.running.load(Ordering::SeqCst) {
+            let timeout = self.wheel.next_timeout();
+            if self.poller.wait(&mut events, timeout).is_err() {
+                continue;
+            }
+            self.shared.waker.drain();
+            if !self.inner.running.load(Ordering::SeqCst) {
+                break;
+            }
+            let mut dirty: Vec<u64> = Vec::new();
+            let mut accept = false;
+            for event in events.iter() {
+                match event.token.0 {
+                    TOKEN_WAKER => {}
+                    TOKEN_LISTENER => accept = true,
+                    token => {
+                        self.handle_io(token, event.readable, event.writable, event.closed);
+                        dirty.push(token);
+                    }
+                }
+            }
+            if accept {
+                self.accept_burst(&mut dirty);
+            }
+            self.drain_inbox(&mut dirty);
+            for token in self.wheel.expired() {
+                if let Some(conn) = self.conns.get_mut(&token.0) {
+                    conn.tick_armed = false;
+                    dirty.push(token.0);
+                }
+            }
+            // Peer-out links are few and cheap to pump; doing it every
+            // iteration means a wake for "some protocol traffic shipped"
+            // needs no per-outbox bookkeeping.
+            dirty.extend(self.peer_out_tokens.iter().copied());
+            dirty.sort_unstable();
+            dirty.dedup();
+            for token in dirty {
+                self.advance(token);
+            }
+        }
+        self.teardown();
+    }
+
+    /// Reads/writes as much as the socket allows right now; protocol
+    /// progress happens in `advance`.
+    fn handle_io(&mut self, token: u64, readable: bool, writable: bool, closed: bool) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if closed {
+            conn.dead = true;
+            return;
+        }
+        if writable && !conn.writebuf.is_empty() {
+            match conn.writebuf.flush_to(&mut conn.stream) {
+                Ok(_) => {}
+                Err(_) => conn.dead = true,
+            }
+        }
+        if readable {
+            // One bounded read per readiness event; level-triggered epoll
+            // re-fires while the socket holds more.
+            match conn.decoder.fill_via(&mut conn.stream, &mut self.scratch) {
+                Ok(Some(0)) => conn.eof = true,
+                Ok(_) => {}
+                Err(_) => conn.dead = true,
+            }
+        }
+    }
+
+    fn accept_burst(&mut self, dirty: &mut Vec<u64>) {
+        let shard_count = self.inner.reactor.shards;
+        loop {
+            let accepted = match self.listener.as_ref() {
+                Some(listener) => listener.accept(),
+                None => return,
+            };
+            match accepted {
+                Ok((stream, _)) => {
+                    if !self.inner.running.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    if stream.set_nodelay(true).is_err() || stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let target = self.next_shard % shard_count;
+                    self.next_shard = self.next_shard.wrapping_add(1);
+                    if target == self.id {
+                        if let Some(token) = self.register(stream, Role::Handshake) {
+                            dirty.push(token);
+                        }
+                    } else {
+                        self.inner.shard(target).send(ShardMsg::NewConn(stream));
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                // Transient accept errors (ECONNABORTED, EMFILE, ...) must
+                // not take a healthy node offline; the listener stays
+                // registered and the next readiness event retries.
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn drain_inbox(&mut self, dirty: &mut Vec<u64>) {
+        let msgs = std::mem::take(&mut *self.shared.inbox.lock());
+        for msg in msgs {
+            match msg {
+                ShardMsg::NewConn(stream) => {
+                    if let Some(token) = self.register(stream, Role::Handshake) {
+                        dirty.push(token);
+                    }
+                }
+                ShardMsg::AdoptPeerOut {
+                    peer,
+                    stream,
+                    outbox,
+                } => {
+                    if let Some(token) = self.register(
+                        stream,
+                        Role::PeerOut {
+                            peer,
+                            outbox,
+                            queue: VecDeque::new(),
+                            builder: BatchBuilder::new(),
+                            stall_started: None,
+                        },
+                    ) {
+                        self.peer_out_tokens.push(token);
+                        dirty.push(token);
+                    }
+                }
+                ShardMsg::Complete {
+                    token,
+                    bytes,
+                    close,
+                } => {
+                    // The connection may be gone (client hung up mid-job):
+                    // the completion is dropped, matching the old
+                    // thread-per-connection behaviour of a write to a dead
+                    // socket.
+                    if let Some(conn) = self.conns.get_mut(&token) {
+                        conn.writebuf.push(&bytes);
+                        if let Role::Client { inflight, .. } = &mut conn.role {
+                            *inflight = false;
+                        }
+                        if close {
+                            // Flush what we can, then drop the connection.
+                            let _ = conn.writebuf.flush_to(&mut conn.stream);
+                            conn.dead = true;
+                        }
+                        dirty.push(token);
+                    }
+                }
+            }
+        }
+    }
+
+    fn register(&mut self, stream: TcpStream, role: Role) -> Option<u64> {
+        let token = self.next_token;
+        self.next_token += 1;
+        if self
+            .poller
+            .register(stream.as_raw_fd(), Token(token), Interest::READ)
+            .is_err()
+        {
+            return None;
+        }
+        self.inner.metrics.record_conn_opened();
+        self.conns
+            .insert(token, Box::new(ConnState::new(stream, role)));
+        Some(token)
+    }
+
+    /// Drives one connection's state machine as far as it can go.
+    fn advance(&mut self, token: u64) {
+        let Some(mut conn) = self.conns.remove(&token) else {
+            return;
+        };
+        let close = self.step(token, &mut conn);
+        if close || conn.dead {
+            self.close(token, *conn);
+        } else {
+            self.refresh_interest(token, &mut conn);
+            self.conns.insert(token, conn);
+        }
+    }
+
+    /// Returns `true` when the connection should close.
+    fn step(&mut self, token: u64, conn: &mut ConnState) -> bool {
+        if conn.dead {
+            return true;
+        }
+        // Hello first: the first complete frame decides the role.
+        if matches!(conn.role, Role::Handshake) {
+            match conn.decoder.next_frame() {
+                Ok(Some(Frame::ClientHello)) => {
+                    // Client sessions move ~100-byte frames and modest
+                    // request batches: cap the kernel socket buffers so
+                    // thousands of connections stay cache-resident (peer
+                    // links, which move 1 MiB coherence batches, keep
+                    // kernel defaults). Best-effort.
+                    let _ = reactor::set_socket_buffers(
+                        conn.stream.as_raw_fd(),
+                        crate::client::CONN_KERNEL_BUF_BYTES,
+                    );
+                    conn.role = Role::Client {
+                        pending: VecDeque::new(),
+                        inflight: false,
+                    };
+                }
+                Ok(Some(Frame::PeerHello { from })) => {
+                    if usize::from(from) >= self.inner.node.config().nodes {
+                        return true;
+                    }
+                    conn.role = Role::PeerIn {
+                        from: usize::from(from),
+                    };
+                }
+                Ok(Some(Frame::RpcHello { .. })) => conn.role = Role::Rpc,
+                Ok(Some(_)) | Err(_) => return true,
+                Ok(None) => return conn.eof,
+            }
+        }
+        // Park every serving role until the outbound peer mesh is wired:
+        // serving a Lin put earlier would drop its invalidations (the
+        // peer links don't exist yet) and hang the client forever, and a
+        // miss-path RPC would dial a placeholder peer address.
+        let ready = self.inner.ready.load(Ordering::Acquire);
+        if !ready && !matches!(conn.role, Role::PeerOut { .. }) {
+            if !conn.tick_armed {
+                self.wheel.schedule(Token(token), CREDIT_STALL_TICK);
+                conn.tick_armed = true;
+            }
+            return false;
+        }
+        if matches!(conn.role, Role::Client { .. }) {
+            self.step_client(token, conn)
+        } else if matches!(conn.role, Role::PeerIn { .. }) {
+            self.step_peer_in(conn)
+        } else if matches!(conn.role, Role::Rpc) {
+            self.step_rpc(conn)
+        } else {
+            self.pump_peer_out(token, conn)
+        }
+    }
+
+    fn step_client(&mut self, token: u64, conn: &mut ConnState) -> bool {
+        // Decode everything available into the pending queue.
+        let Role::Client { pending, inflight } = &mut conn.role else {
+            unreachable!("checked by caller");
+        };
+        loop {
+            match conn.decoder.next_frame() {
+                Ok(Some(frame)) => pending.push_back(frame),
+                Ok(None) => break,
+                Err(_) => return true,
+            }
+        }
+        // Serve in order: inline what never blocks, dispatch the rest.
+        // One job in flight per connection keeps responses positional.
+        while !*inflight {
+            let Some(frame) = pending.pop_front() else {
+                break;
+            };
+            match frame {
+                // A coalesced request batch: serve sub-frames inline while
+                // they stay non-blocking; the first one that must block
+                // hands the remainder (plus the responses produced so far)
+                // to the pool, which answers with ONE in-order response
+                // batch — request k's response is at position k.
+                Frame::Batch { frames } => {
+                    self.inner.metrics.record_batch(frames.len() as u64);
+                    let mut responses = Vec::with_capacity(frames.len());
+                    let mut iter = frames.into_iter();
+                    let mut wait = None;
+                    let mut first_blocked = None;
+                    for sub in iter.by_ref() {
+                        match try_serve_inline(&self.inner, sub) {
+                            Inline::Respond(response) => responses.push(response),
+                            Inline::Pending { key, ts } => {
+                                wait = Some((key, ts));
+                                break;
+                            }
+                            Inline::Offload(frame) | Inline::AdminOffload(frame) => {
+                                first_blocked = Some(frame);
+                                break;
+                            }
+                            Inline::Shutdown | Inline::Fail => return true,
+                        }
+                    }
+                    if wait.is_none() && first_blocked.is_none() {
+                        write_frame(conn.writebuf.writer(), &Frame::Batch { frames: responses })
+                            .expect("vec write");
+                    } else {
+                        let mut rest: Vec<Frame> = Vec::new();
+                        rest.extend(first_blocked);
+                        rest.extend(iter);
+                        *inflight = true;
+                        // The ephemeral-thread rule for reconfiguration
+                        // admin frames holds inside batches too: a batch
+                        // whose remainder carries one must not occupy a
+                        // bounded-pool worker for a whole multi-node
+                        // evict/install sweep (a few concurrent ones
+                        // would starve every blocking handler).
+                        let admin = rest
+                            .iter()
+                            .any(|f| matches!(f, Frame::Evict { .. } | Frame::FlipEpoch));
+                        if admin {
+                            let inner = Arc::clone(&self.inner);
+                            let shard = self.id;
+                            let spawned = std::thread::Builder::new()
+                                .name("cckvs-admin".to_string())
+                                .spawn(move || {
+                                    let (bytes, close) =
+                                        execute_batch_job(&inner, responses, wait, rest);
+                                    inner.complete(shard, token, bytes, close);
+                                });
+                            if spawned.is_err() {
+                                return true;
+                            }
+                        } else {
+                            self.inner.metrics.record_worker_job();
+                            let _ = self.inner.job_tx.send(Job::Batch {
+                                shard: self.id,
+                                token,
+                                done: responses,
+                                wait,
+                                rest,
+                            });
+                        }
+                    }
+                }
+                frame => match try_serve_inline(&self.inner, frame) {
+                    Inline::Respond(response) => {
+                        write_frame(conn.writebuf.writer(), &response).expect("vec write");
+                    }
+                    // A Lin write initiated inline: only the commit wait
+                    // parks a worker; the protocol round already left.
+                    Inline::Pending { key, ts } => {
+                        *inflight = true;
+                        self.inner.metrics.record_worker_job();
+                        let _ = self.inner.job_tx.send(Job::Wait {
+                            shard: self.id,
+                            token,
+                            key,
+                            ts,
+                        });
+                    }
+                    Inline::Offload(frame) => {
+                        *inflight = true;
+                        self.inner.metrics.record_worker_job();
+                        let _ = self.inner.job_tx.send(Job::Client {
+                            shard: self.id,
+                            token,
+                            frame,
+                        });
+                    }
+                    // Reconfiguration admin frames nest wire RPCs back
+                    // into the deployment; an ephemeral thread each keeps
+                    // them off the bounded pool.
+                    Inline::AdminOffload(frame) => {
+                        *inflight = true;
+                        let inner = Arc::clone(&self.inner);
+                        let shard = self.id;
+                        let spawned = std::thread::Builder::new()
+                            .name("cckvs-admin".to_string())
+                            .spawn(move || {
+                                let (bytes, close) = execute_client_job(&inner, frame);
+                                inner.complete(shard, token, bytes, close);
+                            });
+                        if spawned.is_err() {
+                            return true;
+                        }
+                    }
+                    Inline::Shutdown | Inline::Fail => return true,
+                },
+            }
+        }
+        // Push what accumulated; the remainder drains on writability.
+        if !conn.writebuf.is_empty() && conn.writebuf.flush_to(&mut conn.stream).is_err() {
+            return true;
+        }
+        // EOF closes once everything decoded was served AND its responses
+        // left the write buffer: a half-closing client (shutdown(WR),
+        // then read the tail) must still receive every response, as the
+        // blocking server guaranteed. A fully-closed peer errors the next
+        // writability flush, so nothing lingers.
+        conn.eof && pending.is_empty() && !*inflight && conn.writebuf.is_empty()
+    }
+
+    fn step_peer_in(&mut self, conn: &mut ConnState) -> bool {
+        let Role::PeerIn { from } = &conn.role else {
+            unreachable!("checked by caller");
+        };
+        let from = *from;
+        loop {
+            match conn.decoder.next_frame() {
+                Ok(Some(frame)) => {
+                    let processed = match frame {
+                        Frame::Batch { frames } => {
+                            let mut processed = 0;
+                            for sub in frames {
+                                match deliver_peer_frame(&self.inner, from, sub) {
+                                    Ok(n) => processed += n,
+                                    Err(_) => return true,
+                                }
+                            }
+                            processed
+                        }
+                        other => match deliver_peer_frame(&self.inner, from, other) {
+                            Ok(n) => n,
+                            Err(_) => return true,
+                        },
+                    };
+                    // Confirm processing back to the sender: these returns
+                    // are what refill its credit window toward this node.
+                    self.inner.owe_credits(from, processed);
+                }
+                Ok(None) => break,
+                Err(_) => return true,
+            }
+        }
+        conn.eof
+    }
+
+    fn step_rpc(&mut self, conn: &mut ConnState) -> bool {
+        loop {
+            match conn.decoder.next_frame() {
+                Ok(Some(frame)) => match serve_rpc_frame(&self.inner, frame) {
+                    Ok(response) => {
+                        write_frame(conn.writebuf.writer(), &response).expect("vec write");
+                    }
+                    Err(_) => return true,
+                },
+                Ok(None) => break,
+                Err(_) => return true,
+            }
+        }
+        if !conn.writebuf.is_empty() && conn.writebuf.flush_to(&mut conn.stream).is_err() {
+            return true;
+        }
+        // As for clients: serve the response tail before honouring EOF.
+        conn.eof && conn.writebuf.is_empty()
+    }
+
+    /// The outbound half of one peer link: coalesces bursts of protocol
+    /// traffic into [`Frame::Batch`] messages (§6.3's software-multicast
+    /// amortisation) under credit-based flow control (§6.4), with credit
+    /// returns owed to the peer piggybacked on every batch. Driven by
+    /// readiness: a credit stall arms a 1 ms wheel tick instead of
+    /// parking a thread.
+    ///
+    /// Value bytes stay behind the broadcast-shared `Arc` all the way to
+    /// serialisation: no per-peer copy is ever materialised.
+    fn pump_peer_out(&mut self, token: u64, conn: &mut ConnState) -> bool {
+        let Role::PeerOut {
+            peer,
+            outbox,
+            queue,
+            builder,
+            stall_started,
+        } = &mut conn.role
+        else {
+            unreachable!("checked by caller");
+        };
+        let peer = *peer;
+        // A peer link is one-way: bytes arriving here are a protocol
+        // violation, EOF means the peer is gone.
+        if conn.decoder.buffered() > 0 || conn.eof {
+            return true;
+        }
+        // Adopt traffic shipped since the last pump.
+        {
+            let mut shipped = outbox.queue.lock();
+            while let Some(item) = shipped.pop_front() {
+                queue.push_back(item);
+            }
+        }
+        let inner = &self.inner;
+        let gauge = &inner.peer_credits[peer];
+        let owed = &inner.credit_owed[peer];
+        let max_ops = inner.flow.peer_batch_ops.max(1) as u64;
+        let running = inner.running.load(Ordering::SeqCst);
+        let mut stalled = false;
+        loop {
+            // Backpressure: stop packing while the socket is behind; the
+            // writability event resumes the pump.
+            if conn.writebuf.pending() > HIGH_WATER {
+                break;
+            }
+            // Piggyback credit returns first: they are exempt from flow
+            // control and must go out even while this link is stalled.
+            let returns = owed.swap(0, Ordering::AcqRel);
+            if returns > 0 {
+                builder.push(&Frame::Credit {
+                    n: returns.min(u64::from(u32::MAX)) as u32,
+                });
+            }
+            let want = (queue.len() as u64).min(max_ops);
+            let granted = if !running {
+                // Teardown drains without credits — the reverse link
+                // carrying returns may already be gone.
+                want
+            } else {
+                let taken = gauge.try_take(want);
+                if want > 0 && taken == 0 {
+                    // Window exhausted: note when the stall began; the
+                    // 1 ms tick re-pumps (and keeps credit-only batches
+                    // flowing, which makes symmetric saturation
+                    // deadlock-free).
+                    stall_started.get_or_insert_with(Instant::now);
+                    stalled = true;
+                } else if taken > 0 {
+                    if let Some(started) = stall_started.take() {
+                        inner
+                            .metrics
+                            .record_credit_stall_ns(started.elapsed().as_nanos() as u64);
+                    }
+                }
+                taken
+            };
+            let mut packed = 0u64;
+            while packed < granted {
+                let (msg, bytes) = queue.front().expect("granted <= queue.len()");
+                // Byte bound: op count alone would let a burst of large
+                // values coalesce past MAX_FRAME_BYTES, and the receiver
+                // drops an oversized frame together with the whole peer
+                // link. A message that is itself large still travels —
+                // alone, as a bare frame.
+                let projected = builder.bytes() + 64 + bytes.as_deref().map_or(0, <[u8]>::len);
+                if builder.count() > 0 && projected > PEER_BATCH_MAX_BYTES {
+                    break;
+                }
+                builder.push_protocol(msg, bytes.as_deref());
+                queue.pop_front();
+                packed += 1;
+            }
+            if running && packed < granted {
+                // Credits for the messages this batch had no room for go
+                // back to the window; they are re-taken when their turn
+                // comes.
+                gauge.put(granted - packed);
+            }
+            if builder.count() > 0 {
+                // Singleton messages leave the builder as bare frames (see
+                // `BatchBuilder::write_to`) — only count what actually
+                // travels as a coalesced batch, or the batch-size
+                // percentiles drown in ones that were never batched.
+                if builder.count() > 1 && packed > 0 {
+                    inner.metrics.record_batch(packed);
+                }
+                write_frame_builder(builder, &mut conn.writebuf);
+            }
+            // No progress AND no credit returns went out: nothing more can
+            // happen this pump (either the queue is empty or the window is
+            // closed — the stall tick handles the latter). A round that
+            // wrote only returns must loop once more: a pending credit
+            // frame in the builder can push the head message past the
+            // batch byte budget (packed == 0), and breaking there would
+            // strand the message with no timer armed and no writability
+            // event coming on a one-way link. The retry starts with an
+            // empty builder, where an oversized message travels alone.
+            if packed == 0 && returns == 0 {
+                break;
+            }
+            if queue.is_empty() {
+                break;
+            }
+        }
+        if !conn.writebuf.is_empty() && conn.writebuf.flush_to(&mut conn.stream).is_err() {
+            return true;
+        }
+        // Still stalled with work queued: tick again in 1 ms.
+        if stalled && !queue.is_empty() && running && !conn.tick_armed {
+            self.wheel.schedule(Token(token), CREDIT_STALL_TICK);
+            conn.tick_armed = true;
+        }
+        false
+    }
+
+    /// Keeps epoll interest in sync with what the connection can usefully
+    /// be told about: writable only while output is pending, readable
+    /// unless backpressure says stop.
+    fn refresh_interest(&mut self, token: u64, conn: &mut ConnState) {
+        let throttled = match &conn.role {
+            Role::Client { pending, inflight } => {
+                // A pipelining client stops being read once enough frames
+                // are queued or its responses back up; TCP pushes back to
+                // the sender instead of the server buffering without
+                // bound.
+                pending.len() >= MAX_PENDING_FRAMES
+                    || conn.writebuf.pending() >= HIGH_WATER
+                    || (*inflight && pending.len() >= MAX_PENDING_FRAMES / 2)
+            }
+            _ => conn.writebuf.pending() >= HIGH_WATER,
+        };
+        let unthrottle = conn.writebuf.pending() <= LOW_WATER;
+        let readable = if conn.interest.readable {
+            !throttled
+        } else {
+            // Hysteresis: resume reading only once well below the mark.
+            !throttled && unthrottle
+        };
+        let desired = Interest {
+            readable,
+            writable: !conn.writebuf.is_empty(),
+        };
+        if desired != conn.interest
+            && self
+                .poller
+                .modify(conn.stream.as_raw_fd(), Token(token), desired)
+                .is_ok()
+        {
+            conn.interest = desired;
+        }
+    }
+
+    fn close(&mut self, token: u64, conn: ConnState) {
+        self.poller.deregister(conn.stream.as_raw_fd());
+        self.peer_out_tokens.retain(|&t| t != token);
+        self.inner.metrics.record_conn_closed();
+        // The stream drops here, closing the socket.
+    }
+
+    /// Shutdown path: drain every peer link without credits (blocking
+    /// writes — the event loop is over), then drop all sockets.
+    fn teardown(&mut self) {
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            let Some(mut conn) = self.conns.remove(&token) else {
+                continue;
+            };
+            if matches!(conn.role, Role::PeerOut { .. }) {
+                let _ = conn.stream.set_nonblocking(false);
+                // `running` is false, so the pump packs without credits;
+                // loop until the queue and outbox are empty (a burst can
+                // arrive between pumps from a worker finishing up).
+                loop {
+                    if self.pump_peer_out(token, &mut conn) {
+                        break; // link died mid-drain; nothing more to do
+                    }
+                    let Role::PeerOut { queue, outbox, .. } = &conn.role else {
+                        unreachable!("role checked above");
+                    };
+                    if queue.is_empty() && outbox.queue.lock().is_empty() {
+                        break;
+                    }
+                }
+                while !conn.writebuf.is_empty() {
+                    if conn.writebuf.flush_to(&mut conn.stream).is_err() {
+                        break;
+                    }
+                }
+                let _ = conn.stream.flush();
+            }
+            self.close(token, *conn);
+        }
+    }
+}
+
+/// Writes the builder's assembled message into the write buffer.
+fn write_frame_builder(builder: &mut BatchBuilder, writebuf: &mut WriteBuf) {
+    builder
+        .write_to(writebuf.writer())
+        .expect("vec write cannot fail");
 }

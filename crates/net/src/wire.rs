@@ -804,6 +804,85 @@ impl BatchBuilder {
     }
 }
 
+/// A streaming, resumable frame decoder for nonblocking connections.
+///
+/// Bytes arrive in whatever chunks the socket delivers — a frame may be
+/// split across dozens of reads, or one read may carry many frames. The
+/// decoder accumulates bytes in a [`reactor::ReadBuf`] and yields each
+/// frame exactly when its length prefix and payload are complete,
+/// producing byte-for-byte the frames [`read_frame`] would produce from
+/// the same stream. It never errors on a partial frame (it just waits for
+/// more bytes) and never busy-spins: [`FrameDecoder::next_frame`] returns
+/// `Ok(None)` without consuming anything when starved.
+///
+/// Length prefixes are validated against [`MAX_FRAME_BYTES`] as soon as
+/// the prefix is complete, so a corrupt 4 GB length is rejected before any
+/// buffer grows to meet it.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: reactor::ReadBuf,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Appends raw stream bytes to the decode buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend(bytes);
+    }
+
+    /// Reads once from `r` into the decode buffer (nonblocking sources
+    /// surface `WouldBlock` as `Ok(None)`; `Ok(Some(0))` is EOF).
+    pub fn fill_from<R: Read>(&mut self, r: &mut R) -> io::Result<Option<usize>> {
+        self.buf.fill_from(r)
+    }
+
+    /// Like [`FrameDecoder::fill_from`], reading through a caller-owned
+    /// scratch buffer shared across many connections (see
+    /// [`reactor::ReadBuf::fill_via`]).
+    pub fn fill_via<R: Read>(
+        &mut self,
+        r: &mut R,
+        scratch: &mut [u8],
+    ) -> io::Result<Option<usize>> {
+        self.buf.fill_via(r, scratch)
+    }
+
+    /// Bytes buffered and not yet decoded.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer holds a partial frame — an EOF now means the
+    /// peer died mid-frame (truncation), not an orderly close.
+    pub fn is_mid_frame(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Decodes the next complete frame, or `Ok(None)` if more bytes are
+    /// needed. A decode failure poisons the stream (framing is lost for
+    /// good), so callers should drop the connection on `Err`.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        let data = self.buf.data();
+        if data.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(data[..4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(WireError::Oversized(len));
+        }
+        if data.len() < 4 + len {
+            return Ok(None);
+        }
+        let frame = Frame::decode(&data[4..4 + len])?;
+        self.buf.consume(4 + len);
+        Ok(Some(frame))
+    }
+}
+
 /// Reads one frame from `r`. Returns `Ok(None)` only on a clean EOF at a
 /// frame boundary (the peer closed the connection); an EOF part-way
 /// through the length prefix or payload is a truncation error, so a peer

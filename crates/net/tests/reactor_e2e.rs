@@ -1,0 +1,227 @@
+//! Connection-scaling end-to-end tests of the epoll reactor: a 3-node
+//! rack must serve thousands of concurrent client connections per node
+//! with a thread count that depends on the reactor topology, never on the
+//! connection count — while the per-key Lin guarantee holds and teardown
+//! stays clean.
+//!
+//! Both ends of every connection live in this test process, so the
+//! 5k-connections-per-node target costs ~10k fds here (the soft limit is
+//! raised toward what the run needs; the assertion scales down only if
+//! the hard limit genuinely cannot cover it).
+
+use cckvs_net::client::{BatchConfig, Client, SharedHistory};
+use cckvs_net::metrics::Metrics;
+use cckvs_net::rack::{Rack, RackConfig};
+use cckvs_net::server::ReactorConfig;
+use cckvs_net::LoadBalancePolicy;
+use consistency::messages::ConsistencyModel;
+use std::sync::Arc;
+use workload::{AccessDistribution, Dataset, Mix, OpKind, WorkloadGen};
+
+/// Threads currently in this process, from /proc/self/status.
+fn process_threads() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|n| n.parse().ok())
+        })
+        .expect("/proc/self/status has a Threads line on Linux")
+}
+
+/// The acceptance workload: ≥5k concurrent connections held open against
+/// one node of a 3-node rack (the per-node capacity claim — driving all
+/// three nodes at 5k each would only multiply fds in this shared
+/// process), a Zipf Lin workload spread over every connection, the
+/// history checker-clean, and the thread count flat as connections grow
+/// from a handful to thousands.
+#[test]
+fn five_thousand_connections_per_node_serve_lin_checked_workload() {
+    const TARGET_CONNS: usize = 5_000;
+    const DRIVERS: usize = 8;
+    const OPS_PER_CONN: u64 = 4;
+
+    // Both socket ends live here: ~2 fds per connection plus slack.
+    let wanted = 2 * TARGET_CONNS as u64 + 1024;
+    let limit = reactor::raise_nofile_limit(wanted).expect("query fd limit");
+    let conns = if limit >= wanted {
+        TARGET_CONNS
+    } else {
+        // Hard-capped environment: scale to what physically fits, keeping
+        // the shape of the test (still thousands when the limit allows).
+        (((limit.saturating_sub(1024)) / 2) as usize).max(256)
+    };
+
+    let mut cfg = RackConfig::small(ConsistencyModel::Lin, 3);
+    cfg.cache_capacity = 128;
+    cfg.metrics = false;
+    cfg.reactor = ReactorConfig {
+        shards: 2,
+        workers: 8,
+    };
+    let rack = Rack::launch(cfg).expect("launch rack");
+    let dataset = Dataset::new(10_000, 40);
+    rack.install_hot_set(&dataset.hot_entries(128))
+        .expect("install hot set");
+    let target = rack.client_addrs()[0];
+
+    let threads_before = process_threads();
+    let history = Arc::new(SharedHistory::new());
+    let metrics = Arc::new(Metrics::new());
+    let handles: Vec<_> = (0..DRIVERS)
+        .map(|driver| {
+            let history = Arc::clone(&history);
+            let metrics = Arc::clone(&metrics);
+            let mut gen = WorkloadGen::new(
+                &dataset,
+                AccessDistribution::Zipfian { exponent: 0.99 },
+                Mix::with_write_ratio(0.05),
+                0xE2E ^ driver as u64,
+            );
+            std::thread::spawn(move || {
+                // This driver's share of the connection pool, all held
+                // open concurrently against node 0.
+                let mut clients: Vec<Client> = (0..conns)
+                    .filter(|i| i % DRIVERS == driver)
+                    .map(|i| {
+                        Client::connect(
+                            &[target],
+                            u32::try_from(i).expect("connection index fits"),
+                            LoadBalancePolicy::Pinned(0),
+                        )
+                        .expect("connect")
+                        .with_history(Arc::clone(&history))
+                        .with_metrics(Arc::clone(&metrics))
+                        .with_batching(BatchConfig {
+                            max_ops: 4,
+                            ..BatchConfig::default()
+                        })
+                    })
+                    .collect();
+                // Every connection serves ops (round-robin), so all of
+                // them are demonstrably live, not just open.
+                for n in 0..(OPS_PER_CONN * clients.len() as u64) {
+                    let op = gen.next_op();
+                    let slot = n as usize % clients.len();
+                    let client = &mut clients[slot];
+                    match op.kind {
+                        OpKind::Get => client.queue_get(op.key.0).expect("queue get"),
+                        OpKind::Put => client
+                            .queue_put(op.key.0, &op.value_bytes(driver as u32, 40))
+                            .expect("queue put"),
+                    }
+                    if client.queued() == 0 {
+                        client.flush().expect("drain outcomes");
+                    }
+                }
+                let threads_at_peak = process_threads();
+                for client in &mut clients {
+                    client.flush().expect("final flush");
+                }
+                threads_at_peak
+            })
+        })
+        .collect();
+    let mut threads_at_peak = 0u64;
+    for handle in handles {
+        threads_at_peak = threads_at_peak.max(handle.join().expect("driver thread"));
+    }
+
+    assert!(
+        conns >= 5_000 || reactor::raise_nofile_limit(wanted).unwrap_or(0) < wanted,
+        "ran {conns} connections without an fd-limit excuse"
+    );
+    let snap = metrics.snapshot();
+    assert_eq!(
+        snap.gets + snap.puts,
+        OPS_PER_CONN * conns as u64,
+        "every connection served its ops"
+    );
+    // O(reactor shards) threads, not O(connections): beyond the driver
+    // threads this test spawned itself, holding `conns` connections adds
+    // NO server threads over the rack's fixed topology.
+    let driver_threads = DRIVERS as u64;
+    assert!(
+        threads_at_peak <= threads_before + driver_threads,
+        "thread count grew with connections: {threads_before} before, \
+         {threads_at_peak} at peak with {conns} connections ({driver_threads} drivers)"
+    );
+
+    let history = history.snapshot();
+    assert!(
+        history.len() as u64 >= OPS_PER_CONN * conns as u64 / 4,
+        "too few cached-key ops recorded ({})",
+        history.len()
+    );
+    history
+        .check_per_key_sc()
+        .expect("per-key SC must hold across thousands of connections");
+    history
+        .check_per_key_lin()
+        .expect("per-key Lin must hold across thousands of connections");
+    rack.shutdown();
+}
+
+/// Connections that sit idle (no hello, or hello then silence) must cost
+/// the reactor nothing but memory: the rack keeps serving a checked
+/// workload around 2k of them, and closes them all on teardown.
+#[test]
+fn idle_and_mute_connections_do_not_starve_serving() {
+    let wanted = 2 * 2_000 + 1024;
+    let _ = reactor::raise_nofile_limit(wanted);
+    let mut cfg = RackConfig::small(ConsistencyModel::Lin, 3);
+    cfg.metrics = false;
+    let rack = Rack::launch(cfg).expect("launch rack");
+    let dataset = Dataset::new(1_000, 40);
+    rack.install_hot_set(&dataset.hot_entries(64))
+        .expect("install hot set");
+    let addrs = rack.client_addrs();
+
+    // 1k sockets that never speak (no hello) and 1k real client sessions
+    // that go mute after connecting.
+    let mute: Vec<std::net::TcpStream> = (0..1_000)
+        .map(|i| std::net::TcpStream::connect(addrs[i % addrs.len()]).expect("connect mute"))
+        .collect();
+    let idle: Vec<Client> = (0..1_000)
+        .map(|i| {
+            Client::connect(
+                &[addrs[i % addrs.len()]],
+                10_000 + i as u32,
+                LoadBalancePolicy::Pinned(0),
+            )
+            .expect("connect idle")
+        })
+        .collect();
+
+    // A live session still gets served promptly through the noise.
+    let history = Arc::new(SharedHistory::new());
+    let mut client = Client::connect(&addrs, 1, LoadBalancePolicy::RoundRobin)
+        .expect("connect live")
+        .with_history(Arc::clone(&history));
+    let mut gen = WorkloadGen::new(
+        &dataset,
+        AccessDistribution::Zipfian { exponent: 0.99 },
+        Mix::with_write_ratio(0.2),
+        42,
+    );
+    for _ in 0..2_000 {
+        let op = gen.next_op();
+        match op.kind {
+            OpKind::Get => {
+                client.get(op.key.0).expect("get");
+            }
+            OpKind::Put => {
+                client.put(op.key.0, &op.value_bytes(1, 40)).expect("put");
+            }
+        }
+    }
+    history
+        .snapshot()
+        .check_per_key_lin()
+        .expect("per-key Lin holds with 2k idle connections attached");
+    drop(idle);
+    drop(mute);
+    rack.shutdown();
+}

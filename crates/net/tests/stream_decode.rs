@@ -1,0 +1,178 @@
+//! Partial-frame delivery: the streaming [`FrameDecoder`] must accept any
+//! chunking of a valid frame stream — one byte at a time, a batch split
+//! across a hundred writes, or whatever a proptest-chosen segmentation
+//! produces — without erroring, without consuming CPU while starved, and
+//! yielding exactly the frames the one-shot [`read_frame`] decoder yields.
+
+use cckvs_net::wire::{read_frame, write_frame, Frame, FrameDecoder};
+use consistency::lamport::{NodeId, Timestamp};
+use consistency::messages::ProtocolMsg;
+use proptest::prelude::*;
+
+fn sample_frames() -> Vec<Frame> {
+    let ts = Timestamp::new(17, NodeId(2));
+    vec![
+        Frame::ClientHello,
+        Frame::Get { key: 42 },
+        Frame::Put {
+            key: 7,
+            value: b"dribbled-value".to_vec(),
+        },
+        Frame::GetResp {
+            cached: true,
+            ts,
+            value: vec![0xA5; 300],
+        },
+        Frame::Protocol {
+            msg: ProtocolMsg::Update {
+                key: 9,
+                value: 0xDEAD_BEEF,
+                ts,
+                from: NodeId(1),
+            },
+            bytes: Some(b"payload".to_vec()),
+        },
+        Frame::Credit { n: 31 },
+        Frame::Ping,
+    ]
+}
+
+fn encode_stream(frames: &[Frame]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for frame in frames {
+        write_frame(&mut bytes, frame).unwrap();
+    }
+    bytes
+}
+
+fn one_shot_decode(mut bytes: &[u8]) -> Vec<Frame> {
+    let mut frames = Vec::new();
+    while let Some(frame) = read_frame(&mut bytes).unwrap() {
+        frames.push(frame);
+    }
+    frames
+}
+
+/// Feeds `bytes` to a fresh decoder in the given chunks and collects every
+/// frame, asserting the decoder only reports progress when it actually has
+/// a complete frame (the no-busy-spin property: a starved `next_frame` is
+/// `Ok(None)` and consumes nothing).
+fn chunked_decode(bytes: &[u8], chunks: &[usize]) -> Vec<Frame> {
+    let mut decoder = FrameDecoder::new();
+    let mut frames = Vec::new();
+    let mut fed = 0usize;
+    for &chunk in chunks {
+        let end = (fed + chunk).min(bytes.len());
+        decoder.feed(&bytes[fed..end]);
+        fed = end;
+        loop {
+            let buffered_before = decoder.buffered();
+            match decoder.next_frame().expect("valid stream never errors") {
+                Some(frame) => frames.push(frame),
+                None => {
+                    // Starved: nothing was consumed, so a loop driven by
+                    // readiness events makes no progress calls here — it
+                    // goes back to sleep instead of spinning.
+                    assert_eq!(decoder.buffered(), buffered_before);
+                    break;
+                }
+            }
+        }
+    }
+    assert_eq!(fed, bytes.len(), "test chunking covered the whole stream");
+    frames
+}
+
+#[test]
+fn byte_dribble_yields_identical_frames() {
+    let frames = sample_frames();
+    let bytes = encode_stream(&frames);
+    let chunks = vec![1usize; bytes.len()];
+    let decoded = chunked_decode(&bytes, &chunks);
+    assert_eq!(decoded, frames);
+    assert_eq!(decoded, one_shot_decode(&bytes));
+}
+
+#[test]
+fn batch_split_across_100_writes_decodes_whole() {
+    let batch = Frame::Batch {
+        frames: (0..40)
+            .map(|i| Frame::Put {
+                key: i,
+                value: vec![i as u8; 64],
+            })
+            .collect(),
+    };
+    let bytes = encode_stream(std::slice::from_ref(&batch));
+    assert!(
+        bytes.len() >= 100,
+        "batch must be big enough to split into 100 writes"
+    );
+    // 100 near-equal chunks covering the stream.
+    let base = bytes.len() / 100;
+    let mut chunks = vec![base; 100];
+    chunks[99] += bytes.len() - base * 100;
+    let decoded = chunked_decode(&bytes, &chunks);
+    assert_eq!(decoded, vec![batch]);
+}
+
+#[test]
+fn decoder_tracks_mid_frame_state_for_eof_diagnosis() {
+    let mut decoder = FrameDecoder::new();
+    assert!(!decoder.is_mid_frame());
+    let bytes = encode_stream(&[Frame::Get { key: 1 }]);
+    decoder.feed(&bytes[..3]);
+    assert!(decoder.next_frame().unwrap().is_none());
+    // An EOF here would be a peer dying mid-frame.
+    assert!(decoder.is_mid_frame());
+    decoder.feed(&bytes[3..]);
+    assert_eq!(decoder.next_frame().unwrap(), Some(Frame::Get { key: 1 }));
+    assert!(!decoder.is_mid_frame());
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_before_buffering() {
+    let mut decoder = FrameDecoder::new();
+    decoder.feed(&u32::MAX.to_le_bytes());
+    assert!(decoder.next_frame().is_err());
+}
+
+proptest! {
+    /// Chunking is arbitrary: however the proptest splits the stream, the
+    /// decoder yields exactly the one-shot frames.
+    #[test]
+    fn arbitrary_chunking_matches_one_shot_decoder(
+        keys in prop::collection::vec(any::<u64>(), 1..12),
+        value_len in 0usize..200,
+        chunk_sizes in prop::collection::vec(1usize..64, 1..200),
+    ) {
+        let frames: Vec<Frame> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &key)| {
+                if i % 3 == 0 {
+                    Frame::Put { key, value: vec![i as u8; value_len] }
+                } else if i % 3 == 1 {
+                    Frame::Get { key }
+                } else {
+                    Frame::Batch {
+                        frames: vec![
+                            Frame::Get { key },
+                            Frame::Credit { n: (key & 0xFFFF) as u32 },
+                        ],
+                    }
+                }
+            })
+            .collect();
+        let bytes = encode_stream(&frames);
+        // Extend the proptest chunking to cover the whole stream.
+        let mut chunks = chunk_sizes;
+        let covered: usize = chunks.iter().sum();
+        if covered < bytes.len() {
+            chunks.push(bytes.len() - covered);
+        }
+        let decoded = chunked_decode(&bytes, &chunks);
+        prop_assert_eq!(&decoded, &frames);
+        prop_assert_eq!(decoded, one_shot_decode(&bytes));
+    }
+}

@@ -1,0 +1,119 @@
+//! A hashed timer wheel with millisecond slots.
+//!
+//! The reactor's timers are few and coarse — credit-stall ticks, parked
+//! connection re-checks — so a single-level wheel of millisecond slots is
+//! enough: scheduling and expiry are O(1) amortised, and a deadline past
+//! the wheel's horizon simply stays in its slot until its lap comes around
+//! (each entry stores the absolute tick; firing a slot only releases the
+//! entries whose lap has arrived).
+
+use crate::poller::Token;
+use std::time::{Duration, Instant};
+
+const SLOT_MS: u64 = 1;
+const SLOTS: usize = 1024;
+
+struct Entry {
+    deadline_tick: u64,
+    token: Token,
+}
+
+/// The wheel. Not thread-safe by design: each reactor shard owns one.
+pub struct TimerWheel {
+    base: Instant,
+    /// The next tick to sweep (everything before it has fired).
+    cursor: u64,
+    slots: Vec<Vec<Entry>>,
+    armed: usize,
+}
+
+impl TimerWheel {
+    /// An empty wheel anchored at `now`.
+    pub fn new() -> TimerWheel {
+        TimerWheel {
+            base: Instant::now(),
+            cursor: 0,
+            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+            armed: 0,
+        }
+    }
+
+    fn tick_of(&self, at: Instant) -> u64 {
+        let elapsed = at.saturating_duration_since(self.base);
+        elapsed.as_millis() as u64 / SLOT_MS
+    }
+
+    /// Arms a timer: `token` fires once `delay` has elapsed (rounded up to
+    /// the next millisecond slot, so a sub-millisecond delay still waits a
+    /// full slot rather than firing immediately in a hot loop).
+    pub fn schedule(&mut self, token: Token, delay: Duration) {
+        let now_tick = self.tick_of(Instant::now());
+        let delay_ticks = (delay.as_millis() as u64).div_ceil(SLOT_MS).max(1);
+        let deadline_tick = now_tick + delay_ticks;
+        self.slots[(deadline_tick % SLOTS as u64) as usize].push(Entry {
+            deadline_tick,
+            token,
+        });
+        self.armed += 1;
+    }
+
+    /// Number of armed timers.
+    pub fn armed(&self) -> usize {
+        self.armed
+    }
+
+    /// How long the owning poller may sleep before the next timer is due.
+    /// `None` when nothing is armed.
+    pub fn next_timeout(&self) -> Option<Duration> {
+        if self.armed == 0 {
+            return None;
+        }
+        let now_tick = self.tick_of(Instant::now());
+        // Scan forward from the cursor; the nearest armed deadline bounds
+        // the sleep. Cheap at reactor scale (a handful of armed timers).
+        let mut best: Option<u64> = None;
+        for slot in &self.slots {
+            for entry in slot {
+                if best.is_none_or(|b| entry.deadline_tick < b) {
+                    best = Some(entry.deadline_tick);
+                }
+            }
+        }
+        let deadline = best?;
+        Some(Duration::from_millis(
+            deadline.saturating_sub(now_tick).max(1) * SLOT_MS,
+        ))
+    }
+
+    /// Collects every timer due by now, in arming order within a slot.
+    pub fn expired(&mut self) -> Vec<Token> {
+        let now_tick = self.tick_of(Instant::now());
+        let mut due = Vec::new();
+        // Sweep at most one full lap.
+        let lap_end = now_tick.min(self.cursor + SLOTS as u64);
+        while self.cursor <= lap_end {
+            let slot = &mut self.slots[(self.cursor % SLOTS as u64) as usize];
+            let mut i = 0;
+            while i < slot.len() {
+                if slot[i].deadline_tick <= now_tick {
+                    due.push(slot.swap_remove(i).token);
+                    self.armed -= 1;
+                } else {
+                    i += 1;
+                }
+            }
+            if self.cursor == lap_end {
+                break;
+            }
+            self.cursor += 1;
+        }
+        self.cursor = now_tick;
+        due
+    }
+}
+
+impl Default for TimerWheel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
