@@ -43,10 +43,36 @@ pub struct PendingWrite {
     pub ts: Timestamp,
     /// The value being written (broadcast once all acks arrive).
     pub value: Value,
-    /// Acknowledgements received so far.
-    pub acks: u8,
     /// Acknowledgements required (number of other replicas).
     pub needed: u8,
+    /// Bitmask of node ids whose acknowledgement has been counted (the
+    /// ack count is its popcount — one source of truth). A
+    /// crash-recovering transport may *reissue* an invalidation to a
+    /// restarted peer (whose predecessor's ack could have been lost with
+    /// it) — the resulting second ack from the same node id must not count
+    /// twice, or the write would commit before every replica actually
+    /// acknowledged it.
+    pub acked: u64,
+}
+
+impl PendingWrite {
+    /// Acknowledgements counted so far.
+    pub fn acks(&self) -> u8 {
+        self.acked.count_ones() as u8
+    }
+
+    /// Whether node `from`'s acknowledgement was already counted.
+    pub fn acked_by(&self, from: NodeId) -> bool {
+        self.acked & PendingWrite::bit(from) != 0
+    }
+
+    fn bit(from: NodeId) -> u64 {
+        debug_assert!(
+            (from.0 as usize) < u64::BITS as usize,
+            "ack bitmask supports up to 64 replicas"
+        );
+        1u64 << (from.0 % 64)
+    }
 }
 
 /// Per-key replica state under the Lin protocol.
@@ -135,8 +161,8 @@ impl LinKeyState {
                 self.pending = Some(PendingWrite {
                     ts,
                     value,
-                    acks: 0,
                     needed: peers,
+                    acked: 0,
                 });
                 if peers == 0 {
                     // Single-replica degenerate case: commit immediately.
@@ -156,15 +182,20 @@ impl LinKeyState {
                 }
                 vec![Action::SendAck { to: from, ts }]
             }
-            Event::RecvAck { ts, .. } => {
+            Event::RecvAck { ts, from } => {
                 let Some(mut pending) = self.pending else {
                     return Vec::new(); // Stale ack for an already-committed write.
                 };
                 if pending.ts != ts {
                     return Vec::new();
                 }
-                pending.acks += 1;
-                if pending.acks < pending.needed {
+                if pending.acked_by(from) {
+                    // Duplicate (a reissued invalidation after a peer
+                    // restart produced a second ack): already counted.
+                    return Vec::new();
+                }
+                pending.acked |= PendingWrite::bit(from);
+                if pending.acks() < pending.needed {
                     self.pending = Some(pending);
                     return Vec::new();
                 }
@@ -499,7 +530,52 @@ mod tests {
             )
             .is_empty());
         assert!(st.pending.is_some());
-        assert_eq!(st.pending.unwrap().acks, 0);
+        assert_eq!(st.pending.unwrap().acks(), 0);
+    }
+
+    #[test]
+    fn duplicate_acks_from_one_node_count_once() {
+        // A transport recovering from a peer crash may reissue an
+        // invalidation whose original ack it cannot prove was counted; the
+        // restarted peer acks again. Two acks from the same node id must
+        // not commit a write that a third replica never acknowledged.
+        let mut st = LinKeyState::default();
+        st.step(ME, N, Event::ClientPut { value: 5 });
+        assert!(st
+            .step(
+                ME,
+                N,
+                Event::RecvAck {
+                    from: P1,
+                    ts: ts(1, ME)
+                }
+            )
+            .is_empty());
+        // The duplicate is ignored: still pending, one ack counted.
+        assert!(st
+            .step(
+                ME,
+                N,
+                Event::RecvAck {
+                    from: P1,
+                    ts: ts(1, ME)
+                }
+            )
+            .is_empty());
+        let pending = st.pending.expect("still pending");
+        assert_eq!(pending.acks(), 1);
+        assert!(pending.acked_by(P1));
+        assert!(!pending.acked_by(P2));
+        // The genuinely missing ack completes the write.
+        let actions = st.step(
+            ME,
+            N,
+            Event::RecvAck {
+                from: P2,
+                ts: ts(1, ME),
+            },
+        );
+        assert!(actions.contains(&Action::PutComplete { ts: ts(1, ME) }));
     }
 
     #[test]

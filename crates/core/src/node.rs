@@ -382,6 +382,17 @@ impl CcNode {
         }
     }
 
+    /// Invalidations to reissue toward `peer` after its process crashed and
+    /// restarted: one per local pending Lin write whose acknowledgement
+    /// from that peer was never counted (the original invalidation — or
+    /// its ack — may have died inside the peer's old process). The
+    /// restarted peer acknowledges vacuously for keys it no longer caches,
+    /// unblocking writers that would otherwise wait forever; per-node ack
+    /// deduplication makes a reissue toward a peer that *did* ack a no-op.
+    pub fn reissue_invalidations(&self, peer: NodeId) -> Vec<Outgoing> {
+        attach(self.cache.reissue_invalidations(peer), None)
+    }
+
     /// Blocks until the pending Lin write `(key, ts)` started by
     /// [`CcNode::cache_put`] commits (the transport delivering the final ack
     /// signals this through [`CcNode::deliver`]).

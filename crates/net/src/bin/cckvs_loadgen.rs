@@ -34,6 +34,19 @@ struct ConnStats {
     p99_us: f64,
 }
 
+/// What one session thread reports back.
+struct SessionOut {
+    stats: Vec<ConnStats>,
+    /// Dead connections successfully redialed by this session's clients.
+    reconnects: u64,
+    /// Transport failures per server node (summed over this session's
+    /// clients).
+    node_errors: Vec<u64>,
+    /// Operations that failed (only non-zero under --tolerate-errors;
+    /// without it the first failure aborts the run).
+    op_errors: u64,
+}
+
 struct Args {
     servers: Vec<SocketAddr>,
     ops: u64,
@@ -49,6 +62,7 @@ struct Args {
     check: bool,
     json: bool,
     shutdown: bool,
+    tolerate_errors: bool,
 }
 
 fn usage() -> ! {
@@ -56,11 +70,16 @@ fn usage() -> ! {
         "usage: cckvs-loadgen --servers A,B,... [--ops N] [--sessions N] \
          [--zipf THETA|uniform] [--write-ratio F] [--keys N] [--value-size B] \
          [--model sc|lin] [--install-hot N] [--batch N] [--connections N] \
-         [--no-check] [--json] [--shutdown]\n\
+         [--no-check] [--json] [--shutdown] [--tolerate-errors]\n\
          --connections N opens N concurrent single-node client connections\n\
          (round-robin across servers and across connections per op; each\n\
          session thread drives its share) and reports per-connection\n\
-         latency in --json output."
+         latency in --json output.\n\
+         --tolerate-errors keeps driving when individual operations fail\n\
+         (a node crashing and being restarted under traffic): failed ops\n\
+         are counted, connections redial, and --json reports `errors`,\n\
+         `reconnects` and per-node `node_errors` so orchestration harnesses\n\
+         can assert recovery quantitatively."
     );
     std::process::exit(2);
 }
@@ -81,6 +100,7 @@ fn parse_args() -> Args {
         check: true,
         json: false,
         shutdown: false,
+        tolerate_errors: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -131,6 +151,7 @@ fn parse_args() -> Args {
             "--no-check" => args.check = false,
             "--json" => args.json = true,
             "--shutdown" => args.shutdown = true,
+            "--tolerate-errors" => args.tolerate_errors = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -228,7 +249,7 @@ fn main() {
     }
     let ops_per_session = args.ops / u64::from(args.sessions.max(1));
     let started = Instant::now();
-    let handles: Vec<std::thread::JoinHandle<Vec<ConnStats>>> = (0..args.sessions)
+    let handles: Vec<std::thread::JoinHandle<SessionOut>> = (0..args.sessions)
         .map(|session| {
             let servers = args.servers.clone();
             let history = history.clone();
@@ -238,6 +259,7 @@ fn main() {
             let batch = args.batch;
             let connections = args.connections;
             let sessions = args.sessions;
+            let tolerate = args.tolerate_errors;
             let mut gen = WorkloadGen::new(
                 &dataset,
                 distribution,
@@ -297,8 +319,14 @@ fn main() {
                     vec![(usize::MAX, client, Histogram::new())]
                 };
                 if clients.is_empty() {
-                    return Vec::new();
+                    return SessionOut {
+                        stats: Vec::new(),
+                        reconnects: 0,
+                        node_errors: vec![0; servers.len()],
+                        op_errors: 0,
+                    };
                 }
+                let mut op_errors = 0u64;
                 for n in 0..ops_per_session {
                     let op = gen.next_op();
                     // Round-robin ops across this session's connections.
@@ -324,11 +352,26 @@ fn main() {
                         }
                     };
                     if let Err(e) = result {
-                        eprintln!(
-                            "cckvs-loadgen: session {session}: {:?} of key {} failed: {e}",
-                            op.kind, op.key.0
-                        );
-                        std::process::exit(1);
+                        if !tolerate {
+                            eprintln!(
+                                "cckvs-loadgen: session {session}: {:?} of key {} failed: {e}",
+                                op.kind, op.key.0
+                            );
+                            std::process::exit(1);
+                        }
+                        // A node died under us (and is presumably being
+                        // restarted): count it and keep driving — the
+                        // client redials lazily. A failed op was never
+                        // acknowledged, so it carries no history
+                        // obligation.
+                        op_errors += 1;
+                        if op_errors <= 3 {
+                            eprintln!(
+                                "cckvs-loadgen: session {session}: {:?} of key {} failed: {e} \
+                                 (tolerated)",
+                                op.kind, op.key.0
+                            );
+                        }
                     }
                     // Drain completed outcomes at every batch boundary
                     // (no wire traffic: the queue is empty right after a
@@ -336,7 +379,10 @@ fn main() {
                     // outcome per op for its whole duration.
                     if batch > 1 && client.queued() == 0 {
                         if let Err(e) = client.flush() {
-                            fail("flush", &e);
+                            if !tolerate {
+                                fail("flush", &e);
+                            }
+                            op_errors += 1;
                         }
                     }
                     // Driver-side latency, attributed to the connection
@@ -344,11 +390,25 @@ fn main() {
                     latency.record(op_started.elapsed().as_nanos() as u64);
                 }
                 let mut stats = Vec::new();
+                let mut reconnects = 0u64;
+                let mut node_errors = vec![0u64; servers.len()];
                 for (conn, mut client, mut latency) in clients {
                     if let Err(e) = client.flush() {
-                        fail("final flush", &e);
+                        if !tolerate {
+                            fail("final flush", &e);
+                        }
+                        op_errors += 1;
                     }
-                    if conn != usize::MAX {
+                    reconnects += client.reconnects();
+                    if conn == usize::MAX {
+                        // Classic mode: the client's error vector is
+                        // already indexed by node id.
+                        for (node, errs) in client.node_errors().iter().enumerate() {
+                            node_errors[node] += errs;
+                        }
+                    } else {
+                        // Connection mode: one single-node client.
+                        node_errors[conn % servers.len()] += client.node_errors()[0];
                         stats.push(ConnStats {
                             conn,
                             node: conn % servers.len(),
@@ -358,13 +418,27 @@ fn main() {
                         });
                     }
                 }
-                stats
+                SessionOut {
+                    stats,
+                    reconnects,
+                    node_errors,
+                    op_errors,
+                }
             })
         })
         .collect();
     let mut conn_stats: Vec<ConnStats> = Vec::new();
+    let mut reconnects = 0u64;
+    let mut op_errors = 0u64;
+    let mut node_errors = vec![0u64; args.servers.len()];
     for handle in handles {
-        conn_stats.extend(handle.join().expect("session thread"));
+        let out = handle.join().expect("session thread");
+        conn_stats.extend(out.stats);
+        reconnects += out.reconnects;
+        op_errors += out.op_errors;
+        for (node, errs) in out.node_errors.iter().enumerate() {
+            node_errors[node] += errs;
+        }
     }
     conn_stats.sort_by_key(|s| s.conn);
     let elapsed = started.elapsed();
@@ -400,6 +474,11 @@ fn main() {
             String::new()
         }
     ));
+    if reconnects > 0 || op_errors > 0 {
+        report(format!(
+            "  {op_errors} failed ops | {reconnects} reconnects | per-node errors {node_errors:?}"
+        ));
+    }
     if !conn_stats.is_empty() {
         let mut p99s: Vec<f64> = conn_stats.iter().map(|s| s.p99_us).collect();
         p99s.sort_by(f64::total_cmp);
@@ -448,6 +527,14 @@ fn main() {
 
     if args.json {
         let mut extra = String::new();
+        extra.push_str(&format!(
+            ", \"errors\": {op_errors}, \"reconnects\": {reconnects}, \"node_errors\": [{}]",
+            node_errors
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
         if let Some(ok) = per_key_sc {
             extra.push_str(&format!(", \"per_key_sc\": {ok}"));
         }

@@ -19,9 +19,24 @@
 use cckvs::node::{NodeConfig, DEFAULT_KVS_THREADS};
 use cckvs_net::server::{NodeServer, NodeServerConfig, ReactorConfig};
 use consistency::messages::ConsistencyModel;
+use std::io::Read;
 use std::net::SocketAddr;
 use std::time::Duration;
 use symcache::EpochConfig;
+
+/// Exit code for a failed listener bind: the port is taken (or the address
+/// is unusable). A supervisor must NOT blindly retry — another process owns
+/// the port.
+const EXIT_BIND: i32 = 3;
+
+/// Exit code for a peer-connect timeout: the peers were not up within
+/// `--peer-timeout`. A supervisor SHOULD retry — the rest of the rack may
+/// simply still be booting (or restarting).
+const EXIT_PEERS: i32 = 4;
+
+/// How long the SIGTERM path spends shipping dirty cached values back to
+/// their home shards before exiting.
+const DRAIN_BUDGET: Duration = Duration::from_secs(5);
 
 struct Args {
     node: usize,
@@ -37,6 +52,9 @@ struct Args {
     epoch_hot_set: Option<usize>,
     shards: usize,
     workers: usize,
+    ready_fd: Option<i32>,
+    cold_floor: u32,
+    hot_fence: Vec<u64>,
 }
 
 fn usage() -> ! {
@@ -44,14 +62,28 @@ fn usage() -> ! {
         "usage: cckvs-node --node N --nodes M --listen ADDR --peers A,B,... \
          [--model sc|lin] [--metrics ADDR] [--cache-capacity N] \
          [--kvs-capacity N] [--value-capacity N] [--peer-timeout SECS] \
-         [--epoch-hot-set N] [--shards N] [--workers N]\n\
+         [--epoch-hot-set N] [--shards N] [--workers N] [--ready-fd FD]\n\
+         [--cold-floor N] [--hot-fence K1,K2,...]\n\
          --shards/--workers size the epoll reactor (shard event-loop\n\
          threads and blocking-handler workers; thread count is independent\n\
          of connection count).\n\
          --epoch-hot-set makes this node the deployment's epoch coordinator:\n\
          it tracks popularity over the requests it serves and churns a hot\n\
          set of N keys across all nodes at every epoch (set it on exactly\n\
-         one node)."
+         one node).\n\
+         --ready-fd writes \"ready\\n\" to the given (inherited) fd once the\n\
+         peer mesh is up — supervisors await it instead of polling.\n\
+         --cold-floor seeds the home shard's cold-version counter: a\n\
+         supervisor restarting a crashed node passes its last polled\n\
+         VersionFloor (plus slack) so home-assigned versions stay monotone\n\
+         across the crash.\n\
+         --hot-fence marks the listed keys (those homed here) as fenced\n\
+         from boot: the deployment's hot set is still live in the peers'\n\
+         caches, so this empty replacement must bounce cold ops on those\n\
+         keys until the supervisor heals cache symmetry.\n\
+         Exit codes: 2 usage, 3 bind failed (port taken: do not retry),\n\
+         4 peers unreachable within --peer-timeout (retry).\n\
+         SIGTERM drains dirty write-backs to home shards, then exits 0."
     );
     std::process::exit(2);
 }
@@ -71,6 +103,9 @@ fn parse_args() -> Args {
         epoch_hot_set: None,
         shards: ReactorConfig::default().shards,
         workers: ReactorConfig::default().workers,
+        ready_fd: None,
+        cold_floor: 0,
+        hot_fence: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -122,6 +157,19 @@ fn parse_args() -> Args {
             }
             "--shards" => args.shards = value("--shards").parse().unwrap_or_else(|_| usage()),
             "--workers" => args.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
+            "--ready-fd" => {
+                args.ready_fd = Some(value("--ready-fd").parse().unwrap_or_else(|_| usage()))
+            }
+            "--cold-floor" => {
+                args.cold_floor = value("--cold-floor").parse().unwrap_or_else(|_| usage())
+            }
+            "--hot-fence" => {
+                args.hot_fence = value("--hot-fence")
+                    .split(',')
+                    .filter(|part| !part.is_empty())
+                    .map(|part| part.parse().unwrap_or_else(|_| usage()))
+                    .collect()
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -168,12 +216,16 @@ fn main() {
             shards: args.shards,
             workers: args.workers,
         },
+        rpc_retry: cckvs_net::server::DEFAULT_RPC_RETRY,
+        cold_version_floor: args.cold_floor,
+        hot_fence: args.hot_fence,
     };
     let mut server = match NodeServer::start(cfg) {
         Ok(server) => server,
         Err(e) => {
-            eprintln!("cckvs-node: failed to start: {e}");
-            std::process::exit(1);
+            // Distinct code: the supervisor must not retry a taken port.
+            eprintln!("cckvs-node: failed to bind/start: {e}");
+            std::process::exit(EXIT_BIND);
         }
     };
     eprintln!(
@@ -187,11 +239,43 @@ fn main() {
             .map(|a| format!(", metrics on http://{a}/metrics"))
             .unwrap_or_default()
     );
+    // Graceful termination: SIGTERM/SIGINT land as bytes on a self-pipe; a
+    // watcher thread ships dirty write-backs home, then shuts the reactor
+    // down so the process exits 0 (the supervisor reads that as "stopped
+    // on purpose", not a crash).
+    let handle = server.shutdown_handle();
+    match reactor::signal_pipe(&[reactor::SIGTERM, reactor::SIGINT]) {
+        Ok(mut pipe) => {
+            std::thread::Builder::new()
+                .name("cckvs-signals".to_string())
+                .spawn(move || {
+                    let mut byte = [0u8; 1];
+                    if pipe.read_exact(&mut byte).is_ok() {
+                        eprintln!(
+                            "cckvs-node: signal {} received, draining dirty write-backs",
+                            byte[0]
+                        );
+                        let drained = handle.drain_dirty_writebacks(DRAIN_BUDGET);
+                        eprintln!("cckvs-node: drained {drained} dirty values, shutting down");
+                        handle.initiate_shutdown();
+                    }
+                })
+                .expect("spawn signal watcher");
+        }
+        Err(e) => eprintln!("cckvs-node: no graceful-signal handling: {e}"),
+    }
     if let Err(e) = server.connect_peers(&args.peers, Duration::from_secs(args.peer_timeout)) {
+        // Distinct code: the peers may simply still be booting — retry.
         eprintln!("cckvs-node: failed to reach peers: {e}");
-        std::process::exit(1);
+        std::process::exit(EXIT_PEERS);
     }
     eprintln!("cckvs-node: peer mesh up, serving");
+    if let Some(fd) = args.ready_fd {
+        if let Err(e) = reactor::write_raw_fd(fd, b"ready\n") {
+            eprintln!("cckvs-node: could not signal --ready-fd {fd}: {e}");
+        }
+        reactor::close_raw_fd(fd);
+    }
     server.wait();
     eprintln!("cckvs-node: shut down");
 }

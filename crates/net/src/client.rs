@@ -204,9 +204,18 @@ struct QueuedOp {
 }
 
 /// A client session talking to every node of a deployment.
+///
+/// Sessions survive node crashes: a connection that dies (its node was
+/// killed, or the network hiccuped) is dropped and lazily redialed on the
+/// session's next use of that node, with the redials counted in
+/// [`Client::reconnects`] and the failures in [`Client::node_errors`] —
+/// the quantitative recovery evidence orchestration harnesses assert on.
+/// A failed operation is never recorded into the checked history (no
+/// response means no acknowledgement), so crash-era histories stay sound.
 pub struct Client {
     session: u32,
-    conns: Vec<Conn>,
+    addrs: Vec<SocketAddr>,
+    conns: Vec<Option<Conn>>,
     policy: LoadBalancePolicy,
     rr_next: usize,
     rng: StdRng,
@@ -217,6 +226,8 @@ pub struct Client {
     queue: Vec<QueuedOp>,
     queue_bytes: usize,
     outcomes: Vec<BatchOutcome>,
+    reconnects: u64,
+    node_errors: Vec<u64>,
 }
 
 impl Client {
@@ -236,11 +247,13 @@ impl Client {
         }
         let conns = addrs
             .iter()
-            .map(|&addr| Conn::open(addr, &Frame::ClientHello))
+            .map(|&addr| Conn::open(addr, &Frame::ClientHello).map(Some))
             .collect::<io::Result<Vec<_>>>()?;
         Ok(Client {
             session,
             rr_next: session as usize % conns.len(),
+            addrs: addrs.to_vec(),
+            node_errors: vec![0; conns.len()],
             conns,
             policy,
             rng: StdRng::seed_from_u64(0x5EED_C11E_0000_0000 ^ u64::from(session)),
@@ -251,7 +264,48 @@ impl Client {
             queue: Vec::new(),
             queue_bytes: 0,
             outcomes: Vec::new(),
+            reconnects: 0,
         })
+    }
+
+    /// How many times a dead connection was successfully redialed.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Transport failures observed per node (indexed by node id).
+    pub fn node_errors(&self) -> &[u64] {
+        &self.node_errors
+    }
+
+    /// The connection to `node`, redialing it if the previous one died.
+    fn conn(&mut self, node: usize) -> io::Result<&mut Conn> {
+        if self.conns[node].is_none() {
+            let conn = Conn::open(self.addrs[node], &Frame::ClientHello)?;
+            self.conns[node] = Some(conn);
+            self.reconnects += 1;
+        }
+        Ok(self.conns[node].as_mut().expect("dialed above"))
+    }
+
+    /// Post-call error classification: a transport failure drops the
+    /// connection (the next use redials) and counts against the node; a
+    /// [`Frame::Error`] answer over a healthy link (`InvalidInput`) keeps
+    /// it. One helper so the single-frame and batch paths cannot drift.
+    fn classify_result<T>(&mut self, node: usize, result: io::Result<T>) -> io::Result<T> {
+        if let Err(e) = &result {
+            if e.kind() != io::ErrorKind::InvalidInput {
+                self.conns[node] = None;
+                self.node_errors[node] += 1;
+            }
+        }
+        result
+    }
+
+    /// Calls `frame` on `node`, redialing a dead connection first.
+    fn call_node(&mut self, node: usize, frame: &Frame) -> io::Result<Frame> {
+        let result = self.conn(node).and_then(|conn| conn.call(frame));
+        self.classify_result(node, result)
     }
 
     /// Sets the request-coalescing knobs used by [`Client::queue_get`] /
@@ -304,16 +358,34 @@ impl Client {
         }
     }
 
-    /// Reads `key`, load-balancing across the deployment.
+    /// Reads `key`, load-balancing across the deployment. A read that hits
+    /// a dead connection fails over to the next node (reads are
+    /// idempotent) unless the session is pinned — per-key SC stickiness
+    /// must not silently migrate replicas.
     pub fn get(&mut self, key: u64) -> io::Result<Vec<u8>> {
         // Drain any queued-but-unsent batch first: jumping past it would
         // execute this op before earlier queued ones and silently invert
         // session program order (which per-key SC relies on).
         self.flush_queue()?;
-        let node = self.pick();
+        let mut node = self.pick();
         let invoked_at = self.history.as_ref().map(|h| h.now());
         let started = Instant::now();
-        let response = self.conns[node].call(&Frame::Get { key })?;
+        let failover = !matches!(self.policy, LoadBalancePolicy::Pinned(_));
+        let mut attempt = 0;
+        let response = loop {
+            attempt += 1;
+            match self.call_node(node, &Frame::Get { key }) {
+                Ok(response) => break response,
+                Err(e)
+                    if failover
+                        && e.kind() != io::ErrorKind::InvalidInput
+                        && attempt < self.conns.len() =>
+                {
+                    node = (node + 1) % self.conns.len();
+                }
+                Err(e) => return Err(e),
+            }
+        };
         let Frame::GetResp { cached, ts, value } = response else {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -346,10 +418,17 @@ impl Client {
         let node = self.pick();
         let invoked_at = self.history.as_ref().map(|h| h.now());
         let started = Instant::now();
-        let response = self.conns[node].call(&Frame::Put {
-            key,
-            value: value.to_vec(),
-        })?;
+        // No failover for writes: a transport error mid-put is ambiguous
+        // (the write may or may not have applied), so retrying elsewhere
+        // is the caller's decision. The error never enters the history —
+        // an unacknowledged write carries no checker obligation.
+        let response = self.call_node(
+            node,
+            &Frame::Put {
+                key,
+                value: value.to_vec(),
+            },
+        )?;
         let Frame::PutResp { cached, ts } = response else {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -473,12 +552,13 @@ impl Client {
         // A singleton flush travels as a bare frame: batch=1 is exactly
         // the unbatched wire protocol (and not counted as a wire batch).
         let responses = if requests.len() == 1 {
-            vec![self.conns[node].call(&requests[0])?]
+            vec![self.call_node(node, &requests[0])?]
         } else {
             if let Some(metrics) = &self.metrics {
                 metrics.record_batch(requests.len() as u64);
             }
-            self.conns[node].call_batch(requests)?
+            let result = self.conn(node).and_then(|conn| conn.call_batch(requests));
+            self.classify_result(node, result)?
         };
         for ((key, put_tag, invoked_at, started), response) in metas.into_iter().zip(responses) {
             let outcome = self.complete(key, put_tag, invoked_at, started, response)?;
@@ -560,19 +640,30 @@ impl Client {
         }
     }
 
-    /// Pings every node, returning the number that answered.
+    /// Pings every node (redialing dead connections), returning the number
+    /// that answered.
     pub fn ping_all(&mut self) -> usize {
         (0..self.conns.len())
-            .filter(|&n| matches!(self.conns[n].call(&Frame::Ping), Ok(Frame::Pong)))
+            .filter(|&n| matches!(self.call_node(n, &Frame::Ping), Ok(Frame::Pong)))
             .count()
     }
 
-    /// Sends a shutdown request to every node (admin path).
+    /// Sends a shutdown request to every node (admin path). Every node is
+    /// attempted; the first failure (e.g. a node already down) is
+    /// reported after the sweep.
     pub fn shutdown_deployment(&mut self) -> io::Result<()> {
-        for conn in &mut self.conns {
-            conn.send(&Frame::Shutdown)?;
+        let mut first_err = None;
+        for node in 0..self.conns.len() {
+            let result = self.conn(node).and_then(|conn| conn.send(&Frame::Shutdown));
+            if let Err(e) = result {
+                self.conns[node] = None;
+                first_err.get_or_insert(e);
+            }
         }
-        Ok(())
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
     }
 }
 

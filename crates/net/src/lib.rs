@@ -12,7 +12,11 @@
 //! * [`server`] — [`server::NodeServer`]: one ccKVS node behind a socket,
 //!   served by an epoll reactor (`crates/reactor`): per-connection state
 //!   machines on a few shard threads, a bounded worker pool for blocking
-//!   handlers, credit-gated peer links driven by readiness events.
+//!   handlers, credit-gated peer links driven by readiness events — and
+//!   crash-recovering: peer links retain traffic until cumulative credit
+//!   confirmations, redial dead peers with backoff, replay exactly the
+//!   unprocessed tail, and reissue invalidations a restarted peer's dead
+//!   predecessor never acknowledged.
 //! * [`rack`] — [`rack::Rack`]: boots an N-node deployment, wires the peer
 //!   mesh and installs the coordinator's hot set over the wire.
 //! * [`client`] — [`client::Client`]: a load-balancing client session that
@@ -57,7 +61,7 @@ pub use client::{
 };
 pub use metrics::{serve_http, Metrics, MetricsSnapshot};
 pub use rack::{Rack, RackConfig, COORDINATOR_NODE};
-pub use server::{FlowConfig, NodeServer, NodeServerConfig, ReactorConfig};
+pub use server::{FlowConfig, NodeServer, NodeServerConfig, ReactorConfig, ShutdownHandle};
 pub use wire::{Frame, WireError};
 
 /// One-stop imports for examples and applications.

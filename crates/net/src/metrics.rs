@@ -76,6 +76,16 @@ pub struct MetricsSnapshot {
     pub credit_stall_ns: u64,
     /// 99th-percentile single credit stall in nanoseconds.
     pub credit_stall_p99_ns: u64,
+    /// Successful peer-link reconnects (redial handshakes completed).
+    pub peer_reconnects: u64,
+    /// Retained protocol messages replayed to peers after reconnects.
+    pub peer_replayed: u64,
+    /// Invalidations reissued toward restarted peers for pending writes.
+    pub reissued_invalidations: u64,
+    /// Protocol messages currently parked behind down peer links (gauge).
+    pub parked_messages: u64,
+    /// Messages dropped because a dead peer's park overflowed.
+    pub parked_dropped: u64,
     /// Number of recorded latency samples.
     pub latency_count: usize,
     /// Mean operation latency in nanoseconds.
@@ -123,6 +133,11 @@ pub struct Metrics {
     inline_gets: AtomicU64,
     credit_stalls: AtomicU64,
     credit_stall_ns: AtomicU64,
+    peer_reconnects: AtomicU64,
+    peer_replayed: AtomicU64,
+    reissued_invalidations: AtomicU64,
+    parked_messages: AtomicU64,
+    parked_dropped: AtomicU64,
     batch_sizes: Mutex<Histogram>,
     credit_stall_hist: Mutex<Histogram>,
     latency: Mutex<Histogram>,
@@ -237,6 +252,35 @@ impl Metrics {
         self.credit_stall_hist.lock().record(nanos);
     }
 
+    /// Records one successful peer-link reconnect (redial handshake
+    /// completed after the previous connection died).
+    pub fn record_peer_reconnect(&self) {
+        self.peer_reconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` retained protocol messages replayed to a peer after a
+    /// reconnect (the peer had not confirmed processing them).
+    pub fn record_peer_replayed(&self, n: u64) {
+        self.peer_replayed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` invalidations reissued toward a restarted peer on
+    /// behalf of pending Lin writes it never acknowledged.
+    pub fn record_reissued(&self, n: u64) {
+        self.reissued_invalidations.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Sets the parked-messages gauge: protocol traffic queued behind
+    /// down peer links, waiting for a redial.
+    pub fn set_parked(&self, n: u64) {
+        self.parked_messages.store(n, Ordering::Relaxed);
+    }
+
+    /// Records one message dropped because a dead peer's park overflowed.
+    pub fn record_parked_drop(&self) {
+        self.parked_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records one end-to-end operation latency in nanoseconds.
     pub fn record_latency_ns(&self, nanos: u64) {
         self.latency.lock().record(nanos);
@@ -297,6 +341,11 @@ impl Metrics {
             credit_stalls: self.credit_stalls.load(Ordering::Relaxed),
             credit_stall_ns: self.credit_stall_ns.load(Ordering::Relaxed),
             credit_stall_p99_ns,
+            peer_reconnects: self.peer_reconnects.load(Ordering::Relaxed),
+            peer_replayed: self.peer_replayed.load(Ordering::Relaxed),
+            reissued_invalidations: self.reissued_invalidations.load(Ordering::Relaxed),
+            parked_messages: self.parked_messages.load(Ordering::Relaxed),
+            parked_dropped: self.parked_dropped.load(Ordering::Relaxed),
             latency_count,
             latency_mean_ns: mean,
             latency_p50_ns: p50,
@@ -395,6 +444,26 @@ impl Metrics {
             "Nanoseconds spent stalled on exhausted credit windows.",
             snap.credit_stall_ns,
         );
+        counter(
+            "peer_reconnects_total",
+            "Peer-link redial handshakes completed after a connection died.",
+            snap.peer_reconnects,
+        );
+        counter(
+            "peer_replayed_total",
+            "Retained protocol messages replayed to peers after reconnects.",
+            snap.peer_replayed,
+        );
+        counter(
+            "reissued_invalidations_total",
+            "Invalidations reissued toward restarted peers for pending writes.",
+            snap.reissued_invalidations,
+        );
+        counter(
+            "parked_dropped_total",
+            "Messages dropped because a dead peer's park overflowed.",
+            snap.parked_dropped,
+        );
         for (suffix, value) in [
             ("batch_ops_p50", snap.batch_ops_p50),
             ("batch_ops_p99", snap.batch_ops_p99),
@@ -402,6 +471,7 @@ impl Metrics {
             ("conns_open", snap.conns_open),
             ("reactor_shards", snap.reactor_shards),
             ("reactor_workers", snap.reactor_workers),
+            ("parked_messages", snap.parked_messages),
         ] {
             out.push_str(&format!(
                 "# TYPE cckvs_{suffix} gauge\ncckvs_{suffix}{{node=\"{node_label}\"}} {value}\n"

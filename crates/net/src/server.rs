@@ -39,6 +39,25 @@
 //! which keeps symmetric saturation deadlock-free exactly as the
 //! thread-per-peer implementation did. Teardown drains stalled peers
 //! without credits.
+//!
+//! Crash recovery (PR 5 — peers are now separate OS processes that die and
+//! come back): every outgoing peer link is a [`PeerLink`] that survives its
+//! TCP connection. Messages are retained until the peer confirms
+//! *processing* them through cumulative [`Frame::Credit`] acknowledgements
+//! (TCP-ack style: idempotent, loss-proof), so when a link dies the
+//! unconfirmed tail is replayed after the redial handshake — exactly once,
+//! in order. The handshake ([`Frame::PeerHello`] →
+//! [`Frame::PeerHelloAck`] → [`Frame::PeerResume`]) carries *process
+//! generations*: a restarted peer is detected on either side of either
+//! link direction, its stale connections and confirmations are rejected,
+//! and every local pending Lin write reissues its invalidation toward the
+//! restarted (now empty, vacuously acknowledging) peer — per-node ack
+//! bitmasks in the protocol engine make duplicate acknowledgements
+//! harmless. While a peer is down, outbound coherence traffic parks in the
+//! link's queue (bounded by [`PARK_MAX`]) and a redial thread retries with
+//! exponential backoff; miss-path RPCs redial transparently within
+//! [`NodeServerConfig::rpc_retry`]. The serving node keeps answering for
+//! every key the dead peer does not home.
 
 use crate::client::Conn;
 use crate::metrics::{Metrics, MetricsServer};
@@ -121,7 +140,34 @@ pub struct NodeServerConfig {
     pub flow: FlowConfig,
     /// Event-loop topology knobs.
     pub reactor: ReactorConfig,
+    /// How long a miss-path RPC keeps redialing a dead peer before the
+    /// failure surfaces to the operation. Sized to cover a supervised
+    /// restart (crash detection + backoff + readiness), so a client op
+    /// that raced a peer crash stalls briefly instead of erroring.
+    pub rpc_retry: Duration,
+    /// Starting value for the home shard's cold-version counter. An
+    /// in-memory shard forgets its counter when the process dies; a
+    /// replacement starting from scratch would reuse `(clock, writer)`
+    /// pairs its predecessor already assigned, making cross-crash
+    /// histories ambiguous. A supervisor polls the live counter over the
+    /// wire ([`crate::wire::Frame::VersionFloor`]) and passes the last
+    /// observation plus slack here on restart, keeping home-assigned
+    /// versions monotone across the crash. 0 (the default) starts at 1.
+    pub cold_version_floor: u32,
+    /// Keys to *fence* at this node's home shard from boot: of the listed
+    /// keys, those homed here start hot-marked, bouncing cold reads and
+    /// writes with `MissRetry`. A supervisor restarting a crashed node
+    /// passes the deployment's hot set (queried from a survivor via
+    /// [`crate::wire::Frame::CacheKeys`]): the replacement's cache is
+    /// empty, but the keys are still *hot* — live cached copies exist on
+    /// every peer — so serving them from this shard's (empty, stale) cold
+    /// path would fork the serialisation point. The fence lifts when the
+    /// supervisor heals cache symmetry (rack-wide eviction + `HotUnmark`).
+    pub hot_fence: Vec<u64>,
 }
+
+/// Default miss-path RPC redial budget (covers a supervised peer restart).
+pub const DEFAULT_RPC_RETRY: Duration = Duration::from_secs(10);
 
 impl NodeServerConfig {
     /// A loopback node with an ephemeral port and a metrics endpoint.
@@ -133,6 +179,9 @@ impl NodeServerConfig {
             epochs: None,
             flow: FlowConfig::default(),
             reactor: ReactorConfig::default(),
+            rpc_retry: DEFAULT_RPC_RETRY,
+            cold_version_floor: 0,
+            hot_fence: Vec::new(),
         }
     }
 }
@@ -163,46 +212,24 @@ const LOW_WATER: usize = 128 << 10;
 /// the server; TCP pushes back instead).
 const MAX_PENDING_FRAMES: usize = 256;
 
-/// Counting semaphore over the send-credit window toward one peer.
-/// Nonblocking: the reactor never parks on credits — it re-arms a timer
-/// tick instead.
-#[derive(Debug)]
-struct CreditGauge {
-    avail: AtomicU64,
-}
+/// Messages parked for a *down* peer beyond this bound are dropped (and
+/// counted): a peer that stays dead longer than the supervisor's restart
+/// budget comes back as a fresh process with an empty cache, for which the
+/// dropped coherence traffic is moot — it acknowledges reissued
+/// invalidations vacuously and receives no stale state. A *transient*
+/// outage long enough to overflow the park is outside this layer's
+/// guarantees and is surfaced by the `parked_dropped` metric.
+const PARK_MAX: usize = 1 << 16;
 
-impl CreditGauge {
-    fn new(window: u64) -> Self {
-        Self {
-            avail: AtomicU64::new(window),
-        }
-    }
+/// Handshake I/O timeout for one peer-link dial attempt.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(2);
 
-    /// Returns `n` credits (called when the peer confirms processing).
-    fn put(&self, n: u64) {
-        self.avail.fetch_add(n, Ordering::AcqRel);
-    }
+/// First redial delay after a peer link dies; doubles up to
+/// [`REDIAL_BACKOFF_MAX`].
+const REDIAL_BACKOFF_START: Duration = Duration::from_millis(50);
 
-    /// Takes up to `max` credits without waiting; returns the number taken.
-    fn try_take(&self, max: u64) -> u64 {
-        let mut cur = self.avail.load(Ordering::Acquire);
-        loop {
-            let take = cur.min(max);
-            if take == 0 {
-                return 0;
-            }
-            match self.avail.compare_exchange_weak(
-                cur,
-                cur - take,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
-                Ok(_) => return take,
-                Err(now) => cur = now,
-            }
-        }
-    }
-}
+/// Redial backoff cap.
+const REDIAL_BACKOFF_MAX: Duration = Duration::from_secs(1);
 
 /// Number of pooled miss-path RPC links per peer: bounds how many remote
 /// reads/writes to one home shard are in flight concurrently from this
@@ -272,13 +299,58 @@ enum ColdPut {
 /// broadcast-shared).
 type PeerMsg = (ProtocolMsg, Option<Arc<[u8]>>);
 
-/// The cross-thread half of one outgoing peer link: protocol shippers
-/// (shards delivering messages, workers completing writes) push here and
-/// wake the owning shard, which packs the queue into credit-gated batches.
-struct PeerOutbox {
-    queue: Mutex<VecDeque<PeerMsg>>,
-    /// Which reactor shard owns the link's socket.
+/// The crash-surviving state of one outgoing peer link. The TCP connection
+/// comes and goes (adopted by the owning shard while up, redialed by a
+/// background thread while down); the link — queued traffic, the
+/// sent-but-unconfirmed tail, and the sequence counters that make replay
+/// exact — persists across reconnects.
+///
+/// Sequencing: flow-controlled messages toward the peer are numbered
+/// 1, 2, 3, … for the life of this process. `unacked` holds messages
+/// `acked_seq + 1 ..= sent_seq` in order; the peer's cumulative
+/// [`Frame::Credit`] confirmations advance `acked_seq` and trim it. On
+/// redial the handshake learns how far the peer really processed, drops
+/// the confirmed prefix, and requeues the rest in front of `queue` — the
+/// repack assigns them the same sequence numbers, so the peer (aligned by
+/// [`Frame::PeerResume`]) sees every message exactly once, in order.
+/// `unacked.len() == sent_seq - acked_seq` always; the credit window
+/// bounds that difference.
+struct PeerLink {
+    /// Which reactor shard owns the link's socket (fixed: `peer % shards`,
+    /// the same shard the incoming link from that peer is pinned to — so
+    /// credit processing, replay and pumping never race across threads).
     shard: usize,
+    /// Messages not yet handed to the socket. Parked here while the link
+    /// is down.
+    queue: Mutex<VecDeque<PeerMsg>>,
+    /// Sent messages awaiting cumulative confirmation (front = oldest).
+    unacked: Mutex<VecDeque<PeerMsg>>,
+    /// Highest sequence number handed to the socket.
+    sent_seq: AtomicU64,
+    /// Highest sequence number the peer confirmed processing.
+    acked_seq: AtomicU64,
+    /// The peer's process generation as of the last completed handshake
+    /// (0 = never connected).
+    peer_gen: AtomicU64,
+    /// A connection for this link is adopted by the owning shard.
+    up: AtomicBool,
+    /// A redial thread is currently working this link.
+    redialing: AtomicBool,
+}
+
+impl PeerLink {
+    fn new(shard: usize) -> Self {
+        Self {
+            shard,
+            queue: Mutex::new(VecDeque::new()),
+            unacked: Mutex::new(VecDeque::new()),
+            sent_seq: AtomicU64::new(0),
+            acked_seq: AtomicU64::new(0),
+            peer_gen: AtomicU64::new(0),
+            up: AtomicBool::new(false),
+            redialing: AtomicBool::new(false),
+        }
+    }
 }
 
 /// A unit of work for the blocking worker pool. Every variant carries the
@@ -318,11 +390,18 @@ enum Job {
 enum ShardMsg {
     /// Adopt a freshly accepted connection (role decided by its hello).
     NewConn(TcpStream),
-    /// Adopt the outgoing protocol link to `peer`.
-    AdoptPeerOut {
-        peer: usize,
-        stream: TcpStream,
-        outbox: Arc<PeerOutbox>,
+    /// Adopt the outgoing protocol link to `peer` (initial connect or a
+    /// completed redial handshake).
+    AdoptPeerOut { peer: usize, stream: TcpStream },
+    /// Adopt an incoming peer-link connection migrated from another shard:
+    /// its [`Frame::PeerHello`] was decoded there, but hello processing
+    /// must happen on the shard that owns every connection of that peer so
+    /// stale-connection teardown and the processed-count report are
+    /// ordered with frame processing.
+    AdoptPeerIn {
+        conn: Box<ConnState>,
+        from: usize,
+        gen: u64,
     },
     /// A worker (or admin thread) finished connection `token`'s job:
     /// append `bytes` to its write buffer; `close` ends the connection.
@@ -376,9 +455,24 @@ struct ServerInner {
     hot_marks: Mutex<HashSet<u64>>,
     /// Epoch-coordinator role, when this node carries it.
     churn: Option<Churn>,
-    /// Outgoing one-way protocol links, indexed by peer node id (self =
-    /// `None`). Installed by `connect_peers`.
-    peer_outboxes: Mutex<Vec<Option<Arc<PeerOutbox>>>>,
+    /// This process's generation: stamps peer-link handshakes and
+    /// cumulative credit confirmations, so a restarted peer (or this
+    /// node's own restarted predecessor) is detected and its stale frames
+    /// rejected.
+    gen: u64,
+    /// Outgoing one-way protocol links, indexed by peer node id (the self
+    /// entry is `None`). The links exist for the server's whole life;
+    /// their TCP connections come and go.
+    peer_links: Vec<Option<Arc<PeerLink>>>,
+    /// Highest process generation seen per peer on *incoming* links.
+    peer_in_gen: Vec<AtomicU64>,
+    /// Cumulative flow-controlled messages processed per peer (incoming
+    /// direction), in the *peer's* sequence numbering (aligned by
+    /// [`Frame::PeerResume`]). Echoed back as [`Frame::Credit`]
+    /// confirmations.
+    peer_recv_count: Vec<AtomicU64>,
+    /// `peer_recv_count` value at the last credit doorbell per peer.
+    credit_doorbell: Vec<AtomicU64>,
     /// Peer listen addresses (for lazily dialed miss-path RPC links).
     peer_addrs: Mutex<Vec<SocketAddr>>,
     /// Lazily dialed miss-path RPC link pools, one per peer.
@@ -387,14 +481,8 @@ struct ServerInner {
     flow: FlowConfig,
     /// Event-loop topology.
     reactor: ReactorConfig,
-    /// Send credits toward each peer (self entry unused). Consumed by the
-    /// peer-out pumps, refilled by [`Frame::Credit`] returns arriving on
-    /// the reverse links.
-    peer_credits: Vec<CreditGauge>,
-    /// Credits owed *to* each peer: protocol messages received from it and
-    /// already processed, not yet confirmed back. The peer-out pumps
-    /// piggyback these on their next batch.
-    credit_owed: Vec<AtomicU64>,
+    /// Miss-path RPC redial budget (see [`NodeServerConfig::rpc_retry`]).
+    rpc_retry: Duration,
     /// The reactor shards (set once at startup, before any I/O happens).
     shards: OnceLock<Vec<Arc<ShardShared>>>,
     /// Feeds the blocking worker pool.
@@ -406,22 +494,53 @@ impl ServerInner {
         &self.shards.get().expect("shards wired at startup")[id]
     }
 
+    fn link(&self, peer: usize) -> &Arc<PeerLink> {
+        self.peer_links[peer]
+            .as_ref()
+            .expect("no peer link to self")
+    }
+
     /// Ships protocol messages produced by the local node to their peers:
-    /// push to the per-peer outboxes, wake the owning shards.
+    /// push to the per-peer link queues, wake the owning shards. Messages
+    /// for a *down* peer park in its queue (bounded by [`PARK_MAX`]) until
+    /// the redial thread brings the link back.
     fn ship(&self, outgoing: Vec<Outgoing>) {
         if outgoing.is_empty() {
             return;
         }
         let mut wake: Vec<usize> = Vec::new();
+        let mut parked = false;
         {
-            let outboxes = self.peer_outboxes.lock();
             let mut push = |peer: usize, msg: ProtocolMsg, bytes: Option<Arc<[u8]>>| {
-                if let Some(outbox) = outboxes.get(peer).and_then(Option::as_ref) {
-                    self.metrics.record_protocol_out(1);
-                    outbox.queue.lock().push_back((msg, bytes));
-                    if !wake.contains(&outbox.shard) {
-                        wake.push(outbox.shard);
+                let Some(link) = self.peer_links.get(peer).and_then(Option::as_ref) else {
+                    return;
+                };
+                let up = link.up.load(Ordering::Acquire);
+                {
+                    let mut queue = link.queue.lock();
+                    if !up && queue.len() >= PARK_MAX {
+                        // The peer has been dead long past the restart
+                        // budget; see PARK_MAX for why dropping is safe
+                        // for a *restarted* (state-fresh) peer.
+                        self.metrics.record_parked_drop();
+                        return;
                     }
+                    queue.push_back((msg, bytes));
+                }
+                self.metrics.record_protocol_out(1);
+                // Re-check `up` AFTER the enqueue: the link can come up
+                // between the load above and the push (the adoption pump
+                // would then have drained an empty queue), and a parked-
+                // without-wake message on an idle link would strand — a
+                // Lin invalidation stuck this way blocks its writer
+                // forever. Down both times → genuinely parked; the
+                // adoption pump after the redial picks it up.
+                if link.up.load(Ordering::Acquire) {
+                    if !wake.contains(&link.shard) {
+                        wake.push(link.shard);
+                    }
+                } else {
+                    parked = true;
                 }
             };
             for Outgoing { dest, msg, bytes } in outgoing {
@@ -437,33 +556,183 @@ impl ServerInner {
                 }
             }
         }
+        if parked {
+            self.refresh_parked();
+        }
         for shard in wake {
             self.shard(shard).waker.wake();
         }
     }
 
-    /// Books `n` processed protocol messages from peer `from` for credit
-    /// return, and — once a quarter window accumulates — rings the shard
-    /// owning the link toward that peer so the credits flow back even when
-    /// no protocol traffic happens to be going that way (an SC update
-    /// stream is one-directional; without the doorbell the sender would
-    /// stall out).
-    fn owe_credits(&self, from: usize, n: u64) {
+    /// Recomputes the parked-messages gauge: traffic queued behind down
+    /// peer links, waiting for a redial.
+    fn refresh_parked(&self) {
+        let total: u64 = self
+            .peer_links
+            .iter()
+            .flatten()
+            .filter(|link| !link.up.load(Ordering::Acquire))
+            .map(|link| link.queue.lock().len() as u64)
+            .sum();
+        self.metrics.set_parked(total);
+    }
+
+    /// Books `n` processed protocol messages from peer `from`, and — once
+    /// a quarter window accumulates since the last doorbell — rings the
+    /// shard owning the link toward that peer so the cumulative credit
+    /// confirmation flows back even when no protocol traffic happens to be
+    /// going that way (an SC update stream is one-directional; without the
+    /// doorbell the sender would stall out).
+    fn note_processed(&self, from: usize, n: u64) {
         if n == 0 {
             return;
         }
-        let owed = self.credit_owed[from].fetch_add(n, Ordering::AcqRel) + n;
-        if owed >= (self.flow.credit_window / 4).max(1) {
-            let shard = self
-                .peer_outboxes
-                .lock()
-                .get(from)
-                .and_then(Option::as_ref)
-                .map(|outbox| outbox.shard);
-            if let Some(shard) = shard {
-                self.shard(shard).waker.wake();
+        let count = self.peer_recv_count[from].fetch_add(n, Ordering::AcqRel) + n;
+        let since = count.saturating_sub(self.credit_doorbell[from].load(Ordering::Acquire));
+        if since >= (self.flow.credit_window / 4).max(1) {
+            self.credit_doorbell[from].store(count, Ordering::Release);
+            if let Some(link) = self.peer_links.get(from).and_then(Option::as_ref) {
+                self.shard(link.shard).waker.wake();
             }
         }
+    }
+
+    /// A peer's process died and a new one took its place (detected by a
+    /// generation change on either link direction). Reissue the
+    /// invalidation of every local pending Lin write the dead process
+    /// never acknowledged: the original invalidation or its ack died with
+    /// the old process, and the blocked writer would otherwise wait
+    /// forever. The restarted peer acknowledges vacuously (its cache is
+    /// empty); per-node ack bitmasks dedupe the cases where the old
+    /// process *had* acknowledged.
+    fn peer_restarted(&self, peer: usize) {
+        let reissue = self.node.reissue_invalidations(NodeId(peer as u8));
+        if !reissue.is_empty() {
+            self.metrics.record_reissued(reissue.len() as u64);
+            self.ship(reissue);
+        }
+    }
+
+    /// Marks the outgoing link to `peer` down and spawns (at most one)
+    /// redial thread that retries with exponential backoff until the link
+    /// is back or the server shuts down.
+    fn peer_link_down(self: &Arc<Self>, peer: usize) {
+        let link = Arc::clone(self.link(peer));
+        link.up.store(false, Ordering::Release);
+        self.refresh_parked();
+        if link.redialing.swap(true, Ordering::AcqRel) {
+            return; // A redial thread is already on it.
+        }
+        if !self.running.load(Ordering::SeqCst) {
+            link.redialing.store(false, Ordering::Release);
+            return;
+        }
+        let inner = Arc::clone(self);
+        let _ = std::thread::Builder::new()
+            .name(format!("cckvs-redial-n{}-p{}", self.node.node(), peer))
+            .spawn(move || {
+                let mut backoff = REDIAL_BACKOFF_START;
+                while inner.running.load(Ordering::SeqCst) {
+                    let addr = inner.peer_addrs.lock()[peer];
+                    match inner.dial_peer_handshake(peer, addr) {
+                        Ok(stream) => {
+                            inner.metrics.record_peer_reconnect();
+                            link.redialing.store(false, Ordering::Release);
+                            inner
+                                .shard(link.shard)
+                                .send(ShardMsg::AdoptPeerOut { peer, stream });
+                            return;
+                        }
+                        Err(_) => {
+                            std::thread::sleep(backoff);
+                            backoff = (backoff * 2).min(REDIAL_BACKOFF_MAX);
+                        }
+                    }
+                }
+                link.redialing.store(false, Ordering::Release);
+            });
+    }
+
+    /// Dials the outgoing protocol link to `peer` and runs the blocking
+    /// reconnect handshake: hello (stamped with this process's
+    /// generation), the peer's processed-count report, replay
+    /// reconciliation, and the resume announcement. On success the stream
+    /// is nonblocking, role-tagged, and the link's queue front holds
+    /// exactly the messages the peer has not processed; the caller hands
+    /// the stream to the owning shard and marks the link up.
+    fn dial_peer_handshake(&self, peer: usize, addr: SocketAddr) -> io::Result<TcpStream> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+        let me = self.node.node();
+        let mut hello = Vec::new();
+        write_frame(
+            &mut hello,
+            &Frame::PeerHello {
+                from: me as u8,
+                gen: self.gen,
+            },
+        )
+        .expect("vec write");
+        (&stream).write_all(&hello)?;
+        let ack = match crate::wire::read_frame(&mut &stream)? {
+            Some(Frame::PeerHelloAck { processed, gen }) => (processed, gen),
+            Some(other) => return Err(unexpected_frame("peer-hello", &other)),
+            None => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed during handshake",
+                ))
+            }
+        };
+        let (processed, peer_gen) = ack;
+        let link = self.link(peer);
+        let prev_gen = link.peer_gen.swap(peer_gen, Ordering::AcqRel);
+        // Reconcile: drop what the peer provably processed, requeue the
+        // rest for replay with their original sequence numbers.
+        let start_seq = {
+            let mut queue = link.queue.lock();
+            let mut unacked = link.unacked.lock();
+            let acked = link.acked_seq.load(Ordering::Acquire);
+            let sent = link.sent_seq.load(Ordering::Acquire);
+            if processed > sent {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "peer {peer} claims {processed} processed of {sent} sent \
+                         (confirmation from a different generation?)"
+                    ),
+                ));
+            }
+            if processed > acked {
+                let drop_n = (processed - acked).min(unacked.len() as u64);
+                for _ in 0..drop_n {
+                    unacked.pop_front();
+                }
+                link.acked_seq.store(processed, Ordering::Release);
+            }
+            let replayed = unacked.len() as u64;
+            if replayed > 0 {
+                self.metrics.record_peer_replayed(replayed);
+            }
+            while let Some(msg) = unacked.pop_back() {
+                queue.push_front(msg);
+            }
+            let acked_now = link.acked_seq.load(Ordering::Acquire);
+            link.sent_seq.store(acked_now, Ordering::Release);
+            acked_now + 1
+        };
+        let mut resume = Vec::new();
+        write_frame(&mut resume, &Frame::PeerResume { start_seq }).expect("vec write");
+        (&stream).write_all(&resume)?;
+        stream.set_read_timeout(None)?;
+        stream.set_nonblocking(true)?;
+        // A different generation than last time means the old peer process
+        // is gone: reissue invalidations its death may have stranded.
+        if prev_gen != 0 && prev_gen != peer_gen {
+            self.peer_restarted(peer);
+        }
+        Ok(stream)
     }
 
     /// The version the home shard assigns to the next cold-key write.
@@ -487,9 +756,16 @@ impl ServerInner {
     /// their lock, so no cold write ever interleaves with a hot-set fetch
     /// or landing write-backs (it would be shadowed by the caches or
     /// clobbered by an older write-back).
+    ///
+    /// A key this node *itself caches* also bounces: a cached-at-home key
+    /// is hot, and a cold op on a hot key only arises from cache asymmetry
+    /// (a crash-restarted replica serving it through its miss path). The
+    /// home is the serialisation point either way — through its cache for
+    /// hot keys, through its shard for cold ones — and a cold write landing
+    /// beside live cached copies would be shadowed by them forever.
     fn cold_put(&self, key: u64, value: &[u8], writer: u8) -> ColdPut {
         let marks = self.hot_marks.lock();
-        if marks.contains(&key) {
+        if marks.contains(&key) || self.node.is_cached(key) {
             return ColdPut::Busy;
         }
         let ts = Timestamp::new(self.next_cold_version(), NodeId(writer));
@@ -560,9 +836,12 @@ impl ServerInner {
     /// be in flight from a dirty replica, so serving the shard's copy now
     /// could hand out an older value than cached reads already returned.
     /// The caller retries; the transition fence clears within the round.
+    /// A key this node itself caches bounces for the same reason as in
+    /// [`ServerInner::cold_put`]: the shard's copy of a hot key is stale
+    /// relative to the caches.
     fn cold_get(&self, key: u64) -> Option<Vec<u8>> {
         let marks = self.hot_marks.lock();
-        if marks.contains(&key) {
+        if marks.contains(&key) || self.node.is_cached(key) {
             return None;
         }
         Some(self.node.kvs_get(key))
@@ -732,7 +1011,35 @@ impl ServerInner {
     /// Performs a synchronous miss-path RPC against peer `home`, dialing
     /// (or re-dialing) the pooled link if needed. Slots rotate so up to
     /// [`RPC_POOL_SIZE`] RPCs to one home shard proceed concurrently.
+    ///
+    /// Transport failures redial with backoff for up to
+    /// [`NodeServerConfig::rpc_retry`] before surfacing: a peer process
+    /// crashing under a supervisor comes back within the budget, so client
+    /// operations that raced the crash stall briefly instead of failing.
     fn rpc(&self, home: usize, request: &Frame) -> io::Result<Frame> {
+        self.rpc_until(home, request, Instant::now() + self.rpc_retry)
+    }
+
+    fn rpc_until(&self, home: usize, request: &Frame, deadline: Instant) -> io::Result<Frame> {
+        let mut backoff = Duration::from_millis(10);
+        loop {
+            match self.rpc_once(home, request) {
+                Ok(frame) => return Ok(frame),
+                // The peer's Frame::Error answer over a healthy link: not
+                // a transport failure, nothing to retry.
+                Err(e) if e.kind() == io::ErrorKind::InvalidInput => return Err(e),
+                Err(e) if Instant::now() >= deadline || !self.running.load(Ordering::SeqCst) => {
+                    return Err(e)
+                }
+                Err(_) => {
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(Duration::from_millis(250));
+                }
+            }
+        }
+    }
+
+    fn rpc_once(&self, home: usize, request: &Frame) -> io::Result<Frame> {
         let pool = &self.rpc_pools[home];
         let slot = pool.next.fetch_add(1, Ordering::Relaxed) as usize % pool.slots.len();
         let mut guard = pool.slots[slot].lock();
@@ -762,6 +1069,64 @@ impl ServerInner {
             bytes,
             close,
         });
+    }
+
+    /// Evicts every *remote-homed* cached key, shipping dirty values back
+    /// to their home shards over the `WriteBack` RPC, so the last
+    /// committed write of each hot key is durable at a surviving process
+    /// before this one exits. Bounded by `budget` — a key whose pending
+    /// write cannot resolve (e.g. a peer down mid-drain) is skipped rather
+    /// than hanging the shutdown. Returns the number of dirty values
+    /// shipped.
+    ///
+    /// Locally-homed keys are left alone: their write-back target dies
+    /// with this process either way (the KVS shard is in-memory), and the
+    /// surviving replicas still cache their latest values.
+    fn drain_dirty_writebacks(&self, budget: Duration) -> u64 {
+        use symcache::EvictOutcome;
+        let deadline = Instant::now() + budget;
+        let node = &self.node;
+        let mut retry: VecDeque<u64> = node
+            .cache()
+            .keys()
+            .into_iter()
+            .filter(|&key| !node.is_home(key))
+            .collect();
+        let mut drained = 0u64;
+        while let Some(key) = retry.pop_front() {
+            if Instant::now() >= deadline {
+                break;
+            }
+            match node.cache().evict(key) {
+                EvictOutcome::NotCached => {}
+                EvictOutcome::Pending => {
+                    // A local write is still collecting acks; give it a
+                    // moment and come back.
+                    std::thread::sleep(Duration::from_millis(1));
+                    retry.push_back(key);
+                }
+                EvictOutcome::Evicted { dirty: false, .. } => {}
+                EvictOutcome::Evicted {
+                    value,
+                    ts,
+                    dirty: true,
+                } => {
+                    let home = node.home_node(key);
+                    // The drain deadline caps each RPC's redial budget
+                    // too: a dead home peer must not stretch one
+                    // write-back to the full rpc_retry and blow the whole
+                    // drain past the supervisor's SIGKILL patience.
+                    if matches!(
+                        self.rpc_until(home, &Frame::WriteBack { key, value, ts }, deadline),
+                        Ok(Frame::WriteBackResp { .. })
+                    ) {
+                        self.metrics.record_writeback();
+                        drained += 1;
+                    }
+                }
+            }
+        }
+        drained
     }
 
     fn initiate_shutdown(&self) {
@@ -810,7 +1175,15 @@ impl NodeServer {
             cfg.reactor.workers >= 1,
             "reactor needs at least one worker"
         );
-        let listener = TcpListener::bind(cfg.listen)?;
+        assert!(
+            cfg.node.nodes <= 64,
+            "per-write ack bitmasks support up to 64 nodes"
+        );
+        // SO_REUSEADDR: a supervisor restarting a crashed node rebinds the
+        // same port while the dead process's connections may still linger
+        // in TIME_WAIT; without the option the restart fails spuriously
+        // with AddrInUse.
+        let listener = reactor::listen_reuseaddr(cfg.listen)?;
         listener.set_nonblocking(true)?;
         let listen_addr = listener.local_addr()?;
         let nodes = cfg.node.nodes;
@@ -835,8 +1208,17 @@ impl NodeServer {
             None => (None, None),
         };
         let (job_tx, job_rx) = unbounded();
+        let me = cfg.node.node;
+        let shard_count = cfg.reactor.shards;
+        let node = CcNode::new(cfg.node);
+        let hot_fence_marks: HashSet<u64> = cfg
+            .hot_fence
+            .iter()
+            .copied()
+            .filter(|&key| node.is_home(key))
+            .collect();
         let inner = Arc::new(ServerInner {
-            node: CcNode::new(cfg.node),
+            node,
             metrics: Arc::clone(&metrics),
             listen_addr,
             running: AtomicBool::new(true),
@@ -845,18 +1227,23 @@ impl NodeServer {
             stopped: Mutex::new(false),
             stopped_cv: Condvar::new(),
             tags: AtomicU64::new(1),
-            cold_versions: AtomicU64::new(1),
-            hot_marks: Mutex::new(HashSet::new()),
+            cold_versions: AtomicU64::new(u64::from(cfg.cold_version_floor).max(1)),
+            // Fenced-from-boot keys (crash recovery): only keys homed
+            // here matter — the fence is a home-shard concept.
+            hot_marks: Mutex::new(hot_fence_marks),
             churn,
-            peer_outboxes: Mutex::new(vec![None; nodes]),
+            gen: process_generation(),
+            peer_links: (0..nodes)
+                .map(|peer| (peer != me).then(|| Arc::new(PeerLink::new(peer % shard_count))))
+                .collect(),
+            peer_in_gen: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
+            peer_recv_count: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
+            credit_doorbell: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
             peer_addrs: Mutex::new(vec![listen_addr; nodes]),
             rpc_pools: (0..nodes).map(|_| RpcPool::new()).collect(),
             flow: cfg.flow,
             reactor: cfg.reactor,
-            peer_credits: (0..nodes)
-                .map(|_| CreditGauge::new(cfg.flow.credit_window))
-                .collect(),
-            credit_owed: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
+            rpc_retry: cfg.rpc_retry,
             shards: OnceLock::new(),
             job_tx,
         });
@@ -964,30 +1351,24 @@ impl NodeServer {
         );
         *self.inner.peer_addrs.lock() = addrs.to_vec();
         let me = self.inner.node.node();
-        let shard_count = self.inner.reactor.shards;
         for (peer, &addr) in addrs.iter().enumerate() {
             if peer == me {
                 continue;
             }
-            let stream = dial_with_retry(addr, timeout)?;
-            stream.set_nodelay(true)?;
-            // The hello travels before the stream goes nonblocking, so the
-            // link is role-tagged by the time the reactor adopts it.
-            let mut hello = Vec::new();
-            write_frame(&mut hello, &Frame::PeerHello { from: me as u8 }).expect("vec write");
-            (&stream).write_all(&hello)?;
-            stream.set_nonblocking(true)?;
-            let shard = peer % shard_count;
-            let outbox = Arc::new(PeerOutbox {
-                queue: Mutex::new(VecDeque::new()),
-                shard,
-            });
-            self.inner.peer_outboxes.lock()[peer] = Some(Arc::clone(&outbox));
-            self.inner.shard(shard).send(ShardMsg::AdoptPeerOut {
-                peer,
-                stream,
-                outbox,
-            });
+            // Full reconnect handshake, retried until the peer is up (the
+            // nodes of a rack boot concurrently) or the timeout runs out.
+            let deadline = Instant::now() + timeout;
+            let stream = loop {
+                match self.inner.dial_peer_handshake(peer, addr) {
+                    Ok(stream) => break stream,
+                    Err(e) if Instant::now() >= deadline => return Err(e),
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            };
+            let link = self.inner.link(peer);
+            self.inner
+                .shard(link.shard)
+                .send(ShardMsg::AdoptPeerOut { peer, stream });
         }
         // Release the parked connections: incoming traffic accepted during
         // boot has been waiting in decode buffers (and TCP), never dropped
@@ -1002,6 +1383,22 @@ impl NodeServer {
     /// Asks the server to stop accepting connections and shut down.
     pub fn initiate_shutdown(&self) {
         self.inner.initiate_shutdown();
+    }
+
+    /// A cheap handle for out-of-band shutdown paths (signal watchers):
+    /// lets a thread that does not own the server drain write-backs and
+    /// initiate shutdown while the owning thread blocks in
+    /// [`NodeServer::wait`].
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Graceful-exit drain (the SIGTERM path): see
+    /// [`ShutdownHandle::drain_dirty_writebacks`].
+    pub fn drain_dirty_writebacks(&self, budget: Duration) -> u64 {
+        self.inner.drain_dirty_writebacks(budget)
     }
 
     /// Blocks until the server shuts down (via [`Frame::Shutdown`] from a
@@ -1046,15 +1443,44 @@ impl Drop for NodeServer {
     }
 }
 
-fn dial_with_retry(addr: SocketAddr, timeout: Duration) -> io::Result<TcpStream> {
-    let deadline = Instant::now() + timeout;
-    loop {
-        match TcpStream::connect(addr) {
-            Ok(stream) => return Ok(stream),
-            Err(e) if Instant::now() >= deadline => return Err(e),
-            Err(_) => std::thread::sleep(Duration::from_millis(10)),
-        }
+/// Out-of-band shutdown handle (see [`NodeServer::shutdown_handle`]).
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    inner: Arc<ServerInner>,
+}
+
+impl ShutdownHandle {
+    /// Graceful-exit drain: ships dirty remote-homed cached values back to
+    /// their home shards within `budget`; returns how many were shipped.
+    pub fn drain_dirty_writebacks(&self, budget: Duration) -> u64 {
+        self.inner.drain_dirty_writebacks(budget)
     }
+
+    /// Asks the server to stop accepting connections and shut down
+    /// (unblocks [`NodeServer::wait`]).
+    pub fn initiate_shutdown(&self) {
+        self.inner.initiate_shutdown();
+    }
+}
+
+/// A value unique to one life of this process, monotone across restarts
+/// (wall-clock nanoseconds): the peer-link generation stamp. A restarted
+/// node presents a *higher* generation, which is how peers distinguish it
+/// from its dead predecessor's stale connections.
+///
+/// Assumption: the host clock does not step *backwards* across a restart
+/// (slewing is fine — restarts take well over any slew). A step-back
+/// larger than the gap would make peers reject the replacement's hellos
+/// as stale until wall clock passes the predecessor's stamp; deployments
+/// with step-prone clocks should discipline them (the usual NTP setup
+/// slews).
+fn process_generation() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(1)
+        .max(1)
 }
 
 /// What serving one client frame asks of the connection state machine.
@@ -1124,6 +1550,12 @@ fn serve_client_frame(inner: &ServerInner, frame: Frame) -> io::Result<ClientAct
             }
         },
         Frame::Ping => Frame::Pong,
+        Frame::VersionFloor => Frame::VersionFloorResp {
+            clock: inner.cold_versions.load(Ordering::Relaxed) as u32,
+        },
+        Frame::CacheKeys => Frame::CacheKeysResp {
+            keys: inner.node.cache().keys(),
+        },
         Frame::Shutdown => {
             inner.initiate_shutdown();
             return Ok(ClientAction::Shutdown);
@@ -1288,8 +1720,8 @@ fn serve_put(inner: &ServerInner, key: u64, value: &[u8]) -> io::Result<Frame> {
 }
 
 /// Handles one non-batch frame arriving on a peer link. Returns how many
-/// flow-controlled messages it consumed (credit returns themselves are
-/// free: they must flow even when the window is closed).
+/// flow-controlled messages it consumed (credit confirmations themselves
+/// are free: they must flow even when the window is closed).
 fn deliver_peer_frame(inner: &ServerInner, from: usize, frame: Frame) -> io::Result<u64> {
     match frame {
         Frame::Protocol { msg, bytes } => {
@@ -1298,8 +1730,28 @@ fn deliver_peer_frame(inner: &ServerInner, from: usize, frame: Frame) -> io::Res
             inner.ship(outgoing);
             Ok(1)
         }
-        Frame::Credit { n } => {
-            inner.peer_credits[from].put(u64::from(n));
+        Frame::Credit { cum, gen } => {
+            // A cumulative confirmation of our own sends toward `from`.
+            // Confirmations stamped with a different generation were
+            // addressed to this node's dead predecessor — their counts
+            // refer to its numbering and must not trim our retained tail.
+            if gen != inner.gen {
+                return Ok(0);
+            }
+            let link = inner.link(from);
+            let mut unacked = link.unacked.lock();
+            let sent = link.sent_seq.load(Ordering::Acquire);
+            let acked = link.acked_seq.load(Ordering::Acquire);
+            if cum > sent {
+                // Provably impossible confirmation: stale or corrupt.
+                return Ok(0);
+            }
+            if cum > acked {
+                for _ in 0..(cum - acked).min(unacked.len() as u64) {
+                    unacked.pop_front();
+                }
+                link.acked_seq.store(cum, Ordering::Release);
+            }
             Ok(0)
         }
         other => Err(io::Error::new(
@@ -1555,13 +2007,15 @@ fn try_serve_inline(inner: &ServerInner, frame: Frame) -> Inline {
             }
         }
         // Liveness and cache-fill admin: lock-protected state updates.
-        frame @ (Frame::Ping | Frame::InstallHot { .. } | Frame::ActivateHot { .. }) => {
-            match serve_client_frame(inner, frame) {
-                Ok(ClientAction::Respond(response)) => Inline::Respond(response),
-                Ok(ClientAction::Shutdown) => Inline::Shutdown,
-                Err(_) => Inline::Fail,
-            }
-        }
+        frame @ (Frame::Ping
+        | Frame::VersionFloor
+        | Frame::CacheKeys
+        | Frame::InstallHot { .. }
+        | Frame::ActivateHot { .. }) => match serve_client_frame(inner, frame) {
+            Ok(ClientAction::Respond(response)) => Inline::Respond(response),
+            Ok(ClientAction::Shutdown) => Inline::Shutdown,
+            Err(_) => Inline::Fail,
+        },
         Frame::Shutdown => {
             inner.initiate_shutdown();
             Inline::Shutdown
@@ -1593,6 +2047,10 @@ enum Role {
         /// A job for this connection is running on a worker/admin thread.
         inflight: bool,
     },
+    /// An incoming protocol link from peer `from` whose hello was answered;
+    /// the peer's [`Frame::PeerResume`] (aligning the processed counter)
+    /// has not arrived yet.
+    PeerInResume { from: usize },
     /// An incoming one-way protocol link from peer `from`.
     PeerIn { from: usize },
     /// An incoming miss-path RPC link.
@@ -1600,12 +2058,30 @@ enum Role {
     /// The outgoing protocol link to `peer`.
     PeerOut {
         peer: usize,
-        outbox: Arc<PeerOutbox>,
-        /// Messages adopted from the outbox, not yet packed.
-        queue: VecDeque<PeerMsg>,
+        link: Arc<PeerLink>,
         builder: BatchBuilder,
         /// When the current credit stall began (metrics).
         stall_started: Option<Instant>,
+        /// The cumulative processed count last confirmed toward the peer
+        /// (dedupes piggybacked [`Frame::Credit`] frames; re-announcing is
+        /// harmless, cumulative confirmations are idempotent).
+        last_cum: u64,
+    },
+}
+
+/// What [`Shard::step`] decided about a connection.
+enum StepOutcome {
+    /// Keep the connection registered on this shard.
+    Keep,
+    /// Close the connection.
+    Close,
+    /// An incoming peer link that must live on `target` (see
+    /// [`Shard::accept_peer_hello`]): move the connection there with its
+    /// decoded hello.
+    Migrate {
+        target: usize,
+        from: usize,
+        gen: u64,
     },
 }
 
@@ -1798,23 +2274,42 @@ impl Shard {
                         dirty.push(token);
                     }
                 }
-                ShardMsg::AdoptPeerOut {
-                    peer,
-                    stream,
-                    outbox,
-                } => {
+                ShardMsg::AdoptPeerOut { peer, stream } => {
+                    let link = Arc::clone(self.inner.link(peer));
                     if let Some(token) = self.register(
                         stream,
                         Role::PeerOut {
                             peer,
-                            outbox,
-                            queue: VecDeque::new(),
+                            link: Arc::clone(&link),
                             builder: BatchBuilder::new(),
                             stall_started: None,
+                            last_cum: 0,
                         },
                     ) {
+                        link.up.store(true, Ordering::Release);
+                        self.inner.refresh_parked();
                         self.peer_out_tokens.push(token);
                         dirty.push(token);
+                    } else {
+                        // Registration failed: the link stays down and the
+                        // redial thread tries again.
+                        self.inner.peer_link_down(peer);
+                    }
+                }
+                ShardMsg::AdoptPeerIn {
+                    mut conn,
+                    from,
+                    gen,
+                } => {
+                    // Migrated from the accepting shard: run the hello
+                    // processing here, where it is ordered with every
+                    // other connection of this peer. Any tick armed on the
+                    // old shard's wheel no longer applies.
+                    conn.tick_armed = false;
+                    if self.accept_peer_hello(&mut conn, from, gen) {
+                        if let Some(token) = self.adopt(conn) {
+                            dirty.push(token);
+                        }
                     }
                 }
                 ShardMsg::Complete {
@@ -1844,18 +2339,24 @@ impl Shard {
     }
 
     fn register(&mut self, stream: TcpStream, role: Role) -> Option<u64> {
+        self.adopt(Box::new(ConnState::new(stream, role)))
+    }
+
+    /// Registers an already-built connection state (fresh, or migrated
+    /// from another shard with decode-buffer residue) with this shard's
+    /// poller.
+    fn adopt(&mut self, conn: Box<ConnState>) -> Option<u64> {
         let token = self.next_token;
         self.next_token += 1;
         if self
             .poller
-            .register(stream.as_raw_fd(), Token(token), Interest::READ)
+            .register(conn.stream.as_raw_fd(), Token(token), Interest::READ)
             .is_err()
         {
             return None;
         }
         self.inner.metrics.record_conn_opened();
-        self.conns
-            .insert(token, Box::new(ConnState::new(stream, role)));
+        self.conns.insert(token, conn);
         Some(token)
     }
 
@@ -1864,19 +2365,29 @@ impl Shard {
         let Some(mut conn) = self.conns.remove(&token) else {
             return;
         };
-        let close = self.step(token, &mut conn);
-        if close || conn.dead {
-            self.close(token, *conn);
-        } else {
-            self.refresh_interest(token, &mut conn);
-            self.conns.insert(token, conn);
+        match self.step(token, &mut conn) {
+            StepOutcome::Migrate { target, from, gen } => {
+                // Hand the connection (with its decode-buffer residue) to
+                // the shard that owns every connection of this peer. The
+                // open-connection gauge transfers with it.
+                self.poller.deregister(conn.stream.as_raw_fd());
+                self.inner.metrics.record_conn_closed();
+                self.inner
+                    .shard(target)
+                    .send(ShardMsg::AdoptPeerIn { conn, from, gen });
+            }
+            StepOutcome::Close => self.close(token, *conn),
+            StepOutcome::Keep if conn.dead => self.close(token, *conn),
+            StepOutcome::Keep => {
+                self.refresh_interest(token, &mut conn);
+                self.conns.insert(token, conn);
+            }
         }
     }
 
-    /// Returns `true` when the connection should close.
-    fn step(&mut self, token: u64, conn: &mut ConnState) -> bool {
+    fn step(&mut self, token: u64, conn: &mut ConnState) -> StepOutcome {
         if conn.dead {
-            return true;
+            return StepOutcome::Close;
         }
         // Hello first: the first complete frame decides the role.
         if matches!(conn.role, Role::Handshake) {
@@ -1896,39 +2407,136 @@ impl Shard {
                         inflight: false,
                     };
                 }
-                Ok(Some(Frame::PeerHello { from })) => {
-                    if usize::from(from) >= self.inner.node.config().nodes {
-                        return true;
+                Ok(Some(Frame::PeerHello { from, gen })) => {
+                    let from = usize::from(from);
+                    if from >= self.inner.node.config().nodes || gen == 0 {
+                        return StepOutcome::Close;
                     }
-                    conn.role = Role::PeerIn {
-                        from: usize::from(from),
-                    };
+                    // Hello processing must run on the shard that owns
+                    // every connection of this peer (`from % shards`, the
+                    // same shard as the outgoing link): processed-count
+                    // reporting and stale-connection teardown are then
+                    // serialised with frame processing, which is what
+                    // makes replay exactly-once.
+                    let owner = from % self.inner.reactor.shards;
+                    if owner != self.id {
+                        return StepOutcome::Migrate {
+                            target: owner,
+                            from,
+                            gen,
+                        };
+                    }
+                    if !self.accept_peer_hello(conn, from, gen) {
+                        return StepOutcome::Close;
+                    }
                 }
                 Ok(Some(Frame::RpcHello { .. })) => conn.role = Role::Rpc,
-                Ok(Some(_)) | Err(_) => return true,
-                Ok(None) => return conn.eof,
+                Ok(Some(_)) | Err(_) => return StepOutcome::Close,
+                Ok(None) => {
+                    return if conn.eof {
+                        StepOutcome::Close
+                    } else {
+                        StepOutcome::Keep
+                    }
+                }
             }
         }
         // Park every serving role until the outbound peer mesh is wired:
         // serving a Lin put earlier would drop its invalidations (the
         // peer links don't exist yet) and hang the client forever, and a
-        // miss-path RPC would dial a placeholder peer address.
+        // miss-path RPC would dial a placeholder peer address. (The peer
+        // handshake above is exempt — it IS how the mesh gets wired.)
         let ready = self.inner.ready.load(Ordering::Acquire);
         if !ready && !matches!(conn.role, Role::PeerOut { .. }) {
             if !conn.tick_armed {
                 self.wheel.schedule(Token(token), CREDIT_STALL_TICK);
                 conn.tick_armed = true;
             }
-            return false;
+            return StepOutcome::Keep;
         }
-        if matches!(conn.role, Role::Client { .. }) {
+        let close = if matches!(conn.role, Role::Client { .. }) {
             self.step_client(token, conn)
+        } else if matches!(conn.role, Role::PeerInResume { .. }) {
+            self.step_peer_resume(conn)
         } else if matches!(conn.role, Role::PeerIn { .. }) {
             self.step_peer_in(conn)
         } else if matches!(conn.role, Role::Rpc) {
             self.step_rpc(conn)
         } else {
             self.pump_peer_out(token, conn)
+        };
+        if close {
+            StepOutcome::Close
+        } else {
+            StepOutcome::Keep
+        }
+    }
+
+    /// Serves a [`Frame::PeerHello`] on the shard that owns the peer's
+    /// connections: rejects stale generations, tears down this peer's
+    /// older incoming connections (their buffered frames must not advance
+    /// the processed counter after it is reported), detects a restarted
+    /// peer, and answers with the processed-count report the dialer
+    /// reconciles its replay against.
+    fn accept_peer_hello(&mut self, conn: &mut ConnState, from: usize, gen: u64) -> bool {
+        let inner = &self.inner;
+        let cur = inner.peer_in_gen[from].load(Ordering::Acquire);
+        if gen < cur {
+            return false; // A connection from the peer's dead predecessor.
+        }
+        for other in self.conns.values_mut() {
+            if matches!(
+                &other.role,
+                Role::PeerIn { from: f } | Role::PeerInResume { from: f } if *f == from
+            ) {
+                other.dead = true;
+            }
+        }
+        if gen > cur {
+            inner.peer_in_gen[from].store(gen, Ordering::Release);
+            inner.peer_recv_count[from].store(0, Ordering::Release);
+            inner.credit_doorbell[from].store(0, Ordering::Release);
+            if cur != 0 {
+                // A new process took the peer's place mid-flight: writes
+                // pending on the dead process's acks must reissue.
+                inner.peer_restarted(from);
+            }
+        }
+        let processed = inner.peer_recv_count[from].load(Ordering::Acquire);
+        write_frame(
+            conn.writebuf.writer(),
+            &Frame::PeerHelloAck {
+                processed,
+                gen: inner.gen,
+            },
+        )
+        .expect("vec write");
+        if conn.writebuf.flush_to(&mut conn.stream).is_err() {
+            return false;
+        }
+        conn.role = Role::PeerInResume { from };
+        true
+    }
+
+    /// Awaits the [`Frame::PeerResume`] that aligns the processed counter
+    /// to the dialer's numbering, then serves any frames buffered behind
+    /// it.
+    fn step_peer_resume(&mut self, conn: &mut ConnState) -> bool {
+        let Role::PeerInResume { from } = conn.role else {
+            unreachable!("checked by caller");
+        };
+        match conn.decoder.next_frame() {
+            Ok(Some(Frame::PeerResume { start_seq })) => {
+                if start_seq == 0 {
+                    return true;
+                }
+                self.inner.peer_recv_count[from].store(start_seq - 1, Ordering::Release);
+                self.inner.credit_doorbell[from].store(start_seq - 1, Ordering::Release);
+                conn.role = Role::PeerIn { from };
+                self.step_peer_in(conn)
+            }
+            Ok(Some(_)) | Err(_) => true,
+            Ok(None) => conn.eof,
         }
     }
 
@@ -2100,9 +2708,10 @@ impl Shard {
                             Err(_) => return true,
                         },
                     };
-                    // Confirm processing back to the sender: these returns
-                    // are what refill its credit window toward this node.
-                    self.inner.owe_credits(from, processed);
+                    // Book the processing: the cumulative count is echoed
+                    // back as the credit confirmation that refills the
+                    // sender's window (and releases its retained copies).
+                    self.inner.note_processed(from, processed);
                 }
                 Ok(None) => break,
                 Err(_) => return true,
@@ -2133,40 +2742,37 @@ impl Shard {
 
     /// The outbound half of one peer link: coalesces bursts of protocol
     /// traffic into [`Frame::Batch`] messages (§6.3's software-multicast
-    /// amortisation) under credit-based flow control (§6.4), with credit
-    /// returns owed to the peer piggybacked on every batch. Driven by
-    /// readiness: a credit stall arms a 1 ms wheel tick instead of
-    /// parking a thread.
+    /// amortisation) under credit-based flow control (§6.4), with the
+    /// cumulative processed confirmation toward the peer piggybacked on
+    /// every batch. Driven by readiness: a credit stall arms a 1 ms wheel
+    /// tick instead of parking a thread.
+    ///
+    /// Every flow-controlled message moves from the link's queue into its
+    /// `unacked` tail as it is packed: the socket may lose it (severed
+    /// link, crashed peer), the link does not — the redial handshake
+    /// replays whatever the peer did not confirm processing.
     ///
     /// Value bytes stay behind the broadcast-shared `Arc` all the way to
     /// serialisation: no per-peer copy is ever materialised.
     fn pump_peer_out(&mut self, token: u64, conn: &mut ConnState) -> bool {
         let Role::PeerOut {
             peer,
-            outbox,
-            queue,
+            link,
             builder,
             stall_started,
+            last_cum,
         } = &mut conn.role
         else {
             unreachable!("checked by caller");
         };
         let peer = *peer;
-        // A peer link is one-way: bytes arriving here are a protocol
-        // violation, EOF means the peer is gone.
+        // A peer link is one-way past the handshake: bytes arriving here
+        // are a protocol violation, EOF means the peer is gone.
         if conn.decoder.buffered() > 0 || conn.eof {
             return true;
         }
-        // Adopt traffic shipped since the last pump.
-        {
-            let mut shipped = outbox.queue.lock();
-            while let Some(item) = shipped.pop_front() {
-                queue.push_back(item);
-            }
-        }
         let inner = &self.inner;
-        let gauge = &inner.peer_credits[peer];
-        let owed = &inner.credit_owed[peer];
+        let window = inner.flow.credit_window;
         let max_ops = inner.flow.peer_batch_ops.max(1) as u64;
         let running = inner.running.load(Ordering::SeqCst);
         let mut stalled = false;
@@ -2176,36 +2782,44 @@ impl Shard {
             if conn.writebuf.pending() > HIGH_WATER {
                 break;
             }
-            // Piggyback credit returns first: they are exempt from flow
-            // control and must go out even while this link is stalled.
-            let returns = owed.swap(0, Ordering::AcqRel);
-            if returns > 0 {
+            // Piggyback the cumulative processed confirmation first: it is
+            // exempt from flow control and must go out even while this
+            // link is stalled. Cumulative confirmations are idempotent, so
+            // re-announcing after a reconnect costs nothing.
+            let cum_now = inner.peer_recv_count[peer].load(Ordering::Acquire);
+            let announced = cum_now > *last_cum;
+            if announced {
                 builder.push(&Frame::Credit {
-                    n: returns.min(u64::from(u32::MAX)) as u32,
+                    cum: cum_now,
+                    gen: inner.peer_in_gen[peer].load(Ordering::Acquire),
                 });
+                *last_cum = cum_now;
             }
+            let mut queue = link.queue.lock();
             let want = (queue.len() as u64).min(max_ops);
             let granted = if !running {
                 // Teardown drains without credits — the reverse link
-                // carrying returns may already be gone.
+                // carrying confirmations may already be gone.
                 want
             } else {
-                let taken = gauge.try_take(want);
-                if want > 0 && taken == 0 {
+                let outstanding =
+                    link.sent_seq.load(Ordering::Acquire) - link.acked_seq.load(Ordering::Acquire);
+                let take = want.min(window.saturating_sub(outstanding));
+                if want > 0 && take == 0 {
                     // Window exhausted: note when the stall began; the
                     // 1 ms tick re-pumps (and keeps credit-only batches
                     // flowing, which makes symmetric saturation
                     // deadlock-free).
                     stall_started.get_or_insert_with(Instant::now);
                     stalled = true;
-                } else if taken > 0 {
+                } else if take > 0 {
                     if let Some(started) = stall_started.take() {
                         inner
                             .metrics
                             .record_credit_stall_ns(started.elapsed().as_nanos() as u64);
                     }
                 }
-                taken
+                take
             };
             let mut packed = 0u64;
             while packed < granted {
@@ -2220,15 +2834,17 @@ impl Shard {
                     break;
                 }
                 builder.push_protocol(msg, bytes.as_deref());
-                queue.pop_front();
+                let item = queue.pop_front().expect("front exists");
+                if running {
+                    // Retain until the peer confirms processing: this is
+                    // what the redial handshake replays.
+                    link.unacked.lock().push_back(item);
+                    link.sent_seq.fetch_add(1, Ordering::AcqRel);
+                }
                 packed += 1;
             }
-            if running && packed < granted {
-                // Credits for the messages this batch had no room for go
-                // back to the window; they are re-taken when their turn
-                // comes.
-                gauge.put(granted - packed);
-            }
+            let queue_empty = queue.is_empty();
+            drop(queue);
             if builder.count() > 0 {
                 // Singleton messages leave the builder as bare frames (see
                 // `BatchBuilder::write_to`) — only count what actually
@@ -2239,19 +2855,20 @@ impl Shard {
                 }
                 write_frame_builder(builder, &mut conn.writebuf);
             }
-            // No progress AND no credit returns went out: nothing more can
+            // No progress AND no confirmation went out: nothing more can
             // happen this pump (either the queue is empty or the window is
             // closed — the stall tick handles the latter). A round that
-            // wrote only returns must loop once more: a pending credit
-            // frame in the builder can push the head message past the
-            // batch byte budget (packed == 0), and breaking there would
-            // strand the message with no timer armed and no writability
-            // event coming on a one-way link. The retry starts with an
-            // empty builder, where an oversized message travels alone.
-            if packed == 0 && returns == 0 {
+            // wrote only a confirmation must loop once more: a pending
+            // credit frame in the builder can push the head message past
+            // the batch byte budget (packed == 0), and breaking there
+            // would strand the message with no timer armed and no
+            // writability event coming on a one-way link. The retry starts
+            // with an empty builder, where an oversized message travels
+            // alone.
+            if packed == 0 && !announced {
                 break;
             }
-            if queue.is_empty() {
+            if queue_empty {
                 break;
             }
         }
@@ -2259,7 +2876,7 @@ impl Shard {
             return true;
         }
         // Still stalled with work queued: tick again in 1 ms.
-        if stalled && !queue.is_empty() && running && !conn.tick_armed {
+        if stalled && !link.queue.lock().is_empty() && running && !conn.tick_armed {
             self.wheel.schedule(Token(token), CREDIT_STALL_TICK);
             conn.tick_armed = true;
         }
@@ -2307,6 +2924,14 @@ impl Shard {
         self.poller.deregister(conn.stream.as_raw_fd());
         self.peer_out_tokens.retain(|&t| t != token);
         self.inner.metrics.record_conn_closed();
+        // A dead outgoing peer link is a recoverable event, not an
+        // amputation: mark the link down and let the redial thread bring
+        // it back (unless the server is shutting down).
+        if let Role::PeerOut { peer, .. } = &conn.role {
+            if self.inner.running.load(Ordering::SeqCst) {
+                self.inner.peer_link_down(*peer);
+            }
+        }
         // The stream drops here, closing the socket.
     }
 
@@ -2321,16 +2946,16 @@ impl Shard {
             if matches!(conn.role, Role::PeerOut { .. }) {
                 let _ = conn.stream.set_nonblocking(false);
                 // `running` is false, so the pump packs without credits;
-                // loop until the queue and outbox are empty (a burst can
-                // arrive between pumps from a worker finishing up).
+                // loop until the queue is empty (a burst can arrive
+                // between pumps from a worker finishing up).
                 loop {
                     if self.pump_peer_out(token, &mut conn) {
                         break; // link died mid-drain; nothing more to do
                     }
-                    let Role::PeerOut { queue, outbox, .. } = &conn.role else {
+                    let Role::PeerOut { link, .. } = &conn.role else {
                         unreachable!("role checked above");
                     };
-                    if queue.is_empty() && outbox.queue.lock().is_empty() {
+                    if link.queue.lock().is_empty() {
                         break;
                     }
                 }

@@ -70,6 +70,8 @@ mod opcode {
     pub const CLIENT_HELLO: u8 = 0x01;
     pub const PEER_HELLO: u8 = 0x02;
     pub const RPC_HELLO: u8 = 0x03;
+    pub const PEER_HELLO_ACK: u8 = 0x04;
+    pub const PEER_RESUME: u8 = 0x05;
     pub const GET: u8 = 0x10;
     pub const PUT: u8 = 0x11;
     pub const GET_RESP: u8 = 0x12;
@@ -97,6 +99,10 @@ mod opcode {
     pub const PING: u8 = 0x50;
     pub const PONG: u8 = 0x51;
     pub const SHUTDOWN: u8 = 0x52;
+    pub const VERSION_FLOOR: u8 = 0x54;
+    pub const VERSION_FLOOR_RESP: u8 = 0x55;
+    pub const CACHE_KEYS: u8 = 0x56;
+    pub const CACHE_KEYS_RESP: u8 = 0x57;
     pub const BATCH: u8 = 0x60;
     pub const CREDIT: u8 = 0x61;
     pub const ERROR: u8 = 0x7E;
@@ -107,10 +113,41 @@ mod opcode {
 pub enum Frame {
     /// Opens a client connection.
     ClientHello,
-    /// Opens a one-way protocol link from peer node `from`.
+    /// Opens (or re-opens) the one-way protocol link from peer node `from`.
+    ///
+    /// `gen` stamps the sender's *process generation* — a value unique to
+    /// one life of the sending process. The receiver tracks the highest
+    /// generation seen per peer: a hello carrying a lower generation is a
+    /// stale process (its connections are refused), a higher one means the
+    /// peer crashed and restarted (triggering recovery), an equal one is
+    /// the same process redialing after a transient link failure.
     PeerHello {
         /// Sender node id.
         from: u8,
+        /// Sender process generation.
+        gen: u64,
+    },
+    /// The receiver's reply to [`Frame::PeerHello`] on a protocol link:
+    /// how many flow-controlled messages from this `(peer, generation)` it
+    /// has processed over the link's lifetime (0 if the receiver restarted
+    /// or never heard from this generation). The dialing side drops every
+    /// retained message up to `processed` and replays the rest — exactly
+    /// once, in order.
+    PeerHelloAck {
+        /// Cumulative messages processed from the dialing peer.
+        processed: u64,
+        /// The *receiver's* process generation (lets the dialer detect
+        /// that the peer it reconnected to is a restarted process).
+        gen: u64,
+    },
+    /// Sent by the dialing side after [`Frame::PeerHelloAck`]: the sequence
+    /// number of the first flow-controlled message that will follow on this
+    /// connection. The receiver aligns its processed counter to
+    /// `start_seq - 1` (a restarted receiver adopts the dialer's numbering;
+    /// an intact one sees its own count echoed back).
+    PeerResume {
+        /// Sequence number of the next message on this link.
+        start_seq: u64,
     },
     /// Opens a request/response miss-path link from peer node `from`.
     RpcHello {
@@ -307,15 +344,48 @@ pub enum Frame {
         /// The coalesced frames, in send order.
         frames: Vec<Frame>,
     },
-    /// Returns `n` flow-control credits to the receiving node (peer links).
-    /// Each protocol message sent to a peer consumes one credit; the peer
-    /// grants credits back after *processing* the messages, piggybacked on
-    /// batches flowing in the reverse direction — so a fast writer (a Lin
-    /// ack round fanning out) can never overrun a slow receiver by more
-    /// than the credit window.
+    /// Cumulative flow-control acknowledgement for a peer link. Each
+    /// protocol message sent to a peer consumes one credit; the peer
+    /// confirms *processing* by echoing its cumulative processed count,
+    /// piggybacked on batches flowing in the reverse direction — so a fast
+    /// writer (a Lin ack round fanning out) can never overrun a slow
+    /// receiver by more than the credit window. Cumulative (TCP-ack style)
+    /// rather than incremental: a credit frame lost with a severed link is
+    /// subsumed by the next one, so reconnects never leak window.
     Credit {
-        /// Number of credits returned.
-        n: u32,
+        /// Cumulative messages processed from the receiving node, in the
+        /// receiving node's sequence numbering.
+        cum: u64,
+        /// The process generation whose numbering `cum` refers to (the
+        /// confirmed direction's sender generation). A receiver whose own
+        /// generation differs ignores the frame — a restarted sender must
+        /// not interpret confirmations addressed to its predecessor.
+        gen: u64,
+    },
+    /// Asks the node for its current cold-version counter (admin path). A
+    /// supervisor polls this while the node serves and passes the last
+    /// observed value (plus slack) to a restarted replacement via
+    /// `--cold-floor`, so home-assigned versions stay monotone across the
+    /// crash — an in-memory shard cannot remember them itself, and a
+    /// restarted home reusing `(clock, writer)` pairs would make
+    /// cross-crash histories ambiguous.
+    VersionFloor,
+    /// Response to [`Frame::VersionFloor`].
+    VersionFloorResp {
+        /// The node's current cold-version counter.
+        clock: u32,
+    },
+    /// Asks the node for the keys its symmetric cache currently holds
+    /// (admin path). By symmetry this is the deployment's hot set; a
+    /// supervisor queries a survivor when restarting a crashed node — the
+    /// replacement boots with those of the keys it homes *fenced*
+    /// (`--hot-fence`), and cache symmetry is then healed by evicting the
+    /// hot set rack-wide.
+    CacheKeys,
+    /// Response to [`Frame::CacheKeys`].
+    CacheKeysResp {
+        /// The cached keys, in no particular order.
+        keys: Vec<u64>,
     },
     /// Liveness probe.
     Ping,
@@ -437,9 +507,19 @@ impl Frame {
         let mut buf = Vec::with_capacity(32);
         match self {
             Frame::ClientHello => buf.push(opcode::CLIENT_HELLO),
-            Frame::PeerHello { from } => {
+            Frame::PeerHello { from, gen } => {
                 buf.push(opcode::PEER_HELLO);
                 buf.push(*from);
+                buf.extend_from_slice(&gen.to_le_bytes());
+            }
+            Frame::PeerHelloAck { processed, gen } => {
+                buf.push(opcode::PEER_HELLO_ACK);
+                buf.extend_from_slice(&processed.to_le_bytes());
+                buf.extend_from_slice(&gen.to_le_bytes());
+            }
+            Frame::PeerResume { start_seq } => {
+                buf.push(opcode::PEER_RESUME);
+                buf.extend_from_slice(&start_seq.to_le_bytes());
             }
             Frame::RpcHello { from } => {
                 buf.push(opcode::RPC_HELLO);
@@ -566,13 +646,27 @@ impl Frame {
                     put_bytes(&mut buf, &frame.encode());
                 }
             }
-            Frame::Credit { n } => {
+            Frame::Credit { cum, gen } => {
                 buf.push(opcode::CREDIT);
-                buf.extend_from_slice(&n.to_le_bytes());
+                buf.extend_from_slice(&cum.to_le_bytes());
+                buf.extend_from_slice(&gen.to_le_bytes());
             }
             Frame::Error { message } => {
                 buf.push(opcode::ERROR);
                 put_bytes(&mut buf, message.as_bytes());
+            }
+            Frame::VersionFloor => buf.push(opcode::VERSION_FLOOR),
+            Frame::VersionFloorResp { clock } => {
+                buf.push(opcode::VERSION_FLOOR_RESP);
+                buf.extend_from_slice(&clock.to_le_bytes());
+            }
+            Frame::CacheKeys => buf.push(opcode::CACHE_KEYS),
+            Frame::CacheKeysResp { keys } => {
+                buf.push(opcode::CACHE_KEYS_RESP);
+                buf.extend_from_slice(&(keys.len() as u32).to_le_bytes());
+                for key in keys {
+                    buf.extend_from_slice(&key.to_le_bytes());
+                }
             }
             Frame::Ping => buf.push(opcode::PING),
             Frame::Pong => buf.push(opcode::PONG),
@@ -587,7 +681,17 @@ impl Frame {
         let op = cur.u8()?;
         let frame = match op {
             opcode::CLIENT_HELLO => Frame::ClientHello,
-            opcode::PEER_HELLO => Frame::PeerHello { from: cur.u8()? },
+            opcode::PEER_HELLO => Frame::PeerHello {
+                from: cur.u8()?,
+                gen: cur.u64()?,
+            },
+            opcode::PEER_HELLO_ACK => Frame::PeerHelloAck {
+                processed: cur.u64()?,
+                gen: cur.u64()?,
+            },
+            opcode::PEER_RESUME => Frame::PeerResume {
+                start_seq: cur.u64()?,
+            },
             opcode::RPC_HELLO => Frame::RpcHello { from: cur.u8()? },
             opcode::GET => Frame::Get { key: cur.u64()? },
             opcode::PUT => Frame::Put {
@@ -685,10 +789,26 @@ impl Frame {
                 }
                 Frame::Batch { frames }
             }
-            opcode::CREDIT => Frame::Credit { n: cur.u32()? },
+            opcode::CREDIT => Frame::Credit {
+                cum: cur.u64()?,
+                gen: cur.u64()?,
+            },
             opcode::ERROR => Frame::Error {
                 message: String::from_utf8_lossy(&cur.bytes()?).into_owned(),
             },
+            opcode::VERSION_FLOOR => Frame::VersionFloor,
+            opcode::VERSION_FLOOR_RESP => Frame::VersionFloorResp { clock: cur.u32()? },
+            opcode::CACHE_KEYS => Frame::CacheKeys,
+            opcode::CACHE_KEYS_RESP => {
+                let count = cur.u32()? as usize;
+                // Growth proportional to bytes present, not the claimed
+                // count (same discipline as batch decoding).
+                let mut keys = Vec::new();
+                for _ in 0..count {
+                    keys.push(cur.u64()?);
+                }
+                Frame::CacheKeysResp { keys }
+            }
             opcode::PING => Frame::Ping,
             opcode::PONG => Frame::Pong,
             opcode::SHUTDOWN => Frame::Shutdown,
@@ -928,7 +1048,15 @@ mod tests {
         let ts = Timestamp::new(77, NodeId(3));
         for frame in [
             Frame::ClientHello,
-            Frame::PeerHello { from: 2 },
+            Frame::PeerHello {
+                from: 2,
+                gen: 0xFEED_5EED_0042,
+            },
+            Frame::PeerHelloAck {
+                processed: 123_456,
+                gen: u64::MAX,
+            },
+            Frame::PeerResume { start_seq: 78 },
             Frame::RpcHello { from: 5 },
             Frame::Get { key: 42 },
             Frame::Put {
@@ -1038,11 +1166,21 @@ mod tests {
                         key: 2,
                         value: b"batched".to_vec(),
                     },
-                    Frame::Credit { n: 3 },
+                    Frame::Credit { cum: 3, gen: 9 },
                 ],
             },
-            Frame::Credit { n: 0 },
-            Frame::Credit { n: u32::MAX },
+            Frame::Credit { cum: 0, gen: 0 },
+            Frame::Credit {
+                cum: u64::MAX,
+                gen: u64::MAX,
+            },
+            Frame::VersionFloor,
+            Frame::VersionFloorResp { clock: u32::MAX },
+            Frame::CacheKeys,
+            Frame::CacheKeysResp { keys: Vec::new() },
+            Frame::CacheKeysResp {
+                keys: vec![0, 7, u64::MAX],
+            },
             Frame::Ping,
             Frame::Pong,
             Frame::Shutdown,
@@ -1082,7 +1220,7 @@ mod tests {
                 key: 8,
                 value: b"v".to_vec(),
             },
-            Frame::Credit { n: 2 },
+            Frame::Credit { cum: 2, gen: 1 },
         ];
         let mut builder = BatchBuilder::new();
         for f in &frames {

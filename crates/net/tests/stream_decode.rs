@@ -32,7 +32,7 @@ fn sample_frames() -> Vec<Frame> {
             },
             bytes: Some(b"payload".to_vec()),
         },
-        Frame::Credit { n: 31 },
+        Frame::Credit { cum: 31, gen: 1 },
         Frame::Ping,
     ]
 }
@@ -158,7 +158,7 @@ proptest! {
                     Frame::Batch {
                         frames: vec![
                             Frame::Get { key },
-                            Frame::Credit { n: (key & 0xFFFF) as u32 },
+                            Frame::Credit { cum: key & 0xFFFF, gen: key },
                         ],
                     }
                 }

@@ -101,11 +101,11 @@ proptest! {
     ) {
         let mut frames: Vec<Frame> = keys.iter().map(|&key| Frame::Get { key }).collect();
         frames.push(Frame::Put { key: 1, value });
-        frames.push(Frame::Credit { n: credits });
+        frames.push(Frame::Credit { cum: u64::from(credits), gen: 7 });
         let batch = Frame::Batch { frames };
         assert_prefixes_rejected(&batch);
         assert_roundtrip(batch);
-        assert_roundtrip(Frame::Credit { n: credits });
+        assert_roundtrip(Frame::Credit { cum: u64::from(credits), gen: 7 });
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! `cckvs-rack` — supervised process-per-node rack deployment.
+//!
+//! Reads a topology file, spawns one `cckvs-node` process per node, waits
+//! for the rack to become ready, and keeps it alive: crashed nodes are
+//! restarted with exponential backoff while their peers park, redial and
+//! replay coherence traffic (see the `cckvs-net` server docs).
+//!
+//! ```text
+//! cckvs-rack --topology rack.toml [--node-bin PATH] [--log-dir DIR] \
+//!     [--ready-timeout SECS] [--status-interval SECS]
+//! ```
+//!
+//! SIGTERM/SIGINT (ctrl-c) gracefully terminates every node — each drains
+//! its dirty write-backs before exiting — and then the supervisor itself.
+
+use cckvs_orchestrate::{sibling_binary, Supervisor, SupervisorConfig, Topology};
+use std::io::Read;
+use std::path::PathBuf;
+use std::time::Duration;
+
+struct Args {
+    topology: PathBuf,
+    node_bin: Option<PathBuf>,
+    log_dir: Option<PathBuf>,
+    ready_timeout: u64,
+    status_interval: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cckvs-rack --topology FILE [--node-bin PATH] [--log-dir DIR] \
+         [--ready-timeout SECS] [--status-interval SECS]\n\
+         Spawns one cckvs-node process per topology node, restarts crashed\n\
+         nodes with exponential backoff, and prints a status line every\n\
+         --status-interval seconds. --node-bin defaults to the cckvs-node\n\
+         binary next to this executable. SIGTERM/ctrl-c stops the rack\n\
+         gracefully (nodes drain dirty write-backs before exiting)."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        topology: PathBuf::new(),
+        node_bin: None,
+        log_dir: None,
+        ready_timeout: 60,
+        status_interval: 10,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--topology" => args.topology = PathBuf::from(value("--topology")),
+            "--node-bin" => args.node_bin = Some(PathBuf::from(value("--node-bin"))),
+            "--log-dir" => args.log_dir = Some(PathBuf::from(value("--log-dir"))),
+            "--ready-timeout" => {
+                args.ready_timeout = value("--ready-timeout").parse().unwrap_or_else(|_| usage())
+            }
+            "--status-interval" => {
+                args.status_interval = value("--status-interval")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    if args.topology.as_os_str().is_empty() {
+        eprintln!("--topology is required");
+        usage();
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let topology = match Topology::load(&args.topology) {
+        Ok(topology) => topology,
+        Err(e) => {
+            eprintln!("cckvs-rack: cannot load {}: {e}", args.topology.display());
+            std::process::exit(1);
+        }
+    };
+    let node_bin = match args.node_bin {
+        Some(path) => path,
+        None => match sibling_binary("cckvs-node") {
+            Ok(path) => path,
+            Err(e) => {
+                eprintln!("cckvs-rack: cannot locate cckvs-node ({e}); pass --node-bin");
+                std::process::exit(1);
+            }
+        },
+    };
+    let mut cfg = SupervisorConfig::new(node_bin);
+    cfg.log_dir = args.log_dir;
+    cfg.ready_timeout = Duration::from_secs(args.ready_timeout);
+    let supervisor = match Supervisor::launch(topology, cfg) {
+        Ok(supervisor) => supervisor,
+        Err(e) => {
+            eprintln!("cckvs-rack: launch failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = supervisor.wait_ready(Duration::from_secs(args.ready_timeout)) {
+        eprintln!("cckvs-rack: {e}");
+        supervisor.shutdown();
+        std::process::exit(1);
+    }
+    eprintln!(
+        "cckvs-rack: rack ready — {} nodes serving on {:?}",
+        supervisor.topology().nodes.len(),
+        supervisor.client_addrs()
+    );
+    // Block until SIGTERM/SIGINT, printing a status heartbeat.
+    let mut pipe = match reactor::signal_pipe(&[reactor::SIGTERM, reactor::SIGINT]) {
+        Ok(pipe) => pipe,
+        Err(e) => {
+            eprintln!("cckvs-rack: cannot install signal handling: {e}");
+            supervisor.shutdown();
+            std::process::exit(1);
+        }
+    };
+    let supervisor = std::sync::Arc::new(supervisor);
+    let heartbeat = std::sync::Arc::downgrade(&supervisor);
+    let interval = args.status_interval.max(1);
+    std::thread::Builder::new()
+        .name("cckvs-rack-status".to_string())
+        .spawn(move || loop {
+            std::thread::sleep(Duration::from_secs(interval));
+            let Some(supervisor) = heartbeat.upgrade() else {
+                return;
+            };
+            let statuses = supervisor.statuses();
+            let restarts: Vec<u64> = (0..statuses.len())
+                .map(|n| supervisor.restarts(n))
+                .collect();
+            eprintln!("cckvs-rack: status {statuses:?}, restarts {restarts:?}");
+        })
+        .expect("spawn status thread");
+    let mut byte = [0u8; 1];
+    let _ = pipe.read_exact(&mut byte);
+    eprintln!("cckvs-rack: signal received, stopping the rack");
+    match std::sync::Arc::try_unwrap(supervisor) {
+        Ok(supervisor) => supervisor.shutdown(),
+        // The heartbeat briefly holds an upgraded Arc; its Drop tears the
+        // rack down.
+        Err(shared) => drop(shared),
+    }
+    eprintln!("cckvs-rack: stopped");
+}

@@ -1,0 +1,59 @@
+//! Process-per-node rack orchestration.
+//!
+//! The paper's evaluation runs each ccKVS node as its own process on its
+//! own machine; the in-process [`cckvs_net::Rack`] launcher is a testing
+//! convenience. This crate provides the real thing for one host (multiple
+//! hosts differ only in the addresses a topology file lists):
+//!
+//! * [`topology`] — a TOML-ish topology file format describing the rack
+//!   (consistency model, capacities) and every node (listen address,
+//!   metrics endpoint, optional epoch-coordinator role);
+//! * [`supervisor`] — [`supervisor::Supervisor`]: spawns one `cckvs-node`
+//!   OS process per topology node, waits for readiness, monitors the
+//!   children, and restarts crashed ones with exponential backoff —
+//!   distinguishing crashes (restart) from clean exits (don't) and from
+//!   bind failures (the port is taken: give up instead of flapping);
+//! * the `cckvs-rack` binary — topology in, supervised rack out.
+//!
+//! Crash recovery is a joint effort with the serving layer: when a node is
+//! killed, its peers park outbound coherence traffic, redial with backoff,
+//! and — once the supervisor has the replacement process up — replay
+//! exactly the unprocessed tail and reissue invalidations the dead process
+//! never acknowledged (see `cckvs-net`'s server docs). The supervisor's
+//! job is only to get a fresh process onto the configured address quickly.
+
+pub mod supervisor;
+pub mod topology;
+
+pub use supervisor::{NodeStatus, Supervisor, SupervisorConfig};
+pub use topology::{NodeSpec, RackSpec, Topology};
+
+use std::io;
+use std::path::PathBuf;
+
+/// Locates a workspace binary (e.g. `cckvs-node`) next to the currently
+/// running executable: test binaries live in `target/<profile>/deps/`,
+/// examples in `target/<profile>/examples/`, and the binaries themselves
+/// in `target/<profile>/` — so the binary is either a sibling or one
+/// directory up.
+pub fn sibling_binary(name: &str) -> io::Result<PathBuf> {
+    let exe = std::env::current_exe()?;
+    let mut dir = exe
+        .parent()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "executable has no parent"))?
+        .to_path_buf();
+    for _ in 0..2 {
+        let candidate = dir.join(name);
+        if candidate.is_file() {
+            return Ok(candidate);
+        }
+        dir = match dir.parent() {
+            Some(parent) => parent.to_path_buf(),
+            None => break,
+        };
+    }
+    Err(io::Error::new(
+        io::ErrorKind::NotFound,
+        format!("{name} not found near {}", exe.display()),
+    ))
+}

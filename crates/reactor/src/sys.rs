@@ -47,6 +47,32 @@ const SOL_SOCKET: c_int = 1;
 const SO_SNDBUF: c_int = 7;
 const SO_RCVBUF: c_int = 8;
 
+const SO_REUSEADDR: c_int = 2;
+
+const AF_INET: c_int = 2;
+const AF_INET6: c_int = 10;
+const SOCK_STREAM: c_int = 1;
+const SOCK_CLOEXEC: c_int = 0o2000000;
+
+/// `struct sockaddr_in` (Linux ABI).
+#[repr(C)]
+struct SockaddrIn {
+    sin_family: u16,
+    sin_port: u16, // big-endian
+    sin_addr: u32, // big-endian
+    sin_zero: [u8; 8],
+}
+
+/// `struct sockaddr_in6` (Linux ABI).
+#[repr(C)]
+struct SockaddrIn6 {
+    sin6_family: u16,
+    sin6_port: u16, // big-endian
+    sin6_flowinfo: u32,
+    sin6_addr: [u8; 16],
+    sin6_scope_id: u32,
+}
+
 extern "C" {
     fn setsockopt(
         fd: c_int,
@@ -64,6 +90,12 @@ extern "C" {
     fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
     fn getrlimit(resource: c_int, rlim: *mut Rlimit) -> c_int;
     fn setrlimit(resource: c_int, rlim: *const Rlimit) -> c_int;
+    fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+    fn bind(fd: c_int, addr: *const c_void, addrlen: u32) -> c_int;
+    fn listen(fd: c_int, backlog: c_int) -> c_int;
+    fn signal(signum: c_int, handler: usize) -> usize;
+    fn kill(pid: c_int, sig: c_int) -> c_int;
+    fn pipe2(fds: *mut c_int, flags: c_int) -> c_int;
 }
 
 fn cvt(ret: c_int) -> io::Result<c_int> {
@@ -144,6 +176,172 @@ pub fn set_socket_buffers(fd: std::os::fd::RawFd, bytes: usize) -> io::Result<()
         }
     }
     Ok(())
+}
+
+/// Binds a TCP listener with `SO_REUSEADDR` set *before* the bind.
+///
+/// `std::net::TcpListener::bind` does not set the option, so a process
+/// restarted onto the port of a crashed predecessor can fail spuriously
+/// with `AddrInUse` while old connections linger in TIME_WAIT — fatal for
+/// a supervisor whose whole job is restarting nodes onto their configured
+/// addresses.
+pub fn listen_reuseaddr(addr: std::net::SocketAddr) -> io::Result<std::net::TcpListener> {
+    use std::net::SocketAddr;
+    use std::os::fd::FromRawFd;
+    let domain = match addr {
+        SocketAddr::V4(_) => AF_INET,
+        SocketAddr::V6(_) => AF_INET6,
+    };
+    let fd = cvt(unsafe { socket(domain, SOCK_STREAM | SOCK_CLOEXEC, 0) })?;
+    let guard = FdGuard(fd);
+    let one: c_int = 1;
+    cvt(unsafe {
+        setsockopt(
+            fd,
+            SOL_SOCKET,
+            SO_REUSEADDR,
+            (&one as *const c_int).cast(),
+            std::mem::size_of::<c_int>() as u32,
+        )
+    })?;
+    match addr {
+        SocketAddr::V4(v4) => {
+            let sa = SockaddrIn {
+                sin_family: AF_INET as u16,
+                sin_port: v4.port().to_be(),
+                sin_addr: u32::from_be_bytes(v4.ip().octets()).to_be(),
+                sin_zero: [0; 8],
+            };
+            cvt(unsafe {
+                bind(
+                    fd,
+                    (&sa as *const SockaddrIn).cast(),
+                    std::mem::size_of::<SockaddrIn>() as u32,
+                )
+            })?;
+        }
+        SocketAddr::V6(v6) => {
+            let sa = SockaddrIn6 {
+                sin6_family: AF_INET6 as u16,
+                sin6_port: v6.port().to_be(),
+                sin6_flowinfo: v6.flowinfo(),
+                sin6_addr: v6.ip().octets(),
+                sin6_scope_id: v6.scope_id(),
+            };
+            cvt(unsafe {
+                bind(
+                    fd,
+                    (&sa as *const SockaddrIn6).cast(),
+                    std::mem::size_of::<SockaddrIn6>() as u32,
+                )
+            })?;
+        }
+    }
+    cvt(unsafe { listen(fd, 1024) })?;
+    std::mem::forget(guard);
+    Ok(unsafe { std::net::TcpListener::from_raw_fd(fd) })
+}
+
+struct FdGuard(c_int);
+
+impl Drop for FdGuard {
+    fn drop(&mut self) {
+        sys_close(self.0);
+    }
+}
+
+/// SIGTERM signal number (Linux).
+pub const SIGTERM: i32 = 15;
+/// SIGINT signal number (Linux).
+pub const SIGINT: i32 = 2;
+/// SIGKILL signal number (Linux).
+pub const SIGKILL: i32 = 9;
+
+static SIGNAL_PIPE_WR: std::sync::atomic::AtomicI32 = std::sync::atomic::AtomicI32::new(-1);
+
+extern "C" fn signal_pipe_handler(signum: c_int) {
+    // Async-signal-safe: one write syscall to the pipe. The payload is the
+    // signal number so a single watcher can serve several signals.
+    let fd = SIGNAL_PIPE_WR.load(std::sync::atomic::Ordering::Relaxed);
+    if fd >= 0 {
+        let byte = signum as u8;
+        let _ = unsafe { write(fd, (&byte as *const u8).cast(), 1) };
+    }
+}
+
+/// Installs a self-pipe handler for `signals` and returns the read end of
+/// the pipe: each delivered signal becomes one byte (the signal number)
+/// readable there, so an ordinary thread can block on `read` and run the
+/// graceful-shutdown path no signal handler safely could.
+///
+/// May be called once per process (subsequent calls error).
+pub fn signal_pipe(signals: &[i32]) -> io::Result<std::fs::File> {
+    use std::os::fd::FromRawFd;
+    let mut fds = [0 as c_int; 2];
+    cvt(unsafe { pipe2(fds.as_mut_ptr(), SOCK_CLOEXEC) })?;
+    let prev = SIGNAL_PIPE_WR.compare_exchange(
+        -1,
+        fds[1],
+        std::sync::atomic::Ordering::SeqCst,
+        std::sync::atomic::Ordering::SeqCst,
+    );
+    if prev.is_err() {
+        sys_close(fds[0]);
+        sys_close(fds[1]);
+        return Err(io::Error::new(
+            io::ErrorKind::AlreadyExists,
+            "signal pipe already installed",
+        ));
+    }
+    for &signum in signals {
+        let handler = signal_pipe_handler as extern "C" fn(c_int) as usize;
+        let ret = unsafe { signal(signum, handler) };
+        if ret == usize::MAX {
+            return Err(io::Error::last_os_error());
+        }
+    }
+    Ok(unsafe { std::fs::File::from_raw_fd(fds[0]) })
+}
+
+/// Sends `sig` to process `pid` (supervisor crash-injection and graceful
+/// termination).
+pub fn send_signal(pid: u32, sig: i32) -> io::Result<()> {
+    cvt(unsafe { kill(pid as c_int, sig) }).map(|_| ())
+}
+
+/// Creates a pipe whose ends are *inheritable* (no CLOEXEC): a supervisor
+/// passes the raw write fd to a spawned node via `--ready-fd` and awaits
+/// the readiness byte on the returned read end, closing its copy of the
+/// write fd (via [`close_raw_fd`]) right after the spawn so EOF doubles
+/// as "the child died before becoming ready".
+pub fn inheritable_pipe() -> io::Result<(std::fs::File, i32)> {
+    use std::os::fd::FromRawFd;
+    let mut fds = [0 as c_int; 2];
+    cvt(unsafe { pipe2(fds.as_mut_ptr(), 0) })?;
+    Ok((unsafe { std::fs::File::from_raw_fd(fds[0]) }, fds[1]))
+}
+
+/// Writes `bytes` to a raw fd (a spawned node signalling its inherited
+/// `--ready-fd`).
+pub fn write_raw_fd(fd: i32, bytes: &[u8]) -> io::Result<()> {
+    let mut written = 0;
+    while written < bytes.len() {
+        let n = unsafe { write(fd, bytes[written..].as_ptr().cast(), bytes.len() - written) };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                continue;
+            }
+            return Err(err);
+        }
+        written += n as usize;
+    }
+    Ok(())
+}
+
+/// Closes a raw fd (the supervisor's copy of an inherited pipe end).
+pub fn close_raw_fd(fd: i32) {
+    sys_close(fd);
 }
 
 /// Raises the soft `RLIMIT_NOFILE` toward `target` (capped at the hard

@@ -27,7 +27,7 @@ use std::collections::HashMap;
 /// Number of bytes of serialised protocol metadata stored before the value.
 /// (The production system packs this into 8 bytes by reusing the version
 /// field for the awaited timestamp; we keep the fields explicit.)
-const META_BYTES: usize = 36;
+const META_BYTES: usize = 43;
 
 /// Result of probing the cache for a read.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -153,12 +153,12 @@ impl Meta {
                 out[12..16].copy_from_slice(&p.ts.clock.to_le_bytes());
                 out[16] = p.ts.writer.0;
                 out[17..25].copy_from_slice(&p.value.to_le_bytes());
-                out[25] = p.acks;
-                out[26] = p.needed;
+                out[25] = p.needed;
+                out[26..34].copy_from_slice(&p.acked.to_le_bytes());
             }
         }
-        out[27..35].copy_from_slice(&self.lin.value.to_le_bytes());
-        out[35] = u8::from(self.frozen);
+        out[34..42].copy_from_slice(&self.lin.value.to_le_bytes());
+        out[42] = u8::from(self.frozen);
         out
     }
 
@@ -183,14 +183,14 @@ impl Meta {
                     u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")),
                     NodeId(bytes[16]),
                 ),
+                needed: bytes[25],
+                acked: u64::from_le_bytes(bytes[26..34].try_into().expect("8 bytes")),
                 value: u64::from_le_bytes(bytes[17..25].try_into().expect("8 bytes")),
-                acks: bytes[25],
-                needed: bytes[26],
             })
         } else {
             None
         };
-        let value = u64::from_le_bytes(bytes[27..35].try_into().expect("8 bytes"));
+        let value = u64::from_le_bytes(bytes[34..42].try_into().expect("8 bytes"));
         Self {
             lin: LinKeyState {
                 value,
@@ -199,7 +199,7 @@ impl Meta {
                 awaiting,
                 pending,
             },
-            frozen: bytes[35] != 0,
+            frozen: bytes[42] != 0,
         }
     }
 
@@ -395,6 +395,41 @@ impl SymmetricCache {
     /// All cached keys (diagnostics / epoch reconciliation).
     pub fn keys(&self) -> Vec<u64> {
         self.store.keys()
+    }
+
+    /// Invalidations to *reissue* toward `peer` after it crashed and
+    /// restarted: one per local pending write whose acknowledgement from
+    /// that peer has not been counted. The original invalidation may have
+    /// died in the peer's old process (or on the severed link beyond the
+    /// replay horizon), in which case the blocked writer would wait
+    /// forever; the restarted peer acknowledges the reissue — vacuously if
+    /// it no longer caches the key. Reissuing to a peer that *did* ack is
+    /// harmless: the duplicate ack is deduplicated by the per-node bitmask
+    /// in [`PendingWrite`].
+    pub fn reissue_invalidations(&self, peer: NodeId) -> Vec<(Destination, ProtocolMsg)> {
+        let mut out = Vec::new();
+        for key in self.store.keys() {
+            let Some(snap) = self.store.get(key) else {
+                continue;
+            };
+            if snap.value.len() < META_BYTES {
+                continue;
+            }
+            let meta = Meta::decode(&snap.value);
+            if let Some(pending) = meta.lin.pending {
+                if !pending.acked_by(peer) {
+                    out.push((
+                        Destination::To(peer),
+                        ProtocolMsg::Invalidation {
+                            key,
+                            ts: pending.ts,
+                            from: self.me,
+                        },
+                    ));
+                }
+            }
+        }
+        out
     }
 
     /// Probes the cache for a read.
@@ -923,6 +958,53 @@ mod tests {
     }
 
     #[test]
+    fn reissue_targets_only_peers_that_never_acked() {
+        let c = cache(ConsistencyModel::Lin, 0);
+        c.fill(5, b"old", 0);
+        let ts = match c.write(5, b"new", 7) {
+            WriteOutcome::Pending { ts, .. } => ts,
+            other => panic!("expected pending Lin write, got {other:?}"),
+        };
+        // Peer 1 acks; peer 2's ack is lost with its crashed process.
+        let ack = ProtocolMsg::Ack {
+            key: 5,
+            ts,
+            from: NodeId(1),
+        };
+        assert!(c.deliver(&ack, None).committed.is_none());
+        let reissue_p2 = c.reissue_invalidations(NodeId(2));
+        assert_eq!(
+            reissue_p2,
+            vec![(
+                Destination::To(NodeId(2)),
+                ProtocolMsg::Invalidation {
+                    key: 5,
+                    ts,
+                    from: NodeId(0),
+                }
+            )]
+        );
+        // Peer 1 already acked: nothing to reissue toward it.
+        assert!(c.reissue_invalidations(NodeId(1)).is_empty());
+        // The restarted peer 2 acks the reissue; the write commits. A
+        // duplicate ack from peer 1 beforehand must not commit it early.
+        let dup = ProtocolMsg::Ack {
+            key: 5,
+            ts,
+            from: NodeId(1),
+        };
+        assert!(c.deliver(&dup, None).committed.is_none());
+        let ack2 = ProtocolMsg::Ack {
+            key: 5,
+            ts,
+            from: NodeId(2),
+        };
+        assert_eq!(c.deliver(&ack2, None).committed, Some(ts));
+        // Nothing pending any more: no reissues for anyone.
+        assert!(c.reissue_invalidations(NodeId(2)).is_empty());
+    }
+
+    #[test]
     fn meta_roundtrip() {
         let meta = Meta {
             lin: LinKeyState {
@@ -933,8 +1015,8 @@ mod tests {
                 pending: Some(PendingWrite {
                     ts: Timestamp::new(79, NodeId(3)),
                     value: 123,
-                    acks: 2,
                     needed: 8,
+                    acked: (1 << 1) | (1 << 5),
                 }),
             },
             frozen: true,
