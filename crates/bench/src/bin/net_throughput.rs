@@ -100,6 +100,21 @@ struct Point {
     batches: u64,
     /// Per-key Lin checker verdict for Lin points (`None` for SC).
     lin_ok: Option<bool>,
+    /// Server-side per-phase latency breakdown, one entry per node.
+    phases: Vec<NodePhases>,
+}
+
+/// One node's per-phase latency breakdown (from its server-side
+/// histograms), in microseconds.
+struct NodePhases {
+    node: usize,
+    lin_ack_wait_p50_us: f64,
+    lin_ack_wait_p99_us: f64,
+    worker_handoff_p50_us: f64,
+    worker_handoff_p99_us: f64,
+    fanout_p50_us: f64,
+    fanout_p99_us: f64,
+    loop_lap_p99_us: f64,
 }
 
 fn model_name(model: ConsistencyModel) -> &'static str {
@@ -109,7 +124,7 @@ fn model_name(model: ConsistencyModel) -> &'static str {
     }
 }
 
-fn run_point(cfg: Config, total_ops: u64) -> Point {
+fn run_point(cfg: Config, total_ops: u64, trace_every: u64) -> Point {
     let mut rack_cfg = RackConfig::small(cfg.model, NODES);
     rack_cfg.cache_capacity = HOT_KEYS;
     rack_cfg.metrics = false;
@@ -155,7 +170,8 @@ fn run_point(cfg: Config, total_ops: u64) -> Point {
                     .with_batching(BatchConfig {
                         max_ops: batch_ops,
                         ..BatchConfig::default()
-                    });
+                    })
+                    .with_trace_sampling(trace_every);
                 if let Some(history) = history {
                     client = client.with_history(history);
                 }
@@ -198,6 +214,24 @@ fn run_point(cfg: Config, total_ops: u64) -> Point {
         let history = history.snapshot();
         history.check_per_key_sc().is_ok() && history.check_per_key_lin().is_ok()
     });
+    // Server-side per-phase breakdown, read off each node's histograms
+    // before the rack goes down.
+    let us = |ns: u64| ns as f64 / 1_000.0;
+    let phases = (0..NODES)
+        .map(|node| {
+            let snap = rack.server(node).metrics().snapshot();
+            NodePhases {
+                node,
+                lin_ack_wait_p50_us: us(snap.lin_ack_wait_p50_ns),
+                lin_ack_wait_p99_us: us(snap.lin_ack_wait_p99_ns),
+                worker_handoff_p50_us: us(snap.worker_handoff_p50_ns),
+                worker_handoff_p99_us: us(snap.worker_handoff_p99_ns),
+                fanout_p50_us: us(snap.fanout_p50_ns),
+                fanout_p99_us: us(snap.fanout_p99_ns),
+                loop_lap_p99_us: us(snap.loop_lap_p99_ns),
+            }
+        })
+        .collect();
     rack.shutdown();
 
     let snap = metrics.snapshot();
@@ -212,6 +246,7 @@ fn run_point(cfg: Config, total_ops: u64) -> Point {
         p99_us: snap.latency_p99_ns as f64 / 1_000.0,
         batches: snap.batches,
         lin_ok,
+        phases,
     }
 }
 
@@ -237,7 +272,7 @@ fn main() {
                     write_ratio,
                     batch_ops,
                 };
-                let point = run_point(cfg, total_ops);
+                let point = run_point(cfg, total_ops, 0);
                 eprintln!(
                     "net_throughput: {}/wr{:.2}/batch{:<3} {:>8.0} ops/s | hit {:>5.1}% | \
                      p50 {:>7.1}µs p99 {:>8.1}µs{}",
@@ -296,6 +331,25 @@ fn main() {
         }
     }
 
+    // Tracing overhead: the same Lin configuration untraced and sampled
+    // at 1/1024, back to back. Sampling must be cheap enough to leave on:
+    // the traced run should stay within a few percent of the untraced one
+    // (both are printed and recorded, so regressions are visible).
+    const TRACE_EVERY: u64 = 1024;
+    let overhead_cfg = Config {
+        model: ConsistencyModel::Lin,
+        write_ratio: 0.05,
+        batch_ops: 1,
+    };
+    let untraced = run_point(overhead_cfg, total_ops, 0);
+    let traced = run_point(overhead_cfg, total_ops, TRACE_EVERY);
+    let trace_ratio = traced.ops_per_sec / untraced.ops_per_sec;
+    eprintln!(
+        "net_throughput: tracing overhead (lin/wr0.05/batch1): \
+         untraced {:.0} ops/s | traced 1/{TRACE_EVERY} {:.0} ops/s | ratio {:.3}",
+        untraced.ops_per_sec, traced.ops_per_sec, trace_ratio
+    );
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"net_throughput\",");
@@ -326,6 +380,34 @@ fn main() {
                 None => String::new(),
             },
             if i + 1 < points.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"tracing\": {{\"trace_every\": {TRACE_EVERY}, \
+         \"untraced_ops_per_sec\": {:.0}, \"traced_ops_per_sec\": {:.0}, \
+         \"traced_over_untraced\": {:.3}}},",
+        untraced.ops_per_sec, traced.ops_per_sec, trace_ratio
+    );
+    // Per-phase Lin latency breakdown from the traced run's server-side
+    // histograms: where a write's time actually goes on each node.
+    let _ = writeln!(json, "  \"phase_breakdown\": [");
+    for (i, ph) in traced.phases.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"node\": {}, \"lin_ack_wait_p50_us\": {:.1}, \"lin_ack_wait_p99_us\": {:.1}, \
+             \"worker_handoff_p50_us\": {:.1}, \"worker_handoff_p99_us\": {:.1}, \
+             \"fanout_p50_us\": {:.1}, \"fanout_p99_us\": {:.1}, \"loop_lap_p99_us\": {:.1}}}{}",
+            ph.node,
+            ph.lin_ack_wait_p50_us,
+            ph.lin_ack_wait_p99_us,
+            ph.worker_handoff_p50_us,
+            ph.worker_handoff_p99_us,
+            ph.fanout_p50_us,
+            ph.fanout_p99_us,
+            ph.loop_lap_p99_us,
+            if i + 1 < traced.phases.len() { "," } else { "" }
         );
     }
     let _ = writeln!(json, "  ],");

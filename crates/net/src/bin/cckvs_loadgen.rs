@@ -63,6 +63,7 @@ struct Args {
     json: bool,
     shutdown: bool,
     tolerate_errors: bool,
+    trace_every: u64,
 }
 
 fn usage() -> ! {
@@ -70,7 +71,10 @@ fn usage() -> ! {
         "usage: cckvs-loadgen --servers A,B,... [--ops N] [--sessions N] \
          [--zipf THETA|uniform] [--write-ratio F] [--keys N] [--value-size B] \
          [--model sc|lin] [--install-hot N] [--batch N] [--connections N] \
-         [--no-check] [--json] [--shutdown] [--tolerate-errors]\n\
+         [--no-check] [--json] [--shutdown] [--tolerate-errors] \
+         [--trace-every N]\n\
+         --trace-every N samples one in every N ops into the rack-wide\n\
+         tracing subsystem (span events queryable via cckvs-trace; 0 = off).\n\
          --connections N opens N concurrent single-node client connections\n\
          (round-robin across servers and across connections per op; each\n\
          session thread drives its share) and reports per-connection\n\
@@ -101,6 +105,7 @@ fn parse_args() -> Args {
         json: false,
         shutdown: false,
         tolerate_errors: false,
+        trace_every: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -148,6 +153,9 @@ fn parse_args() -> Args {
             "--connections" => {
                 args.connections = value("--connections").parse().unwrap_or_else(|_| usage())
             }
+            "--trace-every" => {
+                args.trace_every = value("--trace-every").parse().unwrap_or_else(|_| usage())
+            }
             "--no-check" => args.check = false,
             "--json" => args.json = true,
             "--shutdown" => args.shutdown = true,
@@ -172,6 +180,9 @@ fn parse_args() -> Args {
 }
 
 fn main() {
+    // `--json` output gets piped; die quietly on a closed pipe instead
+    // of panicking on the first print.
+    reactor::reset_sigpipe();
     let args = parse_args();
     // Preflight: reach every node before spawning sessions, so an
     // unreachable deployment is one clean error instead of thread panics.
@@ -260,6 +271,7 @@ fn main() {
             let connections = args.connections;
             let sessions = args.sessions;
             let tolerate = args.tolerate_errors;
+            let trace_every = args.trace_every;
             let mut gen = WorkloadGen::new(
                 &dataset,
                 distribution,
@@ -291,7 +303,8 @@ fn main() {
                             )
                             .unwrap_or_else(|e| fail("connect", &e))
                             .with_metrics(Arc::clone(&metrics))
-                            .with_batching(batching);
+                            .with_batching(batching)
+                            .with_trace_sampling(trace_every);
                             if let Some(history) = &history {
                                 client = client.with_history(Arc::clone(history));
                             }
@@ -312,7 +325,8 @@ fn main() {
                     let mut client = Client::connect(&servers, session, policy)
                         .unwrap_or_else(|e| fail("connect", &e))
                         .with_metrics(Arc::clone(&metrics))
-                        .with_batching(batching);
+                        .with_batching(batching)
+                        .with_trace_sampling(trace_every);
                     if let Some(history) = &history {
                         client = client.with_history(Arc::clone(history));
                     }
@@ -558,6 +572,28 @@ fn main() {
             }
             extra.push(']');
         }
+        // Full driver-observed latency distribution: parallel arrays of
+        // bucket upper edges (ns) and sample counts, zero buckets elided.
+        // Consumers rebuild any percentile instead of settling for the two
+        // we print.
+        let hist = metrics.latency_histogram();
+        let buckets = hist.nonzero_buckets();
+        extra.push_str(&format!(
+            ", \"latency_hist\": {{\"count\": {}, \"sum_ns\": {}, \"bucket_upper_ns\": [{}], \
+             \"bucket_counts\": [{}]}}",
+            hist.count,
+            hist.sum,
+            buckets
+                .iter()
+                .map(|(edge, _)| edge.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+            buckets
+                .iter()
+                .map(|(_, n)| n.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
         println!(
             "{{\"ops\": {}, \"secs\": {:.3}, \"ops_per_sec\": {:.0}, \"hit_rate\": {:.4}, \
              \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"batch\": {}{}}}",

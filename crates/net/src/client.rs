@@ -228,6 +228,19 @@ pub struct Client {
     outcomes: Vec<BatchOutcome>,
     reconnects: u64,
     node_errors: Vec<u64>,
+    /// Trace one in every `trace_every` operations (0 = tracing off).
+    trace_every: u64,
+    /// Operations issued since connect (the sampling counter).
+    trace_ops: u64,
+    /// Trace ids minted so far (the id sequence counter).
+    trace_seq: u64,
+    /// Session-unique base the minted ids offset from.
+    trace_base: u64,
+    /// The next operation is traced regardless of the sampling rate
+    /// (armed by [`Client::trace_next`]).
+    trace_armed: bool,
+    /// The most recently minted trace id.
+    last_trace: Option<u64>,
 }
 
 impl Client {
@@ -265,7 +278,70 @@ impl Client {
             queue_bytes: 0,
             outcomes: Vec::new(),
             reconnects: 0,
+            trace_every: 0,
+            trace_ops: 0,
+            trace_seq: 0,
+            // Wall-clock salt makes ids unique across processes even when
+            // session ids repeat (every driver starts its sessions at 0).
+            trace_base: cckvs_trace::now_ns() ^ (u64::from(session) << 48),
+            trace_armed: false,
+            last_trace: None,
         })
+    }
+
+    /// Samples one in every `every` operations into the rack-wide tracing
+    /// subsystem: the sampled op's frame travels inside a trace envelope
+    /// whose id every node stamps its span events with. 0 disables
+    /// tracing (the default).
+    pub fn with_trace_sampling(mut self, every: u64) -> Self {
+        self.trace_every = every;
+        self
+    }
+
+    /// Forces the *next* operation to be traced (regardless of the
+    /// sampling rate) and returns the trace id it will carry — the handle
+    /// a driver passes to `cckvs-trace` to assemble the op's cross-node
+    /// timeline.
+    pub fn trace_next(&mut self) -> u64 {
+        self.trace_armed = true;
+        let id = self.trace_base.wrapping_add(self.trace_seq + 1);
+        self.last_trace = Some(id);
+        id
+    }
+
+    /// The id of the most recently traced operation, if any.
+    pub fn last_trace_id(&self) -> Option<u64> {
+        self.last_trace
+    }
+
+    /// Decides whether this operation is sampled; if so, mints its id.
+    fn next_trace(&mut self) -> Option<u64> {
+        let sampled = if self.trace_armed {
+            self.trace_armed = false;
+            true
+        } else if self.trace_every > 0 {
+            self.trace_ops += 1;
+            self.trace_ops.is_multiple_of(self.trace_every)
+        } else {
+            false
+        };
+        sampled.then(|| {
+            self.trace_seq += 1;
+            let id = self.trace_base.wrapping_add(self.trace_seq);
+            self.last_trace = Some(id);
+            id
+        })
+    }
+
+    /// Wraps `frame` in a trace envelope when this op is sampled.
+    fn maybe_trace(&mut self, frame: Frame) -> Frame {
+        match self.next_trace() {
+            Some(id) => Frame::Traced {
+                id,
+                inner: Box::new(frame),
+            },
+            None => frame,
+        }
     }
 
     /// How many times a dead connection was successfully redialed.
@@ -370,11 +446,12 @@ impl Client {
         let mut node = self.pick();
         let invoked_at = self.history.as_ref().map(|h| h.now());
         let started = Instant::now();
+        let request = self.maybe_trace(Frame::Get { key });
         let failover = !matches!(self.policy, LoadBalancePolicy::Pinned(_));
         let mut attempt = 0;
         let response = loop {
             attempt += 1;
-            match self.call_node(node, &Frame::Get { key }) {
+            match self.call_node(node, &request) {
                 Ok(response) => break response,
                 Err(e)
                     if failover
@@ -422,13 +499,11 @@ impl Client {
         // (the write may or may not have applied), so retrying elsewhere
         // is the caller's decision. The error never enters the history —
         // an unacknowledged write carries no checker obligation.
-        let response = self.call_node(
-            node,
-            &Frame::Put {
-                key,
-                value: value.to_vec(),
-            },
-        )?;
+        let request = self.maybe_trace(Frame::Put {
+            key,
+            value: value.to_vec(),
+        });
+        let response = self.call_node(node, &request)?;
         let Frame::PutResp { cached, ts } = response else {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -465,8 +540,9 @@ impl Client {
     pub fn queue_get(&mut self, key: u64) -> io::Result<()> {
         let invoked_at = self.history.as_ref().map(|h| h.now());
         self.queue_bytes += 16;
+        let request = self.maybe_trace(Frame::Get { key });
         self.queue.push(QueuedOp {
-            request: Frame::Get { key },
+            request,
             key,
             put_tag: None,
             invoked_at,
@@ -479,11 +555,12 @@ impl Client {
     pub fn queue_put(&mut self, key: u64, value: &[u8]) -> io::Result<()> {
         let invoked_at = self.history.as_ref().map(|h| h.now());
         self.queue_bytes += 16 + value.len();
+        let request = self.maybe_trace(Frame::Put {
+            key,
+            value: value.to_vec(),
+        });
         self.queue.push(QueuedOp {
-            request: Frame::Put {
-                key,
-                value: value.to_vec(),
-            },
+            request,
             key,
             put_tag: Some(value_tag_of(value)),
             invoked_at,
@@ -792,4 +869,24 @@ pub fn flip_epoch(coordinator: SocketAddr) -> io::Result<EpochFlip> {
             format!("unexpected response {other:?}"),
         )),
     }
+}
+
+/// Fetches every node's trace buffer (admin path): per address, the number
+/// of span events dropped at ring overflow and the events currently
+/// retained. Feed the per-node event dumps to [`cckvs_trace::assemble`] to
+/// build one operation's cross-node timeline.
+pub fn collect_traces(addrs: &[SocketAddr]) -> io::Result<Vec<(u64, Vec<cckvs_trace::Event>)>> {
+    addrs
+        .iter()
+        .map(|&addr| {
+            let mut conn = Conn::open(addr, &Frame::ClientHello)?;
+            match conn.call(&Frame::TraceDump)? {
+                Frame::TraceDumpResp { dropped, events } => Ok((dropped, events)),
+                other => Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unexpected response {other:?}"),
+                )),
+            }
+        })
+        .collect()
 }

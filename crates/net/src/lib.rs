@@ -56,10 +56,13 @@ pub mod server;
 pub mod wire;
 
 pub use client::{
-    evict_hot_set, flip_epoch, install_hot_set, install_hot_set_versioned, BatchConfig,
-    BatchOutcome, Client, EpochFlip, LoadBalancePolicy, SharedHistory,
+    collect_traces, evict_hot_set, flip_epoch, install_hot_set, install_hot_set_versioned,
+    BatchConfig, BatchOutcome, Client, EpochFlip, LoadBalancePolicy, SharedHistory,
 };
-pub use metrics::{serve_http, Metrics, MetricsSnapshot};
+pub use metrics::{
+    serve_http, serve_http_traced, AtomicHistogram, HistogramSnapshot, Metrics, MetricsSnapshot,
+    ShardedHistogram,
+};
 pub use rack::{Rack, RackConfig, COORDINATOR_NODE};
 pub use server::{FlowConfig, NodeServer, NodeServerConfig, ReactorConfig, ShutdownHandle};
 pub use wire::{Frame, WireError};
@@ -67,8 +70,8 @@ pub use wire::{Frame, WireError};
 /// One-stop imports for examples and applications.
 pub mod prelude {
     pub use crate::client::{
-        evict_hot_set, flip_epoch, install_hot_set, install_hot_set_versioned, BatchConfig,
-        BatchOutcome, Client, EpochFlip, LoadBalancePolicy, SharedHistory,
+        collect_traces, evict_hot_set, flip_epoch, install_hot_set, install_hot_set_versioned,
+        BatchConfig, BatchOutcome, Client, EpochFlip, LoadBalancePolicy, SharedHistory,
     };
     pub use crate::metrics::{Metrics, MetricsSnapshot};
     pub use crate::rack::{Rack, RackConfig, COORDINATOR_NODE};

@@ -3,21 +3,251 @@
 //! Every [`crate::server::NodeServer`] (and optionally every
 //! [`crate::client::Client`]) owns a [`Metrics`] registry: lock-free
 //! counters for the serving breakdown (hits / misses / remote reads /
-//! protocol traffic) plus an exact latency histogram reusing
-//! [`simnet::stats::Histogram`]. The registry renders in the Prometheus
-//! text exposition format and can be served over a minimal HTTP/1.0
-//! endpoint ([`serve_http`]) so a rack can be scraped with `curl` while a
-//! workload runs.
+//! protocol traffic) plus bounded, lock-free latency histograms — an
+//! end-to-end one and per-phase ones (Lin ack wait, worker handoff,
+//! invalidation fan-out) that attribute where a slow write spends its
+//! time. The registry renders in the Prometheus text exposition format
+//! and can be served over a minimal HTTP/1.0 endpoint ([`serve_http`])
+//! so a rack can be scraped with `curl` while a workload runs.
+//!
+//! Histograms are fixed-bucket log-linear ([`AtomicHistogram`]): 16
+//! sub-buckets per power of two, so storage is a constant ~8 KB per
+//! histogram no matter how many samples land (a raw-sample `Vec` grew 8 B
+//! per op — 80 MB per 10M-op run) and quantile estimates stay within
+//! 1/16 ≈ 6% of exact. Recording is one atomic add on a bucket counter;
+//! the hottest histograms are additionally striped across lanes
+//! ([`ShardedHistogram`]) keyed by recording thread, so reactor shards
+//! and workers never contend on a cache line — the previous
+//! mutex-guarded histogram serialized every operation on one lock.
 
-use parking_lot::Mutex;
 use reactor::{Events, Interest, Poller, Token, Waker, WriteBuf};
-use simnet::Histogram;
 use std::collections::HashMap;
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Exact single-value buckets at the head of the layout (values `0..16`).
+const LINEAR_BUCKETS: usize = 16;
+
+/// Sub-buckets per power of two above the linear range.
+const SUB_BUCKETS: usize = 16;
+
+/// Total buckets: the linear head plus 16 sub-buckets for each power of
+/// two from 2^4 through 2^63.
+const BUCKETS: usize = LINEAR_BUCKETS + 60 * SUB_BUCKETS;
+
+/// Lanes used by the hot-path [`ShardedHistogram`]s.
+const HISTOGRAM_LANES: usize = 8;
+
+fn bucket_index(value: u64) -> usize {
+    if value < LINEAR_BUCKETS as u64 {
+        value as usize
+    } else {
+        // value in [2^k, 2^(k+1)) with k >= 4; the top four bits below
+        // the leading one select the sub-bucket.
+        let k = 63 - value.leading_zeros() as usize;
+        let sub = ((value >> (k - 4)) & (SUB_BUCKETS as u64 - 1)) as usize;
+        LINEAR_BUCKETS + (k - 4) * SUB_BUCKETS + sub
+    }
+}
+
+/// Largest value mapping to bucket `idx` (inclusive).
+fn bucket_upper_edge(idx: usize) -> u64 {
+    if idx < LINEAR_BUCKETS {
+        idx as u64
+    } else {
+        let k = (idx - LINEAR_BUCKETS) / SUB_BUCKETS + 4;
+        let m = ((idx - LINEAR_BUCKETS) % SUB_BUCKETS) as u64;
+        // The final bucket's edge (2^64 - 1) wraps through zero.
+        ((16 + m + 1) << (k - 4)).wrapping_sub(1)
+    }
+}
+
+/// A bounded lock-free histogram: log-linear fixed buckets, one relaxed
+/// atomic add per sample, constant memory forever.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomicHistogram {
+    /// An empty histogram (allocates its full fixed bucket array).
+    pub fn new() -> Self {
+        AtomicHistogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Heap bytes held — constant for the histogram's lifetime.
+    pub fn heap_bytes(&self) -> usize {
+        self.buckets.len() * std::mem::size_of::<AtomicU64>()
+    }
+
+    /// A point-in-time copy of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Per-thread lane picker for [`ShardedHistogram`]: each recording
+/// thread is pinned to one lane for its lifetime, so concurrent
+/// recorders touch distinct cache lines.
+fn histogram_lane(lanes: usize) -> usize {
+    use std::cell::Cell;
+    static NEXT_LANE: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static LANE: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    LANE.with(|lane| {
+        let mut id = lane.get();
+        if id == usize::MAX {
+            id = NEXT_LANE.fetch_add(1, Ordering::Relaxed);
+            lane.set(id);
+        }
+        id % lanes
+    })
+}
+
+/// A lane-striped [`AtomicHistogram`] for the hottest recording sites:
+/// every thread records into its own lane, lanes merge at snapshot time.
+#[derive(Debug)]
+pub struct ShardedHistogram {
+    lanes: Vec<AtomicHistogram>,
+}
+
+impl Default for ShardedHistogram {
+    fn default() -> Self {
+        Self::new(HISTOGRAM_LANES)
+    }
+}
+
+impl ShardedHistogram {
+    /// A histogram striped over `lanes` lanes (minimum 1).
+    pub fn new(lanes: usize) -> Self {
+        ShardedHistogram {
+            lanes: (0..lanes.max(1)).map(|_| AtomicHistogram::new()).collect(),
+        }
+    }
+
+    /// Records one sample into the calling thread's lane.
+    pub fn record(&self, value: u64) {
+        self.lanes[histogram_lane(self.lanes.len())].record(value);
+    }
+
+    /// Samples recorded across all lanes.
+    pub fn count(&self) -> u64 {
+        self.lanes.iter().map(AtomicHistogram::count).sum()
+    }
+
+    /// Heap bytes held — constant for the histogram's lifetime.
+    pub fn heap_bytes(&self) -> usize {
+        self.lanes.iter().map(AtomicHistogram::heap_bytes).sum()
+    }
+
+    /// A merged point-in-time copy of every lane.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut merged = self.lanes[0].snapshot();
+        for lane in &self.lanes[1..] {
+            merged.merge(&lane.snapshot());
+        }
+        merged
+    }
+}
+
+/// A point-in-time copy of an [`AtomicHistogram`]'s buckets, with
+/// quantile and export helpers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Adds another snapshot's counts into this one.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; other.buckets.len()];
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Arithmetic mean, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.count as f64
+    }
+
+    /// The `p`-th percentile (0 < p ≤ 100) as the upper edge of the
+    /// bucket holding that rank — within 1/16 above the exact sample.
+    /// Returns 0 if empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!(p > 0.0 && p <= 100.0);
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_edge(idx);
+            }
+        }
+        bucket_upper_edge(self.buckets.len() - 1)
+    }
+
+    /// The occupied buckets as `(inclusive upper edge, count)` pairs, in
+    /// ascending edge order — the full distribution, exportable.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(idx, &n)| (bucket_upper_edge(idx), n))
+            .collect()
+    }
+}
 
 /// A point-in-time copy of every counter plus latency percentiles (ns).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -94,6 +324,38 @@ pub struct MetricsSnapshot {
     pub latency_p50_ns: u64,
     /// 99th-percentile operation latency in nanoseconds.
     pub latency_p99_ns: u64,
+    /// The full end-to-end latency distribution as
+    /// `(inclusive upper edge ns, count)` bucket pairs.
+    pub latency_buckets: Vec<(u64, u64)>,
+    /// Lin writes that waited for invalidation acks.
+    pub lin_ack_wait_count: u64,
+    /// Median time a Lin write spent waiting for its ack round (ns).
+    pub lin_ack_wait_p50_ns: u64,
+    /// 99th-percentile Lin ack wait (ns).
+    pub lin_ack_wait_p99_ns: u64,
+    /// Jobs whose shard-to-worker handoff was timed.
+    pub worker_handoff_count: u64,
+    /// Median time a job sat queued between shard and worker (ns).
+    pub worker_handoff_p50_ns: u64,
+    /// 99th-percentile worker handoff (ns).
+    pub worker_handoff_p99_ns: u64,
+    /// Writes whose coherence fan-out (enqueue toward every peer) was
+    /// timed.
+    pub fanout_count: u64,
+    /// Median fan-out time (ns).
+    pub fanout_p50_ns: u64,
+    /// 99th-percentile fan-out time (ns).
+    pub fanout_p99_ns: u64,
+    /// Median reactor shard loop lap (one poll + dispatch round, ns).
+    pub loop_lap_p50_ns: u64,
+    /// 99th-percentile reactor shard loop lap (ns).
+    pub loop_lap_p99_ns: u64,
+    /// Jobs sitting in the worker queue right now (gauge).
+    pub worker_queue_depth: u64,
+    /// Trace events recorded into this node's sink.
+    pub trace_events: u64,
+    /// Trace events dropped because a sink ring lane was full.
+    pub trace_dropped: u64,
 }
 
 impl MetricsSnapshot {
@@ -138,9 +400,16 @@ pub struct Metrics {
     reissued_invalidations: AtomicU64,
     parked_messages: AtomicU64,
     parked_dropped: AtomicU64,
-    batch_sizes: Mutex<Histogram>,
-    credit_stall_hist: Mutex<Histogram>,
-    latency: Mutex<Histogram>,
+    worker_queue_depth: AtomicU64,
+    trace_events: AtomicU64,
+    trace_dropped: AtomicU64,
+    batch_sizes: AtomicHistogram,
+    credit_stall_hist: AtomicHistogram,
+    latency: ShardedHistogram,
+    lin_ack_wait: ShardedHistogram,
+    worker_handoff: ShardedHistogram,
+    fanout: ShardedHistogram,
+    loop_lap: ShardedHistogram,
 }
 
 impl Metrics {
@@ -214,7 +483,7 @@ impl Metrics {
     pub fn record_batch(&self, ops: u64) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.batched_ops.fetch_add(ops, Ordering::Relaxed);
-        self.batch_sizes.lock().record(ops);
+        self.batch_sizes.record(ops);
     }
 
     /// Records one accepted connection now registered with the reactor.
@@ -249,7 +518,7 @@ impl Metrics {
     pub fn record_credit_stall_ns(&self, nanos: u64) {
         self.credit_stalls.fetch_add(1, Ordering::Relaxed);
         self.credit_stall_ns.fetch_add(nanos, Ordering::Relaxed);
-        self.credit_stall_hist.lock().record(nanos);
+        self.credit_stall_hist.record(nanos);
     }
 
     /// Records one successful peer-link reconnect (redial handshake
@@ -281,40 +550,77 @@ impl Metrics {
         self.parked_dropped.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Records one end-to-end operation latency in nanoseconds.
+    /// Records one end-to-end operation latency in nanoseconds
+    /// (lock-free: one atomic add into the calling thread's lane).
     pub fn record_latency_ns(&self, nanos: u64) {
-        self.latency.lock().record(nanos);
+        self.latency.record(nanos);
+    }
+
+    /// Records the time a Lin write spent blocked on its invalidation
+    /// ack round (initiate → last ack).
+    pub fn record_lin_ack_wait_ns(&self, nanos: u64) {
+        self.lin_ack_wait.record(nanos);
+    }
+
+    /// Records the time a job sat queued between a reactor shard and
+    /// the worker that picked it up.
+    pub fn record_worker_handoff_ns(&self, nanos: u64) {
+        self.worker_handoff.record(nanos);
+    }
+
+    /// Records the time a write spent enqueueing its coherence fan-out
+    /// toward every peer link.
+    pub fn record_fanout_ns(&self, nanos: u64) {
+        self.fanout.record(nanos);
+    }
+
+    /// Records one reactor shard loop lap (poll + dispatch round).
+    pub fn record_loop_lap_ns(&self, nanos: u64) {
+        self.loop_lap.record(nanos);
+    }
+
+    /// Sets the worker-queue depth gauge.
+    pub fn set_worker_queue_depth(&self, depth: u64) {
+        self.worker_queue_depth.store(depth, Ordering::Relaxed);
+    }
+
+    /// Records `n` trace events captured into this node's sink.
+    pub fn record_trace_events(&self, n: u64) {
+        self.trace_events.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Sets the cumulative count of trace events dropped by full rings.
+    pub fn set_trace_dropped(&self, n: u64) {
+        self.trace_dropped.store(n, Ordering::Relaxed);
+    }
+
+    /// The merged end-to-end latency distribution.
+    pub fn latency_histogram(&self) -> HistogramSnapshot {
+        self.latency.snapshot()
     }
 
     /// Takes a consistent snapshot (percentiles computed here).
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let mut latency = self.latency.lock();
-        let latency_count = latency.count();
-        let (p50, p99, mean) = if latency_count == 0 {
-            (0, 0, 0.0)
-        } else {
-            (
-                latency.percentile(50.0),
-                latency.percentile(99.0),
-                latency.mean(),
-            )
-        };
-        let (batch_ops_p50, batch_ops_p99) = {
-            let mut sizes = self.batch_sizes.lock();
-            if sizes.count() == 0 {
+        fn quantiles(snap: &HistogramSnapshot) -> (u64, u64) {
+            if snap.count == 0 {
                 (0, 0)
             } else {
-                (sizes.percentile(50.0), sizes.percentile(99.0))
+                (snap.percentile(50.0), snap.percentile(99.0))
             }
-        };
-        let credit_stall_p99_ns = {
-            let mut stalls = self.credit_stall_hist.lock();
-            if stalls.count() == 0 {
-                0
-            } else {
-                stalls.percentile(99.0)
-            }
-        };
+        }
+        let latency = self.latency.snapshot();
+        let latency_count = latency.count as usize;
+        let (p50, p99) = quantiles(&latency);
+        let mean = latency.mean();
+        let (batch_ops_p50, batch_ops_p99) = quantiles(&self.batch_sizes.snapshot());
+        let (_, credit_stall_p99_ns) = quantiles(&self.credit_stall_hist.snapshot());
+        let lin_ack_wait = self.lin_ack_wait.snapshot();
+        let (lin_ack_wait_p50_ns, lin_ack_wait_p99_ns) = quantiles(&lin_ack_wait);
+        let worker_handoff = self.worker_handoff.snapshot();
+        let (worker_handoff_p50_ns, worker_handoff_p99_ns) = quantiles(&worker_handoff);
+        let fanout = self.fanout.snapshot();
+        let (fanout_p50_ns, fanout_p99_ns) = quantiles(&fanout);
+        let (loop_lap_p50_ns, loop_lap_p99_ns) = quantiles(&self.loop_lap.snapshot());
         MetricsSnapshot {
             gets: self.gets.load(Ordering::Relaxed),
             puts: self.puts.load(Ordering::Relaxed),
@@ -350,6 +656,21 @@ impl Metrics {
             latency_mean_ns: mean,
             latency_p50_ns: p50,
             latency_p99_ns: p99,
+            latency_buckets: latency.nonzero_buckets(),
+            lin_ack_wait_count: lin_ack_wait.count,
+            lin_ack_wait_p50_ns,
+            lin_ack_wait_p99_ns,
+            worker_handoff_count: worker_handoff.count,
+            worker_handoff_p50_ns,
+            worker_handoff_p99_ns,
+            fanout_count: fanout.count,
+            fanout_p50_ns,
+            fanout_p99_ns,
+            loop_lap_p50_ns,
+            loop_lap_p99_ns,
+            worker_queue_depth: self.worker_queue_depth.load(Ordering::Relaxed),
+            trace_events: self.trace_events.load(Ordering::Relaxed),
+            trace_dropped: self.trace_dropped.load(Ordering::Relaxed),
         }
     }
 
@@ -464,6 +785,16 @@ impl Metrics {
             "Messages dropped because a dead peer's park overflowed.",
             snap.parked_dropped,
         );
+        counter(
+            "trace_events_total",
+            "Trace events recorded into the node's sink.",
+            snap.trace_events,
+        );
+        counter(
+            "trace_dropped_total",
+            "Trace events dropped because a sink ring lane was full.",
+            snap.trace_dropped,
+        );
         for (suffix, value) in [
             ("batch_ops_p50", snap.batch_ops_p50),
             ("batch_ops_p99", snap.batch_ops_p99),
@@ -472,6 +803,18 @@ impl Metrics {
             ("reactor_shards", snap.reactor_shards),
             ("reactor_workers", snap.reactor_workers),
             ("parked_messages", snap.parked_messages),
+            ("lin_ack_wait_count", snap.lin_ack_wait_count),
+            ("lin_ack_wait_p50_ns", snap.lin_ack_wait_p50_ns),
+            ("lin_ack_wait_p99_ns", snap.lin_ack_wait_p99_ns),
+            ("worker_handoff_count", snap.worker_handoff_count),
+            ("worker_handoff_p50_ns", snap.worker_handoff_p50_ns),
+            ("worker_handoff_p99_ns", snap.worker_handoff_p99_ns),
+            ("fanout_count", snap.fanout_count),
+            ("fanout_p50_ns", snap.fanout_p50_ns),
+            ("fanout_p99_ns", snap.fanout_p99_ns),
+            ("loop_lap_p50_ns", snap.loop_lap_p50_ns),
+            ("loop_lap_p99_ns", snap.loop_lap_p99_ns),
+            ("worker_queue_depth", snap.worker_queue_depth),
         ] {
             out.push_str(&format!(
                 "# TYPE cckvs_{suffix} gauge\ncckvs_{suffix}{{node=\"{node_label}\"}} {value}\n"
@@ -496,6 +839,20 @@ impl Metrics {
                 "# TYPE cckvs_latency_{suffix} gauge\ncckvs_latency_{suffix}{{node=\"{node_label}\"}} {value}\n"
             ));
         }
+        // The full end-to-end distribution, Prometheus histogram style
+        // (cumulative counts per inclusive upper edge).
+        out.push_str("# TYPE cckvs_latency_ns histogram\n");
+        let mut cumulative = 0u64;
+        for (edge, count) in &snap.latency_buckets {
+            cumulative += count;
+            out.push_str(&format!(
+                "cckvs_latency_ns_bucket{{node=\"{node_label}\",le=\"{edge}\"}} {cumulative}\n"
+            ));
+        }
+        out.push_str(&format!(
+            "cckvs_latency_ns_bucket{{node=\"{node_label}\",le=\"+Inf\"}} {}\n",
+            snap.latency_count
+        ));
         out
     }
 }
@@ -567,6 +924,20 @@ pub fn serve_http(
     node_label: String,
     metrics: Arc<Metrics>,
 ) -> std::io::Result<MetricsServer> {
+    serve_http_traced(addr, node_label, metrics, None)
+}
+
+/// Like [`serve_http`], additionally adopting drain duty for a node's
+/// trace sink: the scrape thread periodically moves events out of the
+/// lock-free rings into the sink's bounded store (and mirrors the
+/// recorded/dropped totals into the registry), so ring lanes stay empty
+/// even when nobody scrapes or dumps.
+pub fn serve_http_traced(
+    addr: SocketAddr,
+    node_label: String,
+    metrics: Arc<Metrics>,
+    sink: Option<Arc<cckvs_trace::TraceSink>>,
+) -> std::io::Result<MetricsServer> {
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
     let local = listener.local_addr()?;
@@ -590,6 +961,7 @@ pub fn serve_http(
                 thread_running,
                 node_label,
                 metrics,
+                sink,
             )
         })?;
     Ok(MetricsServer {
@@ -600,6 +972,11 @@ pub fn serve_http(
     })
 }
 
+/// How often the scrape thread drains the trace rings when it also owns
+/// a sink (bounds how long events sit in a ring lane).
+const TRACE_DRAIN_INTERVAL: std::time::Duration = std::time::Duration::from_millis(100);
+
+#[allow(clippy::too_many_arguments)]
 fn scrape_loop(
     listener: TcpListener,
     poller: Poller,
@@ -607,16 +984,26 @@ fn scrape_loop(
     running: Arc<AtomicBool>,
     node_label: String,
     metrics: Arc<Metrics>,
+    sink: Option<Arc<cckvs_trace::TraceSink>>,
 ) {
     let mut events = Events::with_capacity(64);
     let mut conns: HashMap<u64, ScrapeConn> = HashMap::new();
     let mut next_token = 16u64;
     let mut listener_paused = false;
+    // With a sink to drain, wake on a timer even when nobody scrapes.
+    let wait_timeout = sink.as_ref().map(|_| TRACE_DRAIN_INTERVAL);
     while running.load(Ordering::SeqCst) {
-        if poller.wait(&mut events, None).is_err() {
+        if poller.wait(&mut events, wait_timeout).is_err() {
             continue;
         }
         waker.drain();
+        if let Some(sink) = &sink {
+            let drained = sink.drain();
+            if drained > 0 {
+                metrics.record_trace_events(drained as u64);
+            }
+            metrics.set_trace_dropped(sink.dropped());
+        }
         if !running.load(Ordering::SeqCst) {
             break;
         }
@@ -761,6 +1148,15 @@ mod tests {
         assert!((snap.hit_rate() - 0.75).abs() < 1e-9);
     }
 
+    /// Bucketed quantile estimates land within 1/16 above the exact
+    /// sample (the bucket's inclusive upper edge).
+    fn assert_close(estimate: u64, exact: u64) {
+        assert!(
+            estimate >= exact && estimate <= exact + exact / 16 + 1,
+            "estimate {estimate} not within 1/16 above exact {exact}"
+        );
+    }
+
     #[test]
     fn latency_percentiles() {
         let m = Metrics::new();
@@ -769,9 +1165,111 @@ mod tests {
         }
         let snap = m.snapshot();
         assert_eq!(snap.latency_count, 100);
-        assert_eq!(snap.latency_p50_ns, 50_000);
-        assert_eq!(snap.latency_p99_ns, 99_000);
-        assert!(snap.latency_mean_ns > 0.0);
+        assert_close(snap.latency_p50_ns, 50_000);
+        assert_close(snap.latency_p99_ns, 99_000);
+        assert!((snap.latency_mean_ns - 50_500.0).abs() < 1e-9);
+        // The exported buckets reconstruct the full count.
+        let total: u64 = snap.latency_buckets.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 100);
+        assert!(
+            snap.latency_buckets.windows(2).all(|w| w[0].0 < w[1].0),
+            "bucket edges must ascend"
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_are_exact_small_and_log_linear_large() {
+        let h = AtomicHistogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        // Small values are exact: percentile rank k+1 returns value k.
+        assert_eq!(snap.percentile(50.0), 7);
+        assert_eq!(snap.percentile(100.0), 15);
+        // Large values are within 1/16.
+        let h = AtomicHistogram::new();
+        for v in [1_000_000u64, 2_000_000, u64::MAX / 2, u64::MAX] {
+            h.record(v);
+            let snap = h.snapshot();
+            let p100 = snap.percentile(100.0);
+            assert!(p100 >= v, "edge {p100} below sample {v}");
+            assert!(
+                (p100 as u128) <= (v as u128) + (v as u128) / 16 + 1,
+                "edge {p100} too far above sample {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_histogram_merges_across_recording_threads() {
+        let h = Arc::new(ShardedHistogram::new(4));
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1_000_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 4000);
+        assert_close(snap.percentile(100.0), 3_000_999);
+    }
+
+    /// Satellite: a 10M-sample run holds constant memory. The previous
+    /// raw-sample histogram grew 8 B per op (80 MB for this run); the
+    /// fixed-bucket histogram's heap is identical before and after.
+    #[test]
+    fn ten_million_samples_hold_constant_memory() {
+        let m = Metrics::new();
+        let before = m.latency.heap_bytes() + m.credit_stall_hist.heap_bytes();
+        for i in 0..10_000_000u64 {
+            m.record_latency_ns(i & 0xFFFFF);
+        }
+        let after = m.latency.heap_bytes() + m.credit_stall_hist.heap_bytes();
+        assert_eq!(before, after, "histogram memory must not grow with samples");
+        assert!(
+            after < 256 * 1024,
+            "histogram footprint should be tens of KB, got {after}"
+        );
+        assert_eq!(m.snapshot().latency_count, 10_000_000);
+    }
+
+    #[test]
+    fn per_phase_histograms_surface_in_snapshot_and_render() {
+        let m = Metrics::new();
+        m.record_lin_ack_wait_ns(120_000);
+        m.record_worker_handoff_ns(3_000);
+        m.record_fanout_ns(900);
+        m.record_loop_lap_ns(40_000);
+        m.set_worker_queue_depth(5);
+        m.record_trace_events(17);
+        m.set_trace_dropped(2);
+        let snap = m.snapshot();
+        assert_eq!(snap.lin_ack_wait_count, 1);
+        assert_close(snap.lin_ack_wait_p99_ns, 120_000);
+        assert_eq!(snap.worker_handoff_count, 1);
+        assert_close(snap.worker_handoff_p50_ns, 3_000);
+        assert_eq!(snap.fanout_count, 1);
+        assert_close(snap.fanout_p99_ns, 900);
+        assert_close(snap.loop_lap_p99_ns, 40_000);
+        assert_eq!(snap.worker_queue_depth, 5);
+        assert_eq!(snap.trace_events, 17);
+        assert_eq!(snap.trace_dropped, 2);
+        let text = m.render("n7");
+        assert!(text.contains("cckvs_lin_ack_wait_p99_ns{node=\"n7\"}"));
+        assert!(text.contains("cckvs_worker_handoff_p50_ns{node=\"n7\"}"));
+        assert!(text.contains("cckvs_fanout_p99_ns{node=\"n7\"}"));
+        assert!(text.contains("cckvs_loop_lap_p99_ns{node=\"n7\"}"));
+        assert!(text.contains("cckvs_worker_queue_depth{node=\"n7\"} 5"));
+        assert!(text.contains("cckvs_trace_events_total{node=\"n7\"} 17"));
+        assert!(text.contains("cckvs_latency_ns_bucket{node=\"n7\",le=\"+Inf\"} 0"));
     }
 
     #[test]
@@ -821,7 +1319,7 @@ mod tests {
         assert_eq!(snap.batch_ops_p99, 16);
         assert_eq!(snap.credit_stalls, 2);
         assert_eq!(snap.credit_stall_ns, 20_000);
-        assert_eq!(snap.credit_stall_p99_ns, 15_000);
+        assert_close(snap.credit_stall_p99_ns, 15_000);
         let text = m.render("n2");
         assert!(text.contains("cckvs_batches_total{node=\"n2\"} 4"));
         assert!(text.contains("cckvs_batched_ops_total{node=\"n2\"} 33"));

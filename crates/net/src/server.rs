@@ -63,6 +63,7 @@ use crate::client::Conn;
 use crate::metrics::{Metrics, MetricsServer};
 use crate::wire::{write_frame, BatchBuilder, Frame, FrameDecoder};
 use cckvs::node::{CachePut, CcNode, EvictHot, NodeConfig, Outgoing};
+use cckvs_trace::{Event as TraceEvent, EventKind, TraceSink, NO_PEER, SHARED_LANE};
 use consistency::engine::Destination;
 use consistency::lamport::{NodeId, Timestamp};
 use consistency::messages::ProtocolMsg;
@@ -296,8 +297,11 @@ enum ColdPut {
 }
 
 /// One protocol message queued toward a peer (value bytes
-/// broadcast-shared).
-type PeerMsg = (ProtocolMsg, Option<Arc<[u8]>>);
+/// broadcast-shared), plus the trace id it travels under when the
+/// originating client op was sampled — the id rides the link queue, the
+/// unacked replay tail and the wire envelope, so causality survives
+/// batching, credit stalls and reconnect replays.
+type PeerMsg = (ProtocolMsg, Option<Arc<[u8]>>, Option<u64>);
 
 /// The crash-surviving state of one outgoing peer link. The TCP connection
 /// comes and goes (adopted by the owning shard while up, redialed by a
@@ -363,6 +367,8 @@ enum Job {
         shard: usize,
         token: u64,
         frame: Frame,
+        trace: Option<u64>,
+        queued_at: Instant,
     },
     /// A Lin write was *initiated* inline on the shard (invalidations
     /// already shipped); only the commit wait and the response remain.
@@ -371,16 +377,21 @@ enum Job {
         token: u64,
         key: u64,
         ts: Timestamp,
+        trace: Option<u64>,
+        queued_at: Instant,
     },
     /// Resume a request batch the shard served partially inline: `done`
     /// responses are final, `wait` is an initiated Lin write to await
-    /// (its response follows `done`), `rest` still needs serving.
+    /// (its response follows `done`; the trace id is the sampled
+    /// sub-op's), `rest` still needs serving (sub-frames keep their
+    /// trace envelopes).
     Batch {
         shard: usize,
         token: u64,
         done: Vec<Frame>,
-        wait: Option<(u64, Timestamp)>,
+        wait: Option<(u64, Timestamp, Option<u64>)>,
         rest: Vec<Frame>,
+        queued_at: Instant,
     },
     /// Teardown poison: the receiving worker exits.
     Stop,
@@ -487,6 +498,11 @@ struct ServerInner {
     shards: OnceLock<Vec<Arc<ShardShared>>>,
     /// Feeds the blocking worker pool.
     job_tx: Sender<Job>,
+    /// Per-node trace event collector: one lock-free ring lane per
+    /// reactor shard plus a shared lane for workers and admin paths.
+    /// Drained by the metrics scraper (when enabled) and on demand by
+    /// [`Frame::TraceDump`].
+    sink: Arc<TraceSink>,
 }
 
 impl ServerInner {
@@ -500,11 +516,37 @@ impl ServerInner {
             .expect("no peer link to self")
     }
 
+    /// Records one trace event into `lane` — a no-op unless the op is
+    /// sampled (`trace` is `Some`), so the untraced hot path pays one
+    /// branch.
+    fn trace_event(&self, trace: Option<u64>, lane: u8, kind: EventKind, key: u64, peer: u8) {
+        if let Some(trace_id) = trace {
+            self.sink.record(TraceEvent {
+                trace_id,
+                t_ns: cckvs_trace::now_ns(),
+                key,
+                node: self.node.node() as u8,
+                shard: lane,
+                kind,
+                peer,
+            });
+        }
+    }
+
     /// Ships protocol messages produced by the local node to their peers:
     /// push to the per-peer link queues, wake the owning shards. Messages
     /// for a *down* peer park in its queue (bounded by [`PARK_MAX`]) until
     /// the redial thread brings the link back.
     fn ship(&self, outgoing: Vec<Outgoing>) {
+        self.ship_traced(outgoing, None);
+    }
+
+    /// [`ServerInner::ship`], stamping every queued message with the
+    /// sampled op's trace id so protocol traffic this op fans out (Lin
+    /// invalidations, acks, commit updates, SC broadcasts) stays causally
+    /// linked across nodes. Per-peer send events are recorded here — the
+    /// enqueue is the fan-out point.
+    fn ship_traced(&self, outgoing: Vec<Outgoing>, trace: Option<u64>) {
         if outgoing.is_empty() {
             return;
         }
@@ -525,9 +567,21 @@ impl ServerInner {
                         self.metrics.record_parked_drop();
                         return;
                     }
-                    queue.push_back((msg, bytes));
+                    queue.push_back((msg, bytes, trace));
                 }
                 self.metrics.record_protocol_out(1);
+                if trace.is_some() {
+                    let kind = match msg {
+                        ProtocolMsg::Invalidation { .. } => Some(EventKind::InvSend),
+                        ProtocolMsg::Update { .. } => Some(EventKind::UpdateSend),
+                        // The ack's arrival at the writer is the traced
+                        // moment (AckRecv); its enqueue adds nothing.
+                        ProtocolMsg::Ack { .. } => None,
+                    };
+                    if let Some(kind) = kind {
+                        self.trace_event(trace, SHARED_LANE, kind, msg.key(), peer as u8);
+                    }
+                }
                 // Re-check `up` AFTER the enqueue: the link can come up
                 // between the load above and the push (the adoption pump
                 // would then have drained an empty queue), and a parked-
@@ -716,6 +770,17 @@ impl ServerInner {
                 self.metrics.record_peer_replayed(replayed);
             }
             while let Some(msg) = unacked.pop_back() {
+                // A sampled op's message keeps its original trace id
+                // across the replay (exactly once — the requeued message
+                // IS the retained original); the Replay event marks the
+                // detour on the timeline.
+                self.trace_event(
+                    msg.2,
+                    SHARED_LANE,
+                    EventKind::Replay,
+                    msg.0.key(),
+                    peer as u8,
+                );
                 queue.push_front(msg);
             }
             let acked_now = link.acked_seq.load(Ordering::Acquire);
@@ -1210,6 +1275,7 @@ impl NodeServer {
         let (job_tx, job_rx) = unbounded();
         let me = cfg.node.node;
         let shard_count = cfg.reactor.shards;
+        let sink = Arc::new(TraceSink::new(shard_count));
         let node = CcNode::new(cfg.node);
         let hot_fence_marks: HashSet<u64> = cfg
             .hot_fence
@@ -1246,12 +1312,14 @@ impl NodeServer {
             rpc_retry: cfg.rpc_retry,
             shards: OnceLock::new(),
             job_tx,
+            sink: Arc::clone(&sink),
         });
         let metrics_server = match cfg.metrics_listen {
-            Some(addr) => Some(crate::metrics::serve_http(
+            Some(addr) => Some(crate::metrics::serve_http_traced(
                 addr,
                 format!("n{}", cfg.node.node),
                 metrics,
+                Some(sink),
             )?),
             None => None,
         };
@@ -1333,6 +1401,12 @@ impl NodeServer {
     /// The node's metrics registry.
     pub fn metrics(&self) -> Arc<Metrics> {
         Arc::clone(&self.inner.metrics)
+    }
+
+    /// The node's trace sink (drained by the metrics scraper when
+    /// enabled; dumped over the wire via [`Frame::TraceDump`]).
+    pub fn trace_sink(&self) -> Arc<TraceSink> {
+        Arc::clone(&self.inner.sink)
     }
 
     /// The underlying node (diagnostics).
@@ -1491,21 +1565,66 @@ enum ClientAction {
     Shutdown,
 }
 
+/// Splits a trace envelope off a frame (identity for untraced frames).
+fn peel_trace(frame: Frame) -> (Option<u64>, Frame) {
+    match frame {
+        Frame::Traced { id, inner } => (Some(id), *inner),
+        frame => (None, frame),
+    }
+}
+
+/// The key a client frame refers to, for trace event annotation.
+fn frame_key(frame: &Frame) -> u64 {
+    match frame {
+        Frame::Get { key } | Frame::Put { key, .. } => *key,
+        _ => 0,
+    }
+}
+
+/// Re-wraps a peeled frame in its trace envelope for a path that carries
+/// frames, not `(trace, frame)` pairs.
+fn rewrap_trace(trace: Option<u64>, frame: Frame) -> Frame {
+    match trace {
+        Some(id) => Frame::Traced {
+            id,
+            inner: Box::new(frame),
+        },
+        None => frame,
+    }
+}
+
 /// Serves one (non-batch) client frame. Shared by the inline, worker-pool
 /// and admin-thread paths, so where a frame executes changes scheduling
 /// and nothing else.
 fn serve_client_frame(inner: &ServerInner, frame: Frame) -> io::Result<ClientAction> {
+    let (trace, frame) = peel_trace(frame);
+    serve_client_frame_traced(inner, trace, frame)
+}
+
+fn serve_client_frame_traced(
+    inner: &ServerInner,
+    trace: Option<u64>,
+    frame: Frame,
+) -> io::Result<ClientAction> {
+    let key_hint = match &frame {
+        Frame::Get { key } | Frame::Put { key, .. } => *key,
+        _ => 0,
+    };
     let response = match frame {
         Frame::Get { key } => {
             inner.metrics.record_get();
             inner.observe(key);
-            serve_get(inner, key)?
+            serve_get(inner, trace, key)?
         }
         Frame::Put { key, value } => {
             inner.metrics.record_put();
             inner.observe(key);
-            serve_put(inner, key, &value)?
+            serve_put(inner, trace, key, &value)?
         }
+        Frame::TraceDump => Frame::TraceDumpResp {
+            dropped: inner.sink.dropped(),
+            events: inner.sink.dump(),
+        },
         Frame::InstallHot {
             key,
             value,
@@ -1567,10 +1686,11 @@ fn serve_client_frame(inner: &ServerInner, frame: Frame) -> io::Result<ClientAct
             ))
         }
     };
+    inner.trace_event(trace, SHARED_LANE, EventKind::Respond, key_hint, NO_PEER);
     Ok(ClientAction::Respond(response))
 }
 
-fn serve_get(inner: &ServerInner, key: u64) -> io::Result<Frame> {
+fn serve_get(inner: &ServerInner, trace: Option<u64>, key: u64) -> io::Result<Frame> {
     let deadline = Instant::now() + HOT_TRANSITION_RETRY;
     let mut backoff = Duration::from_micros(50);
     loop {
@@ -1591,7 +1711,8 @@ fn serve_get(inner: &ServerInner, key: u64) -> io::Result<Frame> {
         let value = if home == inner.node.node() {
             inner.cold_get(key)
         } else {
-            match inner.rpc(home, &Frame::MissGet { key })? {
+            inner.trace_event(trace, SHARED_LANE, EventKind::MissRpc, key, home as u8);
+            match inner.rpc(home, &rewrap_trace(trace, Frame::MissGet { key }))? {
                 Frame::MissGetResp { value } => Some(value),
                 Frame::MissRetry => None,
                 other => {
@@ -1633,23 +1754,37 @@ fn serve_get(inner: &ServerInner, key: u64) -> io::Result<Frame> {
 /// this bound only matters if the coordinator dies mid-reconfiguration).
 const HOT_TRANSITION_RETRY: Duration = Duration::from_secs(5);
 
-fn serve_put(inner: &ServerInner, key: u64, value: &[u8]) -> io::Result<Frame> {
+fn serve_put(inner: &ServerInner, trace: Option<u64>, key: u64, value: &[u8]) -> io::Result<Frame> {
     let deadline = Instant::now() + HOT_TRANSITION_RETRY;
     let mut backoff = Duration::from_micros(50);
     loop {
         let tag = inner.tags.fetch_add(1, Ordering::Relaxed);
         match inner.node.cache_put(key, value, tag) {
             CachePut::Done { ts, outgoing } => {
-                inner.ship(outgoing);
+                let fanout = Instant::now();
+                inner.ship_traced(outgoing, trace);
+                inner
+                    .metrics
+                    .record_fanout_ns(fanout.elapsed().as_nanos() as u64);
                 inner.metrics.record_cache(true);
                 return Ok(Frame::PutResp { cached: true, ts });
             }
             CachePut::Pending { ts, outgoing } => {
-                inner.ship(outgoing);
+                inner.trace_event(trace, SHARED_LANE, EventKind::LinInitiate, key, NO_PEER);
+                let fanout = Instant::now();
+                inner.ship_traced(outgoing, trace);
+                inner
+                    .metrics
+                    .record_fanout_ns(fanout.elapsed().as_nanos() as u64);
                 // Blocking write (Lin): the reactor shard that delivers
                 // the final ack signals the commit. This is why writes run
                 // on the worker pool, never on a shard.
+                let wait = Instant::now();
                 inner.node.wait_committed(key, ts);
+                inner
+                    .metrics
+                    .record_lin_ack_wait_ns(wait.elapsed().as_nanos() as u64);
+                inner.trace_event(trace, SHARED_LANE, EventKind::CommitFire, key, NO_PEER);
                 inner.metrics.record_cache(true);
                 return Ok(Frame::PutResp { cached: true, ts });
             }
@@ -1670,14 +1805,18 @@ fn serve_put(inner: &ServerInner, key: u64, value: &[u8]) -> io::Result<Frame> {
                 ColdPut::Rejected(message) => return Ok(Frame::Error { message }),
             }
         } else {
+            inner.trace_event(trace, SHARED_LANE, EventKind::MissRpc, key, home as u8);
             match inner.rpc(
                 home,
-                &Frame::MissPut {
-                    key,
-                    tag: tag as u32,
-                    writer: me,
-                    value: value.to_vec(),
-                },
+                &rewrap_trace(
+                    trace,
+                    Frame::MissPut {
+                        key,
+                        tag: tag as u32,
+                        writer: me,
+                        value: value.to_vec(),
+                    },
+                ),
             ) {
                 Ok(Frame::MissPutResp { ts }) => Some(ts),
                 Ok(Frame::MissRetry) => None,
@@ -1722,12 +1861,31 @@ fn serve_put(inner: &ServerInner, key: u64, value: &[u8]) -> io::Result<Frame> {
 /// Handles one non-batch frame arriving on a peer link. Returns how many
 /// flow-controlled messages it consumed (credit confirmations themselves
 /// are free: they must flow even when the window is closed).
-fn deliver_peer_frame(inner: &ServerInner, from: usize, frame: Frame) -> io::Result<u64> {
+fn deliver_peer_frame(
+    inner: &ServerInner,
+    shard: usize,
+    from: usize,
+    frame: Frame,
+) -> io::Result<u64> {
+    let (trace, frame) = peel_trace(frame);
     match frame {
         Frame::Protocol { msg, bytes } => {
             inner.metrics.record_protocol_in(1);
+            if trace.is_some() {
+                let kind = match msg {
+                    // The ack landing at the blocked writer is its own
+                    // span point: the per-peer gap between the
+                    // invalidation send and this arrival is the ack wait.
+                    ProtocolMsg::Ack { .. } => EventKind::AckRecv,
+                    _ => EventKind::ProtocolRecv,
+                };
+                inner.trace_event(trace, shard as u8, kind, msg.key(), from as u8);
+            }
+            // Anything this delivery fans out (the ack answering an
+            // invalidation, the commit update ending a round) inherits
+            // the trace id — causality crosses the node boundary.
             let outgoing = inner.node.deliver(&msg, bytes.as_deref());
-            inner.ship(outgoing);
+            inner.ship_traced(outgoing, trace);
             Ok(1)
         }
         Frame::Credit { cum, gen } => {
@@ -1764,7 +1922,25 @@ fn deliver_peer_frame(inner: &ServerInner, from: usize, frame: Frame) -> io::Res
 /// Serves one miss-path RPC frame. Every arm is a lock-protected state
 /// update that never waits on another message, which is what allows RPC
 /// links to be served inline on a reactor shard.
-fn serve_rpc_frame(inner: &ServerInner, frame: Frame) -> io::Result<Frame> {
+fn serve_rpc_frame(inner: &ServerInner, shard: usize, frame: Frame) -> io::Result<Frame> {
+    let (trace, frame) = peel_trace(frame);
+    if trace.is_some() {
+        let key_hint = match &frame {
+            Frame::MissGet { key }
+            | Frame::MissPut { key, .. }
+            | Frame::WriteBack { key, .. }
+            | Frame::HotMark { key }
+            | Frame::HotUnmark { key } => *key,
+            _ => 0,
+        };
+        inner.trace_event(
+            trace,
+            shard as u8,
+            EventKind::ProtocolRecv,
+            key_hint,
+            NO_PEER,
+        );
+    }
     Ok(match frame {
         Frame::MissGet { key } => match inner.cold_get(key) {
             Some(value) => Frame::MissGetResp { value },
@@ -1827,8 +2003,8 @@ fn serve_rpc_frame(inner: &ServerInner, frame: Frame) -> io::Result<Frame> {
 /// Executes one client frame to completion, returning the encoded
 /// response bytes and whether the connection should close. Runs on a
 /// worker or an ephemeral admin thread — never on a shard.
-fn execute_client_job(inner: &ServerInner, frame: Frame) -> (Vec<u8>, bool) {
-    match serve_client_frame(inner, frame) {
+fn execute_client_job(inner: &ServerInner, trace: Option<u64>, frame: Frame) -> (Vec<u8>, bool) {
+    match serve_client_frame_traced(inner, trace, frame) {
         Ok(ClientAction::Respond(response)) => {
             let mut bytes = Vec::new();
             write_frame(&mut bytes, &response).expect("vec write");
@@ -1845,16 +2021,32 @@ fn execute_client_job(inner: &ServerInner, frame: Frame) -> (Vec<u8>, bool) {
 fn execute_batch_job(
     inner: &ServerInner,
     done: Vec<Frame>,
-    wait: Option<(u64, Timestamp)>,
+    wait: Option<(u64, Timestamp, Option<u64>)>,
     rest: Vec<Frame>,
 ) -> (Vec<u8>, bool) {
     let mut responses = done;
-    if let Some((key, ts)) = wait {
+    if let Some((key, ts, trace)) = wait {
+        let started = Instant::now();
         inner.node.wait_committed(key, ts);
+        inner
+            .metrics
+            .record_lin_ack_wait_ns(started.elapsed().as_nanos() as u64);
+        inner.trace_event(trace, SHARED_LANE, EventKind::CommitFire, key, NO_PEER);
         responses.push(Frame::PutResp { cached: true, ts });
     }
     for sub in rest {
-        match serve_client_frame(inner, sub) {
+        // The rest travels re-wrapped: peel each sub-frame's trace
+        // context here so its span chain starts with a decode event like
+        // the inline-served sub-frames.
+        let (trace, sub) = peel_trace(sub);
+        inner.trace_event(
+            trace,
+            SHARED_LANE,
+            EventKind::Decode,
+            frame_key(&sub),
+            NO_PEER,
+        );
+        match serve_client_frame_traced(inner, trace, sub) {
             Ok(ClientAction::Respond(response)) => responses.push(response),
             Ok(ClientAction::Shutdown) => return (Vec::new(), true),
             Err(_) => return (Vec::new(), true),
@@ -1874,8 +2066,14 @@ fn worker_loop(inner: Arc<ServerInner>, rx: Receiver<Job>) {
                 shard,
                 token,
                 frame,
+                trace,
+                queued_at,
             } => {
-                let (bytes, close) = execute_client_job(&inner, frame);
+                inner
+                    .metrics
+                    .record_worker_handoff_ns(queued_at.elapsed().as_nanos() as u64);
+                inner.trace_event(trace, SHARED_LANE, EventKind::HandoffDequeue, 0, NO_PEER);
+                let (bytes, close) = execute_client_job(&inner, trace, frame);
                 inner.complete(shard, token, bytes, close);
             }
             Job::Wait {
@@ -1883,8 +2081,20 @@ fn worker_loop(inner: Arc<ServerInner>, rx: Receiver<Job>) {
                 token,
                 key,
                 ts,
+                trace,
+                queued_at,
             } => {
+                inner
+                    .metrics
+                    .record_worker_handoff_ns(queued_at.elapsed().as_nanos() as u64);
+                inner.trace_event(trace, SHARED_LANE, EventKind::HandoffDequeue, key, NO_PEER);
+                let started = Instant::now();
                 inner.node.wait_committed(key, ts);
+                inner
+                    .metrics
+                    .record_lin_ack_wait_ns(started.elapsed().as_nanos() as u64);
+                inner.trace_event(trace, SHARED_LANE, EventKind::CommitFire, key, NO_PEER);
+                inner.trace_event(trace, SHARED_LANE, EventKind::Respond, key, NO_PEER);
                 let mut bytes = Vec::new();
                 write_frame(&mut bytes, &Frame::PutResp { cached: true, ts }).expect("vec write");
                 inner.complete(shard, token, bytes, false);
@@ -1895,7 +2105,11 @@ fn worker_loop(inner: Arc<ServerInner>, rx: Receiver<Job>) {
                 done,
                 wait,
                 rest,
+                queued_at,
             } => {
+                inner
+                    .metrics
+                    .record_worker_handoff_ns(queued_at.elapsed().as_nanos() as u64);
                 let (bytes, close) = execute_batch_job(&inner, done, wait, rest);
                 inner.complete(shard, token, bytes, close);
             }
@@ -1966,7 +2180,7 @@ enum Inline {
 ///
 /// Metrics and popularity observation here mirror [`serve_client_frame`]
 /// exactly; a frame is counted once wherever it ends up executing.
-fn try_serve_inline(inner: &ServerInner, frame: Frame) -> Inline {
+fn try_serve_inline(inner: &ServerInner, shard: usize, trace: Option<u64>, frame: Frame) -> Inline {
     match frame {
         Frame::Get { key } => match inner.node.cache().read(key) {
             ReadOutcome::Hit { value, ts } => {
@@ -1990,14 +2204,23 @@ fn try_serve_inline(inner: &ServerInner, frame: Frame) -> Inline {
             let tag = inner.tags.fetch_add(1, Ordering::Relaxed);
             match inner.node.try_cache_put(key, &value, tag) {
                 Some(CachePut::Done { ts, outgoing }) => {
-                    inner.ship(outgoing);
+                    let fanout = Instant::now();
+                    inner.ship_traced(outgoing, trace);
+                    inner
+                        .metrics
+                        .record_fanout_ns(fanout.elapsed().as_nanos() as u64);
                     inner.metrics.record_put();
                     inner.observe(key);
                     inner.metrics.record_cache(true);
                     Inline::Respond(Frame::PutResp { cached: true, ts })
                 }
                 Some(CachePut::Pending { ts, outgoing }) => {
-                    inner.ship(outgoing);
+                    inner.trace_event(trace, shard as u8, EventKind::LinInitiate, key, NO_PEER);
+                    let fanout = Instant::now();
+                    inner.ship_traced(outgoing, trace);
+                    inner
+                        .metrics
+                        .record_fanout_ns(fanout.elapsed().as_nanos() as u64);
                     inner.metrics.record_put();
                     inner.observe(key);
                     inner.metrics.record_cache(true);
@@ -2169,6 +2392,9 @@ impl Shard {
             if !self.inner.running.load(Ordering::SeqCst) {
                 break;
             }
+            // Loop-lap: time spent processing one wakeup's worth of work
+            // (poll wait excluded) — the reactor's headroom gauge.
+            let lap_started = Instant::now();
             let mut dirty: Vec<u64> = Vec::new();
             let mut accept = false;
             for event in events.iter() {
@@ -2200,6 +2426,9 @@ impl Shard {
             for token in dirty {
                 self.advance(token);
             }
+            self.inner
+                .metrics
+                .record_loop_lap_ns(lap_started.elapsed().as_nanos() as u64);
         }
         self.teardown();
     }
@@ -2558,6 +2787,14 @@ impl Shard {
             let Some(frame) = pending.pop_front() else {
                 break;
             };
+            let (trace, frame) = peel_trace(frame);
+            self.inner.trace_event(
+                trace,
+                self.id as u8,
+                EventKind::Decode,
+                frame_key(&frame),
+                NO_PEER,
+            );
             match frame {
                 // A coalesced request batch: serve sub-frames inline while
                 // they stay non-blocking; the first one that must block
@@ -2570,15 +2807,40 @@ impl Shard {
                     let mut iter = frames.into_iter();
                     let mut wait = None;
                     let mut first_blocked = None;
+                    let mut handoff_trace = None;
                     for sub in iter.by_ref() {
-                        match try_serve_inline(&self.inner, sub) {
-                            Inline::Respond(response) => responses.push(response),
+                        // Sub-frames carry their own trace envelopes: a
+                        // sampled op stays causally linked through the
+                        // client-side coalescing.
+                        let (sub_trace, sub) = peel_trace(sub);
+                        self.inner.trace_event(
+                            sub_trace,
+                            self.id as u8,
+                            EventKind::Decode,
+                            frame_key(&sub),
+                            NO_PEER,
+                        );
+                        match try_serve_inline(&self.inner, self.id, sub_trace, sub) {
+                            Inline::Respond(response) => {
+                                self.inner.trace_event(
+                                    sub_trace,
+                                    self.id as u8,
+                                    EventKind::Respond,
+                                    0,
+                                    NO_PEER,
+                                );
+                                responses.push(response);
+                            }
                             Inline::Pending { key, ts } => {
-                                wait = Some((key, ts));
+                                wait = Some((key, ts, sub_trace));
+                                handoff_trace = sub_trace;
                                 break;
                             }
                             Inline::Offload(frame) | Inline::AdminOffload(frame) => {
-                                first_blocked = Some(frame);
+                                handoff_trace = sub_trace;
+                                // Re-wrap: the rest of the batch travels
+                                // as frames, and the worker re-peels.
+                                first_blocked = Some(rewrap_trace(sub_trace, frame));
                                 break;
                             }
                             Inline::Shutdown | Inline::Fail => return true,
@@ -2592,6 +2854,13 @@ impl Shard {
                         rest.extend(first_blocked);
                         rest.extend(iter);
                         *inflight = true;
+                        self.inner.trace_event(
+                            handoff_trace,
+                            self.id as u8,
+                            EventKind::HandoffEnqueue,
+                            0,
+                            NO_PEER,
+                        );
                         // The ephemeral-thread rule for reconfiguration
                         // admin frames holds inside batches too: a batch
                         // whose remainder carries one must not occupy a
@@ -2622,12 +2891,23 @@ impl Shard {
                                 done: responses,
                                 wait,
                                 rest,
+                                queued_at: Instant::now(),
                             });
+                            self.inner
+                                .metrics
+                                .set_worker_queue_depth(self.inner.job_tx.len() as u64);
                         }
                     }
                 }
-                frame => match try_serve_inline(&self.inner, frame) {
+                frame => match try_serve_inline(&self.inner, self.id, trace, frame) {
                     Inline::Respond(response) => {
+                        self.inner.trace_event(
+                            trace,
+                            self.id as u8,
+                            EventKind::Respond,
+                            0,
+                            NO_PEER,
+                        );
                         write_frame(conn.writebuf.writer(), &response).expect("vec write");
                     }
                     // A Lin write initiated inline: only the commit wait
@@ -2635,21 +2915,45 @@ impl Shard {
                     Inline::Pending { key, ts } => {
                         *inflight = true;
                         self.inner.metrics.record_worker_job();
+                        self.inner.trace_event(
+                            trace,
+                            self.id as u8,
+                            EventKind::HandoffEnqueue,
+                            key,
+                            NO_PEER,
+                        );
                         let _ = self.inner.job_tx.send(Job::Wait {
                             shard: self.id,
                             token,
                             key,
                             ts,
+                            trace,
+                            queued_at: Instant::now(),
                         });
+                        self.inner
+                            .metrics
+                            .set_worker_queue_depth(self.inner.job_tx.len() as u64);
                     }
                     Inline::Offload(frame) => {
                         *inflight = true;
                         self.inner.metrics.record_worker_job();
+                        self.inner.trace_event(
+                            trace,
+                            self.id as u8,
+                            EventKind::HandoffEnqueue,
+                            frame_key(&frame),
+                            NO_PEER,
+                        );
                         let _ = self.inner.job_tx.send(Job::Client {
                             shard: self.id,
                             token,
                             frame,
+                            trace,
+                            queued_at: Instant::now(),
                         });
+                        self.inner
+                            .metrics
+                            .set_worker_queue_depth(self.inner.job_tx.len() as u64);
                     }
                     // Reconfiguration admin frames nest wire RPCs back
                     // into the deployment; an ephemeral thread each keeps
@@ -2661,7 +2965,7 @@ impl Shard {
                         let spawned = std::thread::Builder::new()
                             .name("cckvs-admin".to_string())
                             .spawn(move || {
-                                let (bytes, close) = execute_client_job(&inner, frame);
+                                let (bytes, close) = execute_client_job(&inner, trace, frame);
                                 inner.complete(shard, token, bytes, close);
                             });
                         if spawned.is_err() {
@@ -2696,14 +3000,14 @@ impl Shard {
                         Frame::Batch { frames } => {
                             let mut processed = 0;
                             for sub in frames {
-                                match deliver_peer_frame(&self.inner, from, sub) {
+                                match deliver_peer_frame(&self.inner, self.id, from, sub) {
                                     Ok(n) => processed += n,
                                     Err(_) => return true,
                                 }
                             }
                             processed
                         }
-                        other => match deliver_peer_frame(&self.inner, from, other) {
+                        other => match deliver_peer_frame(&self.inner, self.id, from, other) {
                             Ok(n) => n,
                             Err(_) => return true,
                         },
@@ -2723,7 +3027,7 @@ impl Shard {
     fn step_rpc(&mut self, conn: &mut ConnState) -> bool {
         loop {
             match conn.decoder.next_frame() {
-                Ok(Some(frame)) => match serve_rpc_frame(&self.inner, frame) {
+                Ok(Some(frame)) => match serve_rpc_frame(&self.inner, self.id, frame) {
                     Ok(response) => {
                         write_frame(conn.writebuf.writer(), &response).expect("vec write");
                     }
@@ -2814,16 +3118,26 @@ impl Shard {
                     stalled = true;
                 } else if take > 0 {
                     if let Some(started) = stall_started.take() {
-                        inner
-                            .metrics
-                            .record_credit_stall_ns(started.elapsed().as_nanos() as u64);
+                        let stalled_ns = started.elapsed().as_nanos() as u64;
+                        inner.metrics.record_credit_stall_ns(stalled_ns);
+                        // If the message that waited out the stall at the
+                        // queue front is traced, pin the stall onto its
+                        // timeline (the `key` field carries the ns).
+                        let front_trace = queue.front().and_then(|m| m.2);
+                        inner.trace_event(
+                            front_trace,
+                            self.id as u8,
+                            EventKind::CreditStall,
+                            stalled_ns,
+                            peer as u8,
+                        );
                     }
                 }
                 take
             };
             let mut packed = 0u64;
             while packed < granted {
-                let (msg, bytes) = queue.front().expect("granted <= queue.len()");
+                let (msg, bytes, trace) = queue.front().expect("granted <= queue.len()");
                 // Byte bound: op count alone would let a burst of large
                 // values coalesce past MAX_FRAME_BYTES, and the receiver
                 // drops an oversized frame together with the whole peer
@@ -2833,7 +3147,7 @@ impl Shard {
                 if builder.count() > 0 && projected > PEER_BATCH_MAX_BYTES {
                     break;
                 }
-                builder.push_protocol(msg, bytes.as_deref());
+                builder.push_protocol_traced(*trace, msg, bytes.as_deref());
                 let item = queue.pop_front().expect("front exists");
                 if running {
                     // Retain until the peer confirms processing: this is

@@ -24,6 +24,7 @@
 //! 5-byte `(clock: u32, writer: u8)` pair the paper packs into its object
 //! header.
 
+use cckvs_trace::{Event, EventKind};
 use consistency::lamport::{NodeId, Timestamp};
 use consistency::messages::ProtocolMsg;
 use std::io::{self, Read, Write};
@@ -45,6 +46,12 @@ pub enum WireError {
     /// could otherwise nest ~3M levels into one 16 MB frame and overflow
     /// the decoder's stack).
     NestedBatch,
+    /// A [`Frame::Traced`] wrapped another trace envelope or a batch.
+    /// Trace context annotates exactly one ordinary frame (a batch's
+    /// sub-frames carry their own envelopes), which — together with
+    /// [`WireError::NestedBatch`] — keeps decode depth bounded at
+    /// batch → traced → frame.
+    NestedTrace,
 }
 
 impl std::fmt::Display for WireError {
@@ -54,6 +61,9 @@ impl std::fmt::Display for WireError {
             WireError::BadOpcode(op) => write!(f, "unknown opcode {op:#x}"),
             WireError::Oversized(n) => write!(f, "frame of {n} bytes exceeds limit"),
             WireError::NestedBatch => write!(f, "batch frames cannot nest"),
+            WireError::NestedTrace => {
+                write!(f, "trace envelopes wrap a single non-batch frame")
+            }
         }
     }
 }
@@ -103,7 +113,10 @@ mod opcode {
     pub const VERSION_FLOOR_RESP: u8 = 0x55;
     pub const CACHE_KEYS: u8 = 0x56;
     pub const CACHE_KEYS_RESP: u8 = 0x57;
+    pub const TRACE_DUMP: u8 = 0x58;
+    pub const TRACE_DUMP_RESP: u8 = 0x59;
     pub const BATCH: u8 = 0x60;
+    pub const TRACED: u8 = 0x7F;
     pub const CREDIT: u8 = 0x61;
     pub const ERROR: u8 = 0x7E;
 }
@@ -387,6 +400,32 @@ pub enum Frame {
         /// The cached keys, in no particular order.
         keys: Vec<u64>,
     },
+    /// Trace-context envelope: annotates one ordinary frame with the
+    /// rack-wide trace id of the sampled client operation it belongs to.
+    /// Receivers that trace record span events against `id` and then
+    /// process `inner` exactly as if it had arrived bare; responses
+    /// travel unwrapped (the sampler already knows the id). Envelopes
+    /// wrap single frames only — a batch's sub-frames carry their own —
+    /// and an envelope on a peer link consumes the flow-control credit
+    /// of its inner frame.
+    Traced {
+        /// The operation's rack-wide trace id (nonzero by convention).
+        id: u64,
+        /// The annotated frame.
+        inner: Box<Frame>,
+    },
+    /// Asks the node for its retained trace events (admin path). The
+    /// node drains its per-shard rings and returns the bounded store;
+    /// `cckvs-trace` merges dumps from every node into per-op timelines.
+    TraceDump,
+    /// Response to [`Frame::TraceDump`].
+    TraceDumpResp {
+        /// Events dropped node-side because a ring lane was full (a
+        /// nonzero value means dumped timelines may have holes).
+        dropped: u64,
+        /// The retained events, oldest first.
+        events: Vec<Event>,
+    },
     /// Liveness probe.
     Ping,
     /// Response to [`Frame::Ping`].
@@ -668,6 +707,30 @@ impl Frame {
                     buf.extend_from_slice(&key.to_le_bytes());
                 }
             }
+            Frame::Traced { id, inner } => {
+                debug_assert!(
+                    !matches!(**inner, Frame::Traced { .. } | Frame::Batch { .. }),
+                    "trace envelopes wrap a single non-batch frame"
+                );
+                buf.push(opcode::TRACED);
+                buf.extend_from_slice(&id.to_le_bytes());
+                buf.extend_from_slice(&inner.encode());
+            }
+            Frame::TraceDump => buf.push(opcode::TRACE_DUMP),
+            Frame::TraceDumpResp { dropped, events } => {
+                buf.push(opcode::TRACE_DUMP_RESP);
+                buf.extend_from_slice(&dropped.to_le_bytes());
+                buf.extend_from_slice(&(events.len() as u32).to_le_bytes());
+                for ev in events {
+                    buf.extend_from_slice(&ev.trace_id.to_le_bytes());
+                    buf.extend_from_slice(&ev.t_ns.to_le_bytes());
+                    buf.extend_from_slice(&ev.key.to_le_bytes());
+                    buf.push(ev.node);
+                    buf.push(ev.shard);
+                    buf.push(ev.kind as u8);
+                    buf.push(ev.peer);
+                }
+            }
             Frame::Ping => buf.push(opcode::PING),
             Frame::Pong => buf.push(opcode::PONG),
             Frame::Shutdown => buf.push(opcode::SHUTDOWN),
@@ -809,6 +872,49 @@ impl Frame {
                 }
                 Frame::CacheKeysResp { keys }
             }
+            opcode::TRACED => {
+                let id = cur.u64()?;
+                let rest = cur.take(payload.len() - 9)?;
+                match rest.first() {
+                    Some(&opcode::TRACED) | Some(&opcode::BATCH) => {
+                        return Err(WireError::NestedTrace)
+                    }
+                    _ => {}
+                }
+                Frame::Traced {
+                    id,
+                    inner: Box::new(Frame::decode(rest)?),
+                }
+            }
+            opcode::TRACE_DUMP => Frame::TraceDump,
+            opcode::TRACE_DUMP_RESP => {
+                let dropped = cur.u64()?;
+                let count = cur.u32()? as usize;
+                // Growth proportional to bytes present, not the claimed
+                // count (same discipline as batch decoding).
+                let mut events = Vec::new();
+                for _ in 0..count {
+                    let trace_id = cur.u64()?;
+                    let t_ns = cur.u64()?;
+                    let key = cur.u64()?;
+                    let node = cur.u8()?;
+                    let shard = cur.u8()?;
+                    let kind_byte = cur.u8()?;
+                    let kind =
+                        EventKind::from_u8(kind_byte).ok_or(WireError::BadOpcode(kind_byte))?;
+                    let peer = cur.u8()?;
+                    events.push(Event {
+                        trace_id,
+                        t_ns,
+                        key,
+                        node,
+                        shard,
+                        kind,
+                        peer,
+                    });
+                }
+                Frame::TraceDumpResp { dropped, events }
+            }
             opcode::PING => Frame::Ping,
             opcode::PONG => Frame::Pong,
             opcode::SHUTDOWN => Frame::Shutdown,
@@ -892,7 +998,23 @@ impl BatchBuilder {
 
     /// Appends a protocol message whose value bytes are held externally.
     pub fn push_protocol(&mut self, msg: &ProtocolMsg, bytes: Option<&[u8]>) {
-        let mut encoded = Vec::with_capacity(32 + bytes.map_or(0, <[u8]>::len));
+        self.push_protocol_traced(None, msg, bytes);
+    }
+
+    /// Appends a protocol message, wrapped in a [`Frame::Traced`]
+    /// envelope when the message belongs to a sampled operation — still
+    /// without materialising intermediate [`Frame`] values.
+    pub fn push_protocol_traced(
+        &mut self,
+        trace: Option<u64>,
+        msg: &ProtocolMsg,
+        bytes: Option<&[u8]>,
+    ) {
+        let mut encoded = Vec::with_capacity(41 + bytes.map_or(0, <[u8]>::len));
+        if let Some(id) = trace {
+            encoded.push(opcode::TRACED);
+            encoded.extend_from_slice(&id.to_le_bytes());
+        }
         put_protocol(&mut encoded, msg, bytes);
         self.buf
             .extend_from_slice(&(encoded.len() as u32).to_le_bytes());
@@ -1181,12 +1303,117 @@ mod tests {
             Frame::CacheKeysResp {
                 keys: vec![0, 7, u64::MAX],
             },
+            Frame::Traced {
+                id: 0xDEAD_BEEF_CAFE,
+                inner: Box::new(Frame::Put {
+                    key: 42,
+                    value: b"sampled".to_vec(),
+                }),
+            },
+            Frame::Traced {
+                id: 1,
+                inner: Box::new(Frame::Protocol {
+                    msg: ProtocolMsg::Ack {
+                        key: 9,
+                        ts,
+                        from: NodeId(2),
+                    },
+                    bytes: None,
+                }),
+            },
+            Frame::Batch {
+                frames: vec![
+                    Frame::Traced {
+                        id: 7,
+                        inner: Box::new(Frame::Get { key: 1 }),
+                    },
+                    Frame::Get { key: 2 },
+                ],
+            },
+            Frame::TraceDump,
+            Frame::TraceDumpResp {
+                dropped: 0,
+                events: Vec::new(),
+            },
+            Frame::TraceDumpResp {
+                dropped: 3,
+                events: vec![
+                    Event {
+                        trace_id: u64::MAX,
+                        t_ns: 1_700_000_000_000_000_000,
+                        key: 42,
+                        node: 2,
+                        shard: 0,
+                        kind: EventKind::LinInitiate,
+                        peer: cckvs_trace::NO_PEER,
+                    },
+                    Event {
+                        trace_id: 5,
+                        t_ns: 0,
+                        key: 0,
+                        node: 0,
+                        shard: cckvs_trace::SHARED_LANE,
+                        kind: EventKind::AckRecv,
+                        peer: 1,
+                    },
+                ],
+            },
             Frame::Ping,
             Frame::Pong,
             Frame::Shutdown,
         ] {
             roundtrip(frame);
         }
+    }
+
+    #[test]
+    fn nested_trace_envelopes_are_rejected() {
+        // Hand-encode (encode() debug-asserts against nesting): an
+        // envelope wrapping an envelope, and an envelope wrapping a batch.
+        let inner = Frame::Traced {
+            id: 2,
+            inner: Box::new(Frame::Ping),
+        }
+        .encode();
+        let mut traced_traced = vec![super::opcode::TRACED];
+        traced_traced.extend_from_slice(&1u64.to_le_bytes());
+        traced_traced.extend_from_slice(&inner);
+        assert_eq!(Frame::decode(&traced_traced), Err(WireError::NestedTrace));
+
+        let batch = Frame::Batch {
+            frames: vec![Frame::Ping],
+        }
+        .encode();
+        let mut traced_batch = vec![super::opcode::TRACED];
+        traced_batch.extend_from_slice(&1u64.to_le_bytes());
+        traced_batch.extend_from_slice(&batch);
+        assert_eq!(Frame::decode(&traced_batch), Err(WireError::NestedTrace));
+
+        // A truncated envelope (id but no inner frame) is a truncation.
+        let mut empty = vec![super::opcode::TRACED];
+        empty.extend_from_slice(&1u64.to_le_bytes());
+        assert_eq!(Frame::decode(&empty), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn trace_dump_resp_rejects_unknown_event_kind() {
+        let good = Frame::TraceDumpResp {
+            dropped: 0,
+            events: vec![Event {
+                trace_id: 1,
+                t_ns: 2,
+                key: 3,
+                node: 0,
+                shard: 0,
+                kind: EventKind::Decode,
+                peer: cckvs_trace::NO_PEER,
+            }],
+        };
+        let mut encoded = good.encode();
+        // The kind byte is the second-to-last byte of the single event.
+        let kind_at = encoded.len() - 2;
+        encoded[kind_at] = 0xEE;
+        assert_eq!(Frame::decode(&encoded), Err(WireError::BadOpcode(0xEE)));
     }
 
     #[test]
@@ -1235,6 +1462,36 @@ mod tests {
         // The builder resets after writing.
         assert_eq!(builder.count(), 0);
         assert_eq!(builder.bytes(), 0);
+    }
+
+    #[test]
+    fn batch_builder_traced_protocol_matches_frame_encoding() {
+        let ts = Timestamp::new(4, NodeId(2));
+        let msg = ProtocolMsg::Invalidation {
+            key: 3,
+            ts,
+            from: NodeId(2),
+        };
+        let mut builder = BatchBuilder::new();
+        builder.push_protocol_traced(Some(0xAB), &msg, None);
+        builder.push_protocol_traced(None, &msg, None);
+        let mut via_builder = Vec::new();
+        builder.write_to(&mut via_builder).unwrap();
+        let mut via_frame = Vec::new();
+        write_frame(
+            &mut via_frame,
+            &Frame::Batch {
+                frames: vec![
+                    Frame::Traced {
+                        id: 0xAB,
+                        inner: Box::new(Frame::Protocol { msg, bytes: None }),
+                    },
+                    Frame::Protocol { msg, bytes: None },
+                ],
+            },
+        )
+        .unwrap();
+        assert_eq!(via_builder, via_frame);
     }
 
     #[test]

@@ -262,6 +262,30 @@ impl Supervisor {
         reactor::send_signal(pid, reactor::SIGTERM)
     }
 
+    /// Fetches every node's trace buffer over the wire (`TraceDump` on
+    /// the client port): per node, the count of span events dropped at
+    /// ring overflow and the retained events — or `None` when the node
+    /// did not answer (down or mid-restart). Feed the per-node dumps to
+    /// [`cckvs_trace::assemble`] for one op's cross-node timeline.
+    pub fn collect_traces(&self) -> Vec<Option<(u64, Vec<cckvs_trace::Event>)>> {
+        self.shared
+            .topology
+            .nodes
+            .iter()
+            .map(|node| {
+                match admin_call(
+                    node.listen,
+                    &Frame::ClientHello,
+                    &Frame::TraceDump,
+                    Duration::from_secs(5),
+                ) {
+                    Some(Frame::TraceDumpResp { dropped, events }) => Some((dropped, events)),
+                    _ => None,
+                }
+            })
+            .collect()
+    }
+
     /// Stops supervising, gracefully terminates every node (SIGTERM, then
     /// SIGKILL for stragglers) and reaps the processes.
     pub fn shutdown(mut self) {

@@ -31,8 +31,8 @@ mod waker;
 pub use buffer::{ReadBuf, WriteBuf, READ_CHUNK};
 pub use poller::{Event, Events, Interest, Poller, Token};
 pub use sys::{
-    close_raw_fd, inheritable_pipe, listen_reuseaddr, raise_nofile_limit, send_signal,
-    set_socket_buffers, signal_pipe, write_raw_fd, SIGINT, SIGKILL, SIGTERM,
+    close_raw_fd, inheritable_pipe, listen_reuseaddr, raise_nofile_limit, reset_sigpipe,
+    send_signal, set_socket_buffers, signal_pipe, write_raw_fd, SIGINT, SIGKILL, SIGPIPE, SIGTERM,
 };
 pub use timer::TimerWheel;
 pub use waker::Waker;

@@ -303,6 +303,20 @@ pub fn signal_pipe(signals: &[i32]) -> io::Result<std::fs::File> {
     Ok(unsafe { std::fs::File::from_raw_fd(fds[0]) })
 }
 
+/// SIGPIPE signal number (Linux).
+pub const SIGPIPE: i32 = 13;
+
+/// Restores the default SIGPIPE disposition (terminate). Rust startup
+/// ignores SIGPIPE, so a CLI tool piped into `head` panics with a broken-
+/// pipe backtrace when the reader exits; tools meant for pipelines call
+/// this first and die quietly like every other Unix filter.
+pub fn reset_sigpipe() {
+    const SIG_DFL: usize = 0;
+    unsafe {
+        signal(SIGPIPE, SIG_DFL);
+    }
+}
+
 /// Sends `sig` to process `pid` (supervisor crash-injection and graceful
 /// termination).
 pub fn send_signal(pid: u32, sig: i32) -> io::Result<()> {
