@@ -110,8 +110,8 @@ struct NodePhases {
     node: usize,
     lin_ack_wait_p50_us: f64,
     lin_ack_wait_p99_us: f64,
-    worker_handoff_p50_us: f64,
-    worker_handoff_p99_us: f64,
+    continuation_fire_p50_us: f64,
+    continuation_fire_p99_us: f64,
     fanout_p50_us: f64,
     fanout_p99_us: f64,
     loop_lap_p99_us: f64,
@@ -224,8 +224,8 @@ fn run_point(cfg: Config, total_ops: u64, trace_every: u64) -> Point {
                 node,
                 lin_ack_wait_p50_us: us(snap.lin_ack_wait_p50_ns),
                 lin_ack_wait_p99_us: us(snap.lin_ack_wait_p99_ns),
-                worker_handoff_p50_us: us(snap.worker_handoff_p50_ns),
-                worker_handoff_p99_us: us(snap.worker_handoff_p99_ns),
+                continuation_fire_p50_us: us(snap.continuation_fire_p50_ns),
+                continuation_fire_p99_us: us(snap.continuation_fire_p99_ns),
                 fanout_p50_us: us(snap.fanout_p50_ns),
                 fanout_p99_us: us(snap.fanout_p99_ns),
                 loop_lap_p99_us: us(snap.loop_lap_p99_ns),
@@ -397,13 +397,13 @@ fn main() {
         let _ = writeln!(
             json,
             "    {{\"node\": {}, \"lin_ack_wait_p50_us\": {:.1}, \"lin_ack_wait_p99_us\": {:.1}, \
-             \"worker_handoff_p50_us\": {:.1}, \"worker_handoff_p99_us\": {:.1}, \
+             \"continuation_fire_p50_us\": {:.1}, \"continuation_fire_p99_us\": {:.1}, \
              \"fanout_p50_us\": {:.1}, \"fanout_p99_us\": {:.1}, \"loop_lap_p99_us\": {:.1}}}{}",
             ph.node,
             ph.lin_ack_wait_p50_us,
             ph.lin_ack_wait_p99_us,
-            ph.worker_handoff_p50_us,
-            ph.worker_handoff_p99_us,
+            ph.continuation_fire_p50_us,
+            ph.continuation_fire_p99_us,
             ph.fanout_p50_us,
             ph.fanout_p99_us,
             ph.loop_lap_p99_us,

@@ -66,6 +66,17 @@ impl PendingWrite {
         self.acked & PendingWrite::bit(from) != 0
     }
 
+    /// Acknowledgements still outstanding. Zero means the write's ack
+    /// round is complete — the next [`LinKeyState::step`] observing this
+    /// commits the write, which is the event continuation-based
+    /// transports key their pending-write completions off: when the ack
+    /// that drives `remaining()` to zero is delivered, the queued client
+    /// response fires from the delivery path instead of waking a parked
+    /// thread.
+    pub fn remaining(&self) -> u8 {
+        self.needed.saturating_sub(self.acks())
+    }
+
     fn bit(from: NodeId) -> u64 {
         debug_assert!(
             (from.0 as usize) < u64::BITS as usize,
@@ -195,7 +206,7 @@ impl LinKeyState {
                     return Vec::new();
                 }
                 pending.acked |= PendingWrite::bit(from);
-                if pending.acks() < pending.needed {
+                if pending.remaining() > 0 {
                     self.pending = Some(pending);
                     return Vec::new();
                 }
@@ -564,6 +575,7 @@ mod tests {
             .is_empty());
         let pending = st.pending.expect("still pending");
         assert_eq!(pending.acks(), 1);
+        assert_eq!(pending.remaining(), 1);
         assert!(pending.acked_by(P1));
         assert!(!pending.acked_by(P2));
         // The genuinely missing ack completes the write.

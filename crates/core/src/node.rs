@@ -23,7 +23,7 @@ use consistency::lamport::{NodeId, Timestamp};
 use consistency::messages::{ConsistencyModel, ProtocolMsg};
 use kvstore::{ConcurrencyModel, KvError, NodeKvs};
 use parking_lot::{Condvar, Mutex};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use symcache::{EvictOutcome, ReadOutcome, SymmetricCache, WriteOutcome};
 use workload::{KeyId, ShardMap};
@@ -147,13 +147,32 @@ pub enum CachePut {
     Miss,
 }
 
+/// A continuation registered for a pending Lin write, run when the final
+/// acknowledgement commits it (see [`CcNode::on_committed`]).
+pub type CommitHook = Box<dyn FnOnce() + Send>;
+
+/// Commit bookkeeping shared between the blocking and continuation APIs.
+/// One mutex guards both tables so registering a hook and firing a commit
+/// cannot interleave into a lost wakeup.
+#[derive(Default)]
+struct CommitTable {
+    /// Commits that fired before any waiter showed up (a blocking
+    /// [`CcNode::wait_committed`] caller consumes these, and
+    /// [`CcNode::on_committed`] fires immediately against them when the
+    /// final ack raced ahead of registration).
+    fired: HashSet<(u64, Timestamp)>,
+    /// Continuations registered by event-loop transports, fired inline
+    /// from the protocol-delivery path on the final ack.
+    hooks: HashMap<(u64, Timestamp), CommitHook>,
+}
+
 /// One transport-agnostic ccKVS server node.
 pub struct CcNode {
     cfg: NodeConfig,
     cache: SymmetricCache,
     kvs: NodeKvs,
     shards: ShardMap,
-    committed: Mutex<HashSet<(u64, Timestamp)>>,
+    committed: Mutex<CommitTable>,
     committed_cv: Condvar,
 }
 
@@ -185,7 +204,7 @@ impl CcNode {
                 cfg.value_capacity,
             ),
             shards: ShardMap::new(cfg.nodes, cfg.kvs_threads),
-            committed: Mutex::new(HashSet::new()),
+            committed: Mutex::new(CommitTable::default()),
             committed_cv: Condvar::new(),
         }
     }
@@ -398,19 +417,47 @@ impl CcNode {
     /// signals this through [`CcNode::deliver`]).
     pub fn wait_committed(&self, key: u64, ts: Timestamp) {
         let mut committed = self.committed.lock();
-        while !committed.remove(&(key, ts)) {
+        while !committed.fired.remove(&(key, ts)) {
             self.committed_cv.wait(&mut committed);
+        }
+    }
+
+    /// Registers a continuation for the pending Lin write `(key, ts)`
+    /// started by [`CcNode::cache_put`] / [`CcNode::try_cache_put`]:
+    /// instead of parking a thread in [`CcNode::wait_committed`], the hook
+    /// runs as soon as the write's per-node ack bitmask
+    /// ([`consistency::lin::PendingWrite`]) completes — inline on whatever
+    /// thread delivers the final acknowledgement through
+    /// [`CcNode::deliver`]. If the commit already fired (the final ack
+    /// raced ahead of registration), the hook runs immediately on the
+    /// calling thread. Each `(key, ts)` has exactly one waiter: a hook
+    /// *or* a blocked `wait_committed` caller, never both.
+    pub fn on_committed(&self, key: u64, ts: Timestamp, hook: CommitHook) {
+        let mut committed = self.committed.lock();
+        if committed.fired.remove(&(key, ts)) {
+            drop(committed);
+            hook();
+        } else {
+            committed.hooks.insert((key, ts), hook);
         }
     }
 
     /// Delivers a protocol message received from a peer, returning the
     /// messages to ship in response. Lin commits triggered by a final ack
-    /// are signalled to the blocked writer internally.
+    /// are signalled to the blocked writer internally — or, when the
+    /// writer registered a continuation via [`CcNode::on_committed`], the
+    /// hook runs here, on the delivery path, before this call returns.
     pub fn deliver(&self, msg: &ProtocolMsg, bytes: Option<&[u8]>) -> Vec<Outgoing> {
         let out = self.cache.deliver(msg, bytes);
         if let Some(ts) = out.committed {
-            self.committed.lock().insert((msg.key(), ts));
-            self.committed_cv.notify_all();
+            let mut committed = self.committed.lock();
+            if let Some(hook) = committed.hooks.remove(&(msg.key(), ts)) {
+                drop(committed);
+                hook();
+            } else {
+                committed.fired.insert((msg.key(), ts));
+                self.committed_cv.notify_all();
+            }
         }
         // One shared allocation for the committed value; the update
         // broadcast fans it out to every peer by pointer.
@@ -583,6 +630,61 @@ mod tests {
                 other => panic!("expected hit, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn commit_hook_fires_on_the_final_ack_delivery() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let nodes = rack(ConsistencyModel::Lin, 3);
+        for node in &nodes {
+            node.install_hot(7, b"old", Timestamp::ZERO);
+        }
+        let (ts, outgoing) = match nodes[0].cache_put(7, b"new", 5) {
+            CachePut::Pending { ts, outgoing } => (ts, outgoing),
+            other => panic!("expected pending Lin write, got {other:?}"),
+        };
+        // Register the continuation before any ack arrives: it must fire
+        // from inside the pump (the delivery path), not from a waiter.
+        let fired = Arc::new(AtomicBool::new(false));
+        let hook_fired = Arc::clone(&fired);
+        nodes[0].on_committed(
+            7,
+            ts,
+            Box::new(move || hook_fired.store(true, Ordering::SeqCst)),
+        );
+        assert!(!fired.load(Ordering::SeqCst));
+        pump(&nodes, 0, outgoing);
+        assert!(
+            fired.load(Ordering::SeqCst),
+            "the final ack must fire the registered continuation"
+        );
+    }
+
+    #[test]
+    fn commit_hook_registered_after_the_commit_fires_immediately() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let nodes = rack(ConsistencyModel::Lin, 3);
+        for node in &nodes {
+            node.install_hot(7, b"old", Timestamp::ZERO);
+        }
+        let (ts, outgoing) = match nodes[0].cache_put(7, b"new", 5) {
+            CachePut::Pending { ts, outgoing } => (ts, outgoing),
+            other => panic!("expected pending Lin write, got {other:?}"),
+        };
+        // All acks land before the registration (the race an event-loop
+        // transport must survive): the hook runs on the registering thread.
+        pump(&nodes, 0, outgoing);
+        let fired = Arc::new(AtomicBool::new(false));
+        let hook_fired = Arc::clone(&fired);
+        nodes[0].on_committed(
+            7,
+            ts,
+            Box::new(move || hook_fired.store(true, Ordering::SeqCst)),
+        );
+        assert!(
+            fired.load(Ordering::SeqCst),
+            "a hook registered after the commit must fire immediately"
+        );
     }
 
     #[test]

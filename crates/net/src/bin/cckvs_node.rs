@@ -51,7 +51,6 @@ struct Args {
     peer_timeout: u64,
     epoch_hot_set: Option<usize>,
     shards: usize,
-    workers: usize,
     ready_fd: Option<i32>,
     cold_floor: u32,
     hot_fence: Vec<u64>,
@@ -62,11 +61,13 @@ fn usage() -> ! {
         "usage: cckvs-node --node N --nodes M --listen ADDR --peers A,B,... \
          [--model sc|lin] [--metrics ADDR] [--cache-capacity N] \
          [--kvs-capacity N] [--value-capacity N] [--peer-timeout SECS] \
-         [--epoch-hot-set N] [--shards N] [--workers N] [--ready-fd FD]\n\
+         [--epoch-hot-set N] [--shards N] [--ready-fd FD]\n\
          [--cold-floor N] [--hot-fence K1,K2,...]\n\
-         --shards/--workers size the epoll reactor (shard event-loop\n\
-         threads and blocking-handler workers; thread count is independent\n\
-         of connection count).\n\
+         --shards sizes the epoll reactor (shard event-loop threads; every\n\
+         frame — including Lin commits and miss-path RPCs — is handled\n\
+         on-shard, so thread count is O(shards), independent of connection\n\
+         count). --workers N is accepted for compatibility but ignored: the\n\
+         blocking worker pool was replaced by on-shard continuations.\n\
          --epoch-hot-set makes this node the deployment's epoch coordinator:\n\
          it tracks popularity over the requests it serves and churns a hot\n\
          set of N keys across all nodes at every epoch (set it on exactly\n\
@@ -102,7 +103,6 @@ fn parse_args() -> Args {
         peer_timeout: 30,
         epoch_hot_set: None,
         shards: ReactorConfig::default().shards,
-        workers: ReactorConfig::default().workers,
         ready_fd: None,
         cold_floor: 0,
         hot_fence: Vec::new(),
@@ -156,7 +156,16 @@ fn parse_args() -> Args {
                     Some(value("--epoch-hot-set").parse().unwrap_or_else(|_| usage()))
             }
             "--shards" => args.shards = value("--shards").parse().unwrap_or_else(|_| usage()),
-            "--workers" => args.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
+            "--workers" => {
+                // Deprecated: the blocking worker pool is gone — every frame
+                // is handled on-shard. Parse (so old supervisor command
+                // lines keep working) and ignore.
+                let n: usize = value("--workers").parse().unwrap_or_else(|_| usage());
+                eprintln!(
+                    "cckvs-node: --workers {n} is deprecated and ignored: \
+                     frames are handled on-shard (no worker pool)"
+                );
+            }
             "--ready-fd" => {
                 args.ready_fd = Some(value("--ready-fd").parse().unwrap_or_else(|_| usage()))
             }
@@ -181,8 +190,8 @@ fn parse_args() -> Args {
         eprintln!("--node and --nodes are required (node < nodes)");
         usage();
     }
-    if args.shards == 0 || args.workers == 0 {
-        eprintln!("--shards and --workers must be at least 1");
+    if args.shards == 0 {
+        eprintln!("--shards must be at least 1");
         usage();
     }
     if args.peers.len() != args.nodes {
@@ -214,7 +223,6 @@ fn main() {
         flow: cckvs_net::server::FlowConfig::default(),
         reactor: ReactorConfig {
             shards: args.shards,
-            workers: args.workers,
         },
         rpc_retry: cckvs_net::server::DEFAULT_RPC_RETRY,
         cold_version_floor: args.cold_floor,

@@ -1,6 +1,6 @@
 //! `cckvs-trace` — assembles cross-node span dumps into per-op timelines.
 //!
-//! Every node records sampled span events (decode, worker handoff, Lin
+//! Every node records sampled span events (decode, miss RPCs, Lin
 //! initiate, per-peer invalidation send, ack arrival, commit fire, credit
 //! stalls, replay) into a bounded in-memory buffer, queryable over the
 //! client port via `Frame::TraceDump`. This tool fetches those buffers and
@@ -15,9 +15,9 @@
 //! cckvs-trace dump --servers 127.0.0.1:7000,127.0.0.1:7001 [--trace ID]
 //! ```
 //!
-//! Timelines are printed with per-phase durations: decode → worker
-//! handoff → invalidation fan-out → per-peer ack wait → commit fire →
-//! respond.
+//! Timelines are printed with per-phase durations: decode → invalidation
+//! fan-out → per-peer ack wait → commit fire (the queued response
+//! resuming on-shard) → respond.
 
 use cckvs_net::client::{collect_traces, Client};
 use cckvs_net::LoadBalancePolicy;
@@ -210,13 +210,6 @@ fn print_timeline(id: u64, timeline: &[Event]) {
         }
     };
     let decode = first(EventKind::Decode);
-    phase(
-        "handoff (queue wait)",
-        span(
-            first(EventKind::HandoffEnqueue),
-            first(EventKind::HandoffDequeue),
-        ),
-    );
     let initiate = first(EventKind::LinInitiate);
     phase("decode -> initiate", span(decode, initiate));
     phase(
@@ -241,6 +234,15 @@ fn print_timeline(id: u64, timeline: &[Event]) {
     phase(
         "initiate -> commit",
         span(initiate, first(EventKind::CommitFire)),
+    );
+    // Cross-shard resume delivery: the last ack commits the write, the
+    // owning shard fires the suspended op's continuation.
+    phase(
+        "resume (commit -> fire)",
+        span(
+            first(EventKind::CommitFire),
+            first(EventKind::ContinuationFire),
+        ),
     );
     phase("total (-> respond)", span(decode, last(EventKind::Respond)));
 }

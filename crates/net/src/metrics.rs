@@ -4,7 +4,7 @@
 //! [`crate::client::Client`]) owns a [`Metrics`] registry: lock-free
 //! counters for the serving breakdown (hits / misses / remote reads /
 //! protocol traffic) plus bounded, lock-free latency histograms — an
-//! end-to-end one and per-phase ones (Lin ack wait, worker handoff,
+//! end-to-end one and per-phase ones (Lin ack wait, continuation fire,
 //! invalidation fan-out) that attribute where a slow write spends its
 //! time. The registry renders in the Prometheus text exposition format
 //! and can be served over a minimal HTTP/1.0 endpoint ([`serve_http`])
@@ -17,7 +17,7 @@
 //! 1/16 ≈ 6% of exact. Recording is one atomic add on a bucket counter;
 //! the hottest histograms are additionally striped across lanes
 //! ([`ShardedHistogram`]) keyed by recording thread, so reactor shards
-//! and workers never contend on a cache line — the previous
+//! never contend on a cache line — the previous
 //! mutex-guarded histogram serialized every operation on one lock.
 
 use reactor::{Events, Interest, Poller, Token, Waker, WriteBuf};
@@ -292,10 +292,11 @@ pub struct MetricsSnapshot {
     pub conns_open: u64,
     /// Reactor shard threads serving this node.
     pub reactor_shards: u64,
-    /// Worker threads executing blocking request handlers.
+    /// Worker threads executing blocking request handlers. Always zero
+    /// since the continuation refactor removed the worker pool — kept on
+    /// the scrape surface so deployments (and CI) can assert the
+    /// zero-worker steady state.
     pub reactor_workers: u64,
-    /// Request jobs dispatched to the worker pool.
-    pub worker_jobs: u64,
     /// Client GETs answered inline on a reactor shard (cache hit without a
     /// worker-pool hop).
     pub inline_gets: u64,
@@ -333,12 +334,19 @@ pub struct MetricsSnapshot {
     pub lin_ack_wait_p50_ns: u64,
     /// 99th-percentile Lin ack wait (ns).
     pub lin_ack_wait_p99_ns: u64,
-    /// Jobs whose shard-to-worker handoff was timed.
-    pub worker_handoff_count: u64,
-    /// Median time a job sat queued between shard and worker (ns).
-    pub worker_handoff_p50_ns: u64,
-    /// 99th-percentile worker handoff (ns).
-    pub worker_handoff_p99_ns: u64,
+    /// Suspended ops whose continuation resume was timed (replaces the
+    /// retired worker-handoff phase: the continuation fire is the only
+    /// hop left between an op's wake-up event and its response).
+    pub continuation_fire_count: u64,
+    /// Median time from a suspended op's wake-up event (final ack, RPC
+    /// response, admin completion) to its continuation running on the
+    /// owning shard (ns).
+    pub continuation_fire_p50_ns: u64,
+    /// 99th-percentile continuation fire (ns).
+    pub continuation_fire_p99_ns: u64,
+    /// Correlated RPCs awaiting a response right now (gauge). Leaked
+    /// entries here mean a suspended op will hang until its deadline.
+    pub pending_rpcs: u64,
     /// Writes whose coherence fan-out (enqueue toward every peer) was
     /// timed.
     pub fanout_count: u64,
@@ -350,8 +358,6 @@ pub struct MetricsSnapshot {
     pub loop_lap_p50_ns: u64,
     /// 99th-percentile reactor shard loop lap (ns).
     pub loop_lap_p99_ns: u64,
-    /// Jobs sitting in the worker queue right now (gauge).
-    pub worker_queue_depth: u64,
     /// Trace events recorded into this node's sink.
     pub trace_events: u64,
     /// Trace events dropped because a sink ring lane was full.
@@ -391,7 +397,6 @@ pub struct Metrics {
     conns_open: AtomicU64,
     reactor_shards: AtomicU64,
     reactor_workers: AtomicU64,
-    worker_jobs: AtomicU64,
     inline_gets: AtomicU64,
     credit_stalls: AtomicU64,
     credit_stall_ns: AtomicU64,
@@ -400,14 +405,14 @@ pub struct Metrics {
     reissued_invalidations: AtomicU64,
     parked_messages: AtomicU64,
     parked_dropped: AtomicU64,
-    worker_queue_depth: AtomicU64,
+    pending_rpcs: AtomicU64,
     trace_events: AtomicU64,
     trace_dropped: AtomicU64,
     batch_sizes: AtomicHistogram,
     credit_stall_hist: AtomicHistogram,
     latency: ShardedHistogram,
     lin_ack_wait: ShardedHistogram,
-    worker_handoff: ShardedHistogram,
+    continuation_fire: ShardedHistogram,
     fanout: ShardedHistogram,
     loop_lap: ShardedHistogram,
 }
@@ -497,15 +502,13 @@ impl Metrics {
         self.conns_open.fetch_sub(1, Ordering::Relaxed);
     }
 
-    /// Sets the reactor topology gauges (shard and worker thread counts).
-    pub fn set_reactor_threads(&self, shards: u64, workers: u64) {
+    /// Sets the reactor topology gauge. The worker-thread gauge it used
+    /// to pair with is pinned at zero: every frame is handled on-shard,
+    /// and `cckvs_reactor_workers` stays on the scrape surface so that
+    /// invariant is assertable from outside the process.
+    pub fn set_reactor_shards(&self, shards: u64) {
         self.reactor_shards.store(shards, Ordering::Relaxed);
-        self.reactor_workers.store(workers, Ordering::Relaxed);
-    }
-
-    /// Records one request job handed to the worker pool.
-    pub fn record_worker_job(&self) {
-        self.worker_jobs.fetch_add(1, Ordering::Relaxed);
+        self.reactor_workers.store(0, Ordering::Relaxed);
     }
 
     /// Records one client GET answered inline on a reactor shard.
@@ -562,10 +565,17 @@ impl Metrics {
         self.lin_ack_wait.record(nanos);
     }
 
-    /// Records the time a job sat queued between a reactor shard and
-    /// the worker that picked it up.
-    pub fn record_worker_handoff_ns(&self, nanos: u64) {
-        self.worker_handoff.record(nanos);
+    /// Records the time from a suspended op's wake-up event (final ack
+    /// delivered, RPC response arrived, admin job finished) to its
+    /// continuation actually resuming on the owning shard.
+    pub fn record_continuation_fire_ns(&self, nanos: u64) {
+        self.continuation_fire.record(nanos);
+    }
+
+    /// Sets the pending correlated-RPC gauge (entries in the pending-RPC
+    /// table awaiting a response).
+    pub fn set_pending_rpcs(&self, n: u64) {
+        self.pending_rpcs.store(n, Ordering::Relaxed);
     }
 
     /// Records the time a write spent enqueueing its coherence fan-out
@@ -577,11 +587,6 @@ impl Metrics {
     /// Records one reactor shard loop lap (poll + dispatch round).
     pub fn record_loop_lap_ns(&self, nanos: u64) {
         self.loop_lap.record(nanos);
-    }
-
-    /// Sets the worker-queue depth gauge.
-    pub fn set_worker_queue_depth(&self, depth: u64) {
-        self.worker_queue_depth.store(depth, Ordering::Relaxed);
     }
 
     /// Records `n` trace events captured into this node's sink.
@@ -616,8 +621,8 @@ impl Metrics {
         let (_, credit_stall_p99_ns) = quantiles(&self.credit_stall_hist.snapshot());
         let lin_ack_wait = self.lin_ack_wait.snapshot();
         let (lin_ack_wait_p50_ns, lin_ack_wait_p99_ns) = quantiles(&lin_ack_wait);
-        let worker_handoff = self.worker_handoff.snapshot();
-        let (worker_handoff_p50_ns, worker_handoff_p99_ns) = quantiles(&worker_handoff);
+        let continuation_fire = self.continuation_fire.snapshot();
+        let (continuation_fire_p50_ns, continuation_fire_p99_ns) = quantiles(&continuation_fire);
         let fanout = self.fanout.snapshot();
         let (fanout_p50_ns, fanout_p99_ns) = quantiles(&fanout);
         let (loop_lap_p50_ns, loop_lap_p99_ns) = quantiles(&self.loop_lap.snapshot());
@@ -640,7 +645,6 @@ impl Metrics {
             conns_open: self.conns_open.load(Ordering::Relaxed),
             reactor_shards: self.reactor_shards.load(Ordering::Relaxed),
             reactor_workers: self.reactor_workers.load(Ordering::Relaxed),
-            worker_jobs: self.worker_jobs.load(Ordering::Relaxed),
             inline_gets: self.inline_gets.load(Ordering::Relaxed),
             batch_ops_p50,
             batch_ops_p99,
@@ -660,15 +664,15 @@ impl Metrics {
             lin_ack_wait_count: lin_ack_wait.count,
             lin_ack_wait_p50_ns,
             lin_ack_wait_p99_ns,
-            worker_handoff_count: worker_handoff.count,
-            worker_handoff_p50_ns,
-            worker_handoff_p99_ns,
+            continuation_fire_count: continuation_fire.count,
+            continuation_fire_p50_ns,
+            continuation_fire_p99_ns,
             fanout_count: fanout.count,
             fanout_p50_ns,
             fanout_p99_ns,
             loop_lap_p50_ns,
             loop_lap_p99_ns,
-            worker_queue_depth: self.worker_queue_depth.load(Ordering::Relaxed),
+            pending_rpcs: self.pending_rpcs.load(Ordering::Relaxed),
             trace_events: self.trace_events.load(Ordering::Relaxed),
             trace_dropped: self.trace_dropped.load(Ordering::Relaxed),
         }
@@ -746,11 +750,6 @@ impl Metrics {
             snap.conns_accepted,
         );
         counter(
-            "worker_jobs_total",
-            "Request jobs dispatched to the worker pool.",
-            snap.worker_jobs,
-        );
-        counter(
             "inline_gets_total",
             "Client GETs answered inline on a reactor shard.",
             snap.inline_gets,
@@ -806,15 +805,15 @@ impl Metrics {
             ("lin_ack_wait_count", snap.lin_ack_wait_count),
             ("lin_ack_wait_p50_ns", snap.lin_ack_wait_p50_ns),
             ("lin_ack_wait_p99_ns", snap.lin_ack_wait_p99_ns),
-            ("worker_handoff_count", snap.worker_handoff_count),
-            ("worker_handoff_p50_ns", snap.worker_handoff_p50_ns),
-            ("worker_handoff_p99_ns", snap.worker_handoff_p99_ns),
+            ("continuation_fire_count", snap.continuation_fire_count),
+            ("continuation_fire_p50_ns", snap.continuation_fire_p50_ns),
+            ("continuation_fire_p99_ns", snap.continuation_fire_p99_ns),
             ("fanout_count", snap.fanout_count),
             ("fanout_p50_ns", snap.fanout_p50_ns),
             ("fanout_p99_ns", snap.fanout_p99_ns),
             ("loop_lap_p50_ns", snap.loop_lap_p50_ns),
             ("loop_lap_p99_ns", snap.loop_lap_p99_ns),
-            ("worker_queue_depth", snap.worker_queue_depth),
+            ("pending_rpcs", snap.pending_rpcs),
         ] {
             out.push_str(&format!(
                 "# TYPE cckvs_{suffix} gauge\ncckvs_{suffix}{{node=\"{node_label}\"}} {value}\n"
@@ -1245,29 +1244,29 @@ mod tests {
     fn per_phase_histograms_surface_in_snapshot_and_render() {
         let m = Metrics::new();
         m.record_lin_ack_wait_ns(120_000);
-        m.record_worker_handoff_ns(3_000);
+        m.record_continuation_fire_ns(3_000);
         m.record_fanout_ns(900);
         m.record_loop_lap_ns(40_000);
-        m.set_worker_queue_depth(5);
+        m.set_pending_rpcs(5);
         m.record_trace_events(17);
         m.set_trace_dropped(2);
         let snap = m.snapshot();
         assert_eq!(snap.lin_ack_wait_count, 1);
         assert_close(snap.lin_ack_wait_p99_ns, 120_000);
-        assert_eq!(snap.worker_handoff_count, 1);
-        assert_close(snap.worker_handoff_p50_ns, 3_000);
+        assert_eq!(snap.continuation_fire_count, 1);
+        assert_close(snap.continuation_fire_p50_ns, 3_000);
         assert_eq!(snap.fanout_count, 1);
         assert_close(snap.fanout_p99_ns, 900);
         assert_close(snap.loop_lap_p99_ns, 40_000);
-        assert_eq!(snap.worker_queue_depth, 5);
+        assert_eq!(snap.pending_rpcs, 5);
         assert_eq!(snap.trace_events, 17);
         assert_eq!(snap.trace_dropped, 2);
         let text = m.render("n7");
         assert!(text.contains("cckvs_lin_ack_wait_p99_ns{node=\"n7\"}"));
-        assert!(text.contains("cckvs_worker_handoff_p50_ns{node=\"n7\"}"));
+        assert!(text.contains("cckvs_continuation_fire_p50_ns{node=\"n7\"}"));
         assert!(text.contains("cckvs_fanout_p99_ns{node=\"n7\"}"));
         assert!(text.contains("cckvs_loop_lap_p99_ns{node=\"n7\"}"));
-        assert!(text.contains("cckvs_worker_queue_depth{node=\"n7\"} 5"));
+        assert!(text.contains("cckvs_pending_rpcs{node=\"n7\"} 5"));
         assert!(text.contains("cckvs_trace_events_total{node=\"n7\"} 17"));
         assert!(text.contains("cckvs_latency_ns_bucket{node=\"n7\",le=\"+Inf\"} 0"));
     }

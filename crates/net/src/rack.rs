@@ -45,7 +45,7 @@ pub struct RackConfig {
     /// Peer-mesh batching and credit-based flow-control knobs, applied to
     /// every node.
     pub flow: FlowConfig,
-    /// Reactor topology (shard and worker threads), applied to every node.
+    /// Reactor topology (shard event-loop threads), applied to every node.
     pub reactor: ReactorConfig,
 }
 

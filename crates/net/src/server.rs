@@ -8,7 +8,8 @@
 //! flows through a per-peer outbox drained by the reactor under
 //! credit-based flow control.
 //!
-//! Concurrency model (PR 4 — replaces one thread per connection):
+//! Concurrency model (PR 7 — every frame handled on-shard, no worker
+//! pool):
 //!
 //! * **Reactor shards** ([`ReactorConfig::shards`] threads) own every
 //!   socket. Each connection is a nonblocking state machine: a streaming
@@ -19,19 +20,27 @@
 //! * **Protocol deliveries and miss-path RPC service run inline on the
 //!   shard** — they are lock-protected state updates that never wait on
 //!   other messages, so a shard can never deadlock against itself.
-//! * **Blocking request handlers** (Lin writes that wait for ack rounds,
-//!   miss-path RPCs to remote home shards, hot-transition retry loops) run
-//!   on a small fixed worker pool ([`ReactorConfig::workers`] threads). A
-//!   connection has at most one job in flight and its queued frames wait,
-//!   so responses stay in request order and session program order is
-//!   preserved. Cache-hit GETs are answered inline on the shard without the
-//!   worker hop.
-//! * **Admin reconfiguration frames** (`Evict`, `FlipEpoch`) spawn an
-//!   ephemeral thread each: they nest wire RPCs back into the deployment
-//!   (evict-everywhere, install-everywhere), and running them on the
-//!   bounded pool could exhaust it and deadlock against their own nested
-//!   frames. They are rare (epoch cadence), so thread count stays bounded
-//!   by reconfiguration concurrency, never by connection count.
+//! * **Requests that must wait suspend as continuations** instead of
+//!   parking a thread. A Lin write registers a commit hook
+//!   ([`CcNode::on_committed`]) keyed off the per-node ack bitmasks; the
+//!   shard that delivers the final acknowledgement fires the hook, which
+//!   resumes the suspended connection (via [`ShardMsg::Resume`]) on its
+//!   owning shard. Miss-path operations to a remote home shard travel as
+//!   correlated [`Frame::RpcReq`]/[`Frame::RpcResp`] pairs multiplexed
+//!   over the crash-surviving peer links; the pending-RPC table maps each
+//!   correlation id back to its suspended connection. Hot-transition
+//!   bounces (`MissRetry`, stalled cache entries) re-arm a timer-wheel
+//!   tick and re-run the whole operation from the cache probe. A
+//!   connection has at most one suspended operation and its queued frames
+//!   wait, so responses stay in request order and session program order
+//!   is preserved.
+//! * **Admin reconfiguration frames** run on two persistent service
+//!   threads instead of ephemeral spawns: `Evict` on the admin service
+//!   thread (eviction may wait for a pending Lin write to commit, which
+//!   only the shards can deliver), `FlipEpoch` on the coordinator's epoch
+//!   applier (whose nested evict-everywhere sweep calls back into the
+//!   admin thread — two lanes, so the nesting cannot deadlock). Both
+//!   resume the requesting connection like any other continuation.
 //!
 //! The per-peer credit window (§6.4) is driven by readiness events: a
 //! stalled peer writer re-arms a 1 ms timer-wheel tick instead of parking a
@@ -106,20 +115,15 @@ impl Default for FlowConfig {
 pub struct ReactorConfig {
     /// Reactor shard threads. Connections are spread across shards
     /// round-robin; each shard owns its sockets exclusively (no
-    /// cross-shard locking on the I/O path).
+    /// cross-shard locking on the I/O path). This is the node's whole
+    /// serving thread count: there is no worker pool — requests that must
+    /// wait suspend as continuations and resume on their owning shard.
     pub shards: usize,
-    /// Worker threads executing blocking request handlers (Lin commit
-    /// waits, miss-path RPCs). Sized for the expected number of
-    /// *concurrently blocked* requests, not for connection count.
-    pub workers: usize,
 }
 
 impl Default for ReactorConfig {
     fn default() -> Self {
-        Self {
-            shards: 2,
-            workers: 8,
-        }
+        Self { shards: 2 }
     }
 }
 
@@ -232,31 +236,75 @@ const REDIAL_BACKOFF_START: Duration = Duration::from_millis(50);
 /// Redial backoff cap.
 const REDIAL_BACKOFF_MAX: Duration = Duration::from_secs(1);
 
-/// Number of pooled miss-path RPC links per peer: bounds how many remote
-/// reads/writes to one home shard are in flight concurrently from this
-/// node (each slot is one TCP connection, used under its own lock).
-const RPC_POOL_SIZE: usize = 4;
-
-struct RpcPool {
-    slots: Vec<Mutex<Option<Conn>>>,
-    next: AtomicU64,
-}
-
-impl RpcPool {
-    fn new() -> Self {
-        Self {
-            slots: (0..RPC_POOL_SIZE).map(|_| Mutex::new(None)).collect(),
-            next: AtomicU64::new(0),
-        }
-    }
-}
+/// How often the admin service thread, between jobs, sweeps the
+/// pending-RPC table for entries past their transport deadline.
+const RPC_SWEEP_TICK: Duration = Duration::from_millis(100);
 
 /// A hot-set reconfiguration job for the coordinator's applier thread.
 enum FlipJob {
     /// Apply this published hot set to the deployment.
     Apply(HotSet),
+    /// A client-forced [`Frame::FlipEpoch`]: apply `hot` (closed on the
+    /// serving shard) and resume the suspended connection with the
+    /// response. Never coalesced — each forced flip owes its own answer.
+    Forced {
+        hot: HotSet,
+        shard: usize,
+        token: u64,
+    },
     /// Stop the applier (server teardown).
     Shutdown,
+}
+
+/// A blocking request handed to the admin service thread. `Evict` is the
+/// one client frame that may genuinely wait on protocol progress
+/// (evicting a key with a pending Lin write blocks until the write
+/// commits), so it cannot run on a shard; everything else is served
+/// inline or as a continuation.
+enum AdminJob {
+    Evict {
+        shard: usize,
+        token: u64,
+        key: u64,
+    },
+    /// Teardown poison: the service thread exits.
+    Stop,
+}
+
+/// One entry of the pending correlated-RPC table: a miss-path request in
+/// flight toward `peer`, awaiting its [`Frame::RpcResp`].
+struct RpcPending {
+    peer: usize,
+    /// The inner request frame, retained so a restarted peer that
+    /// confirmed processing the request (but never answered) can be asked
+    /// again under the same correlation id.
+    request: Frame,
+    waiter: RpcWaiter,
+    /// The peer-link sequence number the request was packed at (`None`
+    /// until the pump packs it, and again after a restart reissue). Used
+    /// on peer restart to tell "still in the replay tail" (replays
+    /// automatically) from "confirmed processed by the dead process"
+    /// (must be reissued — the confirmation trimmed it from the tail).
+    seq: Option<u64>,
+    /// Transport deadline: past this the RPC fails with a timeout (the
+    /// peer stayed dead longer than [`NodeServerConfig::rpc_retry`]).
+    deadline: Instant,
+}
+
+/// Who is waiting for a correlated RPC response.
+enum RpcWaiter {
+    /// A suspended client connection: resume it on its owning shard.
+    Shard { shard: usize, token: u64 },
+    /// A blocking off-shard caller (admin service thread, shutdown
+    /// drain), parked on the slot's condvar.
+    Blocking(Arc<BlockingSlot>),
+}
+
+/// Rendezvous for a blocking RPC caller.
+#[derive(Default)]
+struct BlockingSlot {
+    result: Mutex<Option<io::Result<Frame>>>,
+    cv: Condvar,
 }
 
 /// Per-node state of the epoch-coordinator role (present on exactly one
@@ -296,12 +344,63 @@ enum ColdPut {
     Rejected(String),
 }
 
-/// One protocol message queued toward a peer (value bytes
-/// broadcast-shared), plus the trace id it travels under when the
-/// originating client op was sampled — the id rides the link queue, the
-/// unacked replay tail and the wire envelope, so causality survives
-/// batching, credit stalls and reconnect replays.
-type PeerMsg = (ProtocolMsg, Option<Arc<[u8]>>, Option<u64>);
+/// One flow-controlled item queued toward a peer. Protocol messages carry
+/// their value bytes broadcast-shared plus the trace id they travel under
+/// when the originating client op was sampled — the id rides the link
+/// queue, the unacked replay tail and the wire envelope, so causality
+/// survives batching, credit stalls and reconnect replays. Correlated
+/// miss-path RPC frames ([`Frame::RpcReq`]/[`Frame::RpcResp`]) share the
+/// same queue, window, retained tail and replay machinery: a severed link
+/// replays an unconfirmed RPC exactly like an unconfirmed invalidation.
+enum LinkItem {
+    Protocol(ProtocolMsg, Option<Arc<[u8]>>, Option<u64>),
+    Rpc(Frame),
+}
+
+impl LinkItem {
+    /// The trace id this item travels under, if sampled.
+    fn trace(&self) -> Option<u64> {
+        match self {
+            LinkItem::Protocol(_, _, trace) => *trace,
+            LinkItem::Rpc(Frame::RpcReq { inner, .. } | Frame::RpcResp { inner, .. }) => {
+                match inner.as_ref() {
+                    Frame::Traced { id, .. } => Some(*id),
+                    _ => None,
+                }
+            }
+            LinkItem::Rpc(_) => None,
+        }
+    }
+
+    /// The key the item concerns (trace annotation; 0 when inapplicable).
+    fn key(&self) -> u64 {
+        match self {
+            LinkItem::Protocol(msg, _, _) => msg.key(),
+            LinkItem::Rpc(_) => 0,
+        }
+    }
+
+    /// Approximate payload bytes beyond the fixed frame overhead, for the
+    /// batch byte budget.
+    fn payload_len(&self) -> usize {
+        fn frame_payload(frame: &Frame) -> usize {
+            match frame {
+                Frame::RpcReq { inner, .. }
+                | Frame::RpcResp { inner, .. }
+                | Frame::Traced { inner, .. } => frame_payload(inner),
+                Frame::MissPut { value, .. }
+                | Frame::MissGetResp { value }
+                | Frame::WriteBack { value, .. }
+                | Frame::HotMarkResp { value, .. } => value.len(),
+                _ => 0,
+            }
+        }
+        match self {
+            LinkItem::Protocol(_, bytes, _) => bytes.as_deref().map_or(0, <[u8]>::len),
+            LinkItem::Rpc(frame) => frame_payload(frame),
+        }
+    }
+}
 
 /// The crash-surviving state of one outgoing peer link. The TCP connection
 /// comes and goes (adopted by the owning shard while up, redialed by a
@@ -324,11 +423,11 @@ struct PeerLink {
     /// the same shard the incoming link from that peer is pinned to — so
     /// credit processing, replay and pumping never race across threads).
     shard: usize,
-    /// Messages not yet handed to the socket. Parked here while the link
+    /// Items not yet handed to the socket. Parked here while the link
     /// is down.
-    queue: Mutex<VecDeque<PeerMsg>>,
-    /// Sent messages awaiting cumulative confirmation (front = oldest).
-    unacked: Mutex<VecDeque<PeerMsg>>,
+    queue: Mutex<VecDeque<LinkItem>>,
+    /// Sent items awaiting cumulative confirmation (front = oldest).
+    unacked: Mutex<VecDeque<LinkItem>>,
     /// Highest sequence number handed to the socket.
     sent_seq: AtomicU64,
     /// Highest sequence number the peer confirmed processing.
@@ -357,46 +456,6 @@ impl PeerLink {
     }
 }
 
-/// A unit of work for the blocking worker pool. Every variant carries the
-/// originating `(shard, token)` so the response lands back on the right
-/// connection.
-enum Job {
-    /// Serve one client frame that the shard could not finish inline
-    /// (cache miss → remote RPC, stalled entry → retry loop).
-    Client {
-        shard: usize,
-        token: u64,
-        frame: Frame,
-        trace: Option<u64>,
-        queued_at: Instant,
-    },
-    /// A Lin write was *initiated* inline on the shard (invalidations
-    /// already shipped); only the commit wait and the response remain.
-    Wait {
-        shard: usize,
-        token: u64,
-        key: u64,
-        ts: Timestamp,
-        trace: Option<u64>,
-        queued_at: Instant,
-    },
-    /// Resume a request batch the shard served partially inline: `done`
-    /// responses are final, `wait` is an initiated Lin write to await
-    /// (its response follows `done`; the trace id is the sampled
-    /// sub-op's), `rest` still needs serving (sub-frames keep their
-    /// trace envelopes).
-    Batch {
-        shard: usize,
-        token: u64,
-        done: Vec<Frame>,
-        wait: Option<(u64, Timestamp, Option<u64>)>,
-        rest: Vec<Frame>,
-        queued_at: Instant,
-    },
-    /// Teardown poison: the receiving worker exits.
-    Stop,
-}
-
 /// A message into a reactor shard from another thread.
 enum ShardMsg {
     /// Adopt a freshly accepted connection (role decided by its hello).
@@ -414,13 +473,31 @@ enum ShardMsg {
         from: usize,
         gen: u64,
     },
-    /// A worker (or admin thread) finished connection `token`'s job:
-    /// append `bytes` to its write buffer; `close` ends the connection.
-    Complete {
+    /// An off-shard event that resumes connection `token`'s suspended
+    /// operation: a Lin commit hook fired, a correlated RPC resolved, or
+    /// an admin service job finished. `sent_at` is when the wake-up event
+    /// happened — the gap to the continuation actually running on this
+    /// shard is the `continuation_fire` phase metric (the successor of
+    /// the retired worker-handoff queue wait).
+    Resume {
         token: u64,
-        bytes: Vec<u8>,
-        close: bool,
+        sent_at: Instant,
+        event: ResumeEvent,
     },
+}
+
+/// What woke a suspended client operation.
+enum ResumeEvent {
+    /// The pending Lin write committed: the shard that delivered the
+    /// final acknowledgement fired the registered commit hook.
+    Committed,
+    /// The correlated miss-path RPC `corr` resolved with this response.
+    Rpc { corr: u64, response: Frame },
+    /// The correlated miss-path RPC `corr` failed (peer dead past the
+    /// transport deadline, or server shutdown).
+    RpcFailed { corr: u64, message: String },
+    /// The admin service thread finished the suspended admin frame.
+    Admin { result: io::Result<Frame> },
 }
 
 /// The cross-thread face of one reactor shard.
@@ -484,10 +561,16 @@ struct ServerInner {
     peer_recv_count: Vec<AtomicU64>,
     /// `peer_recv_count` value at the last credit doorbell per peer.
     credit_doorbell: Vec<AtomicU64>,
-    /// Peer listen addresses (for lazily dialed miss-path RPC links).
+    /// Peer listen addresses (redials and the coordinator's admin conns).
     peer_addrs: Mutex<Vec<SocketAddr>>,
-    /// Lazily dialed miss-path RPC link pools, one per peer.
-    rpc_pools: Vec<RpcPool>,
+    /// Pending correlated miss-path RPCs, keyed by correlation id. An
+    /// arriving [`Frame::RpcResp`] removes its entry and resumes the
+    /// waiter; a response whose id is absent (duplicate after a restart
+    /// reissue, or a late answer after the deadline sweep gave up) is
+    /// dropped — which is what makes RPC resolution exactly-once.
+    rpc_pending: Mutex<HashMap<u64, RpcPending>>,
+    /// Correlation id source (monotone, never reused).
+    rpc_corr: AtomicU64,
     /// Batching / flow-control knobs.
     flow: FlowConfig,
     /// Event-loop topology.
@@ -496,10 +579,11 @@ struct ServerInner {
     rpc_retry: Duration,
     /// The reactor shards (set once at startup, before any I/O happens).
     shards: OnceLock<Vec<Arc<ShardShared>>>,
-    /// Feeds the blocking worker pool.
-    job_tx: Sender<Job>,
+    /// Feeds the admin service thread (blocking `Evict` handling and the
+    /// pending-RPC deadline sweep).
+    admin_tx: Sender<AdminJob>,
     /// Per-node trace event collector: one lock-free ring lane per
-    /// reactor shard plus a shared lane for workers and admin paths.
+    /// reactor shard plus a shared lane for admin and blocking paths.
     /// Drained by the metrics scraper (when enabled) and on demand by
     /// [`Frame::TraceDump`].
     sink: Arc<TraceSink>,
@@ -508,6 +592,12 @@ struct ServerInner {
 impl ServerInner {
     fn shard(&self, id: usize) -> &ShardShared {
         &self.shards.get().expect("shards wired at startup")[id]
+    }
+
+    /// An owning handle to shard `id`'s cross-thread face, for commit
+    /// hooks that outlive the borrow.
+    fn shard_arc(&self, id: usize) -> Arc<ShardShared> {
+        Arc::clone(&self.shards.get().expect("shards wired at startup")[id])
     }
 
     fn link(&self, peer: usize) -> &Arc<PeerLink> {
@@ -567,7 +657,7 @@ impl ServerInner {
                         self.metrics.record_parked_drop();
                         return;
                     }
-                    queue.push_back((msg, bytes, trace));
+                    queue.push_back(LinkItem::Protocol(msg, bytes, trace));
                 }
                 self.metrics.record_protocol_out(1);
                 if trace.is_some() {
@@ -618,6 +708,90 @@ impl ServerInner {
         }
     }
 
+    /// Queues one correlated RPC frame toward `peer` on its
+    /// crash-surviving link, waking the owning shard. Returns `false` if
+    /// the frame had to be dropped (the peer has been down long past the
+    /// restart budget and its park overflowed) — the caller fails the
+    /// pending entry instead of letting it dangle to the deadline.
+    fn ship_rpc(&self, peer: usize, frame: Frame) -> bool {
+        let Some(link) = self.peer_links.get(peer).and_then(Option::as_ref) else {
+            return false;
+        };
+        let up = link.up.load(Ordering::Acquire);
+        {
+            let mut queue = link.queue.lock();
+            if !up && queue.len() >= PARK_MAX {
+                self.metrics.record_parked_drop();
+                return false;
+            }
+            queue.push_back(LinkItem::Rpc(frame));
+        }
+        // Same post-enqueue re-check as `ship_traced`: a link coming up
+        // between the load and the push must not strand the frame.
+        if link.up.load(Ordering::Acquire) {
+            self.shard(link.shard).waker.wake();
+        } else {
+            self.refresh_parked();
+        }
+        true
+    }
+
+    /// Removes the pending-RPC entry `corr` and hands `result` to its
+    /// waiter. A missing entry means the RPC already resolved (or timed
+    /// out): late and duplicate responses are dropped here, which is the
+    /// exactly-once guarantee.
+    fn resolve_rpc(&self, corr: u64, result: io::Result<Frame>) {
+        let entry = {
+            let mut table = self.rpc_pending.lock();
+            let entry = table.remove(&corr);
+            self.metrics.set_pending_rpcs(table.len() as u64);
+            entry
+        };
+        let Some(entry) = entry else { return };
+        match entry.waiter {
+            RpcWaiter::Shard { shard, token } => {
+                let event = match result {
+                    Ok(response) => ResumeEvent::Rpc { corr, response },
+                    Err(e) => ResumeEvent::RpcFailed {
+                        corr,
+                        message: e.to_string(),
+                    },
+                };
+                self.shard(shard).send(ShardMsg::Resume {
+                    token,
+                    sent_at: Instant::now(),
+                    event,
+                });
+            }
+            RpcWaiter::Blocking(slot) => {
+                *slot.result.lock() = Some(result);
+                slot.cv.notify_all();
+            }
+        }
+    }
+
+    /// Fails every pending RPC past its transport deadline. Run by the
+    /// admin service thread between jobs.
+    fn sweep_rpc_deadlines(&self) {
+        let now = Instant::now();
+        let expired: Vec<u64> = self
+            .rpc_pending
+            .lock()
+            .iter()
+            .filter(|(_, e)| now >= e.deadline)
+            .map(|(&corr, _)| corr)
+            .collect();
+        for corr in expired {
+            self.resolve_rpc(
+                corr,
+                Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "miss-path rpc exceeded its redial budget",
+                )),
+            );
+        }
+    }
+
     /// Recomputes the parked-messages gauge: traffic queued behind down
     /// peer links, waiting for a redial.
     fn refresh_parked(&self) {
@@ -664,6 +838,42 @@ impl ServerInner {
         if !reissue.is_empty() {
             self.metrics.record_reissued(reissue.len() as u64);
             self.ship(reissue);
+        }
+        // In-doubt miss-path RPCs: the dead process confirmed receiving
+        // the request (seq <= acked) but its answer died with it. Requeue
+        // a fresh copy of the request frame under the SAME correlation id
+        // — if the old answer somehow raced out first, the entry is
+        // already gone and the duplicate response hits an unknown corr
+        // and is dropped. Entries still in the replay window (seq >
+        // acked, or not yet packed) ride the link's own replay and must
+        // not be duplicated here.
+        let in_doubt: Vec<(u64, Frame)> = {
+            let link = self.link(peer);
+            let acked = link.acked_seq.load(Ordering::Acquire);
+            let mut table = self.rpc_pending.lock();
+            table
+                .iter_mut()
+                .filter(|(_, e)| e.peer == peer && e.seq.is_some_and(|s| s <= acked))
+                .map(|(&corr, e)| {
+                    e.seq = None; // consumed: a second restart must not reissue again
+                    (corr, e.request.clone())
+                })
+                .collect()
+        };
+        for (corr, request) in in_doubt {
+            let frame = Frame::RpcReq {
+                corr,
+                inner: Box::new(request),
+            };
+            if !self.ship_rpc(peer, frame) {
+                self.resolve_rpc(
+                    corr,
+                    Err(io::Error::new(
+                        io::ErrorKind::BrokenPipe,
+                        "peer link overflowed while reissuing rpc",
+                    )),
+                );
+            }
         }
     }
 
@@ -769,19 +979,19 @@ impl ServerInner {
             if replayed > 0 {
                 self.metrics.record_peer_replayed(replayed);
             }
-            while let Some(msg) = unacked.pop_back() {
+            while let Some(item) = unacked.pop_back() {
                 // A sampled op's message keeps its original trace id
-                // across the replay (exactly once — the requeued message
+                // across the replay (exactly once — the requeued item
                 // IS the retained original); the Replay event marks the
                 // detour on the timeline.
                 self.trace_event(
-                    msg.2,
+                    item.trace(),
                     SHARED_LANE,
                     EventKind::Replay,
-                    msg.0.key(),
+                    item.key(),
                     peer as u8,
                 );
-                queue.push_front(msg);
+                queue.push_front(item);
             }
             let acked_now = link.acked_seq.load(Ordering::Acquire);
             link.sent_seq.store(acked_now, Ordering::Release);
@@ -1086,54 +1296,132 @@ impl ServerInner {
     }
 
     fn rpc_until(&self, home: usize, request: &Frame, deadline: Instant) -> io::Result<Frame> {
-        let mut backoff = Duration::from_millis(10);
-        loop {
-            match self.rpc_once(home, request) {
-                Ok(frame) => return Ok(frame),
-                // The peer's Frame::Error answer over a healthy link: not
-                // a transport failure, nothing to retry.
-                Err(e) if e.kind() == io::ErrorKind::InvalidInput => return Err(e),
-                Err(e) if Instant::now() >= deadline || !self.running.load(Ordering::SeqCst) => {
-                    return Err(e)
+        if home == self.node.node() {
+            // No link to self: `apply_hot_set` drives its own home keys
+            // through the same RPC surface. The mark/unmark/write-back
+            // handlers never block on shard-delivered protocol traffic,
+            // so serving inline is safe from any thread.
+            return match serve_rpc_frame(self, SHARED_LANE, request.clone())? {
+                Frame::Error { message } => {
+                    Err(io::Error::new(io::ErrorKind::InvalidInput, message))
                 }
-                Err(_) => {
-                    std::thread::sleep(backoff);
-                    backoff = (backoff * 2).min(Duration::from_millis(250));
+                frame => Ok(frame),
+            };
+        }
+        let slot = Arc::new(BlockingSlot::default());
+        let corr = {
+            // Park overflow on a long-dead peer is the only issue-side
+            // failure; retry with backoff like the old pooled dialer did.
+            let mut backoff = Duration::from_millis(10);
+            loop {
+                match self.issue_rpc(
+                    home,
+                    request.clone(),
+                    RpcWaiter::Blocking(Arc::clone(&slot)),
+                    deadline,
+                ) {
+                    Ok(corr) => break corr,
+                    Err(e)
+                        if Instant::now() >= deadline || !self.running.load(Ordering::SeqCst) =>
+                    {
+                        return Err(e)
+                    }
+                    Err(_) => {
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(Duration::from_millis(250));
+                    }
                 }
             }
+        };
+        let mut guard = slot.result.lock();
+        loop {
+            if let Some(result) = guard.take() {
+                return match result? {
+                    // The peer's Frame::Error answer over a healthy link:
+                    // surfaced like the old Conn::call did.
+                    Frame::Error { message } => {
+                        Err(io::Error::new(io::ErrorKind::InvalidInput, message))
+                    }
+                    frame => Ok(frame),
+                };
+            }
+            let now = Instant::now();
+            if now >= deadline || !self.running.load(Ordering::SeqCst) {
+                drop(guard);
+                // Only the side that removes the table entry owns the
+                // outcome: if the resolver got there first, its result is
+                // en route to the slot — wait it out instead of reporting
+                // a timeout for an RPC that actually resolved.
+                let removed = {
+                    let mut table = self.rpc_pending.lock();
+                    let removed = table.remove(&corr).is_some();
+                    self.metrics.set_pending_rpcs(table.len() as u64);
+                    removed
+                };
+                guard = slot.result.lock();
+                if removed {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "miss-path rpc exceeded its redial budget",
+                    ));
+                }
+                loop {
+                    if let Some(result) = guard.take() {
+                        return match result? {
+                            Frame::Error { message } => {
+                                Err(io::Error::new(io::ErrorKind::InvalidInput, message))
+                            }
+                            frame => Ok(frame),
+                        };
+                    }
+                    slot.cv.wait_for(&mut guard, Duration::from_millis(10));
+                }
+            }
+            slot.cv.wait_for(&mut guard, deadline - now);
         }
     }
 
-    fn rpc_once(&self, home: usize, request: &Frame) -> io::Result<Frame> {
-        let pool = &self.rpc_pools[home];
-        let slot = pool.next.fetch_add(1, Ordering::Relaxed) as usize % pool.slots.len();
-        let mut guard = pool.slots[slot].lock();
-        if guard.is_none() {
-            let addr = self.peer_addrs.lock()[home];
-            *guard = Some(Conn::open(
-                addr,
-                &Frame::RpcHello {
-                    from: self.node.node() as u8,
+    /// Registers a pending-RPC continuation and queues the correlated
+    /// request toward `home`'s crash-surviving peer link. The returned
+    /// correlation id resolves exactly once: via [`ServerInner::resolve_rpc`]
+    /// when the response frame (or a failure) arrives, or via the deadline
+    /// sweep.
+    fn issue_rpc(
+        &self,
+        home: usize,
+        request: Frame,
+        waiter: RpcWaiter,
+        deadline: Instant,
+    ) -> io::Result<u64> {
+        let corr = self.rpc_corr.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut table = self.rpc_pending.lock();
+            table.insert(
+                corr,
+                RpcPending {
+                    peer: home,
+                    request: request.clone(),
+                    waiter,
+                    seq: None,
+                    deadline,
                 },
-            )?);
+            );
+            self.metrics.set_pending_rpcs(table.len() as u64);
         }
-        let conn = guard.as_mut().expect("dialed above");
-        let result = conn.call(request);
-        // Drop broken links so the next call re-dials; an InvalidInput
-        // error is the peer's Frame::Error answer over a healthy link.
-        if matches!(&result, Err(e) if e.kind() != io::ErrorKind::InvalidInput) {
-            *guard = None;
+        let frame = Frame::RpcReq {
+            corr,
+            inner: Box::new(request),
+        };
+        if !self.ship_rpc(home, frame) {
+            let mut table = self.rpc_pending.lock();
+            table.remove(&corr);
+            self.metrics.set_pending_rpcs(table.len() as u64);
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                format!("peer {home} link unavailable for rpc"),
+            ));
         }
-        result
-    }
-
-    /// Hands a finished job's response back to the owning shard.
-    fn complete(&self, shard: usize, token: u64, bytes: Vec<u8>, close: bool) {
-        self.shard(shard).send(ShardMsg::Complete {
-            token,
-            bytes,
-            close,
-        });
+        Ok(corr)
     }
 
     /// Evicts every *remote-homed* cached key, shipping dirty values back
@@ -1202,10 +1490,20 @@ impl ServerInner {
                     shard.waker.wake();
                 }
             }
-            // Poison the worker pool: one Stop per worker, queued behind
-            // any outstanding jobs.
-            for _ in 0..self.reactor.workers {
-                let _ = self.job_tx.send(Job::Stop);
+            // Stop the admin service thread, queued behind outstanding
+            // jobs, and fail every pending RPC so no continuation (or
+            // blocking caller) is stranded waiting on a response that
+            // will never be read.
+            let _ = self.admin_tx.send(AdminJob::Stop);
+            let pending: Vec<u64> = self.rpc_pending.lock().keys().copied().collect();
+            for corr in pending {
+                self.resolve_rpc(
+                    corr,
+                    Err(io::Error::new(
+                        io::ErrorKind::Interrupted,
+                        "node shutting down",
+                    )),
+                );
             }
             let mut stopped = self.stopped.lock();
             *stopped = true;
@@ -1237,10 +1535,6 @@ impl NodeServer {
         }
         assert!(cfg.reactor.shards >= 1, "reactor needs at least one shard");
         assert!(
-            cfg.reactor.workers >= 1,
-            "reactor needs at least one worker"
-        );
-        assert!(
             cfg.node.nodes <= 64,
             "per-write ack bitmasks support up to 64 nodes"
         );
@@ -1253,7 +1547,7 @@ impl NodeServer {
         let listen_addr = listener.local_addr()?;
         let nodes = cfg.node.nodes;
         let metrics = Arc::new(Metrics::new());
-        metrics.set_reactor_threads(cfg.reactor.shards as u64, cfg.reactor.workers as u64);
+        metrics.set_reactor_shards(cfg.reactor.shards as u64);
         let (churn, flip_rx) = match cfg.epochs {
             Some(epochs) => {
                 let (flip_tx, flip_rx) = unbounded();
@@ -1272,7 +1566,7 @@ impl NodeServer {
             }
             None => (None, None),
         };
-        let (job_tx, job_rx) = unbounded();
+        let (admin_tx, admin_rx) = unbounded();
         let me = cfg.node.node;
         let shard_count = cfg.reactor.shards;
         let sink = Arc::new(TraceSink::new(shard_count));
@@ -1306,12 +1600,13 @@ impl NodeServer {
             peer_recv_count: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
             credit_doorbell: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
             peer_addrs: Mutex::new(vec![listen_addr; nodes]),
-            rpc_pools: (0..nodes).map(|_| RpcPool::new()).collect(),
+            rpc_pending: Mutex::new(HashMap::new()),
+            rpc_corr: AtomicU64::new(1),
             flow: cfg.flow,
             reactor: cfg.reactor,
             rpc_retry: cfg.rpc_retry,
             shards: OnceLock::new(),
-            job_tx,
+            admin_tx,
             sink: Arc::clone(&sink),
         });
         let metrics_server = match cfg.metrics_listen {
@@ -1334,16 +1629,16 @@ impl NodeServer {
             }
             None => None,
         };
-        // The worker pool: detached threads that exit on Stop poison (a
-        // worker parked in a Lin commit wait must not hang teardown — the
-        // thread-per-connection implementation detached its connection
-        // threads for the same reason).
-        for w in 0..cfg.reactor.workers {
-            let worker_inner = Arc::clone(&inner);
-            let rx = job_rx.clone();
+        // The admin service thread: one detached thread serving the rare
+        // blocking admin paths (Evict awaits a pending write's commit)
+        // and sweeping pending-RPC deadlines. Detached so a job parked on
+        // a commit that never resolves cannot hang teardown — it exits on
+        // Stop poison.
+        {
+            let admin_inner = Arc::clone(&inner);
             std::thread::Builder::new()
-                .name(format!("cckvs-worker-n{}-{}", cfg.node.node, w))
-                .spawn(move || worker_loop(worker_inner, rx))?;
+                .name(format!("cckvs-admin-n{}", cfg.node.node))
+                .spawn(move || admin_loop(admin_inner, admin_rx))?;
         }
         // Build every shard's poller+waker before spawning any shard, so
         // the shard list is complete (and published) before the first
@@ -1593,34 +1888,12 @@ fn rewrap_trace(trace: Option<u64>, frame: Frame) -> Frame {
     }
 }
 
-/// Serves one (non-batch) client frame. Shared by the inline, worker-pool
-/// and admin-thread paths, so where a frame executes changes scheduling
-/// and nothing else.
-fn serve_client_frame(inner: &ServerInner, frame: Frame) -> io::Result<ClientAction> {
-    let (trace, frame) = peel_trace(frame);
-    serve_client_frame_traced(inner, trace, frame)
-}
-
-fn serve_client_frame_traced(
-    inner: &ServerInner,
-    trace: Option<u64>,
-    frame: Frame,
-) -> io::Result<ClientAction> {
-    let key_hint = match &frame {
-        Frame::Get { key } | Frame::Put { key, .. } => *key,
-        _ => 0,
-    };
+/// Serves one *never-blocking* client frame: liveness, diagnostics and
+/// the lock-protected cache-fill admin. Get/Put and the reconfiguration
+/// admin frames (Evict, FlipEpoch) have continuation-based paths in
+/// [`Shard::step_client`] — nothing here may wait on another message.
+fn serve_inline_frame(inner: &ServerInner, frame: Frame) -> io::Result<ClientAction> {
     let response = match frame {
-        Frame::Get { key } => {
-            inner.metrics.record_get();
-            inner.observe(key);
-            serve_get(inner, trace, key)?
-        }
-        Frame::Put { key, value } => {
-            inner.metrics.record_put();
-            inner.observe(key);
-            serve_put(inner, trace, key, &value)?
-        }
         Frame::TraceDump => Frame::TraceDumpResp {
             dropped: inner.sink.dropped(),
             events: inner.sink.dump(),
@@ -1647,27 +1920,6 @@ fn serve_client_frame_traced(
         Frame::ActivateHot { key } => Frame::ActivateHotResp {
             ok: inner.node.activate_hot(key),
         },
-        Frame::Evict { key } => Frame::EvictResp {
-            existed: inner.evict_key(key)?,
-        },
-        Frame::FlipEpoch => match &inner.churn {
-            None => Frame::Error {
-                message: "this node does not run the epoch coordinator".to_string(),
-            },
-            Some(churn) => {
-                let hot = churn.coord.lock().close_epoch();
-                match inner.apply_hot_set(&hot) {
-                    Ok((installed, evicted)) => Frame::FlipEpochResp {
-                        epoch: hot.epoch,
-                        installed: installed as u32,
-                        evicted: evicted as u32,
-                    },
-                    Err(e) => Frame::Error {
-                        message: format!("epoch flip failed: {e}"),
-                    },
-                }
-            }
-        },
         Frame::Ping => Frame::Pong,
         Frame::VersionFloor => Frame::VersionFloorResp {
             clock: inner.cold_versions.load(Ordering::Relaxed) as u32,
@@ -1686,67 +1938,7 @@ fn serve_client_frame_traced(
             ))
         }
     };
-    inner.trace_event(trace, SHARED_LANE, EventKind::Respond, key_hint, NO_PEER);
     Ok(ClientAction::Respond(response))
-}
-
-fn serve_get(inner: &ServerInner, trace: Option<u64>, key: u64) -> io::Result<Frame> {
-    let deadline = Instant::now() + HOT_TRANSITION_RETRY;
-    let mut backoff = Duration::from_micros(50);
-    loop {
-        if let cckvs::node::CacheGet::Hit { value, ts } = inner.node.cache_get(key) {
-            inner.metrics.record_cache(true);
-            return Ok(Frame::GetResp {
-                cached: true,
-                ts,
-                value,
-            });
-        }
-        // Cold path. Like cold writes, cold reads bounce while the key
-        // transitions into or out of the hot set: during an eviction the
-        // freshest value may still be in flight from a dirty replica, and
-        // serving the shard's current copy would hand out an older value
-        // than cached reads already returned.
-        let home = inner.node.home_node(key);
-        let value = if home == inner.node.node() {
-            inner.cold_get(key)
-        } else {
-            inner.trace_event(trace, SHARED_LANE, EventKind::MissRpc, key, home as u8);
-            match inner.rpc(home, &rewrap_trace(trace, Frame::MissGet { key }))? {
-                Frame::MissGetResp { value } => Some(value),
-                Frame::MissRetry => None,
-                other => {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("unexpected rpc response {other:?}"),
-                    ))
-                }
-            }
-        };
-        match value {
-            Some(value) => {
-                // One logical miss, however many bounce retries it took.
-                inner.metrics.record_cache(false);
-                if home != inner.node.node() {
-                    inner.metrics.record_remote_read();
-                }
-                return Ok(Frame::GetResp {
-                    cached: false,
-                    ts: consistency::lamport::Timestamp::ZERO,
-                    value,
-                });
-            }
-            None if Instant::now() >= deadline => {
-                return Ok(Frame::Error {
-                    message: format!("hot-set transition of key {key} did not complete"),
-                });
-            }
-            None => {
-                std::thread::sleep(backoff);
-                backoff = (backoff * 2).min(Duration::from_millis(2));
-            }
-        }
-    }
 }
 
 /// How long an operation keeps retrying while its key transitions into or
@@ -1754,109 +1946,12 @@ fn serve_get(inner: &ServerInner, trace: Option<u64>, key: u64) -> io::Result<Fr
 /// this bound only matters if the coordinator dies mid-reconfiguration).
 const HOT_TRANSITION_RETRY: Duration = Duration::from_secs(5);
 
-fn serve_put(inner: &ServerInner, trace: Option<u64>, key: u64, value: &[u8]) -> io::Result<Frame> {
-    let deadline = Instant::now() + HOT_TRANSITION_RETRY;
-    let mut backoff = Duration::from_micros(50);
-    loop {
-        let tag = inner.tags.fetch_add(1, Ordering::Relaxed);
-        match inner.node.cache_put(key, value, tag) {
-            CachePut::Done { ts, outgoing } => {
-                let fanout = Instant::now();
-                inner.ship_traced(outgoing, trace);
-                inner
-                    .metrics
-                    .record_fanout_ns(fanout.elapsed().as_nanos() as u64);
-                inner.metrics.record_cache(true);
-                return Ok(Frame::PutResp { cached: true, ts });
-            }
-            CachePut::Pending { ts, outgoing } => {
-                inner.trace_event(trace, SHARED_LANE, EventKind::LinInitiate, key, NO_PEER);
-                let fanout = Instant::now();
-                inner.ship_traced(outgoing, trace);
-                inner
-                    .metrics
-                    .record_fanout_ns(fanout.elapsed().as_nanos() as u64);
-                // Blocking write (Lin): the reactor shard that delivers
-                // the final ack signals the commit. This is why writes run
-                // on the worker pool, never on a shard.
-                let wait = Instant::now();
-                inner.node.wait_committed(key, ts);
-                inner
-                    .metrics
-                    .record_lin_ack_wait_ns(wait.elapsed().as_nanos() as u64);
-                inner.trace_event(trace, SHARED_LANE, EventKind::CommitFire, key, NO_PEER);
-                inner.metrics.record_cache(true);
-                return Ok(Frame::PutResp { cached: true, ts });
-            }
-            CachePut::Miss => {}
-        }
-        let home = inner.node.home_node(key);
-        let me = inner.node.node() as u8;
-        // Cold path: versions are assigned by the *home* shard on arrival
-        // (see `next_cold_version`); the tag on the wire is only a hint for
-        // diagnostics. Sender-side counters advance independently and would
-        // silently drop later writes. A `Busy`/`MissRetry` answer means the
-        // key is mid-transition between the hot set and the cold path —
-        // retry the whole probe, it lands on whichever side wins.
-        let ts = if home == inner.node.node() {
-            match inner.cold_put(key, value, me) {
-                ColdPut::Applied(ts) => Some(ts),
-                ColdPut::Busy => None,
-                ColdPut::Rejected(message) => return Ok(Frame::Error { message }),
-            }
-        } else {
-            inner.trace_event(trace, SHARED_LANE, EventKind::MissRpc, key, home as u8);
-            match inner.rpc(
-                home,
-                &rewrap_trace(
-                    trace,
-                    Frame::MissPut {
-                        key,
-                        tag: tag as u32,
-                        writer: me,
-                        value: value.to_vec(),
-                    },
-                ),
-            ) {
-                Ok(Frame::MissPutResp { ts }) => Some(ts),
-                Ok(Frame::MissRetry) => None,
-                // The home shard rejected the write (Frame::Error over
-                // a healthy link): relay the reason to the client.
-                Err(e) if e.kind() == io::ErrorKind::InvalidInput => {
-                    return Ok(Frame::Error {
-                        message: e.to_string(),
-                    })
-                }
-                Err(e) => return Err(e),
-                Ok(other) => {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("unexpected rpc response {other:?}"),
-                    ))
-                }
-            }
-        };
-        match ts {
-            Some(ts) => {
-                // One logical miss, however many bounce retries it took.
-                inner.metrics.record_cache(false);
-                if home != inner.node.node() {
-                    inner.metrics.record_remote_write();
-                }
-                return Ok(Frame::PutResp { cached: false, ts });
-            }
-            None if Instant::now() >= deadline => {
-                return Ok(Frame::Error {
-                    message: format!("hot-set transition of key {key} did not complete"),
-                });
-            }
-            None => {
-                std::thread::sleep(backoff);
-                backoff = (backoff * 2).min(Duration::from_millis(2));
-            }
-        }
-    }
-}
+/// First bounce-retry delay for an op whose key is mid-transition
+/// (stalled cache entry, `MissRetry` answer); doubles up to
+/// [`RETRY_BACKOFF_MAX`] per attempt. The timer wheel's 1 ms slots are
+/// the effective floor.
+const RETRY_BACKOFF_START: Duration = Duration::from_millis(1);
+const RETRY_BACKOFF_MAX: Duration = Duration::from_millis(2);
 
 /// Handles one non-batch frame arriving on a peer link. Returns how many
 /// flow-controlled messages it consumed (credit confirmations themselves
@@ -1912,6 +2007,31 @@ fn deliver_peer_frame(
             }
             Ok(0)
         }
+        Frame::RpcReq { corr, inner: req } => {
+            // A correlated miss-path request multiplexed over the peer
+            // link: serve it right here (every handler is a lock-protected
+            // state update) and queue the answer on our own outgoing link.
+            // A malformed inner frame answers Error instead of erroring
+            // the whole link — the link carries unrelated traffic.
+            let response = match serve_rpc_frame(inner, shard as u8, *req) {
+                Ok(frame) => frame,
+                Err(e) => Frame::Error {
+                    message: e.to_string(),
+                },
+            };
+            let resp = Frame::RpcResp {
+                corr,
+                inner: Box::new(response),
+            };
+            // A failed ship (link long-dead, park overflowed) drops the
+            // answer; the requester's deadline sweep picks up the pieces.
+            let _ = inner.ship_rpc(from, resp);
+            Ok(1)
+        }
+        Frame::RpcResp { corr, inner: resp } => {
+            inner.resolve_rpc(corr, Ok(*resp));
+            Ok(1)
+        }
         other => Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("unexpected peer frame {other:?}"),
@@ -1922,7 +2042,7 @@ fn deliver_peer_frame(
 /// Serves one miss-path RPC frame. Every arm is a lock-protected state
 /// update that never waits on another message, which is what allows RPC
 /// links to be served inline on a reactor shard.
-fn serve_rpc_frame(inner: &ServerInner, shard: usize, frame: Frame) -> io::Result<Frame> {
+fn serve_rpc_frame(inner: &ServerInner, lane: u8, frame: Frame) -> io::Result<Frame> {
     let (trace, frame) = peel_trace(frame);
     if trace.is_some() {
         let key_hint = match &frame {
@@ -1933,13 +2053,7 @@ fn serve_rpc_frame(inner: &ServerInner, shard: usize, frame: Frame) -> io::Resul
             | Frame::HotUnmark { key } => *key,
             _ => 0,
         };
-        inner.trace_event(
-            trace,
-            shard as u8,
-            EventKind::ProtocolRecv,
-            key_hint,
-            NO_PEER,
-        );
+        inner.trace_event(trace, lane, EventKind::ProtocolRecv, key_hint, NO_PEER);
     }
     Ok(match frame {
         Frame::MissGet { key } => match inner.cold_get(key) {
@@ -2000,147 +2114,85 @@ fn serve_rpc_frame(inner: &ServerInner, shard: usize, frame: Frame) -> io::Resul
     })
 }
 
-/// Executes one client frame to completion, returning the encoded
-/// response bytes and whether the connection should close. Runs on a
-/// worker or an ephemeral admin thread — never on a shard.
-fn execute_client_job(inner: &ServerInner, trace: Option<u64>, frame: Frame) -> (Vec<u8>, bool) {
-    match serve_client_frame_traced(inner, trace, frame) {
-        Ok(ClientAction::Respond(response)) => {
-            let mut bytes = Vec::new();
-            write_frame(&mut bytes, &response).expect("vec write");
-            (bytes, false)
-        }
-        Ok(ClientAction::Shutdown) => (Vec::new(), true),
-        Err(_) => (Vec::new(), true),
-    }
-}
-
-/// Finishes a partially-inline-served request batch: awaits the initiated
-/// Lin write if any, serves the remaining sub-frames (these are the ones
-/// that may block), and encodes the single in-order response batch.
-fn execute_batch_job(
-    inner: &ServerInner,
-    done: Vec<Frame>,
-    wait: Option<(u64, Timestamp, Option<u64>)>,
-    rest: Vec<Frame>,
-) -> (Vec<u8>, bool) {
-    let mut responses = done;
-    if let Some((key, ts, trace)) = wait {
-        let started = Instant::now();
-        inner.node.wait_committed(key, ts);
-        inner
-            .metrics
-            .record_lin_ack_wait_ns(started.elapsed().as_nanos() as u64);
-        inner.trace_event(trace, SHARED_LANE, EventKind::CommitFire, key, NO_PEER);
-        responses.push(Frame::PutResp { cached: true, ts });
-    }
-    for sub in rest {
-        // The rest travels re-wrapped: peel each sub-frame's trace
-        // context here so its span chain starts with a decode event like
-        // the inline-served sub-frames.
-        let (trace, sub) = peel_trace(sub);
-        inner.trace_event(
-            trace,
-            SHARED_LANE,
-            EventKind::Decode,
-            frame_key(&sub),
-            NO_PEER,
-        );
-        match serve_client_frame_traced(inner, trace, sub) {
-            Ok(ClientAction::Respond(response)) => responses.push(response),
-            Ok(ClientAction::Shutdown) => return (Vec::new(), true),
-            Err(_) => return (Vec::new(), true),
-        }
-    }
-    let mut bytes = Vec::new();
-    write_frame(&mut bytes, &Frame::Batch { frames: responses }).expect("vec write");
-    (bytes, false)
-}
-
-/// One worker of the blocking pool.
-fn worker_loop(inner: Arc<ServerInner>, rx: Receiver<Job>) {
-    while let Ok(job) = rx.recv() {
-        match job {
-            Job::Stop => return,
-            Job::Client {
-                shard,
-                token,
-                frame,
-                trace,
-                queued_at,
-            } => {
-                inner
-                    .metrics
-                    .record_worker_handoff_ns(queued_at.elapsed().as_nanos() as u64);
-                inner.trace_event(trace, SHARED_LANE, EventKind::HandoffDequeue, 0, NO_PEER);
-                let (bytes, close) = execute_client_job(&inner, trace, frame);
-                inner.complete(shard, token, bytes, close);
+/// The admin service thread: serves the rare blocking admin jobs (an
+/// Evict awaits the evicted key's pending write, then write-back RPCs
+/// toward the home shard) and sweeps the pending-RPC table for entries
+/// past their transport deadline. One detached thread — admin traffic is
+/// reconfiguration-rate, not request-rate — and a lane of its own, so an
+/// epoch flip on the applier thread can nest Evict RPCs back into this
+/// node without deadlocking.
+fn admin_loop(inner: Arc<ServerInner>, rx: Receiver<AdminJob>) {
+    loop {
+        match rx.recv_timeout(RPC_SWEEP_TICK) {
+            Ok(AdminJob::Stop) => return,
+            Ok(AdminJob::Evict { shard, token, key }) => {
+                let result = inner
+                    .evict_key(key)
+                    .map(|existed| Frame::EvictResp { existed });
+                inner.shard(shard).send(ShardMsg::Resume {
+                    token,
+                    sent_at: Instant::now(),
+                    event: ResumeEvent::Admin { result },
+                });
             }
-            Job::Wait {
-                shard,
-                token,
-                key,
-                ts,
-                trace,
-                queued_at,
-            } => {
-                inner
-                    .metrics
-                    .record_worker_handoff_ns(queued_at.elapsed().as_nanos() as u64);
-                inner.trace_event(trace, SHARED_LANE, EventKind::HandoffDequeue, key, NO_PEER);
-                let started = Instant::now();
-                inner.node.wait_committed(key, ts);
-                inner
-                    .metrics
-                    .record_lin_ack_wait_ns(started.elapsed().as_nanos() as u64);
-                inner.trace_event(trace, SHARED_LANE, EventKind::CommitFire, key, NO_PEER);
-                inner.trace_event(trace, SHARED_LANE, EventKind::Respond, key, NO_PEER);
-                let mut bytes = Vec::new();
-                write_frame(&mut bytes, &Frame::PutResp { cached: true, ts }).expect("vec write");
-                inner.complete(shard, token, bytes, false);
-            }
-            Job::Batch {
-                shard,
-                token,
-                done,
-                wait,
-                rest,
-                queued_at,
-            } => {
-                inner
-                    .metrics
-                    .record_worker_handoff_ns(queued_at.elapsed().as_nanos() as u64);
-                let (bytes, close) = execute_batch_job(&inner, done, wait, rest);
-                inner.complete(shard, token, bytes, close);
-            }
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => inner.sweep_rpc_deadlines(),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
         }
     }
 }
 
 /// The coordinator's reconfiguration thread: applies hot sets published by
-/// the popularity tracker, coalescing a backlog to the newest set. Errors
-/// are swallowed deliberately — the installed-set bookkeeping lives in the
-/// admin handlers, so a partially applied epoch simply leaves a smaller
-/// delta for the next one (the system converges instead of wedging).
+/// the popularity tracker, coalescing a backlog of timer-driven flips to
+/// the newest set. A client-forced flip ([`FlipJob::Forced`]) is never
+/// coalesced — each one answers exactly one suspended client connection.
+/// Errors on the timer path are swallowed deliberately — the
+/// installed-set bookkeeping lives in the admin handlers, so a partially
+/// applied epoch simply leaves a smaller delta for the next one (the
+/// system converges instead of wedging).
 fn epoch_applier_loop(inner: Arc<ServerInner>, rx: Receiver<FlipJob>) {
+    let mut lookahead: Option<FlipJob> = None;
     loop {
-        let mut latest = match rx.recv() {
-            Ok(FlipJob::Apply(hot)) => hot,
-            Ok(FlipJob::Shutdown) | Err(_) => return,
+        let job = match lookahead.take() {
+            Some(job) => job,
+            None => match rx.recv() {
+                Ok(job) => job,
+                Err(_) => return,
+            },
         };
-        let mut stop = false;
-        while let Ok(next) = rx.try_recv() {
-            match next {
-                FlipJob::Apply(hot) => latest = hot,
-                FlipJob::Shutdown => {
-                    stop = true;
-                    break;
-                }
+        match job {
+            FlipJob::Shutdown => return,
+            FlipJob::Forced { hot, shard, token } => {
+                let response = match inner.apply_hot_set(&hot) {
+                    Ok((installed, evicted)) => Frame::FlipEpochResp {
+                        epoch: hot.epoch,
+                        installed: installed as u32,
+                        evicted: evicted as u32,
+                    },
+                    Err(e) => Frame::Error {
+                        message: format!("epoch flip failed: {e}"),
+                    },
+                };
+                inner.shard(shard).send(ShardMsg::Resume {
+                    token,
+                    sent_at: Instant::now(),
+                    event: ResumeEvent::Admin {
+                        result: Ok(response),
+                    },
+                });
             }
-        }
-        let _ = inner.apply_hot_set(&latest);
-        if stop {
-            return;
+            FlipJob::Apply(hot) => {
+                let mut latest = hot;
+                while let Ok(next) = rx.try_recv() {
+                    match next {
+                        FlipJob::Apply(newer) => latest = newer,
+                        other => {
+                            lookahead = Some(other);
+                            break;
+                        }
+                    }
+                }
+                let _ = inner.apply_hot_set(&latest);
+            }
         }
     }
 }
@@ -2152,104 +2204,6 @@ fn unexpected_frame(what: &str, frame: &Frame) -> io::Error {
     )
 }
 
-/// How far a reactor shard got serving one client frame inline.
-enum Inline {
-    /// Fully served; send this response.
-    Respond(Frame),
-    /// A Lin write was initiated (invalidations shipped, timestamp
-    /// assigned); a worker must await the commit and answer
-    /// `PutResp { cached: true, ts }`.
-    Pending { key: u64, ts: Timestamp },
-    /// Could block (cache miss → RPC, stalled entry → retry loop): hand
-    /// the untouched frame to the worker pool.
-    Offload(Frame),
-    /// A reconfiguration admin frame: run it on an ephemeral thread.
-    AdminOffload(Frame),
-    /// The client asked the node to shut down (already initiated).
-    Shutdown,
-    /// Protocol violation; close the connection.
-    Fail,
-}
-
-/// Serves one client frame on the shard if that provably cannot block:
-/// cache-hit reads, cache writes that complete or at least *initiate*
-/// without waiting (SC updates, the send half of a Lin round), and the
-/// lock-protected admin fills. Anything that may wait — on a remote home
-/// shard, on an ack round, on a hot-set transition — is classified for a
-/// thread that is allowed to.
-///
-/// Metrics and popularity observation here mirror [`serve_client_frame`]
-/// exactly; a frame is counted once wherever it ends up executing.
-fn try_serve_inline(inner: &ServerInner, shard: usize, trace: Option<u64>, frame: Frame) -> Inline {
-    match frame {
-        Frame::Get { key } => match inner.node.cache().read(key) {
-            ReadOutcome::Hit { value, ts } => {
-                inner.metrics.record_get();
-                inner.observe(key);
-                inner.metrics.record_cache(true);
-                inner.metrics.record_inline_get();
-                Inline::Respond(Frame::GetResp {
-                    cached: true,
-                    ts,
-                    value,
-                })
-            }
-            // A miss goes to the pool for the remote read; a stalled
-            // entry (invalidated under Lin) must not be awaited here —
-            // the update that resolves it arrives through this very
-            // shard.
-            ReadOutcome::Miss | ReadOutcome::Stall => Inline::Offload(Frame::Get { key }),
-        },
-        Frame::Put { key, value } => {
-            let tag = inner.tags.fetch_add(1, Ordering::Relaxed);
-            match inner.node.try_cache_put(key, &value, tag) {
-                Some(CachePut::Done { ts, outgoing }) => {
-                    let fanout = Instant::now();
-                    inner.ship_traced(outgoing, trace);
-                    inner
-                        .metrics
-                        .record_fanout_ns(fanout.elapsed().as_nanos() as u64);
-                    inner.metrics.record_put();
-                    inner.observe(key);
-                    inner.metrics.record_cache(true);
-                    Inline::Respond(Frame::PutResp { cached: true, ts })
-                }
-                Some(CachePut::Pending { ts, outgoing }) => {
-                    inner.trace_event(trace, shard as u8, EventKind::LinInitiate, key, NO_PEER);
-                    let fanout = Instant::now();
-                    inner.ship_traced(outgoing, trace);
-                    inner
-                        .metrics
-                        .record_fanout_ns(fanout.elapsed().as_nanos() as u64);
-                    inner.metrics.record_put();
-                    inner.observe(key);
-                    inner.metrics.record_cache(true);
-                    Inline::Pending { key, ts }
-                }
-                Some(CachePut::Miss) | None => Inline::Offload(Frame::Put { key, value }),
-            }
-        }
-        // Liveness and cache-fill admin: lock-protected state updates.
-        frame @ (Frame::Ping
-        | Frame::VersionFloor
-        | Frame::CacheKeys
-        | Frame::InstallHot { .. }
-        | Frame::ActivateHot { .. }) => match serve_client_frame(inner, frame) {
-            Ok(ClientAction::Respond(response)) => Inline::Respond(response),
-            Ok(ClientAction::Shutdown) => Inline::Shutdown,
-            Err(_) => Inline::Fail,
-        },
-        Frame::Shutdown => {
-            inner.initiate_shutdown();
-            Inline::Shutdown
-        }
-        frame @ (Frame::Evict { .. } | Frame::FlipEpoch) => Inline::AdminOffload(frame),
-        // Unknown frames error (and close the connection) on the pool,
-        // as the blocking server did.
-        frame => Inline::Offload(frame),
-    }
-}
-
 // ---------------------------------------------------------------------------
 // The reactor shard: one event loop owning a subset of the node's sockets.
 // ---------------------------------------------------------------------------
@@ -2258,17 +2212,112 @@ const TOKEN_WAKER: u64 = 0;
 const TOKEN_LISTENER: u64 = 1;
 const TOKEN_FIRST_CONN: u64 = 16;
 
+/// A client request parked mid-execution on its owning shard. This is
+/// the continuation that replaced the worker-pool handoff: instead of a
+/// parked thread, the suspended state is a few dozen bytes on the
+/// connection, and the event that ends the wait (the final Lin ack, the
+/// RPC response frame, a wheel tick, the admin job's result) finds the
+/// connection through its token and resumes it in place.
+struct Suspended {
+    /// Responses produced so far (request *k*'s response sits at
+    /// position *k*; empty for a non-batch request).
+    done: Vec<Frame>,
+    /// Sub-frames not yet started.
+    rest: VecDeque<Frame>,
+    /// The request arrived as a [`Frame::Batch`] (decides the response
+    /// shape — one coalesced batch vs. a bare frame).
+    batch: bool,
+    /// Trace id of the sub-request currently in flight.
+    trace: Option<u64>,
+    /// The sub-request currently being served.
+    op: PendingOp,
+    /// What it is waiting for.
+    wait: Wait,
+    /// Give-up deadline for hot-transition bounces of the current op.
+    deadline: Instant,
+    /// Next bounce-retry delay (doubles per bounce).
+    backoff: Duration,
+    /// The current op's one-per-logical-op metrics (op count, popularity
+    /// observation) have been recorded, however many retries follow.
+    counted: bool,
+}
+
+/// The operation a [`Suspended`] request is executing.
+enum PendingOp {
+    Get {
+        key: u64,
+    },
+    Put {
+        key: u64,
+        value: Vec<u8>,
+    },
+    /// Evict: dispatched to the admin service thread (it awaits the
+    /// pending write of the evicted key); the resume event carries the
+    /// complete response.
+    Evict {
+        key: u64,
+    },
+    /// FlipEpoch: the epoch is closed on-shard, the evict/install sweep
+    /// runs on the epoch applier thread.
+    Flip,
+    /// A never-blocking frame ([`serve_inline_frame`]'s class), served on
+    /// the spot at first attempt.
+    Other(Frame),
+}
+
+impl PendingOp {
+    /// The key the op refers to, for trace annotation and error text.
+    fn key(&self) -> u64 {
+        match self {
+            PendingOp::Get { key } | PendingOp::Put { key, .. } | PendingOp::Evict { key } => *key,
+            PendingOp::Flip | PendingOp::Other(_) => 0,
+        }
+    }
+}
+
+/// What a [`Suspended`] request is waiting for.
+enum Wait {
+    /// Nothing — attempt (or re-attempt) the op on the next step.
+    Runnable,
+    /// The Lin write `(key, ts)` is collecting acks; the shard that
+    /// delivers the final one fires [`ResumeEvent::Committed`] through
+    /// the registered commit hook.
+    LinCommit { ts: Timestamp, started: Instant },
+    /// A correlated miss-path RPC is in flight toward the key's home.
+    Rpc { corr: u64 },
+    /// A hot-transition bounce armed a wheel tick; re-attempt when it
+    /// fires.
+    Retry,
+    /// An admin job (Evict on the service thread, a forced epoch flip on
+    /// the applier) is running off-shard.
+    Admin,
+}
+
+/// One attempt at a [`PendingOp`]: what the op did this probe.
+enum Attempt {
+    /// Finished with this response.
+    Respond(Frame),
+    /// Parked; the wait's wake event re-enters the state machine.
+    Park(Wait),
+    /// The key is mid-transition (stalled entry, busy home shard):
+    /// bounce — retry after a wheel tick, or give up past the deadline.
+    Bounce,
+    /// Protocol violation or unrecoverable failure: close the connection.
+    Fail,
+}
+
 /// What a connection is for, decided by its hello frame.
 enum Role {
     /// Hello not yet received.
     Handshake,
     /// A client request/response session.
     Client {
-        /// Decoded requests waiting their turn (one job in flight at a
-        /// time keeps responses in request order).
+        /// Decoded requests waiting their turn (one request in flight at
+        /// a time keeps responses in request order).
         pending: VecDeque<Frame>,
-        /// A job for this connection is running on a worker/admin thread.
-        inflight: bool,
+        /// The request currently parked mid-execution, if any. Boxed:
+        /// most connections are between requests most of the time.
+        suspended: Option<Box<Suspended>>,
     },
     /// An incoming protocol link from peer `from` whose hello was answered;
     /// the peer's [`Frame::PeerResume`] (aligning the processed counter)
@@ -2319,9 +2368,13 @@ struct ConnState {
     eof: bool,
     /// A fatal I/O or protocol error occurred; close on next advance.
     dead: bool,
-    /// A timer-wheel tick is armed for this connection (credit stall or
-    /// parked-for-ready re-check); dedupes arming.
+    /// A timer-wheel tick is armed for this connection (credit stall,
+    /// parked-for-ready re-check or a bounce retry); dedupes arming.
     tick_armed: bool,
+    /// Wake events delivered for this connection's suspended request
+    /// (commit fired, RPC resolved, admin job done), drained by
+    /// [`Shard::step_client`].
+    resumes: VecDeque<ResumeEvent>,
 }
 
 impl ConnState {
@@ -2335,6 +2388,7 @@ impl ConnState {
             eof: false,
             dead: false,
             tick_armed: false,
+            resumes: VecDeque::new(),
         }
     }
 }
@@ -2541,25 +2595,19 @@ impl Shard {
                         }
                     }
                 }
-                ShardMsg::Complete {
+                ShardMsg::Resume {
                     token,
-                    bytes,
-                    close,
+                    sent_at,
+                    event,
                 } => {
-                    // The connection may be gone (client hung up mid-job):
-                    // the completion is dropped, matching the old
-                    // thread-per-connection behaviour of a write to a dead
-                    // socket.
+                    // The connection may be gone (client hung up mid-wait):
+                    // the event is dropped, exactly as a response write to
+                    // a dead socket would have been.
                     if let Some(conn) = self.conns.get_mut(&token) {
-                        conn.writebuf.push(&bytes);
-                        if let Role::Client { inflight, .. } = &mut conn.role {
-                            *inflight = false;
-                        }
-                        if close {
-                            // Flush what we can, then drop the connection.
-                            let _ = conn.writebuf.flush_to(&mut conn.stream);
-                            conn.dead = true;
-                        }
+                        self.inner
+                            .metrics
+                            .record_continuation_fire_ns(sent_at.elapsed().as_nanos() as u64);
+                        conn.resumes.push_back(event);
                         dirty.push(token);
                     }
                 }
@@ -2633,7 +2681,7 @@ impl Shard {
                     );
                     conn.role = Role::Client {
                         pending: VecDeque::new(),
-                        inflight: false,
+                        suspended: None,
                     };
                 }
                 Ok(Some(Frame::PeerHello { from, gen })) => {
@@ -2769,212 +2817,138 @@ impl Shard {
         }
     }
 
+    /// Serves a client connection: decodes requests, applies wake events
+    /// to the suspended request if any, and runs requests through the
+    /// continuation state machine — every frame handled right here, on
+    /// this shard. One request in flight per connection keeps responses
+    /// in request order.
     fn step_client(&mut self, token: u64, conn: &mut ConnState) -> bool {
-        // Decode everything available into the pending queue.
-        let Role::Client { pending, inflight } = &mut conn.role else {
-            unreachable!("checked by caller");
-        };
-        loop {
-            match conn.decoder.next_frame() {
-                Ok(Some(frame)) => pending.push_back(frame),
-                Ok(None) => break,
-                Err(_) => return true,
+        {
+            let Role::Client { pending, .. } = &mut conn.role else {
+                unreachable!("checked by caller");
+            };
+            loop {
+                match conn.decoder.next_frame() {
+                    Ok(Some(frame)) => pending.push_back(frame),
+                    Ok(None) => break,
+                    Err(_) => return true,
+                }
             }
         }
-        // Serve in order: inline what never blocks, dispatch the rest.
-        // One job in flight per connection keeps responses positional.
-        while !*inflight {
-            let Some(frame) = pending.pop_front() else {
-                break;
-            };
-            let (trace, frame) = peel_trace(frame);
-            self.inner.trace_event(
-                trace,
-                self.id as u8,
-                EventKind::Decode,
-                frame_key(&frame),
-                NO_PEER,
-            );
-            match frame {
-                // A coalesced request batch: serve sub-frames inline while
-                // they stay non-blocking; the first one that must block
-                // hands the remainder (plus the responses produced so far)
-                // to the pool, which answers with ONE in-order response
-                // batch — request k's response is at position k.
-                Frame::Batch { frames } => {
-                    self.inner.metrics.record_batch(frames.len() as u64);
-                    let mut responses = Vec::with_capacity(frames.len());
-                    let mut iter = frames.into_iter();
-                    let mut wait = None;
-                    let mut first_blocked = None;
-                    let mut handoff_trace = None;
-                    for sub in iter.by_ref() {
-                        // Sub-frames carry their own trace envelopes: a
-                        // sampled op stays causally linked through the
-                        // client-side coalescing.
-                        let (sub_trace, sub) = peel_trace(sub);
-                        self.inner.trace_event(
-                            sub_trace,
-                            self.id as u8,
-                            EventKind::Decode,
-                            frame_key(&sub),
-                            NO_PEER,
-                        );
-                        match try_serve_inline(&self.inner, self.id, sub_trace, sub) {
-                            Inline::Respond(response) => {
-                                self.inner.trace_event(
-                                    sub_trace,
-                                    self.id as u8,
-                                    EventKind::Respond,
-                                    0,
-                                    NO_PEER,
-                                );
-                                responses.push(response);
-                            }
-                            Inline::Pending { key, ts } => {
-                                wait = Some((key, ts, sub_trace));
-                                handoff_trace = sub_trace;
-                                break;
-                            }
-                            Inline::Offload(frame) | Inline::AdminOffload(frame) => {
-                                handoff_trace = sub_trace;
-                                // Re-wrap: the rest of the batch travels
-                                // as frames, and the worker re-peels.
-                                first_blocked = Some(rewrap_trace(sub_trace, frame));
-                                break;
-                            }
-                            Inline::Shutdown | Inline::Fail => return true,
+        let mut resumes = std::mem::take(&mut conn.resumes);
+        let Role::Client { pending, suspended } = &mut conn.role else {
+            unreachable!("checked by caller");
+        };
+        let mut sus = suspended.take();
+        let mut close = false;
+        'serve: loop {
+            match sus.as_deref_mut() {
+                None => {
+                    // Between requests: any event left over belongs to a
+                    // request that already ended (they resolve exactly
+                    // once, so nothing can still be waiting on one).
+                    resumes.clear();
+                    let Some(frame) = pending.pop_front() else {
+                        break 'serve;
+                    };
+                    let (trace, frame) = peel_trace(frame);
+                    self.inner.trace_event(
+                        trace,
+                        self.id as u8,
+                        EventKind::Decode,
+                        frame_key(&frame),
+                        NO_PEER,
+                    );
+                    let (batch, rest) = match frame {
+                        Frame::Batch { frames } => {
+                            self.inner.metrics.record_batch(frames.len() as u64);
+                            (true, VecDeque::from(frames))
                         }
-                    }
-                    if wait.is_none() && first_blocked.is_none() {
-                        write_frame(conn.writebuf.writer(), &Frame::Batch { frames: responses })
-                            .expect("vec write");
+                        // A single frame runs through the same machinery
+                        // as a batch of one; re-wrap so `start_sub` peels
+                        // the same trace id back out (it emits no second
+                        // Decode event for non-batch requests).
+                        frame => (false, VecDeque::from(vec![rewrap_trace(trace, frame)])),
+                    };
+                    let mut s = Box::new(Suspended {
+                        done: Vec::with_capacity(rest.len()),
+                        rest,
+                        batch,
+                        trace: None,
+                        op: PendingOp::Flip,
+                        wait: Wait::Runnable,
+                        deadline: Instant::now() + HOT_TRANSITION_RETRY,
+                        backoff: RETRY_BACKOFF_START,
+                        counted: false,
+                    });
+                    if self.start_sub(&mut s) {
+                        sus = Some(s);
                     } else {
-                        let mut rest: Vec<Frame> = Vec::new();
-                        rest.extend(first_blocked);
-                        rest.extend(iter);
-                        *inflight = true;
-                        self.inner.trace_event(
-                            handoff_trace,
-                            self.id as u8,
-                            EventKind::HandoffEnqueue,
-                            0,
-                            NO_PEER,
-                        );
-                        // The ephemeral-thread rule for reconfiguration
-                        // admin frames holds inside batches too: a batch
-                        // whose remainder carries one must not occupy a
-                        // bounded-pool worker for a whole multi-node
-                        // evict/install sweep (a few concurrent ones
-                        // would starve every blocking handler).
-                        let admin = rest
-                            .iter()
-                            .any(|f| matches!(f, Frame::Evict { .. } | Frame::FlipEpoch));
-                        if admin {
-                            let inner = Arc::clone(&self.inner);
-                            let shard = self.id;
-                            let spawned = std::thread::Builder::new()
-                                .name("cckvs-admin".to_string())
-                                .spawn(move || {
-                                    let (bytes, close) =
-                                        execute_batch_job(&inner, responses, wait, rest);
-                                    inner.complete(shard, token, bytes, close);
-                                });
-                            if spawned.is_err() {
-                                return true;
+                        // An empty batch: answer in kind.
+                        write_frame(conn.writebuf.writer(), &Frame::Batch { frames: Vec::new() })
+                            .expect("vec write");
+                    }
+                }
+                Some(s) => {
+                    let step = if let Some(event) = resumes.pop_front() {
+                        match self.apply_resume(token, s, event) {
+                            Some(step) => step,
+                            // A stale event for a wait that already moved
+                            // on: drop it.
+                            None => continue 'serve,
+                        }
+                    } else if matches!(s.wait, Wait::Runnable | Wait::Retry) {
+                        self.attempt_op(token, s)
+                    } else {
+                        // Parked on an external event that has not
+                        // arrived yet.
+                        break 'serve;
+                    };
+                    match step {
+                        Attempt::Respond(response) => {
+                            if self.finish_sub(s, response, &mut conn.writebuf) {
+                                sus = None;
                             }
-                        } else {
-                            self.inner.metrics.record_worker_job();
-                            let _ = self.inner.job_tx.send(Job::Batch {
-                                shard: self.id,
-                                token,
-                                done: responses,
-                                wait,
-                                rest,
-                                queued_at: Instant::now(),
-                            });
-                            self.inner
-                                .metrics
-                                .set_worker_queue_depth(self.inner.job_tx.len() as u64);
+                        }
+                        Attempt::Park(wait) => {
+                            s.wait = wait;
+                            if resumes.is_empty() {
+                                break 'serve;
+                            }
+                        }
+                        Attempt::Bounce => {
+                            if Instant::now() >= s.deadline {
+                                let key = s.op.key();
+                                let giveup = Frame::Error {
+                                    message: format!(
+                                        "hot-set transition of key {key} did not complete"
+                                    ),
+                                };
+                                if self.finish_sub(s, giveup, &mut conn.writebuf) {
+                                    sus = None;
+                                }
+                            } else {
+                                let delay = s.backoff;
+                                s.backoff = (s.backoff * 2).min(RETRY_BACKOFF_MAX);
+                                s.wait = Wait::Retry;
+                                if !conn.tick_armed {
+                                    self.wheel.schedule(Token(token), delay);
+                                    conn.tick_armed = true;
+                                }
+                                break 'serve;
+                            }
+                        }
+                        Attempt::Fail => {
+                            close = true;
+                            break 'serve;
                         }
                     }
                 }
-                frame => match try_serve_inline(&self.inner, self.id, trace, frame) {
-                    Inline::Respond(response) => {
-                        self.inner.trace_event(
-                            trace,
-                            self.id as u8,
-                            EventKind::Respond,
-                            0,
-                            NO_PEER,
-                        );
-                        write_frame(conn.writebuf.writer(), &response).expect("vec write");
-                    }
-                    // A Lin write initiated inline: only the commit wait
-                    // parks a worker; the protocol round already left.
-                    Inline::Pending { key, ts } => {
-                        *inflight = true;
-                        self.inner.metrics.record_worker_job();
-                        self.inner.trace_event(
-                            trace,
-                            self.id as u8,
-                            EventKind::HandoffEnqueue,
-                            key,
-                            NO_PEER,
-                        );
-                        let _ = self.inner.job_tx.send(Job::Wait {
-                            shard: self.id,
-                            token,
-                            key,
-                            ts,
-                            trace,
-                            queued_at: Instant::now(),
-                        });
-                        self.inner
-                            .metrics
-                            .set_worker_queue_depth(self.inner.job_tx.len() as u64);
-                    }
-                    Inline::Offload(frame) => {
-                        *inflight = true;
-                        self.inner.metrics.record_worker_job();
-                        self.inner.trace_event(
-                            trace,
-                            self.id as u8,
-                            EventKind::HandoffEnqueue,
-                            frame_key(&frame),
-                            NO_PEER,
-                        );
-                        let _ = self.inner.job_tx.send(Job::Client {
-                            shard: self.id,
-                            token,
-                            frame,
-                            trace,
-                            queued_at: Instant::now(),
-                        });
-                        self.inner
-                            .metrics
-                            .set_worker_queue_depth(self.inner.job_tx.len() as u64);
-                    }
-                    // Reconfiguration admin frames nest wire RPCs back
-                    // into the deployment; an ephemeral thread each keeps
-                    // them off the bounded pool.
-                    Inline::AdminOffload(frame) => {
-                        *inflight = true;
-                        let inner = Arc::clone(&self.inner);
-                        let shard = self.id;
-                        let spawned = std::thread::Builder::new()
-                            .name("cckvs-admin".to_string())
-                            .spawn(move || {
-                                let (bytes, close) = execute_client_job(&inner, trace, frame);
-                                inner.complete(shard, token, bytes, close);
-                            });
-                        if spawned.is_err() {
-                            return true;
-                        }
-                    }
-                    Inline::Shutdown | Inline::Fail => return true,
-                },
             }
+        }
+        *suspended = sus;
+        if close {
+            return true;
         }
         // Push what accumulated; the remainder drains on writability.
         if !conn.writebuf.is_empty() && conn.writebuf.flush_to(&mut conn.stream).is_err() {
@@ -2985,7 +2959,362 @@ impl Shard {
         // then read the tail) must still receive every response, as the
         // blocking server guaranteed. A fully-closed peer errors the next
         // writability flush, so nothing lingers.
-        conn.eof && pending.is_empty() && !*inflight && conn.writebuf.is_empty()
+        conn.eof && pending.is_empty() && suspended.is_none() && conn.writebuf.is_empty()
+    }
+
+    /// Pops the next sub-frame into the current-op slot, resetting the
+    /// per-op bookkeeping. Returns `false` when no sub-frames remain.
+    fn start_sub(&self, s: &mut Suspended) -> bool {
+        let Some(sub) = s.rest.pop_front() else {
+            return false;
+        };
+        let (trace, sub) = peel_trace(sub);
+        if s.batch {
+            // Sub-frames carry their own trace envelopes: a sampled op
+            // stays causally linked through the client-side coalescing.
+            self.inner.trace_event(
+                trace,
+                self.id as u8,
+                EventKind::Decode,
+                frame_key(&sub),
+                NO_PEER,
+            );
+        }
+        s.trace = trace;
+        s.wait = Wait::Runnable;
+        s.deadline = Instant::now() + HOT_TRANSITION_RETRY;
+        s.backoff = RETRY_BACKOFF_START;
+        s.counted = false;
+        s.op = match sub {
+            Frame::Get { key } => PendingOp::Get { key },
+            Frame::Put { key, value } => PendingOp::Put { key, value },
+            Frame::Evict { key } => PendingOp::Evict { key },
+            Frame::FlipEpoch => PendingOp::Flip,
+            other => PendingOp::Other(other),
+        };
+        true
+    }
+
+    /// Records the finished sub-request's response and starts the next
+    /// one. Returns `true` when the whole request completed (its response
+    /// bytes are in the write buffer).
+    fn finish_sub(&self, s: &mut Suspended, response: Frame, writebuf: &mut WriteBuf) -> bool {
+        self.inner.trace_event(
+            s.trace,
+            self.id as u8,
+            EventKind::Respond,
+            s.op.key(),
+            NO_PEER,
+        );
+        if s.batch {
+            s.done.push(response);
+            if self.start_sub(s) {
+                return false;
+            }
+            let frames = std::mem::take(&mut s.done);
+            write_frame(writebuf.writer(), &Frame::Batch { frames }).expect("vec write");
+        } else {
+            write_frame(writebuf.writer(), &response).expect("vec write");
+        }
+        true
+    }
+
+    /// One probe of the current op. Probes are idempotent: a bounced op
+    /// re-runs the whole probe on its next tick (the key may have changed
+    /// sides of the hot set in between), exactly like the worker-pool
+    /// retry loops used to.
+    fn attempt_op(&self, token: u64, s: &mut Suspended) -> Attempt {
+        let inner = &self.inner;
+        match &mut s.op {
+            PendingOp::Get { key } => {
+                let key = *key;
+                if !s.counted {
+                    s.counted = true;
+                    inner.metrics.record_get();
+                    inner.observe(key);
+                }
+                match inner.node.cache().read(key) {
+                    ReadOutcome::Hit { value, ts } => {
+                        inner.metrics.record_cache(true);
+                        inner.metrics.record_inline_get();
+                        Attempt::Respond(Frame::GetResp {
+                            cached: true,
+                            ts,
+                            value,
+                        })
+                    }
+                    // A stalled entry (invalidated under Lin) must not be
+                    // awaited here — the update that resolves it arrives
+                    // through this very shard. Bounce.
+                    ReadOutcome::Stall => Attempt::Bounce,
+                    ReadOutcome::Miss => {
+                        // Cold path. Like cold writes, cold reads bounce
+                        // while the key transitions into or out of the hot
+                        // set: during an eviction the freshest value may
+                        // still be in flight from a dirty replica.
+                        let home = inner.node.home_node(key);
+                        if home == inner.node.node() {
+                            match inner.cold_get(key) {
+                                Some(value) => {
+                                    inner.metrics.record_cache(false);
+                                    Attempt::Respond(Frame::GetResp {
+                                        cached: false,
+                                        ts: Timestamp::ZERO,
+                                        value,
+                                    })
+                                }
+                                None => Attempt::Bounce,
+                            }
+                        } else {
+                            inner.trace_event(
+                                s.trace,
+                                self.id as u8,
+                                EventKind::MissRpc,
+                                key,
+                                home as u8,
+                            );
+                            let request = rewrap_trace(s.trace, Frame::MissGet { key });
+                            match inner.issue_rpc(
+                                home,
+                                request,
+                                RpcWaiter::Shard {
+                                    shard: self.id,
+                                    token,
+                                },
+                                Instant::now() + inner.rpc_retry,
+                            ) {
+                                Ok(corr) => Attempt::Park(Wait::Rpc { corr }),
+                                Err(_) => Attempt::Fail,
+                            }
+                        }
+                    }
+                }
+            }
+            PendingOp::Put { key, value } => {
+                let key = *key;
+                if !s.counted {
+                    s.counted = true;
+                    inner.metrics.record_put();
+                    inner.observe(key);
+                }
+                let tag = inner.tags.fetch_add(1, Ordering::Relaxed);
+                match inner.node.try_cache_put(key, value, tag) {
+                    Some(CachePut::Done { ts, outgoing }) => {
+                        let fanout = Instant::now();
+                        inner.ship_traced(outgoing, s.trace);
+                        inner
+                            .metrics
+                            .record_fanout_ns(fanout.elapsed().as_nanos() as u64);
+                        inner.metrics.record_cache(true);
+                        Attempt::Respond(Frame::PutResp { cached: true, ts })
+                    }
+                    Some(CachePut::Pending { ts, outgoing }) => {
+                        inner.trace_event(
+                            s.trace,
+                            self.id as u8,
+                            EventKind::LinInitiate,
+                            key,
+                            NO_PEER,
+                        );
+                        // Register the commit continuation BEFORE the
+                        // invalidations leave: the final ack can race back
+                        // through another shard the moment they ship (and
+                        // `on_committed` fires the hook immediately if the
+                        // commit somehow already landed).
+                        let owner = inner.shard_arc(self.id);
+                        inner.node.on_committed(
+                            key,
+                            ts,
+                            Box::new(move || {
+                                owner.send(ShardMsg::Resume {
+                                    token,
+                                    sent_at: Instant::now(),
+                                    event: ResumeEvent::Committed,
+                                });
+                            }),
+                        );
+                        let fanout = Instant::now();
+                        inner.ship_traced(outgoing, s.trace);
+                        inner
+                            .metrics
+                            .record_fanout_ns(fanout.elapsed().as_nanos() as u64);
+                        inner.metrics.record_cache(true);
+                        Attempt::Park(Wait::LinCommit {
+                            ts,
+                            started: Instant::now(),
+                        })
+                    }
+                    // A stalled entry: bounce, exactly as for reads.
+                    None => Attempt::Bounce,
+                    Some(CachePut::Miss) => {
+                        // Cold path: versions are assigned by the *home*
+                        // shard on arrival (see `next_cold_version`); the
+                        // tag on the wire is only a diagnostic hint.
+                        let home = inner.node.home_node(key);
+                        let me = inner.node.node() as u8;
+                        if home == inner.node.node() {
+                            match inner.cold_put(key, value, me) {
+                                ColdPut::Applied(ts) => {
+                                    inner.metrics.record_cache(false);
+                                    Attempt::Respond(Frame::PutResp { cached: false, ts })
+                                }
+                                ColdPut::Busy => Attempt::Bounce,
+                                ColdPut::Rejected(message) => {
+                                    Attempt::Respond(Frame::Error { message })
+                                }
+                            }
+                        } else {
+                            inner.trace_event(
+                                s.trace,
+                                self.id as u8,
+                                EventKind::MissRpc,
+                                key,
+                                home as u8,
+                            );
+                            let request = rewrap_trace(
+                                s.trace,
+                                Frame::MissPut {
+                                    key,
+                                    tag: tag as u32,
+                                    writer: me,
+                                    value: value.clone(),
+                                },
+                            );
+                            match inner.issue_rpc(
+                                home,
+                                request,
+                                RpcWaiter::Shard {
+                                    shard: self.id,
+                                    token,
+                                },
+                                Instant::now() + inner.rpc_retry,
+                            ) {
+                                Ok(corr) => Attempt::Park(Wait::Rpc { corr }),
+                                Err(_) => Attempt::Fail,
+                            }
+                        }
+                    }
+                }
+            }
+            PendingOp::Evict { key } => {
+                let key = *key;
+                match inner.admin_tx.send(AdminJob::Evict {
+                    shard: self.id,
+                    token,
+                    key,
+                }) {
+                    Ok(()) => Attempt::Park(Wait::Admin),
+                    Err(_) => Attempt::Fail,
+                }
+            }
+            PendingOp::Flip => match &inner.churn {
+                None => Attempt::Respond(Frame::Error {
+                    message: "this node does not run the epoch coordinator".to_string(),
+                }),
+                Some(churn) => {
+                    // Close the epoch on-shard (a cheap swap under the
+                    // coordinator lock); the multi-node evict/install
+                    // sweep runs on the epoch applier thread, which
+                    // resumes this connection when done.
+                    let hot = churn.coord.lock().close_epoch();
+                    match churn.flip_tx.send(FlipJob::Forced {
+                        hot,
+                        shard: self.id,
+                        token,
+                    }) {
+                        Ok(()) => Attempt::Park(Wait::Admin),
+                        Err(_) => Attempt::Respond(Frame::Error {
+                            message: "epoch applier is not running".to_string(),
+                        }),
+                    }
+                }
+            },
+            PendingOp::Other(frame) => {
+                let frame = std::mem::replace(frame, Frame::Ping);
+                match serve_inline_frame(inner, frame) {
+                    Ok(ClientAction::Respond(response)) => Attempt::Respond(response),
+                    Ok(ClientAction::Shutdown) | Err(_) => Attempt::Fail,
+                }
+            }
+        }
+    }
+
+    /// Applies one wake event to the suspended request. Returns `None`
+    /// for an event that no longer matches the current wait (each wait
+    /// resolves exactly once, so a leftover is stale by construction).
+    fn apply_resume(&self, token: u64, s: &mut Suspended, event: ResumeEvent) -> Option<Attempt> {
+        let _ = token;
+        let inner = &self.inner;
+        let step = match (event, &s.wait) {
+            (ResumeEvent::Committed, Wait::LinCommit { ts, started }) => {
+                inner
+                    .metrics
+                    .record_lin_ack_wait_ns(started.elapsed().as_nanos() as u64);
+                let ts = *ts;
+                inner.trace_event(
+                    s.trace,
+                    self.id as u8,
+                    EventKind::CommitFire,
+                    s.op.key(),
+                    NO_PEER,
+                );
+                Attempt::Respond(Frame::PutResp { cached: true, ts })
+            }
+            (ResumeEvent::Rpc { corr, response }, Wait::Rpc { corr: expected })
+                if corr == *expected =>
+            {
+                match &s.op {
+                    PendingOp::Get { .. } => match response {
+                        Frame::MissGetResp { value } => {
+                            // One logical miss, however many bounces.
+                            inner.metrics.record_cache(false);
+                            inner.metrics.record_remote_read();
+                            Attempt::Respond(Frame::GetResp {
+                                cached: false,
+                                ts: Timestamp::ZERO,
+                                value,
+                            })
+                        }
+                        Frame::MissRetry => Attempt::Bounce,
+                        _ => Attempt::Fail,
+                    },
+                    PendingOp::Put { .. } => match response {
+                        Frame::MissPutResp { ts } => {
+                            inner.metrics.record_cache(false);
+                            inner.metrics.record_remote_write();
+                            Attempt::Respond(Frame::PutResp { cached: false, ts })
+                        }
+                        Frame::MissRetry => Attempt::Bounce,
+                        // The home shard rejected the write: relay the
+                        // reason to the client, as the old blocking RPC
+                        // path did.
+                        Frame::Error { message } => Attempt::Respond(Frame::Error { message }),
+                        _ => Attempt::Fail,
+                    },
+                    _ => Attempt::Fail,
+                }
+            }
+            (ResumeEvent::RpcFailed { corr, message }, Wait::Rpc { corr: expected })
+                if corr == *expected =>
+            {
+                // Transport failure past the redial budget: surfaced to the
+                // client as a protocol error, as the old pooled dialer did.
+                Attempt::Respond(Frame::Error { message })
+            }
+            (ResumeEvent::Admin { result }, Wait::Admin) => match result {
+                Ok(response) => Attempt::Respond(response),
+                Err(_) => Attempt::Fail,
+            },
+            _ => return None,
+        };
+        inner.trace_event(
+            s.trace,
+            self.id as u8,
+            EventKind::ContinuationFire,
+            s.op.key(),
+            NO_PEER,
+        );
+        Some(step)
     }
 
     fn step_peer_in(&mut self, conn: &mut ConnState) -> bool {
@@ -3027,7 +3356,7 @@ impl Shard {
     fn step_rpc(&mut self, conn: &mut ConnState) -> bool {
         loop {
             match conn.decoder.next_frame() {
-                Ok(Some(frame)) => match serve_rpc_frame(&self.inner, self.id, frame) {
+                Ok(Some(frame)) => match serve_rpc_frame(&self.inner, self.id as u8, frame) {
                     Ok(response) => {
                         write_frame(conn.writebuf.writer(), &response).expect("vec write");
                     }
@@ -3123,7 +3452,7 @@ impl Shard {
                         // If the message that waited out the stall at the
                         // queue front is traced, pin the stall onto its
                         // timeline (the `key` field carries the ns).
-                        let front_trace = queue.front().and_then(|m| m.2);
+                        let front_trace = queue.front().and_then(LinkItem::trace);
                         inner.trace_event(
                             front_trace,
                             self.id as u8,
@@ -3137,23 +3466,36 @@ impl Shard {
             };
             let mut packed = 0u64;
             while packed < granted {
-                let (msg, bytes, trace) = queue.front().expect("granted <= queue.len()");
+                let head = queue.front().expect("granted <= queue.len()");
                 // Byte bound: op count alone would let a burst of large
                 // values coalesce past MAX_FRAME_BYTES, and the receiver
                 // drops an oversized frame together with the whole peer
                 // link. A message that is itself large still travels —
                 // alone, as a bare frame.
-                let projected = builder.bytes() + 64 + bytes.as_deref().map_or(0, <[u8]>::len);
+                let projected = builder.bytes() + 64 + head.payload_len();
                 if builder.count() > 0 && projected > PEER_BATCH_MAX_BYTES {
                     break;
                 }
-                builder.push_protocol_traced(*trace, msg, bytes.as_deref());
+                match head {
+                    LinkItem::Protocol(msg, bytes, trace) => {
+                        builder.push_protocol_traced(*trace, msg, bytes.as_deref());
+                    }
+                    LinkItem::Rpc(frame) => builder.push(frame),
+                }
                 let item = queue.pop_front().expect("front exists");
                 if running {
                     // Retain until the peer confirms processing: this is
                     // what the redial handshake replays.
+                    let seq = link.sent_seq.fetch_add(1, Ordering::AcqRel) + 1;
+                    // Pack-time seq recording: a restarted peer that
+                    // confirmed processing up to this seq owes the answer
+                    // — `peer_restarted` reissues exactly those entries.
+                    if let LinkItem::Rpc(Frame::RpcReq { corr, .. }) = &item {
+                        if let Some(entry) = inner.rpc_pending.lock().get_mut(corr) {
+                            entry.seq = Some(seq);
+                        }
+                    }
                     link.unacked.lock().push_back(item);
-                    link.sent_seq.fetch_add(1, Ordering::AcqRel);
                 }
                 packed += 1;
             }
@@ -3202,14 +3544,14 @@ impl Shard {
     /// unless backpressure says stop.
     fn refresh_interest(&mut self, token: u64, conn: &mut ConnState) {
         let throttled = match &conn.role {
-            Role::Client { pending, inflight } => {
+            Role::Client { pending, suspended } => {
                 // A pipelining client stops being read once enough frames
                 // are queued or its responses back up; TCP pushes back to
                 // the sender instead of the server buffering without
                 // bound.
                 pending.len() >= MAX_PENDING_FRAMES
                     || conn.writebuf.pending() >= HIGH_WATER
-                    || (*inflight && pending.len() >= MAX_PENDING_FRAMES / 2)
+                    || (suspended.is_some() && pending.len() >= MAX_PENDING_FRAMES / 2)
             }
             _ => conn.writebuf.pending() >= HIGH_WATER,
         };
@@ -3261,7 +3603,7 @@ impl Shard {
                 let _ = conn.stream.set_nonblocking(false);
                 // `running` is false, so the pump packs without credits;
                 // loop until the queue is empty (a burst can arrive
-                // between pumps from a worker finishing up).
+                // between pumps from a shard finishing up).
                 loop {
                     if self.pump_peer_out(token, &mut conn) {
                         break; // link died mid-drain; nothing more to do

@@ -46,12 +46,19 @@ pub enum WireError {
     /// could otherwise nest ~3M levels into one 16 MB frame and overflow
     /// the decoder's stack).
     NestedBatch,
-    /// A [`Frame::Traced`] wrapped another trace envelope or a batch.
-    /// Trace context annotates exactly one ordinary frame (a batch's
-    /// sub-frames carry their own envelopes), which — together with
-    /// [`WireError::NestedBatch`] — keeps decode depth bounded at
-    /// batch → traced → frame.
+    /// A [`Frame::Traced`] wrapped another trace envelope, a batch, or a
+    /// correlated RPC frame. Trace context annotates exactly one ordinary
+    /// frame (a batch's sub-frames carry their own envelopes, and RPC
+    /// frames carry the envelope *inside* their payload), which —
+    /// together with [`WireError::NestedBatch`] and
+    /// [`WireError::NestedRpc`] — keeps decode depth bounded at
+    /// batch → rpc → traced → frame.
     NestedTrace,
+    /// A [`Frame::RpcReq`] / [`Frame::RpcResp`] wrapped another RPC frame
+    /// or a batch. Correlation envelopes wrap exactly one request or
+    /// response frame (optionally trace-annotated); anything deeper would
+    /// reopen the unbounded-recursion hole the batch/trace rules close.
+    NestedRpc,
 }
 
 impl std::fmt::Display for WireError {
@@ -63,6 +70,9 @@ impl std::fmt::Display for WireError {
             WireError::NestedBatch => write!(f, "batch frames cannot nest"),
             WireError::NestedTrace => {
                 write!(f, "trace envelopes wrap a single non-batch frame")
+            }
+            WireError::NestedRpc => {
+                write!(f, "rpc correlation envelopes wrap a single plain frame")
             }
         }
     }
@@ -118,6 +128,8 @@ mod opcode {
     pub const BATCH: u8 = 0x60;
     pub const TRACED: u8 = 0x7F;
     pub const CREDIT: u8 = 0x61;
+    pub const RPC_REQ: u8 = 0x62;
+    pub const RPC_RESP: u8 = 0x63;
     pub const ERROR: u8 = 0x7E;
 }
 
@@ -374,6 +386,32 @@ pub enum Frame {
         /// generation differs ignores the frame — a restarted sender must
         /// not interpret confirmations addressed to its predecessor.
         gen: u64,
+    },
+    /// A correlated request multiplexed over a peer link. Miss-path RPCs
+    /// (and admin write-backs) travel as flow-controlled items on the
+    /// crash-surviving peer mesh instead of pooled blocking connections:
+    /// the sender registers `corr` in its pending-RPC table and resumes
+    /// the suspended client op when the matching [`Frame::RpcResp`]
+    /// arrives on the reverse link. Retained-until-confirmed delivery
+    /// (the PR 5 replay machinery) carries these across link severs and
+    /// peer restarts like any protocol message.
+    RpcReq {
+        /// Correlation id, unique per sending process lifetime.
+        corr: u64,
+        /// The request (a `MissGet`/`MissPut`/`WriteBack`/… frame,
+        /// optionally wrapped in [`Frame::Traced`]).
+        inner: Box<Frame>,
+    },
+    /// The response to the [`Frame::RpcReq`] carrying the same `corr`.
+    /// A response whose correlation id is unknown at the requester (the
+    /// request was already answered once — e.g. re-served after a peer
+    /// restart replay) is dropped, which is what makes RPC resolution
+    /// exactly-once from the suspended op's point of view.
+    RpcResp {
+        /// Correlation id echoed from the request.
+        corr: u64,
+        /// The response frame (optionally wrapped in [`Frame::Traced`]).
+        inner: Box<Frame>,
     },
     /// Asks the node for its current cold-version counter (admin path). A
     /// supervisor polls this while the node serves and passes the last
@@ -690,6 +728,30 @@ impl Frame {
                 buf.extend_from_slice(&cum.to_le_bytes());
                 buf.extend_from_slice(&gen.to_le_bytes());
             }
+            Frame::RpcReq { corr, inner } => {
+                debug_assert!(
+                    !matches!(
+                        **inner,
+                        Frame::RpcReq { .. } | Frame::RpcResp { .. } | Frame::Batch { .. }
+                    ),
+                    "rpc envelopes wrap a single plain frame"
+                );
+                buf.push(opcode::RPC_REQ);
+                buf.extend_from_slice(&corr.to_le_bytes());
+                buf.extend_from_slice(&inner.encode());
+            }
+            Frame::RpcResp { corr, inner } => {
+                debug_assert!(
+                    !matches!(
+                        **inner,
+                        Frame::RpcReq { .. } | Frame::RpcResp { .. } | Frame::Batch { .. }
+                    ),
+                    "rpc envelopes wrap a single plain frame"
+                );
+                buf.push(opcode::RPC_RESP);
+                buf.extend_from_slice(&corr.to_le_bytes());
+                buf.extend_from_slice(&inner.encode());
+            }
             Frame::Error { message } => {
                 buf.push(opcode::ERROR);
                 put_bytes(&mut buf, message.as_bytes());
@@ -879,11 +941,34 @@ impl Frame {
                     Some(&opcode::TRACED) | Some(&opcode::BATCH) => {
                         return Err(WireError::NestedTrace)
                     }
+                    // Trace context goes inside the correlation envelope
+                    // (RpcReq{Traced{..}}), never around it — allowing
+                    // both would nest traced → rpc → traced without
+                    // bound.
+                    Some(&opcode::RPC_REQ) | Some(&opcode::RPC_RESP) => {
+                        return Err(WireError::NestedTrace)
+                    }
                     _ => {}
                 }
                 Frame::Traced {
                     id,
                     inner: Box::new(Frame::decode(rest)?),
+                }
+            }
+            op @ (opcode::RPC_REQ | opcode::RPC_RESP) => {
+                let corr = cur.u64()?;
+                let rest = cur.take(payload.len() - 9)?;
+                match rest.first() {
+                    Some(&opcode::RPC_REQ) | Some(&opcode::RPC_RESP) | Some(&opcode::BATCH) => {
+                        return Err(WireError::NestedRpc)
+                    }
+                    _ => {}
+                }
+                let inner = Box::new(Frame::decode(rest)?);
+                if op == opcode::RPC_REQ {
+                    Frame::RpcReq { corr, inner }
+                } else {
+                    Frame::RpcResp { corr, inner }
                 }
             }
             opcode::TRACE_DUMP => Frame::TraceDump,
@@ -1310,6 +1395,44 @@ mod tests {
                     value: b"sampled".to_vec(),
                 }),
             },
+            Frame::RpcReq {
+                corr: 7,
+                inner: Box::new(Frame::MissGet { key: 3 }),
+            },
+            Frame::RpcReq {
+                corr: u64::MAX,
+                inner: Box::new(Frame::Traced {
+                    id: 0xAB,
+                    inner: Box::new(Frame::MissPut {
+                        key: 3,
+                        tag: 11,
+                        writer: 2,
+                        value: b"cold".to_vec(),
+                    }),
+                }),
+            },
+            Frame::RpcResp {
+                corr: 7,
+                inner: Box::new(Frame::MissGetResp {
+                    value: b"v".to_vec(),
+                }),
+            },
+            Frame::RpcResp {
+                corr: 9,
+                inner: Box::new(Frame::MissRetry),
+            },
+            Frame::Batch {
+                frames: vec![
+                    Frame::RpcReq {
+                        corr: 1,
+                        inner: Box::new(Frame::MissGet { key: 3 }),
+                    },
+                    Frame::RpcResp {
+                        corr: 2,
+                        inner: Box::new(Frame::MissGetResp { value: Vec::new() }),
+                    },
+                ],
+            },
             Frame::Traced {
                 id: 1,
                 inner: Box::new(Frame::Protocol {
@@ -1393,6 +1516,52 @@ mod tests {
         let mut empty = vec![super::opcode::TRACED];
         empty.extend_from_slice(&1u64.to_le_bytes());
         assert_eq!(Frame::decode(&empty), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn nested_rpc_envelopes_are_rejected() {
+        // Hand-encode (encode() debug-asserts against nesting). The bound
+        // to defend: decode depth stays batch → rpc → traced → frame.
+        let wrap = |op: u8, corr: u64, inner: &[u8]| {
+            let mut buf = vec![op];
+            buf.extend_from_slice(&corr.to_le_bytes());
+            buf.extend_from_slice(inner);
+            buf
+        };
+        let req = Frame::RpcReq {
+            corr: 1,
+            inner: Box::new(Frame::Ping),
+        }
+        .encode();
+        // rpc-in-rpc, both directions.
+        assert_eq!(
+            Frame::decode(&wrap(super::opcode::RPC_REQ, 2, &req)),
+            Err(WireError::NestedRpc)
+        );
+        assert_eq!(
+            Frame::decode(&wrap(super::opcode::RPC_RESP, 2, &req)),
+            Err(WireError::NestedRpc)
+        );
+        // batch-in-rpc.
+        let batch = Frame::Batch {
+            frames: vec![Frame::Ping],
+        }
+        .encode();
+        assert_eq!(
+            Frame::decode(&wrap(super::opcode::RPC_REQ, 2, &batch)),
+            Err(WireError::NestedRpc)
+        );
+        // rpc-in-traced: trace context belongs inside the correlation
+        // envelope, never around it.
+        let mut traced_rpc = vec![super::opcode::TRACED];
+        traced_rpc.extend_from_slice(&1u64.to_le_bytes());
+        traced_rpc.extend_from_slice(&req);
+        assert_eq!(Frame::decode(&traced_rpc), Err(WireError::NestedTrace));
+        // A truncated envelope (corr but no inner frame) is a truncation.
+        assert_eq!(
+            Frame::decode(&wrap(super::opcode::RPC_REQ, 2, &[])),
+            Err(WireError::Truncated)
+        );
     }
 
     #[test]

@@ -57,10 +57,7 @@ fn five_thousand_connections_per_node_serve_lin_checked_workload() {
     let mut cfg = RackConfig::small(ConsistencyModel::Lin, 3);
     cfg.cache_capacity = 128;
     cfg.metrics = false;
-    cfg.reactor = ReactorConfig {
-        shards: 2,
-        workers: 8,
-    };
+    cfg.reactor = ReactorConfig { shards: 2 };
     let rack = Rack::launch(cfg).expect("launch rack");
     let dataset = Dataset::new(10_000, 40);
     rack.install_hot_set(&dataset.hot_entries(128))

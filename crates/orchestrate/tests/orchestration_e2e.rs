@@ -343,6 +343,128 @@ fn whole_rack_chaos_traffic_stays_checker_clean_across_a_crash() {
     supervisor.shutdown();
 }
 
+/// The acceptance test for the continuation satellite: a Lin writer whose
+/// commit is pending when a peer is SIGKILLed must NOT strand. Its queued
+/// response is parked on the serving shard waiting for the dead peer's
+/// ack; when the supervisor's replacement process redials, the survivor
+/// reissues the pending invalidations, collects the vacuous acks, and the
+/// final ack fires the parked continuation — the client gets its response
+/// with no worker thread ever involved. The observable bar: every put
+/// issued across the crash window completes, at least one survivor
+/// demonstrably reissued invalidations for pending writes, the live rack
+/// reports zero reactor worker threads, and the history checks Lin-clean.
+#[test]
+fn pending_lin_writer_resumes_via_vacuous_acks_after_peer_sigkill() {
+    let node_bin = sibling_binary("cckvs-node").expect("cckvs-node built next to the tests");
+    let ports = free_ports(6);
+    let topology = test_topology(&ports[..3], &ports[3..]);
+    let metrics_addrs: Vec<SocketAddr> = topology
+        .nodes
+        .iter()
+        .map(|n| n.metrics.expect("metrics configured"))
+        .collect();
+    let mut cfg = SupervisorConfig::new(node_bin);
+    cfg.backoff_start = Duration::from_millis(100);
+    let supervisor = Supervisor::launch(topology, cfg).expect("launch rack");
+    supervisor
+        .wait_ready(Duration::from_secs(60))
+        .expect("rack ready");
+    let addrs = supervisor.client_addrs();
+    let entries: Vec<(u64, Vec<u8>)> = (0..HOT_KEYS).map(|k| (k, vec![0u8; 16])).collect();
+    install_hot_set(&addrs, &entries).expect("install hot set");
+
+    // Writers pinned to the survivors hammer hot puts back to back: a hot
+    // Lin put broadcasts an invalidation to every peer and its response
+    // stays parked until the last ack — so at SIGKILL time some put is
+    // all but certainly waiting on the doomed node, and every put issued
+    // during the dead window parks behind the downed link.
+    let history = Arc::new(SharedHistory::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let writers: Vec<_> = (0..SESSIONS)
+        .map(|session| {
+            let survivors = vec![addrs[1], addrs[2]];
+            let history = Arc::clone(&history);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut client =
+                    Client::connect(&survivors, session, LoadBalancePolicy::RoundRobin)
+                        .expect("connect")
+                        .with_history(history);
+                let mut seq = 0u64;
+                let mut slowest = Duration::ZERO;
+                while !stop.load(Ordering::Relaxed) {
+                    seq += 1;
+                    let key = (seq * u64::from(SESSIONS) + u64::from(session)) % HOT_KEYS;
+                    let mut value = Vec::with_capacity(12);
+                    value.extend_from_slice(&session.to_le_bytes());
+                    value.extend_from_slice(&seq.to_le_bytes());
+                    let started = Instant::now();
+                    client
+                        .put(key, &value)
+                        .expect("pending Lin put must resume, not strand");
+                    slowest = slowest.max(started.elapsed());
+                }
+                slowest
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_millis(400));
+    supervisor.kill_node(0).expect("SIGKILL node 0");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !(supervisor.restarts(0) >= 1 && supervisor.status(0) == NodeStatus::Ready) {
+        assert!(Instant::now() < deadline, "node 0 not restarted in time");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    // Let the reissue/vacuous-ack round complete under traffic.
+    std::thread::sleep(Duration::from_secs(1));
+    stop.store(true, Ordering::Relaxed);
+    let mut slowest = Duration::ZERO;
+    for writer in writers {
+        // A stranded writer would hang this join (and time the test out);
+        // completion IS the no-stranded-client assertion.
+        slowest = slowest.max(writer.join().expect("writer survived the crash"));
+    }
+    assert!(
+        slowest < Duration::from_secs(30),
+        "a put took {slowest:?} — response fired far later than the recovery path allows"
+    );
+
+    // The resume path demonstrably ran: a survivor reissued invalidations
+    // for writes that were pending when the replacement process redialed,
+    // and the parked continuations fired on-shard — with the worker pool
+    // gone for good.
+    let mut reissued = 0;
+    for &metrics in &metrics_addrs[1..] {
+        reissued += scrape_counter(metrics, "reissued_invalidations_total").unwrap_or(0);
+        let workers = scrape_counter(metrics, "reactor_workers");
+        assert_eq!(
+            workers,
+            Some(0),
+            "survivor at {metrics} reports worker threads in the zero-worker model"
+        );
+        let fired = scrape_counter(metrics, "continuation_fire_count").unwrap_or(0);
+        assert!(
+            fired > 0,
+            "survivor at {metrics} served Lin puts without firing continuations"
+        );
+    }
+    assert!(
+        reissued >= 1,
+        "no survivor reissued invalidations — no writer was actually pending across the crash"
+    );
+
+    let history = history.snapshot();
+    assert!(history.len() > 100, "too few operations recorded");
+    history
+        .check_per_key_sc()
+        .unwrap_or_else(|v| panic!("per-key SC violated across the mid-commit crash: {v}"));
+    history
+        .check_per_key_lin()
+        .unwrap_or_else(|v| panic!("per-key Lin violated across the mid-commit crash: {v}"));
+    supervisor.shutdown();
+}
+
 /// Cold-version continuity across a crash: the supervisor polls each
 /// node's version counter and hands the restarted replacement a slacked
 /// floor, so home-assigned versions for cold writes never regress — a

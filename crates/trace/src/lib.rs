@@ -46,8 +46,11 @@ pub enum EventKind {
     /// A traced client frame was decoded off a client socket.
     Decode = 0,
     /// The op could not be served inline and was queued for a worker.
+    /// Retired with the worker pool (every frame is handled on-shard
+    /// now); kept decodable so archived dumps still assemble.
     HandoffEnqueue = 1,
-    /// A worker picked the op up from the job queue.
+    /// A worker picked the op up from the job queue. Retired alongside
+    /// [`EventKind::HandoffEnqueue`].
     HandoffDequeue = 2,
     /// A Lin write hit the cache and started its invalidation round.
     LinInitiate = 3,
@@ -71,6 +74,11 @@ pub enum EventKind {
     MissRpc = 11,
     /// The response to the traced client op was written back.
     Respond = 12,
+    /// A suspended op's continuation resumed on its owning shard (the
+    /// commit, RPC response, or retry tick that un-suspended it arrived;
+    /// `peer` = the peer whose message fired it, if any). Replaces the
+    /// retired worker handoff pair in timelines.
+    ContinuationFire = 13,
 }
 
 impl EventKind {
@@ -90,6 +98,7 @@ impl EventKind {
             10 => EventKind::UpdateSend,
             11 => EventKind::MissRpc,
             12 => EventKind::Respond,
+            13 => EventKind::ContinuationFire,
             _ => return None,
         })
     }
@@ -110,6 +119,7 @@ impl EventKind {
             EventKind::UpdateSend => "update_send",
             EventKind::MissRpc => "miss_rpc",
             EventKind::Respond => "respond",
+            EventKind::ContinuationFire => "continuation_fire",
         }
     }
 }
@@ -469,12 +479,12 @@ mod tests {
 
     #[test]
     fn event_kind_roundtrips() {
-        for v in 0..=12u8 {
+        for v in 0..=13u8 {
             let kind = EventKind::from_u8(v).expect("kind");
             assert_eq!(kind as u8, v);
             assert!(!kind.name().is_empty());
         }
-        assert_eq!(EventKind::from_u8(13), None);
+        assert_eq!(EventKind::from_u8(14), None);
         assert_eq!(EventKind::from_u8(255), None);
     }
 }

@@ -60,6 +60,28 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived before the timeout elapsed.
+        Timeout,
+        /// The channel is empty and all senders are gone.
+        Disconnected,
+    }
+
+    impl std::fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                Self::Timeout => write!(f, "timed out waiting on an empty channel"),
+                Self::Disconnected => {
+                    write!(f, "receiving on an empty, disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
     /// The sending half of a channel.
     pub struct Sender<T> {
         shared: Arc<Shared<T>>,
@@ -154,6 +176,34 @@ pub mod channel {
                     .ready
                     .wait(queue)
                     .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Dequeues a message, blocking at most `timeout` while the channel
+        /// is empty and at least one sender is alive.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(value) = queue.pop_front() {
+                    return Ok(value);
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                let Some(left) = deadline
+                    .checked_duration_since(now)
+                    .filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                queue = self
+                    .shared
+                    .ready
+                    .wait_timeout(queue, left)
+                    .unwrap_or_else(|e| e.into_inner())
+                    .0;
             }
         }
 
