@@ -23,6 +23,7 @@
 use cckvs_net::client::{BatchConfig, Client, SharedHistory};
 use cckvs_net::metrics::Metrics;
 use cckvs_net::rack::{Rack, RackConfig};
+use cckvs_net::transport::TransportConfig;
 use cckvs_net::LoadBalancePolicy;
 use consistency::messages::ConsistencyModel;
 use std::fmt::Write as _;
@@ -124,8 +125,8 @@ fn model_name(model: ConsistencyModel) -> &'static str {
     }
 }
 
-fn run_point(cfg: Config, total_ops: u64, trace_every: u64) -> Point {
-    let mut rack_cfg = RackConfig::small(cfg.model, NODES);
+fn run_point(cfg: Config, total_ops: u64, trace_every: u64, transport: TransportConfig) -> Point {
+    let mut rack_cfg = RackConfig::small(cfg.model, NODES).with_transport(transport);
     rack_cfg.cache_capacity = HOT_KEYS;
     rack_cfg.metrics = false;
     let rack = Rack::launch(rack_cfg).expect("launch rack");
@@ -164,17 +165,20 @@ fn run_point(cfg: Config, total_ops: u64, trace_every: u64) -> Point {
                     }
                     ConsistencyModel::Lin => LoadBalancePolicy::RoundRobin,
                 };
-                let mut client = Client::connect(&addrs, session, policy)
-                    .expect("connect session")
-                    .with_metrics(metrics)
-                    .with_batching(BatchConfig {
+                let mut builder = Client::builder(&addrs)
+                    .session(session)
+                    .policy(policy)
+                    .transport(transport)
+                    .metrics(metrics)
+                    .batching(BatchConfig {
                         max_ops: batch_ops,
                         ..BatchConfig::default()
                     })
-                    .with_trace_sampling(trace_every);
+                    .trace_sampling(trace_every);
                 if let Some(history) = history {
-                    client = client.with_history(history);
+                    builder = builder.history(history);
                 }
+                let mut client = builder.connect().expect("connect session");
                 for _ in 0..ops_per_session {
                     let op = gen.next_op();
                     let result = if batch_ops > 1 {
@@ -272,7 +276,7 @@ fn main() {
                     write_ratio,
                     batch_ops,
                 };
-                let point = run_point(cfg, total_ops, 0);
+                let point = run_point(cfg, total_ops, 0, TransportConfig::tcp());
                 eprintln!(
                     "net_throughput: {}/wr{:.2}/batch{:<3} {:>8.0} ops/s | hit {:>5.1}% | \
                      p50 {:>7.1}µs p99 {:>8.1}µs{}",
@@ -341,13 +345,40 @@ fn main() {
         write_ratio: 0.05,
         batch_ops: 1,
     };
-    let untraced = run_point(overhead_cfg, total_ops, 0);
-    let traced = run_point(overhead_cfg, total_ops, TRACE_EVERY);
+    let untraced = run_point(overhead_cfg, total_ops, 0, TransportConfig::tcp());
+    let traced = run_point(overhead_cfg, total_ops, TRACE_EVERY, TransportConfig::tcp());
     let trace_ratio = traced.ops_per_sec / untraced.ops_per_sec;
     eprintln!(
         "net_throughput: tracing overhead (lin/wr0.05/batch1): \
          untraced {:.0} ops/s | traced 1/{TRACE_EVERY} {:.0} ops/s | ratio {:.3}",
         untraced.ops_per_sec, traced.ops_per_sec, trace_ratio
+    );
+
+    // Informational UDP point (never gated): the same batched Lin mix on
+    // the recovering datagram transport, so the per-fabric cost is on the
+    // record next to the TCP sweep. Loopback is lossless; what this prices
+    // is the userspace framing/ack machinery, not recovery itself.
+    let udp_cfg = Config {
+        model: ConsistencyModel::Lin,
+        write_ratio: 0.05,
+        batch_ops: 16,
+    };
+    let udp = run_point(udp_cfg, total_ops, 0, TransportConfig::udp());
+    assert_ne!(
+        udp.lin_ok,
+        Some(false),
+        "per-key Lin violated on the UDP informational point"
+    );
+    eprintln!(
+        "net_throughput: udp (informational) lin/wr0.05/batch16 {:.0} ops/s | p50 {:.1}µs p99 {:.1}µs{}",
+        udp.ops_per_sec,
+        udp.p50_us,
+        udp.p99_us,
+        match udp.lin_ok {
+            Some(true) => " | lin OK",
+            Some(false) => " | lin VIOLATED",
+            None => "",
+        }
     );
 
     let mut json = String::new();
@@ -411,6 +442,21 @@ fn main() {
         );
     }
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"udp\": {{\"model\": \"{}\", \"write_ratio\": {}, \"batch_ops\": {}, \
+         \"ops_per_sec\": {:.0}, \"p50_us\": {:.1}, \"p99_us\": {:.1}{}}},",
+        model_name(udp.cfg.model),
+        udp.cfg.write_ratio,
+        udp.cfg.batch_ops,
+        udp.ops_per_sec,
+        udp.p50_us,
+        udp.p99_us,
+        match udp.lin_ok {
+            Some(ok) => format!(", \"lin_ok\": {ok}"),
+            None => String::new(),
+        }
+    );
     let _ = writeln!(json, "  \"speedups\": [");
     for (i, (model, wr, batch, batched, unbatched, speedup)) in speedups.iter().enumerate() {
         let _ = writeln!(

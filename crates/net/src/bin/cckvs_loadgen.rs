@@ -12,8 +12,9 @@
 //!     --model lin --install-hot 256
 //! ```
 
-use cckvs_net::client::{install_hot_set, BatchConfig, Client, SharedHistory};
+use cckvs_net::client::{install_hot_set_via, BatchConfig, Client, SharedHistory};
 use cckvs_net::metrics::Metrics;
+use cckvs_net::transport::{TransportConfig, TransportKind};
 use cckvs_net::LoadBalancePolicy;
 use consistency::messages::ConsistencyModel;
 use simnet::Histogram;
@@ -64,6 +65,7 @@ struct Args {
     shutdown: bool,
     tolerate_errors: bool,
     trace_every: u64,
+    transport: TransportKind,
 }
 
 fn usage() -> ! {
@@ -72,7 +74,9 @@ fn usage() -> ! {
          [--zipf THETA|uniform] [--write-ratio F] [--keys N] [--value-size B] \
          [--model sc|lin] [--install-hot N] [--batch N] [--connections N] \
          [--no-check] [--json] [--shutdown] [--tolerate-errors] \
-         [--trace-every N]\n\
+         [--trace-every N] [--transport tcp|udp]\n\
+         --transport must match the deployment's fabric (cckvs-node\n\
+         --transport; default tcp).\n\
          --trace-every N samples one in every N ops into the rack-wide\n\
          tracing subsystem (span events queryable via cckvs-trace; 0 = off).\n\
          --connections N opens N concurrent single-node client connections\n\
@@ -106,6 +110,7 @@ fn parse_args() -> Args {
         shutdown: false,
         tolerate_errors: false,
         trace_every: 0,
+        transport: TransportKind::Tcp,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -156,6 +161,12 @@ fn parse_args() -> Args {
             "--trace-every" => {
                 args.trace_every = value("--trace-every").parse().unwrap_or_else(|_| usage())
             }
+            "--transport" => {
+                args.transport = value("--transport").parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                })
+            }
             "--no-check" => args.check = false,
             "--json" => args.json = true,
             "--shutdown" => args.shutdown = true,
@@ -186,7 +197,16 @@ fn main() {
     let args = parse_args();
     // Preflight: reach every node before spawning sessions, so an
     // unreachable deployment is one clean error instead of thread panics.
-    let mut admin = match Client::connect(&args.servers, u32::MAX, LoadBalancePolicy::RoundRobin) {
+    let transport = TransportConfig {
+        kind: args.transport,
+        faults: None,
+    };
+    let mut admin = match Client::builder(&args.servers)
+        .session(u32::MAX)
+        .policy(LoadBalancePolicy::RoundRobin)
+        .transport(transport)
+        .connect()
+    {
         Ok(admin) => admin,
         Err(e) => {
             eprintln!("cckvs-loadgen: cannot reach the deployment: {e}");
@@ -231,7 +251,7 @@ fn main() {
     }
     if install_hot > 0 {
         let entries = dataset.hot_entries(install_hot);
-        if let Err(e) = install_hot_set(&args.servers, &entries) {
+        if let Err(e) = install_hot_set_via(&*transport.build(), &args.servers, &entries) {
             eprintln!("cckvs-loadgen: hot-set install failed: {e}");
             std::process::exit(1);
         }
@@ -295,19 +315,18 @@ fn main() {
                         .filter(|i| i % sessions as usize == session as usize)
                         .map(|i| {
                             let addr = servers[i % servers.len()];
-                            let mut client = Client::connect(
-                                &[addr],
+                            let mut builder = Client::builder(&[addr])
                                 // Sessions the admin preflight never uses.
-                                u32::try_from(i).expect("connection index fits"),
-                                LoadBalancePolicy::Pinned(0),
-                            )
-                            .unwrap_or_else(|e| fail("connect", &e))
-                            .with_metrics(Arc::clone(&metrics))
-                            .with_batching(batching)
-                            .with_trace_sampling(trace_every);
+                                .session(u32::try_from(i).expect("connection index fits"))
+                                .policy(LoadBalancePolicy::Pinned(0))
+                                .transport(transport)
+                                .metrics(Arc::clone(&metrics))
+                                .batching(batching)
+                                .trace_sampling(trace_every);
                             if let Some(history) = &history {
-                                client = client.with_history(Arc::clone(history));
+                                builder = builder.history(Arc::clone(history));
                             }
+                            let client = builder.connect().unwrap_or_else(|e| fail("connect", &e));
                             (i, client, Histogram::new())
                         })
                         .collect()
@@ -322,14 +341,17 @@ fn main() {
                         }
                         ConsistencyModel::Lin => LoadBalancePolicy::RoundRobin,
                     };
-                    let mut client = Client::connect(&servers, session, policy)
-                        .unwrap_or_else(|e| fail("connect", &e))
-                        .with_metrics(Arc::clone(&metrics))
-                        .with_batching(batching)
-                        .with_trace_sampling(trace_every);
+                    let mut builder = Client::builder(&servers)
+                        .session(session)
+                        .policy(policy)
+                        .transport(transport)
+                        .metrics(Arc::clone(&metrics))
+                        .batching(batching)
+                        .trace_sampling(trace_every);
                     if let Some(history) = &history {
-                        client = client.with_history(Arc::clone(history));
+                        builder = builder.history(Arc::clone(history));
                     }
+                    let client = builder.connect().unwrap_or_else(|e| fail("connect", &e));
                     vec![(usize::MAX, client, Histogram::new())]
                 };
                 if clients.is_empty() {

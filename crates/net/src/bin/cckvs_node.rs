@@ -18,6 +18,7 @@
 
 use cckvs::node::{NodeConfig, DEFAULT_KVS_THREADS};
 use cckvs_net::server::{NodeServer, NodeServerConfig, ReactorConfig};
+use cckvs_net::transport::TransportKind;
 use consistency::messages::ConsistencyModel;
 use std::io::Read;
 use std::net::SocketAddr;
@@ -54,6 +55,7 @@ struct Args {
     ready_fd: Option<i32>,
     cold_floor: u32,
     hot_fence: Vec<u64>,
+    transport: TransportKind,
 }
 
 fn usage() -> ! {
@@ -62,7 +64,12 @@ fn usage() -> ! {
          [--model sc|lin] [--metrics ADDR] [--cache-capacity N] \
          [--kvs-capacity N] [--value-capacity N] [--peer-timeout SECS] \
          [--epoch-hot-set N] [--shards N] [--ready-fd FD]\n\
-         [--cold-floor N] [--hot-fence K1,K2,...]\n\
+         [--cold-floor N] [--hot-fence K1,K2,...] [--transport tcp|udp]\n\
+         --transport picks the fabric the node listens on and dials peers\n\
+         over (default tcp; every node and client of a deployment must\n\
+         agree). udp runs datagrams with userspace loss recovery — the\n\
+         paper's unreliable-datagram fabric shape. The metrics endpoint\n\
+         stays HTTP-over-TCP either way.\n\
          --shards sizes the epoll reactor (shard event-loop threads; every\n\
          frame — including Lin commits and miss-path RPCs — is handled\n\
          on-shard, so thread count is O(shards), independent of connection\n\
@@ -106,6 +113,7 @@ fn parse_args() -> Args {
         ready_fd: None,
         cold_floor: 0,
         hot_fence: Vec::new(),
+        transport: TransportKind::Tcp,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -156,6 +164,12 @@ fn parse_args() -> Args {
                     Some(value("--epoch-hot-set").parse().unwrap_or_else(|_| usage()))
             }
             "--shards" => args.shards = value("--shards").parse().unwrap_or_else(|_| usage()),
+            "--transport" => {
+                args.transport = value("--transport").parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                })
+            }
             "--workers" => {
                 // Deprecated: the blocking worker pool is gone — every frame
                 // is handled on-shard. Parse (so old supervisor command
@@ -227,6 +241,10 @@ fn main() {
         rpc_retry: cckvs_net::server::DEFAULT_RPC_RETRY,
         cold_version_floor: args.cold_floor,
         hot_fence: args.hot_fence,
+        transport: cckvs_net::transport::TransportConfig {
+            kind: args.transport,
+            faults: None,
+        },
     };
     let mut server = match NodeServer::start(cfg) {
         Ok(server) => server,
@@ -237,11 +255,12 @@ fn main() {
         }
     };
     eprintln!(
-        "cckvs-node: node {} of {} ({}) listening on {}{}",
+        "cckvs-node: node {} of {} ({}) listening on {} over {}{}",
         args.node,
         args.nodes,
         args.model.label(),
         server.addr(),
+        args.transport,
         server
             .metrics_addr()
             .map(|a| format!(", metrics on http://{a}/metrics"))

@@ -14,6 +14,7 @@
 //! sessions may spread freely.
 
 use crate::metrics::Metrics;
+use crate::transport::{Connection, TcpTransport, Transport, TransportConfig};
 use crate::wire::{read_frame, write_frame, Frame};
 use cckvs::cluster::value_tag_of;
 use consistency::history::{History, OpRecord, RecordKind};
@@ -21,10 +22,10 @@ use consistency::lamport::Timestamp;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::io::{self, BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpStream};
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 pub use workload::LoadBalancePolicy;
 
 /// A process-wide recorded history with the shared logical clock the
@@ -59,10 +60,17 @@ impl SharedHistory {
 
 /// A framed request/response connection. Shared with the server's
 /// miss-path RPC links, which speak the same dial → hello → call sequence.
+/// Fabric-agnostic: it drives whatever [`Connection`] the deployment's
+/// [`Transport`] dials.
 pub(crate) struct Conn {
-    reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
+    reader: BufReader<Box<dyn Connection>>,
+    writer: BufWriter<Box<dyn Connection>>,
 }
+
+/// How long a client-side dial may take before it fails. Blocking clients
+/// previously relied on the OS connect timeout (minutes); an explicit bound
+/// keeps dead-node redials from stalling a whole session.
+pub(crate) const CLIENT_DIAL_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Connection buffer capacity. Frames on the request/response paths are
 /// ~100 bytes; `BufReader`/`BufWriter` bypass their buffer for larger
@@ -81,18 +89,22 @@ const CONN_BUF_BYTES: usize = 1024;
 pub(crate) const CONN_KERNEL_BUF_BYTES: usize = 32 * 1024;
 
 impl Conn {
-    pub(crate) fn open(addr: SocketAddr, hello: &Frame) -> io::Result<Conn> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
+    pub(crate) fn open(
+        transport: &dyn Transport,
+        addr: SocketAddr,
+        hello: &Frame,
+    ) -> io::Result<Conn> {
+        let stream = transport.dial(addr, CLIENT_DIAL_TIMEOUT)?;
         // Cap kernel socket buffers on the request/response paths: a
         // driver holding thousands of connections otherwise spends most
         // of its memory (and cache) on default-sized kernel buffers.
         // Best-effort — frames still flow (in more round trips) if the
-        // cap is refused.
-        let _ = reactor::set_socket_buffers(
-            std::os::fd::AsRawFd::as_raw_fd(&stream),
-            CONN_KERNEL_BUF_BYTES,
-        );
+        // cap is refused. Datagram fabrics keep kernel defaults: a 32 KB
+        // receive buffer holds only two max-size datagrams, which turns
+        // ordinary bursts into (recoverable but slow) loss.
+        if stream.datagram_cap().is_none() {
+            let _ = reactor::set_socket_buffers(stream.raw_fd(), CONN_KERNEL_BUF_BYTES);
+        }
         let mut writer = BufWriter::with_capacity(CONN_BUF_BYTES, stream.try_clone()?);
         write_frame(&mut writer, hello)?;
         writer.flush()?;
@@ -216,6 +228,7 @@ pub struct Client {
     session: u32,
     addrs: Vec<SocketAddr>,
     conns: Vec<Option<Conn>>,
+    transport: Arc<dyn Transport>,
     policy: LoadBalancePolicy,
     rr_next: usize,
     rng: StdRng,
@@ -243,42 +256,134 @@ pub struct Client {
     last_trace: Option<u64>,
 }
 
-impl Client {
-    /// Connects to every node of the deployment.
+/// Configures and connects a [`Client`]: the one place every session
+/// option lives, replacing the post-connect `with_*` chain that grew by
+/// accretion. Obtained from [`Client::builder`].
+///
+/// ```no_run
+/// use cckvs_net::client::{Client, LoadBalancePolicy};
+/// use cckvs_net::transport::TransportConfig;
+///
+/// let addrs = vec!["127.0.0.1:4000".parse().unwrap()];
+/// let client = Client::builder(&addrs)
+///     .session(7)
+///     .policy(LoadBalancePolicy::RoundRobin)
+///     .transport(TransportConfig::udp())
+///     .trace_sampling(128)
+///     .connect()
+///     .unwrap();
+/// # drop(client);
+/// ```
+#[derive(Clone)]
+pub struct ClientBuilder {
+    addrs: Vec<SocketAddr>,
+    session: u32,
+    policy: LoadBalancePolicy,
+    transport: TransportConfig,
+    batching: BatchConfig,
+    trace_every: u64,
+    history: Option<Arc<SharedHistory>>,
+    metrics: Option<Arc<Metrics>>,
+}
+
+impl ClientBuilder {
+    /// The session id (distinguishes sessions in checked histories and
+    /// salts the load-balancing RNG). Default 0.
+    pub fn session(mut self, session: u32) -> Self {
+        self.session = session;
+        self
+    }
+
+    /// How requests spread across the deployment. Default
+    /// [`LoadBalancePolicy::RoundRobin`].
+    pub fn policy(mut self, policy: LoadBalancePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Which fabric to dial the deployment over. Must match the servers'
+    /// transport. Default TCP.
+    pub fn transport(mut self, transport: TransportConfig) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Request-coalescing bounds for [`Client::queue_get`] /
+    /// [`Client::queue_put`].
     ///
     /// # Panics
     ///
-    /// Panics if `addrs` is empty or a pinned policy points outside it.
-    pub fn connect(
-        addrs: &[SocketAddr],
-        session: u32,
-        policy: LoadBalancePolicy,
-    ) -> io::Result<Client> {
-        assert!(!addrs.is_empty(), "deployment must have at least one node");
-        if let LoadBalancePolicy::Pinned(n) = policy {
-            assert!(n < addrs.len(), "pinned node {n} outside deployment");
+    /// Panics if `max_ops` is 0 or `max_bytes` exceeds half the wire
+    /// frame limit (the doorbell fires *at* the bound, so a batch can
+    /// overshoot by one op's payload).
+    pub fn batching(mut self, batching: BatchConfig) -> Self {
+        assert!(batching.max_ops >= 1, "batches need at least one op");
+        assert!(
+            batching.max_bytes <= crate::wire::MAX_FRAME_BYTES / 2,
+            "max_bytes must stay below half the wire frame limit"
+        );
+        self.batching = batching;
+        self
+    }
+
+    /// Samples one in every `every` operations into the rack-wide tracing
+    /// subsystem (0 = off, the default).
+    pub fn trace_sampling(mut self, every: u64) -> Self {
+        self.trace_every = every;
+        self
+    }
+
+    /// Records cached-key operations into `history` (for the checkers).
+    pub fn history(mut self, history: Arc<SharedHistory>) -> Self {
+        self.history = Some(history);
+        self
+    }
+
+    /// Records per-operation latency and hit/miss counters into `metrics`.
+    pub fn metrics(mut self, metrics: Arc<Metrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Dials every node and builds the session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address list is empty or a pinned policy points
+    /// outside it.
+    pub fn connect(self) -> io::Result<Client> {
+        assert!(
+            !self.addrs.is_empty(),
+            "deployment must have at least one node"
+        );
+        if let LoadBalancePolicy::Pinned(n) = self.policy {
+            assert!(n < self.addrs.len(), "pinned node {n} outside deployment");
         }
-        let conns = addrs
+        let transport = self.transport.build();
+        let conns = self
+            .addrs
             .iter()
-            .map(|&addr| Conn::open(addr, &Frame::ClientHello).map(Some))
+            .map(|&addr| Conn::open(&*transport, addr, &Frame::ClientHello).map(Some))
             .collect::<io::Result<Vec<_>>>()?;
+        let session = self.session;
         Ok(Client {
             session,
             rr_next: session as usize % conns.len(),
-            addrs: addrs.to_vec(),
+            addrs: self.addrs,
             node_errors: vec![0; conns.len()],
             conns,
-            policy,
+            transport,
+            policy: self.policy,
             rng: StdRng::seed_from_u64(0x5EED_C11E_0000_0000 ^ u64::from(session)),
             session_seq: 0,
-            history: None,
-            metrics: None,
-            batching: BatchConfig::default(),
+            history: self.history,
+            metrics: self.metrics,
+            batching: self.batching,
             queue: Vec::new(),
             queue_bytes: 0,
             outcomes: Vec::new(),
             reconnects: 0,
-            trace_every: 0,
+            trace_every: self.trace_every,
             trace_ops: 0,
             trace_seq: 0,
             // Wall-clock salt makes ids unique across processes even when
@@ -288,11 +393,46 @@ impl Client {
             last_trace: None,
         })
     }
+}
+
+impl Client {
+    /// Starts configuring a session against `addrs` (one per node).
+    pub fn builder(addrs: &[SocketAddr]) -> ClientBuilder {
+        ClientBuilder {
+            addrs: addrs.to_vec(),
+            session: 0,
+            policy: LoadBalancePolicy::RoundRobin,
+            transport: TransportConfig::tcp(),
+            batching: BatchConfig::default(),
+            trace_every: 0,
+            history: None,
+            metrics: None,
+        }
+    }
+
+    /// Connects to every node of the deployment over TCP with default
+    /// options — shorthand for [`Client::builder`] with only the session
+    /// and policy set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addrs` is empty or a pinned policy points outside it.
+    pub fn connect(
+        addrs: &[SocketAddr],
+        session: u32,
+        policy: LoadBalancePolicy,
+    ) -> io::Result<Client> {
+        Client::builder(addrs)
+            .session(session)
+            .policy(policy)
+            .connect()
+    }
 
     /// Samples one in every `every` operations into the rack-wide tracing
     /// subsystem: the sampled op's frame travels inside a trace envelope
     /// whose id every node stamps its span events with. 0 disables
     /// tracing (the default).
+    #[deprecated(note = "use Client::builder(..).trace_sampling(every)")]
     pub fn with_trace_sampling(mut self, every: u64) -> Self {
         self.trace_every = every;
         self
@@ -357,7 +497,7 @@ impl Client {
     /// The connection to `node`, redialing it if the previous one died.
     fn conn(&mut self, node: usize) -> io::Result<&mut Conn> {
         if self.conns[node].is_none() {
-            let conn = Conn::open(self.addrs[node], &Frame::ClientHello)?;
+            let conn = Conn::open(&*self.transport, self.addrs[node], &Frame::ClientHello)?;
             self.conns[node] = Some(conn);
             self.reconnects += 1;
         }
@@ -387,6 +527,7 @@ impl Client {
     /// Sets the request-coalescing knobs used by [`Client::queue_get`] /
     /// [`Client::queue_put`] (the plain [`Client::get`] / [`Client::put`]
     /// calls stay one-frame-per-op).
+    #[deprecated(note = "use Client::builder(..).batching(config)")]
     pub fn with_batching(mut self, batching: BatchConfig) -> Self {
         assert!(batching.max_ops >= 1, "batches need at least one op");
         // The doorbell fires *at* the bound, so a batch can exceed
@@ -401,12 +542,14 @@ impl Client {
     }
 
     /// Records cached-key operations into `history` (for the checkers).
+    #[deprecated(note = "use Client::builder(..).history(history)")]
     pub fn with_history(mut self, history: Arc<SharedHistory>) -> Self {
         self.history = Some(history);
         self
     }
 
     /// Records per-operation latency and hit/miss counters into `metrics`.
+    #[deprecated(note = "use Client::builder(..).metrics(metrics)")]
     pub fn with_metrics(mut self, metrics: Arc<Metrics>) -> Self {
         self.metrics = Some(metrics);
         self
@@ -750,11 +893,21 @@ impl Client {
 /// written keys should go through [`install_hot_set_versioned`] with their
 /// home shards' stored versions.
 pub fn install_hot_set(addrs: &[SocketAddr], entries: &[(u64, Vec<u8>)]) -> io::Result<()> {
+    install_hot_set_via(&TcpTransport, addrs, entries)
+}
+
+/// [`install_hot_set`] over an explicit [`Transport`] (a UDP deployment's
+/// admin traffic must ride the same fabric its nodes listen on).
+pub fn install_hot_set_via(
+    transport: &dyn Transport,
+    addrs: &[SocketAddr],
+    entries: &[(u64, Vec<u8>)],
+) -> io::Result<()> {
     let versioned: Vec<(u64, Vec<u8>, Timestamp)> = entries
         .iter()
         .map(|(key, value)| (*key, value.clone(), Timestamp::ZERO))
         .collect();
-    install_hot_set_versioned(addrs, &versioned)
+    install_hot_set_versioned_via(transport, addrs, &versioned)
 }
 
 /// Installs a hot set into every node at explicit per-key versions (the
@@ -770,9 +923,18 @@ pub fn install_hot_set_versioned(
     addrs: &[SocketAddr],
     entries: &[(u64, Vec<u8>, Timestamp)],
 ) -> io::Result<()> {
+    install_hot_set_versioned_via(&TcpTransport, addrs, entries)
+}
+
+/// [`install_hot_set_versioned`] over an explicit [`Transport`].
+pub fn install_hot_set_versioned_via(
+    transport: &dyn Transport,
+    addrs: &[SocketAddr],
+    entries: &[(u64, Vec<u8>, Timestamp)],
+) -> io::Result<()> {
     let mut conns = addrs
         .iter()
-        .map(|&addr| Conn::open(addr, &Frame::ClientHello))
+        .map(|&addr| Conn::open(transport, addr, &Frame::ClientHello))
         .collect::<io::Result<Vec<_>>>()?;
     // Key-major order so a failure affects exactly one key, which is then
     // rolled back everywhere: the caches stay *symmetric* — a key cached on
@@ -818,9 +980,18 @@ pub fn install_hot_set_versioned(
 /// dirty copy back to the key's home shard before answering, so when this
 /// returns every evicted key's last write is durable at its home.
 pub fn evict_hot_set(addrs: &[SocketAddr], keys: &[u64]) -> io::Result<()> {
+    evict_hot_set_via(&TcpTransport, addrs, keys)
+}
+
+/// [`evict_hot_set`] over an explicit [`Transport`].
+pub fn evict_hot_set_via(
+    transport: &dyn Transport,
+    addrs: &[SocketAddr],
+    keys: &[u64],
+) -> io::Result<()> {
     let mut conns = addrs
         .iter()
-        .map(|&addr| Conn::open(addr, &Frame::ClientHello))
+        .map(|&addr| Conn::open(transport, addr, &Frame::ClientHello))
         .collect::<io::Result<Vec<_>>>()?;
     for &key in keys {
         for conn in conns.iter_mut() {
@@ -853,7 +1024,12 @@ pub struct EpochFlip {
 /// epoch and reconfigure the hot set now (the epoch otherwise closes by
 /// itself after `EpochConfig::epoch_length` sampled requests).
 pub fn flip_epoch(coordinator: SocketAddr) -> io::Result<EpochFlip> {
-    let mut conn = Conn::open(coordinator, &Frame::ClientHello)?;
+    flip_epoch_via(&TcpTransport, coordinator)
+}
+
+/// [`flip_epoch`] over an explicit [`Transport`].
+pub fn flip_epoch_via(transport: &dyn Transport, coordinator: SocketAddr) -> io::Result<EpochFlip> {
+    let mut conn = Conn::open(transport, coordinator, &Frame::ClientHello)?;
     match conn.call(&Frame::FlipEpoch)? {
         Frame::FlipEpochResp {
             epoch,
@@ -876,10 +1052,18 @@ pub fn flip_epoch(coordinator: SocketAddr) -> io::Result<EpochFlip> {
 /// retained. Feed the per-node event dumps to [`cckvs_trace::assemble`] to
 /// build one operation's cross-node timeline.
 pub fn collect_traces(addrs: &[SocketAddr]) -> io::Result<Vec<(u64, Vec<cckvs_trace::Event>)>> {
+    collect_traces_via(&TcpTransport, addrs)
+}
+
+/// [`collect_traces`] over an explicit [`Transport`].
+pub fn collect_traces_via(
+    transport: &dyn Transport,
+    addrs: &[SocketAddr],
+) -> io::Result<Vec<(u64, Vec<cckvs_trace::Event>)>> {
     addrs
         .iter()
         .map(|&addr| {
-            let mut conn = Conn::open(addr, &Frame::ClientHello)?;
+            let mut conn = Conn::open(transport, addr, &Frame::ClientHello)?;
             match conn.call(&Frame::TraceDump)? {
                 Frame::TraceDumpResp { dropped, events } => Ok((dropped, events)),
                 other => Err(io::Error::new(

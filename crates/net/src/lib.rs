@@ -53,11 +53,14 @@ pub mod client;
 pub mod metrics;
 pub mod rack;
 pub mod server;
+pub mod transport;
 pub mod wire;
 
 pub use client::{
-    collect_traces, evict_hot_set, flip_epoch, install_hot_set, install_hot_set_versioned,
-    BatchConfig, BatchOutcome, Client, EpochFlip, LoadBalancePolicy, SharedHistory,
+    collect_traces, collect_traces_via, evict_hot_set, evict_hot_set_via, flip_epoch,
+    flip_epoch_via, install_hot_set, install_hot_set_versioned, install_hot_set_versioned_via,
+    install_hot_set_via, BatchConfig, BatchOutcome, Client, ClientBuilder, EpochFlip,
+    LoadBalancePolicy, SharedHistory,
 };
 pub use metrics::{
     serve_http, serve_http_traced, AtomicHistogram, HistogramSnapshot, Metrics, MetricsSnapshot,
@@ -65,16 +68,22 @@ pub use metrics::{
 };
 pub use rack::{Rack, RackConfig, COORDINATOR_NODE};
 pub use server::{FlowConfig, NodeServer, NodeServerConfig, ReactorConfig, ShutdownHandle};
+pub use transport::{
+    FaultPlan, TcpTransport, Transport, TransportConfig, TransportKind, UdpTransport,
+};
 pub use wire::{Frame, WireError};
 
 /// One-stop imports for examples and applications.
 pub mod prelude {
     pub use crate::client::{
-        collect_traces, evict_hot_set, flip_epoch, install_hot_set, install_hot_set_versioned,
-        BatchConfig, BatchOutcome, Client, EpochFlip, LoadBalancePolicy, SharedHistory,
+        collect_traces, collect_traces_via, evict_hot_set, evict_hot_set_via, flip_epoch,
+        flip_epoch_via, install_hot_set, install_hot_set_versioned, install_hot_set_versioned_via,
+        install_hot_set_via, BatchConfig, BatchOutcome, Client, ClientBuilder, EpochFlip,
+        LoadBalancePolicy, SharedHistory,
     };
     pub use crate::metrics::{Metrics, MetricsSnapshot};
     pub use crate::rack::{Rack, RackConfig, COORDINATOR_NODE};
     pub use crate::server::{FlowConfig, NodeServer, NodeServerConfig, ReactorConfig};
+    pub use crate::transport::{FaultPlan, TransportConfig, TransportKind};
     pub use crate::wire::Frame;
 }

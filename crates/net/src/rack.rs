@@ -8,8 +8,9 @@
 //! follow-on; the wire protocol already carries everything those processes
 //! need.
 
-use crate::client::{flip_epoch, install_hot_set, EpochFlip};
+use crate::client::{flip_epoch_via, install_hot_set_via, EpochFlip};
 use crate::server::{FlowConfig, NodeServer, NodeServerConfig, ReactorConfig};
+use crate::transport::TransportConfig;
 use cckvs::node::{NodeConfig, DEFAULT_KVS_THREADS};
 use consistency::messages::ConsistencyModel;
 use std::io;
@@ -47,6 +48,9 @@ pub struct RackConfig {
     pub flow: FlowConfig,
     /// Reactor topology (shard event-loop threads), applied to every node.
     pub reactor: ReactorConfig,
+    /// The fabric every node listens on and dials peers over (client
+    /// sessions and admin traffic must use the same one).
+    pub transport: TransportConfig,
 }
 
 impl RackConfig {
@@ -62,13 +66,35 @@ impl RackConfig {
             epochs: None,
             flow: FlowConfig::default(),
             reactor: ReactorConfig::default(),
+            transport: TransportConfig::tcp(),
         }
+    }
+
+    /// The same rack on a different fabric.
+    pub fn with_transport(mut self, transport: TransportConfig) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// [`RackConfig::small`], with the fabric taken from the
+    /// `CCKVS_TRANSPORT` environment variable when set (`tcp`/`udp`).
+    /// This is how CI runs the same e2e matrix on both fabrics without
+    /// duplicating every test; an unset or invalid value means TCP.
+    pub fn small_from_env(model: ConsistencyModel, nodes: usize) -> Self {
+        let mut cfg = Self::small(model, nodes);
+        if let Ok(value) = std::env::var("CCKVS_TRANSPORT") {
+            if let Ok(kind) = value.parse() {
+                cfg.transport.kind = kind;
+            }
+        }
+        cfg
     }
 }
 
 /// A running rack of networked ccKVS nodes.
 pub struct Rack {
     servers: Vec<NodeServer>,
+    transport: TransportConfig,
 }
 
 impl Rack {
@@ -89,6 +115,7 @@ impl Rack {
                 let mut server_cfg = NodeServerConfig::loopback(node);
                 server_cfg.flow = cfg.flow;
                 server_cfg.reactor = cfg.reactor;
+                server_cfg.transport = cfg.transport;
                 if !cfg.metrics {
                     server_cfg.metrics_listen = None;
                 }
@@ -102,7 +129,22 @@ impl Rack {
         for server in &mut servers {
             server.connect_peers(&addrs, Duration::from_secs(5))?;
         }
-        Ok(Rack { servers })
+        Ok(Rack {
+            servers,
+            transport: cfg.transport,
+        })
+    }
+
+    /// The fabric this rack was launched on — client sessions must dial
+    /// it with a matching [`TransportConfig`].
+    pub fn transport(&self) -> TransportConfig {
+        self.transport
+    }
+
+    /// A [`crate::client::ClientBuilder`] pre-targeted at this rack: the
+    /// node addresses and the rack's transport are already set.
+    pub fn client(&self) -> crate::client::ClientBuilder {
+        crate::client::Client::builder(&self.client_addrs()).transport(self.transport)
     }
 
     /// Number of nodes.
@@ -127,20 +169,23 @@ impl Rack {
 
     /// Installs the coordinator's hot set into every node over the wire.
     pub fn install_hot_set(&self, entries: &[(u64, Vec<u8>)]) -> io::Result<()> {
-        install_hot_set(&self.client_addrs(), entries)
+        install_hot_set_via(&*self.transport.build(), &self.client_addrs(), entries)
     }
 
     /// Evicts keys from every node over the wire (dirty values are written
     /// back to their home shards before this returns).
     pub fn evict_hot_set(&self, keys: &[u64]) -> io::Result<()> {
-        crate::client::evict_hot_set(&self.client_addrs(), keys)
+        crate::client::evict_hot_set_via(&*self.transport.build(), &self.client_addrs(), keys)
     }
 
     /// Forces the epoch coordinator to close the current popularity epoch
     /// and reconfigure the rack's hot set now. Requires the rack to have
     /// been launched with [`RackConfig::epochs`] set.
     pub fn flip_epoch(&self) -> io::Result<EpochFlip> {
-        flip_epoch(self.servers[COORDINATOR_NODE].addr())
+        flip_epoch_via(
+            &*self.transport.build(),
+            self.servers[COORDINATOR_NODE].addr(),
+        )
     }
 
     /// Shuts every node down and joins their threads.

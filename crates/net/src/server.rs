@@ -70,6 +70,7 @@
 
 use crate::client::Conn;
 use crate::metrics::{Metrics, MetricsServer};
+use crate::transport::{Connection, Transport, TransportConfig, TransportListener};
 use crate::wire::{write_frame, BatchBuilder, Frame, FrameDecoder};
 use cckvs::node::{CachePut, CcNode, EvictHot, NodeConfig, Outgoing};
 use cckvs_trace::{Event as TraceEvent, EventKind, TraceSink, NO_PEER, SHARED_LANE};
@@ -81,8 +82,7 @@ use parking_lot::{Condvar, Mutex};
 use reactor::{Events, Interest, Poller, Token, Waker, WriteBuf};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{self, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::os::fd::AsRawFd;
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
@@ -169,6 +169,11 @@ pub struct NodeServerConfig {
     /// path would fork the serialisation point. The fence lifts when the
     /// supervisor heals cache symmetry (rack-wide eviction + `HotUnmark`).
     pub hot_fence: Vec<u64>,
+    /// Which fabric this node listens, dials peers and serves clients on
+    /// (all three must match across a deployment). TCP by default;
+    /// [`crate::transport::UdpTransport`] runs the paper-shaped
+    /// unreliable-datagram fabric with userspace loss/reorder recovery.
+    pub transport: TransportConfig,
 }
 
 /// Default miss-path RPC redial budget (covers a supervised peer restart).
@@ -187,7 +192,115 @@ impl NodeServerConfig {
             rpc_retry: DEFAULT_RPC_RETRY,
             cold_version_floor: 0,
             hot_fence: Vec::new(),
+            transport: TransportConfig::tcp(),
         }
+    }
+
+    /// Starts a [`NodeServerBuilder`] — the preferred way to assemble a
+    /// node configuration (the knobs above accreted over several
+    /// iterations; the builder names each one once and defaults the
+    /// rest).
+    pub fn builder(node: NodeConfig) -> NodeServerBuilder {
+        NodeServerBuilder {
+            cfg: Self::loopback(node),
+        }
+    }
+}
+
+/// Builder for [`NodeServerConfig`]: starts from the loopback defaults
+/// (ephemeral listen port, metrics on, TCP) and overrides per knob.
+///
+/// ```
+/// use cckvs::node::{NodeConfig, DEFAULT_KVS_THREADS};
+/// use cckvs_net::server::NodeServerConfig;
+/// use cckvs_net::transport::TransportKind;
+/// use consistency::messages::ConsistencyModel;
+///
+/// let node = NodeConfig {
+///     model: ConsistencyModel::Lin,
+///     node: 0,
+///     nodes: 1,
+///     cache_capacity: 64,
+///     kvs_capacity: 1024,
+///     value_capacity: 64,
+///     kvs_threads: DEFAULT_KVS_THREADS,
+/// };
+/// let cfg = NodeServerConfig::builder(node)
+///     .transport_kind(TransportKind::Udp)
+///     .metrics(None)
+///     .shards(1)
+///     .build();
+/// assert_eq!(cfg.transport.kind, TransportKind::Udp);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NodeServerBuilder {
+    cfg: NodeServerConfig,
+}
+
+impl NodeServerBuilder {
+    /// Listen address (`127.0.0.1:0` picks an ephemeral port).
+    pub fn listen(mut self, addr: SocketAddr) -> Self {
+        self.cfg.listen = addr;
+        self
+    }
+
+    /// Metrics HTTP endpoint address, or `None` to disable it.
+    pub fn metrics(mut self, addr: Option<SocketAddr>) -> Self {
+        self.cfg.metrics_listen = addr;
+        self
+    }
+
+    /// Makes this node the deployment's epoch coordinator.
+    pub fn epochs(mut self, epochs: Option<EpochConfig>) -> Self {
+        self.cfg.epochs = epochs;
+        self
+    }
+
+    /// Peer-mesh batching and credit flow-control knobs.
+    pub fn flow(mut self, flow: FlowConfig) -> Self {
+        self.cfg.flow = flow;
+        self
+    }
+
+    /// Reactor shard event-loop threads.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.cfg.reactor = ReactorConfig { shards };
+        self
+    }
+
+    /// Miss-path RPC redial budget.
+    pub fn rpc_retry(mut self, budget: Duration) -> Self {
+        self.cfg.rpc_retry = budget;
+        self
+    }
+
+    /// Cold-version floor seed (supervised restarts).
+    pub fn cold_version_floor(mut self, floor: u32) -> Self {
+        self.cfg.cold_version_floor = floor;
+        self
+    }
+
+    /// Keys fenced at the home shard from boot (supervised restarts).
+    pub fn hot_fence(mut self, keys: Vec<u64>) -> Self {
+        self.cfg.hot_fence = keys;
+        self
+    }
+
+    /// Full transport selection, including fault injection.
+    pub fn transport(mut self, transport: TransportConfig) -> Self {
+        self.cfg.transport = transport;
+        self
+    }
+
+    /// Transport selection by kind, with no injected faults.
+    pub fn transport_kind(mut self, kind: crate::transport::TransportKind) -> Self {
+        self.cfg.transport = TransportConfig { kind, faults: None };
+        self
+    }
+
+    /// The assembled configuration.
+    pub fn build(self) -> NodeServerConfig {
+        self.cfg
     }
 }
 
@@ -459,10 +572,13 @@ impl PeerLink {
 /// A message into a reactor shard from another thread.
 enum ShardMsg {
     /// Adopt a freshly accepted connection (role decided by its hello).
-    NewConn(TcpStream),
+    NewConn(Box<dyn Connection>),
     /// Adopt the outgoing protocol link to `peer` (initial connect or a
     /// completed redial handshake).
-    AdoptPeerOut { peer: usize, stream: TcpStream },
+    AdoptPeerOut {
+        peer: usize,
+        stream: Box<dyn Connection>,
+    },
     /// Adopt an incoming peer-link connection migrated from another shard:
     /// its [`Frame::PeerHello`] was decoded there, but hello processing
     /// must happen on the shard that owns every connection of that peer so
@@ -587,6 +703,9 @@ struct ServerInner {
     /// Drained by the metrics scraper (when enabled) and on demand by
     /// [`Frame::TraceDump`].
     sink: Arc<TraceSink>,
+    /// The fabric every connection of this node runs on (the listener,
+    /// peer-link dials and miss-path RPC dials all go through it).
+    transport: Arc<dyn Transport>,
 }
 
 impl ServerInner {
@@ -924,9 +1043,12 @@ impl ServerInner {
     /// is nonblocking, role-tagged, and the link's queue front holds
     /// exactly the messages the peer has not processed; the caller hands
     /// the stream to the owning shard and marks the link up.
-    fn dial_peer_handshake(&self, peer: usize, addr: SocketAddr) -> io::Result<TcpStream> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
+    fn dial_peer_handshake(
+        &self,
+        peer: usize,
+        addr: SocketAddr,
+    ) -> io::Result<Box<dyn Connection>> {
+        let mut stream = self.transport.dial(addr, HANDSHAKE_TIMEOUT)?;
         stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
         let me = self.node.node();
         let mut hello = Vec::new();
@@ -938,8 +1060,8 @@ impl ServerInner {
             },
         )
         .expect("vec write");
-        (&stream).write_all(&hello)?;
-        let ack = match crate::wire::read_frame(&mut &stream)? {
+        stream.write_all(&hello)?;
+        let ack = match crate::wire::read_frame(&mut stream)? {
             Some(Frame::PeerHelloAck { processed, gen }) => (processed, gen),
             Some(other) => return Err(unexpected_frame("peer-hello", &other)),
             None => {
@@ -999,7 +1121,7 @@ impl ServerInner {
         };
         let mut resume = Vec::new();
         write_frame(&mut resume, &Frame::PeerResume { start_seq }).expect("vec write");
-        (&stream).write_all(&resume)?;
+        stream.write_all(&resume)?;
         stream.set_read_timeout(None)?;
         stream.set_nonblocking(true)?;
         // A different generation than last time means the old peer process
@@ -1173,7 +1295,7 @@ impl ServerInner {
         let addrs = self.peer_addrs.lock().clone();
         let mut conns = addrs
             .iter()
-            .map(|&addr| Conn::open(addr, &Frame::ClientHello))
+            .map(|&addr| Conn::open(&*self.transport, addr, &Frame::ClientHello))
             .collect::<io::Result<Vec<_>>>()?;
         let mut evicted = 0u64;
         for &key in &to_evict {
@@ -1538,12 +1660,13 @@ impl NodeServer {
             cfg.node.nodes <= 64,
             "per-write ack bitmasks support up to 64 nodes"
         );
-        // SO_REUSEADDR: a supervisor restarting a crashed node rebinds the
-        // same port while the dead process's connections may still linger
-        // in TIME_WAIT; without the option the restart fails spuriously
-        // with AddrInUse.
-        let listener = reactor::listen_reuseaddr(cfg.listen)?;
-        listener.set_nonblocking(true)?;
+        // The transport binds the listener (for TCP with SO_REUSEADDR: a
+        // supervisor restarting a crashed node rebinds the same port
+        // while the dead process's connections may still linger in
+        // TIME_WAIT; without the option the restart fails spuriously
+        // with AddrInUse).
+        let transport: Arc<dyn Transport> = cfg.transport.build();
+        let listener = transport.listen(cfg.listen)?;
         let listen_addr = listener.local_addr()?;
         let nodes = cfg.node.nodes;
         let metrics = Arc::new(Metrics::new());
@@ -1608,6 +1731,7 @@ impl NodeServer {
             shards: OnceLock::new(),
             admin_tx,
             sink: Arc::clone(&sink),
+            transport,
         });
         let metrics_server = match cfg.metrics_listen {
             Some(addr) => Some(crate::metrics::serve_http_traced(
@@ -1663,7 +1787,7 @@ impl NodeServer {
         for (id, poller) in pollers.into_iter().enumerate() {
             let shard_listener = if id == 0 { listener.take() } else { None };
             if let Some(l) = &shard_listener {
-                poller.register(l.as_raw_fd(), Token(TOKEN_LISTENER), Interest::READ)?;
+                poller.register(l.raw_fd(), Token(TOKEN_LISTENER), Interest::READ)?;
             }
             let shard_inner = Arc::clone(&inner);
             let shared = Arc::clone(&shareds[id]);
@@ -2359,7 +2483,7 @@ enum StepOutcome {
 
 /// One nonblocking connection owned by a shard.
 struct ConnState {
-    stream: TcpStream,
+    stream: Box<dyn Connection>,
     decoder: FrameDecoder,
     writebuf: WriteBuf,
     interest: Interest,
@@ -2378,7 +2502,7 @@ struct ConnState {
 }
 
 impl ConnState {
-    fn new(stream: TcpStream, role: Role) -> ConnState {
+    fn new(stream: Box<dyn Connection>, role: Role) -> ConnState {
         ConnState {
             stream,
             decoder: FrameDecoder::new(),
@@ -2398,7 +2522,7 @@ struct Shard {
     id: usize,
     poller: Poller,
     shared: Arc<ShardShared>,
-    listener: Option<TcpListener>,
+    listener: Option<Box<dyn TransportListener>>,
     conns: HashMap<u64, Box<ConnState>>,
     /// Tokens of peer-out connections on this shard (pumped every
     /// iteration; there are at most `nodes - 1` across all shards).
@@ -2418,7 +2542,7 @@ impl Shard {
         id: usize,
         poller: Poller,
         shared: Arc<ShardShared>,
-        listener: Option<TcpListener>,
+        listener: Option<Box<dyn TransportListener>>,
     ) -> Shard {
         Shard {
             inner,
@@ -2517,17 +2641,16 @@ impl Shard {
     fn accept_burst(&mut self, dirty: &mut Vec<u64>) {
         let shard_count = self.inner.reactor.shards;
         loop {
-            let accepted = match self.listener.as_ref() {
+            let accepted = match self.listener.as_mut() {
                 Some(listener) => listener.accept(),
                 None => return,
             };
             match accepted {
-                Ok((stream, _)) => {
+                // The transport tuned the connection (nonblocking, nodelay
+                // for TCP) before surfacing it.
+                Ok(Some(stream)) => {
                     if !self.inner.running.load(Ordering::SeqCst) {
                         return;
-                    }
-                    if stream.set_nodelay(true).is_err() || stream.set_nonblocking(true).is_err() {
-                        continue;
                     }
                     let target = self.next_shard % shard_count;
                     self.next_shard = self.next_shard.wrapping_add(1);
@@ -2539,7 +2662,7 @@ impl Shard {
                         self.inner.shard(target).send(ShardMsg::NewConn(stream));
                     }
                 }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Ok(None) => return,
                 // Transient accept errors (ECONNABORTED, EMFILE, ...) must
                 // not take a healthy node offline; the listener stays
                 // registered and the next readiness event retries.
@@ -2615,7 +2738,7 @@ impl Shard {
         }
     }
 
-    fn register(&mut self, stream: TcpStream, role: Role) -> Option<u64> {
+    fn register(&mut self, stream: Box<dyn Connection>, role: Role) -> Option<u64> {
         self.adopt(Box::new(ConnState::new(stream, role)))
     }
 
@@ -2627,7 +2750,7 @@ impl Shard {
         self.next_token += 1;
         if self
             .poller
-            .register(conn.stream.as_raw_fd(), Token(token), Interest::READ)
+            .register(conn.stream.raw_fd(), Token(token), Interest::READ)
             .is_err()
         {
             return None;
@@ -2647,7 +2770,7 @@ impl Shard {
                 // Hand the connection (with its decode-buffer residue) to
                 // the shard that owns every connection of this peer. The
                 // open-connection gauge transfers with it.
-                self.poller.deregister(conn.stream.as_raw_fd());
+                self.poller.deregister(conn.stream.raw_fd());
                 self.inner.metrics.record_conn_closed();
                 self.inner
                     .shard(target)
@@ -2676,7 +2799,7 @@ impl Shard {
                     // links, which move 1 MiB coherence batches, keep
                     // kernel defaults). Best-effort.
                     let _ = reactor::set_socket_buffers(
-                        conn.stream.as_raw_fd(),
+                        conn.stream.raw_fd(),
                         crate::client::CONN_KERNEL_BUF_BYTES,
                     );
                     conn.role = Role::Client {
@@ -3388,6 +3511,13 @@ impl Shard {
     /// Value bytes stay behind the broadcast-shared `Arc` all the way to
     /// serialisation: no per-peer copy is ever materialised.
     fn pump_peer_out(&mut self, token: u64, conn: &mut ConnState) -> bool {
+        // On a datagram fabric one coalesced batch should ride one
+        // datagram: cap the byte budget at the transport's datagram
+        // payload size (streams keep the full budget).
+        let batch_max = conn
+            .stream
+            .datagram_cap()
+            .map_or(PEER_BATCH_MAX_BYTES, |cap| cap.min(PEER_BATCH_MAX_BYTES));
         let Role::PeerOut {
             peer,
             link,
@@ -3473,7 +3603,7 @@ impl Shard {
                 // link. A message that is itself large still travels —
                 // alone, as a bare frame.
                 let projected = builder.bytes() + 64 + head.payload_len();
-                if builder.count() > 0 && projected > PEER_BATCH_MAX_BYTES {
+                if builder.count() > 0 && projected > batch_max {
                     break;
                 }
                 match head {
@@ -3569,7 +3699,7 @@ impl Shard {
         if desired != conn.interest
             && self
                 .poller
-                .modify(conn.stream.as_raw_fd(), Token(token), desired)
+                .modify(conn.stream.raw_fd(), Token(token), desired)
                 .is_ok()
         {
             conn.interest = desired;
@@ -3577,7 +3707,7 @@ impl Shard {
     }
 
     fn close(&mut self, token: u64, conn: ConnState) {
-        self.poller.deregister(conn.stream.as_raw_fd());
+        self.poller.deregister(conn.stream.raw_fd());
         self.peer_out_tokens.retain(|&t| t != token);
         self.inner.metrics.record_conn_closed();
         // A dead outgoing peer link is a recoverable event, not an

@@ -32,6 +32,28 @@ use std::io::{self, Read, Write};
 /// Upper bound on a frame payload (guards against corrupt length prefixes).
 pub const MAX_FRAME_BYTES: usize = 16 << 20;
 
+/// Upper bound on the payload of one datagram on a datagram transport
+/// (`UdpTransport`): writers that know their connection is
+/// datagram-framed ([`crate::transport::Connection::datagram_cap`]) keep
+/// one encoded frame or coherence sub-batch within this many bytes so it
+/// rides a single datagram — larger frames still arrive correctly, split
+/// across datagrams by the reliability layer, they just lose the
+/// one-frame-one-datagram alignment. Comfortably under the 64 KiB UDP
+/// limit, leaving room for the datagram header.
+pub const MAX_DATAGRAM_BYTES: usize = 16 * 1024;
+
+/// The single encode entrypoint shared by the stream and datagram paths:
+/// appends `frame` in wire form — 4-byte little-endian length prefix,
+/// then the payload — to `buf`. [`write_frame`], [`BatchBuilder::push`]
+/// and the datagram packers all funnel through this, so the two fabrics
+/// can never drift apart in framing.
+pub fn encode_frame_into(buf: &mut Vec<u8>, frame: &Frame) {
+    let payload = frame.encode();
+    debug_assert!(payload.len() <= MAX_FRAME_BYTES);
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&payload);
+}
+
 /// Error produced while decoding a frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireError {
@@ -1012,10 +1034,9 @@ impl Frame {
 
 /// Writes one frame to `w` (length prefix + payload). Does not flush.
 pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
-    let payload = frame.encode();
-    debug_assert!(payload.len() <= MAX_FRAME_BYTES);
-    w.write_all(&(payload.len() as u32).to_le_bytes())?;
-    w.write_all(&payload)
+    let mut buf = Vec::new();
+    encode_frame_into(&mut buf, frame);
+    w.write_all(&buf)
 }
 
 /// Writes a [`Frame::Protocol`] whose value bytes are held externally (an
@@ -1074,10 +1095,7 @@ impl BatchBuilder {
     /// Panics (debug) if `frame` is itself a batch — batches never nest.
     pub fn push(&mut self, frame: &Frame) {
         debug_assert!(!matches!(frame, Frame::Batch { .. }), "batches cannot nest");
-        let encoded = frame.encode();
-        self.buf
-            .extend_from_slice(&(encoded.len() as u32).to_le_bytes());
-        self.buf.extend_from_slice(&encoded);
+        encode_frame_into(&mut self.buf, frame);
         self.count += 1;
     }
 

@@ -8,7 +8,7 @@
 //! checker across ≥ 3 epoch flips, and a final sweep finds no key whose
 //! last acknowledged write was lost.
 
-use cckvs_net::client::{Client, SharedHistory};
+use cckvs_net::client::SharedHistory;
 use cckvs_net::rack::{Rack, RackConfig};
 use cckvs_net::LoadBalancePolicy;
 use consistency::messages::ConsistencyModel;
@@ -27,7 +27,7 @@ const CACHE_CAPACITY: usize = 64;
 const HOT_SET: usize = 48;
 
 fn churn_rack_config() -> RackConfig {
-    let mut cfg = RackConfig::small(ConsistencyModel::Lin, 3);
+    let mut cfg = RackConfig::small_from_env(ConsistencyModel::Lin, 3);
     cfg.cache_capacity = CACHE_CAPACITY;
     cfg.kvs_capacity = DATASET_KEYS as usize * 2;
     cfg.value_capacity = VALUE_SIZE;
@@ -51,11 +51,11 @@ fn churn_rack_preserves_every_acknowledged_write() {
     let dataset = Dataset::new(DATASET_KEYS, VALUE_SIZE);
     let history = Arc::new(SharedHistory::new());
     let ops_done = Arc::new(AtomicU64::new(0));
-    let addrs = rack.client_addrs();
 
+    let base = rack.client();
     let handles: Vec<_> = (0..SESSIONS)
         .map(|session| {
-            let addrs = addrs.clone();
+            let base = base.clone();
             let history = Arc::clone(&history);
             let ops_done = Arc::clone(&ops_done);
             // The hotspot shifts every 1500 ops by 600 ranks: each session
@@ -70,9 +70,12 @@ fn churn_rack_preserves_every_acknowledged_write() {
                 0xC0FFEE ^ u64::from(session),
             );
             std::thread::spawn(move || {
-                let mut client = Client::connect(&addrs, session, LoadBalancePolicy::RoundRobin)
-                    .expect("connect")
-                    .with_history(history);
+                let mut client = base
+                    .session(session)
+                    .policy(LoadBalancePolicy::RoundRobin)
+                    .history(history)
+                    .connect()
+                    .expect("connect");
                 // Keys are write-partitioned across sessions so "the last
                 // acknowledged write" of a key is well defined for the final
                 // sweep; reads stay shared.
@@ -145,8 +148,12 @@ fn churn_rack_preserves_every_acknowledged_write() {
 
     // Zero lost updates: every key's last acknowledged write survives the
     // install/evict/write-back cycles, wherever it now lives.
-    let mut sweeper =
-        Client::connect(&addrs, SESSIONS + 1, LoadBalancePolicy::RoundRobin).expect("connect");
+    let mut sweeper = rack
+        .client()
+        .session(SESSIONS + 1)
+        .policy(LoadBalancePolicy::RoundRobin)
+        .connect()
+        .expect("connect");
     let mut lost = 0;
     for (&key, value) in &expected {
         let read = sweeper.get(key).expect("sweep get");
@@ -169,7 +176,7 @@ fn churn_rack_preserves_every_acknowledged_write() {
 /// lands on its home shard over the wire.
 #[test]
 fn epoch_flip_moves_the_hot_set_and_writes_back_dirty_keys() {
-    let mut cfg = RackConfig::small(ConsistencyModel::Lin, 3);
+    let mut cfg = RackConfig::small_from_env(ConsistencyModel::Lin, 3);
     cfg.epochs = Some(EpochConfig {
         cache_entries: 8,
         counter_capacity: 64,
@@ -178,14 +185,12 @@ fn epoch_flip_moves_the_hot_set_and_writes_back_dirty_keys() {
         epoch_length: u64::MAX,
     });
     let rack = Rack::launch(cfg).expect("launch rack");
-    let addrs = rack.client_addrs();
     // Only traffic served by the coordinator node feeds the tracker.
-    let mut client = Client::connect(
-        &addrs,
-        0,
-        LoadBalancePolicy::Pinned(cckvs_net::COORDINATOR_NODE),
-    )
-    .expect("connect");
+    let mut client = rack
+        .client()
+        .policy(LoadBalancePolicy::Pinned(cckvs_net::COORDINATOR_NODE))
+        .connect()
+        .expect("connect");
 
     // Phase A: keys 0..8 are the hot set.
     for _ in 0..50 {
@@ -250,9 +255,14 @@ fn epoch_flip_moves_the_hot_set_and_writes_back_dirty_keys() {
 /// key's home must not lose the write.
 #[test]
 fn admin_eviction_of_dirty_non_home_keys_keeps_the_write() {
-    let rack = Rack::launch(RackConfig::small(ConsistencyModel::Lin, 3)).expect("launch rack");
+    let rack =
+        Rack::launch(RackConfig::small_from_env(ConsistencyModel::Lin, 3)).expect("launch rack");
     let addrs = rack.client_addrs();
-    let mut client = Client::connect(&addrs, 0, LoadBalancePolicy::RoundRobin).expect("connect");
+    let mut client = rack
+        .client()
+        .policy(LoadBalancePolicy::RoundRobin)
+        .connect()
+        .expect("connect");
 
     let keys: Vec<u64> = (0..24).collect();
     let entries: Vec<(u64, Vec<u8>)> = keys.iter().map(|&k| (k, vec![0u8; 16])).collect();
@@ -288,7 +298,8 @@ fn admin_eviction_of_dirty_non_home_keys_keeps_the_write() {
             (k, value, ts)
         })
         .collect();
-    cckvs_net::install_hot_set_versioned(&addrs, &reinstall).expect("reinstall");
+    cckvs_net::install_hot_set_versioned_via(&*rack.transport().build(), &addrs, &reinstall)
+        .expect("reinstall");
     let key = keys[5];
     client.put(key, b"post-reinstall").expect("put");
     rack.evict_hot_set(&[key]).expect("evict again");
@@ -304,17 +315,26 @@ fn admin_eviction_of_dirty_non_home_keys_keeps_the_write() {
 fn hot_transition_fence_bounces_cold_ops_at_the_home_shard() {
     use cckvs_net::wire::{read_frame, write_frame, Frame};
     use std::io::{BufReader, BufWriter, Write};
-    use std::net::TcpStream;
 
-    let rack = Rack::launch(RackConfig::small(ConsistencyModel::Lin, 3)).expect("launch rack");
+    let rack =
+        Rack::launch(RackConfig::small_from_env(ConsistencyModel::Lin, 3)).expect("launch rack");
     let addrs = rack.client_addrs();
     let key = 4242u64;
-    let mut client = Client::connect(&addrs, 0, LoadBalancePolicy::RoundRobin).expect("connect");
+    let mut client = rack
+        .client()
+        .policy(LoadBalancePolicy::RoundRobin)
+        .connect()
+        .expect("connect");
     client.put(key, b"cold-value").expect("put");
 
-    // Speak the rpc role directly to the key's home shard, as a peer would.
+    // Speak the rpc role directly to the key's home shard, as a peer
+    // would — over whatever fabric the rack runs on.
     let home = rack.server(0).node().home_node(key);
-    let stream = TcpStream::connect(addrs[home]).expect("connect home");
+    let stream = rack
+        .transport()
+        .build()
+        .dial(addrs[home], Duration::from_secs(5))
+        .expect("connect home");
     let mut reader = BufReader::new(stream.try_clone().expect("clone"));
     let mut writer = BufWriter::new(stream);
     // The hello opens the rpc role and gets no response of its own.
@@ -361,7 +381,7 @@ fn hot_transition_fence_bounces_cold_ops_at_the_home_shard() {
 /// that fences the cold writes it races with.
 #[test]
 fn puts_racing_epoch_flips_neither_hang_nor_lose_writes() {
-    let mut cfg = RackConfig::small(ConsistencyModel::Lin, 3);
+    let mut cfg = RackConfig::small_from_env(ConsistencyModel::Lin, 3);
     cfg.epochs = Some(EpochConfig {
         cache_entries: 4,
         counter_capacity: 64,
@@ -370,15 +390,16 @@ fn puts_racing_epoch_flips_neither_hang_nor_lose_writes() {
         epoch_length: u64::MAX,
     });
     let rack = Rack::launch(cfg).expect("launch rack");
-    let addrs = rack.client_addrs();
     let key = 7u64;
 
     let stop = Arc::new(AtomicU64::new(0));
     let writer_stop = Arc::clone(&stop);
-    let writer_addrs = addrs.clone();
+    let writer_base = rack.client();
     let writer = std::thread::spawn(move || {
-        let mut client =
-            Client::connect(&writer_addrs, 0, LoadBalancePolicy::RoundRobin).expect("connect");
+        let mut client = writer_base
+            .policy(LoadBalancePolicy::RoundRobin)
+            .connect()
+            .expect("connect");
         let mut seq = 0u64;
         let deadline = Instant::now() + Duration::from_secs(5);
         while writer_stop.load(Ordering::Relaxed) == 0 && Instant::now() < deadline {
@@ -391,12 +412,12 @@ fn puts_racing_epoch_flips_neither_hang_nor_lose_writes() {
     // Alternate the popularity between `key` and a fresh decoy set every
     // round, flipping the epoch each time: the key churns into and out of
     // the hot set while the writer hammers it.
-    let mut heater = Client::connect(
-        &addrs,
-        1,
-        LoadBalancePolicy::Pinned(cckvs_net::COORDINATOR_NODE),
-    )
-    .expect("connect");
+    let mut heater = rack
+        .client()
+        .session(1)
+        .policy(LoadBalancePolicy::Pinned(cckvs_net::COORDINATOR_NODE))
+        .connect()
+        .expect("connect");
     for round in 0u64..12 {
         if round % 2 == 0 {
             for _ in 0..3_000 {
@@ -421,7 +442,12 @@ fn puts_racing_epoch_flips_neither_hang_nor_lose_writes() {
         .sum();
     assert!(evictions > 0, "the alternating popularity never churned");
     // ...and the last acknowledged write survived it, wherever it landed.
-    let mut client = Client::connect(&addrs, 2, LoadBalancePolicy::RoundRobin).expect("connect");
+    let mut client = rack
+        .client()
+        .session(2)
+        .policy(LoadBalancePolicy::RoundRobin)
+        .connect()
+        .expect("connect");
     assert_eq!(
         client.get(key).expect("get"),
         last_seq.to_le_bytes(),

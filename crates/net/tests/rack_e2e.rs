@@ -1,12 +1,14 @@
 //! End-to-end consistency of the networked rack.
 //!
-//! Boots real 3-node racks on loopback TCP, drives mixed Zipfian workloads
+//! Boots real 3-node racks on loopback (TCP by default; set
+//! `CCKVS_TRANSPORT=udp` to run the identical matrix over the recovering
+//! datagram transport), drives mixed Zipfian workloads
 //! through the load-balanced [`Client`], and feeds the observed operation
 //! history to the consistency checkers: per-key SC must hold under both
 //! models, per-key Lin additionally under Lin — exactly the guarantees the
 //! in-process cluster validates, now across sockets.
 
-use cckvs_net::client::{BatchConfig, BatchOutcome, Client, SharedHistory};
+use cckvs_net::client::{BatchConfig, BatchOutcome, SharedHistory};
 use cckvs_net::metrics::Metrics;
 use cckvs_net::rack::{Rack, RackConfig};
 use cckvs_net::server::FlowConfig;
@@ -22,7 +24,7 @@ const HOT_KEYS: u64 = 128;
 fn run_rack(
     model: ConsistencyModel,
 ) -> (cckvs_net::MetricsSnapshot, consistency::history::History) {
-    let rack = Rack::launch(RackConfig::small(model, 3)).expect("launch rack");
+    let rack = Rack::launch(RackConfig::small_from_env(model, 3)).expect("launch rack");
     let dataset = Dataset::new(10_000, 40);
     let hot: Vec<(u64, Vec<u8>)> = (0..HOT_KEYS)
         .map(|rank| (dataset.key_of_rank(rank).0, vec![0u8; 40]))
@@ -32,9 +34,11 @@ fn run_rack(
     let history = Arc::new(SharedHistory::new());
     let metrics = Arc::new(Metrics::new());
     let addrs = rack.client_addrs();
+    let base = rack.client();
     let handles: Vec<_> = (0..SESSIONS)
         .map(|session| {
             let addrs = addrs.clone();
+            let base = base.clone();
             let history = Arc::clone(&history);
             let metrics = Arc::clone(&metrics);
             let mut gen = WorkloadGen::new(
@@ -52,10 +56,13 @@ fn run_rack(
                     }
                     ConsistencyModel::Lin => LoadBalancePolicy::RoundRobin,
                 };
-                let mut client = Client::connect(&addrs, session, policy)
-                    .expect("connect")
-                    .with_history(history)
-                    .with_metrics(metrics);
+                let mut client = base
+                    .session(session)
+                    .policy(policy)
+                    .history(history)
+                    .metrics(metrics)
+                    .connect()
+                    .expect("connect");
                 for _ in 0..OPS_PER_SESSION {
                     let op = gen.next_op();
                     match op.kind {
@@ -122,17 +129,18 @@ fn batched_lin_rack_history_is_per_key_linearizable() {
     // flush). Batching must change the framing and nothing else: the
     // recorded history still passes the per-key SC and Lin checkers, and
     // every queued op completes with a response in queue order.
-    let rack = Rack::launch(RackConfig::small(ConsistencyModel::Lin, 3)).expect("launch rack");
+    let rack =
+        Rack::launch(RackConfig::small_from_env(ConsistencyModel::Lin, 3)).expect("launch rack");
     let dataset = Dataset::new(10_000, 40);
     rack.install_hot_set(&dataset.hot_entries(HOT_KEYS as usize))
         .expect("install hot set");
 
     let history = Arc::new(SharedHistory::new());
     let metrics = Arc::new(Metrics::new());
-    let addrs = rack.client_addrs();
+    let base = rack.client();
     let handles: Vec<_> = (0..SESSIONS)
         .map(|session| {
-            let addrs = addrs.clone();
+            let base = base.clone();
             let history = Arc::clone(&history);
             let metrics = Arc::clone(&metrics);
             let mut gen = WorkloadGen::new(
@@ -142,14 +150,17 @@ fn batched_lin_rack_history_is_per_key_linearizable() {
                 101 ^ u64::from(session),
             );
             std::thread::spawn(move || {
-                let mut client = Client::connect(&addrs, session, LoadBalancePolicy::RoundRobin)
-                    .expect("connect")
-                    .with_history(history)
-                    .with_metrics(metrics)
-                    .with_batching(BatchConfig {
+                let mut client = base
+                    .session(session)
+                    .policy(LoadBalancePolicy::RoundRobin)
+                    .history(history)
+                    .metrics(metrics)
+                    .batching(BatchConfig {
                         max_ops: 8,
                         ..BatchConfig::default()
-                    });
+                    })
+                    .connect()
+                    .expect("connect");
                 let mut queued = 0usize;
                 let mut completed = 0usize;
                 for _ in 0..OPS_PER_SESSION {
@@ -203,14 +214,17 @@ fn batched_writes_are_durable_and_read_back_in_order() {
     // Zero lost updates on the batched path: a session queues interleaved
     // puts and gets of one hot key and one cold key; outcomes arrive in
     // queue order, the final values are the last writes.
-    let rack = Rack::launch(RackConfig::small(ConsistencyModel::Lin, 3)).expect("launch rack");
-    let addrs = rack.client_addrs();
-    let mut client = Client::connect(&addrs, 0, LoadBalancePolicy::RoundRobin)
-        .expect("connect")
-        .with_batching(BatchConfig {
+    let rack =
+        Rack::launch(RackConfig::small_from_env(ConsistencyModel::Lin, 3)).expect("launch rack");
+    let mut client = rack
+        .client()
+        .policy(LoadBalancePolicy::RoundRobin)
+        .batching(BatchConfig {
             max_ops: 4,
             ..BatchConfig::default()
-        });
+        })
+        .connect()
+        .expect("connect");
     rack.install_hot_set(&[(7, b"seed0000".to_vec())])
         .expect("install");
     let cold_key = 9_999u64;
@@ -259,7 +273,7 @@ fn tiny_credit_window_stalls_writers_but_loses_nothing() {
     // completes), the history stays linearizable, and the stalls are
     // visible in the metrics — proof the flow control engages rather than
     // sitting dormant at its default window.
-    let mut cfg = RackConfig::small(ConsistencyModel::Lin, 3);
+    let mut cfg = RackConfig::small_from_env(ConsistencyModel::Lin, 3);
     cfg.flow = FlowConfig {
         credit_window: 2,
         peer_batch_ops: 4,
@@ -270,10 +284,10 @@ fn tiny_credit_window_stalls_writers_but_loses_nothing() {
         .expect("install hot set");
 
     let history = Arc::new(SharedHistory::new());
-    let addrs = rack.client_addrs();
+    let base = rack.client();
     let handles: Vec<_> = (0..SESSIONS)
         .map(|session| {
-            let addrs = addrs.clone();
+            let base = base.clone();
             let history = Arc::clone(&history);
             let mut gen = WorkloadGen::new(
                 &dataset,
@@ -285,9 +299,12 @@ fn tiny_credit_window_stalls_writers_but_loses_nothing() {
                 55 ^ u64::from(session),
             );
             std::thread::spawn(move || {
-                let mut client = Client::connect(&addrs, session, LoadBalancePolicy::RoundRobin)
-                    .expect("connect")
-                    .with_history(history);
+                let mut client = base
+                    .session(session)
+                    .policy(LoadBalancePolicy::RoundRobin)
+                    .history(history)
+                    .connect()
+                    .expect("connect");
                 for _ in 0..OPS_PER_SESSION / 2 {
                     let op = gen.next_op();
                     match op.kind {
@@ -328,9 +345,13 @@ fn tiny_credit_window_stalls_writers_but_loses_nothing() {
 
 #[test]
 fn rack_serves_cold_keys_through_remote_home_shards() {
-    let rack = Rack::launch(RackConfig::small(ConsistencyModel::Lin, 3)).expect("launch rack");
-    let addrs = rack.client_addrs();
-    let mut client = Client::connect(&addrs, 0, LoadBalancePolicy::RoundRobin).expect("connect");
+    let rack =
+        Rack::launch(RackConfig::small_from_env(ConsistencyModel::Lin, 3)).expect("launch rack");
+    let mut client = rack
+        .client()
+        .policy(LoadBalancePolicy::RoundRobin)
+        .connect()
+        .expect("connect");
     // Nothing is cached: every op takes the miss path, usually remotely.
     for key in 0..60u64 {
         assert!(client.put(key, &key.to_le_bytes()).expect("put").is_none());
@@ -356,10 +377,19 @@ fn cold_key_overwrites_win_regardless_of_entry_node() {
     // node with a lower counter was silently discarded. Versions are now
     // assigned by the home shard on arrival, so the last write always
     // wins no matter which node served it.
-    let rack = Rack::launch(RackConfig::small(ConsistencyModel::Lin, 3)).expect("launch rack");
-    let addrs = rack.client_addrs();
-    let mut via_node0 = Client::connect(&addrs, 0, LoadBalancePolicy::Pinned(0)).expect("connect");
-    let mut via_node1 = Client::connect(&addrs, 1, LoadBalancePolicy::Pinned(1)).expect("connect");
+    let rack =
+        Rack::launch(RackConfig::small_from_env(ConsistencyModel::Lin, 3)).expect("launch rack");
+    let mut via_node0 = rack
+        .client()
+        .policy(LoadBalancePolicy::Pinned(0))
+        .connect()
+        .expect("connect");
+    let mut via_node1 = rack
+        .client()
+        .session(1)
+        .policy(LoadBalancePolicy::Pinned(1))
+        .connect()
+        .expect("connect");
     // Pump node 0's counters far ahead of node 1's.
     for key in 10_000..10_050u64 {
         via_node0.put(key, b"filler").expect("put");
@@ -375,11 +405,15 @@ fn cold_key_overwrites_win_regardless_of_entry_node() {
 #[test]
 fn metrics_endpoints_are_scrapable_while_serving() {
     use std::io::{Read, Write};
-    let rack = Rack::launch(RackConfig::small(ConsistencyModel::Sc, 2)).expect("launch rack");
+    let rack =
+        Rack::launch(RackConfig::small_from_env(ConsistencyModel::Sc, 2)).expect("launch rack");
     rack.install_hot_set(&[(1, b"x".to_vec())])
         .expect("install");
-    let mut client =
-        Client::connect(&rack.client_addrs(), 0, LoadBalancePolicy::Pinned(0)).expect("connect");
+    let mut client = rack
+        .client()
+        .policy(LoadBalancePolicy::Pinned(0))
+        .connect()
+        .expect("connect");
     client.get(1).expect("get");
     let metrics_addr = rack.metrics_addrs()[0].expect("metrics enabled");
     let mut stream = std::net::TcpStream::connect(metrics_addr).expect("connect metrics");

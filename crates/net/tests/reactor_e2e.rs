@@ -83,18 +83,17 @@ fn five_thousand_connections_per_node_serve_lin_checked_workload() {
                 let mut clients: Vec<Client> = (0..conns)
                     .filter(|i| i % DRIVERS == driver)
                     .map(|i| {
-                        Client::connect(
-                            &[target],
-                            u32::try_from(i).expect("connection index fits"),
-                            LoadBalancePolicy::Pinned(0),
-                        )
-                        .expect("connect")
-                        .with_history(Arc::clone(&history))
-                        .with_metrics(Arc::clone(&metrics))
-                        .with_batching(BatchConfig {
-                            max_ops: 4,
-                            ..BatchConfig::default()
-                        })
+                        Client::builder(&[target])
+                            .session(u32::try_from(i).expect("connection index fits"))
+                            .policy(LoadBalancePolicy::Pinned(0))
+                            .history(Arc::clone(&history))
+                            .metrics(Arc::clone(&metrics))
+                            .batching(BatchConfig {
+                                max_ops: 4,
+                                ..BatchConfig::default()
+                            })
+                            .connect()
+                            .expect("connect")
                     })
                     .collect();
                 // Every connection serves ops (round-robin), so all of
@@ -194,9 +193,12 @@ fn idle_and_mute_connections_do_not_starve_serving() {
 
     // A live session still gets served promptly through the noise.
     let history = Arc::new(SharedHistory::new());
-    let mut client = Client::connect(&addrs, 1, LoadBalancePolicy::RoundRobin)
-        .expect("connect live")
-        .with_history(Arc::clone(&history));
+    let mut client = Client::builder(&addrs)
+        .session(1)
+        .policy(LoadBalancePolicy::RoundRobin)
+        .history(Arc::clone(&history))
+        .connect()
+        .expect("connect live");
     let mut gen = WorkloadGen::new(
         &dataset,
         AccessDistribution::Zipfian { exponent: 0.99 },

@@ -166,9 +166,12 @@ fn severed_peer_link_replays_exactly_once_and_resets_the_window() {
             let history = Arc::clone(&history);
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || {
-                let mut client = Client::connect(&addrs, session, LoadBalancePolicy::RoundRobin)
-                    .expect("connect")
-                    .with_history(history);
+                let mut client = Client::builder(&addrs)
+                    .session(session)
+                    .policy(LoadBalancePolicy::RoundRobin)
+                    .history(history)
+                    .connect()
+                    .expect("connect");
                 let mut last_written: HashMap<u64, Vec<u8>> = HashMap::new();
                 let mut seq = 0u64;
                 while !stop.load(Ordering::Relaxed) {
@@ -335,9 +338,12 @@ fn correlated_miss_rpcs_survive_link_severs_exactly_once() {
             std::thread::spawn(move || {
                 // Pinned to A: every op on these B-homed keys is a
                 // correlated RPC across the severed link.
-                let mut client = Client::connect(&addrs, session, LoadBalancePolicy::Pinned(0))
-                    .expect("connect")
-                    .with_history(history);
+                let mut client = Client::builder(&addrs)
+                    .session(session)
+                    .policy(LoadBalancePolicy::Pinned(0))
+                    .history(history)
+                    .connect()
+                    .expect("connect");
                 let mut last_written: HashMap<u64, Vec<u8>> = HashMap::new();
                 let mut seq = 0u64;
                 while !stop.load(Ordering::Relaxed) {

@@ -10,7 +10,9 @@
 //! with the original ids, exactly once).
 
 use cckvs::node::NodeConfig;
-use cckvs_net::client::{collect_traces, install_hot_set, Client, SharedHistory};
+use cckvs_net::client::{
+    collect_traces, collect_traces_via, install_hot_set, Client, SharedHistory,
+};
 use cckvs_net::metrics::Metrics;
 use cckvs_net::server::{FlowConfig, NodeServer, NodeServerConfig};
 use cckvs_net::{LoadBalancePolicy, Rack, RackConfig};
@@ -30,17 +32,22 @@ use std::time::Duration;
 #[test]
 fn traced_lin_put_assembles_a_complete_cross_node_span_chain() {
     const NODES: usize = 3;
-    let rack = Rack::launch(RackConfig::small(ConsistencyModel::Lin, NODES)).expect("launch");
+    let rack =
+        Rack::launch(RackConfig::small_from_env(ConsistencyModel::Lin, NODES)).expect("launch");
     rack.install_hot_set(&[(7, b"seed".to_vec())])
         .expect("install hot set");
 
-    let mut client =
-        Client::connect(&rack.client_addrs(), 0, LoadBalancePolicy::Pinned(0)).expect("connect");
+    let mut client = rack
+        .client()
+        .policy(LoadBalancePolicy::Pinned(0))
+        .connect()
+        .expect("connect");
     let trace_id = client.trace_next();
     client.put(7, b"traced-write").expect("traced put");
     // The put response only returns after commit, so every span event is
     // already recorded (the dump drains the rings itself).
-    let dumps = collect_traces(&rack.client_addrs()).expect("trace dump");
+    let dumps =
+        collect_traces_via(&*rack.transport().build(), &rack.client_addrs()).expect("trace dump");
     for (node, (dropped, _)) in dumps.iter().enumerate() {
         assert_eq!(*dropped, 0, "node {node} dropped span events");
     }
@@ -101,7 +108,7 @@ fn traced_lin_put_assembles_a_complete_cross_node_span_chain() {
 #[test]
 fn batch_sub_frames_keep_their_individual_trace_ids() {
     const OPS: usize = 4;
-    let rack = Rack::launch(RackConfig::small(ConsistencyModel::Lin, 2)).expect("launch");
+    let rack = Rack::launch(RackConfig::small_from_env(ConsistencyModel::Lin, 2)).expect("launch");
     let entries: Vec<(u64, Vec<u8>)> = (0..OPS as u64).map(|k| (k, b"seed".to_vec())).collect();
     rack.install_hot_set(&entries).expect("install hot set");
 
@@ -110,10 +117,13 @@ fn batch_sub_frames_keep_their_individual_trace_ids() {
         max_ops: OPS,
         ..cckvs_net::BatchConfig::default()
     };
-    let mut client = Client::connect(&rack.client_addrs(), 0, LoadBalancePolicy::Pinned(0))
-        .expect("connect")
-        .with_batching(batching)
-        .with_metrics(Arc::clone(&metrics));
+    let mut client = rack
+        .client()
+        .policy(LoadBalancePolicy::Pinned(0))
+        .batching(batching)
+        .metrics(Arc::clone(&metrics))
+        .connect()
+        .expect("connect");
     let mut ids = Vec::new();
     for k in 0..OPS as u64 {
         ids.push(client.trace_next());
@@ -132,7 +142,8 @@ fn batch_sub_frames_keep_their_individual_trace_ids() {
         "trace ids must be distinct"
     );
 
-    let dumps = collect_traces(&rack.client_addrs()).expect("trace dump");
+    let dumps =
+        collect_traces_via(&*rack.transport().build(), &rack.client_addrs()).expect("trace dump");
     let events: Vec<_> = dumps.into_iter().map(|(_, events)| events).collect();
     for (k, &id) in ids.iter().enumerate() {
         let timeline = assemble(&events, id);
@@ -310,9 +321,11 @@ fn replayed_frames_keep_their_original_trace_id_exactly_once() {
     let writer_history = Arc::clone(&history);
     let writer_addrs = addrs.clone();
     let writer = std::thread::spawn(move || {
-        let mut client = Client::connect(&writer_addrs, 0, LoadBalancePolicy::Pinned(0))
-            .expect("connect")
-            .with_history(writer_history);
+        let mut client = Client::builder(&writer_addrs)
+            .policy(LoadBalancePolicy::Pinned(0))
+            .history(writer_history)
+            .connect()
+            .expect("connect");
         let mut minted: BTreeSet<u64> = BTreeSet::new();
         let mut seq = 0u64;
         while !writer_stop.load(Ordering::Relaxed) {

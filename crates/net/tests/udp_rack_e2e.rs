@@ -1,0 +1,222 @@
+//! The datagram fabric under fire: rack e2e on [`UdpTransport`] with
+//! injected loss, duplication, and reordering.
+//!
+//! The generic rack matrix (`rack_e2e.rs` et al with `CCKVS_TRANSPORT=udp`)
+//! proves the UDP backend behaves like TCP on a clean loopback. These tests
+//! are the reason the backend exists: a [`FaultPlan`] drops, duplicates,
+//! and reorders datagrams on every connection — client sessions, admin
+//! traffic, and the peer mesh alike — and the rack must still serve a
+//! linearizable history with zero lost acknowledged writes, because the
+//! transport's sequence numbers, cumulative acks, and retransmission
+//! pacer repair the fabric underneath the protocol.
+//!
+//! [`UdpTransport`]: cckvs_net::transport::UdpTransport
+
+use cckvs_net::client::SharedHistory;
+use cckvs_net::rack::{Rack, RackConfig};
+use cckvs_net::transport::{FaultPlan, TransportConfig};
+use cckvs_net::LoadBalancePolicy;
+use consistency::messages::ConsistencyModel;
+use std::collections::HashMap;
+use std::sync::Arc;
+use workload::{AccessDistribution, Dataset, Mix, OpKind, WorkloadGen};
+
+const SESSIONS: u32 = 4;
+const HOT_KEYS: u64 = 64;
+const VALUE_SIZE: usize = 40;
+
+fn lossy_rack(model: ConsistencyModel, plan: FaultPlan) -> Rack {
+    let cfg = RackConfig::small(model, 3).with_transport(TransportConfig::udp_with_faults(plan));
+    Rack::launch(cfg).expect("launch lossy rack")
+}
+
+/// The acceptance bar: a 3-node Lin rack on UDP with 5% drop + 5% dup +
+/// 5% reorder on every link serves a per-key-linearizable history, and a
+/// final sweep finds every key holding its last acknowledged write.
+#[test]
+fn lossy_udp_lin_rack_is_linearizable_with_zero_lost_writes() {
+    let rack = lossy_rack(ConsistencyModel::Lin, FaultPlan::uniform(5, 0xBAD_FAB));
+    let dataset = Dataset::new(2_000, VALUE_SIZE);
+    let hot: Vec<(u64, Vec<u8>)> = (0..HOT_KEYS)
+        .map(|rank| (dataset.key_of_rank(rank).0, vec![0u8; VALUE_SIZE]))
+        .collect();
+    rack.install_hot_set(&hot).expect("install hot set");
+
+    let history = Arc::new(SharedHistory::new());
+    let base = rack.client();
+    let handles: Vec<_> = (0..SESSIONS)
+        .map(|session| {
+            let base = base.clone();
+            let history = Arc::clone(&history);
+            let mut gen = WorkloadGen::new(
+                &dataset,
+                AccessDistribution::Zipfian { exponent: 0.99 },
+                Mix::with_write_ratio(0.2),
+                0xD06_F00D ^ u64::from(session),
+            );
+            std::thread::spawn(move || {
+                let mut client = base
+                    .session(session)
+                    .policy(LoadBalancePolicy::RoundRobin)
+                    .history(history)
+                    .connect()
+                    .expect("connect over lossy udp");
+                // Write-partitioned keys: "the last acknowledged write" of
+                // a key is well defined for the final sweep; reads stay
+                // shared across sessions so the checker sees interleaving.
+                let mut last_written: HashMap<u64, Vec<u8>> = HashMap::new();
+                for seq in 0..400u64 {
+                    let op = gen.next_op();
+                    let owned = op.key.0 % u64::from(SESSIONS) == u64::from(session);
+                    match op.kind {
+                        OpKind::Put if owned => {
+                            let mut value = Vec::with_capacity(VALUE_SIZE);
+                            value.extend_from_slice(&session.to_le_bytes());
+                            value.extend_from_slice(&seq.to_le_bytes());
+                            client.put(op.key.0, &value).expect("put over lossy udp");
+                            last_written.insert(op.key.0, value);
+                        }
+                        _ => {
+                            client.get(op.key.0).expect("get over lossy udp");
+                        }
+                    }
+                }
+                last_written
+            })
+        })
+        .collect();
+    let mut expected: HashMap<u64, Vec<u8>> = HashMap::new();
+    for handle in handles {
+        expected.extend(handle.join().expect("session thread"));
+    }
+    assert!(
+        !expected.is_empty(),
+        "workload produced no acknowledged writes"
+    );
+
+    let history = history.snapshot();
+    assert!(history.len() > 500, "too few ops recorded under loss");
+    history
+        .check_per_key_sc()
+        .unwrap_or_else(|v| panic!("per-key SC violated on lossy UDP: {v}"));
+    history
+        .check_per_key_lin()
+        .unwrap_or_else(|v| panic!("per-key Lin violated on lossy UDP: {v}"));
+
+    // Zero lost updates: the fabric dropped and reordered datagrams the
+    // whole run, but an acknowledged write is an acknowledged write.
+    let mut sweeper = rack
+        .client()
+        .session(SESSIONS + 1)
+        .policy(LoadBalancePolicy::RoundRobin)
+        .connect()
+        .expect("connect sweeper");
+    let mut lost = 0usize;
+    for (&key, value) in &expected {
+        let read = sweeper.get(key).expect("sweep get");
+        if &read != value {
+            lost += 1;
+            eprintln!("lost update: key {key} holds {read:?}, expected {value:?}");
+        }
+    }
+    assert_eq!(
+        lost,
+        0,
+        "{lost}/{} keys lost their last acknowledged write",
+        expected.len()
+    );
+    rack.shutdown();
+}
+
+/// SC on the same broken fabric: sticky sessions (the SC session
+/// guarantee) must survive retransmitted and duplicated datagrams without
+/// ever observing a key's versions out of order.
+#[test]
+fn lossy_udp_sc_rack_keeps_per_key_session_order() {
+    let rack = lossy_rack(ConsistencyModel::Sc, FaultPlan::uniform(5, 0x5C_FAB));
+    let dataset = Dataset::new(2_000, VALUE_SIZE);
+    let hot: Vec<(u64, Vec<u8>)> = (0..HOT_KEYS)
+        .map(|rank| (dataset.key_of_rank(rank).0, vec![0u8; VALUE_SIZE]))
+        .collect();
+    rack.install_hot_set(&hot).expect("install hot set");
+
+    let history = Arc::new(SharedHistory::new());
+    let base = rack.client();
+    let handles: Vec<_> = (0..SESSIONS)
+        .map(|session| {
+            let base = base.clone();
+            let history = Arc::clone(&history);
+            let mut gen = WorkloadGen::new(
+                &dataset,
+                AccessDistribution::Zipfian { exponent: 0.99 },
+                Mix::with_write_ratio(0.2),
+                0x5EA_F00D ^ u64::from(session),
+            );
+            std::thread::spawn(move || {
+                let mut client = base
+                    .session(session)
+                    .policy(LoadBalancePolicy::Pinned(session as usize % 3))
+                    .history(history)
+                    .connect()
+                    .expect("connect over lossy udp");
+                for _ in 0..300u64 {
+                    let op = gen.next_op();
+                    match op.kind {
+                        OpKind::Put => {
+                            client
+                                .put(op.key.0, &op.value_bytes(session, VALUE_SIZE))
+                                .expect("put over lossy udp");
+                        }
+                        OpKind::Get => {
+                            client.get(op.key.0).expect("get over lossy udp");
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("session thread");
+    }
+    let history = history.snapshot();
+    assert!(history.len() > 400, "too few ops recorded under loss");
+    history
+        .check_per_key_sc()
+        .unwrap_or_else(|v| panic!("per-key SC violated on lossy UDP: {v}"));
+    rack.shutdown();
+}
+
+/// Duplication-heavy plan, batched client: a duplicated datagram must not
+/// double-apply a batch (the replay layer already dedups by sequence
+/// number), and cumulative acks must tolerate seeing the same ack twice.
+#[test]
+fn duplicated_datagrams_do_not_double_apply_batched_writes() {
+    let plan = FaultPlan {
+        drop_pct: 0,
+        dup_pct: 25,
+        reorder_pct: 10,
+        seed: 0xD0_D0,
+    };
+    let rack = lossy_rack(ConsistencyModel::Lin, plan);
+    rack.install_hot_set(&[(7, vec![0u8; 16])])
+        .expect("install");
+    let mut client = rack
+        .client()
+        .policy(LoadBalancePolicy::RoundRobin)
+        .batching(cckvs_net::client::BatchConfig {
+            max_ops: 4,
+            ..cckvs_net::client::BatchConfig::default()
+        })
+        .connect()
+        .expect("connect");
+    for round in 0..32u64 {
+        client
+            .queue_put(7, format!("hot-{round:04}").as_bytes())
+            .expect("queue put");
+        client.queue_get(7).expect("queue get");
+    }
+    let outcomes = client.flush().expect("flush");
+    assert_eq!(outcomes.len(), 64);
+    assert_eq!(client.get(7).expect("final get"), b"hot-0031");
+    rack.shutdown();
+}

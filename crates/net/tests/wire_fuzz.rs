@@ -4,10 +4,18 @@
 //! against arbitrary, truncated, corrupted and maliciously nested bytes —
 //! a peer can send anything, the decoder must answer with an error, never
 //! a panic.
+//!
+//! The datagram block at the bottom pushes the same hostility one layer
+//! down: raw UDP garbage against a live listener, and duplicate/reorder
+//! fault plans against an established connection — frames must come out
+//! exactly once, in order, or not at all.
 
-use cckvs_net::wire::{Frame, WireError};
+use cckvs_net::transport::{Connection, FaultPlan, TransportConfig};
+use cckvs_net::wire::{read_frame, write_frame, Frame, WireError, MAX_DATAGRAM_BYTES};
 use consistency::lamport::{NodeId, Timestamp};
 use proptest::prelude::*;
+use std::io::{BufReader, BufWriter, Write};
+use std::time::{Duration, Instant};
 
 fn ts_of(clock: u32, writer: u8) -> Timestamp {
     Timestamp::new(clock, NodeId(writer))
@@ -149,4 +157,140 @@ proptest! {
         bytes[len_at..len_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         prop_assert_eq!(Frame::decode(&bytes), Err(WireError::Oversized(u32::MAX as usize)));
     }
+}
+
+/// Dials and accepts one connection over `cfg`'s fabric.
+fn connected_pair(cfg: TransportConfig) -> (Box<dyn Connection>, Box<dyn Connection>) {
+    let transport = cfg.build();
+    let mut listener = transport
+        .listen("127.0.0.1:0".parse().expect("static addr"))
+        .expect("listen");
+    let addr = listener.local_addr().expect("local addr");
+    let dialer = std::thread::spawn(move || transport.dial(addr, Duration::from_secs(5)));
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let accepted = loop {
+        if let Some(conn) = listener.accept().expect("accept") {
+            break conn;
+        }
+        assert!(Instant::now() < deadline, "accept timed out");
+        std::thread::sleep(Duration::from_millis(1));
+    };
+    (dialer.join().expect("dial thread").expect("dial"), accepted)
+}
+
+proptest! {
+    // Each case binds real sockets; a handful of cases is plenty.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Garbage datagrams against a live UDP listener — empty, truncated
+    /// headers, and arbitrary bytes — must be ignored, not crash or wedge
+    /// it: a real handshake afterwards still completes and serves frames.
+    #[test]
+    fn hostile_datagrams_never_wedge_the_udp_listener(
+        garbage in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..96), 1..12),
+    ) {
+        let transport = TransportConfig::udp().build();
+        let mut listener = transport
+            .listen("127.0.0.1:0".parse().expect("static addr"))
+            .expect("listen");
+        let addr = listener.local_addr().expect("local addr");
+
+        let gun = std::net::UdpSocket::bind("127.0.0.1:0").expect("bind gun");
+        // Truncated versions of every header shape the protocol knows,
+        // then the arbitrary payloads.
+        for ty in 1u8..=5 {
+            gun.send_to(&[ty], addr).expect("send truncated");
+            gun.send_to(&[ty, 0xEE, 0xEE], addr).expect("send truncated");
+        }
+        gun.send_to(&[], addr).expect("send empty");
+        for dg in &garbage {
+            gun.send_to(dg, addr).expect("send garbage");
+        }
+
+        let dialer = std::thread::spawn(move || transport.dial(addr, Duration::from_secs(5)));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let server = loop {
+            if let Some(conn) = listener.accept().expect("accept") {
+                break conn;
+            }
+            prop_assert!(Instant::now() < deadline, "accept wedged by garbage");
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        let client = dialer.join().expect("dial thread").expect("dial");
+        server.set_nonblocking(false).expect("blocking");
+        server
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        let mut writer = BufWriter::new(client);
+        write_frame(&mut writer, &Frame::Ping).expect("write");
+        writer.flush().expect("flush");
+        let mut reader = BufReader::new(server);
+        prop_assert_eq!(read_frame(&mut reader).expect("read"), Some(Frame::Ping));
+    }
+
+    /// Duplicated, reordered, and dropped datagrams: every frame written
+    /// is read exactly once, in order, and the FIN still surfaces as a
+    /// clean EOF — the replay layer dedups by sequence number, so a
+    /// duplicate can never double-deliver.
+    #[test]
+    fn dup_reorder_fault_plans_deliver_frames_exactly_once(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..48), 1..16),
+        drop_pct in 0u8..10,
+        dup_pct in 0u8..30,
+        reorder_pct in 0u8..30,
+        seed in any::<u64>(),
+    ) {
+        let plan = FaultPlan { drop_pct, dup_pct, reorder_pct, seed };
+        let (client, server) = connected_pair(TransportConfig::udp_with_faults(plan));
+        server.set_nonblocking(false).expect("blocking");
+        server
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("timeout");
+
+        let frames: Vec<Frame> = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, value)| Frame::Put { key: i as u64, value: value.clone() })
+            .collect();
+        let writer_frames = frames.clone();
+        let writer = std::thread::spawn(move || {
+            let mut writer = BufWriter::new(client);
+            for frame in &writer_frames {
+                write_frame(&mut writer, frame).expect("write");
+            }
+            writer.flush().expect("flush");
+            // Dropping the connection sends FIN; the transport lingers to
+            // retransmit the tail until it is acked.
+        });
+        let mut reader = BufReader::new(server);
+        for expected in &frames {
+            let got = read_frame(&mut reader).expect("read");
+            prop_assert_eq!(got.as_ref(), Some(expected), "frame lost or reordered");
+        }
+        prop_assert_eq!(read_frame(&mut reader).expect("read eof"), None, "extra frame after FIN");
+        writer.join().expect("writer thread");
+    }
+}
+
+/// A frame bigger than one datagram spans several; 10% uniform faults on
+/// every one of them must not tear, truncate, or duplicate it.
+#[test]
+fn multi_datagram_frames_survive_uniform_faults() {
+    let plan = FaultPlan::uniform(10, 0xFA_B71C);
+    let (client, server) = connected_pair(TransportConfig::udp_with_faults(plan));
+    server.set_nonblocking(false).expect("blocking");
+    server
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let value: Vec<u8> = (0..2 * MAX_DATAGRAM_BYTES + 123)
+        .map(|i| (i % 251) as u8)
+        .collect();
+    let frame = Frame::Put { key: 7, value };
+    let mut writer = BufWriter::new(client);
+    write_frame(&mut writer, &frame).expect("write");
+    writer.flush().expect("flush");
+    drop(writer);
+    let mut reader = BufReader::new(server);
+    assert_eq!(read_frame(&mut reader).expect("read"), Some(frame));
+    assert_eq!(read_frame(&mut reader).expect("read eof"), None);
 }

@@ -17,10 +17,11 @@
 //! never raises SIGPIPE — for supervisors that prefer fd signalling.
 
 use crate::topology::Topology;
+use cckvs_net::transport::{Transport, TransportConfig};
 use cckvs_net::wire::{read_frame, write_frame, Frame};
 use std::fs::File;
 use std::io::{self, Write};
-use std::net::{SocketAddr, TcpStream};
+use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -120,6 +121,9 @@ struct NodeState {
 
 struct Shared {
     topology: Topology,
+    /// The rack's fabric (from the topology): readiness probes,
+    /// version-floor polls and admin heals all dial it.
+    transport: Arc<dyn Transport>,
     cfg: SupervisorConfig,
     running: AtomicBool,
     nodes: Vec<Mutex<NodeState>>,
@@ -139,8 +143,14 @@ impl Supervisor {
             std::fs::create_dir_all(dir)?;
         }
         let count = topology.nodes.len();
+        let transport = TransportConfig {
+            kind: topology.transport_kind(),
+            faults: None,
+        }
+        .build();
         let shared = Arc::new(Shared {
             topology,
+            transport,
             cfg,
             running: AtomicBool::new(true),
             nodes: (0..count)
@@ -274,6 +284,7 @@ impl Supervisor {
             .iter()
             .map(|node| {
                 match admin_call(
+                    &*self.shared.transport,
                     node.listen,
                     &Frame::ClientHello,
                     &Frame::TraceDump,
@@ -393,20 +404,18 @@ fn spawn_into(shared: &Shared, id: usize, state: &mut NodeState) -> io::Result<(
 /// One wire readiness probe: `Ping` answered with `Pong` means the node's
 /// peer mesh is up (connections are parked until then, so a booting node
 /// simply never answers).
-fn probe_ready(addr: SocketAddr) -> bool {
-    let Ok(stream) = TcpStream::connect_timeout(&addr, Duration::from_millis(250)) else {
+fn probe_ready(transport: &dyn Transport, addr: SocketAddr) -> bool {
+    let Ok(mut stream) = transport.dial(addr, Duration::from_millis(250)) else {
         return false;
     };
-    let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
     let mut hello = Vec::new();
     write_frame(&mut hello, &Frame::ClientHello).expect("vec write");
     write_frame(&mut hello, &Frame::Ping).expect("vec write");
-    if (&stream).write_all(&hello).is_err() {
+    if stream.write_all(&hello).is_err() {
         return false;
     }
-    matches!(read_frame(&mut &stream), Ok(Some(Frame::Pong)))
+    matches!(read_frame(&mut stream), Ok(Some(Frame::Pong)))
 }
 
 /// One admin request over a fresh connection whose role is set by `hello`
@@ -416,20 +425,19 @@ fn probe_ready(addr: SocketAddr) -> bool {
 /// (which holds a node's state lock) must stay short, while the heal
 /// thread's `Evict` calls legitimately wait out write-back redials.
 fn admin_call(
+    transport: &dyn Transport,
     addr: SocketAddr,
     hello: &Frame,
     request: &Frame,
     read_timeout: Duration,
 ) -> Option<Frame> {
-    let stream = TcpStream::connect_timeout(&addr, Duration::from_millis(250)).ok()?;
-    let _ = stream.set_nodelay(true);
+    let mut stream = transport.dial(addr, Duration::from_millis(250)).ok()?;
     let _ = stream.set_read_timeout(Some(read_timeout));
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
     let mut bytes = Vec::new();
     write_frame(&mut bytes, hello).expect("vec write");
     write_frame(&mut bytes, request).expect("vec write");
-    (&stream).write_all(&bytes).ok()?;
-    read_frame(&mut &stream).ok().flatten()
+    stream.write_all(&bytes).ok()?;
+    read_frame(&mut stream).ok().flatten()
 }
 
 /// The rpc-role hello the supervisor's home-shard admin calls use. The
@@ -447,6 +455,7 @@ fn query_hot_set(shared: &Shared, except: usize) -> Option<Vec<u64>> {
         // (under the restarting node's state lock) — a slow survivor must
         // not stall crash detection for the rest of the rack.
         if let Some(Frame::CacheKeysResp { keys }) = admin_call(
+            &*shared.transport,
             node.listen,
             &Frame::ClientHello,
             &Frame::CacheKeys,
@@ -489,6 +498,7 @@ fn heal_cache_symmetry(shared: &Shared, restarted: usize) {
         for &addr in &addrs {
             if !matches!(
                 admin_call(
+                    &*shared.transport,
                     addr,
                     &SUPERVISOR_RPC_HELLO,
                     &Frame::HotMark { key },
@@ -501,7 +511,13 @@ fn heal_cache_symmetry(shared: &Shared, restarted: usize) {
         }
         for &addr in &addrs {
             if !matches!(
-                admin_call(addr, &Frame::ClientHello, &Frame::Evict { key }, patient),
+                admin_call(
+                    &*shared.transport,
+                    addr,
+                    &Frame::ClientHello,
+                    &Frame::Evict { key },
+                    patient
+                ),
                 Some(Frame::EvictResp { .. })
             ) {
                 eprintln!("cckvs-rack: heal: evict of key {key} failed at {addr}");
@@ -512,6 +528,7 @@ fn heal_cache_symmetry(shared: &Shared, restarted: usize) {
         }
         for &addr in &addrs {
             let _ = admin_call(
+                &*shared.transport,
                 addr,
                 &SUPERVISOR_RPC_HELLO,
                 &Frame::HotUnmark { key },
@@ -524,16 +541,14 @@ fn heal_cache_symmetry(shared: &Shared, restarted: usize) {
 }
 
 /// Polls a serving node's cold-version counter (the durable-floor memory).
-fn poll_version_floor(addr: SocketAddr) -> Option<u32> {
-    let stream = TcpStream::connect_timeout(&addr, Duration::from_millis(250)).ok()?;
-    let _ = stream.set_nodelay(true);
+fn poll_version_floor(transport: &dyn Transport, addr: SocketAddr) -> Option<u32> {
+    let mut stream = transport.dial(addr, Duration::from_millis(250)).ok()?;
     let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
     let mut hello = Vec::new();
     write_frame(&mut hello, &Frame::ClientHello).expect("vec write");
     write_frame(&mut hello, &Frame::VersionFloor).expect("vec write");
-    (&stream).write_all(&hello).ok()?;
-    match read_frame(&mut &stream) {
+    stream.write_all(&hello).ok()?;
+    match read_frame(&mut stream) {
         Ok(Some(Frame::VersionFloorResp { clock })) => Some(clock),
         _ => None,
     }
@@ -599,7 +614,7 @@ fn tick_node(shared: &Arc<Shared>, id: usize, state: &mut NodeState) {
     }
     match state.phase {
         Phase::Starting { deadline } => {
-            if probe_ready(shared.topology.nodes[id].listen) {
+            if probe_ready(&*shared.transport, shared.topology.nodes[id].listen) {
                 eprintln!("cckvs-rack: node {id} ready");
                 state.phase = Phase::Ready {
                     since: now,
@@ -642,7 +657,9 @@ fn tick_node(shared: &Arc<Shared>, id: usize, state: &mut NodeState) {
                 .is_none_or(|at| now.duration_since(at) >= FLOOR_POLL_EVERY)
             {
                 state.last_floor_poll = Some(now);
-                if let Some(clock) = poll_version_floor(shared.topology.nodes[id].listen) {
+                if let Some(clock) =
+                    poll_version_floor(&*shared.transport, shared.topology.nodes[id].listen)
+                {
                     state.version_floor = state.version_floor.max(clock);
                 }
             }

@@ -9,6 +9,7 @@
 //! ```toml
 //! [rack]
 //! model = "lin"            # sc | lin
+//! transport = "tcp"        # tcp | udp (the whole rack's fabric)
 //! cache_capacity = 4096    # hot keys per node
 //! kvs_capacity = 65536     # objects per home shard
 //! value_capacity = 64      # max value bytes
@@ -30,6 +31,7 @@
 //! nodes form the deployment (the peer list every `cckvs-node` process
 //! receives is derived from the listen addresses, in node-id order).
 
+use cckvs_net::transport::TransportKind;
 use std::fmt;
 use std::io;
 use std::net::SocketAddr;
@@ -52,6 +54,9 @@ pub struct RackSpec {
     pub shards: Option<usize>,
     /// Reactor worker threads per node.
     pub workers: Option<usize>,
+    /// The fabric the whole rack runs on (`cckvs-node --transport`);
+    /// `None` means TCP. The supervisor's probes dial it too.
+    pub transport: Option<TransportKind>,
 }
 
 impl Default for RackSpec {
@@ -64,6 +69,7 @@ impl Default for RackSpec {
             peer_timeout_secs: None,
             shards: None,
             workers: None,
+            transport: None,
         }
     }
 }
@@ -194,6 +200,15 @@ impl Topology {
                     }
                     "shards" => rack.shards = Some(parse_num(lineno, key, value)?),
                     "workers" => rack.workers = Some(parse_num(lineno, key, value)?),
+                    "transport" => match value.parse() {
+                        Ok(kind) => rack.transport = Some(kind),
+                        Err(_) => {
+                            return fail(
+                                lineno,
+                                format!("transport must be tcp or udp, got `{value}`"),
+                            )
+                        }
+                    },
                     other => return fail(lineno, format!("unknown [rack] key `{other}`")),
                 },
                 Section::Node(id) => {
@@ -296,6 +311,11 @@ impl Topology {
         self.nodes.iter().map(|n| n.listen).collect()
     }
 
+    /// The fabric this topology's rack runs on (TCP when unset).
+    pub fn transport_kind(&self) -> TransportKind {
+        self.rack.transport.unwrap_or_default()
+    }
+
     /// The `cckvs-node` argument vector for node `id` (without the
     /// supervisor-owned `--ready-fd`).
     pub fn node_args(&self, id: usize) -> Vec<String> {
@@ -344,6 +364,10 @@ impl Topology {
         );
         push_opt("--shards", self.rack.shards.map(|n| n.to_string()));
         push_opt("--workers", self.rack.workers.map(|n| n.to_string()));
+        push_opt(
+            "--transport",
+            self.rack.transport.map(|t| t.label().to_string()),
+        );
         args
     }
 }
@@ -420,6 +444,10 @@ listen = "127.0.0.1:7102"
             ("model = \"lin\"", "outside any section"),
             ("[rack]\nmodel = \"eventual\"", "model must be sc or lin"),
             ("[rack]\nbogus = 1", "unknown [rack] key"),
+            (
+                "[rack]\ntransport = \"carrier-pigeon\"",
+                "transport must be tcp or udp",
+            ),
             ("[node.0]\nlisten = \"nonsense\"", "bad listen address"),
             ("[node.zero]\nlisten = \"127.0.0.1:1\"", "bad node id"),
             ("[rack]\nmodel = \"sc\"", "no [node.N] sections"),
@@ -447,6 +475,19 @@ listen = "127.0.0.1:7102"
                 err.message
             );
         }
+    }
+
+    #[test]
+    fn transport_key_parses_and_reaches_node_args() {
+        // Unset → TCP, and no flag pushed (old binaries keep working).
+        let topo = Topology::parse(EXAMPLE).expect("parse");
+        assert_eq!(topo.transport_kind(), TransportKind::Tcp);
+        assert!(!topo.node_args(0).join(" ").contains("--transport"));
+
+        let udp = EXAMPLE.replace("[rack]", "[rack]\ntransport = \"udp\"");
+        let topo = Topology::parse(&udp).expect("parse");
+        assert_eq!(topo.transport_kind(), TransportKind::Udp);
+        assert!(topo.node_args(1).join(" ").contains("--transport udp"));
     }
 
     #[test]

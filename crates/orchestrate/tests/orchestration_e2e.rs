@@ -54,6 +54,7 @@ fn test_topology(ports: &[u16], metrics_ports: &[u16]) -> Topology {
             peer_timeout_secs: Some(20),
             shards: None,
             workers: None,
+            transport: None,
         },
         nodes: ports
             .iter()
@@ -118,10 +119,12 @@ fn three_process_rack_survives_sigkill_under_write_traffic() {
             let history = Arc::clone(&history);
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || {
-                let mut client =
-                    Client::connect(&survivors, session, LoadBalancePolicy::RoundRobin)
-                        .expect("connect")
-                        .with_history(history);
+                let mut client = Client::builder(&survivors)
+                    .session(session)
+                    .policy(LoadBalancePolicy::RoundRobin)
+                    .history(history)
+                    .connect()
+                    .expect("connect");
                 let mut last_written: HashMap<u64, Vec<u8>> = HashMap::new();
                 let mut seq = 0u64;
                 while !stop.load(Ordering::Relaxed) {
@@ -282,9 +285,12 @@ fn whole_rack_chaos_traffic_stays_checker_clean_across_a_crash() {
             let history = Arc::clone(&history);
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || {
-                let mut client = Client::connect(&addrs, session, LoadBalancePolicy::RoundRobin)
-                    .expect("connect")
-                    .with_history(history);
+                let mut client = Client::builder(&addrs)
+                    .session(session)
+                    .policy(LoadBalancePolicy::RoundRobin)
+                    .history(history)
+                    .connect()
+                    .expect("connect");
                 let mut failed = 0u64;
                 let mut seq = 0u64;
                 while !stop.load(Ordering::Relaxed) {
@@ -386,10 +392,12 @@ fn pending_lin_writer_resumes_via_vacuous_acks_after_peer_sigkill() {
             let history = Arc::clone(&history);
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || {
-                let mut client =
-                    Client::connect(&survivors, session, LoadBalancePolicy::RoundRobin)
-                        .expect("connect")
-                        .with_history(history);
+                let mut client = Client::builder(&survivors)
+                    .session(session)
+                    .policy(LoadBalancePolicy::RoundRobin)
+                    .history(history)
+                    .connect()
+                    .expect("connect");
                 let mut seq = 0u64;
                 let mut slowest = Duration::ZERO;
                 while !stop.load(Ordering::Relaxed) {
@@ -490,9 +498,11 @@ fn cold_versions_stay_monotone_across_a_crash_restart() {
         .find(|&k| shards.home_node(KeyId(k)) == 0)
         .expect("some key homed at node 0");
     let history = Arc::new(SharedHistory::new());
-    let mut client = Client::connect(&[addrs[1]], 0, LoadBalancePolicy::Pinned(0))
-        .expect("connect")
-        .with_history(Arc::clone(&history));
+    let mut client = Client::builder(&[addrs[1]])
+        .policy(LoadBalancePolicy::Pinned(0))
+        .history(Arc::clone(&history))
+        .connect()
+        .expect("connect");
     for seq in 0..50u64 {
         client.put(key, &seq.to_le_bytes()).expect("pre-crash put");
     }
@@ -606,4 +616,62 @@ fn exit_codes_distinguish_bind_failure_from_peer_timeout() {
         .status()
         .expect("run cckvs-node");
     assert_eq!(status.code(), Some(4), "peer timeout must exit 4");
+}
+
+/// A supervised multi-process rack on the UDP datagram transport: the
+/// supervisor passes `--transport udp` to every node, probes readiness
+/// over UDP, and a UDP client serves checked traffic — the whole
+/// orchestration chain (spawn, ready-probe, admin dial, serve) on the
+/// datagram fabric.
+#[test]
+fn supervised_rack_serves_over_udp_transport() {
+    use cckvs_net::client::install_hot_set_via;
+    use cckvs_net::transport::{TransportConfig, TransportKind};
+
+    let node_bin = sibling_binary("cckvs-node").expect("cckvs-node built next to the tests");
+    let ports = free_ports(4);
+    let mut topology = test_topology(&ports[..2], &ports[2..]);
+    topology.rack.transport = Some(TransportKind::Udp);
+    let mut cfg = SupervisorConfig::new(node_bin);
+    cfg.log_dir = Some(std::env::temp_dir().join(format!("cckvs-orch-udp-{}", std::process::id())));
+    let supervisor = Supervisor::launch(topology, cfg).expect("launch udp rack");
+    supervisor
+        .wait_ready(Duration::from_secs(60))
+        .expect("udp rack ready");
+    let addrs = supervisor.client_addrs();
+
+    let udp = TransportConfig::udp();
+    let entries: Vec<(u64, Vec<u8>)> = (0..16u64).map(|k| (k, vec![0u8; 16])).collect();
+    install_hot_set_via(&*udp.build(), &addrs, &entries).expect("install hot set over udp");
+
+    let history = Arc::new(SharedHistory::new());
+    let mut client = Client::builder(&addrs)
+        .policy(LoadBalancePolicy::RoundRobin)
+        .transport(udp)
+        .history(Arc::clone(&history))
+        .connect()
+        .expect("connect over udp");
+    for seq in 0..200u64 {
+        let key = seq % 16;
+        client
+            .put(key, &seq.to_le_bytes())
+            .expect("put over udp rack");
+        assert_eq!(
+            client.get(key).expect("get over udp rack"),
+            seq.to_le_bytes(),
+            "read-your-write broken over supervised udp"
+        );
+    }
+    let history = history.snapshot();
+    history
+        .check_per_key_lin()
+        .unwrap_or_else(|v| panic!("per-key Lin violated on supervised udp rack: {v}"));
+    for (node, status) in supervisor.statuses().into_iter().enumerate() {
+        assert_eq!(
+            status,
+            NodeStatus::Ready,
+            "node {node} should still be ready"
+        );
+    }
+    supervisor.shutdown();
 }

@@ -86,9 +86,12 @@ fn main() {
                 0xACE ^ u64::from(session),
             );
             std::thread::spawn(move || {
-                let mut client = Client::connect(&addrs, session, LoadBalancePolicy::RoundRobin)
-                    .expect("connect")
-                    .with_history(history);
+                let mut client = Client::builder(&addrs)
+                    .session(session)
+                    .policy(LoadBalancePolicy::RoundRobin)
+                    .history(history)
+                    .connect()
+                    .expect("connect");
                 // Write-partition the keyspace across sessions so "the last
                 // acknowledged write" of a key is well defined for the final
                 // sweep; reads go everywhere.

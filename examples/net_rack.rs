@@ -18,7 +18,7 @@ use std::io::{Read, Write};
 use std::sync::Arc;
 use std::time::Instant;
 
-use cckvs_net::client::{Client, SharedHistory};
+use cckvs_net::client::SharedHistory;
 use cckvs_net::metrics::Metrics;
 use cckvs_net::rack::{Rack, RackConfig};
 use cckvs_net::LoadBalancePolicy;
@@ -33,7 +33,7 @@ const VALUE_SIZE: usize = 40;
 fn main() {
     println!("=== ccKVS networked rack (per-key Lin over loopback TCP) ===\n");
 
-    let mut cfg = RackConfig::small(ConsistencyModel::Lin, NODES);
+    let mut cfg = RackConfig::small_from_env(ConsistencyModel::Lin, NODES);
     cfg.cache_capacity = HOT_KEYS as usize;
     let rack = Rack::launch(cfg).expect("launch rack");
     println!(
@@ -56,11 +56,11 @@ fn main() {
 
     let history = Arc::new(SharedHistory::new());
     let metrics = Arc::new(Metrics::new());
-    let addrs = rack.client_addrs();
+    let base = rack.client();
     let started = Instant::now();
     let handles: Vec<_> = (0..SESSIONS)
         .map(|session| {
-            let addrs = addrs.clone();
+            let base = base.clone();
             let history = Arc::clone(&history);
             let metrics = Arc::clone(&metrics);
             let mut gen = WorkloadGen::new(
@@ -70,10 +70,13 @@ fn main() {
                 42 ^ u64::from(session),
             );
             std::thread::spawn(move || {
-                let mut client = Client::connect(&addrs, session, LoadBalancePolicy::RoundRobin)
-                    .expect("connect")
-                    .with_history(history)
-                    .with_metrics(metrics);
+                let mut client = base
+                    .session(session)
+                    .policy(LoadBalancePolicy::RoundRobin)
+                    .history(history)
+                    .metrics(metrics)
+                    .connect()
+                    .expect("connect");
                 for _ in 0..TOTAL_OPS / u64::from(SESSIONS) {
                     let op = gen.next_op();
                     match op.kind {

@@ -48,6 +48,7 @@ fn main() {
             peer_timeout_secs: Some(20),
             shards: None,
             workers: None,
+            transport: None,
         },
         nodes: ports
             .iter()
@@ -85,10 +86,12 @@ fn main() {
             let stop = Arc::clone(&stop);
             let ops_done = Arc::clone(&ops_done);
             std::thread::spawn(move || {
-                let mut client =
-                    Client::connect(&survivors, session, LoadBalancePolicy::RoundRobin)
-                        .expect("connect")
-                        .with_history(history);
+                let mut client = Client::builder(&survivors)
+                    .session(session)
+                    .policy(LoadBalancePolicy::RoundRobin)
+                    .history(history)
+                    .connect()
+                    .expect("connect");
                 let mut last_written: HashMap<u64, Vec<u8>> = HashMap::new();
                 let mut seq = 0u64;
                 while !stop.load(Ordering::Relaxed) {

@@ -47,6 +47,7 @@ fn main() {
             peer_timeout_secs: Some(20),
             shards: None,
             workers: None,
+            transport: None,
         },
         nodes: ports
             .iter()
