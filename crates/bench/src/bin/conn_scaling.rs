@@ -29,6 +29,7 @@
 use cckvs_net::client::{BatchConfig, Client, SharedHistory};
 use cckvs_net::metrics::Metrics;
 use cckvs_net::rack::{Rack, RackConfig};
+use cckvs_net::server::ReactorConfig;
 use cckvs_net::LoadBalancePolicy;
 use consistency::messages::ConsistencyModel;
 use std::fmt::Write as _;
@@ -126,6 +127,11 @@ fn run_point(connections: usize, total_ops: u64) -> Point {
     let mut rack_cfg = RackConfig::small(ConsistencyModel::Lin, NODES);
     rack_cfg.cache_capacity = HOT_KEYS;
     rack_cfg.metrics = false;
+    // Pin the reactor topology rather than inherit the host-sized
+    // default: the swept variable here is connection count, and the
+    // small/large ratio gate is only meaningful when every point (and
+    // every machine this runs on) serves with the same shard layout.
+    rack_cfg.reactor = ReactorConfig { shards: 2 };
     let rack = Rack::launch(rack_cfg).expect("launch rack");
     let dataset = Dataset::new(DATASET_KEYS, VALUE_SIZE);
     rack.install_hot_set(&dataset.hot_entries(HOT_KEYS))
@@ -378,6 +384,16 @@ fn main() {
         first.connections, last.connections, scaling, thread_growth
     );
     let _ = writeln!(json, "}}");
+    if args.quick && args.out == "BENCH_conns.json" {
+        eprintln!(
+            "conn_scaling: ############################################################\n\
+             conn_scaling: ## WARNING: writing a --quick result to the default       ##\n\
+             conn_scaling: ## BENCH_conns.json. Quick points are CI smoke numbers —  ##\n\
+             conn_scaling: ## do NOT commit them as the recorded trajectory. Re-run  ##\n\
+             conn_scaling: ## without --quick (or use --out) before committing.      ##\n\
+             conn_scaling: ############################################################"
+        );
+    }
     std::fs::write(&args.out, &json).expect("write BENCH json");
     eprintln!("conn_scaling: wrote {}", args.out);
     print!("{json}");

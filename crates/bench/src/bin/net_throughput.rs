@@ -17,8 +17,11 @@
 //! ```
 //!
 //! `--gate F` exits non-zero if, for any (model, write-ratio) group, the
-//! best batched throughput falls below `F ×` the unbatched configuration —
-//! the CI perf floor protecting the coalescing win.
+//! best *fixed-size* batched throughput falls below `F ×` the unbatched
+//! configuration — the CI perf floor protecting the coalescing win.
+//! `--gate-p99 F` exits non-zero if any adaptive Lin point's p99 exceeds
+//! `F ×` its unbatched sibling's — the latency ceiling protecting the
+//! deadline-batching win (throughput without unbounded tail growth).
 
 use cckvs_net::client::{BatchConfig, Client, SharedHistory};
 use cckvs_net::metrics::Metrics;
@@ -28,7 +31,7 @@ use cckvs_net::LoadBalancePolicy;
 use consistency::messages::ConsistencyModel;
 use std::fmt::Write as _;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use workload::{AccessDistribution, Dataset, Mix, OpKind, WorkloadGen};
 
 const NODES: usize = 3;
@@ -36,16 +39,26 @@ const SESSIONS: u32 = 4;
 const DATASET_KEYS: u64 = 100_000;
 const HOT_KEYS: usize = 256;
 const VALUE_SIZE: usize = 40;
+/// Client corking deadline for the adaptive points: roughly half the
+/// unbatched Lin p99 (~220-290µs on the loopback rack), so the cork wait
+/// plus one in-budget flush round trip stays inside the 2x tail gate.
+const ADAPTIVE_MAX_DELAY: Duration = Duration::from_micros(120);
+/// Op bound for the adaptive points (the AIMD doorbell moves below it).
+const ADAPTIVE_MAX_OPS: usize = 32;
 
 struct Args {
     quick: bool,
     out: String,
     gate: Option<f64>,
+    gate_p99: Option<f64>,
     ops: Option<u64>,
 }
 
 fn usage() -> ! {
-    eprintln!("usage: net_throughput [--quick] [--out PATH] [--gate MIN_SPEEDUP] [--ops N]");
+    eprintln!(
+        "usage: net_throughput [--quick] [--out PATH] [--gate MIN_SPEEDUP] \
+         [--gate-p99 MAX_P99_RATIO] [--ops N]"
+    );
     std::process::exit(2);
 }
 
@@ -54,6 +67,7 @@ fn parse_args() -> Args {
         quick: false,
         out: "BENCH_net.json".to_string(),
         gate: None,
+        gate_p99: None,
         ops: None,
     };
     let mut it = std::env::args().skip(1);
@@ -68,6 +82,9 @@ fn parse_args() -> Args {
             "--quick" => args.quick = true,
             "--out" => args.out = value("--out"),
             "--gate" => args.gate = Some(value("--gate").parse().unwrap_or_else(|_| usage())),
+            "--gate-p99" => {
+                args.gate_p99 = Some(value("--gate-p99").parse().unwrap_or_else(|_| usage()))
+            }
             "--ops" => args.ops = Some(value("--ops").parse().unwrap_or_else(|_| usage())),
             "--help" | "-h" => usage(),
             other => {
@@ -86,6 +103,9 @@ struct Config {
     write_ratio: f64,
     /// 1 = unbatched (one frame per op on the wire).
     batch_ops: usize,
+    /// Deadline batching: [`ADAPTIVE_MAX_DELAY`] corking with the AIMD
+    /// doorbell, instead of a fixed op-count doorbell.
+    adaptive: bool,
 }
 
 /// One measured point.
@@ -115,6 +135,8 @@ struct NodePhases {
     continuation_fire_p99_us: f64,
     fanout_p50_us: f64,
     fanout_p99_us: f64,
+    cork_wait_p50_us: f64,
+    cork_wait_p99_us: f64,
     loop_lap_p99_us: f64,
 }
 
@@ -154,6 +176,7 @@ fn run_point(cfg: Config, total_ops: u64, trace_every: u64, transport: Transport
                 0xBE4C_0000 ^ u64::from(session),
             );
             let batch_ops = cfg.batch_ops;
+            let adaptive = cfg.adaptive;
             let model = cfg.model;
             std::thread::spawn(move || {
                 // SC sessions stay sticky (per-session guarantee); Lin
@@ -172,6 +195,7 @@ fn run_point(cfg: Config, total_ops: u64, trace_every: u64, transport: Transport
                     .metrics(metrics)
                     .batching(BatchConfig {
                         max_ops: batch_ops,
+                        max_delay: adaptive.then_some(ADAPTIVE_MAX_DELAY),
                         ..BatchConfig::default()
                     })
                     .trace_sampling(trace_every);
@@ -224,6 +248,30 @@ fn run_point(cfg: Config, total_ops: u64, trace_every: u64, transport: Transport
     let phases = (0..NODES)
         .map(|node| {
             let snap = rack.server(node).metrics().snapshot();
+            if std::env::var_os("NET_THROUGHPUT_DEBUG").is_some() {
+                eprintln!(
+                    "DEBUG {}/{} n{node}: ack {}/{}us cont {}/{}us cork {}/{}us (cnt {}) \
+                     credit_stalls {} stall_p99 {}us prio {} full/deadline/idle {}/{}/{} \
+                     adapt_batch {}/{}",
+                    cfg.batch_ops,
+                    cfg.adaptive,
+                    snap.lin_ack_wait_p50_ns / 1000,
+                    snap.lin_ack_wait_p99_ns / 1000,
+                    snap.continuation_fire_p50_ns / 1000,
+                    snap.continuation_fire_p99_ns / 1000,
+                    snap.cork_wait_p50_ns / 1000,
+                    snap.cork_wait_p99_ns / 1000,
+                    snap.cork_wait_count,
+                    snap.credit_stalls,
+                    snap.credit_stall_p99_ns / 1000,
+                    snap.priority_lane_frames,
+                    snap.cork_flush_full,
+                    snap.cork_flush_deadline,
+                    snap.cork_flush_idle,
+                    snap.adaptive_batch_p50,
+                    snap.adaptive_batch_p99,
+                );
+            }
             NodePhases {
                 node,
                 lin_ack_wait_p50_us: us(snap.lin_ack_wait_p50_ns),
@@ -232,6 +280,8 @@ fn run_point(cfg: Config, total_ops: u64, trace_every: u64, transport: Transport
                 continuation_fire_p99_us: us(snap.continuation_fire_p99_ns),
                 fanout_p50_us: us(snap.fanout_p50_ns),
                 fanout_p99_us: us(snap.fanout_p99_ns),
+                cork_wait_p50_us: us(snap.cork_wait_p50_ns),
+                cork_wait_p99_us: us(snap.cork_wait_p99_ns),
                 loop_lap_p99_us: us(snap.loop_lap_p99_ns),
             }
         })
@@ -270,19 +320,37 @@ fn main() {
     let mut points = Vec::new();
     for &model in &models {
         for &write_ratio in &write_ratios {
-            for &batch_ops in &batch_sizes {
-                let cfg = Config {
+            let mut configs: Vec<Config> = batch_sizes
+                .iter()
+                .map(|&batch_ops| Config {
                     model,
                     write_ratio,
                     batch_ops,
-                };
+                    adaptive: false,
+                })
+                .collect();
+            // Deadline-batched point for the Lin groups: the adaptive
+            // doorbell against the same mix, gated on p99 (not speedup).
+            if model == ConsistencyModel::Lin {
+                configs.push(Config {
+                    model,
+                    write_ratio,
+                    batch_ops: ADAPTIVE_MAX_OPS,
+                    adaptive: true,
+                });
+            }
+            for cfg in configs {
                 let point = run_point(cfg, total_ops, 0, TransportConfig::tcp());
                 eprintln!(
-                    "net_throughput: {}/wr{:.2}/batch{:<3} {:>8.0} ops/s | hit {:>5.1}% | \
+                    "net_throughput: {}/wr{:.2}/{:<10} {:>8.0} ops/s | hit {:>5.1}% | \
                      p50 {:>7.1}µs p99 {:>8.1}µs{}",
                     model_name(model),
                     write_ratio,
-                    batch_ops,
+                    if cfg.adaptive {
+                        "adaptive".to_string()
+                    } else {
+                        format!("batch{}", cfg.batch_ops)
+                    },
                     point.ops_per_sec,
                     point.hit_rate * 100.0,
                     point.p50_us,
@@ -308,14 +376,19 @@ fn main() {
         std::process::exit(1);
     }
 
-    // Per (model, write-ratio) group: best batched throughput over the
-    // unbatched configuration.
+    // Per (model, write-ratio) group: best *fixed-size* batched
+    // throughput over the unbatched configuration. The adaptive points
+    // stay out of the speedup record — they optimise the
+    // throughput/latency trade-off, not raw throughput, and are gated
+    // separately on p99.
     let mut speedups = Vec::new();
     for &model in &models {
         for &write_ratio in &write_ratios {
             let group: Vec<&Point> = points
                 .iter()
-                .filter(|p| p.cfg.model == model && p.cfg.write_ratio == write_ratio)
+                .filter(|p| {
+                    p.cfg.model == model && p.cfg.write_ratio == write_ratio && !p.cfg.adaptive
+                })
                 .collect();
             let unbatched = group.iter().find(|p| p.cfg.batch_ops == 1);
             let batched = group
@@ -344,6 +417,7 @@ fn main() {
         model: ConsistencyModel::Lin,
         write_ratio: 0.05,
         batch_ops: 1,
+        adaptive: false,
     };
     let untraced = run_point(overhead_cfg, total_ops, 0, TransportConfig::tcp());
     let traced = run_point(overhead_cfg, total_ops, TRACE_EVERY, TransportConfig::tcp());
@@ -362,6 +436,7 @@ fn main() {
         model: ConsistencyModel::Lin,
         write_ratio: 0.05,
         batch_ops: 16,
+        adaptive: false,
     };
     let udp = run_point(udp_cfg, total_ops, 0, TransportConfig::udp());
     assert_ne!(
@@ -393,12 +468,14 @@ fn main() {
     for (i, p) in points.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"model\": \"{}\", \"write_ratio\": {}, \"batch_ops\": {}, \"ops\": {}, \
+            "    {{\"model\": \"{}\", \"write_ratio\": {}, \"batch_ops\": {}, \"adaptive\": {}, \
+             \"ops\": {}, \
              \"secs\": {:.3}, \"ops_per_sec\": {:.0}, \"hit_rate\": {:.4}, \"p50_us\": {:.1}, \
              \"p99_us\": {:.1}, \"batches\": {}{}}}{}",
             model_name(p.cfg.model),
             p.cfg.write_ratio,
             p.cfg.batch_ops,
+            p.cfg.adaptive,
             p.ops,
             p.secs,
             p.ops_per_sec,
@@ -429,7 +506,9 @@ fn main() {
             json,
             "    {{\"node\": {}, \"lin_ack_wait_p50_us\": {:.1}, \"lin_ack_wait_p99_us\": {:.1}, \
              \"continuation_fire_p50_us\": {:.1}, \"continuation_fire_p99_us\": {:.1}, \
-             \"fanout_p50_us\": {:.1}, \"fanout_p99_us\": {:.1}, \"loop_lap_p99_us\": {:.1}}}{}",
+             \"fanout_p50_us\": {:.1}, \"fanout_p99_us\": {:.1}, \
+             \"cork_wait_p50_us\": {:.1}, \"cork_wait_p99_us\": {:.1}, \
+             \"loop_lap_p99_us\": {:.1}}}{}",
             ph.node,
             ph.lin_ack_wait_p50_us,
             ph.lin_ack_wait_p99_us,
@@ -437,6 +516,8 @@ fn main() {
             ph.continuation_fire_p99_us,
             ph.fanout_p50_us,
             ph.fanout_p99_us,
+            ph.cork_wait_p50_us,
+            ph.cork_wait_p99_us,
             ph.loop_lap_p99_us,
             if i + 1 < traced.phases.len() { "," } else { "" }
         );
@@ -492,5 +573,48 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("net_throughput: gate passed (worst speedup {worst:.3} >= {gate})");
+    }
+
+    if let Some(gate) = args.gate_p99 {
+        // Each adaptive point's p99 against its unbatched sibling's: the
+        // deadline batcher may trade some latency for throughput, but the
+        // tail must stay inside the configured multiple.
+        let mut checked = 0;
+        for adaptive in points.iter().filter(|p| p.cfg.adaptive) {
+            let Some(unbatched) = points.iter().find(|p| {
+                !p.cfg.adaptive
+                    && p.cfg.batch_ops == 1
+                    && p.cfg.model == adaptive.cfg.model
+                    && p.cfg.write_ratio == adaptive.cfg.write_ratio
+            }) else {
+                continue;
+            };
+            checked += 1;
+            let ratio = adaptive.p99_us / unbatched.p99_us;
+            if ratio > gate {
+                eprintln!(
+                    "net_throughput: P99 GATE FAILED: {}/wr{:.2} adaptive p99 {:.1}µs is \
+                     {ratio:.3}x the unbatched {:.1}µs (> {gate})",
+                    model_name(adaptive.cfg.model),
+                    adaptive.cfg.write_ratio,
+                    adaptive.p99_us,
+                    unbatched.p99_us,
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "net_throughput: p99 gate: {}/wr{:.2} adaptive p99 {:.1}µs = {ratio:.3}x \
+                 unbatched {:.1}µs (<= {gate})",
+                model_name(adaptive.cfg.model),
+                adaptive.cfg.write_ratio,
+                adaptive.p99_us,
+                unbatched.p99_us,
+            );
+        }
+        if checked == 0 {
+            eprintln!("net_throughput: P99 GATE FAILED: no adaptive/unbatched pair to compare");
+            std::process::exit(1);
+        }
+        eprintln!("net_throughput: p99 gate passed ({checked} adaptive point(s) <= {gate}x)");
     }
 }

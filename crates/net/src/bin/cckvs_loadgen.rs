@@ -618,13 +618,14 @@ fn main() {
         ));
         println!(
             "{{\"ops\": {}, \"secs\": {:.3}, \"ops_per_sec\": {:.0}, \"hit_rate\": {:.4}, \
-             \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"batch\": {}{}}}",
+             \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"p999_us\": {:.1}, \"batch\": {}{}}}",
             total_ops,
             secs,
             total_ops as f64 / secs,
             snap.hit_rate(),
             snap.latency_p50_ns as f64 / 1_000.0,
             snap.latency_p99_ns as f64 / 1_000.0,
+            hist.percentile(99.9) as f64 / 1_000.0,
             args.batch,
             extra
         );

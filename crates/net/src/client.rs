@@ -168,12 +168,33 @@ impl Conn {
 /// Client-side request-coalescing knobs (§6.3: requests travel the wire in
 /// MTU-sized batches). The queue flushes — the *doorbell* — as soon as
 /// either bound is reached, or when [`Client::flush`] is called.
+///
+/// With `max_delay` set the doorbell becomes latency-aware:
+///
+/// - No queued op waits past the deadline (checked on every `queue_*`
+///   call and by [`Client::pump`]).
+/// - The op-count doorbell adapts to the measured flush round-trip
+///   time: it widens additively while flushes keep round-tripping inside
+///   `max_delay`, and shrinks multiplicatively — in proportion to the
+///   overrun — when they stop (clamped to `[1, max_ops]`). Batches widen
+///   exactly as far as the server answers inside the delay budget and
+///   back off the moment it slows.
+/// - A queued *write* flushes immediately and travels alone: writes are
+///   synchronization points (a Lin put blocks on every sharer's ack), so
+///   coalescing reads behind one would tax the whole batch's tail with
+///   the ack wait. Queued reads ship first as their own batch, then the
+///   write as a bare frame — reads never inherit an ack wait, which is
+///   what keeps the batched p99 within sight of the unbatched one.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatchConfig {
     /// Maximum operations per batch.
     pub max_ops: usize,
     /// Maximum payload bytes queued before the batch is forced out.
     pub max_bytes: usize,
+    /// Longest a queued op may wait for batch-mates before the queue is
+    /// flushed anyway. `None` (the default) corks until a size bound or
+    /// an explicit [`Client::flush`] — the pre-deadline behaviour.
+    pub max_delay: Option<Duration>,
 }
 
 impl Default for BatchConfig {
@@ -181,9 +202,16 @@ impl Default for BatchConfig {
         Self {
             max_ops: 16,
             max_bytes: 16 * 1024,
+            max_delay: None,
         }
     }
 }
+
+/// Initial op-count doorbell in deadline mode, before the cost model has
+/// measured a single flush: small enough that the first batches never owe
+/// a full-width cycle of latency, large enough that coalescing starts
+/// immediately.
+const WARMUP_DOORBELL: usize = 8;
 
 /// The completion of one queued operation, in queue order.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -236,6 +264,14 @@ pub struct Client {
     history: Option<Arc<SharedHistory>>,
     metrics: Option<Arc<Metrics>>,
     batching: BatchConfig,
+    /// Adaptive op-count doorbell: how many ops a flush can carry and
+    /// still round-trip inside `batching.max_delay`. Pinned to
+    /// `batching.max_ops` when no deadline is configured.
+    doorbell_target: usize,
+    /// EWMA whole-flush round-trip time in ns (0 until the first
+    /// adaptive flush) — compared against `max_delay` to steer the
+    /// doorbell.
+    flush_rtt_ns: f64,
     queue: Vec<QueuedOp>,
     queue_bytes: usize,
     outcomes: Vec<BatchOutcome>,
@@ -379,6 +415,15 @@ impl ClientBuilder {
             history: self.history,
             metrics: self.metrics,
             batching: self.batching,
+            // Deadline mode warms the doorbell up from below: the cost
+            // model widens it as flush round-trips prove cheap, so the
+            // first batches never owe a full-width cycle of latency.
+            doorbell_target: if self.batching.max_delay.is_some() {
+                self.batching.max_ops.min(WARMUP_DOORBELL)
+            } else {
+                self.batching.max_ops
+            },
+            flush_rtt_ns: 0.0,
             queue: Vec::new(),
             queue_bytes: 0,
             outcomes: Vec::new(),
@@ -538,6 +583,11 @@ impl Client {
             "max_bytes must stay below half the wire frame limit"
         );
         self.batching = batching;
+        self.doorbell_target = if batching.max_delay.is_some() {
+            batching.max_ops.min(WARMUP_DOORBELL)
+        } else {
+            batching.max_ops
+        };
         self
     }
 
@@ -696,6 +746,14 @@ impl Client {
 
     /// Queues a write for the next coalesced batch.
     pub fn queue_put(&mut self, key: u64, value: &[u8]) -> io::Result<()> {
+        // Deadline mode: a write is a synchronization point (see
+        // [`BatchConfig`]) — ship the queued reads as their own wire
+        // batch first, then the write alone. The reads never inherit the
+        // write's ack wait (the dominant batched-tail term), and the
+        // write pays one pipelined read flush, not the reverse.
+        if self.batching.max_delay.is_some() && !self.queue.is_empty() {
+            self.flush_queue()?;
+        }
         let invoked_at = self.history.as_ref().map(|h| h.now());
         self.queue_bytes += 16 + value.len();
         let request = self.maybe_trace(Frame::Put {
@@ -709,7 +767,11 @@ impl Client {
             invoked_at,
             started: Instant::now(),
         });
-        self.maybe_flush()
+        if self.batching.max_delay.is_some() {
+            self.flush_queue()
+        } else {
+            self.maybe_flush()
+        }
     }
 
     /// Number of operations currently queued and unflushed.
@@ -730,9 +792,37 @@ impl Client {
         Ok(std::mem::take(&mut self.outcomes))
     }
 
+    /// Time until the oldest queued op hits the [`BatchConfig::max_delay`]
+    /// deadline (zero when overdue). `None` when the queue is empty or no
+    /// deadline is configured — drivers use this to size their next poll
+    /// or sleep, then call [`Client::pump`].
+    pub fn due_in(&self) -> Option<Duration> {
+        let deadline = self.batching.max_delay?;
+        let oldest = self.queue.first()?;
+        Some(deadline.saturating_sub(oldest.started.elapsed()))
+    }
+
+    /// Flushes the queue iff the [`BatchConfig::max_delay`] deadline has
+    /// passed for the oldest queued op; returns whether a flush happened.
+    /// The synchronous client has no background thread, so a driver that
+    /// goes quiet between `queue_*` calls pumps the deadline itself.
+    pub fn pump(&mut self) -> io::Result<bool> {
+        match self.due_in() {
+            Some(d) if d.is_zero() => {
+                self.flush_queue()?;
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
     fn maybe_flush(&mut self) -> io::Result<()> {
-        if self.queue.len() >= self.batching.max_ops || self.queue_bytes >= self.batching.max_bytes
-        {
+        let doorbell = self.doorbell_target.min(self.batching.max_ops);
+        let overdue = match (self.batching.max_delay, self.queue.first()) {
+            (Some(deadline), Some(oldest)) => oldest.started.elapsed() >= deadline,
+            _ => false,
+        };
+        if self.queue.len() >= doorbell || self.queue_bytes >= self.batching.max_bytes || overdue {
             self.flush_queue()?;
         }
         Ok(())
@@ -771,6 +861,7 @@ impl Client {
             .collect();
         // A singleton flush travels as a bare frame: batch=1 is exactly
         // the unbatched wire protocol (and not counted as a wire batch).
+        let flush_started = Instant::now();
         let responses = if requests.len() == 1 {
             vec![self.call_node(node, &requests[0])?]
         } else {
@@ -780,6 +871,31 @@ impl Client {
             let result = self.conn(node).and_then(|conn| conn.call_batch(requests));
             self.classify_result(node, result)?
         };
+        // Latency-feedback doorbell: widen while whole flushes round-trip
+        // inside the delay budget (the server pipelines a batch's misses,
+        // so width is nearly free until it isn't), shrink in proportion
+        // the moment the smoothed round-trip overruns — the overrun IS
+        // the congestion signal. Flushes carrying a write are not
+        // measurements: their round-trip is dominated by the Lin ack
+        // wait, an irreducible synchronization cost the batch width
+        // cannot amortize (pricing it in collapses the doorbell and
+        // forfeits the read-pipelining win).
+        let wrote = metas.iter().any(|(_, put_tag, _, _)| put_tag.is_some());
+        if let (Some(budget), false) = (self.batching.max_delay, wrote) {
+            let rtt = flush_started.elapsed().as_nanos() as f64;
+            self.flush_rtt_ns = if self.flush_rtt_ns > 0.0 {
+                0.7 * self.flush_rtt_ns + 0.3 * rtt
+            } else {
+                rtt
+            };
+            let budget_ns = budget.as_nanos() as f64;
+            let target = if self.flush_rtt_ns <= budget_ns {
+                self.doorbell_target + 2
+            } else {
+                (self.doorbell_target as f64 * budget_ns / self.flush_rtt_ns) as usize
+            };
+            self.doorbell_target = target.clamp(1, self.batching.max_ops);
+        }
         for ((key, put_tag, invoked_at, started), response) in metas.into_iter().zip(responses) {
             let outcome = self.complete(key, put_tag, invoked_at, started, response)?;
             self.outcomes.push(outcome);

@@ -307,6 +307,28 @@ pub struct MetricsSnapshot {
     pub credit_stall_ns: u64,
     /// 99th-percentile single credit stall in nanoseconds.
     pub credit_stall_p99_ns: u64,
+    /// Latency-class frames (invalidations, Lin acks, RPC traffic) sent
+    /// through the peer mesh's priority lane.
+    pub priority_lane_frames: u64,
+    /// Bulk corks flushed because the adaptive target size (or byte
+    /// budget) was reached.
+    pub cork_flush_full: u64,
+    /// Bulk corks flushed because the oldest message waited out the
+    /// `max_delay` deadline.
+    pub cork_flush_deadline: u64,
+    /// Bulk messages flushed immediately because the link was idle (the
+    /// adaptive target had decayed to 1).
+    pub cork_flush_idle: u64,
+    /// Median flushed bulk-batch size chosen by the adaptive controller.
+    pub adaptive_batch_p50: u64,
+    /// 99th-percentile flushed bulk-batch size.
+    pub adaptive_batch_p99: u64,
+    /// Bulk flushes that served a nonzero cork wait.
+    pub cork_wait_count: u64,
+    /// Median time a corked bulk batch waited before flushing (ns).
+    pub cork_wait_p50_ns: u64,
+    /// 99th-percentile cork wait (ns).
+    pub cork_wait_p99_ns: u64,
     /// Successful peer-link reconnects (redial handshakes completed).
     pub peer_reconnects: u64,
     /// Retained protocol messages replayed to peers after reconnects.
@@ -408,8 +430,14 @@ pub struct Metrics {
     pending_rpcs: AtomicU64,
     trace_events: AtomicU64,
     trace_dropped: AtomicU64,
+    priority_lane_frames: AtomicU64,
+    cork_flush_full: AtomicU64,
+    cork_flush_deadline: AtomicU64,
+    cork_flush_idle: AtomicU64,
     batch_sizes: AtomicHistogram,
+    adaptive_batch: AtomicHistogram,
     credit_stall_hist: AtomicHistogram,
+    cork_wait: AtomicHistogram,
     latency: ShardedHistogram,
     lin_ack_wait: ShardedHistogram,
     continuation_fire: ShardedHistogram,
@@ -524,6 +552,38 @@ impl Metrics {
         self.credit_stall_hist.record(nanos);
     }
 
+    /// Records `n` latency-class frames (invalidations, Lin acks, RPC
+    /// traffic) packed through a peer link's priority lane.
+    pub fn record_priority_lane(&self, n: u64) {
+        self.priority_lane_frames.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one bulk cork flushed at its adaptive target size.
+    pub fn record_cork_flush_full(&self) {
+        self.cork_flush_full.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one bulk cork flushed by its `max_delay` deadline.
+    pub fn record_cork_flush_deadline(&self) {
+        self.cork_flush_deadline.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one bulk flush taken immediately on an idle link.
+    pub fn record_cork_flush_idle(&self) {
+        self.cork_flush_idle.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the size of one bulk batch the adaptive controller
+    /// released (whatever the flush reason).
+    pub fn record_adaptive_batch(&self, ops: u64) {
+        self.adaptive_batch.record(ops);
+    }
+
+    /// Records the time a corked bulk batch waited before flushing.
+    pub fn record_cork_wait_ns(&self, nanos: u64) {
+        self.cork_wait.record(nanos);
+    }
+
     /// Records one successful peer-link reconnect (redial handshake
     /// completed after the previous connection died).
     pub fn record_peer_reconnect(&self) {
@@ -618,7 +678,10 @@ impl Metrics {
         let (p50, p99) = quantiles(&latency);
         let mean = latency.mean();
         let (batch_ops_p50, batch_ops_p99) = quantiles(&self.batch_sizes.snapshot());
+        let (adaptive_batch_p50, adaptive_batch_p99) = quantiles(&self.adaptive_batch.snapshot());
         let (_, credit_stall_p99_ns) = quantiles(&self.credit_stall_hist.snapshot());
+        let cork_wait = self.cork_wait.snapshot();
+        let (cork_wait_p50_ns, cork_wait_p99_ns) = quantiles(&cork_wait);
         let lin_ack_wait = self.lin_ack_wait.snapshot();
         let (lin_ack_wait_p50_ns, lin_ack_wait_p99_ns) = quantiles(&lin_ack_wait);
         let continuation_fire = self.continuation_fire.snapshot();
@@ -651,6 +714,15 @@ impl Metrics {
             credit_stalls: self.credit_stalls.load(Ordering::Relaxed),
             credit_stall_ns: self.credit_stall_ns.load(Ordering::Relaxed),
             credit_stall_p99_ns,
+            priority_lane_frames: self.priority_lane_frames.load(Ordering::Relaxed),
+            cork_flush_full: self.cork_flush_full.load(Ordering::Relaxed),
+            cork_flush_deadline: self.cork_flush_deadline.load(Ordering::Relaxed),
+            cork_flush_idle: self.cork_flush_idle.load(Ordering::Relaxed),
+            adaptive_batch_p50,
+            adaptive_batch_p99,
+            cork_wait_count: cork_wait.count,
+            cork_wait_p50_ns,
+            cork_wait_p99_ns,
             peer_reconnects: self.peer_reconnects.load(Ordering::Relaxed),
             peer_replayed: self.peer_replayed.load(Ordering::Relaxed),
             reissued_invalidations: self.reissued_invalidations.load(Ordering::Relaxed),
@@ -765,6 +837,26 @@ impl Metrics {
             snap.credit_stall_ns,
         );
         counter(
+            "priority_lane_frames_total",
+            "Latency-class frames sent through the peer mesh priority lane.",
+            snap.priority_lane_frames,
+        );
+        counter(
+            "cork_flush_full_total",
+            "Bulk corks flushed at their adaptive target size.",
+            snap.cork_flush_full,
+        );
+        counter(
+            "cork_flush_deadline_total",
+            "Bulk corks flushed by the max_delay deadline.",
+            snap.cork_flush_deadline,
+        );
+        counter(
+            "cork_flush_idle_total",
+            "Bulk flushes taken immediately on an idle link.",
+            snap.cork_flush_idle,
+        );
+        counter(
             "peer_reconnects_total",
             "Peer-link redial handshakes completed after a connection died.",
             snap.peer_reconnects,
@@ -798,6 +890,11 @@ impl Metrics {
             ("batch_ops_p50", snap.batch_ops_p50),
             ("batch_ops_p99", snap.batch_ops_p99),
             ("credit_stall_p99_ns", snap.credit_stall_p99_ns),
+            ("adaptive_batch_p50", snap.adaptive_batch_p50),
+            ("adaptive_batch_p99", snap.adaptive_batch_p99),
+            ("cork_wait_count", snap.cork_wait_count),
+            ("cork_wait_p50_ns", snap.cork_wait_p50_ns),
+            ("cork_wait_p99_ns", snap.cork_wait_p99_ns),
             ("conns_open", snap.conns_open),
             ("reactor_shards", snap.reactor_shards),
             ("reactor_workers", snap.reactor_workers),

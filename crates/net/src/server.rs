@@ -99,6 +99,14 @@ pub struct FlowConfig {
     pub credit_window: u64,
     /// Maximum protocol messages coalesced into one peer-mesh batch.
     pub peer_batch_ops: usize,
+    /// Corking deadline for *bulk-class* peer traffic (update broadcasts,
+    /// write-backs): a partially filled bulk batch flushes when the oldest
+    /// corked message has waited this long, even if the adaptive target
+    /// size was never reached. Latency-class traffic (invalidations, Lin
+    /// acks, RPC responses) never corks — it flushes eagerly on every
+    /// pump. Sub-50µs values round up to the reactor's fine timer
+    /// resolution ([`reactor::FINE_RESOLUTION`]).
+    pub max_delay: Duration,
 }
 
 impl Default for FlowConfig {
@@ -106,6 +114,7 @@ impl Default for FlowConfig {
         Self {
             credit_window: 128,
             peer_batch_ops: 32,
+            max_delay: Duration::from_micros(200),
         }
     }
 }
@@ -122,8 +131,20 @@ pub struct ReactorConfig {
 }
 
 impl Default for ReactorConfig {
+    /// Two shards per node on multi-core hosts. On a single-CPU host the
+    /// default drops to one: every shard is a thread, and with more
+    /// threads than cores an invalidation's delivery waits on a scheduler
+    /// timeslice instead of an epoll wake — measured as 2-3x on the Lin
+    /// ack-wait p99 for a loopback rack, the latency the priority lane
+    /// exists to protect. Explicit [`ReactorConfig`] values are honored
+    /// as given.
     fn default() -> Self {
-        Self { shards: 2 }
+        let cores = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(2);
+        Self {
+            shards: if cores >= 2 { 2 } else { 1 },
+        }
     }
 }
 
@@ -310,6 +331,20 @@ impl NodeServerBuilder {
 /// stalled, each wakes up, sends a credit-only batch (credits consume no
 /// credits), and unblocks its peer.
 const CREDIT_STALL_TICK: Duration = Duration::from_millis(1);
+
+/// Stall re-check tick while *latency-class* frames (invalidations, Lin
+/// acks, RPC responses) are blocked on the credit window: a blocked Lin
+/// writer is waiting on exactly these frames, so the priority lane
+/// re-pumps at fine-timer granularity instead of the 1 ms bulk tick.
+/// (The credit-return doorbell remains the primary wake; this tick is
+/// the deadlock-free backstop.)
+const PRIORITY_STALL_TICK: Duration = Duration::from_micros(100);
+
+/// Time constant of the per-link bulk arrival-rate EWMA driving the
+/// adaptive cork target: samples taken `dt` apart blend with weight
+/// `dt / (dt + CORK_RATE_TAU)`, so the estimate forgets a burst in a few
+/// milliseconds and an idle link decays toward immediate flush.
+const CORK_RATE_TAU: Duration = Duration::from_millis(2);
 
 /// Byte budget for one coalesced peer-mesh batch: coalescing stops (and
 /// spills to the next batch) once a batch holds this much, keeping batches
@@ -513,6 +548,141 @@ impl LinkItem {
             LinkItem::Rpc(frame) => frame_payload(frame),
         }
     }
+
+    /// Which peer-mesh lane the item travels in. Latency class: frames a
+    /// blocked operation is waiting on right now — invalidations and acks
+    /// (a Lin writer stalls until the slowest sharer acknowledges),
+    /// miss-path requests and their responses (a client op is suspended on
+    /// each). Bulk class: frames that move data but block nobody —
+    /// update/commit broadcasts and write-backs — which keep the
+    /// throughput-oriented coalescing and may cork up to
+    /// [`FlowConfig::max_delay`].
+    fn lane(&self) -> Lane {
+        match self {
+            LinkItem::Protocol(msg, _, _) => match msg {
+                ProtocolMsg::Invalidation { .. } | ProtocolMsg::Ack { .. } => Lane::Latency,
+                ProtocolMsg::Update { .. } => Lane::Bulk,
+            },
+            LinkItem::Rpc(frame) => {
+                fn is_write_back(frame: &Frame) -> bool {
+                    match frame {
+                        Frame::Traced { inner, .. } => is_write_back(inner),
+                        Frame::WriteBack { .. } => true,
+                        _ => false,
+                    }
+                }
+                match frame {
+                    Frame::RpcReq { inner, .. } if is_write_back(inner) => Lane::Bulk,
+                    _ => Lane::Latency,
+                }
+            }
+        }
+    }
+
+    /// The key whose per-link FIFO order the item participates in, if any.
+    /// Two items with the same conflict key on the same link must reach
+    /// the peer in arrival order regardless of lane (the per-key protocol
+    /// state machines tolerate cross-*key* reordering, nothing more); the
+    /// enqueue path downgrades a latency item into the bulk lane when a
+    /// bulk item for its key is already corked there.
+    fn conflict_key(&self) -> Option<u64> {
+        fn frame_key(frame: &Frame) -> Option<u64> {
+            match frame {
+                Frame::RpcReq { inner, .. }
+                | Frame::RpcResp { inner, .. }
+                | Frame::Traced { inner, .. } => frame_key(inner),
+                Frame::MissGet { key }
+                | Frame::MissPut { key, .. }
+                | Frame::WriteBack { key, .. }
+                | Frame::HotMark { key }
+                | Frame::HotUnmark { key }
+                | Frame::InstallHot { key, .. }
+                | Frame::ActivateHot { key, .. }
+                | Frame::Evict { key, .. } => Some(*key),
+                _ => None,
+            }
+        }
+        match self {
+            LinkItem::Protocol(msg, _, _) => Some(msg.key()),
+            LinkItem::Rpc(frame) => frame_key(frame),
+        }
+    }
+}
+
+/// Peer-mesh traffic class of one [`LinkItem`]; see [`LinkItem::lane`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Lane {
+    /// Drained first, flushed eagerly, never corked.
+    Latency,
+    /// Credit-paced coalescing with an adaptive cork.
+    Bulk,
+}
+
+/// The three send queues of one peer link, under one lock (lane routing
+/// and the per-key downgrade check must see a consistent snapshot).
+#[derive(Default)]
+struct LinkQueues {
+    /// Unconfirmed tail requeued by a redial handshake. Drains strictly
+    /// FIFO *before* either lane: the repack must assign each replayed
+    /// item its original sequence number, and wire order is seq order.
+    replay: VecDeque<LinkItem>,
+    /// Latency-class items ([`Lane::Latency`]).
+    latency: VecDeque<LinkItem>,
+    /// Bulk-class items ([`Lane::Bulk`]), plus latency items downgraded
+    /// behind a same-key bulk item to preserve per-key FIFO.
+    bulk: VecDeque<LinkItem>,
+    /// Conflict-key multiset of `bulk` (kept in sync by
+    /// [`LinkQueues::push`]/[`LinkQueues::pop_bulk`]): makes the per-key
+    /// downgrade check O(1) instead of a scan of a possibly PARK_MAX-deep
+    /// parked queue.
+    bulk_keys: HashMap<u64, u32>,
+}
+
+impl LinkQueues {
+    fn len(&self) -> usize {
+        self.replay.len() + self.latency.len() + self.bulk.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.replay.is_empty() && self.latency.is_empty() && self.bulk.is_empty()
+    }
+
+    /// Routes one freshly shipped item into its lane, downgrading a
+    /// latency item whose key already has bulk traffic queued (per-key
+    /// FIFO across lanes). Returns the lane it landed in.
+    fn push(&mut self, item: LinkItem) -> Lane {
+        let lane = match item.lane() {
+            Lane::Bulk => Lane::Bulk,
+            Lane::Latency => match item.conflict_key() {
+                Some(key) if self.bulk_keys.contains_key(&key) => Lane::Bulk,
+                _ => Lane::Latency,
+            },
+        };
+        match lane {
+            Lane::Latency => self.latency.push_back(item),
+            Lane::Bulk => {
+                if let Some(key) = item.conflict_key() {
+                    *self.bulk_keys.entry(key).or_insert(0) += 1;
+                }
+                self.bulk.push_back(item);
+            }
+        }
+        lane
+    }
+
+    /// Pops the bulk front, maintaining the conflict-key multiset.
+    fn pop_bulk(&mut self) -> Option<LinkItem> {
+        let item = self.bulk.pop_front()?;
+        if let Some(key) = item.conflict_key() {
+            if let Some(n) = self.bulk_keys.get_mut(&key) {
+                *n -= 1;
+                if *n == 0 {
+                    self.bulk_keys.remove(&key);
+                }
+            }
+        }
+        Some(item)
+    }
 }
 
 /// The crash-surviving state of one outgoing peer link. The TCP connection
@@ -536,9 +706,13 @@ struct PeerLink {
     /// the same shard the incoming link from that peer is pinned to — so
     /// credit processing, replay and pumping never race across threads).
     shard: usize,
-    /// Items not yet handed to the socket. Parked here while the link
-    /// is down.
-    queue: Mutex<VecDeque<LinkItem>>,
+    /// Items not yet handed to the socket, split by lane (replay /
+    /// latency / bulk). Parked here while the link is down.
+    queues: Mutex<LinkQueues>,
+    /// Lifetime count of bulk-class items enqueued on this link; the
+    /// owning pump samples it to estimate the bulk arrival rate that
+    /// drives the adaptive cork target.
+    bulk_arrivals: AtomicU64,
     /// Sent items awaiting cumulative confirmation (front = oldest).
     unacked: Mutex<VecDeque<LinkItem>>,
     /// Highest sequence number handed to the socket.
@@ -558,7 +732,8 @@ impl PeerLink {
     fn new(shard: usize) -> Self {
         Self {
             shard,
-            queue: Mutex::new(VecDeque::new()),
+            queues: Mutex::new(LinkQueues::default()),
+            bulk_arrivals: AtomicU64::new(0),
             unacked: Mutex::new(VecDeque::new()),
             sent_seq: AtomicU64::new(0),
             acked_seq: AtomicU64::new(0),
@@ -768,15 +943,17 @@ impl ServerInner {
                 };
                 let up = link.up.load(Ordering::Acquire);
                 {
-                    let mut queue = link.queue.lock();
-                    if !up && queue.len() >= PARK_MAX {
+                    let mut queues = link.queues.lock();
+                    if !up && queues.len() >= PARK_MAX {
                         // The peer has been dead long past the restart
                         // budget; see PARK_MAX for why dropping is safe
                         // for a *restarted* (state-fresh) peer.
                         self.metrics.record_parked_drop();
                         return;
                     }
-                    queue.push_back(LinkItem::Protocol(msg, bytes, trace));
+                    if queues.push(LinkItem::Protocol(msg, bytes, trace)) == Lane::Bulk {
+                        link.bulk_arrivals.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
                 self.metrics.record_protocol_out(1);
                 if trace.is_some() {
@@ -838,12 +1015,14 @@ impl ServerInner {
         };
         let up = link.up.load(Ordering::Acquire);
         {
-            let mut queue = link.queue.lock();
-            if !up && queue.len() >= PARK_MAX {
+            let mut queues = link.queues.lock();
+            if !up && queues.len() >= PARK_MAX {
                 self.metrics.record_parked_drop();
                 return false;
             }
-            queue.push_back(LinkItem::Rpc(frame));
+            if queues.push(LinkItem::Rpc(frame)) == Lane::Bulk {
+                link.bulk_arrivals.fetch_add(1, Ordering::Relaxed);
+            }
         }
         // Same post-enqueue re-check as `ship_traced`: a link coming up
         // between the load and the push must not strand the frame.
@@ -919,7 +1098,7 @@ impl ServerInner {
             .iter()
             .flatten()
             .filter(|link| !link.up.load(Ordering::Acquire))
-            .map(|link| link.queue.lock().len() as u64)
+            .map(|link| link.queues.lock().len() as u64)
             .sum();
         self.metrics.set_parked(total);
     }
@@ -1077,7 +1256,7 @@ impl ServerInner {
         // Reconcile: drop what the peer provably processed, requeue the
         // rest for replay with their original sequence numbers.
         let start_seq = {
-            let mut queue = link.queue.lock();
+            let mut queues = link.queues.lock();
             let mut unacked = link.unacked.lock();
             let acked = link.acked_seq.load(Ordering::Acquire);
             let sent = link.sent_seq.load(Ordering::Acquire);
@@ -1105,7 +1284,12 @@ impl ServerInner {
                 // A sampled op's message keeps its original trace id
                 // across the replay (exactly once — the requeued item
                 // IS the retained original); the Replay event marks the
-                // detour on the timeline.
+                // detour on the timeline. Replayed items go to the
+                // dedicated replay queue, NOT their lane: the repack must
+                // hand each one its original sequence number, so they
+                // drain strictly FIFO ahead of both lanes regardless of
+                // class (a replayed bulk update must not be overtaken by
+                // a replayed — or fresh — invalidation).
                 self.trace_event(
                     item.trace(),
                     SHARED_LANE,
@@ -1113,7 +1297,7 @@ impl ServerInner {
                     item.key(),
                     peer as u8,
                 );
-                queue.push_front(item);
+                queues.replay.push_front(item);
             }
             let acked_now = link.acked_seq.load(Ordering::Acquire);
             link.sent_seq.store(acked_now, Ordering::Release);
@@ -2072,9 +2256,13 @@ const HOT_TRANSITION_RETRY: Duration = Duration::from_secs(5);
 
 /// First bounce-retry delay for an op whose key is mid-transition
 /// (stalled cache entry, `MissRetry` answer); doubles up to
-/// [`RETRY_BACKOFF_MAX`] per attempt. The timer wheel's 1 ms slots are
-/// the effective floor.
-const RETRY_BACKOFF_START: Duration = Duration::from_millis(1);
+/// [`RETRY_BACKOFF_MAX`] per attempt. Stalls are usually just a Lin
+/// write's invalidation window (~100µs of ack wait), so the first
+/// retries ride the timer wheel's 50µs fine slots — a read that lands
+/// mid-write resumes with the update instead of idling a full coarse
+/// tick (1 ms, the old floor, which put a millisecond into the batched
+/// read tail every time one op of a batch grazed a write).
+const RETRY_BACKOFF_START: Duration = Duration::from_micros(50);
 const RETRY_BACKOFF_MAX: Duration = Duration::from_millis(2);
 
 /// Handles one non-batch frame arriving on a peer link. Returns how many
@@ -2364,6 +2552,30 @@ struct Suspended {
     /// The current op's one-per-logical-op metrics (op count, popularity
     /// observation) have been recorded, however many retries follow.
     counted: bool,
+    /// Miss-path reads of this batch whose [`Frame::MissGet`] RPCs were
+    /// issued ahead of their turn, so cold reads overlap instead of
+    /// paying one serialized peer round-trip each. Responses that arrive
+    /// before their sub-request runs park here; the sub-request consumes
+    /// them inline.
+    prefetch: Vec<PrefetchSlot>,
+}
+
+/// One prefetched miss-path read of a batched request.
+struct PrefetchSlot {
+    key: u64,
+    corr: u64,
+    state: PrefetchState,
+}
+
+enum PrefetchState {
+    /// The RPC is in flight; the sub-request parks on `corr` when it
+    /// runs (no second RPC is issued).
+    InFlight,
+    /// The response landed before the sub-request ran.
+    Arrived(Frame),
+    /// The RPC failed past the redial budget; surfaced to the client as
+    /// a protocol error exactly like the non-prefetched path.
+    Failed(String),
 }
 
 /// The operation a [`Suspended`] request is executing.
@@ -2462,7 +2674,69 @@ enum Role {
         /// (dedupes piggybacked [`Frame::Credit`] frames; re-announcing is
         /// harmless, cumulative confirmations are idempotent).
         last_cum: u64,
+        /// Adaptive bulk-batch controller for this link.
+        cork: AdaptiveCork,
     },
+}
+
+/// Per-link adaptive batching state: widens bulk batches under load and
+/// shrinks toward immediate flush when idle. The controller estimates the
+/// link's bulk arrival rate with an EWMA (time constant [`CORK_RATE_TAU`])
+/// and targets the batch one [`FlowConfig::max_delay`] of arrivals would
+/// fill — so under load a cork fills to the target and flushes `full`
+/// within the deadline anyway, while an idle link's target decays to 1
+/// and every bulk message flushes immediately (`idle`). A partially
+/// filled cork whose oldest message has waited `max_delay` flushes on the
+/// fine-timer `deadline` path. Owned by the link's `Role::PeerOut`, so no
+/// locking: only the owning shard's pump touches it.
+struct AdaptiveCork {
+    /// When the oldest currently corked bulk item began waiting.
+    since: Option<Instant>,
+    /// EWMA of bulk arrivals per second on this link.
+    rate: f64,
+    /// `PeerLink::bulk_arrivals` as of the last rate sample.
+    last_arrivals: u64,
+    /// When the last rate sample was taken.
+    last_sample: Instant,
+}
+
+/// Why a bulk cork flushed (the `cork_flush_total` metric labels).
+#[derive(Clone, Copy)]
+enum CorkFlush {
+    /// The adaptive target size (or the batch byte budget) was reached.
+    Full,
+    /// The oldest corked message waited out `max_delay`.
+    Deadline,
+    /// The link is idle (target decayed to 1): immediate flush.
+    Idle,
+}
+
+impl AdaptiveCork {
+    fn new() -> Self {
+        Self {
+            since: None,
+            rate: 0.0,
+            last_arrivals: 0,
+            last_sample: Instant::now(),
+        }
+    }
+
+    /// Folds the arrival counter into the rate EWMA and returns the
+    /// current target bulk-batch size in `[1, max_ops]`.
+    fn target(&mut self, arrivals: u64, max_ops: u64, max_delay: Duration) -> u64 {
+        let dt = self.last_sample.elapsed();
+        // Sample no finer than the fine-timer slot: the pump runs every
+        // loop lap, and instantaneous rates over sub-µs windows are noise.
+        if dt >= reactor::FINE_RESOLUTION {
+            let n = arrivals.saturating_sub(self.last_arrivals);
+            let inst = n as f64 / dt.as_secs_f64();
+            let alpha = dt.as_secs_f64() / (dt + CORK_RATE_TAU).as_secs_f64();
+            self.rate += alpha * (inst - self.rate);
+            self.last_arrivals = arrivals;
+            self.last_sample = Instant::now();
+        }
+        ((self.rate * max_delay.as_secs_f64()).round() as u64).clamp(1, max_ops.max(1))
+    }
 }
 
 /// What [`Shard::step`] decided about a connection.
@@ -2690,6 +2964,7 @@ impl Shard {
                             builder: BatchBuilder::new(),
                             stall_started: None,
                             last_cum: 0,
+                            cork: AdaptiveCork::new(),
                         },
                     ) {
                         link.up.store(true, Ordering::Release);
@@ -3003,8 +3278,10 @@ impl Shard {
                         deadline: Instant::now() + HOT_TRANSITION_RETRY,
                         backoff: RETRY_BACKOFF_START,
                         counted: false,
+                        prefetch: Vec::new(),
                     });
                     if self.start_sub(&mut s) {
+                        self.prefetch_batch_reads(token, &mut s);
                         sus = Some(s);
                     } else {
                         // An empty batch: answer in kind.
@@ -3118,6 +3395,61 @@ impl Shard {
         true
     }
 
+    /// Issues the miss-path [`Frame::MissGet`] RPCs for every cold read
+    /// still queued in a freshly decoded batch, so their peer round-trips
+    /// overlap instead of serializing one per sub-request. Only plain
+    /// reads are pipelined, and only while batch order cannot observe the
+    /// reordering: a read of a key the batch wrote earlier is skipped
+    /// (it must see that write), and the scan stops at the first admin
+    /// frame (hot-set transitions change where a key is served from).
+    fn prefetch_batch_reads(&self, token: u64, s: &mut Suspended) {
+        if !s.batch {
+            return;
+        }
+        let inner = &self.inner;
+        let mut written: Vec<u64> = Vec::new();
+        if let PendingOp::Put { key, .. } = &s.op {
+            written.push(*key);
+        }
+        for sub in &s.rest {
+            let (trace, frame) = match sub {
+                Frame::Traced { id, inner } => (Some(*id), inner.as_ref()),
+                other => (None, other),
+            };
+            match frame {
+                Frame::Get { key } => {
+                    let key = *key;
+                    if written.contains(&key) || s.prefetch.iter().any(|p| p.key == key) {
+                        continue;
+                    }
+                    let home = inner.node.home_node(key);
+                    if home == inner.node.node()
+                        || !matches!(inner.node.cache().read(key), ReadOutcome::Miss)
+                    {
+                        continue;
+                    }
+                    inner.trace_event(trace, self.id as u8, EventKind::MissRpc, key, home as u8);
+                    let request = rewrap_trace(trace, Frame::MissGet { key });
+                    let waiter = RpcWaiter::Shard {
+                        shard: self.id,
+                        token,
+                    };
+                    if let Ok(corr) =
+                        inner.issue_rpc(home, request, waiter, Instant::now() + inner.rpc_retry)
+                    {
+                        s.prefetch.push(PrefetchSlot {
+                            key,
+                            corr,
+                            state: PrefetchState::InFlight,
+                        });
+                    }
+                }
+                Frame::Put { key, .. } => written.push(*key),
+                _ => break,
+            }
+        }
+    }
+
     /// Records the finished sub-request's response and starts the next
     /// one. Returns `true` when the whole request completed (its response
     /// bytes are in the write buffer).
@@ -3189,6 +3521,38 @@ impl Shard {
                                 None => Attempt::Bounce,
                             }
                         } else {
+                            // A batch prefetch may already have this key's
+                            // MissGet in flight (park on it — no second
+                            // RPC) or answered (consume it inline).
+                            if let Some(i) = s.prefetch.iter().position(|p| p.key == key) {
+                                let slot = s.prefetch.swap_remove(i);
+                                return match slot.state {
+                                    PrefetchState::InFlight => {
+                                        Attempt::Park(Wait::Rpc { corr: slot.corr })
+                                    }
+                                    PrefetchState::Arrived(Frame::MissGetResp { value }) => {
+                                        inner.metrics.record_cache(false);
+                                        inner.metrics.record_remote_read();
+                                        inner.trace_event(
+                                            s.trace,
+                                            self.id as u8,
+                                            EventKind::ContinuationFire,
+                                            key,
+                                            NO_PEER,
+                                        );
+                                        Attempt::Respond(Frame::GetResp {
+                                            cached: false,
+                                            ts: Timestamp::ZERO,
+                                            value,
+                                        })
+                                    }
+                                    PrefetchState::Arrived(Frame::MissRetry) => Attempt::Bounce,
+                                    PrefetchState::Arrived(_) => Attempt::Fail,
+                                    PrefetchState::Failed(message) => {
+                                        Attempt::Respond(Frame::Error { message })
+                                    }
+                                };
+                            }
                             inner.trace_event(
                                 s.trace,
                                 self.id as u8,
@@ -3368,6 +3732,28 @@ impl Shard {
     fn apply_resume(&self, token: u64, s: &mut Suspended, event: ResumeEvent) -> Option<Attempt> {
         let _ = token;
         let inner = &self.inner;
+        // A response for a prefetched batch read whose sub-request has not
+        // run yet: park it in the slot for inline consumption. (If the
+        // sub-request is already waiting on this corr, the normal resume
+        // arms below handle it.)
+        if let ResumeEvent::Rpc { corr, .. } | ResumeEvent::RpcFailed { corr, .. } = &event {
+            let corr = *corr;
+            let waiting_on = matches!(s.wait, Wait::Rpc { corr: expected } if expected == corr);
+            if !waiting_on {
+                if let Some(slot) = s
+                    .prefetch
+                    .iter_mut()
+                    .find(|p| p.corr == corr && matches!(p.state, PrefetchState::InFlight))
+                {
+                    slot.state = match event {
+                        ResumeEvent::Rpc { response, .. } => PrefetchState::Arrived(response),
+                        ResumeEvent::RpcFailed { message, .. } => PrefetchState::Failed(message),
+                        _ => unreachable!("matched above"),
+                    };
+                    return None;
+                }
+            }
+        }
         let step = match (event, &s.wait) {
             (ResumeEvent::Committed, Wait::LinCommit { ts, started }) => {
                 inner
@@ -3500,10 +3886,22 @@ impl Shard {
     /// traffic into [`Frame::Batch`] messages (§6.3's software-multicast
     /// amortisation) under credit-based flow control (§6.4), with the
     /// cumulative processed confirmation toward the peer piggybacked on
-    /// every batch. Driven by readiness: a credit stall arms a 1 ms wheel
-    /// tick instead of parking a thread.
+    /// every batch. Driven by readiness; a credit stall or a pending cork
+    /// deadline arms a wheel tick instead of parking a thread.
     ///
-    /// Every flow-controlled message moves from the link's queue into its
+    /// Lanes ([`LinkItem::lane`]): the replay queue drains strictly first
+    /// (seq exactness), then the **latency lane** — invalidations, Lin
+    /// acks, RPC traffic — which flushes eagerly on every pump and never
+    /// waits on bulk coalescing or the 1 ms stall tick, then the **bulk
+    /// lane** (update broadcasts, write-backs), whose flush is decided by
+    /// the link's [`AdaptiveCork`]: flush when the adaptive target size is
+    /// reached (`full`), when the oldest corked message has waited
+    /// [`FlowConfig::max_delay`] (`deadline`), or immediately while the
+    /// link is idle (`idle`). Wire order is pack order is seq order, so
+    /// the per-key FIFO the protocol engines need is enforced at enqueue
+    /// time ([`LinkQueues::push`]'s downgrade), not here.
+    ///
+    /// Every flow-controlled message moves from the link's queues into its
     /// `unacked` tail as it is packed: the socket may lose it (severed
     /// link, crashed peer), the link does not — the redial handshake
     /// replays whatever the peer did not confirm processing.
@@ -3524,6 +3922,7 @@ impl Shard {
             builder,
             stall_started,
             last_cum,
+            cork,
         } = &mut conn.role
         else {
             unreachable!("checked by caller");
@@ -3537,8 +3936,15 @@ impl Shard {
         let inner = &self.inner;
         let window = inner.flow.credit_window;
         let max_ops = inner.flow.peer_batch_ops.max(1) as u64;
+        let max_delay = inner.flow.max_delay;
         let running = inner.running.load(Ordering::SeqCst);
         let mut stalled = false;
+        // Whether replay/latency frames were among the stalled work: they
+        // re-check at fine-timer granularity, not the 1 ms bulk tick.
+        let mut priority_stalled = false;
+        // Remaining time until the current cork's deadline, when bulk was
+        // left corked this pump.
+        let mut cork_deadline: Option<Duration> = None;
         loop {
             // Backpressure: stop packing while the socket is behind; the
             // writability event resumes the pump.
@@ -3558,8 +3964,34 @@ impl Shard {
                 });
                 *last_cum = cum_now;
             }
-            let mut queue = link.queue.lock();
-            let want = (queue.len() as u64).min(max_ops);
+            cork_deadline = None;
+            let mut queues = link.queues.lock();
+            // Adaptive bulk decision: how the corked bulk lane flushes (or
+            // keeps waiting) this round.
+            let target = cork.target(
+                link.bulk_arrivals.load(Ordering::Relaxed),
+                max_ops,
+                max_delay,
+            );
+            let bulk_len = queues.bulk.len() as u64;
+            let deadline_hit = cork.since.is_some_and(|since| since.elapsed() >= max_delay);
+            let flush_reason = if bulk_len == 0 {
+                None
+            } else if !running {
+                // Teardown drains everything; the label is moot.
+                Some(CorkFlush::Full)
+            } else if target > 1 && bulk_len >= target {
+                Some(CorkFlush::Full)
+            } else if deadline_hit {
+                Some(CorkFlush::Deadline)
+            } else if target <= 1 {
+                Some(CorkFlush::Idle)
+            } else {
+                None
+            };
+            let bulk_release = if flush_reason.is_some() { bulk_len } else { 0 };
+            let want =
+                ((queues.replay.len() + queues.latency.len()) as u64 + bulk_release).min(max_ops);
             let granted = if !running {
                 // Teardown drains without credits — the reverse link
                 // carrying confirmations may already be gone.
@@ -3569,12 +4001,13 @@ impl Shard {
                     link.sent_seq.load(Ordering::Acquire) - link.acked_seq.load(Ordering::Acquire);
                 let take = want.min(window.saturating_sub(outstanding));
                 if want > 0 && take == 0 {
-                    // Window exhausted: note when the stall began; the
-                    // 1 ms tick re-pumps (and keeps credit-only batches
+                    // Window exhausted: note when the stall began; a wheel
+                    // tick re-pumps (and keeps credit-only batches
                     // flowing, which makes symmetric saturation
                     // deadlock-free).
                     stall_started.get_or_insert_with(Instant::now);
                     stalled = true;
+                    priority_stalled |= !queues.replay.is_empty() || !queues.latency.is_empty();
                 } else if take > 0 {
                     if let Some(started) = stall_started.take() {
                         let stalled_ns = started.elapsed().as_nanos() as u64;
@@ -3582,7 +4015,12 @@ impl Shard {
                         // If the message that waited out the stall at the
                         // queue front is traced, pin the stall onto its
                         // timeline (the `key` field carries the ns).
-                        let front_trace = queue.front().and_then(LinkItem::trace);
+                        let front_trace = queues
+                            .replay
+                            .front()
+                            .or_else(|| queues.latency.front())
+                            .or_else(|| queues.bulk.front())
+                            .and_then(LinkItem::trace);
                         inner.trace_event(
                             front_trace,
                             self.id as u8,
@@ -3595,8 +4033,30 @@ impl Shard {
                 take
             };
             let mut packed = 0u64;
+            let mut latency_packed = 0u64;
+            let mut bulk_packed = 0u64;
+            // Trace id of the first corked bulk item flushed this batch:
+            // its timeline carries the CorkWait span.
+            let mut corked_trace: Option<u64> = None;
             while packed < granted {
-                let head = queue.front().expect("granted <= queue.len()");
+                // Strict priority: replay (seq exactness), then the
+                // latency lane, then released bulk. One wire batch may mix
+                // classes — order within it is still queue order.
+                let lane = if !queues.replay.is_empty() {
+                    None
+                } else if !queues.latency.is_empty() {
+                    Some(Lane::Latency)
+                } else if bulk_release > 0 && !queues.bulk.is_empty() {
+                    Some(Lane::Bulk)
+                } else {
+                    break;
+                };
+                let head = match lane {
+                    None => queues.replay.front(),
+                    Some(Lane::Latency) => queues.latency.front(),
+                    Some(Lane::Bulk) => queues.bulk.front(),
+                }
+                .expect("chosen queue nonempty");
                 // Byte bound: op count alone would let a burst of large
                 // values coalesce past MAX_FRAME_BYTES, and the receiver
                 // drops an oversized frame together with the whole peer
@@ -3612,7 +4072,22 @@ impl Shard {
                     }
                     LinkItem::Rpc(frame) => builder.push(frame),
                 }
-                let item = queue.pop_front().expect("front exists");
+                let item = match lane {
+                    None => queues.replay.pop_front(),
+                    Some(Lane::Latency) => queues.latency.pop_front(),
+                    Some(Lane::Bulk) => queues.pop_bulk(),
+                }
+                .expect("head exists");
+                match lane {
+                    Some(Lane::Latency) => latency_packed += 1,
+                    Some(Lane::Bulk) => {
+                        if bulk_packed == 0 {
+                            corked_trace = item.trace();
+                        }
+                        bulk_packed += 1;
+                    }
+                    None => {}
+                }
                 if running {
                     // Retain until the peer confirms processing: this is
                     // what the redial handshake replays.
@@ -3629,8 +4104,46 @@ impl Shard {
                 }
                 packed += 1;
             }
-            let queue_empty = queue.is_empty();
-            drop(queue);
+            // Cork bookkeeping. A bulk flush books its size, its reason
+            // and — when a cork was actually open — the wait it served,
+            // pinned to the first corked item's trace timeline. Fully
+            // drained bulk closes the cork; bulk left waiting (no flush
+            // reason, or a flush truncated by the window or byte budget)
+            // keeps or starts it, and its deadline arms the fine timer.
+            if bulk_packed > 0 {
+                inner.metrics.record_adaptive_batch(bulk_packed);
+                if let Some(reason) = flush_reason {
+                    match reason {
+                        CorkFlush::Full => inner.metrics.record_cork_flush_full(),
+                        CorkFlush::Deadline => inner.metrics.record_cork_flush_deadline(),
+                        CorkFlush::Idle => inner.metrics.record_cork_flush_idle(),
+                    }
+                }
+                if let Some(since) = cork.since {
+                    let waited_ns = since.elapsed().as_nanos() as u64;
+                    inner.metrics.record_cork_wait_ns(waited_ns);
+                    inner.trace_event(
+                        corked_trace,
+                        self.id as u8,
+                        EventKind::CorkWait,
+                        waited_ns,
+                        peer as u8,
+                    );
+                }
+            }
+            if queues.bulk.is_empty() {
+                cork.since = None;
+            } else {
+                let since = *cork.since.get_or_insert_with(Instant::now);
+                cork_deadline = Some(max_delay.saturating_sub(since.elapsed()));
+            }
+            if latency_packed > 0 {
+                inner.metrics.record_priority_lane(latency_packed);
+            }
+            let nothing_left = queues.replay.is_empty()
+                && queues.latency.is_empty()
+                && (bulk_release == 0 || queues.bulk.is_empty());
+            drop(queues);
             if builder.count() > 0 {
                 // Singleton messages leave the builder as bare frames (see
                 // `BatchBuilder::write_to`) — only count what actually
@@ -3642,29 +4155,48 @@ impl Shard {
                 write_frame_builder(builder, &mut conn.writebuf);
             }
             // No progress AND no confirmation went out: nothing more can
-            // happen this pump (either the queue is empty or the window is
-            // closed — the stall tick handles the latter). A round that
-            // wrote only a confirmation must loop once more: a pending
-            // credit frame in the builder can push the head message past
-            // the batch byte budget (packed == 0), and breaking there
-            // would strand the message with no timer armed and no
-            // writability event coming on a one-way link. The retry starts
-            // with an empty builder, where an oversized message travels
-            // alone.
+            // happen this pump (the queues are empty, the bulk lane is
+            // corked, or the window is closed — ticks handle the latter
+            // two). A round that wrote only a confirmation must loop once
+            // more: a pending credit frame in the builder can push the
+            // head message past the batch byte budget (packed == 0), and
+            // breaking there would strand the message with no timer armed
+            // and no writability event coming on a one-way link. The
+            // retry starts with an empty builder, where an oversized
+            // message travels alone.
             if packed == 0 && !announced {
                 break;
             }
-            if queue_empty {
+            if nothing_left {
                 break;
             }
         }
         if !conn.writebuf.is_empty() && conn.writebuf.flush_to(&mut conn.stream).is_err() {
             return true;
         }
-        // Still stalled with work queued: tick again in 1 ms.
-        if stalled && !link.queue.lock().is_empty() && running && !conn.tick_armed {
-            self.wheel.schedule(Token(token), CREDIT_STALL_TICK);
-            conn.tick_armed = true;
+        // Arm the nearest wheel tick this link needs: the credit-stall
+        // re-check (fine-grained when priority frames are blocked — a Lin
+        // writer is waiting on exactly those — 1 ms for bulk-only stalls)
+        // and/or the pending cork deadline.
+        let mut tick: Option<Duration> = None;
+        if stalled && running && !link.queues.lock().is_empty() {
+            tick = Some(if priority_stalled {
+                PRIORITY_STALL_TICK
+            } else {
+                CREDIT_STALL_TICK
+            });
+        }
+        if running {
+            if let Some(remaining) = cork_deadline {
+                let t = remaining.max(reactor::FINE_RESOLUTION);
+                tick = Some(tick.map_or(t, |cur| cur.min(t)));
+            }
+        }
+        if let Some(t) = tick {
+            if !conn.tick_armed {
+                self.wheel.schedule(Token(token), t);
+                conn.tick_armed = true;
+            }
         }
         false
     }
@@ -3741,7 +4273,7 @@ impl Shard {
                     let Role::PeerOut { link, .. } = &conn.role else {
                         unreachable!("role checked above");
                     };
-                    if link.queue.lock().is_empty() {
+                    if link.queues.lock().is_empty() {
                         break;
                     }
                 }
@@ -3762,4 +4294,193 @@ fn write_frame_builder(builder: &mut BatchBuilder, writebuf: &mut WriteBuf) {
     builder
         .write_to(writebuf.writer())
         .expect("vec write cannot fail");
+}
+
+#[cfg(test)]
+mod lane_tests {
+    use super::*;
+
+    fn ts() -> Timestamp {
+        Timestamp::new(1, NodeId(0))
+    }
+
+    fn inv(key: u64) -> LinkItem {
+        LinkItem::Protocol(
+            ProtocolMsg::Invalidation {
+                key,
+                ts: ts(),
+                from: NodeId(0),
+            },
+            None,
+            None,
+        )
+    }
+
+    fn ack(key: u64) -> LinkItem {
+        LinkItem::Protocol(
+            ProtocolMsg::Ack {
+                key,
+                ts: ts(),
+                from: NodeId(0),
+            },
+            None,
+            None,
+        )
+    }
+
+    fn update(key: u64) -> LinkItem {
+        LinkItem::Protocol(
+            ProtocolMsg::Update {
+                key,
+                value: 7,
+                ts: ts(),
+                from: NodeId(0),
+            },
+            Some(Arc::from(vec![0u8; 8])),
+            None,
+        )
+    }
+
+    fn write_back(key: u64) -> LinkItem {
+        LinkItem::Rpc(Frame::RpcReq {
+            corr: 1,
+            inner: Box::new(Frame::WriteBack {
+                key,
+                value: vec![1],
+                ts: ts(),
+            }),
+        })
+    }
+
+    fn miss_get(key: u64) -> LinkItem {
+        LinkItem::Rpc(Frame::RpcReq {
+            corr: 2,
+            inner: Box::new(Frame::MissGet { key }),
+        })
+    }
+
+    /// (kind, key) fingerprint for order assertions.
+    fn tag(item: &LinkItem) -> (&'static str, u64) {
+        match item {
+            LinkItem::Protocol(ProtocolMsg::Invalidation { key, .. }, _, _) => ("inv", *key),
+            LinkItem::Protocol(ProtocolMsg::Ack { key, .. }, _, _) => ("ack", *key),
+            LinkItem::Protocol(ProtocolMsg::Update { key, .. }, _, _) => ("update", *key),
+            LinkItem::Rpc(frame) => ("rpc", frame_tag_key(frame)),
+        }
+    }
+
+    fn frame_tag_key(frame: &Frame) -> u64 {
+        match frame {
+            Frame::RpcReq { inner, .. } | Frame::RpcResp { inner, .. } => frame_tag_key(inner),
+            Frame::WriteBack { key, .. } | Frame::MissGet { key } => *key,
+            _ => 0,
+        }
+    }
+
+    /// Drains the queues in exactly the pump's lane-selection order:
+    /// replay strictly first, then the latency lane, then bulk.
+    fn drain(queues: &mut LinkQueues) -> Vec<(&'static str, u64)> {
+        let mut out = Vec::new();
+        loop {
+            let item = if let Some(item) = queues.replay.pop_front() {
+                item
+            } else if let Some(item) = queues.latency.pop_front() {
+                item
+            } else if let Some(item) = queues.pop_bulk() {
+                item
+            } else {
+                break;
+            };
+            out.push(tag(&item));
+        }
+        assert!(queues.is_empty());
+        out
+    }
+
+    #[test]
+    fn latency_frames_overtake_unrelated_bulk() {
+        let mut queues = LinkQueues::default();
+        assert_eq!(queues.push(update(1)), Lane::Bulk);
+        assert_eq!(queues.push(inv(2)), Lane::Latency);
+        assert_eq!(queues.push(ack(3)), Lane::Latency);
+        assert_eq!(
+            drain(&mut queues),
+            vec![("inv", 2), ("ack", 3), ("update", 1)],
+            "latency-class frames must jump the bulk cork, FIFO within their lane"
+        );
+    }
+
+    #[test]
+    fn same_key_inv_never_overtakes_its_update() {
+        // An SC update broadcast for key 7 is corked; a later Lin
+        // invalidation of key 7 must not pass it on the wire — the push
+        // path downgrades it into the bulk lane behind the update.
+        let mut queues = LinkQueues::default();
+        assert_eq!(queues.push(update(7)), Lane::Bulk);
+        assert_eq!(
+            queues.push(inv(7)),
+            Lane::Bulk,
+            "same-key inv must downgrade"
+        );
+        assert_eq!(
+            queues.push(inv(8)),
+            Lane::Latency,
+            "other keys keep the fast lane"
+        );
+        assert_eq!(
+            drain(&mut queues),
+            vec![("inv", 8), ("update", 7), ("inv", 7)],
+            "per-key FIFO must hold across lanes"
+        );
+    }
+
+    #[test]
+    fn same_key_rpc_follows_corked_write_back() {
+        // A miss read racing a corked write-back of the same key must
+        // arrive after it (the home must see the written-back value).
+        let mut queues = LinkQueues::default();
+        assert_eq!(queues.push(write_back(9)), Lane::Bulk);
+        assert_eq!(
+            queues.push(miss_get(9)),
+            Lane::Bulk,
+            "same-key rpc must downgrade"
+        );
+        assert_eq!(queues.push(miss_get(10)), Lane::Latency);
+        assert_eq!(
+            drain(&mut queues),
+            vec![("rpc", 10), ("rpc", 9), ("rpc", 9)],
+            "write-back then its follower, in push order"
+        );
+    }
+
+    #[test]
+    fn replay_drains_first_and_in_fifo_order() {
+        // Requeued unconfirmed tail (redial handshake) must be repacked
+        // before anything else, in original order — replay frames reuse
+        // their original sequence numbers and wire order is seq order.
+        let mut queues = LinkQueues::default();
+        queues.replay.push_back(update(1));
+        queues.replay.push_back(inv(1));
+        assert_eq!(queues.push(inv(2)), Lane::Latency);
+        assert_eq!(queues.push(update(3)), Lane::Bulk);
+        assert_eq!(
+            drain(&mut queues),
+            vec![("update", 1), ("inv", 1), ("inv", 2), ("update", 3)],
+            "replay is strictly first, itself FIFO"
+        );
+    }
+
+    #[test]
+    fn downgrade_check_clears_when_bulk_drains() {
+        let mut queues = LinkQueues::default();
+        assert_eq!(queues.push(update(5)), Lane::Bulk);
+        assert_eq!(queues.push(update(5)), Lane::Bulk);
+        queues.pop_bulk();
+        // One bulk item for key 5 still queued: the downgrade must hold.
+        assert_eq!(queues.push(inv(5)), Lane::Bulk);
+        queues.pop_bulk();
+        queues.pop_bulk();
+        // Bulk fully drained: key 5 latency traffic is fast again.
+        assert_eq!(queues.push(inv(5)), Lane::Latency);
+    }
 }

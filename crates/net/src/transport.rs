@@ -355,7 +355,10 @@ const DG_HDR: usize = 1 + 8;
 const UDP_RTO_MIN: Duration = Duration::from_millis(20);
 /// Retransmission timeout cap.
 const UDP_RTO_MAX: Duration = Duration::from_millis(500);
-/// Pacer granularity.
+/// Longest the pacer thread sleeps between passes. The actual sleep is
+/// deadline-driven — it wakes at the nearest retained datagram's RTO,
+/// floored at the reactor's fine timer resolution — so an idle fabric
+/// ticks at this cadence while a loss burst retransmits on time.
 const UDP_PACER_TICK: Duration = Duration::from_millis(5);
 /// A connection with retained traffic and no cumulative-ack progress for
 /// this long is broken: the peer is gone. Mirrors a TCP RST feeding the
@@ -750,6 +753,23 @@ impl UdpIo {
             send_datagram(&self.sock, st, &bytes);
         }
     }
+
+    /// Time until this connection's earliest retransmission deadline
+    /// (zero when one is already overdue); `None` when nothing is
+    /// retained, held back, or the connection is broken.
+    fn next_due(&self, now: Instant) -> Option<Duration> {
+        let st = self.state.lock().ok()?;
+        if st.broken.is_some() {
+            return None;
+        }
+        if st.holdback.is_some() {
+            return Some(Duration::ZERO);
+        }
+        st.unacked
+            .iter()
+            .map(|r| (r.sent_at + rto(r.tries)).saturating_duration_since(now))
+            .min()
+    }
 }
 
 /// The process-wide retransmission pacer: one lazily spawned thread
@@ -769,28 +789,43 @@ fn pacer() -> &'static Pacer {
         }));
         std::thread::Builder::new()
             .name("cckvs-udp-pacer".to_string())
-            .spawn(move || loop {
-                std::thread::sleep(UDP_PACER_TICK);
-                let now = Instant::now();
-                let live: Vec<Arc<UdpIo>> = {
-                    let mut conns = pacer.conns.lock().expect("pacer registry");
-                    conns.retain(|w| w.strong_count() > 0);
-                    conns.iter().filter_map(Weak::upgrade).collect()
-                };
-                for io in live {
-                    io.pacer_tick(now);
-                }
-                let lingering: Vec<(Arc<UdpIo>, Instant)> = {
-                    let mut closing = pacer.closing.lock().expect("pacer closing");
-                    std::mem::take(&mut *closing)
-                };
-                let mut keep = Vec::new();
-                for (io, deadline) in lingering {
-                    if now < deadline && !io.linger_tick(now) {
-                        keep.push((io, deadline));
+            .spawn(move || {
+                let mut sleep_for = UDP_PACER_TICK;
+                loop {
+                    std::thread::sleep(sleep_for);
+                    let now = Instant::now();
+                    let live: Vec<Arc<UdpIo>> = {
+                        let mut conns = pacer.conns.lock().expect("pacer registry");
+                        conns.retain(|w| w.strong_count() > 0);
+                        conns.iter().filter_map(Weak::upgrade).collect()
+                    };
+                    for io in &live {
+                        io.pacer_tick(now);
                     }
+                    let lingering: Vec<(Arc<UdpIo>, Instant)> = {
+                        let mut closing = pacer.closing.lock().expect("pacer closing");
+                        std::mem::take(&mut *closing)
+                    };
+                    let mut keep = Vec::new();
+                    for (io, deadline) in lingering {
+                        if now < deadline && !io.linger_tick(now) {
+                            keep.push((io, deadline));
+                        }
+                    }
+                    pacer.closing.lock().expect("pacer closing").extend(keep);
+                    // Deadline-driven cadence: wake at the nearest retained
+                    // datagram's RTO instead of a fixed tick, floored at the
+                    // reactor fine-timer resolution (sleeping shorter than
+                    // the clock can honour just spins) and capped at the
+                    // idle tick so new registrations are picked up promptly.
+                    let now = Instant::now();
+                    sleep_for = live
+                        .iter()
+                        .filter_map(|io| io.next_due(now))
+                        .min()
+                        .unwrap_or(UDP_PACER_TICK)
+                        .clamp(reactor::FINE_RESOLUTION, UDP_PACER_TICK);
                 }
-                pacer.closing.lock().expect("pacer closing").extend(keep);
             })
             .expect("spawn udp pacer");
         pacer

@@ -15,6 +15,7 @@ use cckvs_net::server::FlowConfig;
 use cckvs_net::LoadBalancePolicy;
 use consistency::messages::ConsistencyModel;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use workload::{AccessDistribution, Dataset, Mix, OpKind, WorkloadGen};
 
 const SESSIONS: u32 = 4;
@@ -266,6 +267,68 @@ fn batched_writes_are_durable_and_read_back_in_order() {
 }
 
 #[test]
+fn deadline_flushes_a_singleton_without_the_doorbell() {
+    // A queued op with no batch-mates must leave on the max_delay
+    // deadline — not sit corked until the op-count doorbell (which would
+    // never fire) or an explicit flush. Generous deadline so the timing
+    // assertions hold on a loaded CI box.
+    let rack =
+        Rack::launch(RackConfig::small_from_env(ConsistencyModel::Lin, 3)).expect("launch rack");
+    rack.install_hot_set(&[(7, b"seed".to_vec())])
+        .expect("install");
+    let max_delay = Duration::from_millis(100);
+    let mut client = rack
+        .client()
+        .policy(LoadBalancePolicy::RoundRobin)
+        .batching(BatchConfig {
+            max_ops: 64,
+            max_delay: Some(max_delay),
+            ..BatchConfig::default()
+        })
+        .connect()
+        .expect("connect");
+    let started = Instant::now();
+    client.queue_get(7).expect("queue get");
+    assert_eq!(
+        client.queued(),
+        1,
+        "a singleton read must cork, not flush eagerly"
+    );
+    while client.queued() > 0 {
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "deadline flush never fired"
+        );
+        let due = client.due_in().unwrap_or(Duration::ZERO);
+        std::thread::sleep(due.min(Duration::from_millis(5)));
+        client.pump().expect("pump");
+    }
+    let waited = started.elapsed();
+    assert!(
+        waited >= max_delay,
+        "flushed after {waited:?}, before the {max_delay:?} cork deadline"
+    );
+    assert!(
+        waited < max_delay * 2,
+        "flushed after {waited:?}, far past the {max_delay:?} cork deadline"
+    );
+    assert_eq!(client.flush().expect("outcomes").len(), 1);
+    // A queued *write* is a synchronization point: it ships immediately
+    // (with any corked reads ahead of it) instead of corking a Lin ack
+    // wait behind the deadline — the bound that keeps at most one ack
+    // wait per wire batch.
+    client.queue_put(7, b"deadline").expect("queue put");
+    assert_eq!(
+        client.queued(),
+        0,
+        "a queued write must flush its batch at once"
+    );
+    assert_eq!(client.flush().expect("outcomes").len(), 1);
+    assert_eq!(client.get(7).expect("get"), b"deadline");
+    rack.shutdown();
+}
+
+#[test]
 fn tiny_credit_window_stalls_writers_but_loses_nothing() {
     // Squeeze the peer-mesh credit window down to 2 messages so a Lin
     // write burst *must* exhaust it: the writer threads stall and resume
@@ -277,6 +340,7 @@ fn tiny_credit_window_stalls_writers_but_loses_nothing() {
     cfg.flow = FlowConfig {
         credit_window: 2,
         peer_batch_ops: 4,
+        ..FlowConfig::default()
     };
     let rack = Rack::launch(cfg).expect("launch rack");
     let dataset = Dataset::new(10_000, 40);

@@ -133,6 +133,7 @@ fn severed_peer_link_replays_exactly_once_and_resets_the_window() {
     let flow = FlowConfig {
         credit_window: 4,
         peer_batch_ops: 4,
+        ..FlowConfig::default()
     };
     let mut cfg_a = NodeServerConfig::loopback(node_cfg(0));
     cfg_a.flow = flow;
@@ -290,6 +291,7 @@ fn correlated_miss_rpcs_survive_link_severs_exactly_once() {
     let flow = FlowConfig {
         credit_window: 4,
         peer_batch_ops: 4,
+        ..FlowConfig::default()
     };
     let mut cfg_a = NodeServerConfig::loopback(node_cfg(0));
     cfg_a.flow = flow;

@@ -272,6 +272,7 @@ fn replayed_frames_keep_their_original_trace_id_exactly_once() {
     let flow = FlowConfig {
         credit_window: 4,
         peer_batch_ops: 4,
+        ..FlowConfig::default()
     };
     let mut cfg_a = NodeServerConfig::loopback(node_cfg(0));
     cfg_a.flow = flow;

@@ -9,8 +9,9 @@
 //!   readiness polling over nonblocking sockets;
 //! * [`Waker`] — an `eventfd`-backed wake token so other threads (protocol
 //!   shippers, worker-pool completions) can interrupt a blocked poll;
-//! * [`TimerWheel`] — millisecond-slot timers for the credit-stall tick
-//!   and parked-connection re-checks;
+//! * [`TimerWheel`] — two-level (50 µs fine + 1 ms coarse) timers for
+//!   cork deadlines, the credit-stall tick and parked-connection
+//!   re-checks;
 //! * [`ReadBuf`] / [`WriteBuf`] — growable buffers for incremental frame
 //!   decode and write-buffer backpressure, so a slow peer accumulates
 //!   bytes instead of blocking a thread;
@@ -34,7 +35,7 @@ pub use sys::{
     close_raw_fd, inheritable_pipe, listen_reuseaddr, raise_nofile_limit, reset_sigpipe,
     send_signal, set_socket_buffers, signal_pipe, write_raw_fd, SIGINT, SIGKILL, SIGPIPE, SIGTERM,
 };
-pub use timer::TimerWheel;
+pub use timer::{TimerWheel, FINE_RESOLUTION};
 pub use waker::Waker;
 
 #[cfg(test)]
@@ -149,6 +150,66 @@ mod tests {
         assert_eq!(wheel.expired(), vec![Token(2)]);
         assert_eq!(wheel.armed(), 0);
         assert!(wheel.expired().is_empty());
+    }
+
+    #[test]
+    fn fine_timer_fires_well_under_a_millisecond() {
+        // Regression for the old single-level wheel, which silently
+        // rounded sub-millisecond delays up to a full 1 ms slot. A 50 µs
+        // timer must (a) report a sub-millisecond poll timeout and
+        // (b) actually fire well under 1 ms of wall-clock waiting.
+        let mut wheel = TimerWheel::new();
+        wheel.schedule(Token(9), Duration::from_micros(50));
+        let timeout = wheel.next_timeout().expect("armed");
+        assert!(
+            timeout < Duration::from_millis(1),
+            "sub-ms delay rounded to a coarse slot: {timeout:?}"
+        );
+        let poller = Poller::new().unwrap();
+        let mut events = Events::with_capacity(4);
+        // Wall-clock check, retried so a one-off scheduler hiccup on a
+        // loaded CI box cannot fail the build: at least one of a handful
+        // of attempts must complete well under a millisecond.
+        let mut best = Duration::MAX;
+        for _attempt in 0..5 {
+            let mut wheel = TimerWheel::new();
+            wheel.schedule(Token(9), Duration::from_micros(50));
+            let started = Instant::now();
+            loop {
+                let due = wheel.expired();
+                if due == vec![Token(9)] {
+                    break;
+                }
+                assert!(due.is_empty());
+                assert!(
+                    started.elapsed() < Duration::from_millis(500),
+                    "50µs timer never fired"
+                );
+                // Sleep exactly as a reactor shard would: poll with the
+                // wheel's own timeout (sub-ms via epoll_pwait2 when the
+                // kernel has it).
+                poller.wait(&mut events, wheel.next_timeout()).unwrap();
+            }
+            best = best.min(started.elapsed());
+            if best < Duration::from_millis(1) {
+                return;
+            }
+        }
+        panic!("50µs timer never fired under 1ms; best attempt {best:?}");
+    }
+
+    #[test]
+    fn fine_and_coarse_deadlines_interleave_in_order() {
+        let mut wheel = TimerWheel::new();
+        wheel.schedule(Token(1), Duration::from_micros(200));
+        wheel.schedule(Token(2), Duration::from_millis(20));
+        wheel.schedule(Token(3), Duration::from_micros(900));
+        assert_eq!(wheel.armed(), 3);
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(wheel.expired(), vec![Token(1), Token(3)]);
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(wheel.expired(), vec![Token(2)]);
+        assert_eq!(wheel.armed(), 0);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Readiness polling over epoll.
 
 use crate::sys::{
-    sys_close, sys_epoll_create, sys_epoll_ctl, sys_epoll_wait, EpollEvent, EPOLLERR, EPOLLHUP,
+    sys_close, sys_epoll_create, sys_epoll_ctl, sys_epoll_wait_ns, EpollEvent, EPOLLERR, EPOLLHUP,
     EPOLLIN, EPOLLOUT, EPOLLRDHUP, EPOLL_CTL_ADD, EPOLL_CTL_DEL, EPOLL_CTL_MOD,
 };
 use std::io;
@@ -133,21 +133,13 @@ impl Poller {
     }
 
     /// Waits for readiness, filling `events`. `timeout` of `None` blocks
-    /// until an event arrives; `Some(d)` waits at most `d` (rounded up to
-    /// the next millisecond so a 200µs deadline cannot spin at zero).
+    /// until an event arrives; `Some(d)` waits at most `d`. Sub-millisecond
+    /// timeouts are honoured at nanosecond precision via `epoll_pwait2`
+    /// (Linux ≥ 5.11); on older kernels they round up to the next
+    /// millisecond (never down to zero, so a 200µs deadline cannot spin).
     pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
-        let timeout_ms = match timeout {
-            None => -1,
-            Some(d) => {
-                let ms = d.as_millis();
-                if ms == 0 && !d.is_zero() {
-                    1
-                } else {
-                    ms.min(i32::MAX as u128) as i32
-                }
-            }
-        };
-        events.len = sys_epoll_wait(self.epfd, &mut events.raw, timeout_ms)?;
+        let timeout_ns = timeout.map(|d| d.as_nanos().min(u64::MAX as u128) as u64);
+        events.len = sys_epoll_wait_ns(self.epfd, &mut events.raw, timeout_ns)?;
         Ok(())
     }
 }

@@ -7,7 +7,8 @@
 //! goes through `std`.
 
 use std::io;
-use std::os::raw::{c_int, c_uint, c_void};
+use std::os::raw::{c_int, c_long, c_uint, c_void};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 pub const EPOLL_CTL_ADD: c_int = 1;
 pub const EPOLL_CTL_DEL: c_int = 2;
@@ -96,7 +97,28 @@ extern "C" {
     fn signal(signum: c_int, handler: usize) -> usize;
     fn kill(pid: c_int, sig: c_int) -> c_int;
     fn pipe2(fds: *mut c_int, flags: c_int) -> c_int;
+    fn syscall(num: c_long, ...) -> c_long;
 }
+
+/// `struct timespec` (Linux ABI, 64-bit).
+#[repr(C)]
+struct Timespec {
+    tv_sec: i64,
+    tv_nsec: i64,
+}
+
+/// `epoll_pwait2` syscall number (same on x86-64 and aarch64: the call
+/// was added after the unified syscall table, Linux 5.11). Bound by
+/// number rather than by glibc symbol so the binary still links against
+/// a C library predating the wrapper.
+const SYS_EPOLL_PWAIT2: c_long = 441;
+
+const ENOSYS: i32 = 38;
+
+/// Whether the running kernel supports `epoll_pwait2`. Probed lazily on
+/// first use; once the syscall returns `ENOSYS` every later wait takes
+/// the millisecond `epoll_wait` fallback without re-probing.
+static PWAIT2_SUPPORTED: AtomicBool = AtomicBool::new(true);
 
 fn cvt(ret: c_int) -> io::Result<c_int> {
     if ret < 0 {
@@ -130,6 +152,57 @@ pub fn sys_epoll_wait(
             return Err(err);
         }
     }
+}
+
+/// Nanosecond-precision epoll wait. Uses `epoll_pwait2` (Linux ≥ 5.11)
+/// so sub-millisecond timer deadlines — cork expiries, priority-lane
+/// stall ticks — are honoured at their actual resolution; on kernels
+/// without it, falls back to `epoll_wait` with the timeout rounded *up*
+/// to the next millisecond (never down to zero, which would spin).
+pub fn sys_epoll_wait_ns(
+    epfd: c_int,
+    events: &mut [EpollEvent],
+    timeout_ns: Option<u64>,
+) -> io::Result<usize> {
+    if PWAIT2_SUPPORTED.load(Ordering::Relaxed) {
+        let ts = timeout_ns.map(|ns| Timespec {
+            tv_sec: (ns / 1_000_000_000) as i64,
+            tv_nsec: (ns % 1_000_000_000) as i64,
+        });
+        let ts_ptr = ts
+            .as_ref()
+            .map_or(std::ptr::null(), |t| t as *const Timespec);
+        loop {
+            let n = unsafe {
+                syscall(
+                    SYS_EPOLL_PWAIT2,
+                    epfd,
+                    events.as_mut_ptr(),
+                    events.len() as c_int,
+                    ts_ptr,
+                    std::ptr::null::<c_void>(), // no sigmask
+                    0usize,
+                )
+            };
+            if n >= 0 {
+                return Ok(n as usize);
+            }
+            let err = io::Error::last_os_error();
+            match err.raw_os_error() {
+                Some(ENOSYS) => {
+                    PWAIT2_SUPPORTED.store(false, Ordering::Relaxed);
+                    break;
+                }
+                _ if err.kind() == io::ErrorKind::Interrupted => continue,
+                _ => return Err(err),
+            }
+        }
+    }
+    let timeout_ms = match timeout_ns {
+        None => -1,
+        Some(ns) => ns.div_ceil(1_000_000).min(i32::MAX as u64) as c_int,
+    };
+    sys_epoll_wait(epfd, events, timeout_ms)
 }
 
 pub fn sys_eventfd() -> io::Result<c_int> {

@@ -1,29 +1,61 @@
-//! A hashed timer wheel with millisecond slots.
+//! A two-level hashed timer wheel: 50 µs fine slots + 1 ms coarse slots.
 //!
-//! The reactor's timers are few and coarse — credit-stall ticks, parked
-//! connection re-checks — so a single-level wheel of millisecond slots is
-//! enough: scheduling and expiry are O(1) amortised, and a deadline past
-//! the wheel's horizon simply stays in its slot until its lap comes around
-//! (each entry stores the absolute tick; firing a slot only releases the
-//! entries whose lap has arrived).
+//! The reactor's timers used to be few and coarse — credit-stall ticks,
+//! parked connection re-checks — so a single-level wheel of millisecond
+//! slots was enough. Latency-aware batching changed that: cork deadlines
+//! and priority-lane stall ticks are in the tens-of-microseconds range,
+//! and rounding them up to 1 ms would defeat the whole point. The wheel
+//! is therefore split in two:
+//!
+//! * a **fine wheel** of [`FINE_SLOTS`] × [`FINE_RESOLUTION`] (50 µs)
+//!   slots covering the next ~6.4 ms — sub-millisecond deadlines land
+//!   here and fire with ~50 µs granularity;
+//! * the original **coarse wheel** of 1024 × 1 ms slots for everything
+//!   longer; a deadline past its horizon simply stays in its slot until
+//!   its lap comes around (each entry stores the absolute deadline;
+//!   firing a slot only releases the entries that are actually due).
+//!
+//! Supported resolution: delays shorter than one fine slot round **up**
+//! to a full fine slot (50 µs), never down to zero — a 1 µs timer still
+//! waits ~50 µs rather than spinning the poll loop hot. This is asserted
+//! by `schedule` in debug builds producing a deadline strictly in the
+//! future. `next_timeout` is µs-precise so the poller (via
+//! `epoll_pwait2`) can honour sub-millisecond sleeps.
+//!
+//! Scheduling and expiry stay O(1) amortised. Not thread-safe by design:
+//! each reactor shard owns one wheel.
 
 use crate::poller::Token;
 use std::time::{Duration, Instant};
 
-const SLOT_MS: u64 = 1;
-const SLOTS: usize = 1024;
+/// Granularity of the fine wheel: the finest delay the reactor honours.
+/// Sub-`FINE_RESOLUTION` delays round up to exactly one fine slot.
+pub const FINE_RESOLUTION: Duration = Duration::from_micros(FINE_SLOT_US);
+
+const FINE_SLOT_US: u64 = 50;
+const FINE_SLOTS: usize = 128; // 6.4 ms horizon
+
+const COARSE_SLOT_US: u64 = 1_000;
+const COARSE_SLOTS: usize = 1024;
+
+/// Delays strictly below this go to the fine wheel (one fine lap).
+const FINE_HORIZON_US: u64 = FINE_SLOT_US * FINE_SLOTS as u64;
 
 struct Entry {
-    deadline_tick: u64,
+    /// Absolute deadline in µs since `base`.
+    deadline_us: u64,
     token: Token,
 }
 
 /// The wheel. Not thread-safe by design: each reactor shard owns one.
 pub struct TimerWheel {
     base: Instant,
-    /// The next tick to sweep (everything before it has fired).
-    cursor: u64,
-    slots: Vec<Vec<Entry>>,
+    /// Next fine tick to sweep (everything before it has fired).
+    fine_cursor: u64,
+    fine: Vec<Vec<Entry>>,
+    /// Next coarse tick to sweep.
+    coarse_cursor: u64,
+    coarse: Vec<Vec<Entry>>,
     armed: usize,
 }
 
@@ -32,28 +64,42 @@ impl TimerWheel {
     pub fn new() -> TimerWheel {
         TimerWheel {
             base: Instant::now(),
-            cursor: 0,
-            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+            fine_cursor: 0,
+            fine: (0..FINE_SLOTS).map(|_| Vec::new()).collect(),
+            coarse_cursor: 0,
+            coarse: (0..COARSE_SLOTS).map(|_| Vec::new()).collect(),
             armed: 0,
         }
     }
 
-    fn tick_of(&self, at: Instant) -> u64 {
-        let elapsed = at.saturating_duration_since(self.base);
-        elapsed.as_millis() as u64 / SLOT_MS
+    fn now_us(&self) -> u64 {
+        Instant::now()
+            .saturating_duration_since(self.base)
+            .as_micros() as u64
     }
 
-    /// Arms a timer: `token` fires once `delay` has elapsed (rounded up to
-    /// the next millisecond slot, so a sub-millisecond delay still waits a
-    /// full slot rather than firing immediately in a hot loop).
+    /// Arms a timer: `token` fires once `delay` has elapsed. Sub-50 µs
+    /// delays round up to one fine slot ([`FINE_RESOLUTION`]), so a tiny
+    /// delay still waits a full slot rather than firing immediately in a
+    /// hot loop; delays of 6.4 ms and beyond use millisecond granularity.
     pub fn schedule(&mut self, token: Token, delay: Duration) {
-        let now_tick = self.tick_of(Instant::now());
-        let delay_ticks = (delay.as_millis() as u64).div_ceil(SLOT_MS).max(1);
-        let deadline_tick = now_tick + delay_ticks;
-        self.slots[(deadline_tick % SLOTS as u64) as usize].push(Entry {
-            deadline_tick,
-            token,
-        });
+        let now_us = self.now_us();
+        let delay_us = (delay.as_micros() as u64).max(1);
+        let entry = |deadline_us| Entry { deadline_us, token };
+        if delay_us < FINE_HORIZON_US {
+            // Round up to the next fine slot boundary; `max(1)` slot keeps
+            // the deadline strictly in the future.
+            let ticks = delay_us.div_ceil(FINE_SLOT_US).max(1);
+            let deadline_tick = now_us / FINE_SLOT_US + ticks;
+            debug_assert!(deadline_tick * FINE_SLOT_US > now_us);
+            self.fine[(deadline_tick % FINE_SLOTS as u64) as usize]
+                .push(entry(deadline_tick * FINE_SLOT_US));
+        } else {
+            let ticks = delay_us.div_ceil(COARSE_SLOT_US).max(1);
+            let deadline_tick = now_us / COARSE_SLOT_US + ticks;
+            self.coarse[(deadline_tick % COARSE_SLOTS as u64) as usize]
+                .push(entry(deadline_tick * COARSE_SLOT_US));
+        }
         self.armed += 1;
     }
 
@@ -62,54 +108,81 @@ impl TimerWheel {
         self.armed
     }
 
-    /// How long the owning poller may sleep before the next timer is due.
-    /// `None` when nothing is armed.
+    /// How long the owning poller may sleep before the next timer is due,
+    /// with microsecond precision. `None` when nothing is armed. Never
+    /// returns a zero duration (an already-due deadline reports one fine
+    /// slot so a caller that polls before sweeping cannot spin hot).
     pub fn next_timeout(&self) -> Option<Duration> {
         if self.armed == 0 {
             return None;
         }
-        let now_tick = self.tick_of(Instant::now());
-        // Scan forward from the cursor; the nearest armed deadline bounds
-        // the sleep. Cheap at reactor scale (a handful of armed timers).
+        // Scan every armed entry; cheap at reactor scale (a handful).
         let mut best: Option<u64> = None;
-        for slot in &self.slots {
+        for slot in self.fine.iter().chain(self.coarse.iter()) {
             for entry in slot {
-                if best.is_none_or(|b| entry.deadline_tick < b) {
-                    best = Some(entry.deadline_tick);
+                if best.is_none_or(|b| entry.deadline_us < b) {
+                    best = Some(entry.deadline_us);
                 }
             }
         }
         let deadline = best?;
-        Some(Duration::from_millis(
-            deadline.saturating_sub(now_tick).max(1) * SLOT_MS,
+        let now_us = self.now_us();
+        Some(Duration::from_micros(
+            deadline.saturating_sub(now_us).max(FINE_SLOT_US),
         ))
     }
 
-    /// Collects every timer due by now, in arming order within a slot.
+    /// Collects every timer due by now, nearest deadline first.
     pub fn expired(&mut self) -> Vec<Token> {
-        let now_tick = self.tick_of(Instant::now());
-        let mut due = Vec::new();
-        // Sweep at most one full lap.
-        let lap_end = now_tick.min(self.cursor + SLOTS as u64);
-        while self.cursor <= lap_end {
-            let slot = &mut self.slots[(self.cursor % SLOTS as u64) as usize];
-            let mut i = 0;
-            while i < slot.len() {
-                if slot[i].deadline_tick <= now_tick {
-                    due.push(slot.swap_remove(i).token);
-                    self.armed -= 1;
-                } else {
-                    i += 1;
-                }
-            }
-            if self.cursor == lap_end {
-                break;
-            }
-            self.cursor += 1;
-        }
-        self.cursor = now_tick;
-        due
+        let now_us = self.now_us();
+        let mut due: Vec<Entry> = Vec::new();
+        sweep(
+            &mut self.fine,
+            &mut self.fine_cursor,
+            now_us / FINE_SLOT_US,
+            now_us,
+            &mut due,
+        );
+        sweep(
+            &mut self.coarse,
+            &mut self.coarse_cursor,
+            now_us / COARSE_SLOT_US,
+            now_us,
+            &mut due,
+        );
+        self.armed -= due.len();
+        due.sort_by_key(|e| e.deadline_us);
+        due.into_iter().map(|e| e.token).collect()
     }
+}
+
+/// Sweeps one wheel level from its cursor to `now_tick` (at most one full
+/// lap — visiting every slot once suffices because entries carry absolute
+/// deadlines), moving due entries into `due`.
+fn sweep(
+    slots: &mut [Vec<Entry>],
+    cursor: &mut u64,
+    now_tick: u64,
+    now_us: u64,
+    due: &mut Vec<Entry>,
+) {
+    let lap_end = now_tick.min(*cursor + slots.len() as u64);
+    while *cursor <= lap_end {
+        let slot = &mut slots[(*cursor % slots.len() as u64) as usize];
+        let mut i = 0;
+        while i < slot.len() {
+            if slot[i].deadline_us <= now_us {
+                due.push(slot.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        if *cursor == lap_end {
+            break;
+        }
+        *cursor += 1;
+    }
+    *cursor = now_tick;
 }
 
 impl Default for TimerWheel {

@@ -79,6 +79,10 @@ pub enum EventKind {
     /// `peer` = the peer whose message fired it, if any). Replaces the
     /// retired worker handoff pair in timelines.
     ContinuationFire = 13,
+    /// The op's bulk peer traffic sat corked in the adaptive batcher
+    /// before flushing (`key` holds the cork wait in ns, `peer` = the
+    /// destination link).
+    CorkWait = 14,
 }
 
 impl EventKind {
@@ -99,6 +103,7 @@ impl EventKind {
             11 => EventKind::MissRpc,
             12 => EventKind::Respond,
             13 => EventKind::ContinuationFire,
+            14 => EventKind::CorkWait,
             _ => return None,
         })
     }
@@ -120,6 +125,7 @@ impl EventKind {
             EventKind::MissRpc => "miss_rpc",
             EventKind::Respond => "respond",
             EventKind::ContinuationFire => "continuation_fire",
+            EventKind::CorkWait => "cork_wait",
         }
     }
 }
@@ -479,12 +485,12 @@ mod tests {
 
     #[test]
     fn event_kind_roundtrips() {
-        for v in 0..=13u8 {
+        for v in 0..=14u8 {
             let kind = EventKind::from_u8(v).expect("kind");
             assert_eq!(kind as u8, v);
             assert!(!kind.name().is_empty());
         }
-        assert_eq!(EventKind::from_u8(14), None);
+        assert_eq!(EventKind::from_u8(15), None);
         assert_eq!(EventKind::from_u8(255), None);
     }
 }
