@@ -330,6 +330,33 @@ impl CcNode {
         }
     }
 
+    /// Single-shot eviction probe for deterministic drivers: like
+    /// [`CcNode::evict_hot`] but returns `None` instead of spinning in the
+    /// internal backoff while a local write is still collecting
+    /// acknowledgements. A single-threaded scheduler (the model checker)
+    /// owns message delivery itself, so blocking here would wait on
+    /// progress only the caller can make; it re-probes once the pending
+    /// write has committed.
+    pub fn try_evict_hot(&self, key: u64) -> Option<EvictHot> {
+        match self.cache.evict(key) {
+            EvictOutcome::NotCached => Some(EvictHot::NotCached),
+            EvictOutcome::Pending => None,
+            EvictOutcome::Evicted { dirty: false, .. } => Some(EvictHot::Clean),
+            EvictOutcome::Evicted {
+                value,
+                ts,
+                dirty: true,
+            } => {
+                if self.is_home(key) {
+                    let _ = self.write_back(key, &value, ts);
+                    Some(EvictHot::WrittenBack { ts })
+                } else {
+                    Some(EvictHot::WriteBackRemote { value, ts })
+                }
+            }
+        }
+    }
+
     /// Applies a write-back of an evicted dirty value to this node's KVS
     /// shard (this node is the key's home). Versioned: an older write-back
     /// racing with a newer one (every replica of a churning hot set evicts
@@ -353,6 +380,19 @@ impl CcNode {
                 ReadOutcome::Miss => return CacheGet::Miss,
                 ReadOutcome::Stall => backoff.wait(),
             }
+        }
+    }
+
+    /// Single-shot cache read probe for deterministic drivers: like
+    /// [`CcNode::cache_get`] but returns `None` instead of spinning in the
+    /// internal backoff while the entry is invalidated under Lin. The model
+    /// checker's scheduler delivers the unblocking update itself and
+    /// re-probes; a thread that blocked here would deadlock it.
+    pub fn try_cache_get(&self, key: u64) -> Option<CacheGet> {
+        match self.cache.read(key) {
+            ReadOutcome::Hit { value, ts } => Some(CacheGet::Hit { value, ts }),
+            ReadOutcome::Miss => Some(CacheGet::Miss),
+            ReadOutcome::Stall => None,
         }
     }
 
@@ -573,6 +613,43 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn try_probes_report_stall_instead_of_blocking() {
+        let nodes = rack(ConsistencyModel::Lin, 3);
+        for node in &nodes {
+            node.install_hot(7, b"old", Timestamp::ZERO);
+        }
+        // Start a Lin write but deliver nothing: the entry is pending.
+        let outgoing = match nodes[1].try_cache_put(7, b"new", 9) {
+            Some(CachePut::Pending { outgoing, .. }) => outgoing,
+            other => panic!("expected pending Lin write, got {other:?}"),
+        };
+        // A second local write, an eviction and (on the invalidated peers,
+        // once invalidations land) a read must all report "not now" rather
+        // than spin: a deterministic single-threaded driver owns delivery.
+        assert!(nodes[1].try_cache_put(7, b"newer", 10).is_none());
+        assert!(nodes[1].try_evict_hot(7).is_none());
+        pump(&nodes, 1, outgoing);
+        // Committed: every probe resolves again.
+        match nodes[2].try_cache_get(7) {
+            Some(CacheGet::Hit { value, .. }) => assert_eq!(value, b"new"),
+            other => panic!("expected hit after commit, got {other:?}"),
+        }
+        match nodes[1].try_evict_hot(7) {
+            Some(EvictHot::WriteBackRemote { value, .. }) if !nodes[1].is_home(7) => {
+                assert_eq!(value, b"new")
+            }
+            Some(EvictHot::WrittenBack { .. }) => assert!(nodes[1].is_home(7)),
+            other => panic!("expected dirty eviction, got {other:?}"),
+        }
+        // Uncached key: a miss, not a stall.
+        assert!(matches!(nodes[1].try_cache_get(999), Some(CacheGet::Miss)));
+        assert!(matches!(
+            nodes[1].try_evict_hot(999),
+            Some(EvictHot::NotCached)
+        ));
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! Seeded bounded exploration: many independent schedule walks per
+//! scenario, deduplicated by event-log fingerprint.
+//!
+//! Exploration is embarrassingly replayable: walk `i` of a run with base
+//! seed `b` uses schedule seed `b + i`, so any failing walk is fully
+//! identified by its [`Seed`] and re-run in isolation with `--replay`.
+
+use crate::harness::{fingerprint, run_schedule, RunOutcome};
+use crate::scenario::ScenarioSpec;
+use crate::sched::Seed;
+use std::collections::BTreeSet;
+
+/// Outcome of a bounded exploration of one scenario.
+#[derive(Debug)]
+pub struct ExploreReport {
+    /// Scenario explored.
+    pub scenario: String,
+    /// Schedules run (including fingerprint-duplicates of earlier walks).
+    pub runs: usize,
+    /// Distinct schedules observed (unique event-log fingerprints).
+    pub distinct: usize,
+    /// Every violating walk: its replay seed and the violation found.
+    pub violations: Vec<(Seed, String)>,
+}
+
+/// Runs `schedules` seeded walks of `spec` (depth-bounded at `depth`
+/// scheduler choices before the deterministic drain), starting from
+/// `base_seed`.
+pub fn explore(
+    spec: &ScenarioSpec,
+    base_seed: u64,
+    schedules: usize,
+    depth: usize,
+) -> ExploreReport {
+    let mut fingerprints = BTreeSet::new();
+    let mut violations = Vec::new();
+    for i in 0..schedules {
+        let seed = base_seed.wrapping_add(i as u64);
+        let outcome = run_schedule(spec, seed, depth);
+        fingerprints.insert(outcome.fingerprint);
+        if let Some(v) = outcome.violation {
+            violations.push((
+                Seed {
+                    scenario: spec.name.to_string(),
+                    value: seed,
+                },
+                v,
+            ));
+        }
+    }
+    ExploreReport {
+        scenario: spec.name.to_string(),
+        runs: schedules,
+        distinct: fingerprints.len(),
+        violations,
+    }
+}
+
+/// Replays one seed and asserts determinism: the walk is run twice and
+/// the two event logs must be identical. Returns the (verified) outcome.
+pub fn replay(spec: &ScenarioSpec, seed: &Seed, depth: usize) -> RunOutcome {
+    assert_eq!(spec.name, seed.scenario, "seed belongs to this scenario");
+    let first = run_schedule(spec, seed.value, depth);
+    let second = run_schedule(spec, seed.value, depth);
+    assert_eq!(
+        first.events, second.events,
+        "replay of {seed} diverged between two runs"
+    );
+    assert_eq!(first.fingerprint, fingerprint(&second.events));
+    first
+}

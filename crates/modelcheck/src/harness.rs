@@ -1,0 +1,1625 @@
+//! The rack-under-test: real [`CcNode`]s over the simnet-backed
+//! [`SimNet`] transport, with every source of nondeterminism owned by the
+//! schedule.
+//!
+//! One [`RackModel`] is one execution of a [`ScenarioSpec`]. All frames —
+//! invalidations, acks, update broadcasts, miss RPCs, write-backs — travel
+//! as real wire-encoded datagrams ([`Frame`]) through real [`SimNet`]
+//! connections; the scheduler picks which in-flight datagram is delivered,
+//! dropped, or duplicated next, when retransmits and credit confirmations
+//! happen, when nodes crash and restart, and when each client session's
+//! next operation is issued. After the bounded exploration phase a
+//! deterministic drain completes every outstanding operation (or reports a
+//! deadlock), and the final state is checked:
+//!
+//! * the recorded history is per-key linearizable (or per-key SC,
+//!   matching the scenario's model), with unique write timestamps;
+//! * **zero lost acknowledged writes**: the newest acknowledged value of
+//!   every key is present at the key's final location — in every replica's
+//!   cache if the key ended hot, in the home shard if it ended cold.
+//!
+//! ## The link model
+//!
+//! Each directed node pair is one replay-protected link, mirroring the
+//! production peer mesh (PR 5/8): datagrams carry a link sequence number,
+//! the sender retains every frame until a cumulative credit confirmation
+//! ([`Action`]`::Confirm`), and the receiver processes strictly in
+//! sequence — duplicates are dropped by sequence comparison, gaps are held
+//! in a reorder buffer. Loss is repaired by scheduler-chosen retransmits
+//! of retained frames. Across a crash, the restarted side's links restart
+//! at sequence zero (a new process generation) while survivors re-ship
+//! their retained tail from the last confirmed sequence and reissue
+//! invalidations for uncounted acks — the `PeerHello`/`PeerResume` replay
+//! contract, driven here one datagram at a time.
+//!
+//! ## Crash gating
+//!
+//! Gated (default) crashes avoid the windows the production system is
+//! *known* not to survive — in-memory cold data dies with its home
+//! (ROADMAP: durable home shards), a committed value living only in the
+//! dead writer's cache and its in-flight updates, and a dead writer
+//! leaving peers wedged-invalid. [`RackModel`] blocks those crashes via
+//! `can_crash` and documents each exclusion; the `ack-then-die` negative
+//! scenario turns the gates off and asserts the checker *does* flag the
+//! resulting histories, so the exclusions stay honest.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::io::{ErrorKind, Read};
+use std::sync::{Arc, Mutex};
+
+use cckvs::node::{CacheGet, CachePut, CcNode, EvictHot, NodeConfig, Outgoing};
+use cckvs_net::sim::{SimConnection, SimNet};
+use cckvs_net::transport::Connection;
+use cckvs_net::wire::{encode_frame_into, Frame};
+use consistency::engine::Destination;
+use consistency::history::{History, OpRecord, RecordKind};
+use consistency::{NodeId, ProtocolMsg, Timestamp};
+use simnet::TrafficClass;
+
+use crate::scenario::{AdminStep, ProgOp, ScenarioSpec};
+use crate::sched::SplitMix64;
+
+/// Iteration cap of the post-exploration drain; hitting it is reported as
+/// a deadlock (healthy schedules quiesce orders of magnitude earlier).
+const DRAIN_CAP: usize = 20_000;
+
+/// One scheduler choice. The enabled set is enumerated in a fixed,
+/// deterministic order each step; the schedule seed picks one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Issue session `node`'s next program operation.
+    Issue(usize),
+    /// Retry a parked operation after its node observed progress.
+    Reprobe(usize),
+    /// Deliver in-flight datagram `flight` to its receiver.
+    Deliver(u64),
+    /// Drop in-flight datagram `flight` (spends the drop budget).
+    Drop(u64),
+    /// Duplicate in-flight datagram `flight` (spends the dup budget).
+    Dup(u64),
+    /// Re-send the oldest retained-but-undelivered frame of link `(from,
+    /// to)` (the sender's loss-repair timer, fired by the scheduler).
+    Retransmit(usize, usize),
+    /// Advance link `(from, to)`'s cumulative credit confirmation to the
+    /// receiver's current processed sequence, pruning retained frames.
+    Confirm(usize, usize),
+    /// Crash `node` (spends the crash budget; gated unless the scenario
+    /// sets `unsafe_crashes`).
+    Crash(usize),
+    /// Restart crashed `node`: fresh process, new generation, survivor
+    /// replay + reissued invalidations.
+    Restart(usize),
+    /// Re-establish symmetric caching after a restart: evict + write back
+    /// the hot set, reinstall from the home shards, clear fences.
+    Heal,
+    /// Execute the next step of the scenario's admin script.
+    Admin,
+}
+
+/// Result of one fully-run schedule.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// A violation description, or `None` for a clean schedule.
+    pub violation: Option<String>,
+    /// The deterministic event log (identical across replays of a seed).
+    pub events: Vec<String>,
+    /// Scheduler choices made in the exploration phase.
+    pub steps: usize,
+    /// FNV-1a fingerprint of the event log — the identity by which
+    /// distinct schedules are counted.
+    pub fingerprint: u64,
+}
+
+/// Runs one schedule of `spec` from `seed`: `depth` seeded scheduler
+/// choices, then the deterministic drain and the final checks.
+pub fn run_schedule(spec: &ScenarioSpec, seed: u64, depth: usize) -> RunOutcome {
+    let mut m = RackModel::new(spec.clone());
+    let mut rng = SplitMix64::new(seed);
+    let mut steps = 0;
+    while steps < depth && m.violation.is_none() {
+        let actions = m.enabled_actions();
+        if actions.is_empty() {
+            break;
+        }
+        let action = actions[rng.pick(actions.len())];
+        m.apply(action);
+        steps += 1;
+    }
+    if m.violation.is_none() {
+        m.drain();
+    }
+    if m.violation.is_none() {
+        m.check_final();
+    }
+    let fingerprint = fingerprint(&m.events);
+    RunOutcome {
+        violation: m.violation,
+        events: m.events,
+        steps,
+        fingerprint,
+    }
+}
+
+/// FNV-1a over an event log; the distinct-schedule identity.
+pub fn fingerprint(events: &[String]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for e in events {
+        for b in e.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^= 0x0a;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A frame retained at the sender until its sequence is credit-confirmed.
+struct Retained {
+    seq: u64,
+    datagram: Vec<u8>,
+    inflight: u32,
+    is_update: bool,
+    class: TrafficClass,
+}
+
+/// Sender half of a directed link.
+#[derive(Default)]
+struct SendLink {
+    next_seq: u64,
+    confirmed: u64,
+    retained: VecDeque<Retained>,
+}
+
+/// Receiver half of a directed link: in-sequence processing with a
+/// reorder buffer, duplicate suppression by sequence comparison.
+#[derive(Default)]
+struct RecvLink {
+    recv_next: u64,
+    reorder: BTreeMap<u64, Vec<u8>>,
+    buf: Vec<u8>,
+}
+
+/// Why a client operation has not completed yet.
+enum OpState {
+    /// Bounced or stalled; retried when the node observes progress
+    /// (deliveries or a world-version bump since the stored snapshot).
+    Parked { snapshot: (u64, u64) },
+    /// A pending Lin write awaiting its commit continuation.
+    WaitingCommit { ts: Timestamp },
+    /// A miss-path RPC awaiting its response.
+    WaitingRpc { corr: u64 },
+}
+
+/// An invoked-but-incomplete client operation.
+struct InFlight {
+    op: ProgOp,
+    invoked_at: u64,
+    state: OpState,
+}
+
+/// One rack node: the real `CcNode` plus the per-process state the
+/// harness models around it (generation, fences, cold-version counter).
+struct NodeSlot {
+    cc: CcNode,
+    up: bool,
+    gen: u64,
+    session_seq: u64,
+    /// Messages processed by this node — parked-op reprobe gating.
+    deliveries: u64,
+    /// Hot keys homed here that this restarted process must not serve
+    /// cold (supervisor hot-fencing); cleared by [`Action::Heal`].
+    fenced: BTreeSet<u64>,
+    /// Whether this node's in-memory shard holds data whose loss would be
+    /// observable (executed cold writes / landed write-backs) — gated
+    /// crashes refuse such nodes (ROADMAP: durable home shards).
+    kvs_dirty: bool,
+    /// The home shard's cold-version counter. Survives restarts: the
+    /// harness models a perfectly-synchronised supervisor floor
+    /// (production: `VersionFloor` polling + `--cold-floor` slack).
+    cold_clock: u32,
+    program: VecDeque<ProgOp>,
+    current: Option<InFlight>,
+}
+
+/// What a pending miss-path RPC was for.
+enum RpcKind {
+    Get,
+    Put { value: u64 },
+    WriteBack,
+}
+
+/// A pending RPC registered at its origin; removed exactly once (response
+/// accepted, retry bounce, or origin crash) — late responses for removed
+/// correlation ids are dropped, the exactly-once contract.
+struct RpcState {
+    origin: usize,
+    gen: u64,
+    kind: RpcKind,
+    /// For puts: the timestamp the home applied the write at (set at
+    /// execution, consulted if the origin dies before the response).
+    executed: Option<Timestamp>,
+}
+
+/// The rack under test. See the module docs for the model.
+pub struct RackModel {
+    spec: ScenarioSpec,
+    net: SimNet,
+    nodes: Vec<NodeSlot>,
+    /// `conns[(a, b)]` is node `a`'s half of the `a↔b` pair: `a` sends to
+    /// `b` by writing it and receives `b`'s frames by reading it.
+    conns: BTreeMap<(usize, usize), SimConnection>,
+    send: BTreeMap<(usize, usize), SendLink>,
+    recv: BTreeMap<(usize, usize), RecvLink>,
+    /// Live flight → (from, to, link sequence).
+    flight_meta: BTreeMap<u64, (usize, usize, u64)>,
+    rpc_table: BTreeMap<u64, RpcState>,
+    next_corr: u64,
+    /// Lin commit continuations land here (pushed by `on_committed` hooks
+    /// firing inline on the delivery path) and are drained after every
+    /// delivery.
+    commits: Arc<Mutex<Vec<(usize, u64, Timestamp)>>>,
+    history: History,
+    events: Vec<String>,
+    clock: u64,
+    /// Bumped by restarts, heals and transition unmarks; parked operations
+    /// reprobe when it moves.
+    world_version: u64,
+    drops_left: u32,
+    dups_left: u32,
+    crashes_left: u32,
+    heal_needed: bool,
+    admin_cursor: usize,
+    outstanding_writebacks: u32,
+    /// Keys under a hot-transition mark (cold ops bounce at their home).
+    marked: BTreeSet<u64>,
+    /// Value+version snapshots taken by `MarkInstall`.
+    install_snapshot: BTreeMap<u64, (Vec<u8>, Timestamp)>,
+    /// Keys currently hot (installed and not yet evicted).
+    hot_now: BTreeSet<u64>,
+    violation: Option<String>,
+}
+
+impl RackModel {
+    /// A fresh rack in the scenario's initial state (hot keys installed
+    /// everywhere at `Timestamp::ZERO`, all links up, budgets full).
+    pub fn new(spec: ScenarioSpec) -> Self {
+        assert!(
+            (2..=8).contains(&spec.nodes),
+            "scenarios are small racks (2..=8 nodes)"
+        );
+        assert_eq!(spec.programs.len(), spec.nodes);
+        let net = SimNet::new(spec.nodes);
+        let nodes: Vec<NodeSlot> = (0..spec.nodes)
+            .map(|n| NodeSlot {
+                cc: CcNode::new(NodeConfig::small(spec.model, n, spec.nodes)),
+                up: true,
+                gen: 0,
+                session_seq: 0,
+                deliveries: 0,
+                fenced: BTreeSet::new(),
+                kvs_dirty: false,
+                cold_clock: 0,
+                program: spec.programs[n].iter().copied().collect(),
+                current: None,
+            })
+            .collect();
+        let mut m = RackModel {
+            net,
+            nodes,
+            conns: BTreeMap::new(),
+            send: BTreeMap::new(),
+            recv: BTreeMap::new(),
+            flight_meta: BTreeMap::new(),
+            rpc_table: BTreeMap::new(),
+            next_corr: 1,
+            commits: Arc::new(Mutex::new(Vec::new())),
+            history: History::new(),
+            events: Vec::new(),
+            clock: 0,
+            world_version: 0,
+            drops_left: spec.drop_budget,
+            dups_left: spec.dup_budget,
+            crashes_left: spec.crash_budget,
+            heal_needed: false,
+            admin_cursor: 0,
+            outstanding_writebacks: 0,
+            marked: BTreeSet::new(),
+            install_snapshot: BTreeMap::new(),
+            hot_now: BTreeSet::new(),
+            violation: None,
+            spec,
+        };
+        for a in 0..m.spec.nodes {
+            for b in (a + 1)..m.spec.nodes {
+                m.open_link_pair(a, b);
+            }
+        }
+        for k in m.spec.hot_keys.clone() {
+            for n in 0..m.spec.nodes {
+                assert!(
+                    m.nodes[n].cc.install_hot(k, &[], Timestamp::ZERO),
+                    "initial hot install fits"
+                );
+            }
+            m.hot_now.insert(k);
+        }
+        m
+    }
+
+    /// The violation found so far, if any.
+    pub fn violation(&self) -> Option<&str> {
+        self.violation.as_deref()
+    }
+
+    /// The event log so far.
+    pub fn events(&self) -> &[String] {
+        &self.events
+    }
+
+    fn open_link_pair(&mut self, a: usize, b: usize) {
+        let (ca, cb) = self.net.pair(a, b);
+        ca.set_nonblocking(true).expect("sim conn");
+        cb.set_nonblocking(true).expect("sim conn");
+        self.conns.insert((a, b), ca);
+        self.conns.insert((b, a), cb);
+        self.send.insert((a, b), SendLink::default());
+        self.send.insert((b, a), SendLink::default());
+        self.recv.insert((a, b), RecvLink::default());
+        self.recv.insert((b, a), RecvLink::default());
+    }
+
+    fn log(&mut self, e: String) {
+        self.events.push(e);
+    }
+
+    fn fail(&mut self, why: String) {
+        if self.violation.is_none() {
+            self.events.push(format!("VIOLATION {why}"));
+            self.violation = Some(why);
+        }
+    }
+
+    // ----- enabled-action enumeration ---------------------------------
+
+    /// The currently enabled scheduler choices, in a fixed deterministic
+    /// order (node-index, flight-id, link-key ascending).
+    pub fn enabled_actions(&self) -> Vec<Action> {
+        let mut out = Vec::new();
+        for n in 0..self.nodes.len() {
+            let s = &self.nodes[n];
+            if s.up && s.current.is_none() && !s.program.is_empty() {
+                out.push(Action::Issue(n));
+            }
+        }
+        for n in 0..self.nodes.len() {
+            if self.reprobe_enabled(n) {
+                out.push(Action::Reprobe(n));
+            }
+        }
+        let mut flights: Vec<u64> = self.flight_meta.keys().copied().collect();
+        flights.sort_unstable();
+        for &f in &flights {
+            out.push(Action::Deliver(f));
+        }
+        if self.drops_left > 0 {
+            for &f in &flights {
+                out.push(Action::Drop(f));
+            }
+        }
+        if self.dups_left > 0 {
+            for &f in &flights {
+                out.push(Action::Dup(f));
+            }
+        }
+        for &(i, j) in self.send.keys() {
+            if self.retransmit_enabled(i, j) {
+                out.push(Action::Retransmit(i, j));
+            }
+        }
+        for (&(i, j), sl) in &self.send {
+            if self.nodes[i].up && sl.confirmed < self.recv[&(i, j)].recv_next {
+                out.push(Action::Confirm(i, j));
+            }
+        }
+        for n in 0..self.nodes.len() {
+            if self.can_crash(n) {
+                out.push(Action::Crash(n));
+            }
+        }
+        for n in 0..self.nodes.len() {
+            if !self.nodes[n].up {
+                out.push(Action::Restart(n));
+            }
+        }
+        if self.heal_enabled() {
+            out.push(Action::Heal);
+        }
+        if self.admin_enabled() {
+            out.push(Action::Admin);
+        }
+        out
+    }
+
+    fn reprobe_enabled(&self, n: usize) -> bool {
+        let s = &self.nodes[n];
+        s.up && matches!(
+            &s.current,
+            Some(InFlight {
+                state: OpState::Parked { snapshot },
+                ..
+            }) if *snapshot != (s.deliveries, self.world_version)
+        )
+    }
+
+    fn retransmit_enabled(&self, i: usize, j: usize) -> bool {
+        if !self.nodes[i].up || !self.nodes[j].up {
+            return false;
+        }
+        let recv_next = self.recv[&(i, j)].recv_next;
+        self.send[&(i, j)]
+            .retained
+            .iter()
+            .any(|r| r.seq >= recv_next && r.inflight == 0)
+    }
+
+    /// Crash gating. Ungated when the scenario sets `unsafe_crashes`;
+    /// otherwise a crash is only offered where the production system
+    /// survives it:
+    ///
+    /// * not while the node's shard holds observable cold data (in-memory
+    ///   shards lose it; durable homes are an open ROADMAP item);
+    /// * not while the node has a pending uncommitted Lin write (its death
+    ///   would leave peers wedged-invalid with no writer to commit);
+    /// * not while a committed update from this node is still undelivered
+    ///   somewhere (the acked value would exist only in the dead cache);
+    /// * not during admin transitions, and one node down at a time.
+    fn can_crash(&self, n: usize) -> bool {
+        if self.crashes_left == 0 || !self.nodes[n].up {
+            return false;
+        }
+        if self.nodes.iter().any(|s| !s.up) {
+            return false;
+        }
+        let dirty_shard = self.nodes[n].kvs_dirty;
+        let pending_commit = matches!(
+            &self.nodes[n].current,
+            Some(InFlight {
+                state: OpState::WaitingCommit { .. },
+                ..
+            })
+        );
+        let undelivered_update = (0..self.nodes.len()).filter(|&j| j != n).any(|j| {
+            let recv_next = self.recv[&(n, j)].recv_next;
+            self.send[&(n, j)]
+                .retained
+                .iter()
+                .any(|r| r.is_update && r.seq >= recv_next)
+        });
+        if self.spec.unsafe_crashes {
+            // The negative scenario crashes only *inside* the windows that
+            // lose acknowledged data — a committed-but-unpropagated update
+            // (ack-then-die) or an in-memory shard holding acked cold
+            // writes (cold amnesia). Otherwise the single crash budget is
+            // almost always spent at a survivable moment and the scenario
+            // proves nothing. (A crash during WaitingCommit is *survivable*
+            // — the write was never acked, and restart reissue + heal
+            // repair the wedged peers — so it is not targeted.)
+            return dirty_shard || undelivered_update;
+        }
+        self.admin_cursor >= self.spec.admin_script.len()
+            && !dirty_shard
+            && !pending_commit
+            && !undelivered_update
+    }
+
+    fn heal_enabled(&self) -> bool {
+        self.heal_needed
+            && self.admin_cursor >= self.spec.admin_script.len()
+            && self.nodes.iter().all(|s| s.up)
+            && !self.nodes.iter().any(|s| {
+                matches!(
+                    &s.current,
+                    Some(InFlight {
+                        state: OpState::WaitingCommit { .. },
+                        ..
+                    })
+                )
+            })
+    }
+
+    fn admin_enabled(&self) -> bool {
+        let Some(step) = self.spec.admin_script.get(self.admin_cursor) else {
+            return false;
+        };
+        match *step {
+            AdminStep::MarkEvict { key } | AdminStep::MarkInstall { key } => {
+                self.nodes[self.home_of(key)].up
+            }
+            AdminStep::EvictAt { node, key } => {
+                self.nodes[node].up
+                    && !matches!(
+                        &self.nodes[node].current,
+                        Some(InFlight {
+                            op,
+                            state: OpState::WaitingCommit { .. },
+                            ..
+                        }) if op.key() == key
+                    )
+            }
+            AdminStep::UnmarkEvict { .. } => self.outstanding_writebacks == 0,
+            AdminStep::WarmAt { node, .. } | AdminStep::ActivateAt { node, .. } => {
+                self.nodes[node].up
+            }
+            AdminStep::UnmarkInstall { .. } => true,
+        }
+    }
+
+    fn home_of(&self, key: u64) -> usize {
+        self.nodes[0].cc.home_node(key)
+    }
+
+    // ----- action application -----------------------------------------
+
+    /// Applies one scheduler choice.
+    pub fn apply(&mut self, action: Action) {
+        self.clock += 1;
+        match action {
+            Action::Issue(n) => {
+                let op = self.nodes[n].program.pop_front().expect("issue has an op");
+                let invoked_at = self.clock;
+                self.attempt_op(n, op, invoked_at);
+            }
+            Action::Reprobe(n) => {
+                let cur = self.nodes[n].current.take().expect("reprobe has an op");
+                self.log(format!("reprobe n{n}"));
+                self.attempt_op(n, cur.op, cur.invoked_at);
+            }
+            Action::Deliver(f) => self.deliver_flight(f),
+            Action::Drop(f) => {
+                self.drops_left -= 1;
+                let (i, j, seq) = self.flight_meta.remove(&f).expect("live flight");
+                self.net.drop_flight(f);
+                self.dec_inflight(i, j, seq);
+                self.log(format!("drop {i}->{j} #{seq}"));
+            }
+            Action::Dup(f) => {
+                self.dups_left -= 1;
+                let (i, j, seq) = *self.flight_meta.get(&f).expect("live flight");
+                let copy = self.net.duplicate(f).expect("live flight duplicates");
+                self.flight_meta.insert(copy, (i, j, seq));
+                self.inc_inflight(i, j, seq);
+                self.log(format!("dup {i}->{j} #{seq}"));
+            }
+            Action::Retransmit(i, j) => self.retransmit(i, j),
+            Action::Confirm(i, j) => {
+                let processed = self.recv[&(i, j)].recv_next;
+                let sl = self.send.get_mut(&(i, j)).expect("link");
+                sl.confirmed = processed;
+                while sl.retained.front().is_some_and(|r| r.seq < processed) {
+                    sl.retained.pop_front();
+                }
+                self.log(format!("confirm {i}->{j} cum{processed}"));
+            }
+            Action::Crash(n) => self.crash(n),
+            Action::Restart(n) => self.restart(n),
+            Action::Heal => self.heal(),
+            Action::Admin => self.admin_step(),
+        }
+    }
+
+    fn dec_inflight(&mut self, i: usize, j: usize, seq: u64) {
+        if let Some(r) = self
+            .send
+            .get_mut(&(i, j))
+            .and_then(|sl| sl.retained.iter_mut().find(|r| r.seq == seq))
+        {
+            r.inflight = r.inflight.saturating_sub(1);
+        }
+    }
+
+    fn inc_inflight(&mut self, i: usize, j: usize, seq: u64) {
+        if let Some(r) = self
+            .send
+            .get_mut(&(i, j))
+            .and_then(|sl| sl.retained.iter_mut().find(|r| r.seq == seq))
+        {
+            r.inflight += 1;
+        }
+    }
+
+    // ----- client operations ------------------------------------------
+
+    fn attempt_op(&mut self, n: usize, op: ProgOp, invoked_at: u64) {
+        match op {
+            ProgOp::Get { key } => match self.nodes[n].cc.try_cache_get(key) {
+                None => {
+                    self.park(n, op, invoked_at, "hot get stalled");
+                }
+                Some(CacheGet::Hit { value, ts }) => {
+                    self.log(format!("issue n{n} get k{key} hot hit ts{ts} ",));
+                    self.complete(n, op, invoked_at, decode_value(&value), ts);
+                }
+                Some(CacheGet::Miss) => self.cold_op(n, op, invoked_at),
+            },
+            ProgOp::Put { key, value } => {
+                match self.nodes[n]
+                    .cc
+                    .try_cache_put(key, &value.to_le_bytes(), value)
+                {
+                    None => {
+                        self.park(n, op, invoked_at, "hot put stalled");
+                    }
+                    Some(CachePut::Done { ts, outgoing }) => {
+                        self.log(format!("issue n{n} put k{key}={value} done ts{ts}"));
+                        self.ship(n, outgoing);
+                        self.complete(n, op, invoked_at, value, ts);
+                        self.drain_commits();
+                    }
+                    Some(CachePut::Pending { ts, outgoing }) => {
+                        self.log(format!("issue n{n} put k{key}={value} pending ts{ts}"));
+                        let commits = Arc::clone(&self.commits);
+                        self.nodes[n].cc.on_committed(
+                            key,
+                            ts,
+                            Box::new(move || {
+                                commits.lock().expect("commit queue").push((n, key, ts));
+                            }),
+                        );
+                        self.nodes[n].current = Some(InFlight {
+                            op,
+                            invoked_at,
+                            state: OpState::WaitingCommit { ts },
+                        });
+                        self.ship(n, outgoing);
+                        self.drain_commits();
+                    }
+                    Some(CachePut::Miss) => self.cold_op(n, op, invoked_at),
+                }
+            }
+        }
+    }
+
+    /// The miss path: serve at the local shard when this node is the home,
+    /// otherwise suspend the op on a correlated RPC over the peer link.
+    fn cold_op(&mut self, n: usize, op: ProgOp, invoked_at: u64) {
+        let key = op.key();
+        let home = self.home_of(key);
+        if home == n {
+            if self.cold_bounced(home, key) {
+                self.park(n, op, invoked_at, "local cold op bounced");
+                return;
+            }
+            match op {
+                ProgOp::Get { .. } => {
+                    let (value, ts) = self.nodes[n].cc.kvs_get_versioned(key);
+                    self.log(format!("issue n{n} get k{key} cold local ts{ts}"));
+                    self.complete(n, op, invoked_at, decode_value(&value), ts);
+                }
+                ProgOp::Put { value, .. } => {
+                    let ts = Timestamp::new(self.alloc_cold(n), NodeId(n as u8));
+                    self.nodes[n]
+                        .cc
+                        .kvs_put(key, &value.to_le_bytes(), ts.clock, n as u8)
+                        .expect("cold put fits");
+                    self.nodes[n].kvs_dirty = true;
+                    self.log(format!("issue n{n} put k{key}={value} cold local ts{ts}"));
+                    self.complete(n, op, invoked_at, value, ts);
+                }
+            }
+        } else {
+            let corr = self.next_corr;
+            self.next_corr += 1;
+            let (inner, kind) = match op {
+                ProgOp::Get { .. } => (Frame::MissGet { key }, RpcKind::Get),
+                ProgOp::Put { value, .. } => (
+                    Frame::MissPut {
+                        key,
+                        tag: value as u32,
+                        writer: n as u8,
+                        value: value.to_le_bytes().to_vec(),
+                    },
+                    RpcKind::Put { value },
+                ),
+            };
+            self.rpc_table.insert(
+                corr,
+                RpcState {
+                    origin: n,
+                    gen: self.nodes[n].gen,
+                    kind,
+                    executed: None,
+                },
+            );
+            self.log(format!("issue n{n} rpc#{corr} k{key} -> home n{home}"));
+            self.send_frame(
+                n,
+                home,
+                &Frame::RpcReq {
+                    corr,
+                    inner: Box::new(inner),
+                },
+                TrafficClass::MissRequest,
+            );
+            self.nodes[n].current = Some(InFlight {
+                op,
+                invoked_at,
+                state: OpState::WaitingRpc { corr },
+            });
+        }
+    }
+
+    /// Whether a cold op on `key` bounces at home `h` (`MissRetry`):
+    /// mid-transition mark, supervisor hot-fence, or hot asymmetry (the
+    /// home itself caches the key).
+    fn cold_bounced(&self, h: usize, key: u64) -> bool {
+        self.marked.contains(&key)
+            || self.nodes[h].fenced.contains(&key)
+            || self.nodes[h].cc.is_cached(key)
+    }
+
+    fn park(&mut self, n: usize, op: ProgOp, invoked_at: u64, why: &str) {
+        let snapshot = (self.nodes[n].deliveries, self.world_version);
+        self.log(format!("park n{n} k{} ({why})", op.key()));
+        self.nodes[n].current = Some(InFlight {
+            op,
+            invoked_at,
+            state: OpState::Parked { snapshot },
+        });
+    }
+
+    fn complete(&mut self, n: usize, op: ProgOp, invoked_at: u64, value: u64, ts: Timestamp) {
+        let kind = match op {
+            ProgOp::Get { .. } => RecordKind::Get { value },
+            ProgOp::Put { .. } => RecordKind::Put { value },
+        };
+        let seq = self.nodes[n].session_seq;
+        self.nodes[n].session_seq += 1;
+        self.history.record(OpRecord {
+            session: n as u32,
+            key: op.key(),
+            kind,
+            ts,
+            invoked_at,
+            completed_at: self.clock,
+            session_seq: seq,
+        });
+        self.nodes[n].current = None;
+    }
+
+    fn alloc_cold(&mut self, n: usize) -> u32 {
+        self.nodes[n].cold_clock += 1;
+        self.nodes[n].cold_clock
+    }
+
+    fn bump_cold(&mut self, n: usize, clock: u32) {
+        let s = &mut self.nodes[n];
+        s.cold_clock = s.cold_clock.max(clock);
+    }
+
+    // ----- frame transmission -----------------------------------------
+
+    /// Ships protocol messages produced by a node: resolves destinations
+    /// (broadcast = every other replica) and sends each as a sequenced,
+    /// retained wire frame on the corresponding directed link.
+    fn ship(&mut self, n: usize, outgoing: Vec<Outgoing>) {
+        for out in outgoing {
+            let targets: Vec<usize> = match out.dest {
+                Destination::To(id) => vec![id.0 as usize],
+                Destination::Broadcast => (0..self.nodes.len()).filter(|&t| t != n).collect(),
+            };
+            let class = match out.msg {
+                ProtocolMsg::Invalidation { .. } => TrafficClass::Invalidation,
+                ProtocolMsg::Ack { .. } => TrafficClass::Ack,
+                ProtocolMsg::Update { .. } => TrafficClass::Update,
+            };
+            let frame = Frame::Protocol {
+                msg: out.msg,
+                bytes: out.bytes.as_ref().map(|b| b.to_vec()),
+            };
+            for t in targets {
+                self.send_frame(n, t, &frame, class);
+            }
+        }
+    }
+
+    /// Sends one frame on the directed link `i → j`: assigns the link
+    /// sequence, retains the datagram until confirmation, and — when both
+    /// ends are up — puts it in flight through the sim transport. A frame
+    /// sent toward a down peer stays retained only; the restart replay
+    /// re-ships it.
+    fn send_frame(&mut self, i: usize, j: usize, frame: &Frame, class: TrafficClass) {
+        let sl = self.send.get_mut(&(i, j)).expect("link");
+        let seq = sl.next_seq;
+        sl.next_seq += 1;
+        let mut datagram = Vec::with_capacity(64);
+        datagram.extend_from_slice(&seq.to_le_bytes());
+        encode_frame_into(&mut datagram, frame);
+        let is_update = matches!(
+            frame,
+            Frame::Protocol {
+                msg: ProtocolMsg::Update { .. },
+                ..
+            }
+        );
+        let mut inflight = 0;
+        if self.nodes[i].up && self.nodes[j].up {
+            let id = self.conns[&(i, j)]
+                .write_datagram(&datagram, class)
+                .expect("sim send")
+                .expect("peer links are never loopback");
+            self.flight_meta.insert(id, (i, j, seq));
+            inflight = 1;
+        }
+        self.send
+            .get_mut(&(i, j))
+            .expect("link")
+            .retained
+            .push_back(Retained {
+                seq,
+                datagram,
+                inflight,
+                is_update,
+                class,
+            });
+    }
+
+    fn retransmit(&mut self, i: usize, j: usize) {
+        let recv_next = self.recv[&(i, j)].recv_next;
+        let Some((seq, datagram, class)) = self.send[&(i, j)]
+            .retained
+            .iter()
+            .find(|r| r.seq >= recv_next && r.inflight == 0)
+            .map(|r| (r.seq, r.datagram.clone(), r.class))
+        else {
+            return;
+        };
+        let id = self.conns[&(i, j)]
+            .write_datagram(&datagram, class)
+            .expect("sim send")
+            .expect("peer links are never loopback");
+        self.flight_meta.insert(id, (i, j, seq));
+        self.inc_inflight(i, j, seq);
+        self.log(format!("retransmit {i}->{j} #{seq}"));
+    }
+
+    // ----- delivery and frame processing ------------------------------
+
+    fn deliver_flight(&mut self, f: u64) {
+        let (i, j, seq) = self.flight_meta.remove(&f).expect("live flight");
+        assert!(self.net.deliver(f), "flight was live");
+        self.dec_inflight(i, j, seq);
+        self.log(format!("deliver {i}->{j} #{seq}"));
+        self.pump_link(i, j);
+    }
+
+    /// Drains the receiving connection of link `i → j` and processes every
+    /// datagram that is next-in-sequence (holding gaps in the reorder
+    /// buffer, dropping duplicate sequences).
+    fn pump_link(&mut self, i: usize, j: usize) {
+        let mut fresh = Vec::new();
+        {
+            let conn = self.conns.get_mut(&(j, i)).expect("link");
+            let mut tmp = [0u8; 4096];
+            loop {
+                match conn.read(&mut tmp) {
+                    Ok(0) => break,
+                    Ok(k) => fresh.extend_from_slice(&tmp[..k]),
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::ConnectionReset => break,
+                    Err(e) => panic!("sim read failed: {e}"),
+                }
+            }
+        }
+        let rl = self.recv.get_mut(&(i, j)).expect("link");
+        rl.buf.extend_from_slice(&fresh);
+        // Split the buffered bytes into [seq u64][len u32][frame payload]
+        // datagrams (deposits are atomic per flight, so a prefix is only
+        // ever a harness bug).
+        let mut held = Vec::new();
+        while rl.buf.len() >= 12 {
+            let seq = u64::from_le_bytes(rl.buf[0..8].try_into().expect("8 bytes"));
+            let flen = u32::from_le_bytes(rl.buf[8..12].try_into().expect("4 bytes")) as usize;
+            assert!(rl.buf.len() >= 12 + flen, "datagram deposits are atomic");
+            let payload = rl.buf[12..12 + flen].to_vec();
+            rl.buf.drain(..12 + flen);
+            if seq < rl.recv_next {
+                held.push(format!("dedup {i}->{j} #{seq}"));
+            } else {
+                if seq > rl.recv_next {
+                    held.push(format!("hold {i}->{j} #{seq} (awaiting #{})", rl.recv_next));
+                }
+                rl.reorder.insert(seq, payload);
+            }
+        }
+        for e in held {
+            self.log(e);
+        }
+        loop {
+            let rl = self.recv.get_mut(&(i, j)).expect("link");
+            let next = rl.recv_next;
+            let Some(payload) = rl.reorder.remove(&next) else {
+                break;
+            };
+            rl.recv_next += 1;
+            self.nodes[j].deliveries += 1;
+            let frame = Frame::decode(&payload).expect("peer frames decode");
+            self.process_frame(i, j, frame);
+            if self.violation.is_some() {
+                return;
+            }
+        }
+    }
+
+    /// Processes one in-sequence frame arriving at node `j` from node `i`.
+    fn process_frame(&mut self, _i: usize, j: usize, frame: Frame) {
+        match frame {
+            Frame::Protocol { msg, bytes } => {
+                self.log(format!("n{j} <- {}", protocol_brief(&msg)));
+                let out = self.nodes[j].cc.deliver(&msg, bytes.as_deref());
+                self.ship(j, out);
+                self.drain_commits();
+            }
+            Frame::RpcReq { corr, inner } => {
+                let resp = self.serve_rpc(j, corr, *inner);
+                let Some(origin) = self.rpc_table.get(&corr).map(|e| e.origin) else {
+                    self.log(format!("n{j} rpc#{corr} served for a dead origin; dropped"));
+                    return;
+                };
+                self.send_frame(
+                    j,
+                    origin,
+                    &Frame::RpcResp {
+                        corr,
+                        inner: Box::new(resp),
+                    },
+                    TrafficClass::MissResponse,
+                );
+            }
+            Frame::RpcResp { corr, inner } => self.resolve_rpc(j, corr, *inner),
+            other => self.fail(format!("unexpected peer frame {other:?}")),
+        }
+    }
+
+    /// Serves a miss-path RPC at home node `h`, mirroring the production
+    /// `serve_rpc_frame`: cold reads/writes bounce with `MissRetry` while
+    /// the key is marked, fenced, or cached at the home; write-backs apply
+    /// versioned and push the cold counter past the written-back clock.
+    fn serve_rpc(&mut self, h: usize, corr: u64, req: Frame) -> Frame {
+        match req {
+            Frame::MissGet { key } => {
+                if self.cold_bounced(h, key) {
+                    self.log(format!("n{h} rpc#{corr} get k{key} bounced"));
+                    Frame::MissRetry
+                } else {
+                    let (value, ts) = self.nodes[h].cc.kvs_get_versioned(key);
+                    self.log(format!("n{h} rpc#{corr} get k{key} cold ts{ts}"));
+                    Frame::GetResp {
+                        cached: false,
+                        ts,
+                        value,
+                    }
+                }
+            }
+            Frame::MissPut {
+                key,
+                tag: _,
+                writer,
+                value,
+            } => {
+                if self.cold_bounced(h, key) {
+                    self.log(format!("n{h} rpc#{corr} put k{key} bounced"));
+                    Frame::MissRetry
+                } else {
+                    let ts = Timestamp::new(self.alloc_cold(h), NodeId(writer));
+                    self.nodes[h]
+                        .cc
+                        .kvs_put(key, &value, ts.clock, writer)
+                        .expect("cold put fits");
+                    self.nodes[h].kvs_dirty = true;
+                    if let Some(e) = self.rpc_table.get_mut(&corr) {
+                        e.executed = Some(ts);
+                    }
+                    self.log(format!("n{h} rpc#{corr} put k{key} cold ts{ts}"));
+                    Frame::MissPutResp { ts }
+                }
+            }
+            Frame::WriteBack { key, value, ts } => {
+                self.bump_cold(h, ts.clock);
+                let applied = self.nodes[h]
+                    .cc
+                    .write_back(key, &value, ts)
+                    .expect("write-back fits");
+                self.nodes[h].kvs_dirty = true;
+                self.log(format!(
+                    "n{h} rpc#{corr} writeback k{key} ts{ts} applied={applied}"
+                ));
+                Frame::WriteBackResp { applied }
+            }
+            other => {
+                self.fail(format!("unexpected rpc request {other:?}"));
+                Frame::MissRetry
+            }
+        }
+    }
+
+    /// Resolves an RPC response arriving back at origin node `o`. Unknown
+    /// or stale correlation ids are dropped — the exactly-once contract
+    /// for responses re-served across a restart replay.
+    fn resolve_rpc(&mut self, o: usize, corr: u64, resp: Frame) {
+        let Some(entry) = self.rpc_table.get(&corr) else {
+            self.log(format!(
+                "n{o} rpc#{corr} response without a waiter; dropped"
+            ));
+            return;
+        };
+        if entry.origin != o || entry.gen != self.nodes[o].gen {
+            self.log(format!(
+                "n{o} rpc#{corr} stale-generation response; dropped"
+            ));
+            return;
+        }
+        if matches!(entry.kind, RpcKind::WriteBack) {
+            match resp {
+                Frame::WriteBackResp { .. } => {
+                    self.rpc_table.remove(&corr);
+                    self.outstanding_writebacks -= 1;
+                    self.log(format!("n{o} rpc#{corr} writeback resolved"));
+                }
+                other => self.fail(format!("write-back rpc got {other:?}")),
+            }
+            return;
+        }
+        let entry = self.rpc_table.remove(&corr).expect("entry present");
+        let cur = self.nodes[o].current.take();
+        let Some(InFlight {
+            op,
+            invoked_at,
+            state: OpState::WaitingRpc { corr: waiting },
+        }) = cur
+        else {
+            self.fail(format!(
+                "rpc#{corr} resolved but n{o} was not waiting on it"
+            ));
+            return;
+        };
+        if waiting != corr {
+            self.fail(format!(
+                "rpc#{corr} resolved but n{o} waits on rpc#{waiting}"
+            ));
+            return;
+        }
+        match (entry.kind, resp) {
+            (_, Frame::MissRetry) => {
+                self.log(format!("n{o} rpc#{corr} bounced; parking for retry"));
+                self.park(o, op, invoked_at, "miss rpc bounced");
+            }
+            (RpcKind::Get, Frame::GetResp { ts, value, .. }) => {
+                self.log(format!("n{o} rpc#{corr} get resolved ts{ts}"));
+                self.complete(o, op, invoked_at, decode_value(&value), ts);
+            }
+            (RpcKind::Put { value }, Frame::MissPutResp { ts }) => {
+                self.log(format!("n{o} rpc#{corr} put resolved ts{ts}"));
+                self.complete(o, op, invoked_at, value, ts);
+            }
+            (_, other) => self.fail(format!("rpc#{corr} got mismatched response {other:?}")),
+        }
+    }
+
+    /// Completes writer operations whose Lin commit continuations fired
+    /// during a delivery (the hooks push onto the queue inline; this runs
+    /// after every `deliver`/`ship`).
+    fn drain_commits(&mut self) {
+        loop {
+            let fired: Vec<(usize, u64, Timestamp)> = {
+                let mut q = self.commits.lock().expect("commit queue");
+                if q.is_empty() {
+                    break;
+                }
+                q.drain(..).collect()
+            };
+            for (n, key, ts) in fired {
+                let cur = self.nodes[n].current.take();
+                match cur {
+                    Some(InFlight {
+                        op: op @ ProgOp::Put { value, .. },
+                        invoked_at,
+                        state: OpState::WaitingCommit { ts: wts },
+                    }) if wts == ts => {
+                        self.log(format!("commit n{n} put k{key}={value} ts{ts}"));
+                        self.complete(n, op, invoked_at, value, ts);
+                    }
+                    other => {
+                        self.nodes[n].current = other;
+                        self.fail(format!(
+                            "commit continuation fired for n{n} k{key} ts{ts} with no matching writer"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // ----- crash, restart, heal ---------------------------------------
+
+    fn crash(&mut self, n: usize) {
+        self.crashes_left -= 1;
+        self.log(format!("crash n{n}"));
+        self.net.sever_node(n);
+        self.nodes[n].up = false;
+        // Every flight to or from the node evaporated with it.
+        let dead: Vec<(u64, (usize, usize, u64))> = self
+            .flight_meta
+            .iter()
+            .filter(|(_, (i, j, _))| *i == n || *j == n)
+            .map(|(f, m)| (*f, *m))
+            .collect();
+        for (f, (i, j, seq)) in dead {
+            self.flight_meta.remove(&f);
+            if i != n {
+                // Survivor-retained frames lose their in-flight copies and
+                // become retransmit/replay candidates.
+                self.dec_inflight(i, j, seq);
+            }
+        }
+        // The dead process's pending RPCs: an executed put happened (the
+        // home applied it) even though no response will ever arrive —
+        // record it so the history owns every observable write. Unexecuted
+        // requests died with the process; the op retries after restart.
+        let cur = self.nodes[n].current.take();
+        match cur {
+            Some(InFlight {
+                op,
+                invoked_at,
+                state: OpState::WaitingRpc { corr },
+            }) => match self.rpc_table.remove(&corr) {
+                Some(RpcState {
+                    kind: RpcKind::Put { value },
+                    executed: Some(ts),
+                    ..
+                }) => {
+                    self.log(format!("crash orphaned executed rpc#{corr}; recording put"));
+                    self.complete(n, op, invoked_at, value, ts);
+                    self.nodes[n].current = None;
+                }
+                _ => {
+                    self.log(format!("crash voided rpc#{corr}; op will retry"));
+                    self.park(n, op, invoked_at, "rpc voided by crash");
+                }
+            },
+            Some(InFlight {
+                op,
+                state: OpState::WaitingCommit { ts },
+                ..
+            }) => {
+                // Unacknowledged pending write: the client never got an
+                // answer, so the history records nothing. Gated crashes
+                // never allow this window (peers would wedge).
+                self.log(format!(
+                    "crash voided pending put k{}:{ts} (never acked)",
+                    op.key()
+                ));
+            }
+            other => self.nodes[n].current = other,
+        }
+    }
+
+    /// Restarts a crashed node: a fresh `CcNode` (empty cache, empty
+    /// in-memory shard) in a new generation, supervisor hot-fences on keys
+    /// it homes, fresh links outward, and — per survivor — the retained
+    /// replay (receiver resumes at the survivor's confirmed sequence) plus
+    /// reissued invalidations for acks the survivor never counted.
+    fn restart(&mut self, n: usize) {
+        let spec_model = self.spec.model;
+        let nodes = self.spec.nodes;
+        self.nodes[n].gen += 1;
+        self.nodes[n].up = true;
+        self.nodes[n].kvs_dirty = false;
+        self.nodes[n].cc = CcNode::new(NodeConfig::small(spec_model, n, nodes));
+        self.nodes[n].deliveries += 1;
+        let fences: BTreeSet<u64> = self
+            .hot_now
+            .iter()
+            .copied()
+            .filter(|k| self.home_of(*k) == n)
+            .collect();
+        self.nodes[n].fenced = fences;
+        self.heal_needed = true;
+        self.world_version += 1;
+        self.log(format!("restart n{n} gen{}", self.nodes[n].gen));
+        for j in 0..nodes {
+            if j == n {
+                continue;
+            }
+            // Fresh connection pair; the old halves (severed) drop here.
+            let (cn, cj) = self.net.pair(n, j);
+            cn.set_nonblocking(true).expect("sim conn");
+            cj.set_nonblocking(true).expect("sim conn");
+            self.conns.insert((n, j), cn);
+            self.conns.insert((j, n), cj);
+            // Outbound links of the new process start a fresh numbering.
+            self.send.insert((n, j), SendLink::default());
+            self.recv.insert((n, j), RecvLink::default());
+            // Survivor → restarted: the receiver resumes at the survivor's
+            // last confirmed sequence (PeerResume); frames the dead
+            // process handled beyond it are replayed and re-handled
+            // vacuously by the fresh cache.
+            let confirmed = self.send[&(j, n)].confirmed;
+            self.recv.insert(
+                (j, n),
+                RecvLink {
+                    recv_next: confirmed,
+                    ..RecvLink::default()
+                },
+            );
+            let tail: Vec<(u64, Vec<u8>, TrafficClass)> = self
+                .send
+                .get_mut(&(j, n))
+                .expect("link")
+                .retained
+                .iter_mut()
+                .map(|r| {
+                    r.inflight = 0;
+                    (r.seq, r.datagram.clone(), r.class)
+                })
+                .collect();
+            if !tail.is_empty() {
+                self.log(format!(
+                    "replay {j}->{n} #{}..#{}",
+                    tail[0].0,
+                    tail[tail.len() - 1].0
+                ));
+            }
+            for (seq, datagram, class) in tail {
+                let id = self.conns[&(j, n)]
+                    .write_datagram(&datagram, class)
+                    .expect("sim send")
+                    .expect("peer links are never loopback");
+                self.flight_meta.insert(id, (j, n, seq));
+                self.inc_inflight(j, n, seq);
+            }
+            // Invalidations whose acks were never counted: reissued toward
+            // the fresh process, which acknowledges vacuously.
+            let reissued = self.nodes[j].cc.reissue_invalidations(NodeId(n as u8));
+            if !reissued.is_empty() {
+                self.log(format!("reissue n{j} -> n{n} x{}", reissued.len()));
+                self.ship(j, reissued);
+            }
+        }
+    }
+
+    /// Post-restart recovery of symmetric caching: evict the hot set
+    /// everywhere, write the newest dirty copy back to each key's home,
+    /// reinstall every replica from the home's value+version, and lift the
+    /// supervisor fences. Runs atomically (the production epoch
+    /// coordinator's job; its step-wise interleavings are exercised by the
+    /// transition scenarios' admin scripts instead).
+    fn heal(&mut self) {
+        self.log("heal".to_string());
+        for key in self.hot_now.clone() {
+            let home = self.home_of(key);
+            let mut best: Option<(Vec<u8>, Timestamp)> = None;
+            for i in 0..self.nodes.len() {
+                match self.nodes[i].cc.try_evict_hot(key) {
+                    None => {
+                        self.fail(format!(
+                            "heal found a pending write on k{key} at n{i} despite gating"
+                        ));
+                        return;
+                    }
+                    Some(EvictHot::NotCached) | Some(EvictHot::Clean) => {}
+                    Some(EvictHot::WrittenBack { ts }) => {
+                        self.bump_cold(i, ts.clock);
+                        self.nodes[i].kvs_dirty = true;
+                    }
+                    Some(EvictHot::WriteBackRemote { value, ts }) => {
+                        if best.as_ref().is_none_or(|(_, b)| ts.is_newer_than(*b)) {
+                            best = Some((value, ts));
+                        }
+                    }
+                }
+            }
+            if let Some((value, ts)) = best {
+                self.bump_cold(home, ts.clock);
+                self.nodes[home]
+                    .cc
+                    .write_back(key, &value, ts)
+                    .expect("write-back fits");
+                self.nodes[home].kvs_dirty = true;
+            }
+            let (value, ts) = self.nodes[home].cc.kvs_get_versioned(key);
+            for i in 0..self.nodes.len() {
+                assert!(
+                    self.nodes[i].cc.install_hot(key, &value, ts),
+                    "heal reinstall fits"
+                );
+            }
+        }
+        for s in &mut self.nodes {
+            s.fenced.clear();
+        }
+        self.heal_needed = false;
+        self.world_version += 1;
+    }
+
+    // ----- admin script -----------------------------------------------
+
+    /// Executes the admin step at the cursor (callers check
+    /// `admin_enabled` first, so the step's preconditions hold).
+    fn admin_step(&mut self) {
+        let step = self.spec.admin_script[self.admin_cursor];
+        self.admin_cursor += 1;
+        match step {
+            AdminStep::MarkEvict { key } => {
+                self.marked.insert(key);
+                self.log(format!("admin mark-evict k{key}"));
+            }
+            AdminStep::MarkInstall { key } => {
+                let home = self.home_of(key);
+                self.marked.insert(key);
+                let (value, ts) = self.nodes[home].cc.kvs_get_versioned(key);
+                self.bump_cold(home, ts.clock);
+                self.log(format!("admin mark-install k{key} snapshot ts{ts}"));
+                self.install_snapshot.insert(key, (value, ts));
+            }
+            AdminStep::EvictAt { node, key } => {
+                match self.nodes[node].cc.try_evict_hot(key) {
+                    None => {
+                        // Guarded against by admin_enabled; a race through
+                        // an unexpected pending write retries the step.
+                        self.admin_cursor -= 1;
+                        self.log(format!("admin evict n{node} k{key} blocked"));
+                    }
+                    Some(EvictHot::NotCached) | Some(EvictHot::Clean) => {
+                        self.log(format!("admin evict n{node} k{key} clean"));
+                    }
+                    Some(EvictHot::WrittenBack { ts }) => {
+                        self.bump_cold(node, ts.clock);
+                        self.nodes[node].kvs_dirty = true;
+                        self.log(format!("admin evict n{node} k{key} wrote back ts{ts}"));
+                    }
+                    Some(EvictHot::WriteBackRemote { value, ts }) => {
+                        let home = self.home_of(key);
+                        let corr = self.next_corr;
+                        self.next_corr += 1;
+                        self.rpc_table.insert(
+                            corr,
+                            RpcState {
+                                origin: node,
+                                gen: self.nodes[node].gen,
+                                kind: RpcKind::WriteBack,
+                                executed: None,
+                            },
+                        );
+                        self.outstanding_writebacks += 1;
+                        self.log(format!(
+                            "admin evict n{node} k{key} dirty ts{ts}; writeback rpc#{corr}"
+                        ));
+                        self.send_frame(
+                            node,
+                            home,
+                            &Frame::RpcReq {
+                                corr,
+                                inner: Box::new(Frame::WriteBack { key, value, ts }),
+                            },
+                            TrafficClass::MissRequest,
+                        );
+                    }
+                }
+            }
+            AdminStep::UnmarkEvict { key } => {
+                self.marked.remove(&key);
+                self.hot_now.remove(&key);
+                self.world_version += 1;
+                self.log(format!("admin unmark-evict k{key}; key is cold"));
+            }
+            AdminStep::WarmAt { node, key } => {
+                let (value, ts) = self.install_snapshot[&key].clone();
+                assert!(
+                    self.nodes[node].cc.install_hot_warm(key, &value, ts),
+                    "warm install fits"
+                );
+                self.log(format!("admin warm n{node} k{key} ts{ts}"));
+            }
+            AdminStep::ActivateAt { node, key } => {
+                assert!(self.nodes[node].cc.activate_hot(key), "warming key present");
+                self.log(format!("admin activate n{node} k{key}"));
+            }
+            AdminStep::UnmarkInstall { key } => {
+                self.marked.remove(&key);
+                self.hot_now.insert(key);
+                self.world_version += 1;
+                self.log(format!("admin unmark-install k{key}; key is hot"));
+            }
+        }
+    }
+
+    // ----- drain and final checks -------------------------------------
+
+    /// Whether the run has fully quiesced: every op completed, every node
+    /// up and healed, the admin script finished, no datagram in flight,
+    /// and every retained frame delivered (acknowledged writes are fully
+    /// propagated — SC's eventual-delivery obligation).
+    fn done(&self) -> bool {
+        self.nodes
+            .iter()
+            .all(|s| s.up && s.program.is_empty() && s.current.is_none())
+            && !self.heal_needed
+            && self.admin_cursor >= self.spec.admin_script.len()
+            && self.flight_meta.is_empty()
+            && self.send.iter().all(|(&(i, j), sl)| {
+                sl.retained
+                    .iter()
+                    .all(|r| r.seq < self.recv[&(i, j)].recv_next)
+            })
+    }
+
+    /// The deterministic completion phase: no faults, fixed priorities —
+    /// restart, deliver (lowest flight), retransmit, admin, heal, reprobe,
+    /// issue. Reports a deadlock if the rack cannot quiesce.
+    fn drain(&mut self) {
+        for _ in 0..DRAIN_CAP {
+            if self.done() || self.violation.is_some() {
+                return;
+            }
+            let Some(action) = self.drain_action() else {
+                let stuck: Vec<String> = self
+                    .nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.current.is_some() || !s.program.is_empty())
+                    .map(|(n, s)| {
+                        format!(
+                            "n{n}: {} queued, current {}",
+                            s.program.len(),
+                            match &s.current {
+                                None => "none".to_string(),
+                                Some(InFlight { op, state, .. }) => format!(
+                                    "k{} ({})",
+                                    op.key(),
+                                    match state {
+                                        OpState::Parked { .. } => "parked",
+                                        OpState::WaitingCommit { .. } => "awaiting commit",
+                                        OpState::WaitingRpc { .. } => "awaiting rpc",
+                                    }
+                                ),
+                            }
+                        )
+                    })
+                    .collect();
+                self.fail(format!(
+                    "deadlock: rack cannot quiesce [{}]",
+                    stuck.join("; ")
+                ));
+                return;
+            };
+            self.apply(action);
+        }
+        self.fail(format!("drain did not quiesce within {DRAIN_CAP} steps"));
+    }
+
+    fn drain_action(&self) -> Option<Action> {
+        for n in 0..self.nodes.len() {
+            if !self.nodes[n].up {
+                return Some(Action::Restart(n));
+            }
+        }
+        if let Some(&f) = self.flight_meta.keys().next() {
+            return Some(Action::Deliver(f));
+        }
+        for &(i, j) in self.send.keys() {
+            if self.retransmit_enabled(i, j) {
+                return Some(Action::Retransmit(i, j));
+            }
+        }
+        if self.admin_enabled() {
+            return Some(Action::Admin);
+        }
+        if self.heal_enabled() {
+            return Some(Action::Heal);
+        }
+        // Unconditional parked-op retry: the production client's retry
+        // timer. (Exploration gates reprobes on observed progress to keep
+        // schedules distinct; the drain just needs liveness.)
+        for n in 0..self.nodes.len() {
+            let s = &self.nodes[n];
+            if s.up
+                && matches!(
+                    &s.current,
+                    Some(InFlight {
+                        state: OpState::Parked { .. },
+                        ..
+                    })
+                )
+            {
+                return Some(Action::Reprobe(n));
+            }
+        }
+        for n in 0..self.nodes.len() {
+            let s = &self.nodes[n];
+            if s.up && s.current.is_none() && !s.program.is_empty() {
+                return Some(Action::Issue(n));
+            }
+        }
+        None
+    }
+
+    /// Checks the quiesced rack: the recorded history against the
+    /// scenario's consistency model, then zero lost acknowledged writes —
+    /// the newest acked value of every key must be present at the key's
+    /// final location (every cache if hot, the home shard if cold).
+    fn check_final(&mut self) {
+        let model_check = match self.spec.model {
+            consistency::ConsistencyModel::Lin => self.history.check_per_key_lin(),
+            consistency::ConsistencyModel::Sc => self.history.check_per_key_sc(),
+        };
+        if let Err(v) = model_check {
+            self.fail(format!("history check failed: {v}"));
+            return;
+        }
+        let mut newest: BTreeMap<u64, (u64, Timestamp)> = BTreeMap::new();
+        for op in self.history.ops() {
+            if let RecordKind::Put { value } = op.kind {
+                let e = newest.entry(op.key).or_insert((value, op.ts));
+                if op.ts.is_newer_than(e.1) {
+                    *e = (value, op.ts);
+                }
+            }
+        }
+        for (key, (value, ts)) in newest {
+            if self.hot_now.contains(&key) {
+                for n in 0..self.nodes.len() {
+                    match self.nodes[n].cc.try_cache_get(key) {
+                        Some(CacheGet::Hit { value: v, ts: t })
+                            if t == ts && decode_value(&v) == value => {}
+                        got => {
+                            self.fail(format!(
+                                "lost acked write: k{key}={value} ts{ts} missing from \
+                                 n{n}'s cache (found {got:?})"
+                            ));
+                            return;
+                        }
+                    }
+                }
+            } else {
+                let home = self.home_of(key);
+                let (v, t) = self.nodes[home].cc.kvs_get_versioned(key);
+                if t != ts || decode_value(&v) != value {
+                    self.fail(format!(
+                        "lost acked write: k{key}={value} ts{ts} not at home n{home} \
+                         (shard holds value {} ts{t})",
+                        decode_value(&v)
+                    ));
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Little-endian `u64` from a stored value (the harness writes all values
+/// as 8-byte LE); an empty value (never written) decodes to 0.
+fn decode_value(bytes: &[u8]) -> u64 {
+    if bytes.len() >= 8 {
+        u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"))
+    } else {
+        0
+    }
+}
+
+fn protocol_brief(msg: &ProtocolMsg) -> String {
+    match msg {
+        ProtocolMsg::Invalidation { key, ts, from } => {
+            format!("inv k{key} ts{ts} from n{}", from.0)
+        }
+        ProtocolMsg::Ack { key, ts, from } => format!("ack k{key} ts{ts} from n{}", from.0),
+        ProtocolMsg::Update {
+            key,
+            value,
+            ts,
+            from,
+        } => {
+            format!("upd k{key}={value} ts{ts} from n{}", from.0)
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Deterministic protocol model checking for the scale-out ccNUMA rack.
+//!
+//! This crate drives **real** [`cckvs::node::CcNode`] instances — the same
+//! per-key SC/Lin coherence engine, symmetric cache, and home-shard logic
+//! the production server runs — over the deterministic in-process
+//! [`cckvs_net::sim`] transport, and hands every source of nondeterminism
+//! to a seeded scheduler:
+//!
+//! * which in-flight datagram (invalidation, ack, update broadcast, miss
+//!   RPC, write-back) is delivered next, dropped, or duplicated;
+//! * when link-level retransmits and credit confirmations fire;
+//! * when nodes crash, when they restart (new generation, retained-frame
+//!   replay, reissued invalidations — the PR 5 reconnect contract), and
+//!   when the post-restart heal runs;
+//! * when each client session issues or retries its next operation, and
+//!   when hot-transition admin steps (evict/install marks, warm, activate)
+//!   execute.
+//!
+//! Every completed operation is recorded into a [`consistency::history`]
+//! and each fully-drained execution is checked for per-key
+//! linearizability (or SC, per scenario) **and zero lost acknowledged
+//! writes**. A failing schedule compresses to a replayable
+//! [`sched::Seed`] (`scenario:hexseed`); replaying it reproduces the
+//! identical event sequence.
+//!
+//! # Modeling choices
+//!
+//! The harness aims for fidelity to the production dataplane but makes a
+//! few deliberate simplifications, each on the *stronger-adversary* or
+//! *documented-assumption* side:
+//!
+//! * **In-order per-link processing.** Datagrams carry link sequence
+//!   numbers; the receiver processes strictly in order with duplicate
+//!   suppression and a reorder buffer, as the production replay-numbered
+//!   peer links do. UDP-level reorder/dup/loss still happens *under* that
+//!   layer (the scheduler delivers flights in any order, drops and
+//!   duplicates them) — exactly the adversary the replay protocol exists
+//!   to tame.
+//! * **Versioned cold reads.** Miss-path GETs return the home shard's
+//!   `(value, version)` rather than the production unversioned fast-path
+//!   read. This is *stronger* instrumentation (the checker can attribute
+//!   every read), not weaker semantics.
+//! * **Supervisor floor assumed current.** A restarted home resumes its
+//!   cold-version counter from the harness's preserved floor, modeling a
+//!   perfectly synchronised supervisor `VersionFloor`. Production bounds
+//!   the gap with `--cold-floor` slack; schedules that would need a stale
+//!   floor to misbehave are out of this model's scope.
+//! * **Atomic heal.** Post-restart cache recovery (evict, write back the
+//!   newest dirty copy, reinstall everywhere) runs as one step — the
+//!   epoch coordinator's job. Step-wise transition interleavings are
+//!   exercised separately by the admin scripts of the transition
+//!   scenarios.
+//! * **Gated crashes.** Default scenarios only crash nodes where the
+//!   production system survives: not while a home shard holds observable
+//!   in-memory cold data (durable shards are an open ROADMAP item), not
+//!   with an uncommitted Lin write pending (peers would wedge invalid),
+//!   not while a committed update sits undelivered in the dead node's
+//!   links. The `ack-then-die` scenario disables the gates and *expects*
+//!   the checker to object — keeping the exclusions honest.
+//!
+//! # Entry points
+//!
+//! [`scenario::all`] lists the named scenarios; [`explore::explore`] runs
+//! seeded bounded walks; [`explore::replay`] re-runs one seed and asserts
+//! determinism; the `cckvs-modelcheck` binary wraps both for CI.
+
+pub mod explore;
+pub mod harness;
+pub mod scenario;
+pub mod sched;
+
+pub use explore::{explore, replay, ExploreReport};
+pub use harness::{run_schedule, Action, RackModel, RunOutcome};
+pub use scenario::{AdminStep, ProgOp, ScenarioSpec};
+pub use sched::{Seed, SplitMix64};

@@ -53,6 +53,7 @@ pub mod client;
 pub mod metrics;
 pub mod rack;
 pub mod server;
+pub mod sim;
 pub mod transport;
 pub mod wire;
 
@@ -68,6 +69,7 @@ pub use metrics::{
 };
 pub use rack::{Rack, RackConfig, COORDINATOR_NODE};
 pub use server::{FlowConfig, NodeServer, NodeServerConfig, ReactorConfig, ShutdownHandle};
+pub use sim::{FlightInfo, SimConnection, SimListener, SimNet, SimTransport};
 pub use transport::{
     FaultPlan, TcpTransport, Transport, TransportConfig, TransportKind, UdpTransport,
 };

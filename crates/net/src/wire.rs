@@ -155,6 +155,61 @@ mod opcode {
     pub const ERROR: u8 = 0x7E;
 }
 
+/// The full opcode assignment, as `(frame name, opcode byte)` pairs in
+/// ascending opcode order. This is the machine-readable form of the table
+/// in `docs/WIRE.md`; a unit test diffs the two so the document cannot
+/// drift from the protocol (`tests/wire_docs.rs`).
+pub fn opcode_table() -> Vec<(&'static str, u8)> {
+    let mut table = vec![
+        ("ClientHello", opcode::CLIENT_HELLO),
+        ("PeerHello", opcode::PEER_HELLO),
+        ("RpcHello", opcode::RPC_HELLO),
+        ("PeerHelloAck", opcode::PEER_HELLO_ACK),
+        ("PeerResume", opcode::PEER_RESUME),
+        ("Get", opcode::GET),
+        ("Put", opcode::PUT),
+        ("GetResp", opcode::GET_RESP),
+        ("PutResp", opcode::PUT_RESP),
+        ("Protocol", opcode::PROTOCOL),
+        ("MissGet", opcode::MISS_GET),
+        ("MissGetResp", opcode::MISS_GET_RESP),
+        ("MissPut", opcode::MISS_PUT),
+        ("MissPutResp", opcode::MISS_PUT_RESP),
+        ("WriteBack", opcode::WRITE_BACK),
+        ("WriteBackResp", opcode::WRITE_BACK_RESP),
+        ("HotMark", opcode::HOT_MARK),
+        ("HotMarkResp", opcode::HOT_MARK_RESP),
+        ("HotUnmark", opcode::HOT_UNMARK),
+        ("HotUnmarkResp", opcode::HOT_UNMARK_RESP),
+        ("MissRetry", opcode::MISS_RETRY),
+        ("InstallHot", opcode::INSTALL_HOT),
+        ("InstallHotResp", opcode::INSTALL_HOT_RESP),
+        ("Evict", opcode::EVICT),
+        ("EvictResp", opcode::EVICT_RESP),
+        ("FlipEpoch", opcode::FLIP_EPOCH),
+        ("FlipEpochResp", opcode::FLIP_EPOCH_RESP),
+        ("ActivateHot", opcode::ACTIVATE_HOT),
+        ("ActivateHotResp", opcode::ACTIVATE_HOT_RESP),
+        ("Ping", opcode::PING),
+        ("Pong", opcode::PONG),
+        ("Shutdown", opcode::SHUTDOWN),
+        ("VersionFloor", opcode::VERSION_FLOOR),
+        ("VersionFloorResp", opcode::VERSION_FLOOR_RESP),
+        ("CacheKeys", opcode::CACHE_KEYS),
+        ("CacheKeysResp", opcode::CACHE_KEYS_RESP),
+        ("TraceDump", opcode::TRACE_DUMP),
+        ("TraceDumpResp", opcode::TRACE_DUMP_RESP),
+        ("Batch", opcode::BATCH),
+        ("Credit", opcode::CREDIT),
+        ("RpcReq", opcode::RPC_REQ),
+        ("RpcResp", opcode::RPC_RESP),
+        ("Error", opcode::ERROR),
+        ("Traced", opcode::TRACED),
+    ];
+    table.sort_by_key(|&(_, op)| op);
+    table
+}
+
 /// One wire message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Frame {

@@ -1,0 +1,76 @@
+//! Keeps `docs/WIRE.md` honest: the opcode table in the document must
+//! match `wire::opcode_table()` exactly — same names, same values, no
+//! frame missing from either side. Renumbering, adding, or removing an
+//! opcode without updating the doc fails here.
+
+use cckvs_net::wire::opcode_table;
+use std::path::Path;
+
+/// Parses rows of the form `| \`0xNN\` | \`Name\` | ... |` out of the
+/// document's opcode table.
+fn doc_opcodes(markdown: &str) -> Vec<(String, u8)> {
+    let mut out = Vec::new();
+    for line in markdown.lines() {
+        let Some(rest) = line.strip_prefix("| `0x") else {
+            continue;
+        };
+        let Some((hex, rest)) = rest.split_once('`') else {
+            continue;
+        };
+        let Ok(op) = u8::from_str_radix(hex.trim(), 16) else {
+            panic!("opcode row with unparseable hex: {line:?}");
+        };
+        let name = rest
+            .split('`')
+            .nth(1)
+            .unwrap_or_else(|| panic!("opcode row without a frame name: {line:?}"));
+        out.push((name.to_string(), op));
+    }
+    out
+}
+
+#[test]
+fn wire_doc_opcode_table_matches_the_code() {
+    let doc_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../docs/WIRE.md");
+    let markdown = std::fs::read_to_string(&doc_path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", doc_path.display()));
+    let documented = doc_opcodes(&markdown);
+    let actual: Vec<(String, u8)> = opcode_table()
+        .into_iter()
+        .map(|(name, op)| (name.to_string(), op))
+        .collect();
+
+    assert!(
+        !documented.is_empty(),
+        "docs/WIRE.md contains no parseable opcode rows — was the table reformatted?"
+    );
+
+    for (name, op) in &actual {
+        assert!(
+            documented.iter().any(|(n, o)| n == name && o == op),
+            "opcode {name} = {op:#04x} exists in wire.rs but docs/WIRE.md \
+             does not document it (or documents a different value)"
+        );
+    }
+    for (name, op) in &documented {
+        assert!(
+            actual.iter().any(|(n, o)| n == name && o == op),
+            "docs/WIRE.md documents {name} = {op:#04x} but wire.rs has no \
+             such opcode — stale documentation"
+        );
+    }
+    assert_eq!(
+        documented.len(),
+        actual.len(),
+        "docs/WIRE.md documents a different number of opcodes than wire.rs exports"
+    );
+
+    // The doc table is sorted by opcode, like `opcode_table()` — keeps the
+    // reference scannable.
+    let mut sorted = documented.clone();
+    sorted.sort_by_key(|&(_, op)| op);
+    assert_eq!(
+        documented, sorted,
+        "docs/WIRE.md opcode rows are not in ascending opcode order"
+    );
+}

@@ -33,7 +33,8 @@ pub use buffer::{ReadBuf, WriteBuf, READ_CHUNK};
 pub use poller::{Event, Events, Interest, Poller, Token};
 pub use sys::{
     close_raw_fd, inheritable_pipe, listen_reuseaddr, raise_nofile_limit, reset_sigpipe,
-    send_signal, set_socket_buffers, signal_pipe, write_raw_fd, SIGINT, SIGKILL, SIGPIPE, SIGTERM,
+    send_signal, set_socket_buffers, signal_pipe, sys_eventfd, sys_eventfd_drain,
+    sys_eventfd_signal, write_raw_fd, SIGINT, SIGKILL, SIGPIPE, SIGTERM,
 };
 pub use timer::{TimerWheel, FINE_RESOLUTION};
 pub use waker::Waker;
